@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes its rendered text to ``benchmarks/output/<name>.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The fully built case study, shared across benchmarks."""
+    from repro.analysis import build_case_study
+
+    return build_case_study()
+
+
+@pytest.fixture(scope="session")
+def artifact_writer(output_dir):
+    def write(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo to the terminal so `pytest -s` shows the artifact.
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

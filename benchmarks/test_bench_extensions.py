@@ -1,0 +1,100 @@
+"""Extension benchmarks: optimization, standby retention, cost/water."""
+
+import pytest
+
+from repro.analysis.standby_study import render_standby, standby_comparison
+from repro.core.extensions import WaferCostModel, WaterModel
+from repro.core.optimization import optimize_tcdp
+from repro.fab import build_all_si_process, build_m3d_process
+
+
+def test_bench_tcdp_optimization(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        optimize_tcdp,
+        kwargs={"lifetime_months": 24.0, "clocks_hz": [200e6, 400e6, 500e6, 600e6, 800e6]},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "EXTENSION - tCDP-OPTIMAL OPERATING POINT (24 months, US grid)",
+        "-" * 64,
+    ]
+    for point in sorted(result.frontier, key=lambda p: p.tcdp):
+        lines.append(
+            f"{point.technology:7s} @ {point.clock_mhz:4.0f} MHz "
+            f"({point.vt_flavor.upper():4s}): tCDP {point.tcdp:.4f} gCO2e*s, "
+            f"tC {point.total_carbon_g:6.2f} g, "
+            f"t {point.execution_time_s*1e3:5.1f} ms"
+        )
+    lines.append(f"BEST: {result.best.technology} @ {result.best.clock_mhz:.0f} MHz")
+    artifact_writer("extension_tcdp_optimization", "\n".join(lines))
+
+    # The M3D memory's 1.5 ns write caps it at ~500 MHz; all-Si can
+    # trade carbon for clock. The frontier must reflect both.
+    m3d_clocks = {p.clock_mhz for p in result.frontier if p.technology == "m3d"}
+    assert max(m3d_clocks) <= 500.0
+    si_clocks = {p.clock_mhz for p in result.frontier if p.technology == "all-si"}
+    assert max(si_clocks) >= 800.0
+
+
+def test_bench_standby_retention(benchmark, case_study, artifact_writer):
+    data = benchmark(
+        standby_comparison, case_study.all_si, case_study.m3d
+    )
+    artifact_writer("extension_standby_retention", render_standby(data))
+
+    si_cost = (
+        data["all-si"]["with_standby_retain_g"]
+        - data["all-si"]["active_only_g"]
+    )
+    m3d_cost = (
+        data["m3d"]["with_standby_retain_g"] - data["m3d"]["active_only_g"]
+    )
+    assert si_cost > 3 * m3d_cost
+
+
+def test_bench_cost_and_water(benchmark, case_study, artifact_writer):
+    def evaluate():
+        cost = WaferCostModel()
+        water = WaterModel()
+        si_flow, m3d_flow = build_all_si_process(), build_m3d_process()
+        return {
+            "si": {
+                "wafer_usd": cost.wafer_cost_usd(si_flow),
+                "good_die_usd": cost.good_die_cost_usd(
+                    si_flow,
+                    case_study.all_si.dies_per_wafer,
+                    case_study.all_si.yield_fraction,
+                ),
+                "wafer_liters": water.wafer_water_liters(si_flow),
+            },
+            "m3d": {
+                "wafer_usd": cost.wafer_cost_usd(m3d_flow),
+                "good_die_usd": cost.good_die_cost_usd(
+                    m3d_flow,
+                    case_study.m3d.dies_per_wafer,
+                    case_study.m3d.yield_fraction,
+                ),
+                "wafer_liters": water.wafer_water_liters(m3d_flow),
+            },
+        }
+
+    data = benchmark(evaluate)
+    lines = [
+        "EXTENSION - COST AND WATER (the conclusion's 'and more')",
+        "-" * 64,
+        f"{'metric':28s} {'all-Si':>12s} {'M3D':>12s} {'ratio':>8s}",
+    ]
+    for metric in ("wafer_usd", "good_die_usd", "wafer_liters"):
+        si, m3d = data["si"][metric], data["m3d"][metric]
+        lines.append(
+            f"{metric:28s} {si:>12.4g} {m3d:>12.4g} {m3d/si:>8.2f}"
+        )
+    artifact_writer("extension_cost_water", "\n".join(lines))
+
+    assert data["m3d"]["wafer_usd"] > data["si"]["wafer_usd"]
+    assert data["m3d"]["wafer_liters"] > data["si"]["wafer_liters"]
+    # Per good die, the density advantage partially offsets cost.
+    cost_ratio = data["m3d"]["good_die_usd"] / data["si"]["good_die_usd"]
+    wafer_ratio = data["m3d"]["wafer_usd"] / data["si"]["wafer_usd"]
+    assert cost_ratio < wafer_ratio * 2  # yield hurts, density helps

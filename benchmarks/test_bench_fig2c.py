@@ -1,0 +1,22 @@
+"""Fig. 2c: embodied carbon per wafer, all-Si vs M3D, four grids."""
+
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig2c(benchmark, artifact_writer):
+    data = benchmark(figures.fig2c_embodied_per_wafer)
+    artifact_writer("fig2c_embodied_per_wafer", report.render_fig2c(data))
+
+    # Paper anchors: 837 / 1100 kg on the US grid, 1.31x average.
+    assert data["us"]["all_si"] == pytest.approx(837.0, rel=0.005)
+    assert data["us"]["m3d"] == pytest.approx(1100.0, rel=0.005)
+    assert data["average"]["ratio"] == pytest.approx(1.31, abs=0.02)
+    # Shape: ratio ordering follows grid carbon intensity.
+    assert (
+        data["solar"]["ratio"]
+        < data["us"]["ratio"]
+        < data["taiwan"]["ratio"]
+        < data["coal"]["ratio"]
+    )

@@ -1,0 +1,20 @@
+"""Fig. 2d: EUV metal-layer fabrication energies by process area."""
+
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig2d(benchmark, artifact_writer):
+    data = benchmark(figures.fig2d_euv_metal_steps)
+    artifact_writer("fig2d_euv_metal_steps", report.render_fig2d(data))
+
+    # The paper's worked example: 3 deposition steps totalling 4 kWh.
+    assert data["deposition"]["steps"] == 3
+    assert data["deposition"]["total_kwh"] == pytest.approx(4.0)
+    assert data["deposition"]["kwh_per_step"] == pytest.approx(1.333, abs=0.001)
+    # Lithography dominates EUV layer energy.
+    assert data["lithography"]["total_kwh"] > 10.0
+    # The whole pair is the calibrated 33.86 kWh.
+    total = sum(row["total_kwh"] for row in data.values())
+    assert total == pytest.approx(33.8625, rel=1e-6)

@@ -1,0 +1,67 @@
+"""Fig. 4: Cortex-M0 energy/cycle vs clock frequency per V_T flavour."""
+
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig4(benchmark, artifact_writer):
+    data = benchmark(figures.fig4_energy_vs_clock)
+    artifact_writer("fig4_energy_vs_clock", report.render_fig4(data))
+
+    # The selected point: RVT at 500 MHz = 1.42 pJ/cycle (Table II).
+    rvt_500 = data["rvt"][4]
+    assert rvt_500["clock_mhz"] == 500.0
+    assert rvt_500["energy_per_cycle_pj"] == pytest.approx(1.42, abs=0.01)
+
+    # Shape checks across the sweep:
+    # (1) every flavour is feasible at 100 MHz;
+    for flavor in data.values():
+        assert flavor[0]["met_timing"] == 1.0
+    # (2) feasibility frontier ordering HVT < RVT < LVT < SLVT;
+    def max_met(name):
+        return max(
+            p["clock_mhz"] for p in data[name] if p["met_timing"]
+        )
+
+    assert max_met("hvt") < max_met("rvt") < max_met("lvt") <= max_met("slvt")
+    # (3) only low-V_T flavours reach 1 GHz.
+    assert data["slvt"][-1]["met_timing"] == 1.0
+    assert data["hvt"][-1]["met_timing"] == 0.0
+    # (4) at low clocks, leaky SLVT wastes energy vs RVT.
+    assert (
+        data["slvt"][0]["energy_per_cycle_pj"]
+        > 2 * data["rvt"][0]["energy_per_cycle_pj"]
+    )
+
+
+def test_bench_fig4_critical_path(benchmark, artifact_writer):
+    """The step-3 companion series: critical-path delay per design."""
+    data = benchmark(figures.fig4_critical_path)
+    lines = [
+        "FIG. 4 (companion) - CRITICAL PATH DELAY vs CLOCK x V_T",
+        "-" * 64,
+        "f (MHz)   " + "".join(f"{fl.upper():>10s}" for fl in data),
+    ]
+    clocks = [p["clock_mhz"] for p in data["rvt"]]
+    for i, clock in enumerate(clocks):
+        cells = []
+        for flavor in data:
+            point = data[flavor][i]
+            marker = "" if point["met_timing"] else "*"
+            cells.append(f"{point['critical_path_ns']:>8.2f}{marker:1s} ")
+        lines.append(f"{clock:>7.0f}   " + "".join(cells))
+    lines.append("(* = timing not met at that clock)")
+    artifact_writer("fig4_critical_path", "\n".join(lines))
+
+    # At 500 MHz every met design's critical path fits in 2 ns.
+    for flavor, series in data.items():
+        point = series[4]
+        if point["met_timing"]:
+            assert point["critical_path_ns"] <= 2.0 + 1e-9
+            assert point["slack_ns"] >= -1e-9
+    # Delay shrinks (via upsizing) as the target clock rises, per flavour.
+    for series in data.values():
+        met = [p for p in series if p["met_timing"]]
+        delays = [p["critical_path_ns"] for p in met]
+        assert delays == sorted(delays, reverse=True)

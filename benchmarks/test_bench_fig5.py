@@ -1,0 +1,26 @@
+"""Fig. 5: tC and tCDP vs system lifetime (US grid)."""
+
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig5(benchmark, case_study, artifact_writer):
+    data = benchmark(figures.fig5_tc_and_tcdp, case_study)
+    artifact_writer("fig5_tc_tcdp_vs_lifetime", report.render_fig5(data))
+
+    # C_embodied dominance ends near 14 (all-Si) / 19 (M3D) months.
+    assert data["dominance_months"]["all_si"] == pytest.approx(14.0, abs=1.0)
+    assert data["dominance_months"]["m3d"] == pytest.approx(19.0, abs=1.0)
+
+    # The tCDP ratio is >1 early and crosses below 1 before 24 months
+    # (the paper highlights months 1, 18, 24; crossover sits near 18).
+    highlights = data["highlighted_ratios"]
+    assert highlights[1.0] > 1.05
+    assert 0.98 < highlights[18.0] < 1.02
+    assert highlights[24.0] == pytest.approx(1 / 1.02, abs=0.005)
+
+    # The ratio decreases monotonically toward the EDP limit.
+    ratios = data["ratio_m3d_over_si"]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+    assert data["edp_limit"] < ratios[-1]

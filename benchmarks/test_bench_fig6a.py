@@ -1,0 +1,28 @@
+"""Fig. 6a: relative-tCDP trade-off map and isoline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig6a(benchmark, case_study, artifact_writer):
+    data = benchmark(figures.fig6a_tradeoff_map, case_study)
+    artifact_writer("fig6a_tcdp_tradeoff_map", report.render_fig6a(data))
+
+    ratio_map = data["ratio_map"]
+    # The map is monotone: worse with embodied scale (x, columns),
+    # worse with operational scale (y, rows).
+    assert np.all(np.diff(ratio_map, axis=1) > 0)
+    assert np.all(np.diff(ratio_map, axis=0) > 0)
+    # Both regions exist, split by the isoline.
+    assert (ratio_map < 1.0).any() and (ratio_map > 1.0).any()
+    # At 24 months the nominal design point is in the red (M3D) region,
+    # matching the 1.02x headline.
+    assert data["nominal_ratio"] == pytest.approx(1 / 1.02, abs=0.01)
+    # The isoline is a decreasing straight line in (y, x).
+    iso = data["isoline_emb_scale"]
+    finite = iso[np.isfinite(iso)]
+    assert np.all(np.diff(finite) < 0)
+    slopes = np.diff(finite)
+    assert np.allclose(slopes, slopes[0], rtol=1e-6)

@@ -1,0 +1,38 @@
+"""Fig. 6b: tCDP isoline variation under uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures, report
+
+
+def test_bench_fig6b(benchmark, case_study, artifact_writer):
+    data = benchmark(figures.fig6b_isoline_uncertainty, case_study)
+    artifact_writer("fig6b_isoline_uncertainty", report.render_fig6b(data))
+
+    isolines = data["isolines"]
+    assert set(isolines) == {
+        "nominal",
+        "lifetime +6 mo",
+        "lifetime -6 mo",
+        "CI_use x3",
+        "CI_use /3",
+        "M3D yield 10%",
+        "M3D yield 90%",
+    }
+
+    ys = data["op_scales"]
+    mid = len(ys) // 4  # a y where all isolines are finite
+    nominal = isolines["nominal"][mid]
+    # Directional checks (paper Fig. 6b dashed-line ordering):
+    assert isolines["lifetime +6 mo"][mid] > nominal
+    assert isolines["lifetime -6 mo"][mid] < nominal
+    assert isolines["M3D yield 90%"][mid] > nominal
+    assert isolines["M3D yield 10%"][mid] < nominal
+
+    # Even under uncertainty there are regions where each design
+    # robustly wins (the paper's Sec. III-D conclusion).
+    regions = data["robust_regions"]
+    assert regions["candidate_always"].any()
+    assert regions["baseline_always"].any()
+    assert regions["uncertain"].any()

@@ -1,0 +1,22 @@
+"""Extension benchmark: tornado sensitivity of the tCDP verdict."""
+
+import pytest
+
+from repro.analysis import build_case_study
+from repro.analysis.sensitivity import (
+    case_study_parameters,
+    render_tornado,
+    tornado_analysis,
+)
+
+
+def test_bench_tornado(benchmark, case_study, artifact_writer):
+    nominal = case_study_parameters(case_study)
+    entries = benchmark(tornado_analysis, nominal)
+    artifact_writer("extension_tornado_sensitivity", render_tornado(entries))
+
+    assert len(entries) == 8
+    # The 1.02x verdict is thin: at least one +/- 25% perturbation flips it.
+    assert any(e.flips_verdict for e in entries)
+    # Nominal ratio is the headline number.
+    assert entries[0].ratio_nominal == pytest.approx(1 / 1.02, abs=0.005)

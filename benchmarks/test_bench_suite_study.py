@@ -1,0 +1,19 @@
+"""Extension benchmark: per-workload PPAtC across the whole suite."""
+
+import pytest
+
+from repro.analysis.suite_study import render_suite_study, run_suite_study
+
+
+def test_bench_suite_study(benchmark, artifact_writer):
+    rows = benchmark.pedantic(run_suite_study, rounds=1, iterations=1)
+    artifact_writer("extension_suite_study", render_suite_study(rows))
+
+    assert len(rows) == 8
+    # The paper's conclusion generalizes: at a 24-month lifetime the M3D
+    # design wins on every workload class, with crossovers clustered in
+    # the second year.
+    for row in rows:
+        assert row.m3d_wins
+        assert row.crossover_months is not None
+        assert 5.0 < row.crossover_months < 24.0

@@ -1,0 +1,59 @@
+"""Table II: the full PPAtC summary of both embedded systems.
+
+Two benchmarks: the full design-flow pipeline (fast — the cycle count
+comes from the deterministic predictor), and a single end-to-end ISS run
+of the paper-length matmul-int workload (~1 minute) that validates the
+20,047,348-cycle count and the access profile driving the energy model.
+"""
+
+import pytest
+
+from repro.analysis import build_case_study, report
+from repro.analysis.ppatc import PAPER_TABLE2, ppatc_summary
+from repro.workloads import matmul_int
+from repro.workloads.suite import run_workload
+
+
+def test_bench_table2_pipeline(benchmark, artifact_writer):
+    case = benchmark(build_case_study)
+    artifact_writer("table2_ppatc_summary", report.render_table2(case))
+
+    measured = ppatc_summary(case)
+    for tech in ("all-si", "m3d"):
+        for metric, paper in PAPER_TABLE2[tech].items():
+            assert measured[tech][metric] == pytest.approx(paper, rel=0.02), (
+                f"{tech}/{metric}"
+            )
+    assert case.carbon_efficiency_advantage() == pytest.approx(1.02, abs=0.005)
+
+
+def test_bench_table2_cycle_count(benchmark, artifact_writer):
+    """Run the paper-length matmul-int once on the ISS (slow)."""
+
+    def full_run():
+        return run_workload(matmul_int.workload(), max_cycles=30_000_000)
+
+    result = benchmark.pedantic(full_run, rounds=1, iterations=1)
+    artifact_writer(
+        "table2_matmul_iss_run",
+        "\n".join(
+            [
+                "MATMUL-INT FULL ISS RUN",
+                f"cycles:            {result.cycles:,} (paper: 20,047,348)",
+                f"instructions:      {result.instructions:,}",
+                f"CPI:               {result.cpi:.3f}",
+                f"program reads:     {result.program_reads:,}",
+                f"data reads:        {result.data_reads:,}",
+                f"data writes:       {result.data_writes:,}",
+                f"checksum:          {result.checksum:#010x} (self-check OK)",
+                f"activity factor:   {result.activity_factor:.4f}",
+            ]
+        ),
+    )
+    assert result.cycles == matmul_int.PAPER_CYCLE_COUNT
+    assert result.correct
+    profile = result.access_profile()
+    # The profile driving the Table II energy calibration.
+    assert profile.program_reads_per_cycle == pytest.approx(0.69363, abs=1e-4)
+    assert profile.data_reads_per_cycle == pytest.approx(0.15011, abs=1e-4)
+    assert profile.data_writes_per_cycle == pytest.approx(0.00384, abs=1e-4)

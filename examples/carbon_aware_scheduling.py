@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Carbon-aware scheduling: *when* the 2 h/day runs matters.
+
+Scenario: the paper fixes the usage window at 8-10 pm and notes that
+CI_use(t) varies through the day (Eq. 6's indicator function).  On grids
+with midday solar, shifting the same 2 hours of daily work can cut
+operational carbon several-fold — which also moves the M3D-vs-all-Si
+break-even lifetime.
+
+Run:  python examples/carbon_aware_scheduling.py
+"""
+
+from repro.analysis import build_case_study
+from repro.core.carbon_intensity import DailyWindowProfile
+from repro.core.grid_profiles import (
+    best_usage_window,
+    get_daily_profile,
+    scheduling_benefit,
+    window_sweep,
+)
+from repro.core.operational import (
+    OperationalCarbonModel,
+    UsageScenario,
+)
+
+
+def main() -> None:
+    print("Mean carbon intensity of a 2-hour window vs start time")
+    print("=" * 64)
+    profiles = {name: get_daily_profile(name) for name in ("us", "solar-heavy", "coal")}
+    header = f"{'start':>6s}" + "".join(f"{n:>14s}" for n in profiles)
+    print(header)
+    sweeps = {n: dict(window_sweep(p)) for n, p in profiles.items()}
+    for start in range(0, 24, 2):
+        row = f"{start:>4d}h "
+        for name in profiles:
+            row += f"{sweeps[name][float(start)]:>13.0f} "
+        print(row)
+
+    print()
+    print("Best 2-hour window per grid (vs the paper's 8-10 pm):")
+    print("-" * 64)
+    for name, profile in profiles.items():
+        (start, end), ci = best_usage_window(profile)
+        factor = scheduling_benefit(profile)
+        print(
+            f"{name:12s} best {start:4.1f}-{end:4.1f} h at {ci:5.0f} g/kWh "
+            f"-> {1 - 1/factor:5.1%} operational-carbon saving"
+        )
+
+    print()
+    print("Effect on the M3D break-even lifetime (solar-heavy grid)")
+    print("-" * 64)
+    case = build_case_study()
+    profile = profiles["solar-heavy"]
+    for label, window in (
+        ("evening (paper's 8-10 pm)", (20.0, 22.0)),
+        ("midday (carbon-aware)", best_usage_window(profile)[0]),
+    ):
+        results = {}
+        for key, system in (("all-Si", case.all_si), ("M3D", case.m3d)):
+            model = OperationalCarbonModel(
+                system.total_carbon.operational.power, profile
+            )
+            per_month = model.carbon_per_month_g(
+                UsageScenario(1.0, daily_windows=(window,))
+            )
+            results[key] = (system.embodied_per_good_die_g, per_month)
+        (emb_si, op_si), (emb_m3d, op_m3d) = results["all-Si"], results["M3D"]
+        crossover = (emb_m3d - emb_si) / (op_si - op_m3d)
+        print(
+            f"{label:28s} op carbon {op_si*12:5.2f} (Si) / {op_m3d*12:5.2f} "
+            f"(M3D) g/yr -> crossover {crossover:6.1f} months"
+        )
+    print(
+        "\nCleaner use-phase electricity stretches the embodied-carbon "
+        "payback: on solar-rich grids run at midday, the M3D design "
+        "needs a much longer lifetime to win — embodied carbon becomes "
+        "the whole story."
+    )
+
+
+if __name__ == "__main__":
+    main()

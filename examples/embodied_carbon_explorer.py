@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Explore embodied carbon of custom fabrication processes.
+
+Scenario: a process engineer wants to know how the wafer-level carbon
+footprint of an M3D flow scales with the number of BEOL device tiers,
+and how much a cleaner fab grid helps — extending Fig. 2c beyond the
+paper's two flows.
+
+Run:  python examples/embodied_carbon_explorer.py
+"""
+
+from repro.core.carbon_intensity import GRIDS
+from repro.core.embodied import EmbodiedCarbonModel
+from repro.core.materials import MaterialsModel
+from repro.fab import build_all_si_process, build_m3d_process
+
+
+def main() -> None:
+    print("Embodied carbon per 300 mm wafer (kgCO2e)")
+    print("=" * 66)
+
+    flows = {"all-Si (baseline)": build_all_si_process()}
+    for tiers in (1, 2, 3):
+        flows[f"M3D, {tiers} CNFET tier(s) + IGZO"] = build_m3d_process(
+            n_cnfet_tiers=tiers
+        )
+
+    header = f"{'process':28s}" + "".join(f"{g:>9s}" for g in GRIDS)
+    print(header)
+    baseline_by_grid = {}
+    for name, flow in flows.items():
+        materials = (
+            MaterialsModel.for_all_si()
+            if name.startswith("all-Si")
+            else MaterialsModel.for_m3d()
+        )
+        model = EmbodiedCarbonModel(flow, materials=materials)
+        cells = []
+        for grid in GRIDS:
+            kg = model.evaluate(grid).per_wafer_kg
+            if name.startswith("all-Si"):
+                baseline_by_grid[grid] = kg
+            cells.append(f"{kg:>9.0f}")
+        print(f"{name:28s}" + "".join(cells))
+
+    print()
+    print("Ratio vs all-Si baseline")
+    print("-" * 66)
+    for name, flow in flows.items():
+        if name.startswith("all-Si"):
+            continue
+        model = EmbodiedCarbonModel(flow, materials=MaterialsModel.for_m3d())
+        cells = []
+        for grid in GRIDS:
+            ratio = model.evaluate(grid).per_wafer_kg / baseline_by_grid[grid]
+            cells.append(f"{ratio:>9.2f}")
+        print(f"{name:28s}" + "".join(cells))
+
+    print()
+    print("Where does the M3D wafer's carbon come from? (US grid)")
+    print("-" * 66)
+    model = EmbodiedCarbonModel(
+        build_m3d_process(), materials=MaterialsModel.for_m3d()
+    )
+    result = model.evaluate("us")
+    for component, grams in result.breakdown_per_wafer_g().items():
+        share = grams / result.per_wafer_g
+        print(f"  {component:32s} {grams/1000:8.1f} kg  ({share:5.1%})")
+
+    print()
+    print("Per-segment fabrication energy of the M3D flow (kWh/wafer):")
+    flow = build_m3d_process()
+    for segment, kwh in flow.segment_energies().items():
+        print(f"  {segment:44s} {kwh:8.2f}")
+    print(f"  {'TOTAL':44s} {flow.total_energy_kwh():8.2f}")
+
+
+if __name__ == "__main__":
+    main()

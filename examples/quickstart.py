@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's case study in one call.
+
+Builds both embedded systems (ARM Cortex-M0 + 2x64 kB eDRAM) — the
+all-Si baseline and the M3D IGZO/CNFET/Si design — runs the full PPAtC
+flow, and prints Table II plus the headline carbon-efficiency numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import build_case_study
+from repro.analysis.report import render_table2
+
+
+def main() -> None:
+    print("Building both systems (fab flows, eDRAM, M0, carbon models)...")
+    case = build_case_study()
+
+    print()
+    print(render_table2(case))
+
+    print()
+    print("Headline results")
+    print("-" * 60)
+    advantage = case.carbon_efficiency_advantage()
+    print(
+        f"At a 24-month lifetime (2 h/day, US grid), the M3D design is "
+        f"{advantage:.2f}x more carbon-efficient (tCDP) than all-Si."
+    )
+    crossover = case.tc_crossover_months()
+    print(
+        f"The total-carbon lines cross at {crossover:.1f} months: before "
+        f"that, the all-Si design's lower embodied carbon wins; after, "
+        f"the M3D design's energy efficiency pays it back."
+    )
+    si_dom = case.all_si.total_carbon.operational_dominance_months()
+    m3d_dom = case.m3d.total_carbon.operational_dominance_months()
+    print(
+        f"Operational carbon starts dominating embodied carbon at "
+        f"{si_dom:.0f} months (all-Si) and {m3d_dom:.0f} months (M3D)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Robust technology decisions under carbon-accounting uncertainty.
+
+Scenario (Sec. III-D): a design team must choose between the M3D and
+all-Si implementations, but is unsure about the deployment lifetime, the
+grid its users will plug into, and the maturity (yield) the M3D process
+will reach.  This example reproduces the Fig. 6 analysis and adds a
+Monte Carlo win-probability map.
+
+Run:  python examples/tcdp_decision_guide.py
+"""
+
+import numpy as np
+
+from repro.analysis import build_case_study, figures
+from repro.analysis.report import render_fig6a, render_fig6b
+from repro.core.uncertainty import monte_carlo_win_probability
+
+
+def main() -> None:
+    case = build_case_study()
+
+    print("Step 1 - where does the nominal design sit? (Fig. 6a)")
+    print("=" * 64)
+    data6a = figures.fig6a_tradeoff_map(case)
+    print(render_fig6a(data6a))
+
+    print()
+    print("Step 2 - how far can the isoline move? (Fig. 6b)")
+    print("=" * 64)
+    data6b = figures.fig6b_isoline_uncertainty(case)
+    print(render_fig6b(data6b))
+
+    print()
+    print("Step 3 - Monte Carlo: P(M3D wins) over the trade-off plane")
+    print("=" * 64)
+    xs = np.linspace(0.25, 2.0, 8)
+    ys = np.linspace(0.25, 2.0, 8)
+    probability = monte_carlo_win_probability(
+        data6b["parameters"], xs, ys, n_samples=400,
+        rng=np.random.default_rng(7),
+    )
+    print("rows: E_op scale (top = 2.0); cols: C_emb scale 0.25 -> 2.0")
+    for i in range(len(ys) - 1, -1, -1):
+        row = " ".join(f"{probability[i, j]:4.2f}" for j in range(len(xs)))
+        print(f"  y={ys[i]:4.2f} | {row}")
+
+    nominal_p = monte_carlo_win_probability(
+        data6b["parameters"],
+        np.array([1.0]),
+        np.array([1.0]),
+        n_samples=2000,
+        rng=np.random.default_rng(7),
+    )[0, 0]
+    print()
+    print(
+        f"At the nominal design point, M3D wins in {nominal_p:.0%} of "
+        f"sampled scenarios (lifetime ~N(24, 3) months, CI_use "
+        f"~lognormal, yield ~U[10%, 90%])."
+    )
+    print(
+        "Decision guidance: if your deployment guarantees >18-month "
+        "lifetimes, the M3D design is the robust choice; for short-lived "
+        "products the all-Si baseline's lower embodied carbon wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

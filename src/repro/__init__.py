@@ -1,0 +1,34 @@
+"""repro: power, performance, area, and total carbon footprint (PPAtC)
+modeling for future 3D-integrated computing systems.
+
+A from-scratch reproduction of "Quantifying Trade-Offs in Power,
+Performance, Area, and Total Carbon Footprint of Future Three-Dimensional
+Integrated Computing Systems" (DATE 2025).
+
+Quick start::
+
+    from repro.analysis import build_case_study
+    from repro.analysis.report import render_table2
+
+    case = build_case_study()
+    print(render_table2(case))
+    print(f"M3D is {case.carbon_efficiency_advantage():.2f}x more "
+          f"carbon-efficient at 24 months")
+
+Package map:
+
+- :mod:`repro.core` — carbon models (C_embodied, C_operational, tC, tCDP,
+  isolines, uncertainty);
+- :mod:`repro.fab` — fabrication-process flows and energy accounting;
+- :mod:`repro.devices` — virtual-source compact models (Si, CNFET, IGZO);
+- :mod:`repro.spice` — MNA circuit simulator (DC + transient);
+- :mod:`repro.edram` — the 3T eDRAM design in both technologies;
+- :mod:`repro.cpu` — Cortex-M0 ISS, Thumb assembler, activity tracing;
+- :mod:`repro.workloads` — Embench-style benchmark suite;
+- :mod:`repro.physical` — standard cells, timing, floorplan, die/yield;
+- :mod:`repro.analysis` — the case study, Table II, and every figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Experiment-level API: the Sec. III case study, Table II, and figures.
+
+- :mod:`case_study` — builds the two embedded systems (M0 + Si eDRAM,
+  M0 + M3D IGZO/CNFET/Si eDRAM) end-to-end through the whole design flow;
+- :mod:`ppatc` — the Table II PPAtC summary;
+- :mod:`figures` — data series for Fig. 2c, 2d, 4, 5, 6a, 6b;
+- :mod:`report` — plain-text rendering of tables and figures.
+"""
+
+from repro.analysis.case_study import (
+    CaseStudy,
+    SystemDesign,
+    build_all_si_system,
+    build_case_study,
+    build_m3d_system,
+)
+from repro.analysis.ppatc import ppatc_summary, PAPER_TABLE2
+from repro.analysis import figures
+from repro.analysis import report
+
+__all__ = [
+    "CaseStudy",
+    "SystemDesign",
+    "build_all_si_system",
+    "build_m3d_system",
+    "build_case_study",
+    "ppatc_summary",
+    "PAPER_TABLE2",
+    "figures",
+    "report",
+]

@@ -1,0 +1,275 @@
+"""The Sec. III case study, end to end.
+
+``build_case_study()`` executes the paper's five-step design flow for
+both implementations:
+
+1. memory sizing (two 64 kB macros, fixed by the compiled workloads);
+2. eDRAM schematic/physical design (bit cells, sub-arrays, optional
+   SPICE timing validation at T_CLK);
+3. M0 + eDRAM integration: V_T/f_CLK design selection and floorplan;
+4. application-dependent energy from the ISS run of the workload;
+5. total carbon: die count, yield, C_embodied per good die, and
+   C_operational over the usage scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.carbon_intensity import ConstantCarbonIntensity
+from repro.core.embodied import EmbodiedCarbonModel, EmbodiedCarbonResult
+from repro.core.materials import MaterialsModel
+from repro.core.operational import (
+    OperationalCarbonModel,
+    OperationalPower,
+    UsageScenario,
+)
+from repro.core.total_carbon import TotalCarbonModel
+from repro.core.tcdp import execution_time_s
+from repro.edram.array import MemoryMacro
+from repro.edram.bitcell import BitcellDesign, m3d_bitcell, si_bitcell
+from repro.edram.energy import (
+    AccessProfile,
+    EdramEnergyModel,
+    system_memory_energy_per_cycle_j,
+)
+from repro.edram.subarray import SubArrayDesign
+from repro.edram.timing import BitcellTiming, characterize
+from repro.errors import PhysicalDesignError
+from repro.fab import build_all_si_process, build_m3d_process
+from repro.fab.flow import ProcessFlow
+from repro.physical.die import DieGeometry, dies_per_wafer
+from repro.physical.floorplan import Floorplan
+from repro.physical.power import CorePowerModel, CorePowerResult
+from repro.workloads import matmul_int
+
+#: The paper's demonstration yields (Sec. III-B step 5).
+SI_YIELD = 0.90
+M3D_YIELD = 0.50
+
+#: Usage scenario: 2 hours/day (8-10 pm), 24 months.
+DEFAULT_SCENARIO = UsageScenario(lifetime_months=24.0)
+
+#: Grid for both fabrication and use, as in Table II / Fig. 5.
+DEFAULT_GRID = "us"
+
+
+@dataclass
+class SystemDesign:
+    """One fully evaluated embedded system."""
+
+    name: str
+    technology: str  # "all-si" | "m3d"
+    clock_hz: float
+    n_cycles: int
+    core: CorePowerResult
+    core_area_um2: float
+    memory_macro: MemoryMacro
+    memory_model: EdramEnergyModel
+    memory_energy_per_cycle_j: float
+    floorplan: Floorplan
+    die: DieGeometry
+    dies_per_wafer: int
+    yield_fraction: float
+    embodied: EmbodiedCarbonResult
+    total_carbon: TotalCarbonModel
+    timing: Optional[BitcellTiming] = None
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def embodied_per_good_die_g(self) -> float:
+        return self.embodied.per_good_die_g(
+            self.dies_per_wafer, self.yield_fraction
+        )
+
+    @property
+    def operational_power_w(self) -> float:
+        return self.total_carbon.operational.power.total_w
+
+    @property
+    def execution_time_s(self) -> float:
+        return execution_time_s(self.n_cycles, self.clock_hz)
+
+    def tcdp(self, lifetime_months: Optional[float] = None) -> float:
+        """tCDP in gCO2e * s at a lifetime (default: scenario lifetime)."""
+        return self.total_carbon.total_g(lifetime_months) * self.execution_time_s
+
+
+def _build_system(
+    name: str,
+    technology: str,
+    cell: BitcellDesign,
+    flow: ProcessFlow,
+    materials: MaterialsModel,
+    yield_fraction: float,
+    clock_hz: float,
+    profile: AccessProfile,
+    n_cycles: int,
+    scenario: UsageScenario,
+    grid: str,
+    verify_timing: bool,
+) -> SystemDesign:
+    # Step 2: memory physical design (+ optional SPICE timing check).
+    macro = MemoryMacro.for_cell(cell)
+    timing = None
+    if verify_timing:
+        timing = characterize(SubArrayDesign(cell))
+        if not timing.meets_clock(clock_hz):
+            raise PhysicalDesignError(
+                f"{name}: eDRAM misses timing at {clock_hz/1e6:.0f} MHz "
+                f"(write {timing.write_delay_s*1e9:.2f} ns, "
+                f"read {timing.read_delay_s*1e9:.2f} ns)"
+            )
+
+    # Step 3: core design selection and floorplan.
+    core_model = CorePowerModel()
+    core = core_model.select_design(clock_hz)
+    from repro.physical.stdcells import make_library
+
+    core_area = core_model.core_area_um2(make_library(core.flavor), 1.0)
+    floorplan = Floorplan.row_of(
+        [
+            ("program_mem", macro.area_um2),
+            ("m0", core_area),
+            ("data_mem", macro.area_um2),
+        ],
+        row_height_um=macro.height_um,
+    )
+
+    # Step 4: application-dependent energy.
+    memory_model = EdramEnergyModel(macro)
+    memory_energy = system_memory_energy_per_cycle_j(
+        memory_model, memory_model, profile, clock_hz
+    )
+
+    # Step 5: total carbon.
+    die = DieGeometry(
+        die_height_mm=floorplan.height_mm, die_width_mm=floorplan.width_mm
+    )
+    n_dies = dies_per_wafer(die)
+    embodied = EmbodiedCarbonModel(flow, materials=materials).evaluate(grid)
+    power = OperationalPower.from_energy_per_cycle(
+        core_energy_per_cycle_j=core.energy_per_cycle_j,
+        memory_energy_per_cycle_j=memory_energy,
+        clock_hz=clock_hz,
+    )
+    operational = OperationalCarbonModel(
+        power, ConstantCarbonIntensity.from_grid(grid)
+    )
+    total = TotalCarbonModel(
+        embodied_g=embodied.per_good_die_g(n_dies, yield_fraction),
+        operational=operational,
+        scenario=scenario,
+        name=name,
+    )
+    return SystemDesign(
+        name=name,
+        technology=technology,
+        clock_hz=clock_hz,
+        n_cycles=n_cycles,
+        core=core,
+        core_area_um2=core_area,
+        memory_macro=macro,
+        memory_model=memory_model,
+        memory_energy_per_cycle_j=memory_energy,
+        floorplan=floorplan,
+        die=die,
+        dies_per_wafer=n_dies,
+        yield_fraction=yield_fraction,
+        embodied=embodied,
+        total_carbon=total,
+        timing=timing,
+    )
+
+
+def build_all_si_system(
+    clock_hz: float = 500e6,
+    profile: Optional[AccessProfile] = None,
+    n_cycles: int = matmul_int.PAPER_CYCLE_COUNT,
+    scenario: UsageScenario = DEFAULT_SCENARIO,
+    grid: str = DEFAULT_GRID,
+    verify_timing: bool = False,
+) -> SystemDesign:
+    """M0 + all-Si eDRAM (the baseline of Fig. 1c)."""
+    return _build_system(
+        name="M0 + Si eDRAM",
+        technology="all-si",
+        cell=si_bitcell(),
+        flow=build_all_si_process(),
+        materials=MaterialsModel.for_all_si(),
+        yield_fraction=SI_YIELD,
+        clock_hz=clock_hz,
+        profile=profile if profile is not None else AccessProfile(),
+        n_cycles=n_cycles,
+        scenario=scenario,
+        grid=grid,
+        verify_timing=verify_timing,
+    )
+
+
+def build_m3d_system(
+    clock_hz: float = 500e6,
+    profile: Optional[AccessProfile] = None,
+    n_cycles: int = matmul_int.PAPER_CYCLE_COUNT,
+    scenario: UsageScenario = DEFAULT_SCENARIO,
+    grid: str = DEFAULT_GRID,
+    verify_timing: bool = False,
+) -> SystemDesign:
+    """M0 + M3D IGZO/CNFET/Si eDRAM (Fig. 1b)."""
+    return _build_system(
+        name="M0 + IGZO/CNT/Si M3D-eDRAM",
+        technology="m3d",
+        cell=m3d_bitcell(),
+        flow=build_m3d_process(),
+        materials=MaterialsModel.for_m3d(),
+        yield_fraction=M3D_YIELD,
+        clock_hz=clock_hz,
+        profile=profile if profile is not None else AccessProfile(),
+        n_cycles=n_cycles,
+        scenario=scenario,
+        grid=grid,
+        verify_timing=verify_timing,
+    )
+
+
+@dataclass
+class CaseStudy:
+    """Both systems, ready for comparison."""
+
+    all_si: SystemDesign
+    m3d: SystemDesign
+
+    def tcdp_ratio(self, lifetime_months: Optional[float] = None) -> float:
+        """tCDP(M3D) / tCDP(all-Si); < 1 means M3D is more carbon-
+        efficient.  The paper reports 1/1.02 at 24 months."""
+        return self.m3d.tcdp(lifetime_months) / self.all_si.tcdp(lifetime_months)
+
+    def carbon_efficiency_advantage(
+        self, lifetime_months: Optional[float] = None
+    ) -> float:
+        """The paper's headline form: how many times more carbon-
+        efficient the M3D design is (1.02x at 24 months)."""
+        return 1.0 / self.tcdp_ratio(lifetime_months)
+
+    def tc_crossover_months(self) -> Optional[float]:
+        return self.all_si.total_carbon.crossover_months(
+            self.m3d.total_carbon
+        )
+
+
+def build_case_study(
+    clock_hz: float = 500e6,
+    scenario: UsageScenario = DEFAULT_SCENARIO,
+    grid: str = DEFAULT_GRID,
+    verify_timing: bool = False,
+) -> CaseStudy:
+    """Build both systems with the matmul-int workload profile."""
+    return CaseStudy(
+        all_si=build_all_si_system(
+            clock_hz, scenario=scenario, grid=grid, verify_timing=verify_timing
+        ),
+        m3d=build_m3d_system(
+            clock_hz, scenario=scenario, grid=grid, verify_timing=verify_timing
+        ),
+    )

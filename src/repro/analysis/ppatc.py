@@ -1,0 +1,78 @@
+"""Table II: the PPAtC summary of both systems."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.case_study import CaseStudy, SystemDesign
+
+#: The paper's Table II values, for comparison in reports and tests.
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "all-si": {
+        "clock_mhz": 500.0,
+        "m0_energy_per_cycle_pj": 1.42,
+        "memory_energy_per_cycle_pj": 18.0,
+        "cycles": 20_047_348,
+        "memory_area_mm2": 0.068,
+        "total_area_mm2": 0.139,
+        "die_height_um": 270.0,
+        "die_width_um": 515.0,
+        "embodied_per_wafer_kg": 837.0,
+        "dies_per_wafer": 299_127,
+        "embodied_per_good_die_g": 3.11,
+    },
+    "m3d": {
+        "clock_mhz": 500.0,
+        "m0_energy_per_cycle_pj": 1.42,
+        "memory_energy_per_cycle_pj": 15.5,
+        "cycles": 20_047_348,
+        "memory_area_mm2": 0.025,
+        "total_area_mm2": 0.053,
+        "die_height_um": 159.0,
+        "die_width_um": 334.0,
+        "embodied_per_wafer_kg": 1100.0,
+        "dies_per_wafer": 606_238,
+        "embodied_per_good_die_g": 3.63,
+    },
+}
+
+
+def system_row(system: SystemDesign) -> Dict[str, float]:
+    """One system's Table II column, in the paper's units."""
+    return {
+        "clock_mhz": system.clock_hz / 1e6,
+        "m0_energy_per_cycle_pj": system.core.energy_per_cycle_j * 1e12,
+        "memory_energy_per_cycle_pj": system.memory_energy_per_cycle_j * 1e12,
+        "cycles": float(system.n_cycles),
+        "memory_area_mm2": system.memory_macro.area_mm2,
+        "total_area_mm2": system.floorplan.area_mm2,
+        "die_height_um": system.floorplan.height_um,
+        "die_width_um": system.floorplan.width_um,
+        "embodied_per_wafer_kg": system.embodied.per_wafer_kg,
+        "dies_per_wafer": float(system.dies_per_wafer),
+        "embodied_per_good_die_g": system.embodied_per_good_die_g,
+    }
+
+
+def ppatc_summary(case: CaseStudy) -> Dict[str, Dict[str, float]]:
+    """Measured Table II: {"all-si": {...}, "m3d": {...}}."""
+    return {
+        "all-si": system_row(case.all_si),
+        "m3d": system_row(case.m3d),
+    }
+
+
+def comparison_with_paper(case: CaseStudy) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Measured vs paper values, per system per metric."""
+    measured = ppatc_summary(case)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for tech, rows in measured.items():
+        out[tech] = {}
+        for metric, value in rows.items():
+            paper = PAPER_TABLE2[tech][metric]
+            out[tech][metric] = {
+                "measured": value,
+                "paper": paper,
+                "ratio": value / paper if paper else float("nan"),
+            }
+    return out

@@ -1,0 +1,206 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+regenerates the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.case_study import CaseStudy
+from repro.analysis.ppatc import PAPER_TABLE2, ppatc_summary
+
+_ROW_LABELS = [
+    ("clock_mhz", "clock frequency (MHz)"),
+    ("m0_energy_per_cycle_pj", "M0 dynamic energy per cycle (pJ)"),
+    ("memory_energy_per_cycle_pj", "avg memory energy per cycle (pJ)"),
+    ("cycles", 'clock cycles to run "matmul-int"'),
+    ("memory_area_mm2", "64 kB memory area footprint (mm^2)"),
+    ("total_area_mm2", "total area footprint (mm^2)"),
+    ("die_height_um", "die height (um)"),
+    ("die_width_um", "die width (um)"),
+    ("embodied_per_wafer_kg", "embodied carbon per wafer (kgCO2e)"),
+    ("dies_per_wafer", "total die count per 300 mm wafer"),
+    ("embodied_per_good_die_g", "embodied carbon per good die (gCO2e)"),
+]
+
+
+def _fmt(value: float) -> str:
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    if value >= 100:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def render_table2(case: CaseStudy, include_paper: bool = True) -> str:
+    """Table II as text, measured (and paper values for comparison)."""
+    measured = ppatc_summary(case)
+    lines = ["TABLE II - PPAtC SUMMARY (measured vs paper)", "-" * 78]
+    header = f"{'metric':42s} {'all-Si':>16s} {'M3D':>16s}"
+    lines.append(header)
+    for key, label in _ROW_LABELS:
+        si, m3d = measured["all-si"][key], measured["m3d"][key]
+        lines.append(f"{label:42s} {_fmt(si):>16s} {_fmt(m3d):>16s}")
+        if include_paper:
+            psi = PAPER_TABLE2["all-si"][key]
+            pm3d = PAPER_TABLE2["m3d"][key]
+            lines.append(
+                f"{'  (paper)':42s} {_fmt(psi):>16s} {_fmt(pm3d):>16s}"
+            )
+    lines.append("-" * 78)
+    lines.append(
+        f"tCDP(M3D)/tCDP(all-Si) at 24 months: {case.tcdp_ratio():.4f} "
+        f"(paper: ~0.98, i.e. M3D 1.02x more carbon-efficient)"
+    )
+    return "\n".join(lines)
+
+
+def render_table1(rows: Dict[str, Dict[str, float]]) -> str:
+    lines = ["TABLE I - FET FIGURES OF MERIT (quantified)", "-" * 68]
+    lines.append(
+        f"{'FET':8s} {'I_EFF (uA/um)':>14s} {'I_OFF (A/um)':>14s} "
+        f"{'SS (mV/dec)':>12s} {'BEOL?':>6s}"
+    )
+    for name, row in rows.items():
+        lines.append(
+            f"{name:8s} {row['ieff_ua_per_um']:>14.1f} "
+            f"{row['ioff_a_per_um']:>14.3e} {row['ss_mv_per_dec']:>12.1f} "
+            f"{'yes' if row['beol_compatible'] else 'no':>6s}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig2c(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["FIG. 2c - EMBODIED CARBON PER WAFER (kgCO2e)", "-" * 60]
+    lines.append(f"{'grid':10s} {'all-Si':>10s} {'M3D':>10s} {'ratio':>8s}")
+    for grid, row in data.items():
+        if grid == "average":
+            continue
+        lines.append(
+            f"{grid:10s} {row['all_si']:>10.1f} {row['m3d']:>10.1f} "
+            f"{row['ratio']:>8.3f}"
+        )
+    lines.append(
+        f"{'average':10s} {'':>10s} {'':>10s} "
+        f"{data['average']['ratio']:>8.3f}  (paper: 1.31)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig2d(data: Dict[str, Dict[str, float]]) -> str:
+    lines = [
+        "FIG. 2d - EUV METAL/VIA PAIR FABRICATION ENERGY BY PROCESS AREA",
+        "-" * 64,
+        f"{'process area':16s} {'steps':>6s} {'kWh total':>10s} {'kWh/step':>10s}",
+    ]
+    for area, row in data.items():
+        lines.append(
+            f"{area:16s} {row['steps']:>6.0f} {row['total_kwh']:>10.3f} "
+            f"{row['kwh_per_step']:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig4(data: Dict[str, list]) -> str:
+    lines = [
+        "FIG. 4 - M0 ENERGY PER CYCLE vs CLOCK FREQUENCY (matmul-int)",
+        "-" * 64,
+    ]
+    clocks = [point["clock_mhz"] for point in next(iter(data.values()))]
+    header = "f (MHz)   " + "".join(f"{fl.upper():>10s}" for fl in data)
+    lines.append(header)
+    for i, clock in enumerate(clocks):
+        cells = []
+        for flavor in data:
+            point = data[flavor][i]
+            if point["met_timing"]:
+                cells.append(f"{point['energy_per_cycle_pj']:>9.2f}p")
+            else:
+                cells.append(f"{'--':>10s}")
+        lines.append(f"{clock:>7.0f}   " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_fig5(data: Dict[str, object]) -> str:
+    lines = [
+        "FIG. 5 - tC AND tCDP vs LIFETIME (US grid)",
+        "-" * 72,
+        f"{'month':>5s} {'si emb':>8s} {'si op':>8s} {'si tC':>8s} "
+        f"{'m3d emb':>8s} {'m3d op':>8s} {'m3d tC':>8s} {'ratio':>7s}",
+    ]
+    months = data["months"]
+    si = data["all_si"]
+    m3d = data["m3d"]
+    ratio = data["ratio_m3d_over_si"]
+    for i, month in enumerate(months):
+        lines.append(
+            f"{month:>5.0f} {si['embodied_g'][i]:>8.2f} "
+            f"{si['operational_g'][i]:>8.2f} {si['total_g'][i]:>8.2f} "
+            f"{m3d['embodied_g'][i]:>8.2f} {m3d['operational_g'][i]:>8.2f} "
+            f"{m3d['total_g'][i]:>8.2f} {ratio[i]:>7.3f}"
+        )
+    lines.append(
+        f"tC crossover: {data['crossover_months']:.1f} months; "
+        f"operational dominance: all-Si "
+        f"{data['dominance_months']['all_si']:.1f} mo, M3D "
+        f"{data['dominance_months']['m3d']:.1f} mo; "
+        f"EDP limit of ratio: {data['edp_limit']:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def render_fig6a(data: Dict[str, object]) -> str:
+    import numpy as np
+
+    ratio_map = data["ratio_map"]
+    xs, ys = data["emb_scales"], data["op_scales"]
+    lines = [
+        "FIG. 6a - RELATIVE tCDP MAP (rows: E_op scale, cols: C_emb scale)",
+        "  '+' = M3D wins (ratio < 1), '.' = all-Si wins",
+        "-" * 64,
+    ]
+    step_y = max(1, len(ys) // 12)
+    step_x = max(1, len(xs) // 40)
+    for i in range(len(ys) - 1, -1, -step_y):
+        row = "".join(
+            "+" if ratio_map[i, j] < 1.0 else "."
+            for j in range(0, len(xs), step_x)
+        )
+        lines.append(f"y={ys[i]:4.2f} |{row}")
+    lines.append(
+        f"nominal (x=1, y=1) ratio: {data['nominal_ratio']:.4f} "
+        f"(< 1: M3D more carbon-efficient at this lifetime)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig6b(data: Dict[str, object]) -> str:
+    import numpy as np
+
+    lines = [
+        "FIG. 6b - tCDP ISOLINE UNDER UNCERTAINTY",
+        "  (embodied-scale budget x at selected operational scales y)",
+        "-" * 64,
+    ]
+    ys = data["op_scales"]
+    isolines = data["isolines"]
+    picks = [0, len(ys) // 3, 2 * len(ys) // 3, len(ys) - 1]
+    header = f"{'scenario':20s}" + "".join(
+        f"  y={ys[i]:4.2f}" for i in picks
+    )
+    lines.append(header)
+    for name, xs in isolines.items():
+        cells = []
+        for i in picks:
+            value = xs[i]
+            cells.append(f"{value:>8.3f}" if np.isfinite(value) else f"{'--':>8s}")
+        lines.append(f"{name:20s}" + "".join(cells))
+    regions = data["robust_regions"]
+    lines.append(
+        f"robust cells: M3D-always {int(regions['candidate_always'].sum())}, "
+        f"all-Si-always {int(regions['baseline_always'].sum())}, "
+        f"uncertain {int(regions['uncertain'].sum())}"
+    )
+    return "\n".join(lines)

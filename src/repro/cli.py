@@ -1,0 +1,239 @@
+"""Command-line interface: regenerate any table or figure from a shell.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig2c
+    python -m repro fig5 --grid taiwan --lifetime 36
+    python -m repro fig6b
+    python -m repro workloads
+    python -m repro optimize --lifetime 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--grid",
+        default="us",
+        choices=("us", "coal", "solar", "taiwan"),
+        help="carbon-intensity grid for fabrication and use",
+    )
+    parser.add_argument(
+        "--lifetime",
+        type=float,
+        default=24.0,
+        help="system lifetime in months",
+    )
+    parser.add_argument(
+        "--clock-mhz",
+        type=float,
+        default=500.0,
+        help="target clock frequency (MHz)",
+    )
+
+
+def _build_case(args):
+    from repro.analysis import build_case_study
+    from repro.core.operational import UsageScenario
+
+    return build_case_study(
+        clock_hz=args.clock_mhz * 1e6,
+        scenario=UsageScenario(args.lifetime),
+        grid=args.grid,
+    )
+
+
+def cmd_table1(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_table1
+
+    print(render_table1(figures.table1_fet_figures()))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.analysis.report import render_table2
+
+    print(render_table2(_build_case(args)))
+    return 0
+
+
+def cmd_fig2c(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig2c
+
+    print(render_fig2c(figures.fig2c_embodied_per_wafer()))
+    return 0
+
+
+def cmd_fig2d(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig2d
+
+    print(render_fig2d(figures.fig2d_euv_metal_steps()))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig4
+
+    print(render_fig4(figures.fig4_energy_vs_clock()))
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig5
+
+    case = _build_case(args)
+    months = [float(m) for m in range(1, int(args.lifetime) + 1)]
+    print(render_fig5(figures.fig5_tc_and_tcdp(case, months=months)))
+    return 0
+
+
+def cmd_fig6a(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig6a
+
+    case = _build_case(args)
+    print(render_fig6a(figures.fig6a_tradeoff_map(case, args.lifetime)))
+    return 0
+
+
+def cmd_fig6b(args) -> int:
+    from repro.analysis import figures
+    from repro.analysis.report import render_fig6b
+
+    case = _build_case(args)
+    print(
+        render_fig6b(figures.fig6b_isoline_uncertainty(case, args.lifetime))
+    )
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from repro.analysis.suite_study import default_study_configs
+    from repro.workloads.suite import run_workload
+
+    configs = default_study_configs()
+    print(f"{'workload':12s} {'cycles':>10s} {'CPI':>6s} {'checksum':>12s}")
+    for workload in configs:
+        result = run_workload(workload)
+        print(
+            f"{workload.name:12s} {result.cycles:>10,} {result.cpi:>6.2f} "
+            f"{result.checksum:>#12x}"
+        )
+    return 0
+
+
+def cmd_process(args) -> int:
+    from repro.core.embodied import EmbodiedCarbonModel
+    from repro.core.materials import MaterialsModel
+    from repro.fab import build_all_si_process, build_m3d_process
+    from repro.fab.serialization import dump_flow, load_flow
+
+    if args.dump:
+        flow = (
+            build_m3d_process()
+            if args.builtin == "m3d"
+            else build_all_si_process()
+        )
+        dump_flow(flow, args.dump)
+        print(f"wrote {args.builtin} flow to {args.dump}")
+        return 0
+    if not args.load:
+        print("specify --dump FILE or --load FILE")
+        return 1
+    flow = load_flow(args.load)
+    model = EmbodiedCarbonModel(flow, materials=MaterialsModel())
+    result = model.evaluate(args.grid)
+    print(f"process: {flow.name}")
+    print(f"EPA: {flow.total_energy_kwh():.2f} kWh/wafer")
+    print(
+        f"C_embodied ({args.grid} grid): {result.per_wafer_kg:.1f} kg/wafer"
+    )
+    for component, grams in result.breakdown_per_wafer_g().items():
+        print(f"  {component:32s} {grams/1000:8.1f} kg")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.core.optimization import optimize_tcdp
+
+    result = optimize_tcdp(lifetime_months=args.lifetime, grid=args.grid)
+    print(
+        f"tCDP-optimal design at {args.lifetime:.0f} months ({args.grid} grid):"
+    )
+    best = result.best
+    print(
+        f"  {best.technology} @ {best.clock_mhz:.0f} MHz "
+        f"({best.vt_flavor.upper()}): tCDP {best.tcdp:.4f} gCO2e*s, "
+        f"tC {best.total_carbon_g:.2f} g, "
+        f"t_exec {best.execution_time_s*1e3:.1f} ms"
+    )
+    print("\nBest per technology:")
+    for tech, point in result.best_per_technology().items():
+        print(
+            f"  {tech:7s} @ {point.clock_mhz:4.0f} MHz: "
+            f"tCDP {point.tcdp:.4f} gCO2e*s"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "table1": (cmd_table1, "Table I: FET figures of merit"),
+    "table2": (cmd_table2, "Table II: PPAtC summary"),
+    "fig2c": (cmd_fig2c, "Fig. 2c: embodied carbon per wafer"),
+    "fig2d": (cmd_fig2d, "Fig. 2d: EUV metal-layer step energies"),
+    "fig4": (cmd_fig4, "Fig. 4: M0 energy/cycle vs clock"),
+    "fig5": (cmd_fig5, "Fig. 5: tC and tCDP vs lifetime"),
+    "fig6a": (cmd_fig6a, "Fig. 6a: tCDP trade-off map"),
+    "fig6b": (cmd_fig6b, "Fig. 6b: isoline under uncertainty"),
+    "workloads": (cmd_workloads, "run the Embench-style suite"),
+    "optimize": (cmd_optimize, "tCDP-optimal operating point"),
+    "process": (cmd_process, "dump/evaluate process-flow JSON files"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the DATE 2025 PPAtC paper's tables and figures."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (func, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common(sub)
+        if name == "process":
+            sub.add_argument(
+                "--dump", metavar="FILE", help="write a built-in flow as JSON"
+            )
+            sub.add_argument(
+                "--load", metavar="FILE", help="evaluate a JSON flow"
+            )
+            sub.add_argument(
+                "--builtin",
+                default="m3d",
+                choices=("all-si", "m3d"),
+                help="which built-in flow --dump writes",
+            )
+        sub.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

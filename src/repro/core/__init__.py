@@ -1,0 +1,54 @@
+"""Core carbon models: the paper's primary contribution.
+
+This package implements total-carbon accounting for computing systems:
+
+- :mod:`carbon_intensity` — grid data and time-varying CI_use profiles;
+- :mod:`materials` — MPA (materials procurement per area, Sec. II-B);
+- :mod:`gas` — GPA (direct gas emissions per area, Equation 3);
+- :mod:`embodied` — C_embodied per wafer / die / good die (Eq. 2 and 5);
+- :mod:`operational` — C_operational and usage scenarios (Eq. 1, 6-8);
+- :mod:`total_carbon` — tC vs lifetime (Fig. 5a);
+- :mod:`tcdp` — the total-carbon-delay-product metric (Fig. 5b);
+- :mod:`isoline` — tCDP ratio maps and isolines (Fig. 6a);
+- :mod:`uncertainty` — robust comparison under parameter uncertainty
+  (Fig. 6b).
+"""
+
+from repro.core.carbon_intensity import (
+    CarbonIntensity,
+    ConstantCarbonIntensity,
+    DailyWindowProfile,
+    GRIDS,
+)
+from repro.core.embodied import EmbodiedCarbonModel, EmbodiedCarbonResult
+from repro.core.gas import GasEmissionsModel
+from repro.core.materials import MaterialsModel
+from repro.core.operational import OperationalCarbonModel, UsageScenario
+from repro.core.total_carbon import TotalCarbonModel, TotalCarbonBreakdown
+from repro.core.tcdp import tcdp, tcdp_ratio, edp
+from repro.core.isoline import TcdpTradeoffMap
+from repro.core.uncertainty import (
+    IsolineUncertaintyAnalysis,
+    ParameterPerturbation,
+)
+
+__all__ = [
+    "CarbonIntensity",
+    "ConstantCarbonIntensity",
+    "DailyWindowProfile",
+    "GRIDS",
+    "EmbodiedCarbonModel",
+    "EmbodiedCarbonResult",
+    "GasEmissionsModel",
+    "MaterialsModel",
+    "OperationalCarbonModel",
+    "UsageScenario",
+    "TotalCarbonModel",
+    "TotalCarbonBreakdown",
+    "tcdp",
+    "tcdp_ratio",
+    "edp",
+    "TcdpTradeoffMap",
+    "IsolineUncertaintyAnalysis",
+    "ParameterPerturbation",
+]

@@ -1,0 +1,163 @@
+"""C_embodied: embodied carbon per wafer, per die, and per good die.
+
+Implements Equation 2 of the paper,
+
+    C_embodied = (MPA + GPA + CI_fab * EPA_f) * Area,
+
+with the 2015-ITRS facility overhead EPA_f = 1.4 * EPA, and Equation 5,
+
+    C_embodied(good die) = C_embodied(wafer) / (N_diePerWafer * Yield).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+from repro.core.carbon_intensity import ConstantCarbonIntensity
+from repro.core.gas import GasEmissionsModel
+from repro.core.materials import MaterialsModel
+from repro.errors import CarbonModelError
+from repro.fab import energy_data
+from repro.fab.flow import ProcessFlow
+
+
+@dataclass(frozen=True)
+class EmbodiedCarbonResult:
+    """Embodied-carbon breakdown for one process on one grid.
+
+    All carbon values in gCO2e; per-area values in gCO2e/cm^2.
+    """
+
+    process_name: str
+    grid_name: str
+    ci_fab_g_per_kwh: float
+    epa_kwh_per_wafer: float
+    epa_facility_kwh_per_wafer: float
+    mpa_g_per_cm2: float
+    gpa_g_per_cm2: float
+    energy_carbon_g_per_cm2: float
+    wafer_area_cm2: float
+
+    @property
+    def total_g_per_cm2(self) -> float:
+        """(MPA + GPA + CI_fab * EPA_f) per cm^2."""
+        return self.mpa_g_per_cm2 + self.gpa_g_per_cm2 + self.energy_carbon_g_per_cm2
+
+    @property
+    def per_wafer_g(self) -> float:
+        """C_embodied per wafer in gCO2e."""
+        return self.total_g_per_cm2 * self.wafer_area_cm2
+
+    @property
+    def per_wafer_kg(self) -> float:
+        return self.per_wafer_g / 1000.0
+
+    def for_area(self, area_cm2: float) -> float:
+        """Equation 2 for an arbitrary silicon area (gCO2e)."""
+        if area_cm2 < 0:
+            raise CarbonModelError(f"area must be >= 0, got {area_cm2}")
+        return self.total_g_per_cm2 * area_cm2
+
+    def per_die_g(self, dies_per_wafer: float) -> float:
+        """C_embodied per (not-necessarily-good) die."""
+        if dies_per_wafer <= 0:
+            raise CarbonModelError(
+                f"dies per wafer must be > 0, got {dies_per_wafer}"
+            )
+        return self.per_wafer_g / dies_per_wafer
+
+    def per_good_die_g(self, dies_per_wafer: float, yield_fraction: float) -> float:
+        """Equation 5: C_embodied per good die, amortizing yield loss."""
+        if not (0.0 < yield_fraction <= 1.0):
+            raise CarbonModelError(
+                f"yield must be in (0, 1], got {yield_fraction}"
+            )
+        return self.per_die_g(dies_per_wafer) / yield_fraction
+
+    def breakdown_per_wafer_g(self) -> Dict[str, float]:
+        """MPA / GPA / fab-energy contributions per wafer (gCO2e)."""
+        return {
+            "materials (MPA)": self.mpa_g_per_cm2 * self.wafer_area_cm2,
+            "gases (GPA)": self.gpa_g_per_cm2 * self.wafer_area_cm2,
+            "fab energy (CI_fab * EPA_f)": (
+                self.energy_carbon_g_per_cm2 * self.wafer_area_cm2
+            ),
+        }
+
+
+class EmbodiedCarbonModel:
+    """Combines a process flow with MPA/GPA models to evaluate Eq. 2.
+
+    Args:
+        flow: The fabrication :class:`ProcessFlow` (provides EPA and wafer
+            geometry).
+        materials: MPA model; defaults to the bare-wafer model.
+        gas: GPA model; defaults to the Eq. 3 iN7-anchored model.
+        facility_overhead: EPA_f multiplier (ITRS 2015: 1.4).
+    """
+
+    def __init__(
+        self,
+        flow: ProcessFlow,
+        materials: Optional[MaterialsModel] = None,
+        gas: Optional[GasEmissionsModel] = None,
+        facility_overhead: float = energy_data.FACILITY_ENERGY_OVERHEAD,
+    ) -> None:
+        if facility_overhead < 1.0:
+            raise CarbonModelError(
+                f"facility overhead must be >= 1, got {facility_overhead}"
+            )
+        self.flow = flow
+        self.materials = materials if materials is not None else MaterialsModel()
+        self.gas = gas if gas is not None else GasEmissionsModel()
+        self.facility_overhead = facility_overhead
+
+    @property
+    def epa_kwh(self) -> float:
+        """EPA of the flow, kWh per wafer (before facility overhead)."""
+        return self.flow.total_energy_kwh()
+
+    @property
+    def epa_facility_kwh(self) -> float:
+        """EPA_f = facility_overhead * EPA (kWh per wafer)."""
+        return self.epa_kwh * self.facility_overhead
+
+    def evaluate(
+        self, ci_fab: "ConstantCarbonIntensity | float | str"
+    ) -> EmbodiedCarbonResult:
+        """Evaluate Equation 2 for a fabrication grid.
+
+        Args:
+            ci_fab: A grid name (``"us"``), a gCO2e/kWh value, or a
+                :class:`ConstantCarbonIntensity`.
+        """
+        if isinstance(ci_fab, str):
+            ci = ConstantCarbonIntensity.from_grid(ci_fab)
+        elif isinstance(ci_fab, (int, float)):
+            ci = ConstantCarbonIntensity(float(ci_fab))
+        else:
+            ci = ci_fab
+        wafer_area = units.wafer_area_cm2(self.flow.wafer_diameter_mm)
+        epa_f_per_cm2 = self.epa_facility_kwh / wafer_area  # kWh/cm^2
+        return EmbodiedCarbonResult(
+            process_name=self.flow.name,
+            grid_name=ci.name or f"{ci.value_g_per_kwh:g} gCO2e/kWh",
+            ci_fab_g_per_kwh=ci.value_g_per_kwh,
+            epa_kwh_per_wafer=self.epa_kwh,
+            epa_facility_kwh_per_wafer=self.epa_facility_kwh,
+            mpa_g_per_cm2=self.materials.mpa_g_per_cm2(),
+            gpa_g_per_cm2=self.gas.gpa_for_flow_g_per_cm2(self.flow),
+            energy_carbon_g_per_cm2=ci.value_g_per_kwh * epa_f_per_cm2,
+            wafer_area_cm2=wafer_area,
+        )
+
+    def per_wafer_by_grid(
+        self, grids: "Optional[Dict[str, float]]" = None
+    ) -> Dict[str, EmbodiedCarbonResult]:
+        """Evaluate across several grids (Fig. 2c's x-axis)."""
+        from repro.core.carbon_intensity import GRIDS
+
+        grid_map = grids if grids is not None else GRIDS
+        return {name: self.evaluate(ci) for name, ci in grid_map.items()}

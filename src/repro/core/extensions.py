@@ -1,0 +1,120 @@
+"""Extensions the paper's conclusion calls for: cost and water.
+
+"This type of analysis can be extended to consider factors such as cost,
+new materials and processes, alternative memory cell topologies, water
+consumption, and more" — Sec. Conclusion.
+
+Both models follow the same per-wafer accounting structure as
+C_embodied, amortized per good die with Equation 5, so they compose with
+the existing die/yield machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import CarbonModelError
+from repro.fab.flow import ProcessFlow
+
+# ---------------------------------------------------------------------------
+# Manufacturing cost
+# ---------------------------------------------------------------------------
+
+#: Baseline processed-wafer cost for a 7 nm-class node (USD per 300 mm
+#: wafer), representative of published foundry estimates.
+BASELINE_WAFER_COST_USD = 9_500.0
+
+#: Reference fabrication energy the baseline cost corresponds to
+#: (the all-Si flow); extra process steps scale cost with energy, a
+#: standard first-order proxy for tool time.
+BASELINE_WAFER_ENERGY_KWH = 699.15
+
+
+@dataclass(frozen=True)
+class WaferCostModel:
+    """First-order wafer cost: tool time scales with fabrication energy.
+
+    Cost per wafer = baseline * (EPA / EPA_baseline) ** exponent, with
+    exponent < 1 reflecting that some cost (substrate, overhead) does not
+    scale with step count.
+    """
+
+    baseline_cost_usd: float = BASELINE_WAFER_COST_USD
+    baseline_energy_kwh: float = BASELINE_WAFER_ENERGY_KWH
+    scaling_exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.baseline_cost_usd <= 0 or self.baseline_energy_kwh <= 0:
+            raise CarbonModelError("baseline cost and energy must be > 0")
+        if not (0.0 < self.scaling_exponent <= 1.5):
+            raise CarbonModelError("scaling exponent out of plausible range")
+
+    def wafer_cost_usd(self, flow: ProcessFlow) -> float:
+        ratio = flow.total_energy_kwh() / self.baseline_energy_kwh
+        return self.baseline_cost_usd * ratio**self.scaling_exponent
+
+    def good_die_cost_usd(
+        self, flow: ProcessFlow, dies_per_wafer: float, yield_fraction: float
+    ) -> float:
+        """Equation 5 applied to dollars instead of grams."""
+        if dies_per_wafer <= 0:
+            raise CarbonModelError("dies per wafer must be > 0")
+        if not (0.0 < yield_fraction <= 1.0):
+            raise CarbonModelError("yield must be in (0, 1]")
+        return self.wafer_cost_usd(flow) / (dies_per_wafer * yield_fraction)
+
+
+# ---------------------------------------------------------------------------
+# Water consumption
+# ---------------------------------------------------------------------------
+
+#: Ultrapure-water usage per wet-processing step (liters per wafer).
+#: Wet etches/cleans dominate UPW draw; litho develop and CMP also use it.
+UPW_LITERS_PER_WET_STEP = 220.0
+UPW_LITERS_PER_LITHO_STEP = 90.0
+UPW_LITERS_PER_CMP_STEP = 150.0
+
+#: Facility base draw per wafer (cooling, scrubbers) irrespective of the
+#: step list — reported fab-wide figures are several m^3/wafer.
+UPW_BASE_LITERS_PER_WAFER = 2_000.0
+
+
+@dataclass(frozen=True)
+class WaterModel:
+    """Per-wafer ultrapure-water accounting from the step list.
+
+    Counts explicit steps by process area: wet etch -> full wet-step
+    draw, lithography -> develop/rinse, metallization -> CMP slurry
+    rinse.  Lumped segments (the FEOL) are covered by scaling the base
+    draw with fabrication energy, mirroring the GPA approach (Eq. 3).
+    """
+
+    liters_per_wet_step: float = UPW_LITERS_PER_WET_STEP
+    liters_per_litho_step: float = UPW_LITERS_PER_LITHO_STEP
+    liters_per_cmp_step: float = UPW_LITERS_PER_CMP_STEP
+    base_liters: float = UPW_BASE_LITERS_PER_WAFER
+    base_reference_energy_kwh: float = BASELINE_WAFER_ENERGY_KWH
+
+    def wafer_water_liters(self, flow: ProcessFlow) -> float:
+        from repro.fab.steps import ProcessArea
+
+        counts = flow.step_counts()
+        stepwise = (
+            counts.count(ProcessArea.WET_ETCH) * self.liters_per_wet_step
+            + counts.count(ProcessArea.LITHOGRAPHY) * self.liters_per_litho_step
+            + counts.count(ProcessArea.METALLIZATION) * self.liters_per_cmp_step
+        )
+        scaled_base = self.base_liters * (
+            flow.total_energy_kwh() / self.base_reference_energy_kwh
+        )
+        return stepwise + scaled_base
+
+    def good_die_water_liters(
+        self, flow: ProcessFlow, dies_per_wafer: float, yield_fraction: float
+    ) -> float:
+        if dies_per_wafer <= 0:
+            raise CarbonModelError("dies per wafer must be > 0")
+        if not (0.0 < yield_fraction <= 1.0):
+            raise CarbonModelError("yield must be in (0, 1]")
+        return self.wafer_water_liters(flow) / (dies_per_wafer * yield_fraction)

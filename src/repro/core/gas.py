@@ -1,0 +1,60 @@
+"""GPA: direct gas emissions per area (Equation 3).
+
+High-global-warming-potential gases (NH3, CH4, N2O, fluorinated etch
+gases) are direct inputs to etch and deposition steps.  Following the
+paper, GPA for a process is estimated by scaling the reported GPA of the
+imec iN7 EUV node (0.20 kgCO2e/cm^2 on 300 mm wafers) by the ratio of
+fabrication energies:
+
+    GPA_process = (EPA_process / EPA_iN7-EUV) * GPA_iN7-EUV
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import CarbonModelError
+from repro.fab import energy_data
+from repro.fab.flow import ProcessFlow
+
+
+@dataclass(frozen=True)
+class GasEmissionsModel:
+    """Equation 3 GPA model, anchored to a reference node.
+
+    Attributes:
+        reference_gpa_g_per_cm2: GPA of the reference node (gCO2e/cm^2).
+        reference_epa_kwh: Total fabrication energy of the reference node
+            (kWh per wafer).
+    """
+
+    reference_gpa_g_per_cm2: float = (
+        energy_data.IN7_EUV_GPA_KG_PER_CM2 * 1000.0
+    )
+    reference_epa_kwh: float = energy_data.IN7_EUV_TOTAL_ENERGY_KWH
+
+    def __post_init__(self) -> None:
+        if self.reference_gpa_g_per_cm2 < 0:
+            raise CarbonModelError("reference GPA must be >= 0")
+        if self.reference_epa_kwh <= 0:
+            raise CarbonModelError("reference EPA must be > 0")
+
+    def scaling_ratio(self, epa_kwh: float) -> float:
+        """EPA_process / EPA_reference (the Eq. 3 ratio)."""
+        if epa_kwh < 0:
+            raise CarbonModelError(f"EPA must be >= 0, got {epa_kwh}")
+        return epa_kwh / self.reference_epa_kwh
+
+    def gpa_g_per_cm2(self, epa_kwh: float) -> float:
+        """GPA in gCO2e/cm^2 for a process with the given EPA."""
+        return self.scaling_ratio(epa_kwh) * self.reference_gpa_g_per_cm2
+
+    def gpa_for_flow_g_per_cm2(self, flow: ProcessFlow) -> float:
+        """GPA for a :class:`ProcessFlow`, from its total energy."""
+        return self.gpa_g_per_cm2(flow.total_energy_kwh())
+
+    def per_wafer_g(self, flow: ProcessFlow) -> float:
+        """Total gas emissions per wafer (gCO2e)."""
+        area = units.wafer_area_cm2(flow.wafer_diameter_mm)
+        return self.gpa_for_flow_g_per_cm2(flow) * area

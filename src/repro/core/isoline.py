@@ -1,0 +1,140 @@
+"""tCDP trade-off maps and isolines (Fig. 6a).
+
+The map answers: *under what combination of embodied-carbon overhead and
+operational-energy benefit is the M3D design more carbon-efficient than the
+all-Si baseline?*
+
+Axes follow the paper exactly:
+
+- x: scale factor on C_embodied of the candidate (M3D) design — x = 2.0
+  means its embodied carbon is 2x higher;
+- y: scale factor on E_operational of the candidate — y = 0.5 means its
+  operational energy is 2x lower.
+
+At each (x, y) the relative tCDP is
+
+    ratio(x, y) = (x * C_emb_c + y * C_op_c) / (C_emb_b + C_op_b)
+
+(equal execution times, as in the case study; a time ratio can be supplied
+otherwise).  ``ratio < 1`` is the red region where the candidate wins; the
+``ratio == 1`` contour is the tCDP isoline, which is a straight line
+
+    x = (tC_b - y * C_op_c) / C_emb_c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class TcdpOperatingPoint:
+    """The carbon components entering the trade-off map (gCO2e).
+
+    ``execution_time_s`` lets designs with different run times be
+    compared; the case study uses equal times.
+    """
+
+    embodied_g: float
+    operational_g: float
+    execution_time_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.embodied_g < 0 or self.operational_g < 0:
+            raise CarbonModelError("carbon components must be >= 0")
+        if self.execution_time_s <= 0:
+            raise CarbonModelError("execution time must be > 0")
+
+    @property
+    def total_g(self) -> float:
+        return self.embodied_g + self.operational_g
+
+    @property
+    def tcdp(self) -> float:
+        return self.total_g * self.execution_time_s
+
+
+class TcdpTradeoffMap:
+    """Relative-tCDP map of a candidate design vs a baseline (Fig. 6a)."""
+
+    def __init__(
+        self,
+        candidate: TcdpOperatingPoint,
+        baseline: TcdpOperatingPoint,
+    ) -> None:
+        if baseline.tcdp == 0:
+            raise CarbonModelError("baseline tCDP must be non-zero")
+        self.candidate = candidate
+        self.baseline = baseline
+
+    def ratio(self, emb_scale: float, op_scale: float) -> float:
+        """Relative tCDP at one (x, y) point; < 1 means candidate wins."""
+        if emb_scale < 0 or op_scale < 0:
+            raise CarbonModelError("scale factors must be >= 0")
+        scaled = (
+            emb_scale * self.candidate.embodied_g
+            + op_scale * self.candidate.operational_g
+        ) * self.candidate.execution_time_s
+        return scaled / self.baseline.tcdp
+
+    def ratio_grid(
+        self,
+        emb_scales: np.ndarray,
+        op_scales: np.ndarray,
+    ) -> np.ndarray:
+        """Relative tCDP over a grid: shape (len(op_scales), len(emb_scales)).
+
+        Row i, column j is ``ratio(emb_scales[j], op_scales[i])`` — the
+        colormap of Fig. 6a (y-axis = operational scale, x = embodied).
+        """
+        x = np.asarray(emb_scales, dtype=float)
+        y = np.asarray(op_scales, dtype=float)
+        if np.any(x < 0) or np.any(y < 0):
+            raise CarbonModelError("scale factors must be >= 0")
+        grid = (
+            x[None, :] * self.candidate.embodied_g
+            + y[:, None] * self.candidate.operational_g
+        ) * self.candidate.execution_time_s
+        return grid / self.baseline.tcdp
+
+    def isoline_emb_scale(self, op_scale: "float | np.ndarray"):
+        """The ratio==1 contour: embodied scale x as a function of y.
+
+        Returns NaN where no non-negative x can reach ratio 1 (i.e. the
+        scaled operational term alone already exceeds the baseline tCDP).
+        """
+        y = np.asarray(op_scale, dtype=float)
+        target = self.baseline.tcdp / self.candidate.execution_time_s
+        with np.errstate(invalid="ignore"):
+            x = (target - y * self.candidate.operational_g) / (
+                self.candidate.embodied_g
+            )
+        x = np.where(x >= 0, x, np.nan)
+        return float(x) if np.isscalar(op_scale) else x
+
+    def isoline_op_scale(self, emb_scale: "float | np.ndarray"):
+        """The ratio==1 contour solved the other way: y as a function of x."""
+        x = np.asarray(emb_scale, dtype=float)
+        target = self.baseline.tcdp / self.candidate.execution_time_s
+        if self.candidate.operational_g == 0:
+            raise CarbonModelError(
+                "candidate has zero operational carbon; isoline is vertical"
+            )
+        y = (target - x * self.candidate.embodied_g) / (
+            self.candidate.operational_g
+        )
+        y = np.where(y >= 0, y, np.nan)
+        return float(y) if np.isscalar(emb_scale) else y
+
+    def candidate_wins(self, emb_scale: float, op_scale: float) -> bool:
+        """True in the red region (candidate more carbon-efficient)."""
+        return self.ratio(emb_scale, op_scale) < 1.0
+
+    def nominal_point(self) -> Tuple[float, float, float]:
+        """(x=1, y=1) and its ratio — where the actual designs sit."""
+        return (1.0, 1.0, self.ratio(1.0, 1.0))

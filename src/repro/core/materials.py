@@ -1,0 +1,110 @@
+"""MPA: materials procurement carbon per area (Sec. II-B).
+
+The dominant term is the starting Si wafer (500 gCO2e/cm^2, i.e.
+3.5e5 gCO2e per 300 mm wafer, from wafer LCA data [30]).  Emerging
+materials are accounted bottom-up from deposited mass times synthesis
+footprint: CNTs at ~14 kgCO2e per gram [31] with picograms deposited per
+wafer, and a similarly negligible IGZO sputter-target term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro import units
+from repro.errors import CarbonModelError
+from repro.fab import energy_data
+
+
+@dataclass(frozen=True)
+class MaterialContribution:
+    """One material's procurement footprint for a whole wafer."""
+
+    name: str
+    mass_grams: float
+    footprint_g_per_gram: float
+
+    @property
+    def carbon_g(self) -> float:
+        return self.mass_grams * self.footprint_g_per_gram
+
+
+@dataclass
+class MaterialsModel:
+    """MPA model: per-wafer materials procurement carbon.
+
+    Attributes:
+        si_wafer_g_per_cm2: Base wafer footprint (gCO2e/cm^2).
+        extra_materials: Additional bottom-up material contributions
+            (CNTs, IGZO, ...), each accounted per wafer.
+        wafer_diameter_mm: Wafer diameter (paper: 300 mm).
+    """
+
+    si_wafer_g_per_cm2: float = energy_data.SI_WAFER_MPA_G_PER_CM2
+    extra_materials: Dict[str, MaterialContribution] = field(default_factory=dict)
+    wafer_diameter_mm: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.si_wafer_g_per_cm2 < 0:
+            raise CarbonModelError(
+                f"MPA must be >= 0, got {self.si_wafer_g_per_cm2}"
+            )
+
+    @classmethod
+    def for_all_si(cls) -> "MaterialsModel":
+        """Materials model for the baseline all-Si process."""
+        return cls()
+
+    @classmethod
+    def for_m3d(cls) -> "MaterialsModel":
+        """Materials model for the M3D process: wafer + CNTs + IGZO.
+
+        The CNT term follows the paper's accounting: deposited CNT mass
+        (order of picograms per wafer, two tiers) times the LCA synthesis
+        footprint of ~14 kgCO2e/gram.
+        """
+        model = cls()
+        model.add_material(
+            MaterialContribution(
+                name="carbon nanotubes (2 tiers)",
+                mass_grams=2 * energy_data.CNT_MASS_PER_WAFER_GRAMS,
+                footprint_g_per_gram=energy_data.CNT_SYNTHESIS_G_PER_GRAM,
+            )
+        )
+        model.add_material(
+            MaterialContribution(
+                name="IGZO (sputtered film)",
+                mass_grams=1.0,
+                footprint_g_per_gram=energy_data.IGZO_MATERIAL_G_PER_WAFER,
+            )
+        )
+        return model
+
+    def add_material(self, contribution: MaterialContribution) -> None:
+        """Register an extra material; duplicate names are rejected."""
+        if contribution.name in self.extra_materials:
+            raise CarbonModelError(
+                f"duplicate material {contribution.name!r}"
+            )
+        self.extra_materials[contribution.name] = contribution
+
+    @property
+    def wafer_area_cm2(self) -> float:
+        return units.wafer_area_cm2(self.wafer_diameter_mm)
+
+    def mpa_g_per_cm2(self) -> float:
+        """MPA in gCO2e/cm^2 (wafer term + amortized extra materials)."""
+        extra = sum(c.carbon_g for c in self.extra_materials.values())
+        return self.si_wafer_g_per_cm2 + extra / self.wafer_area_cm2
+
+    def per_wafer_g(self) -> float:
+        """Total materials footprint per wafer in gCO2e."""
+        return self.mpa_g_per_cm2() * self.wafer_area_cm2
+
+    def breakdown_g(self) -> Dict[str, float]:
+        """Per-material footprint (gCO2e/wafer), wafer term included."""
+        result = {"Si wafer": self.si_wafer_g_per_cm2 * self.wafer_area_cm2}
+        for name, contribution in self.extra_materials.items():
+            result[name] = contribution.carbon_g
+        return result

@@ -1,0 +1,177 @@
+"""Carbon-aware design-space optimization (after CORDOBA, ref [18]).
+
+The paper evaluates both designs at one operating point (500 MHz).  Its
+companion framework (reference [18]) optimizes the operating point *for*
+carbon efficiency.  This module searches the (clock frequency, V_T
+flavour, technology) space for the design that minimizes tCDP at a given
+lifetime, subject to a performance constraint — answering "what clock
+should the design team actually target?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.case_study import (
+    SystemDesign,
+    build_all_si_system,
+    build_m3d_system,
+)
+from repro.core.operational import UsageScenario
+from repro.errors import CarbonModelError, TimingClosureError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated candidate in the search space."""
+
+    technology: str
+    clock_hz: float
+    vt_flavor: str
+    tcdp: float
+    total_carbon_g: float
+    execution_time_s: float
+    energy_per_cycle_j: float
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.clock_hz / 1e6
+
+
+@dataclass
+class OptimizationResult:
+    """Search outcome: the winner plus the whole evaluated frontier."""
+
+    best: DesignPoint
+    frontier: List[DesignPoint]
+
+    def best_per_technology(self) -> "dict[str, DesignPoint]":
+        out: "dict[str, DesignPoint]" = {}
+        for point in self.frontier:
+            current = out.get(point.technology)
+            if current is None or point.tcdp < current.tcdp:
+                out[point.technology] = point
+        return out
+
+
+_BUILDERS: "dict[str, Callable[..., SystemDesign]]" = {
+    "all-si": build_all_si_system,
+    "m3d": build_m3d_system,
+}
+
+#: Memory timing characterization cache (clock-independent, so one SPICE
+#: run per technology covers the whole clock sweep).
+_MEMORY_TIMING_CACHE: "dict[str, object]" = {}
+
+
+def _memory_timing(technology: str):
+    if technology not in _MEMORY_TIMING_CACHE:
+        from repro.edram.bitcell import m3d_bitcell, si_bitcell
+        from repro.edram.subarray import SubArrayDesign
+        from repro.edram.timing import characterize
+
+        cell = si_bitcell() if technology == "all-si" else m3d_bitcell()
+        _MEMORY_TIMING_CACHE[technology] = characterize(SubArrayDesign(cell))
+    return _MEMORY_TIMING_CACHE[technology]
+
+
+def optimize_tcdp(
+    lifetime_months: float = 24.0,
+    clocks_hz: Optional[Sequence[float]] = None,
+    technologies: Sequence[str] = ("all-si", "m3d"),
+    max_execution_time_s: Optional[float] = None,
+    grid: str = "us",
+) -> OptimizationResult:
+    """Minimize tCDP over clock frequency and technology.
+
+    Args:
+        lifetime_months: System lifetime for the tC term.
+        clocks_hz: Candidate clocks (default: the paper's 100 MHz-1 GHz
+            sweep).
+        technologies: Which implementations to consider.
+        max_execution_time_s: Optional latency constraint — candidates
+            whose matmul-int run exceeds it are rejected (the paper's
+            "each embedded application must finish executing in a fixed
+            amount of time").
+        grid: Carbon-intensity grid for fab and use.
+
+    Returns:
+        The tCDP-optimal design point and the evaluated frontier.
+
+    Raises:
+        CarbonModelError: If no candidate satisfies the constraints.
+    """
+    clock_list = (
+        list(clocks_hz)
+        if clocks_hz is not None
+        else [100e6 * k for k in range(1, 11)]
+    )
+    scenario = UsageScenario(lifetime_months)
+    frontier: List[DesignPoint] = []
+    for technology in technologies:
+        if technology not in _BUILDERS:
+            raise CarbonModelError(
+                f"unknown technology {technology!r}; "
+                f"options: {sorted(_BUILDERS)}"
+            )
+        memory_timing = _memory_timing(technology)
+        for clock in clock_list:
+            if not memory_timing.meets_clock(clock):
+                continue  # single-cycle eDRAM access infeasible
+            try:
+                system = _BUILDERS[technology](
+                    clock_hz=clock, scenario=scenario, grid=grid
+                )
+            except TimingClosureError:
+                continue  # no V_T flavour closes timing at this clock
+            if (
+                max_execution_time_s is not None
+                and system.execution_time_s > max_execution_time_s
+            ):
+                continue
+            frontier.append(
+                DesignPoint(
+                    technology=technology,
+                    clock_hz=clock,
+                    vt_flavor=system.core.flavor.value,
+                    tcdp=system.tcdp(lifetime_months),
+                    total_carbon_g=system.total_carbon.total_g(
+                        lifetime_months
+                    ),
+                    execution_time_s=system.execution_time_s,
+                    energy_per_cycle_j=(
+                        system.core.energy_per_cycle_j
+                        + system.memory_energy_per_cycle_j
+                    ),
+                )
+            )
+    if not frontier:
+        raise CarbonModelError(
+            "no design point satisfies the constraints "
+            f"(clocks {min(clock_list)/1e6:.0f}-{max(clock_list)/1e6:.0f} MHz, "
+            f"max time {max_execution_time_s})"
+        )
+    best = min(frontier, key=lambda p: p.tcdp)
+    return OptimizationResult(best=best, frontier=frontier)
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+) -> List[DesignPoint]:
+    """Carbon/performance Pareto front: no other point is faster *and*
+    lower-carbon."""
+    front: List[DesignPoint] = []
+    for p in points:
+        dominated = any(
+            (q.execution_time_s <= p.execution_time_s)
+            and (q.total_carbon_g <= p.total_carbon_g)
+            and (
+                q.execution_time_s < p.execution_time_s
+                or q.total_carbon_g < p.total_carbon_g
+            )
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.execution_time_s)

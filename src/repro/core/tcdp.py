@@ -1,0 +1,111 @@
+"""tCDP: total-carbon-delay product, the paper's carbon-efficiency metric.
+
+tCDP = tC * (application execution time), in gCO2e/Hz when the execution
+time is expressed through the clock: executing N cycles at f_clk takes
+N / f_clk seconds, so normalizing per cycle gives gCO2e * s = gCO2e / Hz
+(reference [18] of the paper).  Because both case-study designs run the
+same cycle count at the same clock, their tCDP ratio equals their tC
+ratio — and as C_operational dominates at long lifetimes, the tCDP ratio
+converges to the energy-delay-product (EDP) ratio (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.total_carbon import TotalCarbonModel
+from repro.errors import CarbonModelError
+
+
+def execution_time_s(n_cycles: int, clock_hz: float) -> float:
+    """Application execution time for a cycle count at a clock frequency."""
+    if n_cycles < 0:
+        raise CarbonModelError(f"cycle count must be >= 0, got {n_cycles}")
+    if clock_hz <= 0:
+        raise CarbonModelError(f"clock must be > 0, got {clock_hz}")
+    return n_cycles / clock_hz
+
+
+def tcdp(total_carbon_g: float, execution_time_seconds: float) -> float:
+    """tCDP in gCO2e * s (equivalently gCO2e/Hz)."""
+    if total_carbon_g < 0:
+        raise CarbonModelError(
+            f"total carbon must be >= 0, got {total_carbon_g}"
+        )
+    if execution_time_seconds < 0:
+        raise CarbonModelError(
+            f"execution time must be >= 0, got {execution_time_seconds}"
+        )
+    return total_carbon_g * execution_time_seconds
+
+
+def tcdp_for_model(
+    model: TotalCarbonModel,
+    n_cycles: int,
+    clock_hz: float,
+    lifetime_months: Optional[float] = None,
+) -> float:
+    """tCDP of a :class:`TotalCarbonModel` at a lifetime."""
+    return tcdp(
+        model.total_g(lifetime_months), execution_time_s(n_cycles, clock_hz)
+    )
+
+
+def tcdp_ratio(
+    candidate: TotalCarbonModel,
+    baseline: TotalCarbonModel,
+    candidate_time_s: float,
+    baseline_time_s: float,
+    lifetime_months: Optional[float] = None,
+) -> float:
+    """tCDP(candidate) / tCDP(baseline); < 1 means the candidate wins."""
+    num = tcdp(candidate.total_g(lifetime_months), candidate_time_s)
+    den = tcdp(baseline.total_g(lifetime_months), baseline_time_s)
+    if den == 0:
+        raise CarbonModelError("baseline tCDP is zero; ratio undefined")
+    return num / den
+
+
+def tcdp_ratio_series(
+    candidate: TotalCarbonModel,
+    baseline: TotalCarbonModel,
+    months: Sequence[float],
+    candidate_time_s: float,
+    baseline_time_s: float,
+) -> "list[float]":
+    """tCDP ratio at each lifetime in ``months`` (Fig. 5b annotations)."""
+    return [
+        tcdp_ratio(candidate, baseline, candidate_time_s, baseline_time_s, m)
+        for m in months
+    ]
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-delay product, J*s.
+
+    The asymptote of the tCDP ratio for long lifetimes (Fig. 5b): once
+    C_operational dominates, tC is proportional to energy, so the tCDP
+    ratio tends to the EDP ratio.
+    """
+    if energy_j < 0 or delay_s < 0:
+        raise CarbonModelError("energy and delay must be >= 0")
+    return energy_j * delay_s
+
+
+def edp_ratio(
+    candidate_power_w: float,
+    baseline_power_w: float,
+    candidate_time_s: float,
+    baseline_time_s: float,
+) -> float:
+    """Limit of the tCDP ratio as lifetime -> infinity.
+
+    For equal usage duty cycles, energy is proportional to power, so the
+    EDP ratio reduces to (P_c * t_c^2) / (P_b * t_b^2); with equal
+    execution times it is simply the power ratio.
+    """
+    if baseline_power_w <= 0 or baseline_time_s <= 0:
+        raise CarbonModelError("baseline power and time must be > 0")
+    return (candidate_power_w * candidate_time_s**2) / (
+        baseline_power_w * baseline_time_s**2
+    )

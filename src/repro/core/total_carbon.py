@@ -1,0 +1,128 @@
+"""tC: total carbon footprint = C_embodied + C_operational (Fig. 5a).
+
+:class:`TotalCarbonModel` binds together a per-good-die embodied carbon
+value and an operational model, and answers the questions asked in
+Sec. III-C: tC at a lifetime, the lifetime at which operational carbon
+starts to dominate, and the lifetime at which one design's tC crosses
+another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.operational import OperationalCarbonModel, UsageScenario
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class TotalCarbonBreakdown:
+    """tC at one lifetime, split into its components (gCO2e)."""
+
+    lifetime_months: float
+    embodied_g: float
+    operational_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.embodied_g + self.operational_g
+
+    @property
+    def embodied_fraction(self) -> float:
+        if self.total_g == 0:
+            return 0.0
+        return self.embodied_g / self.total_g
+
+
+class TotalCarbonModel:
+    """Total carbon of one manufactured system over its lifetime.
+
+    Args:
+        embodied_g: C_embodied per good die (gCO2e), Equation 5 output.
+        operational: The operational-carbon model (power x CI_use).
+        scenario: Usage scenario; its ``lifetime_months`` acts as the
+            default lifetime but every query can override it.
+        name: Label used in reports (e.g. ``"all-Si"``).
+    """
+
+    def __init__(
+        self,
+        embodied_g: float,
+        operational: OperationalCarbonModel,
+        scenario: UsageScenario,
+        name: str = "",
+    ) -> None:
+        if embodied_g < 0:
+            raise CarbonModelError(f"embodied carbon must be >= 0, got {embodied_g}")
+        self.embodied_g = embodied_g
+        self.operational = operational
+        self.scenario = scenario
+        self.name = name
+
+    # -- point queries --------------------------------------------------
+    def breakdown(
+        self, lifetime_months: Optional[float] = None
+    ) -> TotalCarbonBreakdown:
+        months = (
+            self.scenario.lifetime_months
+            if lifetime_months is None
+            else lifetime_months
+        )
+        op = self.operational.carbon_g(self.scenario.with_lifetime(months))
+        return TotalCarbonBreakdown(
+            lifetime_months=months,
+            embodied_g=self.embodied_g,
+            operational_g=op,
+        )
+
+    def total_g(self, lifetime_months: Optional[float] = None) -> float:
+        return self.breakdown(lifetime_months).total_g
+
+    # -- series for Fig. 5 ----------------------------------------------
+    def series(
+        self, months: Sequence[float]
+    ) -> List[TotalCarbonBreakdown]:
+        return [self.breakdown(m) for m in months]
+
+    # -- crossover analyses ----------------------------------------------
+    def operational_dominance_months(
+        self, max_months: float = 600.0, tol: float = 1e-6
+    ) -> Optional[float]:
+        """Lifetime at which C_operational first equals C_embodied.
+
+        The paper reports ~14 months (all-Si) and ~19 months (M3D).
+        Returns None if operational carbon never catches up within
+        ``max_months`` (e.g. zero power draw).
+        """
+        per_month = self.operational.carbon_per_month_g(
+            self.scenario.with_lifetime(1.0)
+        )
+        if per_month <= tol:
+            return None
+        months = self.embodied_g / per_month
+        return months if months <= max_months else None
+
+    def crossover_months(
+        self, other: "TotalCarbonModel", max_months: float = 600.0
+    ) -> Optional[float]:
+        """Lifetime at which this design's tC equals ``other``'s.
+
+        With constant per-month operational carbon the crossover is the
+        intersection of two lines; returns None if they never cross for a
+        positive lifetime within ``max_months``.
+        """
+        mine = self.operational.carbon_per_month_g(
+            self.scenario.with_lifetime(1.0)
+        )
+        theirs = other.operational.carbon_per_month_g(
+            other.scenario.with_lifetime(1.0)
+        )
+        slope_delta = mine - theirs
+        intercept_delta = other.embodied_g - self.embodied_g
+        if slope_delta == 0:
+            return None
+        months = intercept_delta / slope_delta
+        if months <= 0 or months > max_months:
+            return None
+        return months

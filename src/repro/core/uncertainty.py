@@ -1,0 +1,246 @@
+"""Robust tCDP comparison under carbon-accounting uncertainty (Fig. 6b).
+
+Section III-D: the tCDP isoline moves when the underlying assumptions move
+— system lifetime (+/- 6 months), CI_use (x3 / /3), and M3D yield
+(10 % / 90 %).  This module provides:
+
+- :class:`ParameterPerturbation` — a named change to the scenario
+  parameters;
+- :class:`IsolineUncertaintyAnalysis` — rebuilds the trade-off map under
+  each perturbation and reports the family of isolines, plus the
+  *robust-win regions*: points where one design is better under every
+  perturbation considered;
+- :func:`monte_carlo_win_probability` — samples parameter distributions
+  and estimates, per (x, y) grid point, the probability that the candidate
+  design has better tCDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.isoline import TcdpOperatingPoint, TcdpTradeoffMap
+from repro.errors import CarbonModelError
+
+
+@dataclass(frozen=True)
+class ScenarioParameters:
+    """Everything that determines both designs' carbon components.
+
+    Carbon components are reconstructed from first principles so that a
+    perturbation (say, yield) propagates correctly:
+
+    - embodied per good die = wafer carbon / (dies per wafer * yield);
+    - operational = ci_use_scale * per-month op carbon * lifetime.
+    """
+
+    candidate_wafer_g: float
+    candidate_dies_per_wafer: float
+    candidate_yield: float
+    candidate_op_per_month_g: float
+    baseline_wafer_g: float
+    baseline_dies_per_wafer: float
+    baseline_yield: float
+    baseline_op_per_month_g: float
+    lifetime_months: float
+    ci_use_scale: float = 1.0
+    execution_time_ratio: float = 1.0  # candidate time / baseline time
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.candidate_yield <= 1.0):
+            raise CarbonModelError(f"bad candidate yield {self.candidate_yield}")
+        if not (0.0 < self.baseline_yield <= 1.0):
+            raise CarbonModelError(f"bad baseline yield {self.baseline_yield}")
+        if self.lifetime_months < 0:
+            raise CarbonModelError("lifetime must be >= 0")
+        if self.ci_use_scale < 0:
+            raise CarbonModelError("CI_use scale must be >= 0")
+
+    def candidate_point(self) -> TcdpOperatingPoint:
+        emb = self.candidate_wafer_g / (
+            self.candidate_dies_per_wafer * self.candidate_yield
+        )
+        op = (
+            self.ci_use_scale
+            * self.candidate_op_per_month_g
+            * self.lifetime_months
+        )
+        return TcdpOperatingPoint(
+            emb, op, execution_time_s=self.execution_time_ratio
+        )
+
+    def baseline_point(self) -> TcdpOperatingPoint:
+        emb = self.baseline_wafer_g / (
+            self.baseline_dies_per_wafer * self.baseline_yield
+        )
+        op = (
+            self.ci_use_scale
+            * self.baseline_op_per_month_g
+            * self.lifetime_months
+        )
+        return TcdpOperatingPoint(emb, op, execution_time_s=1.0)
+
+    def tradeoff_map(self) -> TcdpTradeoffMap:
+        return TcdpTradeoffMap(self.candidate_point(), self.baseline_point())
+
+
+@dataclass(frozen=True)
+class ParameterPerturbation:
+    """A named transformation of :class:`ScenarioParameters`."""
+
+    name: str
+    apply: Callable[[ScenarioParameters], ScenarioParameters]
+
+
+def paper_perturbations(
+    lifetime_delta_months: float = 6.0,
+    ci_scale: float = 3.0,
+    m3d_yield_low: float = 0.10,
+    m3d_yield_high: float = 0.90,
+) -> List[ParameterPerturbation]:
+    """The exact perturbation set of Fig. 6b.
+
+    Six perturbations: lifetime +/- 6 months (red dashed lines), CI_use
+    x3 and /3 (green), and candidate (M3D) yield at 10 % and 90 % (purple).
+    """
+    if ci_scale <= 0:
+        raise CarbonModelError("CI scale must be > 0")
+    return [
+        ParameterPerturbation(
+            f"lifetime +{lifetime_delta_months:g} mo",
+            lambda p: replace(
+                p, lifetime_months=p.lifetime_months + lifetime_delta_months
+            ),
+        ),
+        ParameterPerturbation(
+            f"lifetime -{lifetime_delta_months:g} mo",
+            lambda p: replace(
+                p,
+                lifetime_months=max(
+                    0.0, p.lifetime_months - lifetime_delta_months
+                ),
+            ),
+        ),
+        ParameterPerturbation(
+            f"CI_use x{ci_scale:g}",
+            lambda p: replace(p, ci_use_scale=p.ci_use_scale * ci_scale),
+        ),
+        ParameterPerturbation(
+            f"CI_use /{ci_scale:g}",
+            lambda p: replace(p, ci_use_scale=p.ci_use_scale / ci_scale),
+        ),
+        ParameterPerturbation(
+            f"M3D yield {m3d_yield_low:.0%}",
+            lambda p: replace(p, candidate_yield=m3d_yield_low),
+        ),
+        ParameterPerturbation(
+            f"M3D yield {m3d_yield_high:.0%}",
+            lambda p: replace(p, candidate_yield=m3d_yield_high),
+        ),
+    ]
+
+
+class IsolineUncertaintyAnalysis:
+    """Family of tCDP isolines under parameter perturbations (Fig. 6b)."""
+
+    def __init__(
+        self,
+        nominal: ScenarioParameters,
+        perturbations: Optional[Sequence[ParameterPerturbation]] = None,
+    ) -> None:
+        self.nominal = nominal
+        self.perturbations = (
+            list(perturbations)
+            if perturbations is not None
+            else paper_perturbations()
+        )
+
+    def isolines(
+        self, op_scales: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Embodied-scale isoline x(y) for nominal + each perturbation."""
+        y = np.asarray(op_scales, dtype=float)
+        result: Dict[str, np.ndarray] = {
+            "nominal": self.nominal.tradeoff_map().isoline_emb_scale(y)
+        }
+        for pert in self.perturbations:
+            params = pert.apply(self.nominal)
+            result[pert.name] = params.tradeoff_map().isoline_emb_scale(y)
+        return result
+
+    def robust_regions(
+        self,
+        emb_scales: np.ndarray,
+        op_scales: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Boolean masks over the (y, x) grid.
+
+        ``candidate_always`` — candidate wins under the nominal scenario
+        *and* every perturbation; ``baseline_always`` — candidate loses
+        everywhere; the rest is the uncertain band.  These are the
+        "regions in which the M3D design maintains better tCDP vs. the
+        all-Si design (and vice versa)" of Sec. III-D.
+        """
+        maps = [self.nominal.tradeoff_map()] + [
+            pert.apply(self.nominal).tradeoff_map()
+            for pert in self.perturbations
+        ]
+        ratios = np.stack(
+            [m.ratio_grid(emb_scales, op_scales) for m in maps], axis=0
+        )
+        candidate_always = np.all(ratios < 1.0, axis=0)
+        baseline_always = np.all(ratios >= 1.0, axis=0)
+        return {
+            "candidate_always": candidate_always,
+            "baseline_always": baseline_always,
+            "uncertain": ~(candidate_always | baseline_always),
+        }
+
+
+def monte_carlo_win_probability(
+    nominal: ScenarioParameters,
+    emb_scales: np.ndarray,
+    op_scales: np.ndarray,
+    n_samples: int = 1000,
+    lifetime_sigma_months: float = 3.0,
+    ci_log_sigma: float = 0.5,
+    yield_low: float = 0.10,
+    yield_high: float = 0.90,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Probability (per grid point) that the candidate has better tCDP.
+
+    Samples lifetime ~ Normal(nominal, sigma) truncated at > 0, CI_use
+    scale ~ LogNormal(0, ci_log_sigma), and candidate yield ~ Uniform
+    [yield_low, yield_high]; evaluates the win indicator at each sample.
+
+    Returns:
+        Array of shape (len(op_scales), len(emb_scales)) of win
+        probabilities in [0, 1].
+    """
+    if n_samples <= 0:
+        raise CarbonModelError(f"n_samples must be > 0, got {n_samples}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    x = np.asarray(emb_scales, dtype=float)
+    y = np.asarray(op_scales, dtype=float)
+    wins = np.zeros((y.size, x.size), dtype=float)
+    for _ in range(n_samples):
+        lifetime = max(
+            1e-3,
+            rng.normal(nominal.lifetime_months, lifetime_sigma_months),
+        )
+        ci_scale = float(np.exp(rng.normal(0.0, ci_log_sigma)))
+        yld = float(rng.uniform(yield_low, yield_high))
+        params = replace(
+            nominal,
+            lifetime_months=lifetime,
+            ci_use_scale=nominal.ci_use_scale * ci_scale,
+            candidate_yield=yld,
+        )
+        ratio = params.tradeoff_map().ratio_grid(x, y)
+        wins += (ratio < 1.0).astype(float)
+    return wins / n_samples

@@ -1,0 +1,591 @@
+"""A two-pass Thumb (ARMv6-M) assembler.
+
+Supports the subset of GNU-style syntax the workload suite needs:
+
+- labels (``loop:``), comments (``@``, ``;``, ``//``);
+- directives: ``.word``, ``.byte``, ``.ascii``/``.asciz``, ``.space``,
+  ``.align``, ``.equ name, value``, ``.pool`` (emit the pending literal
+  pool);
+- pseudo-instructions: ``ldr rd, =value`` (literal pools) and
+  ``adr rd, label`` (PC-relative address formation);
+- register names ``r0``-``r15``, ``sp``, ``lr``, ``pc``;
+- register lists ``{r0, r2-r4, lr}``.
+
+Output is genuine Thumb machine code: the simulator decodes the same
+encodings, and the tests cross-check semantics instruction by
+instruction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu import isa
+from repro.errors import AssemblerError
+
+_REGISTER_ALIASES = {"sp": 13, "lr": 14, "pc": 15}
+
+
+def _parse_register(token: str) -> int:
+    token = token.strip().lower()
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    match = re.fullmatch(r"r(\d+)", token)
+    if not match:
+        raise AssemblerError(f"expected register, got {token!r}")
+    reg = int(match.group(1))
+    if reg > 15:
+        raise AssemblerError(f"no such register r{reg}")
+    return reg
+
+
+@dataclass
+class _Item:
+    """One assembly item: instruction or data, placed in pass 1."""
+
+    kind: str  # "insn" | "word" | "byte" | "bytes" | "space" | "pool_entry"
+    line_no: int
+    mnemonic: str = ""
+    operands: str = ""
+    address: int = 0
+    size: int = 2
+    value: int = 0  # for data items
+    payload: bytes = b""  # for "bytes" items
+    pool_symbol: Optional[str] = None
+
+
+@dataclass
+class Program:
+    """Assembled output."""
+
+    code: bytes
+    symbols: Dict[str, int]
+    base_address: int
+    entry_point: int
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+
+class Assembler:
+    """Two-pass assembler for a single contiguous code section."""
+
+    def __init__(self, base_address: int = 0) -> None:
+        if base_address % 4:
+            raise AssemblerError("base address must be word-aligned")
+        self.base_address = base_address
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> Program:
+        items, symbols, equs = self._pass1(source)
+        code = self._pass2(items, symbols, equs)
+        entry = symbols.get("_start", self.base_address)
+        return Program(
+            code=bytes(code),
+            symbols=symbols,
+            base_address=self.base_address,
+            entry_point=entry,
+        )
+
+    # -- pass 1: layout -----------------------------------------------------
+    def _pass1(self, source: str):
+        items: List[_Item] = []
+        symbols: Dict[str, int] = {}
+        equs: Dict[str, int] = {}
+        pending_literals: List[Tuple[_Item, str]] = []
+        address = self.base_address
+
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw).strip()
+            if not line:
+                continue
+            # Labels (possibly several on one line).
+            while True:
+                match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*", line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in symbols:
+                    raise AssemblerError(
+                        f"line {line_no}: duplicate label {label!r}"
+                    )
+                symbols[label] = address
+                line = line[match.end():]
+            if not line:
+                continue
+
+            if line.startswith("."):
+                address = self._directive_pass1(
+                    line, line_no, items, equs, symbols, pending_literals, address
+                )
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = parts[1] if len(parts) > 1 else ""
+            item = _Item(
+                "insn", line_no, mnemonic=mnemonic, operands=operands,
+                address=address,
+            )
+            if mnemonic == "bl":
+                item.size = 4
+            if mnemonic == "ldr" and operands.split(",", 1)[-1].strip().startswith("="):
+                # ldr rd, =value -> literal-pool load.
+                literal = operands.split(",", 1)[-1].strip()[1:].strip()
+                pending_literals.append((item, literal))
+            items.append(item)
+            address += item.size
+
+        if pending_literals:
+            # Implicit pool at the end of the program.
+            address = self._emit_pool(
+                items, pending_literals, address, line_no=-1
+            )
+        return items, symbols, equs
+
+    def _directive_pass1(
+        self, line, line_no, items, equs, symbols, pending_literals, address
+    ) -> int:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".equ":
+            pieces = [p.strip() for p in rest.split(",")]
+            if len(pieces) != 2:
+                raise AssemblerError(f"line {line_no}: .equ name, value")
+            equs[pieces[0]] = self._parse_int(pieces[1], equs)
+            return address
+        if name == ".word":
+            if address % 4:
+                raise AssemblerError(
+                    f"line {line_no}: .word at unaligned address {address:#x} "
+                    "(use .align 2 first)"
+                )
+            for piece in rest.split(","):
+                items.append(
+                    _Item(
+                        "word", line_no, address=address,
+                        size=4, operands=piece.strip(),
+                    )
+                )
+                address += 4
+            return address
+        if name == ".byte":
+            for piece in rest.split(","):
+                items.append(
+                    _Item(
+                        "byte", line_no, address=address,
+                        size=1, operands=piece.strip(),
+                    )
+                )
+                address += 1
+            return address
+        if name in (".ascii", ".asciz"):
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"') and len(text) >= 2):
+                raise AssemblerError(
+                    f"line {line_no}: {name} needs a double-quoted string"
+                )
+            raw = (
+                text[1:-1]
+                .encode("ascii")
+                .decode("unicode_escape")
+                .encode("latin-1")
+            )
+            if name == ".asciz":
+                raw += b"\x00"
+            items.append(
+                _Item(
+                    "bytes", line_no, address=address,
+                    size=len(raw), payload=raw,
+                )
+            )
+            return address + len(raw)
+        if name == ".space":
+            n = self._parse_int(rest, equs)
+            if n < 0:
+                raise AssemblerError(f"line {line_no}: negative .space")
+            items.append(_Item("space", line_no, address=address, size=n))
+            return address + n
+        if name == ".align":
+            power = self._parse_int(rest, equs) if rest else 2
+            alignment = 1 << power
+            pad = (-address) % alignment
+            if pad:
+                items.append(_Item("space", line_no, address=address, size=pad))
+            return address + pad
+        if name == ".pool":
+            return self._emit_pool(items, pending_literals, address, line_no)
+        raise AssemblerError(f"line {line_no}: unknown directive {name!r}")
+
+    def _emit_pool(self, items, pending_literals, address, line_no) -> int:
+        if not pending_literals:
+            return address
+        pad = (-address) % 4
+        if pad:
+            items.append(_Item("space", line_no, address=address, size=pad))
+            address += pad
+        seen: Dict[str, int] = {}
+        for insn_item, literal in pending_literals:
+            if literal in seen:
+                insn_item.pool_symbol = f"$pool{seen[literal]:x}"
+                continue
+            entry = _Item(
+                "pool_entry", line_no, address=address, size=4,
+                operands=literal,
+            )
+            insn_item.pool_symbol = f"$pool{address:x}"
+            seen[literal] = address
+            items.append(entry)
+            address += 4
+        pending_literals.clear()
+        return address
+
+    # -- pass 2: encoding --------------------------------------------------
+    def _pass2(self, items, symbols, equs) -> bytearray:
+        # Register pool entries as symbols.
+        for item in items:
+            if item.kind == "pool_entry":
+                symbols[f"$pool{item.address:x}"] = item.address
+        code = bytearray()
+        for item in items:
+            expected = self.base_address + len(code)
+            if expected != item.address:
+                raise AssemblerError(
+                    f"internal: layout drift at line {item.line_no}"
+                )
+            if item.kind == "space":
+                code.extend(b"\x00" * item.size)
+            elif item.kind == "bytes":
+                code.extend(item.payload)
+            elif item.kind == "byte":
+                value = self._resolve(item.operands, symbols, equs, item.line_no)
+                code.extend((value & 0xFF).to_bytes(1, "little"))
+            elif item.kind in ("word", "pool_entry"):
+                value = self._resolve(item.operands, symbols, equs, item.line_no)
+                code.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+            else:
+                encoded = self._encode(item, symbols, equs)
+                for half in encoded:
+                    code.extend(half.to_bytes(2, "little"))
+        return code
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in ("@", ";", "//"):
+            pos = line.find(marker)
+            if pos >= 0:
+                line = line[:pos]
+        return line
+
+    @staticmethod
+    def _parse_int(token: str, equs: Dict[str, int]) -> int:
+        token = token.strip()
+        if token in equs:
+            return equs[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(f"bad integer {token!r}") from None
+
+    def _resolve(self, token, symbols, equs, line_no) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token]
+        if token in equs:
+            return equs[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(
+                f"line {line_no}: unresolved symbol {token!r}"
+            ) from None
+
+    def _immediate(self, token, symbols, equs, line_no) -> int:
+        token = token.strip()
+        if not token.startswith("#"):
+            raise AssemblerError(
+                f"line {line_no}: expected immediate (#...), got {token!r}"
+            )
+        return self._resolve(token[1:], symbols, equs, line_no)
+
+    def _parse_reglist(self, token: str, line_no: int) -> List[int]:
+        token = token.strip()
+        if not (token.startswith("{") and token.endswith("}")):
+            raise AssemblerError(f"line {line_no}: expected register list")
+        regs: List[int] = []
+        for piece in token[1:-1].split(","):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if "-" in piece:
+                lo_s, hi_s = piece.split("-", 1)
+                lo, hi = _parse_register(lo_s), _parse_register(hi_s)
+                if hi < lo:
+                    raise AssemblerError(f"line {line_no}: bad range {piece!r}")
+                regs.extend(range(lo, hi + 1))
+            else:
+                regs.append(_parse_register(piece))
+        return regs
+
+    def _split_operands(self, operands: str) -> List[str]:
+        """Split on commas that are not inside brackets or braces."""
+        parts, depth, current = [], 0, ""
+        for ch in operands:
+            if ch in "[{":
+                depth += 1
+            elif ch in "]}":
+                depth -= 1
+            if ch == "," and depth == 0:
+                parts.append(current.strip())
+                current = ""
+            else:
+                current += ch
+        if current.strip():
+            parts.append(current.strip())
+        return parts
+
+    # -- instruction encoding ------------------------------------------------
+    def _encode(self, item: _Item, symbols, equs) -> List[int]:
+        m = item.mnemonic
+        ops = self._split_operands(item.operands)
+        line = item.line_no
+        addr = item.address
+
+        def imm(tok):
+            return self._immediate(tok, symbols, equs, line)
+
+        def branch_offset(target_tok):
+            target = self._resolve(target_tok, symbols, equs, line)
+            return target - (addr + 4)
+
+        # Branches -------------------------------------------------------
+        if m == "b":
+            return [isa.enc_branch(branch_offset(ops[0]))]
+        if m == "bl":
+            hi, lo = isa.enc_bl(branch_offset(ops[0]))
+            return [hi, lo]
+        if m == "bx":
+            return [isa.enc_bx(_parse_register(ops[0]))]
+        if m == "blx":
+            return [isa.enc_blx_reg(_parse_register(ops[0]))]
+        if m.startswith("b") and m[1:] in isa.CONDITION_CODES:
+            cond = isa.CONDITION_CODES[m[1:]]
+            return [isa.enc_branch_cond(cond, branch_offset(ops[0]))]
+
+        # adr rd, label -> ADD rd, PC, #offset ------------------------------
+        if m == "adr":
+            rd = _parse_register(ops[0])
+            target = self._resolve(ops[1], symbols, equs, line)
+            pc_base = (addr + 4) & ~3
+            offset = target - pc_base
+            if offset < 0 or offset % 4:
+                raise AssemblerError(
+                    f"line {line}: adr target must be word-aligned and "
+                    f"after the instruction (offset {offset})"
+                )
+            return [isa.enc_add_sp_pc(rd, False, offset)]
+
+        # System ---------------------------------------------------------
+        if m == "nop":
+            return [isa.enc_nop()]
+        if m == "bkpt":
+            return [isa.enc_bkpt(imm(ops[0]) if ops else 0)]
+        if m == "svc":
+            return [isa.enc_svc(imm(ops[0]) if ops else 0)]
+
+        # Push/pop/ldm/stm ------------------------------------------------
+        if m in ("push", "pop"):
+            return [
+                isa.enc_push_pop(m == "pop", self._parse_reglist(ops[0], line))
+            ]
+        if m in ("ldmia", "ldm", "stmia", "stm"):
+            rn_tok = ops[0].rstrip("!").strip()
+            rn = _parse_register(rn_tok)
+            regs = self._parse_reglist(ops[1], line)
+            return [isa.enc_ldm_stm(m.startswith("ld"), rn, regs)]
+
+        # Extends / byte-reverse ----------------------------------------------
+        if m in ("sxth", "sxtb", "uxth", "uxtb"):
+            return [isa.enc_extend(m, _parse_register(ops[0]), _parse_register(ops[1]))]
+        if m in ("rev", "rev16", "revsh"):
+            return [isa.enc_rev(m, _parse_register(ops[0]), _parse_register(ops[1]))]
+
+        # Loads/stores ------------------------------------------------------
+        if m in (
+            "ldr", "str", "ldrb", "strb", "ldrh", "strh", "ldrsb", "ldrsh"
+        ):
+            return self._encode_load_store(m, ops, item, symbols, equs)
+
+        # Shifts -----------------------------------------------------------
+        if m in ("lsls", "lsrs", "asrs", "lsl", "lsr", "asr"):
+            base = m.rstrip("s") if m.endswith("s") else m
+            if len(ops) == 3 and ops[2].startswith("#"):
+                return [
+                    isa.enc_shift_imm(
+                        base,
+                        _parse_register(ops[0]),
+                        _parse_register(ops[1]),
+                        imm(ops[2]),
+                    )
+                ]
+            return [isa.enc_alu(base, _parse_register(ops[0]), _parse_register(ops[1]))]
+        if m in ("rors", "ror"):
+            return [isa.enc_alu("ror", _parse_register(ops[0]), _parse_register(ops[1]))]
+
+        # mov --------------------------------------------------------------
+        if m in ("movs", "mov"):
+            rd = _parse_register(ops[0])
+            if ops[1].startswith("#"):
+                return [isa.enc_mov_cmp_add_sub_imm8("mov", rd, imm(ops[1]))]
+            rm = _parse_register(ops[1])
+            if m == "movs":
+                # MOVS Rd, Rm encodes as LSLS Rd, Rm, #0.
+                return [isa.enc_shift_imm("lsl", rd, rm, 0)]
+            return [isa.enc_hi_op("mov", rd, rm)]
+
+        # add/sub ------------------------------------------------------------
+        if m in ("adds", "add", "subs", "sub"):
+            return self._encode_add_sub(m, ops, item, symbols, equs)
+
+        # compare ------------------------------------------------------------
+        if m == "cmp":
+            rd = _parse_register(ops[0])
+            if ops[1].startswith("#"):
+                return [isa.enc_mov_cmp_add_sub_imm8("cmp", rd, imm(ops[1]))]
+            rm = _parse_register(ops[1])
+            if rd > 7 or rm > 7:
+                return [isa.enc_hi_op("cmp", rd, rm)]
+            return [isa.enc_alu("cmp", rd, rm)]
+        if m == "cmn":
+            return [isa.enc_alu("cmn", _parse_register(ops[0]), _parse_register(ops[1]))]
+        if m == "tst":
+            return [isa.enc_alu("tst", _parse_register(ops[0]), _parse_register(ops[1]))]
+
+        # Format-4 ALU -------------------------------------------------------
+        alu_names = {
+            "ands": "and", "eors": "eor", "adcs": "adc", "sbcs": "sbc",
+            "orrs": "orr", "muls": "mul", "bics": "bic", "mvns": "mvn",
+            "and": "and", "eor": "eor", "adc": "adc", "sbc": "sbc",
+            "orr": "orr", "mul": "mul", "bic": "bic", "mvn": "mvn",
+            "rsbs": "rsb", "rsb": "rsb", "negs": "rsb", "neg": "rsb",
+        }
+        if m in alu_names:
+            rd = _parse_register(ops[0])
+            rm = _parse_register(ops[1])
+            if alu_names[m] == "mul" and len(ops) == 3:
+                # muls rd, rn, rd form: encode rd, rn.
+                rm = _parse_register(ops[1])
+            return [isa.enc_alu(alu_names[m], rd, rm)]
+
+        raise AssemblerError(
+            f"line {line}: unsupported instruction {m!r} {item.operands!r}"
+        )
+
+    def _encode_add_sub(self, m, ops, item, symbols, equs) -> List[int]:
+        line = item.line_no
+        sub = m.startswith("sub")
+        rd = _parse_register(ops[0])
+
+        def imm(tok):
+            return self._immediate(tok, symbols, equs, line)
+
+        if len(ops) == 2:
+            if ops[1].startswith("#"):
+                value = imm(ops[1])
+                if rd == 13:
+                    return [isa.enc_adjust_sp(-value if sub else value)]
+                return [
+                    isa.enc_mov_cmp_add_sub_imm8(
+                        "sub" if sub else "add", rd, value
+                    )
+                ]
+            rm = _parse_register(ops[1])
+            if not sub and (rd > 7 or rm > 7):
+                return [isa.enc_hi_op("add", rd, rm)]
+            # adds rd, rm == adds rd, rd, rm
+            return [isa.enc_add_sub_reg(sub, rd, rd, rm)]
+        rn = _parse_register(ops[1])
+        if ops[2].startswith("#"):
+            value = imm(ops[2])
+            if rn == 13 and not sub:
+                return [isa.enc_add_sp_pc(rd, True, value)]
+            if rn == 15 and not sub:
+                return [isa.enc_add_sp_pc(rd, False, value)]
+            if rd == rn and value > 7:
+                return [
+                    isa.enc_mov_cmp_add_sub_imm8(
+                        "sub" if sub else "add", rd, value
+                    )
+                ]
+            return [isa.enc_add_sub_imm3(sub, rd, rn, value)]
+        rm = _parse_register(ops[2])
+        return [isa.enc_add_sub_reg(sub, rd, rn, rm)]
+
+    def _encode_load_store(self, m, ops, item, symbols, equs) -> List[int]:
+        line = item.line_no
+        addr = item.address
+        rd = _parse_register(ops[0])
+
+        # ldr rd, =value
+        if m == "ldr" and ops[1].startswith("="):
+            pool_addr = symbols.get(item.pool_symbol or "", None)
+            if pool_addr is None:
+                raise AssemblerError(
+                    f"line {line}: literal pool entry missing (add .pool)"
+                )
+            pc_base = (addr + 4) & ~3
+            offset = pool_addr - pc_base
+            if offset < 0 or offset % 4:
+                raise AssemblerError(
+                    f"line {line}: literal pool out of range (offset {offset})"
+                )
+            return [isa.enc_ldr_literal(rd, offset // 4)]
+
+        # ldr rd, label  (PC-relative literal)
+        if m == "ldr" and not ops[1].startswith("["):
+            target = self._resolve(ops[1], symbols, equs, line)
+            pc_base = (addr + 4) & ~3
+            offset = target - pc_base
+            if offset < 0 or offset % 4:
+                raise AssemblerError(
+                    f"line {line}: literal {ops[1]!r} not addressable"
+                )
+            return [isa.enc_ldr_literal(rd, offset // 4)]
+
+        mem = ops[1].strip()
+        if not (mem.startswith("[") and mem.endswith("]")):
+            raise AssemblerError(f"line {line}: expected [..] operand")
+        inner = [p.strip() for p in mem[1:-1].split(",")]
+        rn = _parse_register(inner[0])
+        if len(inner) == 1:
+            offset_tok = "#0"
+        else:
+            offset_tok = inner[1]
+
+        if offset_tok.startswith("#"):
+            offset = self._immediate(offset_tok, symbols, equs, line)
+            if rn == 13:
+                if m not in ("ldr", "str"):
+                    raise AssemblerError(
+                        f"line {line}: only word access allowed SP-relative"
+                    )
+                return [isa.enc_ldr_str_sp(m == "ldr", rd, offset)]
+            if m in ("ldr", "str", "ldrb", "strb"):
+                return [isa.enc_ldr_str_imm(m, rd, rn, offset)]
+            if m in ("ldrh", "strh"):
+                return [isa.enc_ldrh_strh_imm(m == "ldrh", rd, rn, offset)]
+            raise AssemblerError(
+                f"line {line}: {m} has no immediate-offset form"
+            )
+        rm = _parse_register(offset_tok)
+        return [isa.enc_ldr_str_reg(m, rd, rn, rm)]
+
+
+def assemble(source: str, base_address: int = 0) -> Program:
+    """Assemble Thumb source text into a :class:`Program`."""
+    return Assembler(base_address).assemble(source)

@@ -1,0 +1,201 @@
+"""Thumb disassembler.
+
+Decodes the 16-bit encodings of :mod:`repro.cpu.isa` back to assembly
+text.  Used for debugging ISS traces and for round-trip testing of the
+assembler (assemble(disassemble(word)) == word).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CpuError
+
+_ALU_NAMES = [
+    "ands", "eors", "lsls", "lsrs", "asrs", "adcs", "sbcs", "rors",
+    "tst", "rsbs", "cmp", "cmn", "orrs", "muls", "bics", "mvns",
+]
+
+_COND_NAMES = [
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le",
+]
+
+_MEM_REG_NAMES = [
+    "str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh",
+]
+
+
+def _reg(index: int) -> str:
+    return {13: "sp", 14: "lr", 15: "pc"}.get(index, f"r{index}")
+
+
+def _reglist(bits: int, special: Optional[str] = None) -> str:
+    regs = [f"r{i}" for i in range(8) if bits & (1 << i)]
+    if special:
+        regs.append(special)
+    return "{" + ", ".join(regs) + "}"
+
+
+def disassemble_one(
+    insn: int, address: int = 0, suffix: Optional[int] = None
+) -> Tuple[str, int]:
+    """Disassemble one instruction.
+
+    Args:
+        insn: The 16-bit instruction word.
+        address: Instruction address (for branch targets).
+        suffix: The following halfword, needed for 32-bit BL.
+
+    Returns:
+        (text, size_bytes) — size is 2, or 4 for BL.
+    """
+    if (insn & 0xF800) == 0xF000:
+        if suffix is None or (suffix & 0xF800) != 0xF800:
+            raise CpuError(f"BL prefix {insn:#06x} without suffix")
+        offset = ((insn & 0x7FF) << 11) | (suffix & 0x7FF)
+        if offset & (1 << 21):
+            offset -= 1 << 22
+        target = address + 4 + (offset << 1)
+        return f"bl {target:#x}", 4
+
+    top5 = insn >> 11
+    if top5 in (0, 1, 2):
+        op = ["lsls", "lsrs", "asrs"][top5]
+        imm5 = (insn >> 6) & 0x1F
+        rm, rd = (insn >> 3) & 7, insn & 7
+        if top5 == 0 and imm5 == 0:
+            return f"movs r{rd}, r{rm}", 2
+        return f"{op} r{rd}, r{rm}, #{imm5}", 2
+    if top5 == 3:
+        imm = bool(insn & (1 << 10))
+        op = "subs" if insn & (1 << 9) else "adds"
+        operand = (insn >> 6) & 7
+        rn, rd = (insn >> 3) & 7, insn & 7
+        src = f"#{operand}" if imm else f"r{operand}"
+        return f"{op} r{rd}, r{rn}, {src}", 2
+    if (insn >> 13) == 1:
+        op = ["movs", "cmp", "adds", "subs"][(insn >> 11) & 3]
+        rd, imm8 = (insn >> 8) & 7, insn & 0xFF
+        return f"{op} r{rd}, #{imm8}", 2
+    if (insn & 0xFC00) == 0x4000:
+        op = _ALU_NAMES[(insn >> 6) & 0xF]
+        rm, rdn = (insn >> 3) & 7, insn & 7
+        return f"{op} r{rdn}, r{rm}", 2
+    if (insn & 0xFC00) == 0x4400:
+        op = (insn >> 8) & 3
+        rm = (insn >> 3) & 0xF
+        rd = ((insn >> 4) & 8) | (insn & 7)
+        if op == 3:
+            name = "blx" if insn & 0x80 else "bx"
+            return f"{name} {_reg(rm)}", 2
+        return f"{['add', 'cmp', 'mov'][op]} {_reg(rd)}, {_reg(rm)}", 2
+    if (insn & 0xF800) == 0x4800:
+        rd, imm8 = (insn >> 8) & 7, insn & 0xFF
+        target = ((address + 4) & ~3) + imm8 * 4
+        return f"ldr r{rd}, [pc, #{imm8 * 4}]  @ {target:#x}", 2
+    if (insn & 0xF000) == 0x5000:
+        op = _MEM_REG_NAMES[(insn >> 9) & 7]
+        rm, rn, rd = (insn >> 6) & 7, (insn >> 3) & 7, insn & 7
+        return f"{op} r{rd}, [r{rn}, r{rm}]", 2
+    if (insn & 0xE000) == 0x6000:
+        byte = bool(insn & (1 << 12))
+        load = bool(insn & (1 << 11))
+        imm5 = (insn >> 6) & 0x1F
+        rn, rd = (insn >> 3) & 7, insn & 7
+        op = ("ldr" if load else "str") + ("b" if byte else "")
+        offset = imm5 * (1 if byte else 4)
+        return f"{op} r{rd}, [r{rn}, #{offset}]", 2
+    if (insn & 0xF000) == 0x8000:
+        load = bool(insn & (1 << 11))
+        imm5 = (insn >> 6) & 0x1F
+        rn, rd = (insn >> 3) & 7, insn & 7
+        return f"{'ldrh' if load else 'strh'} r{rd}, [r{rn}, #{imm5 * 2}]", 2
+    if (insn & 0xF000) == 0x9000:
+        load = bool(insn & (1 << 11))
+        rd, imm8 = (insn >> 8) & 7, insn & 0xFF
+        return f"{'ldr' if load else 'str'} r{rd}, [sp, #{imm8 * 4}]", 2
+    if (insn & 0xF000) == 0xA000:
+        base = "sp" if insn & (1 << 11) else "pc"
+        rd, imm8 = (insn >> 8) & 7, insn & 0xFF
+        return f"add r{rd}, {base}, #{imm8 * 4}", 2
+    if (insn & 0xFF00) == 0xB000:
+        magnitude = (insn & 0x7F) * 4
+        op = "sub" if insn & 0x80 else "add"
+        return f"{op} sp, #{magnitude}", 2
+    if (insn & 0xFF00) == 0xB200:
+        op = ["sxth", "sxtb", "uxth", "uxtb"][(insn >> 6) & 3]
+        rm, rd = (insn >> 3) & 7, insn & 7
+        return f"{op} r{rd}, r{rm}", 2
+    if (insn & 0xFF00) == 0xBA00:
+        variant = (insn >> 6) & 3
+        names = {0: "rev", 1: "rev16", 3: "revsh"}
+        if variant not in names:
+            raise CpuError(f"undefined REV variant {insn:#06x}")
+        rm, rd = (insn >> 3) & 7, insn & 7
+        return f"{names[variant]} r{rd}, r{rm}", 2
+    if (insn & 0xF600) == 0xB400:
+        pop = bool(insn & (1 << 11))
+        special = bool(insn & (1 << 8))
+        bits = insn & 0xFF
+        extra = ("pc" if pop else "lr") if special else None
+        return f"{'pop' if pop else 'push'} {_reglist(bits, extra)}", 2
+    if (insn & 0xFF00) == 0xBE00:
+        return f"bkpt #{insn & 0xFF}", 2
+    if insn == 0xBF00:
+        return "nop", 2
+    if (insn & 0xF000) == 0xC000:
+        load = bool(insn & (1 << 11))
+        rn = (insn >> 8) & 7
+        return (
+            f"{'ldmia' if load else 'stmia'} r{rn}!, {_reglist(insn & 0xFF)}",
+            2,
+        )
+    if (insn & 0xFF00) == 0xDF00:
+        return f"svc #{insn & 0xFF}", 2
+    if (insn & 0xF000) == 0xD000:
+        cond = (insn >> 8) & 0xF
+        if cond > 0xD:
+            raise CpuError(f"undefined conditional branch {insn:#06x}")
+        offset = insn & 0xFF
+        if offset & 0x80:
+            offset -= 0x100
+        target = address + 4 + (offset << 1)
+        return f"b{_COND_NAMES[cond]} {target:#x}", 2
+    if (insn & 0xF800) == 0xE000:
+        offset = insn & 0x7FF
+        if offset & 0x400:
+            offset -= 0x800
+        target = address + 4 + (offset << 1)
+        return f"b {target:#x}", 2
+    raise CpuError(f"cannot disassemble {insn:#06x}")
+
+
+def disassemble(code: bytes, base_address: int = 0) -> List[Tuple[int, str]]:
+    """Disassemble a code buffer into (address, text) pairs.
+
+    Stops cleanly at data it cannot decode (literal pools) by emitting
+    ``.word`` lines for undecodable 32-bit chunks.
+    """
+    out: List[Tuple[int, str]] = []
+    offset = 0
+    while offset + 2 <= len(code):
+        address = base_address + offset
+        insn = int.from_bytes(code[offset : offset + 2], "little")
+        suffix = None
+        if offset + 4 <= len(code):
+            suffix = int.from_bytes(code[offset + 2 : offset + 4], "little")
+        try:
+            text, size = disassemble_one(insn, address, suffix)
+        except CpuError:
+            if offset + 4 <= len(code):
+                word = int.from_bytes(code[offset : offset + 4], "little")
+                out.append((address, f".word {word:#010x}"))
+                offset += 4
+                continue
+            out.append((address, f".word {insn:#06x} (truncated)"))
+            offset += 2
+            continue
+        out.append((address, text))
+        offset += size
+    return out

@@ -1,0 +1,272 @@
+"""Thumb (ARMv6-M) instruction encodings.
+
+Encoder functions produce genuine 16-bit Thumb machine words (BL is the
+usual 32-bit pair), shared by the assembler; the simulator decodes the
+same bit patterns.  Field layouts follow the ARMv6-M Architecture
+Reference Manual.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import AssemblerError
+
+CONDITION_CODES = {
+    "eq": 0x0, "ne": 0x1, "cs": 0x2, "hs": 0x2, "cc": 0x3, "lo": 0x3,
+    "mi": 0x4, "pl": 0x5, "vs": 0x6, "vc": 0x7, "hi": 0x8, "ls": 0x9,
+    "ge": 0xA, "lt": 0xB, "gt": 0xC, "le": 0xD,
+}
+
+#: Format-4 register-register ALU opcodes (010000 op Rm Rdn).
+ALU_OPCODES = {
+    "and": 0x0, "eor": 0x1, "lsl": 0x2, "lsr": 0x3, "asr": 0x4,
+    "adc": 0x5, "sbc": 0x6, "ror": 0x7, "tst": 0x8, "rsb": 0x9,
+    "cmp": 0xA, "cmn": 0xB, "orr": 0xC, "mul": 0xD, "bic": 0xE,
+    "mvn": 0xF,
+}
+
+
+def _check_low(reg: int, what: str) -> None:
+    if not (0 <= reg <= 7):
+        raise AssemblerError(f"{what} must be a low register (r0-r7), got r{reg}")
+
+
+def _check_range(value: int, lo: int, hi: int, what: str) -> None:
+    if not (lo <= value <= hi):
+        raise AssemblerError(f"{what} out of range [{lo}, {hi}]: {value}")
+
+
+# -- shifts and 3-bit immediate arithmetic -------------------------------
+def enc_shift_imm(op: str, rd: int, rm: int, imm5: int) -> int:
+    """LSL/LSR/ASR Rd, Rm, #imm5  (format 1)."""
+    opcodes = {"lsl": 0, "lsr": 1, "asr": 2}
+    _check_low(rd, "Rd")
+    _check_low(rm, "Rm")
+    _check_range(imm5, 0, 31, "shift amount")
+    return (opcodes[op] << 11) | (imm5 << 6) | (rm << 3) | rd
+
+
+def enc_add_sub_reg(sub: bool, rd: int, rn: int, rm: int) -> int:
+    """ADDS/SUBS Rd, Rn, Rm  (format 2, register)."""
+    for r, w in ((rd, "Rd"), (rn, "Rn"), (rm, "Rm")):
+        _check_low(r, w)
+    return 0x1800 | (int(sub) << 9) | (rm << 6) | (rn << 3) | rd
+
+
+def enc_add_sub_imm3(sub: bool, rd: int, rn: int, imm3: int) -> int:
+    """ADDS/SUBS Rd, Rn, #imm3  (format 2, immediate)."""
+    _check_low(rd, "Rd")
+    _check_low(rn, "Rn")
+    _check_range(imm3, 0, 7, "imm3")
+    return 0x1C00 | (int(sub) << 9) | (imm3 << 6) | (rn << 3) | rd
+
+
+def enc_mov_cmp_add_sub_imm8(op: str, rd: int, imm8: int) -> int:
+    """MOVS/CMP/ADDS/SUBS Rd, #imm8  (format 3)."""
+    opcodes = {"mov": 0, "cmp": 1, "add": 2, "sub": 3}
+    _check_low(rd, "Rd")
+    _check_range(imm8, 0, 255, "imm8")
+    return 0x2000 | (opcodes[op] << 11) | (rd << 8) | imm8
+
+
+def enc_alu(op: str, rdn: int, rm: int) -> int:
+    """Format-4 ALU: <op>S Rdn, Rm."""
+    _check_low(rdn, "Rdn")
+    _check_low(rm, "Rm")
+    return 0x4000 | (ALU_OPCODES[op] << 6) | (rm << 3) | rdn
+
+
+# -- high-register ops and BX ----------------------------------------------
+def enc_hi_op(op: str, rd: int, rm: int) -> int:
+    """ADD/CMP/MOV with high registers (format 5)."""
+    opcodes = {"add": 0, "cmp": 1, "mov": 2}
+    _check_range(rd, 0, 15, "Rd")
+    _check_range(rm, 0, 15, "Rm")
+    h1, h2 = rd >> 3, rm >> 3
+    return (
+        0x4400
+        | (opcodes[op] << 8)
+        | (h1 << 7)
+        | (h2 << 6)
+        | ((rm & 7) << 3)
+        | (rd & 7)
+    )
+
+
+def enc_bx(rm: int) -> int:
+    _check_range(rm, 0, 15, "Rm")
+    return 0x4700 | (rm << 3)
+
+
+def enc_blx_reg(rm: int) -> int:
+    _check_range(rm, 0, 15, "Rm")
+    return 0x4780 | (rm << 3)
+
+
+# -- loads and stores ----------------------------------------------------------
+def enc_ldr_literal(rd: int, imm8_words: int) -> int:
+    """LDR Rd, [PC, #imm8*4]  (format 6)."""
+    _check_low(rd, "Rd")
+    _check_range(imm8_words, 0, 255, "literal offset (words)")
+    return 0x4800 | (rd << 8) | imm8_words
+
+
+def enc_ldr_str_reg(op: str, rd: int, rn: int, rm: int) -> int:
+    """LDR/STR/LDRB/STRB/LDRH/STRH/LDRSB/LDRSH Rd, [Rn, Rm] (formats 7/8)."""
+    opcodes = {
+        "str": 0b000, "strh": 0b001, "strb": 0b010, "ldrsb": 0b011,
+        "ldr": 0b100, "ldrh": 0b101, "ldrb": 0b110, "ldrsh": 0b111,
+    }
+    for r, w in ((rd, "Rd"), (rn, "Rn"), (rm, "Rm")):
+        _check_low(r, w)
+    return 0x5000 | (opcodes[op] << 9) | (rm << 6) | (rn << 3) | rd
+
+
+def enc_ldr_str_imm(op: str, rd: int, rn: int, offset: int) -> int:
+    """LDR/STR (word, imm5*4), LDRB/STRB (imm5), formats 9."""
+    _check_low(rd, "Rd")
+    _check_low(rn, "Rn")
+    if op in ("ldr", "str"):
+        if offset % 4:
+            raise AssemblerError(f"word offset must be a multiple of 4: {offset}")
+        imm5 = offset // 4
+        base = 0x6000 | ((op == "ldr") << 11)
+    elif op in ("ldrb", "strb"):
+        imm5 = offset
+        base = 0x7000 | ((op == "ldrb") << 11)
+    else:
+        raise AssemblerError(f"bad immediate load/store op {op!r}")
+    _check_range(imm5, 0, 31, "offset")
+    return base | (imm5 << 6) | (rn << 3) | rd
+
+
+def enc_ldrh_strh_imm(load: bool, rd: int, rn: int, offset: int) -> int:
+    """LDRH/STRH Rd, [Rn, #imm5*2]  (format 10)."""
+    _check_low(rd, "Rd")
+    _check_low(rn, "Rn")
+    if offset % 2:
+        raise AssemblerError(f"halfword offset must be even: {offset}")
+    imm5 = offset // 2
+    _check_range(imm5, 0, 31, "offset")
+    return 0x8000 | (int(load) << 11) | (imm5 << 6) | (rn << 3) | rd
+
+
+def enc_ldr_str_sp(load: bool, rd: int, offset: int) -> int:
+    """LDR/STR Rd, [SP, #imm8*4]  (format 11)."""
+    _check_low(rd, "Rd")
+    if offset % 4:
+        raise AssemblerError(f"SP offset must be a multiple of 4: {offset}")
+    imm8 = offset // 4
+    _check_range(imm8, 0, 255, "SP offset")
+    return 0x9000 | (int(load) << 11) | (rd << 8) | imm8
+
+
+def enc_add_sp_pc(rd: int, use_sp: bool, offset: int) -> int:
+    """ADD Rd, SP/PC, #imm8*4  (format 12)."""
+    _check_low(rd, "Rd")
+    if offset % 4:
+        raise AssemblerError(f"offset must be a multiple of 4: {offset}")
+    imm8 = offset // 4
+    _check_range(imm8, 0, 255, "offset")
+    return 0xA000 | (int(use_sp) << 11) | (rd << 8) | imm8
+
+
+def enc_adjust_sp(offset: int) -> int:
+    """ADD/SUB SP, #imm7*4  (format 13)."""
+    if offset % 4:
+        raise AssemblerError(f"SP adjustment must be a multiple of 4: {offset}")
+    magnitude = abs(offset) // 4
+    _check_range(magnitude, 0, 127, "SP adjustment")
+    return 0xB000 | (int(offset < 0) << 7) | magnitude
+
+
+def enc_push_pop(pop: bool, reglist: "List[int]") -> int:
+    """PUSH {..., LR} / POP {..., PC}  (format 14)."""
+    bits = 0
+    special = False
+    for reg in reglist:
+        if reg <= 7:
+            bits |= 1 << reg
+        elif (not pop and reg == 14) or (pop and reg == 15):
+            special = True
+        else:
+            raise AssemblerError(
+                f"r{reg} not allowed in {'pop' if pop else 'push'} list"
+            )
+    if bits == 0 and not special:
+        raise AssemblerError("empty register list")
+    return 0xB400 | (int(pop) << 11) | (int(special) << 8) | bits
+
+
+def enc_extend(op: str, rd: int, rm: int) -> int:
+    """SXTH/SXTB/UXTH/UXTB  (ARMv6-M)."""
+    opcodes = {"sxth": 0, "sxtb": 1, "uxth": 2, "uxtb": 3}
+    _check_low(rd, "Rd")
+    _check_low(rm, "Rm")
+    return 0xB200 | (opcodes[op] << 6) | (rm << 3) | rd
+
+
+def enc_rev(op: str, rd: int, rm: int) -> int:
+    """REV/REV16/REVSH."""
+    opcodes = {"rev": 0, "rev16": 1, "revsh": 3}
+    _check_low(rd, "Rd")
+    _check_low(rm, "Rm")
+    return 0xBA00 | (opcodes[op] << 6) | (rm << 3) | rd
+
+
+def enc_ldm_stm(load: bool, rn: int, reglist: "List[int]") -> int:
+    """LDMIA/STMIA Rn!, {reglist}  (format 15)."""
+    _check_low(rn, "Rn")
+    bits = 0
+    for reg in reglist:
+        _check_low(reg, "list register")
+        bits |= 1 << reg
+    if bits == 0:
+        raise AssemblerError("empty register list")
+    return 0xC000 | (int(load) << 11) | (rn << 8) | bits
+
+
+# -- branches ------------------------------------------------------------------
+def enc_branch_cond(cond: int, offset_bytes: int) -> int:
+    """B<cond> with a signed byte offset from PC+4 (format 16)."""
+    if offset_bytes % 2:
+        raise AssemblerError("branch offset must be even")
+    imm8 = offset_bytes >> 1
+    _check_range(imm8, -128, 127, "conditional branch offset")
+    return 0xD000 | (cond << 8) | (imm8 & 0xFF)
+
+
+def enc_branch(offset_bytes: int) -> int:
+    """B with a signed byte offset from PC+4 (format 18)."""
+    if offset_bytes % 2:
+        raise AssemblerError("branch offset must be even")
+    imm11 = offset_bytes >> 1
+    _check_range(imm11, -1024, 1023, "branch offset")
+    return 0xE000 | (imm11 & 0x7FF)
+
+
+def enc_bl(offset_bytes: int) -> "tuple[int, int]":
+    """BL as the 32-bit Thumb pair (prefix 0xF000, suffix 0xF800)."""
+    if offset_bytes % 2:
+        raise AssemblerError("BL offset must be even")
+    value = offset_bytes >> 1
+    _check_range(value, -(1 << 21), (1 << 21) - 1, "BL offset")
+    value &= (1 << 22) - 1
+    high = (value >> 11) & 0x7FF
+    low = value & 0x7FF
+    return 0xF000 | high, 0xF800 | low
+
+
+def enc_bkpt(imm8: int = 0) -> int:
+    _check_range(imm8, 0, 255, "BKPT immediate")
+    return 0xBE00 | imm8
+
+
+def enc_svc(imm8: int = 0) -> int:
+    _check_range(imm8, 0, 255, "SVC immediate")
+    return 0xDF00 | imm8
+
+
+def enc_nop() -> int:
+    return 0xBF00

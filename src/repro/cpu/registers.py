@@ -1,0 +1,102 @@
+"""ARMv6-M architectural state: core registers and the APSR flags."""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+#: Register aliases accepted by the assembler and simulator.
+SP = 13
+LR = 14
+PC = 15
+
+_MASK32 = 0xFFFFFFFF
+
+
+class RegisterFile:
+    """R0-R15 plus the N/Z/C/V flags of the APSR.
+
+    All values are stored as unsigned 32-bit integers; helpers convert to
+    signed form where needed.
+    """
+
+    def __init__(self) -> None:
+        self._regs = [0] * 16
+        self.n = False
+        self.z = False
+        self.c = False
+        self.v = False
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        if index == PC:
+            # Reading PC yields the current instruction address + 4
+            # (Thumb pipeline semantics).
+            return (self._regs[PC] + 4) & _MASK32
+        return self._regs[index]
+
+    def read_raw_pc(self) -> int:
+        """The address of the instruction being executed."""
+        return self._regs[PC]
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self._regs[index] = value & _MASK32
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index <= 15):
+            raise ExecutionError(f"register index out of range: {index}")
+
+    # -- flags -----------------------------------------------------------
+    def set_nz(self, result: int) -> None:
+        result &= _MASK32
+        self.n = bool(result & 0x80000000)
+        self.z = result == 0
+
+    def flags_word(self) -> int:
+        """APSR condition bits packed as NZCV (for tests/tracing)."""
+        return (
+            (self.n << 3) | (self.z << 2) | (self.c << 1) | int(self.v)
+        )
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def to_signed(value: int) -> int:
+        value &= _MASK32
+        return value - 0x100000000 if value & 0x80000000 else value
+
+    def dump(self) -> str:
+        rows = []
+        for i in range(0, 16, 4):
+            cells = [
+                f"r{j:<2}={self._regs[j]:08x}" for j in range(i, i + 4)
+            ]
+            rows.append("  ".join(cells))
+        rows.append(
+            f"N={int(self.n)} Z={int(self.z)} C={int(self.c)} V={int(self.v)}"
+        )
+        return "\n".join(rows)
+
+
+def condition_passed(cond: int, regs: RegisterFile) -> bool:
+    """Evaluate an ARM condition code against the APSR."""
+    n, z, c, v = regs.n, regs.z, regs.c, regs.v
+    checks = {
+        0x0: z,                # EQ
+        0x1: not z,            # NE
+        0x2: c,                # CS/HS
+        0x3: not c,            # CC/LO
+        0x4: n,                # MI
+        0x5: not n,            # PL
+        0x6: v,                # VS
+        0x7: not v,            # VC
+        0x8: c and not z,      # HI
+        0x9: (not c) or z,     # LS
+        0xA: n == v,           # GE
+        0xB: n != v,           # LT
+        0xC: (not z) and n == v,   # GT
+        0xD: z or n != v,      # LE
+        0xE: True,             # AL
+    }
+    if cond not in checks:
+        raise ExecutionError(f"invalid condition code {cond:#x}")
+    return checks[cond]

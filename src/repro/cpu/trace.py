@@ -1,0 +1,148 @@
+"""VCD-style switching-activity statistics.
+
+The paper derives application-dependent power from .vcd waveforms (digital
+1/0 vs time for each net).  For the analytical power model we need one
+number per workload: the average switching-activity factor — the fraction
+of state bits that toggle per cycle.  :class:`ActivityTrace` estimates it
+from architectural events (register writes), which track datapath
+switching closely on a small in-order core.
+
+A real .vcd writer is also provided for interoperability/debugging.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple
+
+#: Architectural state bits observed: 16 registers x 32 bits.
+_STATE_BITS = 16 * 32
+
+#: Datapath-to-architectural toggle amplification: internal nets (ALU,
+#: muxes, forwarding, control) toggle more than architectural registers.
+_DATAPATH_AMPLIFICATION = 3.0
+
+
+def hamming32(a: int, b: int) -> int:
+    """Number of differing bits between two 32-bit values."""
+    return bin((a ^ b) & 0xFFFFFFFF).count("1")
+
+
+class ActivityTrace:
+    """Accumulates toggle counts to estimate an activity factor."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.register_toggles = 0
+        self.register_writes = 0
+
+    def clock(self, cycles: int) -> None:
+        self.cycles += cycles
+
+    def register_write(self, index: int, old: int, new: int) -> None:
+        self.register_writes += 1
+        self.register_toggles += hamming32(old, new)
+
+    def toggles_per_cycle(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.register_toggles / self.cycles
+
+    def activity_factor(self) -> float:
+        """Estimated fraction of gate capacitance switched per cycle.
+
+        Architectural toggles per cycle, normalized by observed state
+        bits and amplified by the datapath factor; clamped to [0, 1].
+        """
+        if self.cycles == 0:
+            return 0.0
+        raw = (
+            self.toggles_per_cycle() / _STATE_BITS * _DATAPATH_AMPLIFICATION
+        )
+        return min(raw, 1.0)
+
+
+class VcdWriter:
+    """Minimal value-change-dump writer for debugging waveforms."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else io.StringIO()
+        self._signals: Dict[str, str] = {}
+        self._values: Dict[str, int] = {}
+        self._next_code = 33  # '!'
+        self._header_done = False
+        self._time = 0
+
+    def add_signal(self, name: str, width: int = 1) -> None:
+        if self._header_done:
+            raise ValueError("cannot add signals after the header is written")
+        code = chr(self._next_code)
+        self._next_code += 1
+        self._signals[name] = code
+        self._values[name] = 0
+        self.stream.write(f"$var wire {width} {code} {name} $end\n")
+
+    def write_header(self, timescale: str = "1ns") -> None:
+        self.stream.write(f"$timescale {timescale} $end\n")
+        self.stream.write("$enddefinitions $end\n")
+        self._header_done = True
+
+    def change(self, time: int, name: str, value: int) -> None:
+        if not self._header_done:
+            raise ValueError("write_header() first")
+        if name not in self._signals:
+            raise KeyError(f"unknown signal {name!r}")
+        if value == self._values[name]:
+            return
+        if time != self._time:
+            self.stream.write(f"#{time}\n")
+            self._time = time
+        self._values[name] = value
+        self.stream.write(f"b{value:b} {self._signals[name]}\n")
+
+    def getvalue(self) -> str:
+        if isinstance(self.stream, io.StringIO):
+            return self.stream.getvalue()
+        raise ValueError("writer is not backed by a StringIO")
+
+
+def record_execution_vcd(
+    cpu,
+    max_steps: int = 10_000,
+    registers: "tuple[int, ...]" = (0, 1, 2, 3, 13, 15),
+) -> str:
+    """Run a loaded CPU to halt, dumping a .vcd of selected registers.
+
+    Reproduces the paper's step-4 intermediate: "cycle-accurate digital
+    waveforms (digital 1 or 0 vs time) for each net ... represented in
+    .vcd format".  Time is in clock cycles.
+
+    Args:
+        cpu: A :class:`~repro.cpu.simulator.CortexM0` with a program
+            loaded (not yet run).
+        max_steps: Execution cap.
+        registers: Register indices to record (PC = 15, SP = 13).
+
+    Returns:
+        The VCD text.
+    """
+    writer = VcdWriter()
+    names = {}
+    for index in registers:
+        name = {13: "sp", 15: "pc"}.get(index, f"r{index}")
+        names[index] = name
+        writer.add_signal(name, width=32)
+    writer.write_header(timescale="1ns")
+    steps = 0
+    while not cpu.halted and steps < max_steps:
+        cycle = cpu.stats.cycles
+        for index in registers:
+            value = (
+                cpu.regs.read_raw_pc()
+                if index == 15
+                else cpu.regs.read(index)
+            )
+            writer.change(cycle, names[index], value)
+        cpu.step()
+        steps += 1
+    return writer.getvalue()

@@ -1,0 +1,33 @@
+"""Compact device models for Si FinFETs, CNFETs, and IGZO FETs.
+
+All three FET families share the virtual-source (VS) model form of
+Khakifirooz et al. (reference [37] of the paper) — "a simple semiempirical
+short-channel MOSFET current-voltage model continuous across all regions
+of operation".  The paper uses exactly this model family: ASAP7 models for
+Si CMOS [19], the VS-CNFET model [27], and a virtual-source IGZO model
+calibrated to measured data (mobility 1 cm^2/V.s, subthreshold slope
+90 mV/decade) [37], [38].
+
+Technology parameter sets live in :mod:`silicon`, :mod:`cnfet`, and
+:mod:`igzo`; the model math in :mod:`virtual_source`; the simulator-facing
+interface in :mod:`fet`.
+"""
+
+from repro.devices.fet import FET, Polarity
+from repro.devices.virtual_source import VirtualSourceFET, VSParameters
+from repro.devices.silicon import si_nfet, si_pfet
+from repro.devices.cnfet import cnfet_nfet, cnfet_pfet, CnfetQuality
+from repro.devices.igzo import igzo_nfet
+
+__all__ = [
+    "FET",
+    "Polarity",
+    "VirtualSourceFET",
+    "VSParameters",
+    "si_nfet",
+    "si_pfet",
+    "cnfet_nfet",
+    "cnfet_pfet",
+    "CnfetQuality",
+    "igzo_nfet",
+]

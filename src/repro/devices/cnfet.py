@@ -1,0 +1,113 @@
+"""CNFET compact-model parameters (VS-CNFET, reference [27]).
+
+Carbon-nanotube FETs (Table I):
+
+- (+) high I_EFF: ballistic transport gives a high virtual-source
+  velocity, enabling high-performance circuits [26];
+- (-) subject to metallic CNTs: tubes with E_g ~ 0 conduct regardless of
+  gate bias, raising I_OFF unless removed [28], [29];
+- (+) BEOL-compatible: deposited at low temperature (wet incubation).
+
+Semiconducting-tube subthreshold behaviour follows the VS exponential;
+the metallic-tube population adds a gate-independent leakage floor
+proportional to the *unremoved* metallic fraction, modeled by
+:class:`CnfetQuality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.devices.fet import Polarity
+from repro.devices.virtual_source import VirtualSourceFET, VSParameters
+
+#: As-grown fraction of metallic tubes (roughly 1/3 of chiralities).
+AS_GROWN_METALLIC_FRACTION = 0.33
+
+#: Conduction of a fully metallic CNT film per um of device width at
+#: V_DS = V_DD (A/um): sets the leakage scale before removal.
+METALLIC_FILM_CURRENT_A_PER_UM = 4.0e-5
+
+
+@dataclass(frozen=True)
+class CnfetQuality:
+    """CNT process quality: how well metallic CNTs were removed.
+
+    Attributes:
+        metallic_removal_efficiency: Fraction of metallic tubes removed
+            (0.9999 is the highly-scaled removal of ref [29]).
+    """
+
+    metallic_removal_efficiency: float = 0.9999
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.metallic_removal_efficiency <= 1.0):
+            raise ValueError(
+                "removal efficiency must be in [0, 1], got "
+                f"{self.metallic_removal_efficiency}"
+            )
+
+    @property
+    def remaining_metallic_fraction(self) -> float:
+        return AS_GROWN_METALLIC_FRACTION * (
+            1.0 - self.metallic_removal_efficiency
+        )
+
+    @property
+    def leakage_floor_a_per_um(self) -> float:
+        """Metallic-tube leakage floor added to semiconducting I_OFF."""
+        return (
+            self.remaining_metallic_fraction * METALLIC_FILM_CURRENT_A_PER_UM
+        )
+
+
+#: Semiconducting-network VS parameters: 30 nm gate length (Sec. II-C),
+#: 1-2 nm diameter tubes (E_g 0.43-0.85 eV), slightly soft subthreshold.
+_CNFET_BASE = VSParameters(
+    vt0_v=0.26,
+    n_ss=1.18,  # ~70 mV/decade
+    dibl_v_per_v=0.04,
+    c_inv_f_per_um2=1.6e-14,
+    l_gate_um=0.030,
+    v_x0_cm_per_s=2.2e7,  # ballistic-transport advantage over Si
+    mobility_cm2_per_vs=1200.0,
+    c_gate_f_per_um=0.9e-15,
+    vdd_v=0.7,
+)
+
+
+def cnfet_params(
+    quality: "CnfetQuality | None" = None, vt_shift_v: float = 0.0
+) -> VSParameters:
+    """VS parameters with the metallic-CNT leakage floor applied."""
+    q = quality if quality is not None else CnfetQuality()
+    return replace(
+        _CNFET_BASE,
+        vt0_v=_CNFET_BASE.vt0_v + vt_shift_v,
+        i_leak_floor_a_per_um=q.leakage_floor_a_per_um,
+    )
+
+
+def cnfet_nfet(
+    name: str,
+    width_um: float,
+    quality: "CnfetQuality | None" = None,
+    vt_shift_v: float = 0.0,
+) -> VirtualSourceFET:
+    """An n-type CNFET instance."""
+    return VirtualSourceFET(
+        name, Polarity.NMOS, width_um, cnfet_params(quality, vt_shift_v)
+    )
+
+
+def cnfet_pfet(
+    name: str,
+    width_um: float,
+    quality: "CnfetQuality | None" = None,
+    vt_shift_v: float = 0.0,
+) -> VirtualSourceFET:
+    """A p-type CNFET instance (CNFETs are naturally ambipolar; doped
+    contacts set polarity [10])."""
+    return VirtualSourceFET(
+        name, Polarity.PMOS, width_um, cnfet_params(quality, vt_shift_v)
+    )

@@ -1,0 +1,174 @@
+"""CNT count/metallic variation and its yield impact (refs [28], [29]).
+
+The paper's Table I flags CNFETs as "subject to metallic CNTs"; its case
+study assumes 50 % M3D yield "to reflect the relative maturity and
+complexity of each process".  This module supplies the quantitative
+bridge, following the VLSI-robustness framework of Zhang et al. [28]:
+
+- tube counts per device are Poisson(density x width);
+- each as-grown tube is metallic with probability ~1/3; removal [29]
+  deletes metallic tubes with some efficiency (taking a fraction of
+  semiconducting tubes with them);
+- a cell fails *short* if any metallic tube survives in it, and fails
+  *open* if fewer semiconducting tubes remain than the drive requires;
+- array yield compounds over the bit count, optionally relieved by
+  spare-column redundancy.
+
+The output plugs straight into Equation 5's yield term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.cnfet import AS_GROWN_METALLIC_FRACTION, CnfetQuality
+from repro.errors import ReproError
+
+#: Deposited CNT areal density, tubes per micrometer of device width.
+DEFAULT_TUBES_PER_UM = 250.0
+
+
+def _poisson_cdf(k: int, lam: float) -> float:
+    """P(X <= k) for X ~ Poisson(lam)."""
+    if lam < 0:
+        raise ReproError(f"Poisson rate must be >= 0, got {lam}")
+    term = math.exp(-lam)
+    total = term
+    for i in range(1, k + 1):
+        term *= lam / i
+        total += term
+    return min(total, 1.0)
+
+
+@dataclass(frozen=True)
+class CntVariationModel:
+    """Per-cell CNT failure statistics.
+
+    Attributes:
+        tubes_per_um: CNT density under the gate.
+        quality: Metallic-removal process quality.
+        removal_semiconducting_loss: Fraction of *semiconducting* tubes
+            the removal step collaterally destroys (ref [29] trades
+            removal aggressiveness against drive loss).
+        min_semiconducting_tubes: Tubes needed for adequate drive.
+    """
+
+    tubes_per_um: float = DEFAULT_TUBES_PER_UM
+    quality: CnfetQuality = CnfetQuality()
+    removal_semiconducting_loss: float = 0.02
+    min_semiconducting_tubes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.tubes_per_um <= 0:
+            raise ReproError("tube density must be > 0")
+        if not (0.0 <= self.removal_semiconducting_loss < 1.0):
+            raise ReproError("semiconducting loss must be in [0, 1)")
+        if self.min_semiconducting_tubes < 1:
+            raise ReproError("need >= 1 tube for a working device")
+
+    # -- per-device rates ---------------------------------------------------
+    def metallic_rate(self, width_um: float) -> float:
+        """Expected surviving metallic tubes in a device."""
+        self._check_width(width_um)
+        as_grown = self.tubes_per_um * width_um * AS_GROWN_METALLIC_FRACTION
+        return as_grown * (1.0 - self.quality.metallic_removal_efficiency)
+
+    def semiconducting_rate(self, width_um: float) -> float:
+        """Expected surviving semiconducting tubes in a device."""
+        self._check_width(width_um)
+        as_grown = self.tubes_per_um * width_um * (
+            1.0 - AS_GROWN_METALLIC_FRACTION
+        )
+        return as_grown * (1.0 - self.removal_semiconducting_loss)
+
+    # -- failure probabilities -------------------------------------------------
+    def short_failure_probability(self, width_um: float) -> float:
+        """P(at least one metallic tube survives) = 1 - e^-lambda_m."""
+        return -math.expm1(-self.metallic_rate(width_um))
+
+    def open_failure_probability(self, width_um: float) -> float:
+        """P(too few semiconducting tubes for drive)."""
+        return _poisson_cdf(
+            self.min_semiconducting_tubes - 1,
+            self.semiconducting_rate(width_um),
+        )
+
+    def cell_failure_probability(self, width_um: float, fets_per_cell: int = 2) -> float:
+        """P(a cell fails): any of its CNFETs shorts or opens.
+
+        The M3D 3T cell has two CNFETs (read + access).
+        """
+        if fets_per_cell < 1:
+            raise ReproError("need >= 1 FET per cell")
+        per_fet_ok = (
+            1.0 - self.short_failure_probability(width_um)
+        ) * (1.0 - self.open_failure_probability(width_um))
+        return 1.0 - per_fet_ok**fets_per_cell
+
+    # -- array yield --------------------------------------------------------
+    def array_yield(
+        self,
+        n_bits: int,
+        width_um: float,
+        spare_fraction: float = 0.0,
+        fets_per_cell: int = 2,
+    ) -> float:
+        """Yield of an n-bit array, optionally with column redundancy.
+
+        With ``spare_fraction`` s, up to s*n_bits failing cells are
+        repairable; the array survives iff failures <= spares (normal
+        approximation of the binomial for large n).
+        """
+        if n_bits <= 0:
+            raise ReproError("n_bits must be > 0")
+        if not (0.0 <= spare_fraction < 1.0):
+            raise ReproError("spare fraction must be in [0, 1)")
+        p_fail = self.cell_failure_probability(width_um, fets_per_cell)
+        if spare_fraction == 0.0:
+            if p_fail >= 1.0:
+                return 0.0
+            log_yield = n_bits * math.log1p(-p_fail)
+            return math.exp(log_yield)
+        mean = n_bits * p_fail
+        spares = spare_fraction * n_bits
+        variance = n_bits * p_fail * (1.0 - p_fail)
+        if variance == 0.0:
+            return 1.0 if mean <= spares else 0.0
+        z = (spares - mean) / math.sqrt(variance)
+        return _phi(z)
+
+    def required_removal_efficiency(
+        self,
+        n_bits: int,
+        width_um: float,
+        target_yield: float,
+        fets_per_cell: int = 2,
+    ) -> float:
+        """Minimum metallic-removal efficiency for a target array yield.
+
+        Inverts the short-failure chain (open failures are negligible at
+        normal densities): per-cell survival must be
+        target^(1/n_bits), giving the tolerable metallic rate.
+        """
+        if not (0.0 < target_yield < 1.0):
+            raise ReproError("target yield must be in (0, 1)")
+        per_cell_ok = target_yield ** (1.0 / n_bits)
+        per_fet_ok = per_cell_ok ** (1.0 / fets_per_cell)
+        # 1 - p_short = per_fet_ok (ignoring opens) -> lambda_m.
+        lam = -math.log(per_fet_ok)
+        as_grown = (
+            self.tubes_per_um * width_um * AS_GROWN_METALLIC_FRACTION
+        )
+        efficiency = 1.0 - lam / as_grown
+        return max(0.0, min(1.0, efficiency))
+
+    @staticmethod
+    def _check_width(width_um: float) -> None:
+        if width_um <= 0:
+            raise ReproError(f"width must be > 0, got {width_um}")
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

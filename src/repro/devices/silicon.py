@@ -1,0 +1,82 @@
+"""Si FinFET compact-model parameters (ASAP7-style 7 nm node [19]).
+
+Calibration targets (typical 7 nm FinFET, RVT-class):
+
+- I_ON ~ 600 uA/um at V_DD = 0.7 V;
+- I_OFF ~ 1-5 nA/um (subthreshold + junction/GIDL floor);
+- SS ~ 65 mV/decade;
+- high I_EFF, low I_OFF — but *bottom layer only* (Table I): Si FinFETs
+  need >1000 C processing, so they cannot be fabricated in the BEOL.
+
+The bias-independent ``i_leak_floor`` models junction leakage and GIDL:
+it does not vanish at negative V_GS, which is what limits the retention
+time of the all-Si 3T eDRAM cell (Sec. III-A) to milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.devices.fet import Polarity
+from repro.devices.virtual_source import VirtualSourceFET, VSParameters
+
+#: Maximum BEOL-compatible processing temperature (deg C); Si FinFET
+#: fabrication exceeds it by far (dopant activation >1000 C), which is why
+#: Si devices are restricted to the bottom tier (Sec. II-A).
+SI_PROCESS_TEMPERATURE_C = 1050.0
+BEOL_TEMPERATURE_LIMIT_C = 300.0
+
+#: Subthreshold ideality for ~65 mV/decade.
+_N_SS = 1.09
+
+SI_NMOS_PARAMS = VSParameters(
+    vt0_v=0.30,
+    n_ss=_N_SS,
+    dibl_v_per_v=0.03,
+    c_inv_f_per_um2=1.5e-14,
+    l_gate_um=0.021,  # ASAP7 drawn gate length
+    v_x0_cm_per_s=1.0e7,
+    mobility_cm2_per_vs=300.0,
+    c_gate_f_per_um=1.0e-15,
+    i_leak_floor_a_per_um=5e-12,  # junction + GIDL floor
+    vdd_v=0.7,
+)
+
+#: PMOS: lower hole velocity/mobility, same electrostatics.
+SI_PMOS_PARAMS = VSParameters(
+    vt0_v=0.30,
+    n_ss=_N_SS,
+    dibl_v_per_v=0.03,
+    c_inv_f_per_um2=1.5e-14,
+    l_gate_um=0.021,
+    v_x0_cm_per_s=0.75e7,
+    mobility_cm2_per_vs=120.0,
+    c_gate_f_per_um=1.0e-15,
+    i_leak_floor_a_per_um=5e-12,
+    vdd_v=0.7,
+)
+
+
+def si_nfet(name: str, width_um: float, vt_shift_v: float = 0.0) -> VirtualSourceFET:
+    """An n-channel Si FinFET instance.
+
+    Args:
+        name: Instance name for netlists.
+        width_um: Effective device width.
+        vt_shift_v: Threshold adjustment (positive = higher V_T), modeling
+            the multi-V_T options of the ASAP7 library the paper sweeps.
+    """
+    params = _shift_vt(SI_NMOS_PARAMS, vt_shift_v)
+    return VirtualSourceFET(name, Polarity.NMOS, width_um, params)
+
+
+def si_pfet(name: str, width_um: float, vt_shift_v: float = 0.0) -> VirtualSourceFET:
+    """A p-channel Si FinFET instance."""
+    params = _shift_vt(SI_PMOS_PARAMS, vt_shift_v)
+    return VirtualSourceFET(name, Polarity.PMOS, width_um, params)
+
+
+def _shift_vt(params: VSParameters, vt_shift_v: float) -> VSParameters:
+    if vt_shift_v == 0.0:
+        return params
+    from dataclasses import replace
+
+    return replace(params, vt0_v=params.vt0_v + vt_shift_v)

@@ -1,0 +1,41 @@
+"""eDRAM design: 3T bit cells, sub-arrays, periphery, timing and energy.
+
+Implements the memory of the case study (Sec. III-A): a 64 kB eDRAM macro
+built from 2 kB sub-arrays (512 x 32-bit words each), in two technologies:
+
+- **M3D**: 3T cell with one IGZO write transistor and two CNFET read
+  transistors, fabricated in the BEOL directly above the Si periphery;
+- **all-Si**: the same 3T topology in Si FETs, with the cell array beside
+  its periphery (no stacking).
+
+Cell-level electrical behaviour (write/read delay, retention, access
+energy) comes from transient simulations on the :mod:`repro.spice`
+simulator; macro-level area and energy roll up through
+:mod:`repro.edram.array` and :mod:`repro.edram.energy`.
+"""
+
+from repro.edram.bitcell import (
+    BitcellDesign,
+    m3d_bitcell,
+    si_bitcell,
+)
+from repro.edram.subarray import SubArrayDesign
+from repro.edram.array import MemoryMacro
+from repro.edram.retention import retention_time_s, refresh_interval_s
+from repro.edram.timing import BitcellTiming, simulate_write, simulate_read
+from repro.edram.energy import EdramEnergyModel, AccessProfile
+
+__all__ = [
+    "BitcellDesign",
+    "m3d_bitcell",
+    "si_bitcell",
+    "SubArrayDesign",
+    "MemoryMacro",
+    "retention_time_s",
+    "refresh_interval_s",
+    "BitcellTiming",
+    "simulate_write",
+    "simulate_read",
+    "EdramEnergyModel",
+    "AccessProfile",
+]

@@ -1,0 +1,89 @@
+"""64 kB memory macro: sub-array tiling and floorplan (Fig. 3c).
+
+The macro tiles 32 sub-arrays as 8 rows x 4 columns.  In the M3D design
+the Si periphery sits *under* the BEOL cell array, so the macro footprint
+is just the tiled arrays; in the all-Si design each sub-array footprint
+already includes its periphery strips.
+
+With the calibrated cell geometries this reproduces Table II:
+0.068 mm^2 (Si) and 0.025 mm^2 (M3D) per 64 kB macro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edram.bitcell import BitcellDesign
+from repro.edram.periphery import PeripheryDesign, standard_periphery
+from repro.edram.subarray import SubArrayDesign
+from repro.errors import PhysicalDesignError
+
+
+@dataclass(frozen=True)
+class MemoryMacro:
+    """A 64 kB eDRAM macro in one technology."""
+
+    subarray: SubArrayDesign
+    periphery: PeripheryDesign
+    tile_rows: int = 8
+    tile_cols: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tile_rows <= 0 or self.tile_cols <= 0:
+            raise PhysicalDesignError("tile dimensions must be positive")
+        if self.n_subarrays != self.periphery.n_subarrays:
+            raise PhysicalDesignError(
+                f"periphery sized for {self.periphery.n_subarrays} "
+                f"sub-arrays, macro has {self.n_subarrays}"
+            )
+
+    @classmethod
+    def for_cell(cls, cell: BitcellDesign) -> "MemoryMacro":
+        """The paper's 64 kB organization for a given bit cell."""
+        return cls(
+            subarray=SubArrayDesign(cell),
+            periphery=standard_periphery(32),
+        )
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def n_subarrays(self) -> int:
+        return self.tile_rows * self.tile_cols
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_subarrays * self.subarray.bytes
+
+    @property
+    def capacity_kib(self) -> float:
+        return self.capacity_bytes / 1024.0
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def height_um(self) -> float:
+        return self.tile_rows * self.subarray.footprint_height_um
+
+    @property
+    def width_um(self) -> float:
+        return self.tile_cols * self.subarray.footprint_width_um
+
+    @property
+    def area_um2(self) -> float:
+        return self.height_um * self.width_um
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+    def periphery_fits_under_array(self) -> bool:
+        """M3D sanity check: the Si periphery must fit below the array."""
+        if not self.subarray.cell.stacked:
+            return True
+        return self.periphery.area_um2() <= self.area_um2
+
+    # -- electrical ------------------------------------------------------------
+    def standby_leakage_w(self) -> float:
+        """Macro static power: peripheral gates only (3T cells have no
+        static path; cell hold leakage drains the storage nodes, not the
+        supply, and is orders of magnitude smaller anyway)."""
+        return self.periphery.leakage_power_w()

@@ -1,0 +1,178 @@
+"""3T eDRAM bit cell (Fig. 3a).
+
+Topology (one write port, one read port):
+
+- **Write transistor (WT)**: gate on the write wordline (WWL), drain on
+  the write bitline (WBL), source on the storage node (SN).
+- **Storage node (SN)**: the gate of the read transistor plus explicit
+  storage capacitance.
+- **Read stack**: read transistor (RT, gate = SN) in series with the read
+  access transistor (RAT, gate = read wordline RWL), pulling the
+  precharged read bitline (RBL) low when SN stores a '1'.
+
+Technology assignment (Sec. III-A):
+
+- M3D cell: WT = IGZO (ultra-low I_OFF -> high retention); RT and RAT =
+  CNFETs (high I_EFF -> low read latency).  Write delay is limited by the
+  Si write driver, read delay by the CNFETs — each FET type where its
+  strengths matter (Table I).
+- All-Si cell: all three are Si NMOS; the junction-leakage floor of the
+  Si WT limits retention to ~1 ms, so the macro needs refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.devices import cnfet_nfet, igzo_nfet, si_nfet
+from repro.devices.fet import FET
+from repro.devices.igzo import V_WWL
+
+
+@dataclass(frozen=True)
+class BitcellDesign:
+    """A 3T bit cell design point.
+
+    Attributes:
+        name: Technology label (``"m3d"`` / ``"si"``).
+        write_fet: Factory (name, width) -> FET for the write transistor.
+        read_fet: Factory for the read transistor.
+        access_fet: Factory for the read access transistor.
+        write_width_um / read_width_um / access_width_um: Device widths.
+        storage_cap_f: Explicit SN capacitance (gate of RT adds more).
+        cell_height_um / cell_width_um: Physical cell footprint.
+        vdd_v: Array supply (0.7 V per ASAP7).
+        v_wwl_v: Write-wordline high level (1.3 V overdrive for IGZO).
+        v_wwl_hold_v: Write-wordline standby level.  Held *negative*
+            (standard DRAM negative-wordline practice) so the write FET
+            sits several subthreshold decades below its V_GS = 0 leakage
+            — this is what buys the IGZO cell its >1000 s retention.
+        stacked: True when the cell sits above its periphery (M3D).
+    """
+
+    name: str
+    write_fet: Callable[[str, float], FET]
+    read_fet: Callable[[str, float], FET]
+    access_fet: Callable[[str, float], FET]
+    write_width_um: float
+    read_width_um: float
+    access_width_um: float
+    storage_cap_f: float
+    cell_height_um: float
+    cell_width_um: float
+    vdd_v: float
+    v_wwl_v: float
+    v_wwl_hold_v: float
+    stacked: bool
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "write_width_um",
+            "read_width_um",
+            "access_width_um",
+            "storage_cap_f",
+            "cell_height_um",
+            "cell_width_um",
+            "vdd_v",
+            "v_wwl_v",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be > 0")
+
+    @property
+    def area_um2(self) -> float:
+        return self.cell_height_um * self.cell_width_um
+
+    def make_write_fet(self) -> FET:
+        return self.write_fet(f"{self.name}_wt", self.write_width_um)
+
+    def make_read_fet(self) -> FET:
+        return self.read_fet(f"{self.name}_rt", self.read_width_um)
+
+    def make_access_fet(self) -> FET:
+        return self.access_fet(f"{self.name}_rat", self.access_width_um)
+
+    def storage_node_cap_f(self) -> float:
+        """Total SN capacitance: explicit cap + RT gate + WT source side."""
+        rt_gate = self.make_read_fet().gate_capacitance_f()
+        wt_half = self.make_write_fet().gate_capacitance_f() / 2.0
+        return self.storage_cap_f + rt_gate + wt_half
+
+    def hold_leakage_a(self, stored_v: float | None = None) -> float:
+        """SN leakage through the write transistor in the hold state.
+
+        Circuit configuration: WWL at the (negative) hold level, WBL
+        discharged at 0 V, storage node holding ``stored_v`` (default: a
+        full '1' at V_DD).  From the device's perspective the discharged
+        WBL is the source, so the channel sees V_GS = v_wwl_hold — the
+        negative hold bias pushes it decades below the V_GS = 0 spec.
+        The :class:`FET` source/drain reflection handles this exactly as
+        the transient simulator does.
+        """
+        v_sn = self.vdd_v if stored_v is None else stored_v
+        wt = self.make_write_fet()
+        # Terminals: drain = WBL (0 V), gate = hold level, source = SN.
+        return abs(wt.ids(self.v_wwl_hold_v - v_sn, 0.0 - v_sn))
+
+
+# ---------------------------------------------------------------------------
+# Calibrated cell geometries
+# ---------------------------------------------------------------------------
+# Chosen so 128x128-cell sub-arrays tile into the Table II macro areas:
+# 64 kB = 32 sub-arrays at 8 rows x 4 cols -> 0.068 mm^2 (Si, periphery
+# beside the array) and 0.025 mm^2 (M3D, periphery underneath).
+_SI_CELL_H_UM = 0.2344
+_SI_CELL_W_UM = 0.4531
+_M3D_CELL_H_UM = 0.1553
+_M3D_CELL_W_UM = 0.3070
+
+
+def m3d_bitcell(
+    write_width_um: float = 0.15,
+    read_width_um: float = 0.10,
+    access_width_um: float = 0.10,
+    storage_cap_f: float = 0.8e-15,
+) -> BitcellDesign:
+    """The IGZO/CNFET/Si M3D cell of Fig. 3a."""
+    return BitcellDesign(
+        name="m3d",
+        write_fet=igzo_nfet,
+        read_fet=cnfet_nfet,
+        access_fet=cnfet_nfet,
+        write_width_um=write_width_um,
+        read_width_um=read_width_um,
+        access_width_um=access_width_um,
+        storage_cap_f=storage_cap_f,
+        cell_height_um=_M3D_CELL_H_UM,
+        cell_width_um=_M3D_CELL_W_UM,
+        vdd_v=0.7,
+        v_wwl_v=V_WWL,
+        v_wwl_hold_v=-0.6,
+        stacked=True,
+    )
+
+
+def si_bitcell(
+    write_width_um: float = 0.05,
+    read_width_um: float = 0.10,
+    access_width_um: float = 0.10,
+    storage_cap_f: float = 0.8e-15,
+) -> BitcellDesign:
+    """The all-Si 3T cell of the baseline design."""
+    return BitcellDesign(
+        name="si",
+        write_fet=si_nfet,
+        read_fet=si_nfet,
+        access_fet=si_nfet,
+        write_width_um=write_width_um,
+        read_width_um=read_width_um,
+        access_width_um=access_width_um,
+        storage_cap_f=storage_cap_f,
+        cell_height_um=_SI_CELL_H_UM,
+        cell_width_um=_SI_CELL_W_UM,
+        vdd_v=0.7,
+        v_wwl_v=0.9,  # modest overdrive; Si V_T is lower than IGZO's
+        v_wwl_hold_v=-0.3,  # cannot beat the junction/GIDL floor
+        stacked=False,
+    )

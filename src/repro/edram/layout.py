@@ -1,0 +1,176 @@
+"""Physical layout of the M3D 3T bit cell, exportable as GDS.
+
+The paper's repository ships a GDS layout of the M3D process with
+instructions to render it in 3D (GDS3D).  This module generates the
+equivalent artifact: the 3T cell drawn layer by layer — Si periphery
+metal (M1-M4), CNFET tier 1/2 (active, gate, S/D), IGZO tier, and the
+top metal levels — plus the layer map (z-height and thickness per GDS
+layer) a 3D renderer needs, and an ASCII cross-section view in the style
+of Fig. 2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.edram.bitcell import BitcellDesign, m3d_bitcell
+from repro.fab.gds import GdsLibrary, GdsRect
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """One GDS layer with its vertical placement (for 3D rendering)."""
+
+    gds_layer: int
+    name: str
+    z_nm: float
+    thickness_nm: float
+    tier: str  # "si" | "cnfet1" | "cnfet2" | "igzo" | "top-metal"
+
+
+#: The M3D stack's layer map (Fig. 2b ordering, heights cumulative).
+M3D_LAYER_MAP: Tuple[LayerInfo, ...] = (
+    LayerInfo(1, "si_active", 0.0, 50.0, "si"),
+    LayerInfo(2, "si_gate", 50.0, 30.0, "si"),
+    LayerInfo(10, "M1", 120.0, 36.0, "si"),
+    LayerInfo(11, "M2", 192.0, 36.0, "si"),
+    LayerInfo(12, "M3", 264.0, 36.0, "si"),
+    LayerInfo(13, "M4", 336.0, 48.0, "si"),
+    LayerInfo(20, "cnt1_active", 420.0, 2.0, "cnfet1"),
+    LayerInfo(22, "cnt1_sd", 422.0, 40.0, "cnfet1"),
+    LayerInfo(21, "cnt1_gate", 424.0, 30.0, "cnfet1"),
+    LayerInfo(23, "M5", 500.0, 36.0, "cnfet1"),
+    LayerInfo(24, "M6", 572.0, 36.0, "cnfet1"),
+    LayerInfo(30, "cnt2_active", 650.0, 2.0, "cnfet2"),
+    LayerInfo(32, "cnt2_sd", 652.0, 40.0, "cnfet2"),
+    LayerInfo(31, "cnt2_gate", 654.0, 30.0, "cnfet2"),
+    LayerInfo(33, "M7", 730.0, 36.0, "cnfet2"),
+    LayerInfo(34, "M8", 802.0, 36.0, "cnfet2"),
+    LayerInfo(40, "igzo_active", 880.0, 10.0, "igzo"),
+    LayerInfo(42, "igzo_sd", 890.0, 40.0, "igzo"),
+    LayerInfo(41, "igzo_gate", 892.0, 30.0, "igzo"),
+    LayerInfo(43, "M9", 960.0, 36.0, "igzo"),
+    LayerInfo(44, "M10", 1032.0, 36.0, "igzo"),
+    LayerInfo(50, "M11", 1110.0, 48.0, "top-metal"),
+    LayerInfo(51, "M12", 1206.0, 64.0, "top-metal"),
+    LayerInfo(52, "M13", 1334.0, 64.0, "top-metal"),
+    LayerInfo(53, "M14", 1462.0, 80.0, "top-metal"),
+    LayerInfo(54, "M15", 1622.0, 80.0, "top-metal"),
+)
+
+
+def layer_by_name(name: str) -> LayerInfo:
+    for info in M3D_LAYER_MAP:
+        if info.name == name:
+            return info
+    raise KeyError(f"no layer named {name!r}")
+
+
+def build_m3d_cell_layout(
+    cell: "BitcellDesign | None" = None,
+) -> GdsLibrary:
+    """Draw one 3T M3D bit cell as a GDS library.
+
+    The cell occupies cell_width x cell_height; devices are placed in
+    their tiers: IGZO write FET on top, CNFET read stack in tier 1,
+    wordlines horizontal, bitlines vertical (Fig. 3a topology).
+    All coordinates in nanometers.
+    """
+    design = cell if cell is not None else m3d_bitcell()
+    width_nm = int(design.cell_width_um * 1000)
+    height_nm = int(design.cell_height_um * 1000)
+    library = GdsLibrary("M3D_EDRAM")
+    top = library.new_structure("bitcell_3t")
+
+    def rect(layer_name: str, fx0, fy0, fx1, fy1):
+        """Add a rectangle in fractional cell coordinates (0..1)."""
+        info = layer_by_name(layer_name)
+        top.add(
+            GdsRect(
+                info.gds_layer,
+                int(round(fx0 * width_nm)),
+                int(round(fy0 * height_nm)),
+                int(round(fx1 * width_nm)),
+                int(round(fy1 * height_nm)),
+            )
+        )
+
+    # The stacked cell shares its footprint between tiers; fractions of
+    # the ~307 x 155 nm cell keep every device at drawable size.
+    # --- Vertical bitlines (M4 pitch metal): WBL left, RBL right.
+    rect("M4", 0.02, 0.0, 0.14, 1.0)
+    rect("M4", 0.86, 0.0, 0.98, 1.0)
+    # --- Horizontal wordlines: WWL on M10 (IGZO tier), RWL on M6.
+    rect("M10", 0.0, 0.78, 1.0, 0.95)
+    rect("M6", 0.0, 0.05, 1.0, 0.22)
+
+    # --- CNFET read stack (tier 1): two gates over a shared active strip.
+    rect("cnt1_active", 0.18, 0.30, 0.82, 0.55)
+    rect("cnt1_gate", 0.30, 0.26, 0.40, 0.60)   # RT gate (storage node)
+    rect("cnt1_gate", 0.60, 0.26, 0.70, 0.60)   # RAT gate (RWL)
+    # S/D contacts at the ends and the shared midpoint.
+    rect("cnt1_sd", 0.18, 0.34, 0.26, 0.51)
+    rect("cnt1_sd", 0.46, 0.34, 0.54, 0.51)
+    rect("cnt1_sd", 0.74, 0.34, 0.82, 0.51)
+
+    # --- IGZO write FET (top tier): gate fed by WWL, drain by WBL.
+    rect("igzo_active", 0.14, 0.62, 0.62, 0.84)
+    rect("igzo_gate", 0.32, 0.58, 0.46, 0.88)   # 44 nm gate length
+    rect("igzo_sd", 0.14, 0.66, 0.26, 0.80)     # drain side (to WBL)
+    rect("igzo_sd", 0.50, 0.66, 0.62, 0.80)     # source side (to SN)
+
+    # --- Storage-node strap on M8 linking IGZO source to the RT gate.
+    rect("M8", 0.30, 0.55, 0.40, 0.70)
+
+    # --- Si periphery hint below (sense-amp/driver region on M1).
+    rect("M1", 0.0, 0.0, 1.0, 0.04)
+    return library
+
+
+def cross_section_ascii(library: "GdsLibrary | None" = None) -> str:
+    """Fig. 2b-style cross-section of the M3D stack.
+
+    Lists every tier from the Si substrate up, with the layers drawn in
+    the cell layout marked.
+    """
+    used_layers = set()
+    if library is not None:
+        for structure in library.structures.values():
+            used_layers |= structure.layers()
+    lines = ["M3D IGZO/CNFET/Si stack (cross-section, bottom to top)"]
+    lines.append("=" * 62)
+    tier_labels = {
+        "si": "Si CMOS (FEOL + M1-M4)",
+        "cnfet1": "CNFET tier 1 (+ M5, M6)",
+        "cnfet2": "CNFET tier 2 (+ M7, M8)",
+        "igzo": "IGZO tier (+ M9, M10)",
+        "top-metal": "global metal (M11-M15)",
+    }
+    current_tier = None
+    for info in M3D_LAYER_MAP:
+        if info.tier != current_tier:
+            current_tier = info.tier
+            lines.append(f"--- {tier_labels[current_tier]} ---")
+        marker = "*" if info.gds_layer in used_layers else " "
+        lines.append(
+            f" {marker} L{info.gds_layer:<3d} {info.name:12s} "
+            f"z={info.z_nm:7.0f} nm  t={info.thickness_nm:5.0f} nm"
+        )
+    if library is not None:
+        lines.append("(* = drawn in the exported bit-cell layout)")
+    return "\n".join(lines)
+
+
+def layer_map_table() -> List[Dict[str, object]]:
+    """The layer map as row dicts (for GDS3D-style tech files)."""
+    return [
+        {
+            "gds_layer": info.gds_layer,
+            "name": info.name,
+            "z_nm": info.z_nm,
+            "thickness_nm": info.thickness_nm,
+            "tier": info.tier,
+        }
+        for info in M3D_LAYER_MAP
+    ]

@@ -1,0 +1,116 @@
+"""SVG rendering of GDS layouts: plan view and 3D-ish cross-section.
+
+The paper points readers at GDS3D to visualize its M3D layout in 3D.
+Offline and dependency-free, this module renders the same information as
+SVG: a color-per-tier plan view of the cell, and an elevation view that
+stacks the layers by their z-heights (the Fig. 2b look).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.edram.layout import M3D_LAYER_MAP, LayerInfo
+from repro.errors import ReproError
+from repro.fab.gds import GdsLibrary
+
+#: Fill colors per tier (hex), chosen for print contrast.
+TIER_COLORS: Dict[str, str] = {
+    "si": "#8c8c8c",
+    "cnfet1": "#2e7d32",
+    "cnfet2": "#66bb6a",
+    "igzo": "#f9a825",
+    "top-metal": "#c62828",
+}
+
+_LAYER_BY_GDS: Dict[int, LayerInfo] = {
+    info.gds_layer: info for info in M3D_LAYER_MAP
+}
+
+
+def _svg_header(width: float, height: float) -> str:
+    return (
+        '<svg xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="0 0 {width:.1f} {height:.1f}" '
+        f'width="{width:.1f}" height="{height:.1f}">\n'
+        '<rect width="100%" height="100%" fill="white"/>\n'
+    )
+
+
+def render_plan_svg(
+    library: GdsLibrary,
+    structure_name: str = "bitcell_3t",
+    scale: float = 1.5,
+) -> str:
+    """Top-down plan view; upper tiers drawn over lower ones."""
+    if structure_name not in library.structures:
+        raise ReproError(f"no structure {structure_name!r} in library")
+    structure = library.structures[structure_name]
+    x0, y0, x1, y1 = structure.bounding_box()
+    width = (x1 - x0) * scale
+    height = (y1 - y0) * scale
+    parts: List[str] = [_svg_header(width + 20, height + 20)]
+    # Draw in z order so upper tiers overlay lower ones.
+    rects = sorted(
+        structure.rects,
+        key=lambda r: _LAYER_BY_GDS[r.layer].z_nm if r.layer in _LAYER_BY_GDS else 0,
+    )
+    for rect in rects:
+        info = _LAYER_BY_GDS.get(rect.layer)
+        color = TIER_COLORS.get(info.tier, "#555555") if info else "#555555"
+        name = info.name if info else f"L{rect.layer}"
+        # SVG y grows downward; flip.
+        px = (rect.x0 - x0) * scale + 10
+        py = (y1 - rect.y1) * scale + 10
+        parts.append(
+            f'<rect x="{px:.1f}" y="{py:.1f}" '
+            f'width="{rect.width * scale:.1f}" '
+            f'height="{rect.height * scale:.1f}" '
+            f'fill="{color}" fill-opacity="0.75" stroke="black" '
+            f'stroke-width="0.4"><title>{name}</title></rect>\n'
+        )
+    parts.append("</svg>\n")
+    return "".join(parts)
+
+
+def render_cross_section_svg(
+    library: GdsLibrary,
+    structure_name: str = "bitcell_3t",
+    x_scale: float = 1.5,
+    z_scale: float = 0.25,
+) -> str:
+    """Elevation view: every rectangle projected onto the x-z plane at
+    its layer's height — the Fig. 2b style cross-section."""
+    if structure_name not in library.structures:
+        raise ReproError(f"no structure {structure_name!r} in library")
+    structure = library.structures[structure_name]
+    x0, _y0, x1, _y1 = structure.bounding_box()
+    z_max = max(info.z_nm + info.thickness_nm for info in M3D_LAYER_MAP)
+    width = (x1 - x0) * x_scale + 170
+    height = z_max * z_scale + 20
+    parts: List[str] = [_svg_header(width, height)]
+    labeled: set = set()
+    for rect in structure.rects:
+        info = _LAYER_BY_GDS.get(rect.layer)
+        if info is None:
+            continue
+        color = TIER_COLORS.get(info.tier, "#555555")
+        px = (rect.x0 - x0) * x_scale + 10
+        pw = rect.width * x_scale
+        pz = (z_max - (info.z_nm + info.thickness_nm)) * z_scale + 10
+        ph = max(info.thickness_nm * z_scale, 1.5)
+        parts.append(
+            f'<rect x="{px:.1f}" y="{pz:.1f}" width="{pw:.1f}" '
+            f'height="{ph:.1f}" fill="{color}" stroke="black" '
+            f'stroke-width="0.3"><title>{info.name}</title></rect>\n'
+        )
+        if info.name not in labeled:
+            labeled.add(info.name)
+            label_x = (x1 - x0) * x_scale + 16
+            parts.append(
+                f'<text x="{label_x:.1f}" y="{pz + ph:.1f}" '
+                f'font-size="7" font-family="monospace">{info.name} '
+                f"(z={info.z_nm:.0f} nm)</text>\n"
+            )
+    parts.append("</svg>\n")
+    return "".join(parts)

@@ -1,0 +1,84 @@
+"""Wordline/bitline parasitic extraction.
+
+The paper's SPICE netlists include wire parasitics (Sec. III-B step 2).
+This module provides per-length wire constants for the 36 nm-pitch local
+metal used inside sub-arrays, and rolls them up into line models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edram.bitcell import BitcellDesign
+
+#: Wire capacitance per micrometer at 36 nm pitch (F/um).  ~0.2 fF/um is
+#: the standard scaling-era rule of thumb for minimum-pitch local metal.
+WIRE_CAP_F_PER_UM = 0.20e-15
+
+#: Wire resistance per micrometer at 36 nm pitch (ohm/um).  Thin local
+#: metal is resistive; 20 ohm/um is representative at this pitch.
+WIRE_RES_OHM_PER_UM = 20.0
+
+
+@dataclass(frozen=True)
+class LineParasitics:
+    """Lumped RC of a wordline or bitline spanning ``n_cells`` cells."""
+
+    length_um: float
+    wire_cap_f: float
+    wire_res_ohm: float
+    device_cap_f: float
+
+    @property
+    def total_cap_f(self) -> float:
+        return self.wire_cap_f + self.device_cap_f
+
+    @property
+    def rc_delay_s(self) -> float:
+        """Elmore-style distributed RC delay (0.5 * R * C)."""
+        return 0.5 * self.wire_res_ohm * self.total_cap_f
+
+
+def wordline_parasitics(
+    cell: BitcellDesign, n_cols: int, gate_cap_per_cell_f: float
+) -> LineParasitics:
+    """A wordline running across ``n_cols`` cells (length = n * cell W)."""
+    if n_cols <= 0:
+        raise ValueError(f"n_cols must be > 0, got {n_cols}")
+    length = n_cols * cell.cell_width_um
+    return LineParasitics(
+        length_um=length,
+        wire_cap_f=length * WIRE_CAP_F_PER_UM,
+        wire_res_ohm=length * WIRE_RES_OHM_PER_UM,
+        device_cap_f=n_cols * gate_cap_per_cell_f,
+    )
+
+
+def write_wordline(cell: BitcellDesign, n_cols: int) -> LineParasitics:
+    """WWL: loaded by one write-FET gate per cell."""
+    gate = cell.make_write_fet().gate_capacitance_f()
+    return wordline_parasitics(cell, n_cols, gate)
+
+
+def read_wordline(cell: BitcellDesign, n_cols: int) -> LineParasitics:
+    """RWL: loaded by one access-FET gate per cell."""
+    gate = cell.make_access_fet().gate_capacitance_f()
+    return wordline_parasitics(cell, n_cols, gate)
+
+
+def bitline_parasitics(
+    cell: BitcellDesign, n_rows: int, junction_cap_per_cell_f: float = 0.03e-15
+) -> LineParasitics:
+    """A bitline running down ``n_rows`` cells (length = n * cell H).
+
+    Every cell contributes a drain-junction capacitance to the line.
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be > 0, got {n_rows}")
+    length = n_rows * cell.cell_height_um
+    return LineParasitics(
+        length_um=length,
+        wire_cap_f=length * WIRE_CAP_F_PER_UM,
+        wire_res_ohm=length * WIRE_RES_OHM_PER_UM,
+        device_cap_f=n_rows * junction_cap_per_cell_f,
+    )

@@ -1,0 +1,125 @@
+"""eDRAM peripheral circuits (Fig. 3b): decoder, sense amps, write
+drivers, refresh controller.
+
+Peripherals are Si CMOS in *both* designs (in the M3D design they sit
+under the stacked cell array).  They are modeled at the gate level — the
+same abstraction as the M0 core model — providing area, leakage, and
+switched capacitance per access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physical.stdcells import VtFlavor, make_library
+
+#: Gate equivalents for one 2:4 predecoder slice etc., per decoded output.
+_DECODER_GATES_PER_ROW = 4
+#: Gate equivalents per sense amplifier (latch-type SA + precharge).
+_SA_GATES = 12
+#: Gate equivalents per write driver (tri-state driver + level shift for
+#: the boosted WWL supply).
+_WRITE_DRIVER_GATES = 10
+#: Refresh controller: address counter + FSM, per macro.
+_REFRESH_CTRL_GATES = 400
+
+
+@dataclass(frozen=True)
+class PeripheryDesign:
+    """Peripheral circuits of one 64 kB macro.
+
+    Uses the HVT library: peripheral leakage directly burns standby
+    power, so the paper's "low static power ... limited by peripheral
+    circuits" goal calls for the highest V_T.
+    """
+
+    n_subarrays: int
+    rows_per_subarray: int
+    sense_amps_per_subarray: int
+    write_drivers_per_subarray: int
+    vt_flavor: VtFlavor = VtFlavor.HVT
+
+    def __post_init__(self) -> None:
+        if min(
+            self.n_subarrays,
+            self.rows_per_subarray,
+            self.sense_amps_per_subarray,
+            self.write_drivers_per_subarray,
+        ) <= 0:
+            raise ValueError("periphery counts must be positive")
+
+    @property
+    def library(self):
+        return make_library(self.vt_flavor)
+
+    # -- gate counts -----------------------------------------------------
+    @property
+    def decoder_gates(self) -> int:
+        """Row decoders for every sub-array plus the macro-level decoder."""
+        row_gates = (
+            self.n_subarrays * self.rows_per_subarray * _DECODER_GATES_PER_ROW
+        )
+        macro_select = self.n_subarrays * int(
+            math.ceil(math.log2(self.n_subarrays)) * 8
+        )
+        return row_gates + macro_select
+
+    @property
+    def senseamp_gates(self) -> int:
+        return self.n_subarrays * self.sense_amps_per_subarray * _SA_GATES
+
+    @property
+    def write_driver_gates(self) -> int:
+        return (
+            self.n_subarrays
+            * self.write_drivers_per_subarray
+            * _WRITE_DRIVER_GATES
+        )
+
+    @property
+    def total_gates(self) -> int:
+        return (
+            self.decoder_gates
+            + self.senseamp_gates
+            + self.write_driver_gates
+            + _REFRESH_CTRL_GATES
+        )
+
+    # -- figures of merit ---------------------------------------------------
+    def leakage_power_w(self) -> float:
+        """Static power of the peripheral gates (the macro's only static
+        power: "DRAM cells do not consume static power, unlike SRAM")."""
+        return self.total_gates * self.library.leakage_per_gate_w
+
+    def area_um2(self) -> float:
+        return self.total_gates * self.library.gate_area_um2
+
+    def switched_energy_per_access_j(self, active_fraction: float = 0.12) -> float:
+        """Dynamic energy of periphery logic per access.
+
+        Only the selected sub-array's decoder path, sense amps, and
+        drivers toggle; ``active_fraction`` captures that plus logic
+        activity.
+        """
+        if not (0.0 < active_fraction <= 1.0):
+            raise ValueError(
+                f"active fraction must be in (0, 1], got {active_fraction}"
+            )
+        per_subarray_gates = self.total_gates / self.n_subarrays
+        return (
+            per_subarray_gates
+            * active_fraction
+            * self.library.switch_energy_per_gate_j
+        )
+
+
+def standard_periphery(n_subarrays: int = 32) -> PeripheryDesign:
+    """Periphery for the 64 kB macro: 32 sub-arrays, 32 SAs and 32 write
+    drivers each (one per data bit after 4:1 column muxing)."""
+    return PeripheryDesign(
+        n_subarrays=n_subarrays,
+        rows_per_subarray=128,
+        sense_amps_per_subarray=32,
+        write_drivers_per_subarray=32,
+    )

@@ -1,0 +1,107 @@
+"""Storage-node retention and refresh-interval analysis (Sec. III-A).
+
+Retention time is how long a written '1' stays above the read-sensing
+threshold.  It is limited by the hold-state leakage of the write
+transistor — ultra-low for IGZO (>1000 s, matching ref [23]) and
+junction-floor-limited for Si (~1 ms), which is what forces the all-Si
+macro to burn refresh energy.
+
+Two estimators are provided: a closed-form C*dV/I estimate and a
+SPICE-backed transient decay simulation; the test suite checks they
+agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.edram.bitcell import BitcellDesign
+from repro.errors import AnalysisError
+from repro.spice import Capacitor, Circuit, Dc, FetElement, VoltageSource, transient
+
+#: A '1' must stay above this fraction of VDD to be sensed reliably.
+DEFAULT_SENSE_FRACTION = 0.7
+
+#: Refresh interval = retention / margin (margin covers cell variation).
+DEFAULT_REFRESH_MARGIN = 2.0
+
+
+def retention_time_s(
+    cell: BitcellDesign,
+    sense_fraction: float = DEFAULT_SENSE_FRACTION,
+) -> float:
+    """Closed-form retention estimate: t = C_SN * dV_allowed / I_leak.
+
+    Uses the hold-state leakage at the *average* of the initial and
+    minimum-sensable storage voltages, a good approximation because the
+    leakage floor is nearly bias-independent over that range.
+    """
+    if not (0.0 < sense_fraction < 1.0):
+        raise AnalysisError(
+            f"sense fraction must be in (0, 1), got {sense_fraction}"
+        )
+    v_full = cell.vdd_v
+    v_min = sense_fraction * v_full
+    dv = v_full - v_min
+    v_mid = (v_full + v_min) / 2.0
+    leak = cell.hold_leakage_a(stored_v=v_mid)
+    if leak <= 0:
+        return float("inf")
+    return cell.storage_node_cap_f() * dv / leak
+
+
+def simulate_retention_decay(
+    cell: BitcellDesign,
+    t_stop: float,
+    n_steps: int = 200,
+):
+    """Transient decay of a stored '1' through the hold-state leakage.
+
+    Returns the SN waveform.  WWL is at its (negative) hold level, WBL is
+    grounded, and the SN starts at VDD.  The explicit storage capacitance is modeled with
+    the full :meth:`storage_node_cap_f` so the closed form and the
+    simulation are comparable.
+    """
+    circuit = Circuit(f"{cell.name}_retention")
+    circuit.add(VoltageSource("vwwl", "wwl", "0", Dc(cell.v_wwl_hold_v)))
+    circuit.add(VoltageSource("vwbl", "wbl", "0", Dc(0.0)))
+    circuit.add(
+        FetElement(
+            "wt",
+            cell.make_write_fet(),
+            "wbl",
+            "wwl",
+            "sn",
+            include_gate_caps=False,
+        )
+    )
+    circuit.add(Capacitor("csn", "sn", "0", cell.storage_node_cap_f()))
+    result = transient(
+        circuit,
+        t_stop=t_stop,
+        dt=t_stop / n_steps,
+        initial_conditions={"sn": cell.vdd_v},
+        use_dc_start=False,
+        # The default gmin (1e-12 S) would swamp the sub-femtoamp hold
+        # leakage this simulation is measuring.
+        gmin=0.0,
+    )
+    return result.voltage("sn")
+
+
+def refresh_interval_s(
+    cell: BitcellDesign,
+    margin: float = DEFAULT_REFRESH_MARGIN,
+    sense_fraction: float = DEFAULT_SENSE_FRACTION,
+) -> Optional[float]:
+    """Refresh interval, or None when no refresh is needed.
+
+    A cell that retains data for longer than a day effectively never
+    needs refresh within the paper's 2-hour daily usage window.
+    """
+    if margin < 1.0:
+        raise AnalysisError(f"refresh margin must be >= 1, got {margin}")
+    retention = retention_time_s(cell, sense_fraction)
+    if retention > 86_400.0:
+        return None
+    return retention / margin

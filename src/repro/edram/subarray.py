@@ -1,0 +1,106 @@
+"""2 kB sub-array organization (Sec. III-B step 2).
+
+"To facilitate fast critical path delay of the eDRAM (read/write access
+times), we partition the 64 kB into 2 kB sub-arrays, each with 512 32-bit
+words, which improves timing due to relatively smaller capacitive loading"
+— the paper.
+
+Organization: 128 rows x 128 columns of bit cells (16,384 bits = 2 kB),
+4:1 column multiplexing so each access reads/writes one 32-bit word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.edram.bitcell import BitcellDesign
+from repro.edram.parasitics import (
+    LineParasitics,
+    bitline_parasitics,
+    read_wordline,
+    write_wordline,
+)
+
+#: Width of the decoder/wordline-driver strip beside a Si sub-array (um).
+SI_DECODER_STRIP_UM = 5.0
+#: Height of the sense-amp/write-driver strip below a Si sub-array (um).
+SI_SENSEAMP_STRIP_UM = 3.75
+
+
+@dataclass(frozen=True)
+class SubArrayDesign:
+    """One 2 kB sub-array in a given bit-cell technology."""
+
+    cell: BitcellDesign
+    n_rows: int = 128
+    n_cols: int = 128
+    column_mux: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0 or self.n_cols <= 0:
+            raise ValueError("sub-array dimensions must be positive")
+        if self.column_mux <= 0 or self.n_cols % self.column_mux:
+            raise ValueError(
+                f"column mux {self.column_mux} must divide n_cols {self.n_cols}"
+            )
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def n_bits(self) -> int:
+        return self.n_rows * self.n_cols
+
+    @property
+    def bytes(self) -> int:
+        return self.n_bits // 8
+
+    @property
+    def word_bits(self) -> int:
+        return self.n_cols // self.column_mux
+
+    @property
+    def n_words(self) -> int:
+        return self.n_rows * self.column_mux
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def array_height_um(self) -> float:
+        return self.n_rows * self.cell.cell_height_um
+
+    @property
+    def array_width_um(self) -> float:
+        return self.n_cols * self.cell.cell_width_um
+
+    @property
+    def footprint_height_um(self) -> float:
+        """Sub-array silicon footprint height.
+
+        M3D cells stack over their periphery, so the footprint is the
+        array alone; Si sub-arrays add the sense-amp strip.
+        """
+        if self.cell.stacked:
+            return self.array_height_um
+        return self.array_height_um + SI_SENSEAMP_STRIP_UM
+
+    @property
+    def footprint_width_um(self) -> float:
+        if self.cell.stacked:
+            return self.array_width_um
+        return self.array_width_um + SI_DECODER_STRIP_UM
+
+    @property
+    def footprint_area_um2(self) -> float:
+        return self.footprint_height_um * self.footprint_width_um
+
+    # -- electrical ------------------------------------------------------------
+    def write_wordline_parasitics(self) -> LineParasitics:
+        return write_wordline(self.cell, self.n_cols)
+
+    def read_wordline_parasitics(self) -> LineParasitics:
+        return read_wordline(self.cell, self.n_cols)
+
+    def bitline_parasitics(self) -> LineParasitics:
+        return bitline_parasitics(self.cell, self.n_rows)
+
+    def leakage_per_subarray_a(self) -> float:
+        """Worst-case hold leakage: every cell storing '1'."""
+        return self.n_bits * self.cell.hold_leakage_a()

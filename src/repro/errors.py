@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Carbon / fabrication modeling
+# ---------------------------------------------------------------------------
+class CarbonModelError(ReproError):
+    """Invalid input to a carbon model (negative areas, bad grids, ...)."""
+
+
+class ProcessFlowError(ReproError):
+    """Malformed fabrication process flow definition."""
+
+
+class CalibrationError(ReproError):
+    """A calibrated dataset failed its internal consistency check."""
+
+
+# ---------------------------------------------------------------------------
+# Circuit simulation
+# ---------------------------------------------------------------------------
+class SpiceError(ReproError):
+    """Base class for circuit-simulator errors."""
+
+
+class NetlistError(SpiceError):
+    """Malformed netlist (unknown node, duplicate element name, ...)."""
+
+
+class ConvergenceError(SpiceError):
+    """Newton iteration failed to converge in DC or transient analysis."""
+
+
+class AnalysisError(SpiceError):
+    """Invalid analysis request (bad time step, missing waveform, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# CPU / assembler
+# ---------------------------------------------------------------------------
+class CpuError(ReproError):
+    """Base class for CPU-substrate errors."""
+
+
+class AssemblerError(CpuError):
+    """Assembly-source error: unknown mnemonic, bad operand, range issue."""
+
+
+class ExecutionError(CpuError):
+    """Runtime fault in the instruction-set simulator."""
+
+
+class MemoryAccessError(ExecutionError):
+    """Access outside the mapped address space or misaligned access."""
+
+
+# ---------------------------------------------------------------------------
+# Physical design
+# ---------------------------------------------------------------------------
+class PhysicalDesignError(ReproError):
+    """Floorplanning / timing-closure failure."""
+
+
+class TimingClosureError(PhysicalDesignError):
+    """No design point meets the requested clock frequency."""

@@ -1,0 +1,34 @@
+"""Fabrication-process modeling substrate.
+
+This package models semiconductor fabrication flows as sequences of process
+steps, each belonging to one of six *process areas* (Sec. II-C of the
+paper): dry etch, lithography, metallization, metrology, wet etch, and
+deposition.  Electrical energy per area (EPA) is obtained by multiplying a
+step-count matrix by a per-step energy vector (Equation 4).
+
+Public entry points:
+
+- :func:`repro.fab.processes.build_all_si_process` — baseline 7 nm all-Si
+  CMOS flow (9 metal layers, ASAP7-style pitches).
+- :func:`repro.fab.processes.build_m3d_process` — M3D flow with two CNFET
+  tiers and one IGZO tier in the BEOL (15 metal layers).
+- :class:`repro.fab.flow.ProcessFlow` — the flow container with
+  ``total_energy_kwh()``, ``step_count_matrix()`` and segment accounting.
+"""
+
+from repro.fab.steps import LithographyMethod, ProcessArea, ProcessStep
+from repro.fab.flow import FlowSegment, ProcessFlow
+from repro.fab.processes import (
+    build_all_si_process,
+    build_m3d_process,
+)
+
+__all__ = [
+    "LithographyMethod",
+    "ProcessArea",
+    "ProcessStep",
+    "FlowSegment",
+    "ProcessFlow",
+    "build_all_si_process",
+    "build_m3d_process",
+]

@@ -1,0 +1,159 @@
+"""BEOL device-tier step sequences for the M3D process.
+
+Section II-C of the paper describes the CNFET and IGZO FET tier flows in
+detail.  Each tier consists of:
+
+CNFET tier:
+  1. oxide deposition (isolation above the previous metal level);
+  2. CNT deposition via wet-processing incubation (~2 nm film);
+  3. active-region lithography (EUV, 7 nm-node feature sizes);
+  4. active-region dry etch (O2 plasma);
+  5. source/drain patterning + deposition — *modeled as a 36 nm-pitch
+     metal/via pair* (the paper's rule: "the energy consumption of a
+     metal/via pair at 36 nm pitch is used to model ... M5 and VCNT1, and
+     IGZO source/drain and V8");
+  6. high-k dielectric deposition (~2 nm);
+  7. gate lithography (EUV, 30 nm gate length);
+  8. gate metal deposition (metallization);
+  9. wet etch to expose source/drain;
+  plus inline metrology.
+
+IGZO tier: same shape, with RF-sputtered IGZO (10 nm) instead of CNTs and a
+*wet* etch patterning the active region instead of a dry etch.
+
+The source/drain + via pair is appended by the flow builder
+(:mod:`repro.fab.processes`) using :func:`metal_via_pair_segment`, so the
+segments here contain only the tier-specific steps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fab import energy_data
+from repro.fab.flow import FlowSegment
+from repro.fab.steps import LithographyMethod, ProcessArea, ProcessStep
+
+
+def _e(area: ProcessArea) -> float:
+    return energy_data.STEP_ENERGY_KWH[area]
+
+
+def cnfet_tier_segment(label: str) -> FlowSegment:
+    """Tier-specific steps for one CNFET tier (excludes the S/D pair)."""
+    steps: List[ProcessStep] = [
+        ProcessStep(
+            f"{label}: isolation oxide deposition",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+        ),
+        ProcessStep(
+            f"{label}: CNT deposition (wet incubation, ~2 nm)",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+            comment="low-temperature, BEOL-compatible",
+        ),
+        ProcessStep(
+            f"{label}: active-region lithography (EUV)",
+            ProcessArea.LITHOGRAPHY,
+            _e(ProcessArea.LITHOGRAPHY),
+            lithography=LithographyMethod.EUV,
+        ),
+        ProcessStep(
+            f"{label}: active-region dry etch (O2 plasma)",
+            ProcessArea.DRY_ETCH,
+            _e(ProcessArea.DRY_ETCH),
+        ),
+        ProcessStep(
+            f"{label}: high-k dielectric deposition (~2 nm)",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+        ),
+        ProcessStep(
+            f"{label}: gate lithography (EUV, 30 nm Lg)",
+            ProcessArea.LITHOGRAPHY,
+            _e(ProcessArea.LITHOGRAPHY),
+            lithography=LithographyMethod.EUV,
+        ),
+        ProcessStep(
+            f"{label}: gate metal deposition",
+            ProcessArea.METALLIZATION,
+            _e(ProcessArea.METALLIZATION),
+        ),
+        ProcessStep(
+            f"{label}: wet etch (expose source/drain)",
+            ProcessArea.WET_ETCH,
+            _e(ProcessArea.WET_ETCH),
+        ),
+        ProcessStep(
+            f"{label}: inline metrology (film)",
+            ProcessArea.METROLOGY,
+            _e(ProcessArea.METROLOGY),
+        ),
+        ProcessStep(
+            f"{label}: inline metrology (CD/overlay)",
+            ProcessArea.METROLOGY,
+            _e(ProcessArea.METROLOGY),
+        ),
+    ]
+    return FlowSegment(name=f"{label} (device steps)", steps=steps)
+
+
+def igzo_tier_segment(label: str) -> FlowSegment:
+    """Tier-specific steps for the IGZO FET tier (excludes the S/D pair)."""
+    steps: List[ProcessStep] = [
+        ProcessStep(
+            f"{label}: isolation oxide deposition",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+        ),
+        ProcessStep(
+            f"{label}: IGZO deposition (RF sputter, 10 nm)",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+            comment="low-temperature, BEOL-compatible",
+        ),
+        ProcessStep(
+            f"{label}: active-region lithography (EUV)",
+            ProcessArea.LITHOGRAPHY,
+            _e(ProcessArea.LITHOGRAPHY),
+            lithography=LithographyMethod.EUV,
+        ),
+        ProcessStep(
+            f"{label}: active-region wet etch",
+            ProcessArea.WET_ETCH,
+            _e(ProcessArea.WET_ETCH),
+        ),
+        ProcessStep(
+            f"{label}: high-k dielectric deposition",
+            ProcessArea.DEPOSITION,
+            _e(ProcessArea.DEPOSITION),
+        ),
+        ProcessStep(
+            f"{label}: gate lithography (EUV)",
+            ProcessArea.LITHOGRAPHY,
+            _e(ProcessArea.LITHOGRAPHY),
+            lithography=LithographyMethod.EUV,
+        ),
+        ProcessStep(
+            f"{label}: gate metal deposition",
+            ProcessArea.METALLIZATION,
+            _e(ProcessArea.METALLIZATION),
+        ),
+        ProcessStep(
+            f"{label}: wet etch (expose source/drain)",
+            ProcessArea.WET_ETCH,
+            _e(ProcessArea.WET_ETCH),
+        ),
+        ProcessStep(
+            f"{label}: inline metrology (film)",
+            ProcessArea.METROLOGY,
+            _e(ProcessArea.METROLOGY),
+        ),
+        ProcessStep(
+            f"{label}: inline metrology (CD/overlay)",
+            ProcessArea.METROLOGY,
+            _e(ProcessArea.METROLOGY),
+        ),
+    ]
+    return FlowSegment(name=f"{label} (device steps)", steps=steps)

@@ -1,0 +1,228 @@
+"""Calibrated fabrication-energy dataset.
+
+The paper builds its EPA (electrical energy per area) model from the
+fabrication-energy data of Bardon et al. (IEDM 2020, reference [4] of the
+paper), which reports (a) the energy of fabricating a metal/via pair at a
+given pitch and lithography method, and (b) for metal-layer fabrication,
+the number of steps per process area and the total energy per area
+(Fig. 2d of the paper).
+
+That dataset is not public in machine-readable form, so this module ships a
+*calibrated* reconstruction.  The calibration anchors are all published in
+the paper:
+
+- FEOL + MOL energy of the imec iN7 EUV node: **436 kWh/wafer**.
+- Deposition in EUV metal-layer fabrication: **3 steps totalling 4 kWh**
+  (1.333 kWh/step — the worked example in Sec. II-C).
+- EPA ratios vs the iN7-EUV node: **0.79×** (all-Si flow) and **1.22×**
+  (M3D flow), Equation 3.
+- Wafer-level embodied carbon on the US grid: **837 kgCO2e** (all-Si) and
+  **1100 kgCO2e** (M3D), Table II / Fig. 2c.
+
+Solving those constraints (see DESIGN.md section 3) yields the per-step and
+per-pair energies below.  :func:`verify_calibration` re-derives the wafer
+totals and raises :class:`repro.errors.CalibrationError` on drift; the test
+suite calls it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import CalibrationError
+from repro.fab.steps import LithographyMethod, ProcessArea
+
+# ---------------------------------------------------------------------------
+# Anchors taken directly from the paper
+# ---------------------------------------------------------------------------
+
+#: Front-end-of-line + middle-of-line energy for a 7 nm EUV node
+#: (imec iN7), kWh per 300 mm wafer.  Both processes share this segment.
+FEOL_MOL_ENERGY_KWH = 436.0
+
+#: Total fabrication energy of the iN7-EUV reference node, kWh per wafer.
+#: Chosen so the paper's published EPA ratios (0.79x / 1.22x) reproduce the
+#: published wafer carbon numbers; see DESIGN.md.
+IN7_EUV_TOTAL_ENERGY_KWH = 885.0
+
+#: GPA (gas emissions per area) of the iN7-EUV reference, kgCO2e/cm^2.
+IN7_EUV_GPA_KG_PER_CM2 = 0.20
+
+#: Facility overhead multiplier on EPA (2015 ITRS): EPA_f = 1.4 * EPA.
+FACILITY_ENERGY_OVERHEAD = 1.4
+
+#: EPA ratios reported by the paper (Equation 3 context).  These are
+#: *outputs* of our bottom-up model; kept here for verification only.
+EXPECTED_EPA_RATIO_ALL_SI = 0.79
+EXPECTED_EPA_RATIO_M3D = 1.22
+
+# ---------------------------------------------------------------------------
+# Per-step energies (kWh per 300 mm wafer per step)
+# ---------------------------------------------------------------------------
+
+#: Energy of a single EUV exposure step.  Solved from the calibration
+#: constraints in DESIGN.md section 3 (24*L + 178.2 = 380.55 kWh).
+EUV_LITHO_STEP_KWH = 8.43125
+
+#: Per-step energies by process area.  The deposition value is the paper's
+#: own worked example (4 kWh / 3 steps); the others are consistent with the
+#: per-area totals of the EUV metal-layer table below.
+STEP_ENERGY_KWH: Dict[ProcessArea, float] = {
+    ProcessArea.LITHOGRAPHY: EUV_LITHO_STEP_KWH,
+    ProcessArea.DRY_ETCH: 1.5,
+    ProcessArea.WET_ETCH: 0.6,
+    ProcessArea.METALLIZATION: 2.0,
+    ProcessArea.DEPOSITION: 4.0 / 3.0,
+    ProcessArea.METROLOGY: 0.3,
+}
+
+
+@dataclass(frozen=True)
+class MetalLayerRecipe:
+    """Step counts per process area for fabricating one EUV metal/via pair.
+
+    Reproduces the shape of Fig. 2d: for each process area, the number of
+    steps and (via :attr:`area_energy_kwh`) the total energy incurred.
+    A metal/via *pair* needs two exposures (one via mask + one metal mask).
+    """
+
+    steps: Dict[ProcessArea, int]
+
+    def area_energy_kwh(self, area: ProcessArea) -> float:
+        """Total energy of one process area across the recipe."""
+        return self.steps.get(area, 0) * STEP_ENERGY_KWH[area]
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(self.area_energy_kwh(a) for a in self.steps)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.steps.values())
+
+
+#: Step breakdown of an EUV-patterned metal/via pair (Fig. 2d shape).
+EUV_METAL_VIA_PAIR_RECIPE = MetalLayerRecipe(
+    steps={
+        ProcessArea.LITHOGRAPHY: 2,
+        ProcessArea.DRY_ETCH: 4,
+        ProcessArea.WET_ETCH: 3,
+        ProcessArea.METALLIZATION: 2,
+        ProcessArea.DEPOSITION: 3,
+        ProcessArea.METROLOGY: 4,
+    }
+)
+
+#: Step breakdown of a single EUV metal layer (one exposure), used when a
+#: lone metal level (no via) is added.  Half the patterning of a pair.
+EUV_METAL_LAYER_RECIPE = MetalLayerRecipe(
+    steps={
+        ProcessArea.LITHOGRAPHY: 1,
+        ProcessArea.DRY_ETCH: 2,
+        ProcessArea.WET_ETCH: 2,
+        ProcessArea.METALLIZATION: 1,
+        ProcessArea.DEPOSITION: 2,
+        ProcessArea.METROLOGY: 2,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Metal/via-pair energies by pitch (kWh per wafer per pair)
+# ---------------------------------------------------------------------------
+
+#: Energy of one metal/via pair, keyed by (pitch_nm, lithography).
+#: 36 nm pairs are EUV single-patterned and decompose exactly into
+#: EUV_METAL_VIA_PAIR_RECIPE.  Coarser pitches use 193 nm immersion
+#: patterning; the paper substitutes 42 nm-pitch data for 48 nm-pitch
+#: layers, which we mirror.
+METAL_VIA_PAIR_ENERGY_KWH: Dict[Tuple[int, LithographyMethod], float] = {
+    (36, LithographyMethod.EUV): EUV_METAL_VIA_PAIR_RECIPE.total_energy_kwh,
+    (42, LithographyMethod.IMMERSION_193_SADP): 31.0,
+    (48, LithographyMethod.IMMERSION_193_SADP): 31.0,  # modeled with 42 nm data
+    (64, LithographyMethod.IMMERSION_193): 26.78125,
+    (80, LithographyMethod.IMMERSION_193): 23.0,
+}
+
+
+def pair_energy_kwh(pitch_nm: int) -> float:
+    """Energy (kWh/wafer) of one metal/via pair at the given pitch.
+
+    The lithography method is implied by the pitch, following the paper:
+    36 nm is EUV; 48 nm uses the 42 nm immersion-SADP data; 64 and 80 nm
+    use single-exposure immersion patterning.
+    """
+    for (pitch, _method), energy in METAL_VIA_PAIR_ENERGY_KWH.items():
+        if pitch == pitch_nm:
+            return energy
+    known = sorted({p for (p, _m) in METAL_VIA_PAIR_ENERGY_KWH})
+    raise KeyError(
+        f"no metal/via pair energy data for pitch {pitch_nm} nm; "
+        f"known pitches: {known}"
+    )
+
+
+def lithography_for_pitch(pitch_nm: int) -> LithographyMethod:
+    """Patterning method implied by a metal pitch at the 7 nm node."""
+    if pitch_nm <= 40:
+        return LithographyMethod.EUV
+    if pitch_nm <= 48:
+        return LithographyMethod.IMMERSION_193_SADP
+    return LithographyMethod.IMMERSION_193
+
+
+# ---------------------------------------------------------------------------
+# Grid carbon intensities used in Fig. 2c (gCO2e per kWh)
+# ---------------------------------------------------------------------------
+GRID_CARBON_INTENSITY: Dict[str, float] = {
+    "us": 380.0,
+    "coal": 820.0,
+    "solar": 48.0,
+    "taiwan": 563.0,
+}
+
+#: Materials procurement per area for a Si wafer, gCO2e/cm^2 (LCA, ref [30]).
+SI_WAFER_MPA_G_PER_CM2 = 500.0
+
+#: CNT synthesis footprint, gCO2e per gram of CNT (average over synthesis
+#: methods, ref [31] -> "~14 kgCO2e per gram CNT").
+CNT_SYNTHESIS_G_PER_GRAM = 14_000.0
+
+#: Total CNT mass deposited per 300 mm wafer ("on the order of picograms").
+CNT_MASS_PER_WAFER_GRAMS = 5e-12
+
+#: IGZO sputter-target footprint per wafer, gCO2e.  The paper notes LCA
+#: methods "are needed" for IGZO; the deposited film is ~10 nm thick so the
+#: material mass (and footprint) is negligible, like the CNTs.  We carry an
+#: explicit tiny term so the accounting is visible.
+IGZO_MATERIAL_G_PER_WAFER = 1e-3
+
+
+def verify_calibration(tolerance: float = 5e-3) -> None:
+    """Check that the calibrated dataset reproduces the paper's numbers.
+
+    Re-derives wafer-level EPA for both flows from the step data and
+    compares against the published anchors (0.79x/1.22x of the iN7 node).
+    Raises :class:`CalibrationError` on drift beyond ``tolerance``
+    (relative).
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.fab.processes import build_all_si_process, build_m3d_process
+
+    targets = {
+        "all_si": EXPECTED_EPA_RATIO_ALL_SI * IN7_EUV_TOTAL_ENERGY_KWH,
+        "m3d": EXPECTED_EPA_RATIO_M3D * IN7_EUV_TOTAL_ENERGY_KWH,
+    }
+    flows = {
+        "all_si": build_all_si_process(),
+        "m3d": build_m3d_process(),
+    }
+    for name, flow in flows.items():
+        measured = flow.total_energy_kwh()
+        target = targets[name]
+        rel = abs(measured - target) / target
+        if rel > tolerance:
+            raise CalibrationError(
+                f"{name} flow EPA = {measured:.2f} kWh/wafer, expected "
+                f"{target:.2f} (rel. error {rel:.2%} > {tolerance:.2%})"
+            )

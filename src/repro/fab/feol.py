@@ -1,0 +1,20 @@
+"""Front-end-of-line / middle-of-line segment.
+
+The paper equates the FEOL fabrication energy of both 7 nm processes to the
+front- and middle-of-line energy of the imec iN7 EUV node: 436 kWh per
+300 mm wafer (Sec. II-C).  The FEOL is therefore carried as a single lumped
+segment shared by both flows.
+"""
+
+from __future__ import annotations
+
+from repro.fab import energy_data
+from repro.fab.flow import FlowSegment
+
+
+def feol_segment() -> FlowSegment:
+    """Si FinFET FEOL + MOL segment (shared by all-Si and M3D flows)."""
+    return FlowSegment(
+        name="FEOL+MOL (Si FinFET, iN7-EUV equivalent)",
+        lumped_energy_kwh=energy_data.FEOL_MOL_ENERGY_KWH,
+    )

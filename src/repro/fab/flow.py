@@ -1,0 +1,162 @@
+"""Process-flow container and Equation 4 step accounting.
+
+A :class:`ProcessFlow` is an ordered list of :class:`FlowSegment` objects
+(FEOL, individual metal/via pairs, device tiers).  Each segment is itself a
+list of :class:`~repro.fab.steps.ProcessStep`.  The flow exposes:
+
+- ``total_energy_kwh()`` — EPA per wafer, the left-hand side of Eq. 4;
+- ``step_count_matrix()`` — the N_step counts per process area (the first
+  matrix in Eq. 4);
+- ``segment_energies()`` — per-segment breakdown for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ProcessFlowError
+from repro.fab.steps import ProcessArea, ProcessStep, StepCount
+
+
+@dataclass
+class FlowSegment:
+    """A named, contiguous portion of a process flow.
+
+    Examples: ``"FEOL+MOL"``, ``"M1/V0 pair (36 nm, EUV)"``,
+    ``"CNFET tier 1"``.
+    """
+
+    name: str
+    steps: List[ProcessStep] = field(default_factory=list)
+    #: Lump-sum energy for segments modeled at coarser granularity than
+    #: individual steps (the FEOL is the paper's example: a single
+    #: 436 kWh/wafer figure, not a step list).
+    lumped_energy_kwh: float = 0.0
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.lumped_energy_kwh + sum(s.energy_kwh for s in self.steps)
+
+    def step_counts(self) -> StepCount:
+        counts = StepCount()
+        for step in self.steps:
+            counts.add(step)
+        return counts
+
+
+class ProcessFlow:
+    """An ordered fabrication flow for one wafer.
+
+    Attributes:
+        name: Flow identifier (``"all-Si 7nm"`` / ``"M3D IGZO/CNFET/Si 7nm"``).
+        wafer_diameter_mm: Wafer diameter; 300 mm throughout the paper.
+    """
+
+    def __init__(self, name: str, wafer_diameter_mm: float = 300.0) -> None:
+        if wafer_diameter_mm <= 0:
+            raise ProcessFlowError(
+                f"wafer diameter must be positive, got {wafer_diameter_mm}"
+            )
+        self.name = name
+        self.wafer_diameter_mm = wafer_diameter_mm
+        self._segments: List[FlowSegment] = []
+
+    # -- construction -------------------------------------------------
+    def add_segment(self, segment: FlowSegment) -> "ProcessFlow":
+        """Append a segment; returns self for chaining."""
+        if any(s.name == segment.name for s in self._segments):
+            raise ProcessFlowError(
+                f"duplicate segment name {segment.name!r} in flow {self.name!r}"
+            )
+        self._segments.append(segment)
+        return self
+
+    def extend(self, segments: Iterable[FlowSegment]) -> "ProcessFlow":
+        for segment in segments:
+            self.add_segment(segment)
+        return self
+
+    # -- accounting ---------------------------------------------------
+    @property
+    def segments(self) -> Sequence[FlowSegment]:
+        return tuple(self._segments)
+
+    def segment(self, name: str) -> FlowSegment:
+        for seg in self._segments:
+            if seg.name == name:
+                return seg
+        raise ProcessFlowError(f"no segment named {name!r} in flow {self.name!r}")
+
+    def total_energy_kwh(self) -> float:
+        """EPA per wafer (kWh / 300 mm wafer): Equation 4's output."""
+        return sum(seg.energy_kwh for seg in self._segments)
+
+    def segment_energies(self) -> Dict[str, float]:
+        """Per-segment energy in kWh/wafer, insertion-ordered."""
+        return {seg.name: seg.energy_kwh for seg in self._segments}
+
+    def step_counts(self) -> StepCount:
+        """Aggregate per-process-area step counts across all segments."""
+        counts = StepCount()
+        for seg in self._segments:
+            for step in seg.steps:
+                counts.add(step)
+        return counts
+
+    def step_count_matrix(self) -> np.ndarray:
+        """Column vector of step counts in canonical process-area order.
+
+        This is one column of the first matrix in Equation 4; stacking the
+        columns of several flows (e.g. all-Si and M3D) reconstructs the
+        full matrix.
+        """
+        counts = self.step_counts()
+        return np.array(
+            [counts.count(area) for area in ProcessArea.ordered()], dtype=float
+        ).reshape(-1, 1)
+
+    def n_steps(self) -> int:
+        """Total number of explicitly modeled steps (excludes lumped FEOL)."""
+        return sum(len(seg.steps) for seg in self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessFlow({self.name!r}, segments={len(self._segments)}, "
+            f"EPA={self.total_energy_kwh():.2f} kWh/wafer)"
+        )
+
+
+def epa_matrix(flows: Sequence[ProcessFlow]) -> np.ndarray:
+    """Step-count matrix for several flows (the full Eq. 4 matrix).
+
+    Rows follow :meth:`ProcessArea.ordered`, columns follow ``flows``.
+    """
+    if not flows:
+        raise ProcessFlowError("need at least one flow")
+    return np.hstack([flow.step_count_matrix() for flow in flows])
+
+
+def epa_from_matrices(
+    step_counts: np.ndarray, step_energies: np.ndarray
+) -> np.ndarray:
+    """Equation 4: EPA per flow = step-energy row vector @ count matrix.
+
+    Args:
+        step_counts: (n_areas, n_flows) matrix of per-area step counts.
+        step_energies: (n_areas,) vector of kWh per step per area.
+
+    Returns:
+        (n_flows,) vector of EPA (kWh/wafer) attributable to the counted
+        steps.  Lumped segments (FEOL) must be added separately.
+    """
+    counts = np.asarray(step_counts, dtype=float)
+    energies = np.asarray(step_energies, dtype=float).reshape(-1)
+    if counts.shape[0] != energies.shape[0]:
+        raise ProcessFlowError(
+            f"shape mismatch: counts has {counts.shape[0]} areas, "
+            f"energies has {energies.shape[0]}"
+        )
+    return energies @ counts

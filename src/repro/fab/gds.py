@@ -1,0 +1,250 @@
+"""Minimal GDSII stream writer/reader.
+
+The paper's repository ships a circuit layout (GDS) of the M3D process
+for 3D rendering.  This module implements the subset of the GDSII stream
+format needed to export such layouts: one library, named structures,
+BOUNDARY (rectangle/polygon) elements with layer/datatype, and the
+matching reader for round-trip tests.
+
+Format reference: the Calma GDSII Stream Format, release 6.0.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+# GDSII record types (subset).
+_HEADER = 0x00
+_BGNLIB = 0x01
+_LIBNAME = 0x02
+_UNITS = 0x03
+_ENDLIB = 0x04
+_BGNSTR = 0x05
+_STRNAME = 0x06
+_ENDSTR = 0x07
+_BOUNDARY = 0x08
+_LAYER = 0x0D
+_DATATYPE = 0x0E
+_XY = 0x10
+_ENDEL = 0x11
+
+# Data type codes.
+_NO_DATA = 0x00
+_INT16 = 0x02
+_INT32 = 0x03
+_REAL8 = 0x05
+_ASCII = 0x06
+
+
+class GdsError(ReproError):
+    """Malformed GDS content or unsupported records."""
+
+
+def _real8(value: float) -> bytes:
+    """Encode an 8-byte GDSII excess-64 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return bytes([sign | exponent]) + mantissa.to_bytes(7, "big")
+
+
+def _parse_real8(raw: bytes) -> float:
+    sign = -1.0 if raw[0] & 0x80 else 1.0
+    exponent = (raw[0] & 0x7F) - 64
+    mantissa = int.from_bytes(raw[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0**exponent)
+
+
+def _record(rtype: int, dtype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        payload += b"\x00"
+        length += 1
+    return struct.pack(">HBB", length, rtype, dtype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    raw = text.encode("ascii")
+    if len(raw) % 2:
+        raw += b"\x00"
+    return raw
+
+
+@dataclass(frozen=True)
+class GdsRect:
+    """An axis-aligned rectangle on a layer (coordinates in nanometers)."""
+
+    layer: int
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    datatype: int = 0
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise GdsError(
+                f"degenerate rectangle ({self.x0},{self.y0})-"
+                f"({self.x1},{self.y1})"
+            )
+        if not (0 <= self.layer <= 255):
+            raise GdsError(f"layer {self.layer} out of GDSII range")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+
+@dataclass
+class GdsStructure:
+    """A named cell containing boundary elements."""
+
+    name: str
+    rects: List[GdsRect] = field(default_factory=list)
+
+    def add(self, rect: GdsRect) -> None:
+        self.rects.append(rect)
+
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        if not self.rects:
+            raise GdsError(f"structure {self.name!r} is empty")
+        return (
+            min(r.x0 for r in self.rects),
+            min(r.y0 for r in self.rects),
+            max(r.x1 for r in self.rects),
+            max(r.y1 for r in self.rects),
+        )
+
+    def layers(self) -> "set[int]":
+        return {r.layer for r in self.rects}
+
+
+class GdsLibrary:
+    """A GDSII library: user unit = 1 nm, database unit = 1e-9 m."""
+
+    def __init__(self, name: str = "REPRO") -> None:
+        self.name = name
+        self.structures: Dict[str, GdsStructure] = {}
+
+    def new_structure(self, name: str) -> GdsStructure:
+        if name in self.structures:
+            raise GdsError(f"duplicate structure {name!r}")
+        structure = GdsStructure(name)
+        self.structures[name] = structure
+        return structure
+
+    # -- serialization ----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        timestamp = struct.pack(">12h", 2025, 1, 1, 0, 0, 0, 2025, 1, 1, 0, 0, 0)
+        out = bytearray()
+        out += _record(_HEADER, _INT16, struct.pack(">h", 600))
+        out += _record(_BGNLIB, _INT16, timestamp)
+        out += _record(_LIBNAME, _ASCII, _ascii(self.name))
+        # user unit 1e-3 (nm relative to um), database unit 1e-9 m.
+        out += _record(_UNITS, _REAL8, _real8(1e-3) + _real8(1e-9))
+        for structure in self.structures.values():
+            out += _record(_BGNSTR, _INT16, timestamp)
+            out += _record(_STRNAME, _ASCII, _ascii(structure.name))
+            for rect in structure.rects:
+                out += _record(_BOUNDARY, _NO_DATA)
+                out += _record(_LAYER, _INT16, struct.pack(">h", rect.layer))
+                out += _record(
+                    _DATATYPE, _INT16, struct.pack(">h", rect.datatype)
+                )
+                points = [
+                    (rect.x0, rect.y0),
+                    (rect.x1, rect.y0),
+                    (rect.x1, rect.y1),
+                    (rect.x0, rect.y1),
+                    (rect.x0, rect.y0),
+                ]
+                payload = b"".join(
+                    struct.pack(">ii", x, y) for x, y in points
+                )
+                out += _record(_XY, _INT32, payload)
+                out += _record(_ENDEL, _NO_DATA)
+            out += _record(_ENDSTR, _NO_DATA)
+        out += _record(_ENDLIB, _NO_DATA)
+        return bytes(out)
+
+    def write(self, path) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+    # -- parsing -------------------------------------------------------------
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "GdsLibrary":
+        library = cls(name="")
+        offset = 0
+        current: "GdsStructure | None" = None
+        pending_layer = pending_datatype = None
+        in_boundary = False
+        while offset + 4 <= len(raw):
+            length, rtype, _dtype = struct.unpack_from(">HBB", raw, offset)
+            if length < 4:
+                raise GdsError(f"corrupt record length at offset {offset}")
+            payload = raw[offset + 4 : offset + length]
+            offset += length
+            if rtype == _LIBNAME:
+                library.name = payload.rstrip(b"\x00").decode("ascii")
+            elif rtype == _BGNSTR:
+                current = None  # name arrives in STRNAME
+            elif rtype == _STRNAME:
+                name = payload.rstrip(b"\x00").decode("ascii")
+                current = library.new_structure(name)
+            elif rtype == _BOUNDARY:
+                in_boundary = True
+                pending_layer = pending_datatype = None
+            elif rtype == _LAYER and in_boundary:
+                pending_layer = struct.unpack(">h", payload[:2])[0]
+            elif rtype == _DATATYPE and in_boundary:
+                pending_datatype = struct.unpack(">h", payload[:2])[0]
+            elif rtype == _XY and in_boundary:
+                count = len(payload) // 8
+                points = [
+                    struct.unpack_from(">ii", payload, 8 * i)
+                    for i in range(count)
+                ]
+                xs = [p[0] for p in points]
+                ys = [p[1] for p in points]
+                if current is None or pending_layer is None:
+                    raise GdsError("XY record outside structure/boundary")
+                current.add(
+                    GdsRect(
+                        layer=pending_layer,
+                        x0=min(xs),
+                        y0=min(ys),
+                        x1=max(xs),
+                        y1=max(ys),
+                        datatype=pending_datatype or 0,
+                    )
+                )
+            elif rtype == _ENDEL:
+                in_boundary = False
+            elif rtype == _ENDLIB:
+                break
+        return library
+
+    @classmethod
+    def read(cls, path) -> "GdsLibrary":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())

@@ -1,0 +1,98 @@
+"""Builders for metal/via-pair flow segments.
+
+EUV-patterned (36 nm pitch) pairs are expanded into their full step list
+(matching :data:`repro.fab.energy_data.EUV_METAL_VIA_PAIR_RECIPE`), so the
+Equation 4 step-count matrix is populated.  Coarser-pitch pairs, whose
+energies are taken directly from the per-pair dataset (as the paper does),
+are carried as lumped segments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fab import energy_data
+from repro.fab.flow import FlowSegment
+from repro.fab.steps import LithographyMethod, ProcessArea, ProcessStep
+
+
+def _euv_pair_steps(label: str) -> List[ProcessStep]:
+    """Expand an EUV metal/via pair into its step sequence.
+
+    The sequence mirrors dual-damascene fabrication: via patterning/etch,
+    metal-trench patterning/etch, barrier/liner deposition, fill
+    metallization, CMP-adjacent cleans, and inline metrology.  Step counts
+    per area match :data:`EUV_METAL_VIA_PAIR_RECIPE`.
+    """
+    e = energy_data.STEP_ENERGY_KWH
+    litho = e[ProcessArea.LITHOGRAPHY]
+    dry = e[ProcessArea.DRY_ETCH]
+    wet = e[ProcessArea.WET_ETCH]
+    metal = e[ProcessArea.METALLIZATION]
+    dep = e[ProcessArea.DEPOSITION]
+    metro = e[ProcessArea.METROLOGY]
+
+    def step(name: str, area: ProcessArea, energy: float, **kw) -> ProcessStep:
+        return ProcessStep(name=f"{label}: {name}", area=area, energy_kwh=energy, **kw)
+
+    return [
+        step("ILD deposition", ProcessArea.DEPOSITION, dep),
+        step(
+            "via lithography (EUV)",
+            ProcessArea.LITHOGRAPHY,
+            litho,
+            lithography=LithographyMethod.EUV,
+        ),
+        step("via etch", ProcessArea.DRY_ETCH, dry),
+        step("via etch (breakthrough)", ProcessArea.DRY_ETCH, dry),
+        step("post-via clean", ProcessArea.WET_ETCH, wet),
+        step("via metrology", ProcessArea.METROLOGY, metro),
+        step(
+            "metal trench lithography (EUV)",
+            ProcessArea.LITHOGRAPHY,
+            litho,
+            lithography=LithographyMethod.EUV,
+        ),
+        step("trench etch", ProcessArea.DRY_ETCH, dry),
+        step("trench etch (breakthrough)", ProcessArea.DRY_ETCH, dry),
+        step("post-trench clean", ProcessArea.WET_ETCH, wet),
+        step("trench metrology", ProcessArea.METROLOGY, metro),
+        step("barrier/liner deposition", ProcessArea.DEPOSITION, dep),
+        step("seed deposition", ProcessArea.DEPOSITION, dep),
+        step("Cu fill (ECD)", ProcessArea.METALLIZATION, metal),
+        step("CMP / overburden removal", ProcessArea.METALLIZATION, metal),
+        step("post-CMP clean", ProcessArea.WET_ETCH, wet),
+        step("thickness metrology", ProcessArea.METROLOGY, metro),
+        step("overlay metrology", ProcessArea.METROLOGY, metro),
+    ]
+
+
+def metal_via_pair_segment(
+    label: str, pitch_nm: int
+) -> FlowSegment:
+    """One metal/via pair at the given pitch as a flow segment.
+
+    Args:
+        label: e.g. ``"M1/V0"``.
+        pitch_nm: Metal pitch; determines lithography and energy
+            (48 nm uses the 42 nm-pitch dataset, as in the paper).
+    """
+    litho = energy_data.lithography_for_pitch(pitch_nm)
+    name = f"{label} pair ({pitch_nm} nm, {litho.value})"
+    if litho is LithographyMethod.EUV:
+        segment = FlowSegment(name=name, steps=_euv_pair_steps(label))
+        expected = energy_data.pair_energy_kwh(pitch_nm)
+        # The expanded recipe and the per-pair dataset must agree exactly.
+        assert abs(segment.energy_kwh - expected) < 1e-9
+        return segment
+    return FlowSegment(
+        name=name,
+        lumped_energy_kwh=energy_data.pair_energy_kwh(pitch_nm),
+    )
+
+
+def metal_stack_segments(
+    pitches_nm: "list[tuple[str, int]]",
+) -> List[FlowSegment]:
+    """Segments for a whole metal stack given (label, pitch) entries."""
+    return [metal_via_pair_segment(label, pitch) for label, pitch in pitches_nm]

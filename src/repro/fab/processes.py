@@ -1,0 +1,104 @@
+"""Complete 7 nm process flows: baseline all-Si CMOS and M3D IGZO/CNFET/Si.
+
+Both flows follow Sec. II-C of the paper exactly:
+
+All-Si (Fig. 2a): FEOL+MOL, then a 9-layer BEOL metal stack with
+ASAP7 pitches — M1-M3 at 36 nm, M4-M5 at 48 nm, M6-M7 at 64 nm, M8-M9 at
+80 nm.
+
+M3D (Fig. 2b): identical through M4, then
+
+- CNFET tier 1 (device steps + S/D modeled as a 36 nm pair "S/D(T)1 + VCNT1"),
+  then M5 and M6 at 36 nm;
+- CNFET tier 2 (device steps + S/D pair), then M7 and M8 at 36 nm;
+- IGZO tier (device steps + S/D pair "IGZO S/D + V8"), then M9 and M10
+  at 36 nm;
+- M11-M15 at the same dimensions as M5-M9 of the all-Si stack
+  (48, 64, 64, 80, 80 nm).
+"""
+
+from __future__ import annotations
+
+from repro.fab.device_tiers import cnfet_tier_segment, igzo_tier_segment
+from repro.fab.feol import feol_segment
+from repro.fab.flow import ProcessFlow
+from repro.fab.metal_stack import metal_via_pair_segment
+
+#: (label, pitch_nm) for the all-Si 9-layer BEOL stack (ASAP7 pitches).
+ALL_SI_METAL_STACK = [
+    ("M1/V0", 36),
+    ("M2/V1", 36),
+    ("M3/V2", 36),
+    ("M4/V3", 48),
+    ("M5/V4", 48),
+    ("M6/V5", 64),
+    ("M7/V6", 64),
+    ("M8/V7", 80),
+    ("M9/V8", 80),
+]
+
+
+def build_all_si_process() -> ProcessFlow:
+    """Baseline 7 nm all-Si CMOS process (Fig. 2a)."""
+    flow = ProcessFlow("all-Si 7nm (ASAP7-style)")
+    flow.add_segment(feol_segment())
+    for label, pitch in ALL_SI_METAL_STACK:
+        flow.add_segment(metal_via_pair_segment(label, pitch))
+    return flow
+
+
+def build_m3d_process(
+    n_cnfet_tiers: int = 2, include_igzo_tier: bool = True
+) -> ProcessFlow:
+    """M3D 7 nm process: CNFET/IGZO tiers on Si CMOS (Fig. 2b).
+
+    Args:
+        n_cnfet_tiers: Number of CNFET tiers (paper: 2).  Exposed so the
+            ablation benchmarks can sweep tier count.
+        include_igzo_tier: Whether the IGZO tier is present (paper: yes).
+
+    Returns:
+        The full :class:`ProcessFlow`.  With default arguments the metal
+        numbering matches Fig. 2b (M1-M15).
+    """
+    if n_cnfet_tiers < 0:
+        raise ValueError(f"n_cnfet_tiers must be >= 0, got {n_cnfet_tiers}")
+    flow = ProcessFlow("M3D IGZO/CNFET/Si 7nm")
+    flow.add_segment(feol_segment())
+
+    # Shared base of the stack: M1-M3 at 36 nm, M4 at 48 nm.
+    for label, pitch in [("M1/V0", 36), ("M2/V1", 36), ("M3/V2", 36), ("M4/V3", 48)]:
+        flow.add_segment(metal_via_pair_segment(label, pitch))
+
+    metal_index = 5
+
+    for tier in range(1, n_cnfet_tiers + 1):
+        flow.add_segment(cnfet_tier_segment(f"CNFET tier {tier}"))
+        flow.add_segment(
+            metal_via_pair_segment(f"CNFET{tier} S/D + VCNT{tier}", 36)
+        )
+        # Two 36 nm metal/via pairs between tiers (e.g. M5/V5 and M6/V6).
+        for _ in range(2):
+            flow.add_segment(
+                metal_via_pair_segment(f"M{metal_index}/V{metal_index - 1}", 36)
+            )
+            metal_index += 1
+
+    if include_igzo_tier:
+        flow.add_segment(igzo_tier_segment("IGZO tier"))
+        flow.add_segment(metal_via_pair_segment("IGZO S/D + V8", 36))
+        for _ in range(2):
+            flow.add_segment(
+                metal_via_pair_segment(f"M{metal_index}/V{metal_index - 1}", 36)
+            )
+            metal_index += 1
+
+    # Top-of-stack global wiring: same dimensions as M5-M9 of the all-Si
+    # process (48, 64, 64, 80, 80 nm).
+    for pitch in (48, 64, 64, 80, 80):
+        flow.add_segment(
+            metal_via_pair_segment(f"M{metal_index}/V{metal_index - 1}", pitch)
+        )
+        metal_index += 1
+
+    return flow

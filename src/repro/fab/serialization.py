@@ -1,0 +1,123 @@
+"""Process-flow serialization: flows to/from JSON.
+
+The paper's conclusion invites analysis of "new materials and
+processes"; this module lets users define a fabrication flow as a JSON
+document (or dump the built-in flows for editing) and load it back into
+a fully functional :class:`~repro.fab.flow.ProcessFlow` — without
+writing Python.
+
+Schema::
+
+    {
+      "name": "my-process",
+      "wafer_diameter_mm": 300.0,
+      "segments": [
+        {"name": "FEOL", "lumped_energy_kwh": 436.0},
+        {"name": "M1/V0 pair",
+         "steps": [
+            {"name": "via litho", "area": "lithography",
+             "energy_kwh": 8.43, "lithography": "euv"},
+            ...
+         ]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ProcessFlowError
+from repro.fab.flow import FlowSegment, ProcessFlow
+from repro.fab.steps import LithographyMethod, ProcessArea, ProcessStep
+
+
+def flow_to_dict(flow: ProcessFlow) -> Dict[str, Any]:
+    """Serialize a flow to plain JSON-compatible data."""
+    segments = []
+    for segment in flow.segments:
+        entry: Dict[str, Any] = {"name": segment.name}
+        if segment.lumped_energy_kwh:
+            entry["lumped_energy_kwh"] = segment.lumped_energy_kwh
+        if segment.steps:
+            entry["steps"] = [
+                {
+                    "name": step.name,
+                    "area": step.area.value,
+                    "energy_kwh": step.energy_kwh,
+                    **(
+                        {"lithography": step.lithography.value}
+                        if step.lithography is not LithographyMethod.NONE
+                        else {}
+                    ),
+                    **({"comment": step.comment} if step.comment else {}),
+                }
+                for step in segment.steps
+            ]
+        segments.append(entry)
+    return {
+        "name": flow.name,
+        "wafer_diameter_mm": flow.wafer_diameter_mm,
+        "segments": segments,
+    }
+
+
+def flow_from_dict(data: Dict[str, Any]) -> ProcessFlow:
+    """Deserialize a flow; validates areas/lithography names."""
+    try:
+        name = data["name"]
+        segments = data["segments"]
+    except (KeyError, TypeError) as exc:
+        raise ProcessFlowError(f"flow document missing field: {exc}") from exc
+    flow = ProcessFlow(
+        name, wafer_diameter_mm=float(data.get("wafer_diameter_mm", 300.0))
+    )
+    if not isinstance(segments, list):
+        raise ProcessFlowError("'segments' must be a list")
+    for entry in segments:
+        steps = []
+        for raw in entry.get("steps", []):
+            try:
+                area = ProcessArea(raw["area"])
+            except ValueError:
+                valid = sorted(a.value for a in ProcessArea)
+                raise ProcessFlowError(
+                    f"unknown process area {raw.get('area')!r}; "
+                    f"valid: {valid}"
+                ) from None
+            litho = LithographyMethod(raw.get("lithography", "none"))
+            steps.append(
+                ProcessStep(
+                    name=raw["name"],
+                    area=area,
+                    energy_kwh=float(raw["energy_kwh"]),
+                    lithography=litho,
+                    comment=raw.get("comment", ""),
+                )
+            )
+        flow.add_segment(
+            FlowSegment(
+                name=entry["name"],
+                steps=steps,
+                lumped_energy_kwh=float(entry.get("lumped_energy_kwh", 0.0)),
+            )
+        )
+    return flow
+
+
+def dump_flow(flow: ProcessFlow, path) -> None:
+    """Write a flow as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(flow_to_dict(flow), handle, indent=2)
+        handle.write("\n")
+
+
+def load_flow(path) -> ProcessFlow:
+    """Load a flow from a JSON file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ProcessFlowError(f"{path}: invalid JSON: {exc}") from exc
+    return flow_from_dict(data)

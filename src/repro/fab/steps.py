@@ -1,0 +1,132 @@
+"""Process-step primitives for fabrication flows.
+
+The paper classifies every fabrication step into one of six *process areas*
+(Sec. II-C): dry etch, lithography, metallization, metrology, wet etch, and
+deposition.  Each step carries an energy cost in kWh per 300 mm wafer,
+derived from the per-area energy data in :mod:`repro.fab.energy_data`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ProcessArea(enum.Enum):
+    """The six process areas used to classify fabrication steps.
+
+    Matches the row ordering of the step-count matrix in Equation 4 of the
+    paper (lithography, dry etch, wet etch, metallization, deposition,
+    metrology).
+    """
+
+    LITHOGRAPHY = "lithography"
+    DRY_ETCH = "dry_etch"
+    WET_ETCH = "wet_etch"
+    METALLIZATION = "metallization"
+    DEPOSITION = "deposition"
+    METROLOGY = "metrology"
+
+    @classmethod
+    def ordered(cls) -> "tuple[ProcessArea, ...]":
+        """Canonical row order for step-count matrices (Equation 4)."""
+        return (
+            cls.LITHOGRAPHY,
+            cls.DRY_ETCH,
+            cls.WET_ETCH,
+            cls.METALLIZATION,
+            cls.DEPOSITION,
+            cls.METROLOGY,
+        )
+
+
+class LithographyMethod(enum.Enum):
+    """Patterning method for a layer; determines fabrication energy."""
+
+    EUV = "euv"
+    IMMERSION_193 = "193i"
+    IMMERSION_193_SADP = "193i_sadp"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ProcessStep:
+    """A single fabrication step.
+
+    Attributes:
+        name: Human-readable step name (e.g. ``"CNT deposition"``).
+        area: The :class:`ProcessArea` this step belongs to.
+        energy_kwh: Electrical energy per 300 mm wafer for this step.
+        lithography: Patterning method, if the step is a lithography step.
+        comment: Optional provenance note.
+    """
+
+    name: str
+    area: ProcessArea
+    energy_kwh: float
+    lithography: LithographyMethod = LithographyMethod.NONE
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.energy_kwh < 0:
+            raise ValueError(
+                f"step {self.name!r}: energy must be non-negative, "
+                f"got {self.energy_kwh}"
+            )
+
+
+@dataclass
+class StepCount:
+    """Number of times each process area is used, with its total energy.
+
+    This mirrors one column of the Equation 4 matrix product: the number of
+    times a process flow invokes each process area, and the energy that
+    area contributes.
+    """
+
+    counts: "dict[ProcessArea, int]" = field(default_factory=dict)
+    energies_kwh: "dict[ProcessArea, float]" = field(default_factory=dict)
+
+    def add(self, step: ProcessStep) -> None:
+        """Accumulate one step into the per-area tallies."""
+        self.counts[step.area] = self.counts.get(step.area, 0) + 1
+        self.energies_kwh[step.area] = (
+            self.energies_kwh.get(step.area, 0.0) + step.energy_kwh
+        )
+
+    def count(self, area: ProcessArea) -> int:
+        return self.counts.get(area, 0)
+
+    def energy(self, area: ProcessArea) -> float:
+        return self.energies_kwh.get(area, 0.0)
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(self.energies_kwh.values())
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.counts.values())
+
+
+def per_step_energy(
+    total_energy_kwh: float, n_steps: int, name: str = "process area"
+) -> float:
+    """Energy of a single step given a process area's total and step count.
+
+    Implements the paper's estimation rule (Sec. II-C): "we can estimate
+    the fabrication energy of each process step ... by dividing the total
+    fabrication energy incurred by that process area by the number of times
+    that process area is used."
+
+    >>> per_step_energy(4.0, 3)  # deposition example from the paper
+    1.3333333333333333
+    """
+    if n_steps <= 0:
+        raise ValueError(f"{name}: step count must be positive, got {n_steps}")
+    if total_energy_kwh < 0:
+        raise ValueError(
+            f"{name}: total energy must be non-negative, got {total_energy_kwh}"
+        )
+    return total_energy_kwh / n_steps

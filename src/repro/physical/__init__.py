@@ -1,0 +1,38 @@
+"""Physical-design substrate: standard cells, timing closure, power,
+floorplanning, die-per-wafer estimation, and yield models.
+
+This package stands in for the paper's Cadence Genus/Innovus flow: it
+produces the same quantities the paper extracts from synthesis and
+place-and-route — achievable clock frequency per V_T flavour, energy per
+cycle, die area — from analytical models of an ASAP7-style standard-cell
+library.
+"""
+
+from repro.physical.die import DieGeometry, dies_per_wafer, dies_per_wafer_grid
+from repro.physical.yields import (
+    FixedYield,
+    MurphyYield,
+    PoissonYield,
+    YieldModel,
+)
+from repro.physical.stdcells import CellLibrary, VtFlavor
+from repro.physical.timing import TimingClosure, TimingResult
+from repro.physical.power import CorePowerModel
+from repro.physical.floorplan import Floorplan, FloorplanBlock
+
+__all__ = [
+    "DieGeometry",
+    "dies_per_wafer",
+    "dies_per_wafer_grid",
+    "FixedYield",
+    "MurphyYield",
+    "PoissonYield",
+    "YieldModel",
+    "CellLibrary",
+    "VtFlavor",
+    "TimingClosure",
+    "TimingResult",
+    "CorePowerModel",
+    "Floorplan",
+    "FloorplanBlock",
+]

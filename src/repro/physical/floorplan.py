@@ -1,0 +1,99 @@
+"""Chip floorplanning (Fig. 3c, Table II area rows).
+
+The case-study floorplan is a single row of three blocks: the program
+memory macro, the M0 core strip, and the data memory macro, all sharing
+the same height (the memory-macro height).  Total die area is the sum of
+block areas; die H/W come out of the row assembly.
+
+With the calibrated eDRAM macro geometries this reproduces Table II:
+270 um x 515 um (all-Si) and 159 um x 334 um (M3D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import PhysicalDesignError
+
+
+@dataclass(frozen=True)
+class FloorplanBlock:
+    """A placed block: name, area, and (height, width) in micrometers."""
+
+    name: str
+    height_um: float
+    width_um: float
+
+    def __post_init__(self) -> None:
+        if self.height_um <= 0 or self.width_um <= 0:
+            raise PhysicalDesignError(
+                f"block {self.name!r}: dimensions must be positive"
+            )
+
+    @property
+    def area_um2(self) -> float:
+        return self.height_um * self.width_um
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+
+class Floorplan:
+    """A single-row floorplan of equal-height blocks."""
+
+    def __init__(self, blocks: List[FloorplanBlock]) -> None:
+        if not blocks:
+            raise PhysicalDesignError("floorplan needs at least one block")
+        heights = {round(b.height_um, 6) for b in blocks}
+        if len(heights) != 1:
+            raise PhysicalDesignError(
+                f"row floorplan requires equal block heights, got {heights}"
+            )
+        self.blocks = list(blocks)
+
+    @classmethod
+    def row_of(
+        cls, named_areas_um2: List[Tuple[str, float]], row_height_um: float
+    ) -> "Floorplan":
+        """Build a row floorplan: each block's width = area / height."""
+        if row_height_um <= 0:
+            raise PhysicalDesignError("row height must be positive")
+        blocks = [
+            FloorplanBlock(name, row_height_um, area / row_height_um)
+            for name, area in named_areas_um2
+        ]
+        return cls(blocks)
+
+    @property
+    def height_um(self) -> float:
+        return self.blocks[0].height_um
+
+    @property
+    def width_um(self) -> float:
+        return sum(b.width_um for b in self.blocks)
+
+    @property
+    def height_mm(self) -> float:
+        return self.height_um * 1e-3
+
+    @property
+    def width_mm(self) -> float:
+        return self.width_um * 1e-3
+
+    @property
+    def area_mm2(self) -> float:
+        return self.height_mm * self.width_mm
+
+    def block(self, name: str) -> FloorplanBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise PhysicalDesignError(f"no block named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Floorplan(H={self.height_um:.1f} um, W={self.width_um:.1f} um, "
+            f"area={self.area_mm2:.4f} mm^2, blocks={[b.name for b in self.blocks]})"
+        )

@@ -1,0 +1,108 @@
+"""Gate-level standard cells: the ASAP7-style cell set.
+
+Where :mod:`repro.physical.stdcells` models the library at the
+gate-equivalent aggregate level (for the M0 core), this module defines
+individual cells — INV/NAND/NOR/AOI/DFF — with logical-effort delay
+parameters per V_T flavour, enabling gate-netlist construction and
+static timing analysis of the eDRAM periphery blocks (decoders, control)
+that the paper pushes through "automated VLSI design flows".
+
+Delay model (logical effort): stage delay = tau * (p + g * h), with h
+the electrical fanout (C_load / C_in), g the logical effort, p the
+parasitic delay; tau follows the flavour's FO4 speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PhysicalDesignError
+from repro.physical.stdcells import CellLibrary, VtFlavor, make_library
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A logic-cell archetype with logical-effort parameters.
+
+    Attributes:
+        name: Cell name (e.g. ``"NAND2"``).
+        logical_effort: g — input capacitance relative to an inverter
+            delivering the same drive.
+        parasitic: p — intrinsic delay in units of tau.
+        n_inputs: Fan-in.
+        input_cap_f: Input capacitance of the unit-sized cell.
+        energy_j: Internal switching energy of the unit cell per output
+            transition (excludes load).
+        area_um2: Unit-cell footprint.
+    """
+
+    name: str
+    logical_effort: float
+    parasitic: float
+    n_inputs: int
+    input_cap_f: float
+    energy_j: float
+    area_um2: float
+
+    def __post_init__(self) -> None:
+        if self.logical_effort <= 0 or self.parasitic < 0:
+            raise PhysicalDesignError(f"{self.name}: bad effort parameters")
+        if self.n_inputs < 1:
+            raise PhysicalDesignError(f"{self.name}: need >= 1 input")
+
+
+#: The cell set, logical-effort values from the classic tables.
+GATE_TYPES: Dict[str, GateType] = {
+    "INV": GateType("INV", 1.0, 1.0, 1, 0.8e-15, 0.25e-15, 0.10),
+    "BUF": GateType("BUF", 1.0, 2.0, 1, 0.8e-15, 0.45e-15, 0.15),
+    "NAND2": GateType("NAND2", 4.0 / 3.0, 2.0, 2, 1.0e-15, 0.35e-15, 0.14),
+    "NAND3": GateType("NAND3", 5.0 / 3.0, 3.0, 3, 1.2e-15, 0.45e-15, 0.20),
+    "NOR2": GateType("NOR2", 5.0 / 3.0, 2.0, 2, 1.1e-15, 0.35e-15, 0.14),
+    "AOI21": GateType("AOI21", 2.0, 3.0, 3, 1.2e-15, 0.50e-15, 0.22),
+    "XOR2": GateType("XOR2", 4.0, 4.0, 2, 1.6e-15, 0.80e-15, 0.30),
+    "DFF": GateType("DFF", 1.5, 6.0, 2, 1.2e-15, 1.50e-15, 0.55),
+}
+
+#: Base tau (FO4/5 normalization) per flavour, derived from the
+#: aggregate library's FO4 delay.
+_TAU_FO4_FRACTION = 0.2
+
+
+def gate_tau_s(flavor: VtFlavor) -> float:
+    """The logical-effort time unit tau for a V_T flavour."""
+    return make_library(flavor).fo4_delay_s * _TAU_FO4_FRACTION
+
+
+def gate_delay_s(
+    gate: GateType,
+    flavor: VtFlavor,
+    load_cap_f: float,
+    size: float = 1.0,
+) -> float:
+    """Logical-effort delay of one gate driving a load.
+
+    Args:
+        gate: The cell archetype.
+        flavor: V_T flavour (sets tau).
+        load_cap_f: Capacitive load on the output.
+        size: Drive-strength multiplier (scales input cap and drive).
+    """
+    if size <= 0:
+        raise PhysicalDesignError(f"size must be > 0, got {size}")
+    if load_cap_f < 0:
+        raise PhysicalDesignError("load must be >= 0")
+    h = load_cap_f / (gate.input_cap_f * size)
+    return gate_tau_s(flavor) * (gate.parasitic + gate.logical_effort * h)
+
+
+def gate_energy_j(
+    gate: GateType,
+    load_cap_f: float,
+    vdd_v: float = 0.7,
+    size: float = 1.0,
+) -> float:
+    """Internal + load switching energy per output transition."""
+    if size <= 0:
+        raise PhysicalDesignError(f"size must be > 0, got {size}")
+    return gate.energy_j * size + load_cap_f * vdd_v * vdd_v

@@ -1,0 +1,268 @@
+"""Gate netlists and static timing analysis (STA).
+
+A :class:`GateNetlist` is a DAG of gate instances between primary inputs
+and outputs.  STA propagates arrival times in topological order —
+exactly what the paper's "specify timing constraints in automated VLSI
+design flows" step checks for the eDRAM decoder and refresh controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PhysicalDesignError
+from repro.physical.gates import (
+    GATE_TYPES,
+    GateType,
+    gate_delay_s,
+    gate_energy_j,
+)
+from repro.physical.stdcells import VtFlavor
+
+
+@dataclass
+class GateInstance:
+    """One placed gate: a type, a name, input nets, one output net."""
+
+    name: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+    output: str
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.gate_type.n_inputs:
+            raise PhysicalDesignError(
+                f"{self.name}: {self.gate_type.name} needs "
+                f"{self.gate_type.n_inputs} inputs, got {len(self.inputs)}"
+            )
+        if self.size <= 0:
+            raise PhysicalDesignError(f"{self.name}: size must be > 0")
+
+
+@dataclass
+class TimingReport:
+    """STA result: per-net arrival times and the critical path."""
+
+    arrival_s: Dict[str, float]
+    critical_path: List[str]  # gate names, input to output
+    critical_delay_s: float
+
+    def slack_s(self, clock_hz: float) -> float:
+        return 1.0 / clock_hz - self.critical_delay_s
+
+    def meets(self, clock_hz: float) -> bool:
+        return self.slack_s(clock_hz) >= 0.0
+
+
+class GateNetlist:
+    """A combinational gate network."""
+
+    def __init__(self, name: str = "block") -> None:
+        self.name = name
+        self._gates: List[GateInstance] = []
+        self._gate_names: set = set()
+        self._driver_of: Dict[str, GateInstance] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        #: Extra capacitive load per net (wires, macro pins).
+        self.net_loads_f: Dict[str, float] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_input(self, net: str) -> None:
+        if net in self.primary_inputs:
+            raise PhysicalDesignError(f"duplicate input {net!r}")
+        self.primary_inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        if net in self.primary_outputs:
+            raise PhysicalDesignError(f"duplicate output {net!r}")
+        self.primary_outputs.append(net)
+
+    def add_gate(
+        self,
+        name: str,
+        type_name: str,
+        inputs: Sequence[str],
+        output: str,
+        size: float = 1.0,
+    ) -> GateInstance:
+        if name in self._gate_names:
+            raise PhysicalDesignError(f"duplicate gate {name!r}")
+        if type_name not in GATE_TYPES:
+            raise PhysicalDesignError(
+                f"unknown gate type {type_name!r}; "
+                f"available: {sorted(GATE_TYPES)}"
+            )
+        if output in self._driver_of:
+            raise PhysicalDesignError(f"net {output!r} has two drivers")
+        gate = GateInstance(
+            name, GATE_TYPES[type_name], tuple(inputs), output, size
+        )
+        self._gates.append(gate)
+        self._gate_names.add(name)
+        self._driver_of[output] = gate
+        return gate
+
+    def set_net_load(self, net: str, cap_f: float) -> None:
+        if cap_f < 0:
+            raise PhysicalDesignError("net load must be >= 0")
+        self.net_loads_f[net] = cap_f
+
+    @property
+    def gates(self) -> Tuple[GateInstance, ...]:
+        return tuple(self._gates)
+
+    # -- analysis ------------------------------------------------------------
+    def _fanout_cap(self, net: str) -> float:
+        cap = self.net_loads_f.get(net, 0.0)
+        for gate in self._gates:
+            for pin in gate.inputs:
+                if pin == net:
+                    cap += gate.gate_type.input_cap_f * gate.size
+        return cap
+
+    def _topological(self) -> List[GateInstance]:
+        ready = set(self.primary_inputs)
+        remaining = list(self._gates)
+        ordered: List[GateInstance] = []
+        while remaining:
+            progress = False
+            still: List[GateInstance] = []
+            for gate in remaining:
+                if all(pin in ready for pin in gate.inputs):
+                    ordered.append(gate)
+                    ready.add(gate.output)
+                    progress = True
+                else:
+                    still.append(gate)
+            if not progress:
+                dangling = sorted(
+                    pin
+                    for gate in still
+                    for pin in gate.inputs
+                    if pin not in ready and pin not in self._driver_of
+                )
+                if dangling:
+                    raise PhysicalDesignError(
+                        f"{self.name}: undriven nets {dangling[:5]}"
+                    )
+                raise PhysicalDesignError(
+                    f"{self.name}: combinational loop among "
+                    f"{[g.name for g in still[:5]]}"
+                )
+            remaining = still
+        return ordered
+
+    def sta(self, flavor: VtFlavor = VtFlavor.RVT) -> TimingReport:
+        """Propagate arrival times; returns the critical path."""
+        if not self._gates:
+            raise PhysicalDesignError(f"{self.name}: empty netlist")
+        arrival: Dict[str, float] = {net: 0.0 for net in self.primary_inputs}
+        worst_input: Dict[str, Optional[GateInstance]] = {}
+        for gate in self._topological():
+            input_arrival = max(arrival[pin] for pin in gate.inputs)
+            delay = gate_delay_s(
+                gate.gate_type,
+                flavor,
+                self._fanout_cap(gate.output),
+                gate.size,
+            )
+            arrival[gate.output] = input_arrival + delay
+            worst_input[gate.output] = gate
+        ends = self.primary_outputs or [
+            net for net in arrival if net not in self.primary_inputs
+        ]
+        missing = [net for net in ends if net not in arrival]
+        if missing:
+            raise PhysicalDesignError(
+                f"{self.name}: outputs never driven: {missing}"
+            )
+        critical_net = max(ends, key=lambda net: arrival[net])
+        # Walk the critical path backwards.
+        path: List[str] = []
+        net = critical_net
+        while net in worst_input and worst_input[net] is not None:
+            gate = worst_input[net]
+            path.append(gate.name)
+            net = max(gate.inputs, key=lambda pin: arrival[pin])
+        path.reverse()
+        return TimingReport(
+            arrival_s=arrival,
+            critical_path=path,
+            critical_delay_s=arrival[critical_net],
+        )
+
+    def total_energy_j(
+        self, activity: float = 0.5, vdd_v: float = 0.7
+    ) -> float:
+        """Switching energy per cycle at a uniform activity factor."""
+        if not (0.0 <= activity <= 1.0):
+            raise PhysicalDesignError("activity must be in [0, 1]")
+        total = 0.0
+        for gate in self._gates:
+            total += gate_energy_j(
+                gate.gate_type,
+                self._fanout_cap(gate.output),
+                vdd_v,
+                gate.size,
+            )
+        return total * activity
+
+    def total_area_um2(self) -> float:
+        return sum(g.gate_type.area_um2 * g.size for g in self._gates)
+
+
+def build_row_decoder(
+    address_bits: int = 7, wordline_cap_f: float = 20e-15
+) -> GateNetlist:
+    """A 2^n-row decoder: predecode NAND2 pairs + final NAND3/INV stage.
+
+    This is the sub-array row decoder (128 rows = 7 address bits) whose
+    delay must fit in the non-access part of the paper's 2 ns cycle.
+    Only the critical decode slice (one wordline) is instantiated — STA
+    of one slice equals STA of the full decoder.
+    """
+    if address_bits < 2:
+        raise PhysicalDesignError("need >= 2 address bits")
+    netlist = GateNetlist(f"rowdec{address_bits}")
+    for bit in range(address_bits):
+        netlist.add_input(f"a{bit}")
+    # Buffer each address bit (drives many predecoders in the real array).
+    for bit in range(address_bits):
+        netlist.add_gate(f"abuf{bit}", "BUF", [f"a{bit}"], f"ab{bit}", size=2.0)
+    # Predecode in pairs.
+    pairs = []
+    bit = 0
+    while bit + 1 < address_bits:
+        net = f"pd{bit}"
+        netlist.add_gate(
+            f"pre{bit}", "NAND2", [f"ab{bit}", f"ab{bit+1}"], net
+        )
+        netlist.add_gate(f"prei{bit}", "INV", [net], f"{net}n")
+        pairs.append(f"{net}n")
+        bit += 2
+    if bit < address_bits:  # odd bit passes through a buffer
+        netlist.add_gate(f"odd{bit}", "BUF", [f"ab{bit}"], f"pd{bit}n")
+        pairs.append(f"pd{bit}n")
+    # Combine predecoded terms with a NAND tree + wordline driver.
+    level = 0
+    current = pairs
+    while len(current) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(current) - 1, 2):
+            net = f"t{level}_{i}"
+            netlist.add_gate(
+                f"and{level}_{i}", "NAND2", [current[i], current[i + 1]], net
+            )
+            netlist.add_gate(f"andi{level}_{i}", "INV", [net], f"{net}n")
+            nxt.append(f"{net}n")
+        if len(current) % 2:
+            nxt.append(current[-1])
+        current = nxt
+        level += 1
+    netlist.add_gate("wldrv", "BUF", [current[0]], "wl", size=8.0)
+    netlist.add_output("wl")
+    netlist.set_net_load("wl", wordline_cap_f)
+    return netlist

@@ -1,0 +1,161 @@
+"""Cortex-M0 core power/energy model (Sec. III-B step 4, Fig. 4).
+
+The paper obtains application-dependent average energy per clock cycle
+from post-P&R power analysis driven by RTL activity (.vcd).  Here, the
+instruction-set simulator provides the switching-activity factor and this
+model converts it to energy:
+
+    E_dyn/cycle = N_gates * activity * E_switch(V_T) * (0.7 + 0.3 u)
+    P_leak      = N_gates * P_leak_gate(V_T) * u
+
+with ``u`` the timing-closure sizing factor.  The (0.7 + 0.3 u) term
+models the fraction of switched capacitance that grows with drive strength
+(the rest is wire and fixed cell capacitance).
+
+The model is calibrated so the paper's selected design point — RVT flavour
+at 500 MHz running matmul-int — dissipates 1.42 pJ/cycle (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import PhysicalDesignError, TimingClosureError
+from repro.physical.stdcells import CellLibrary, VtFlavor, all_libraries
+from repro.physical.timing import TimingClosure, TimingResult
+
+#: Gate-equivalent count of the Cortex-M0 integration (core + bus fabric
+#: + memory interface glue).  The M0 itself is ~12k gates.
+M0_GATE_COUNT = 12_000
+
+#: Effective switching-activity factor of matmul-int on the M0 (fraction
+#: of gate capacitance toggled per cycle), calibrated so the selected
+#: design point (RVT, 500 MHz) dissipates Table II's 1.42 pJ/cycle.
+DEFAULT_ACTIVITY = 0.147
+
+#: Maps the ISS's architectural-toggle activity estimate
+#: (:meth:`repro.cpu.trace.ActivityTrace.activity_factor`, ~0.0331 for
+#: matmul-int) to the effective activity above: glue logic, clock tree,
+#: and glitching switch capacitance the architectural trace cannot see.
+TRACE_TO_EFFECTIVE_ACTIVITY = DEFAULT_ACTIVITY / 0.0331245
+
+#: Fraction of switched capacitance that scales with drive strength.
+_SIZING_CAP_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class CorePowerResult:
+    """Energy/power of the core at one design point."""
+
+    flavor: VtFlavor
+    clock_hz: float
+    met_timing: bool
+    dynamic_energy_per_cycle_j: float
+    leakage_power_w: float
+    sizing_factor: float
+
+    @property
+    def leakage_energy_per_cycle_j(self) -> float:
+        return self.leakage_power_w / self.clock_hz
+
+    @property
+    def energy_per_cycle_j(self) -> float:
+        """Total (dynamic + leakage) average energy per cycle."""
+        return self.dynamic_energy_per_cycle_j + self.leakage_energy_per_cycle_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_per_cycle_j * self.clock_hz
+
+
+class CorePowerModel:
+    """Application-dependent power model of the M0 core."""
+
+    def __init__(
+        self,
+        n_gates: int = M0_GATE_COUNT,
+        activity: float = DEFAULT_ACTIVITY,
+        timing: Optional[TimingClosure] = None,
+    ) -> None:
+        if n_gates <= 0:
+            raise PhysicalDesignError(f"gate count must be > 0, got {n_gates}")
+        if not (0.0 <= activity <= 1.0):
+            raise PhysicalDesignError(
+                f"activity factor must be in [0, 1], got {activity}"
+            )
+        self.n_gates = n_gates
+        self.activity = activity
+        self.timing = timing if timing is not None else TimingClosure()
+
+    @classmethod
+    def from_trace_activity(
+        cls, trace_activity: float, **kwargs
+    ) -> "CorePowerModel":
+        """Build from an ISS :class:`ActivityTrace` activity factor."""
+        return cls(
+            activity=min(trace_activity * TRACE_TO_EFFECTIVE_ACTIVITY, 1.0),
+            **kwargs,
+        )
+
+    def evaluate(
+        self, library: CellLibrary, clock_hz: float
+    ) -> CorePowerResult:
+        """Close timing at ``clock_hz`` and compute energy per cycle."""
+        result: TimingResult = self.timing.close(library, clock_hz)
+        u = result.sizing_factor
+        sizing_cap = (1.0 - _SIZING_CAP_FRACTION) + _SIZING_CAP_FRACTION * u
+        dynamic = (
+            self.n_gates
+            * self.activity
+            * library.switch_energy_per_gate_j
+            * sizing_cap
+        )
+        leakage_w = self.n_gates * library.leakage_per_gate_w * u
+        return CorePowerResult(
+            flavor=library.flavor,
+            clock_hz=clock_hz,
+            met_timing=result.met,
+            dynamic_energy_per_cycle_j=dynamic,
+            leakage_power_w=leakage_w,
+            sizing_factor=u,
+        )
+
+    def sweep(
+        self,
+        clocks_hz: Sequence[float],
+        flavors: Optional[Sequence[VtFlavor]] = None,
+    ) -> Dict[VtFlavor, "list[CorePowerResult]"]:
+        """Fig. 4 data: energy/cycle vs clock for each V_T flavour."""
+        libraries = all_libraries()
+        chosen = flavors if flavors is not None else list(VtFlavor)
+        return {
+            flavor: [self.evaluate(libraries[flavor], f) for f in clocks_hz]
+            for flavor in chosen
+        }
+
+    def select_design(self, clock_hz: float) -> CorePowerResult:
+        """Pick the lowest-energy flavour that meets timing at a clock.
+
+        This is the paper's implicit design-selection step: at 500 MHz the
+        RVT flavour wins (HVT needs heavy upsizing; LVT/SLVT leak).
+        """
+        candidates = [
+            self.evaluate(library, clock_hz)
+            for library in all_libraries().values()
+        ]
+        feasible = [c for c in candidates if c.met_timing]
+        if not feasible:
+            best = max(c.clock_hz for c in candidates)
+            raise TimingClosureError(
+                f"no V_T flavour closes timing at {clock_hz/1e6:.0f} MHz "
+                f"(best achievable below target; max clock ~{best/1e6:.0f} MHz)"
+            )
+        return min(feasible, key=lambda c: c.energy_per_cycle_j)
+
+    def core_area_um2(self, library: CellLibrary, sizing: float = 1.0) -> float:
+        """Placed core area; upsizing grows the sized fraction of cells."""
+        if sizing <= 0:
+            raise PhysicalDesignError(f"sizing must be > 0, got {sizing}")
+        growth = (1.0 - _SIZING_CAP_FRACTION) + _SIZING_CAP_FRACTION * sizing
+        return self.n_gates * library.gate_area_um2 * growth

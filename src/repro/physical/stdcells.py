@@ -1,0 +1,123 @@
+"""ASAP7-style standard-cell library model with four V_T flavours.
+
+The ASAP7 PDK offers HVT, RVT, LVT and SLVT ("super-low V_T") cell
+libraries at V_DD = 0.7 V.  The paper sweeps all four in its synthesis
+runs (Fig. 4).  This module models, per flavour:
+
+- the FO4-style stage delay via the alpha-power law
+  ``d = k * V_DD / (V_DD - V_T)^alpha``;
+- gate leakage, exponential in V_T with a subthreshold slope of
+  ~70 mV/decade (FinFET-class);
+- switching energy per gate, ``C_gate * V_DD^2``.
+
+Absolute values are calibrated so that the Cortex-M0 design point selected
+by the paper (RVT, 500 MHz) lands at 1.42 pJ/cycle (Table II).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import PhysicalDesignError
+
+
+class VtFlavor(enum.Enum):
+    """Threshold-voltage flavours of the ASAP7 libraries."""
+
+    HVT = "hvt"
+    RVT = "rvt"
+    LVT = "lvt"
+    SLVT = "slvt"
+
+    @classmethod
+    def ordered(cls) -> "tuple[VtFlavor, ...]":
+        """From highest to lowest threshold voltage."""
+        return (cls.HVT, cls.RVT, cls.LVT, cls.SLVT)
+
+
+#: Threshold voltage per flavour at the nominal corner (volts).
+VT_VALUES: Dict[VtFlavor, float] = {
+    VtFlavor.HVT: 0.32,
+    VtFlavor.RVT: 0.25,
+    VtFlavor.LVT: 0.18,
+    VtFlavor.SLVT: 0.11,
+}
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """One V_T flavour of the standard-cell library.
+
+    Attributes:
+        flavor: The V_T flavour.
+        vdd_v: Supply voltage (ASAP7 nominal: 0.7 V).
+        vt_v: Threshold voltage.
+        fo4_delay_s: FO4 stage delay at nominal sizing.
+        leakage_per_gate_w: Leakage power of an average gate equivalent.
+        switch_energy_per_gate_j: C*V^2 switching energy of an average
+            gate equivalent (full swing, activity 1).
+        gate_area_um2: Area of an average gate equivalent.
+    """
+
+    flavor: VtFlavor
+    vdd_v: float
+    vt_v: float
+    fo4_delay_s: float
+    leakage_per_gate_w: float
+    switch_energy_per_gate_j: float
+    gate_area_um2: float
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= self.vt_v:
+            raise PhysicalDesignError(
+                f"{self.flavor.value}: V_DD ({self.vdd_v}) must exceed "
+                f"V_T ({self.vt_v})"
+            )
+        for name in (
+            "fo4_delay_s",
+            "leakage_per_gate_w",
+            "switch_energy_per_gate_j",
+            "gate_area_um2",
+        ):
+            if getattr(self, name) <= 0:
+                raise PhysicalDesignError(f"{self.flavor.value}: {name} must be > 0")
+
+
+# Calibration constants (see module docstring and DESIGN.md):
+_VDD = 0.7
+_ALPHA = 1.3  # alpha-power-law velocity-saturation exponent
+_DELAY_K = 28.1e-12  # scales FO4 delay; RVT -> ~55.6 ps effective stage
+_LEAKAGE_RVT_W = 4.2e-10  # per gate equivalent; M0-total ~5 uW at RVT
+_SS_DECADE_V = 0.070  # leakage decade per 70 mV of V_T
+_SWITCH_ENERGY_J = 0.8e-15  # C*V^2 per gate equivalent (incl. wire) at 0.7 V
+_GATE_AREA_UM2 = 0.25  # average gate-equivalent footprint at 7 nm
+
+
+def _fo4_delay(vt_v: float) -> float:
+    return _DELAY_K * _VDD / (_VDD - vt_v) ** _ALPHA
+
+
+def _leakage(vt_v: float) -> float:
+    rvt_vt = VT_VALUES[VtFlavor.RVT]
+    return _LEAKAGE_RVT_W * 10.0 ** ((rvt_vt - vt_v) / _SS_DECADE_V)
+
+
+def make_library(flavor: VtFlavor, vdd_v: float = _VDD) -> CellLibrary:
+    """Build the calibrated library for one V_T flavour."""
+    vt = VT_VALUES[flavor]
+    return CellLibrary(
+        flavor=flavor,
+        vdd_v=vdd_v,
+        vt_v=vt,
+        fo4_delay_s=_fo4_delay(vt),
+        leakage_per_gate_w=_leakage(vt),
+        switch_energy_per_gate_j=_SWITCH_ENERGY_J * (vdd_v / _VDD) ** 2,
+        gate_area_um2=_GATE_AREA_UM2,
+    )
+
+
+def all_libraries(vdd_v: float = _VDD) -> Dict[VtFlavor, CellLibrary]:
+    """All four flavours, keyed by :class:`VtFlavor`."""
+    return {flavor: make_library(flavor, vdd_v) for flavor in VtFlavor}

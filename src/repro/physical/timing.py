@@ -1,0 +1,137 @@
+"""Timing closure vs clock target and V_T flavour (Sec. III-B step 3).
+
+The paper sweeps the target clock from 100 MHz to 1 GHz and the V_T
+flavour over all ASAP7 options, re-running synthesis/P&R at each point.
+This module reproduces the quantities that sweep extracts:
+
+- whether a flavour can close timing at a target period;
+- the gate upsizing the tools apply to do so (which inflates switched
+  capacitance and leakage);
+- the resulting critical-path delay.
+
+The sizing model is a logical-effort-style saturation curve: with an
+average drive-strength multiplier ``u`` (>= 1 upsized, < 1 downsized), the
+critical-path delay is
+
+    D(u) = D_min * (s_inf + (1 - s_inf) / u)
+
+so infinite upsizing buys at most a 1/s_inf speedup (default ~1.67x: wire
+and parasitic delay does not size away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import TimingClosureError
+from repro.physical.stdcells import CellLibrary, VtFlavor, all_libraries
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Outcome of closing timing for one (flavour, clock) point."""
+
+    flavor: VtFlavor
+    clock_hz: float
+    met: bool
+    critical_path_s: float
+    sizing_factor: float
+
+    @property
+    def slack_s(self) -> float:
+        return 1.0 / self.clock_hz - self.critical_path_s
+
+
+class TimingClosure:
+    """Analytical timing-closure model for a synthesized block.
+
+    Args:
+        logic_depth_fo4: Critical-path depth in FO4-equivalent stages.
+            The Cortex-M0 + single-cycle memory access path is ~36 stages.
+        saturation_speedup: Max speedup from upsizing (1/s_inf).
+        min_sizing: Lowest average drive multiplier the tools use when
+            timing is loose (downsizing saves power).
+        max_sizing: Largest average drive multiplier available.
+    """
+
+    def __init__(
+        self,
+        logic_depth_fo4: float = 36.0,
+        saturation_speedup: float = 1.0 / 0.6,
+        min_sizing: float = 1.0,
+        max_sizing: float = 8.0,
+    ) -> None:
+        if logic_depth_fo4 <= 0:
+            raise TimingClosureError("logic depth must be positive")
+        if saturation_speedup <= 1.0:
+            raise TimingClosureError("saturation speedup must exceed 1")
+        if not (0 < min_sizing <= 1.0 <= max_sizing):
+            raise TimingClosureError(
+                "need 0 < min_sizing <= 1 <= max_sizing"
+            )
+        self.logic_depth_fo4 = logic_depth_fo4
+        self._s_inf = 1.0 / saturation_speedup
+        self.min_sizing = min_sizing
+        self.max_sizing = max_sizing
+
+    def min_sized_delay_s(self, library: CellLibrary) -> float:
+        """Critical-path delay at nominal (u = 1) sizing."""
+        return self.logic_depth_fo4 * library.fo4_delay_s
+
+    def delay_s(self, library: CellLibrary, sizing: float) -> float:
+        """Critical-path delay at drive-strength multiplier ``sizing``."""
+        if sizing <= 0:
+            raise TimingClosureError(f"sizing must be > 0, got {sizing}")
+        d_min = self.min_sized_delay_s(library)
+        return d_min * (self._s_inf + (1.0 - self._s_inf) / sizing)
+
+    def max_clock_hz(self, library: CellLibrary) -> float:
+        """Fastest closable clock for a flavour (at max sizing)."""
+        return 1.0 / self.delay_s(library, self.max_sizing)
+
+    def close(self, library: CellLibrary, clock_hz: float) -> TimingResult:
+        """Find the smallest sizing that meets the clock period.
+
+        Solving ``D(u) = T`` for ``u`` gives
+        ``u = (1 - s_inf) / (T / D_min - s_inf)``, clamped to the library's
+        sizing range.  If even max sizing misses timing, ``met`` is False
+        and the result carries the best-achievable delay.
+        """
+        if clock_hz <= 0:
+            raise TimingClosureError(f"clock must be > 0, got {clock_hz}")
+        period = 1.0 / clock_hz
+        d_min = self.min_sized_delay_s(library)
+        normalized = period / d_min
+        if normalized <= self._s_inf:
+            # Unreachable even with infinite upsizing.
+            return TimingResult(
+                flavor=library.flavor,
+                clock_hz=clock_hz,
+                met=False,
+                critical_path_s=self.delay_s(library, self.max_sizing),
+                sizing_factor=self.max_sizing,
+            )
+        sizing = (1.0 - self._s_inf) / (normalized - self._s_inf)
+        sizing = min(max(sizing, self.min_sizing), self.max_sizing)
+        delay = self.delay_s(library, sizing)
+        return TimingResult(
+            flavor=library.flavor,
+            clock_hz=clock_hz,
+            met=delay <= period * (1.0 + 1e-12),
+            critical_path_s=delay,
+            sizing_factor=sizing,
+        )
+
+    def sweep(
+        self,
+        clocks_hz: Sequence[float],
+        flavors: Optional[Sequence[VtFlavor]] = None,
+    ) -> Dict[VtFlavor, "list[TimingResult]"]:
+        """The paper's Fig. 4 sweep grid: clocks x V_T flavours."""
+        libraries = all_libraries()
+        chosen = flavors if flavors is not None else list(VtFlavor)
+        return {
+            flavor: [self.close(libraries[flavor], f) for f in clocks_hz]
+            for flavor in chosen
+        }

@@ -1,0 +1,98 @@
+"""Global-wire delay and repeater insertion.
+
+Supports the eDRAM energy model's repeatered-bus factor with a physical
+model: long on-chip wires are driven through periodically inserted
+repeaters; the optimum spacing/sizing (classic Bakoglu analysis) fixes
+both the achievable delay per millimeter and the energy overhead of the
+repeaters relative to the bare wire — the
+:data:`repro.edram.energy.BUS_REPEATER_FACTOR`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PhysicalDesignError
+from repro.physical.stdcells import CellLibrary, VtFlavor, make_library
+
+#: Wire parasitics for intermediate-level routing (48-64 nm pitch).
+GLOBAL_WIRE_RES_OHM_PER_UM = 8.0
+GLOBAL_WIRE_CAP_F_PER_UM = 0.20e-15
+
+#: Driver characteristics of a unit repeater (inverter) in the library.
+REPEATER_OUT_RES_OHM = 8_000.0  # unit-inverter output resistance
+REPEATER_IN_CAP_F = 1.0e-15  # unit-inverter input capacitance
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """An optimally repeatered wire of a given length."""
+
+    length_um: float
+    n_repeaters: int
+    repeater_size: float
+    delay_s: float
+    wire_energy_j: float
+    repeater_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.wire_energy_j + self.repeater_energy_j
+
+    @property
+    def energy_overhead_factor(self) -> float:
+        """Total switched energy relative to the bare wire: the physical
+        origin of the bus repeater factor."""
+        if self.wire_energy_j == 0:
+            return 1.0
+        return self.total_energy_j / self.wire_energy_j
+
+
+def optimal_repeaters(
+    length_um: float,
+    vdd_v: float = 0.7,
+    res_per_um: float = GLOBAL_WIRE_RES_OHM_PER_UM,
+    cap_per_um: float = GLOBAL_WIRE_CAP_F_PER_UM,
+) -> RepeaterDesign:
+    """Bakoglu-style optimal repeater insertion for a wire.
+
+    Optimal count  k = L * sqrt(0.4 r c / (0.7 R0 C0)),
+    optimal sizing h = sqrt(R0 c / (r C0)),
+    giving delay ~ 2 L sqrt(0.7 * 0.4 * r c R0 C0) — linear in length
+    instead of quadratic.
+    """
+    if length_um <= 0:
+        raise PhysicalDesignError(f"length must be > 0, got {length_um}")
+    r, c = res_per_um, cap_per_um
+    r0, c0 = REPEATER_OUT_RES_OHM, REPEATER_IN_CAP_F
+    k = max(1, round(length_um * math.sqrt(0.4 * r * c / (0.7 * r0 * c0))))
+    h = max(1.0, math.sqrt(r0 * c / (r * c0)))
+    segment = length_um / k
+    # Per segment: driver resistance R0/h into (wire + next repeater cap).
+    seg_res = r * segment
+    seg_cap = c * segment
+    seg_delay = 0.7 * (r0 / h) * (seg_cap + h * c0) + seg_res * (
+        0.4 * seg_cap + 0.7 * h * c0
+    )
+    wire_energy = c * length_um * vdd_v * vdd_v
+    repeater_energy = k * h * c0 * vdd_v * vdd_v
+    return RepeaterDesign(
+        length_um=length_um,
+        n_repeaters=k,
+        repeater_size=h,
+        delay_s=k * seg_delay,
+        wire_energy_j=wire_energy,
+        repeater_energy_j=repeater_energy,
+    )
+
+
+def unrepeated_delay_s(
+    length_um: float,
+    res_per_um: float = GLOBAL_WIRE_RES_OHM_PER_UM,
+    cap_per_um: float = GLOBAL_WIRE_CAP_F_PER_UM,
+) -> float:
+    """Distributed-RC delay of a bare wire (0.4 R C, quadratic in L)."""
+    if length_um <= 0:
+        raise PhysicalDesignError(f"length must be > 0, got {length_um}")
+    return 0.4 * (res_per_um * length_um) * (cap_per_um * length_um)

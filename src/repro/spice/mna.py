@@ -1,0 +1,120 @@
+"""Modified-nodal-analysis system assembly and Newton iteration core."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.netlist import Circuit
+
+#: Conductance from every node to ground, for numerical regularization
+#: (keeps floating nodes solvable and Jacobians non-singular).
+DEFAULT_GMIN = 1e-12
+
+#: Newton damping: largest voltage change applied per iteration.
+MAX_NEWTON_STEP_V = 0.5
+
+
+def assemble(
+    circuit: Circuit,
+    v: np.ndarray,
+    t: float,
+    dt: Optional[float],
+    v_prev: Optional[np.ndarray],
+    gmin: float,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Build (residual, jacobian) at the estimate ``v``."""
+    n = circuit.n_unknowns()
+    n_nodes = len(circuit.nodes)
+    residual = np.zeros(n)
+    jacobian = np.zeros((n, n))
+    index = circuit.unknown_index()
+    offsets = circuit.branch_offsets()
+    for element in circuit.elements:
+        element.stamp(
+            residual,
+            jacobian,
+            v,
+            index,
+            offsets.get(element.name, -1),
+            t,
+            dt,
+            v_prev,
+        )
+    # gmin from each node to ground.
+    for i in range(n_nodes):
+        residual[i] += gmin * v[i]
+        jacobian[i, i] += gmin
+    return residual, jacobian
+
+
+def newton_solve(
+    circuit: Circuit,
+    v0: np.ndarray,
+    t: float,
+    dt: Optional[float],
+    v_prev: Optional[np.ndarray],
+    gmin: float = DEFAULT_GMIN,
+    max_iterations: int = 100,
+    abstol: float = 1e-9,
+    vtol: float = 1e-7,
+) -> np.ndarray:
+    """Damped Newton-Raphson on the MNA equations.
+
+    Convergence requires both a small residual (KCL satisfied to
+    ``abstol`` amperes) and a small last voltage update (``vtol`` volts).
+
+    Raises :class:`ConvergenceError` if the iteration limit is reached.
+    """
+    v = v0.copy()
+    residual, jacobian = assemble(circuit, v, t, dt, v_prev, gmin)
+    residual_norm = float(np.max(np.abs(residual)))
+    for _iteration in range(max_iterations):
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"{circuit.name!r}: singular Jacobian at t={t:g}"
+            ) from exc
+        # Damp large steps to keep exponential devices stable.  The cap
+        # scales with the current solution magnitude so linear circuits
+        # with large node voltages still converge geometrically.
+        step_cap = max(
+            MAX_NEWTON_STEP_V, 2.0 * float(np.max(np.abs(v))) if v.size else 0.0
+        )
+        max_step = np.max(np.abs(delta)) if delta.size else 0.0
+        if max_step > step_cap:
+            delta *= step_cap / max_step
+        # Backtracking line search: stacked exponential devices make
+        # full Newton steps oscillate; halve until the residual improves.
+        scale = 1.0
+        for _backtrack in range(12):
+            v_try = v + scale * delta
+            res_try, jac_try = assemble(circuit, v_try, t, dt, v_prev, gmin)
+            norm_try = float(np.max(np.abs(res_try)))
+            if norm_try <= residual_norm or norm_try < abstol:
+                break
+            scale *= 0.5
+        v = v + scale * delta
+        residual, jacobian = res_try, jac_try
+        applied = float(np.max(np.abs(scale * delta))) if delta.size else 0.0
+        converged_v = applied < vtol
+        converged_r = norm_try < abstol
+        residual_norm = norm_try
+        if converged_v and converged_r:
+            return v
+    raise ConvergenceError(
+        f"{circuit.name!r}: Newton failed to converge at t={t:g} "
+        f"after {max_iterations} iterations"
+    )
+
+
+def solution_dict(circuit: Circuit, v: np.ndarray) -> Dict[str, float]:
+    """Node name -> voltage (ground included as 0.0)."""
+    out = {"0": 0.0}
+    for node, idx in circuit.unknown_index().items():
+        if idx >= 0:
+            out[node] = float(v[idx])
+    return out

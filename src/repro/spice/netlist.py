@@ -1,0 +1,102 @@
+"""Circuit container: nodes, elements, and MNA bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NetlistError
+from repro.spice.elements import Element
+
+#: The ground node name; its voltage is fixed at zero and eliminated.
+GROUND = "0"
+
+
+class Circuit:
+    """A flat netlist of elements over named nodes."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: List[Element] = []
+        self._element_names: set = set()
+        self._nodes: Dict[str, int] = {}
+
+    # -- construction ----------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; registers its nodes.  Returns the element."""
+        if element.name in self._element_names:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in {self.name!r}"
+            )
+        for node in element.nodes:
+            self._register_node(node)
+        self._element_names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    def _register_node(self, node: str) -> None:
+        if not node:
+            raise NetlistError("node name must be non-empty")
+        if node == GROUND:
+            return
+        if node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def elements(self) -> "tuple[Element, ...]":
+        return tuple(self._elements)
+
+    @property
+    def nodes(self) -> "tuple[str, ...]":
+        """Non-ground nodes in registration order."""
+        return tuple(self._nodes)
+
+    def element(self, name: str) -> Element:
+        for e in self._elements:
+            if e.name == name:
+                return e
+        raise NetlistError(f"no element named {name!r}")
+
+    def has_node(self, node: str) -> bool:
+        return node == GROUND or node in self._nodes
+
+    # -- MNA indexing -------------------------------------------------------
+    def unknown_index(self) -> Dict[str, int]:
+        """Node name -> unknown index; ground maps to -1."""
+        index = {GROUND: -1}
+        index.update(self._nodes)
+        return index
+
+    def n_unknowns(self) -> int:
+        """Node voltages plus voltage-source branch currents."""
+        return len(self._nodes) + self.n_branch_unknowns()
+
+    def n_branch_unknowns(self) -> int:
+        return sum(e.n_branches for e in self._elements)
+
+    def branch_offsets(self) -> Dict[str, int]:
+        """Element name -> first branch-unknown index (for those that
+        carry branch currents)."""
+        offsets: Dict[str, int] = {}
+        next_offset = len(self._nodes)
+        for e in self._elements:
+            if e.n_branches:
+                offsets[e.name] = next_offset
+                next_offset += e.n_branches
+        return offsets
+
+    def validate(self) -> None:
+        """Check the netlist is simulatable: non-empty and grounded."""
+        if not self._elements:
+            raise NetlistError(f"{self.name!r}: empty circuit")
+        grounded = any(GROUND in e.nodes for e in self._elements)
+        if not grounded:
+            raise NetlistError(
+                f"{self.name!r}: no element connects to ground ('0')"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, nodes={len(self._nodes)}, "
+            f"elements={len(self._elements)})"
+        )

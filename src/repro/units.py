@@ -1,0 +1,133 @@
+"""Unit constants and conversion helpers used throughout the library.
+
+Internally the library works in SI base units (seconds, meters, watts,
+joules, grams of CO2-equivalent) unless a function's docstring says
+otherwise.  The constants below make call sites read like the paper:
+``500 * units.MHZ``, ``2 * units.HOURS_PER_DAY`` and so on.
+
+The carbon bookkeeping unit is the gram of CO2-equivalent (gCO2e), matching
+Equation 2 of the paper.  Carbon intensities are expressed in gCO2e per
+kilowatt-hour because that is how grid data is published.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+PICOSECOND = 1e-12
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24.0 * HOUR
+#: Average month length used for lifetime accounting (Julian year / 12).
+MONTH = 365.25 * DAY / 12.0
+YEAR = 365.25 * DAY
+
+# ---------------------------------------------------------------------------
+# Frequency
+# ---------------------------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+JOULE = 1.0
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+NANOJOULE = 1e-9
+PICOJOULE = 1e-12
+FEMTOJOULE = 1e-15
+
+WATT = 1.0
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+NANOWATT = 1e-9
+
+#: One kilowatt-hour in joules.
+KWH = 1e3 * HOUR
+
+# ---------------------------------------------------------------------------
+# Length / area
+# ---------------------------------------------------------------------------
+METER = 1.0
+CENTIMETER = 1e-2
+MILLIMETER = 1e-3
+MICROMETER = 1e-6
+NANOMETER = 1e-9
+
+M2 = 1.0
+CM2 = 1e-4
+MM2 = 1e-6
+UM2 = 1e-12
+
+# ---------------------------------------------------------------------------
+# Electrical
+# ---------------------------------------------------------------------------
+VOLT = 1.0
+MILLIVOLT = 1e-3
+AMP = 1.0
+MILLIAMP = 1e-3
+MICROAMP = 1e-6
+NANOAMP = 1e-9
+PICOAMP = 1e-12
+FARAD = 1.0
+PICOFARAD = 1e-12
+FEMTOFARAD = 1e-15
+ATTOFARAD = 1e-18
+OHM = 1.0
+KILOOHM = 1e3
+
+# ---------------------------------------------------------------------------
+# Mass / carbon
+# ---------------------------------------------------------------------------
+GRAM = 1.0
+KILOGRAM = 1e3
+MILLIGRAM = 1e-3
+PICOGRAM = 1e-12
+
+#: Boltzmann constant times room temperature, in electron-volts (kT/q at
+#: 300 K).  Used by the compact device models for the subthreshold regime.
+THERMAL_VOLTAGE_300K = 0.025852
+
+# Electron charge (C), used by device models.
+ELECTRON_CHARGE = 1.602176634e-19
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * KWH
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / KWH
+
+
+def wafer_area_cm2(diameter_mm: float = 300.0) -> float:
+    """Area of a circular wafer in cm^2 for a given diameter in mm.
+
+    >>> round(wafer_area_cm2(300.0), 2)
+    706.86
+    """
+    radius_cm = diameter_mm / 10.0 / 2.0
+    return math.pi * radius_cm * radius_cm
+
+
+def months_to_seconds(months: float) -> float:
+    """Convert a lifetime expressed in months to seconds."""
+    return months * MONTH
+
+
+def seconds_to_months(seconds: float) -> float:
+    """Convert seconds to (average-length) months."""
+    return seconds / MONTH

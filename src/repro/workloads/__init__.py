@@ -1,0 +1,33 @@
+"""Embench-style workload suite for the Cortex-M0 (reference [17]).
+
+The paper runs applications from the Embench IoT suite; this package
+provides hand-written Thumb-assembly kernels in the same spirit — small,
+self-checking embedded benchmarks:
+
+- ``matmul-int``: 20x20 integer matrix multiplication (the headline
+  workload of Table II and Fig. 4/5);
+- ``crc32``: bitwise CRC-32 over a 1 kB buffer;
+- ``edn``: FIR/dot-product DSP kernel;
+- ``primecount``: sieve of Eratosthenes;
+- ``fib``: iterative Fibonacci stress of the branch unit;
+- ``ud``: software-division stress (the M0 has no divide instruction).
+
+Each workload is self-checking: it leaves a checksum in r0 that the
+suite compares against a pure-Python golden model.
+"""
+
+from repro.workloads.suite import (
+    Workload,
+    WorkloadResult,
+    all_workloads,
+    get_workload,
+    run_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "all_workloads",
+    "get_workload",
+    "run_workload",
+]

@@ -1,0 +1,109 @@
+"""crc32: bitwise CRC-32 (IEEE 802.3 polynomial) over a 1 kB buffer.
+
+Matches Python's ``binascii.crc32`` on the same LCG-generated buffer, so
+the golden model is exact.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.workloads.suite import Workload
+
+BUFFER_BYTES = 1024
+REPEATS = 4
+LCG_SEED = 987654321
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+BUF_BASE = 0x2000_0000
+
+_TEMPLATE = """
+.equ BUF, {buf_base}
+.equ LEN, {length}
+
+_start:
+    bl init
+    movs r7, #{repeats}
+repeat_loop:
+    bl crc32
+    subs r7, r7, #1
+    bne repeat_loop
+    mvns r0, r5          @ final XOR
+    bkpt #0
+
+@ Fill the buffer with LCG bytes.
+init:
+    push {{r4, r5, r6, lr}}
+    ldr r0, =BUF
+    ldr r1, ={seed}
+    ldr r4, ={lcg_mul}
+    ldr r5, ={lcg_add}
+    ldr r6, =LEN
+init_loop:
+    muls r1, r4
+    adds r1, r1, r5
+    lsrs r2, r1, #24
+    strb r2, [r0]
+    adds r0, r0, #1
+    subs r6, r6, #1
+    bne init_loop
+    pop {{r4, r5, r6, pc}}
+
+@ r5 = CRC register (kept across repeats is wrong; re-init each call).
+crc32:
+    push {{r4, r6, r7, lr}}
+    ldr r4, =BUF
+    ldr r6, =LEN
+    movs r5, #0
+    mvns r5, r5          @ crc = 0xFFFFFFFF
+    ldr r7, =0xEDB88320  @ reflected polynomial
+byte_loop:
+    ldrb r0, [r4]
+    eors r5, r0          @ crc ^= byte (low 8 bits)
+    movs r1, #8
+bit_loop:
+    lsrs r5, r5, #1      @ crc >>= 1, C = shifted-out bit
+    bcc no_poly
+    eors r5, r7
+no_poly:
+    subs r1, r1, #1
+    bne bit_loop
+    adds r4, r4, #1
+    subs r6, r6, #1
+    bne byte_loop
+    pop {{r4, r6, r7, pc}}
+"""
+
+
+def _lcg_buffer(length: int = BUFFER_BYTES) -> bytes:
+    x = LCG_SEED
+    out = bytearray()
+    for _ in range(length):
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        out.append((x >> 24) & 0xFF)
+    return bytes(out)
+
+
+def source(length: int = BUFFER_BYTES, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(
+        buf_base=f"0x{BUF_BASE:08X}",
+        length=length,
+        repeats=repeats,
+        seed=LCG_SEED,
+        lcg_mul=LCG_MUL,
+        lcg_add=LCG_ADD,
+    )
+
+
+def golden_checksum(length: int = BUFFER_BYTES) -> int:
+    return binascii.crc32(_lcg_buffer(length)) & 0xFFFFFFFF
+
+
+def workload(length: int = BUFFER_BYTES, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="crc32",
+        description=f"bitwise CRC-32 over {length} B, {repeats} repeats",
+        source=source(length, repeats),
+        expected_checksum=golden_checksum(length),
+    )

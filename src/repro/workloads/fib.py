@@ -1,0 +1,74 @@
+"""fib: iterative Fibonacci, a branch/ALU stress (after Embench fibcall).
+
+Computes fib(k) mod 2^32 for k = 1..K and sums them.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload
+
+K = 64
+REPEATS = 64
+
+_TEMPLATE = """
+_start:
+    movs r7, #{repeats}
+    movs r6, #0           @ checksum
+repeat_loop:
+    bl fibsum
+    adds r6, r6, r0
+    subs r7, r7, #1
+    bne repeat_loop
+    mov r0, r6
+    bkpt #0
+
+@ r0 = sum over k of fib(k), k = 1..K  (fib(1) = fib(2) = 1).
+fibsum:
+    push {{r4, r5, r6, r7, lr}}
+    movs r5, #0           @ total
+    movs r4, #1           @ k
+k_loop:
+    @ iterative fib(k): a=0, b=1; repeat k-1 times: (a, b) = (b, a+b)
+    movs r0, #0           @ a
+    movs r1, #1           @ b
+    mov r2, r4
+    subs r2, r2, #1
+    beq fib_done
+fib_loop:
+    adds r3, r0, r1
+    mov r0, r1
+    mov r1, r3
+    subs r2, r2, #1
+    bne fib_loop
+fib_done:
+    adds r5, r5, r1       @ fib(k) is in r1... for k=1, b=1 correct
+    adds r4, r4, #1
+    cmp r4, #{k_max}
+    ble k_loop
+    mov r0, r5
+    pop {{r4, r5, r6, r7, pc}}
+"""
+
+
+def source(k: int = K, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(k_max=k, repeats=repeats)
+
+
+def golden_checksum(k: int = K, repeats: int = REPEATS) -> int:
+    def fib(n: int) -> int:
+        a, b = 0, 1
+        for _ in range(n - 1):
+            a, b = b, (a + b) & 0xFFFFFFFF
+        return b
+
+    total_one = sum(fib(i) for i in range(1, k + 1)) & 0xFFFFFFFF
+    return (total_one * repeats) & 0xFFFFFFFF
+
+
+def workload(k: int = K, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="fib",
+        description=f"iterative Fibonacci sum to fib({k}), {repeats} repeats",
+        source=source(k, repeats),
+        expected_checksum=golden_checksum(k, repeats),
+    )

@@ -1,0 +1,204 @@
+"""matmul-int: 20x20 integer matrix multiplication (the paper's headline
+workload).
+
+Matrices A and B are filled by an LCG, C = A x B is computed ``REPEATS``
+times, and the checksum is the 32-bit sum of C's entries.  A calibration
+loop (``TUNE`` iterations of 4 cycles plus up to 3 NOPs) pads the run so
+the total cycle count matches the paper's reported 20,047,348 cycles for
+"matmul-int" (Table II) — the paper's count comes from its particular
+compiled binary, which we cannot bit-reproduce, so we match the
+application *length* by construction and the access behaviour by kernel
+shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.suite import Workload
+
+#: Matrix dimension.
+N = 20
+
+#: Kernel repetitions (Embench-style repeat loop).
+REPEATS = 188
+
+#: Calibration: iterations of the 4-cycle tuning loop + trailing NOPs,
+#: solved so total cycles == 20,047,348 (:func:`predicted_cycles`).
+TUNE = 22280
+PADS = 0
+
+#: Paper-reported cycle count for matmul-int at 500 MHz (Table II).
+PAPER_CYCLE_COUNT = 20_047_348
+
+#: Measured ISS cycle structure for N = 20 (deterministic; verified by
+#: tests/workloads): startup + init + checksum + halt, and one kernel
+#: repetition including the repeat-loop overhead.
+_BASE_CYCLES = 11_240
+_CYCLES_PER_MATMUL = 106_101
+
+LCG_SEED = 12345
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+A_BASE = 0x2000_0000
+B_BASE = A_BASE + 4 * N * N
+C_BASE = B_BASE + 4 * N * N
+
+_TEMPLATE = """
+.equ N, {n}
+.equ NB, {nbytes}        @ N*4, the row stride in bytes
+.equ A_BASE, {a_base}
+.equ B_BASE, {b_base}
+.equ C_BASE, {c_base}
+
+_start:
+    bl init
+    ldr r7, ={repeats}
+repeat_loop:
+    bl matmul
+    subs r7, r7, #1
+    bne repeat_loop
+    bl checksum
+    ldr r1, ={tune}
+tune_loop:
+    subs r1, r1, #1
+    bne tune_loop
+{pads}
+    bkpt #0
+
+@ Fill A and B (contiguous, 2*N*N words) with LCG values >> 16.
+init:
+    push {{r4, r5, r6, lr}}
+    ldr r0, =A_BASE
+    ldr r1, ={seed}
+    ldr r4, ={lcg_mul}
+    ldr r5, ={lcg_add}
+    ldr r6, ={fill_words}
+init_loop:
+    muls r1, r4
+    adds r1, r1, r5
+    asrs r2, r1, #16
+    str r2, [r0]
+    adds r0, r0, #4
+    subs r6, r6, #1
+    bne init_loop
+    pop {{r4, r5, r6, pc}}
+
+@ C = A x B, row-major NxN int32.
+matmul:
+    push {{r4, r5, r6, r7, lr}}
+    movs r7, #0              @ i
+mi_loop:
+    movs r6, #0              @ j
+mj_loop:
+    movs r1, #NB
+    mov r0, r7
+    muls r0, r1              @ i * NB
+    ldr r4, =A_BASE
+    adds r4, r4, r0          @ &A[i][0]
+    lsls r1, r6, #2
+    ldr r5, =B_BASE
+    adds r5, r5, r1          @ &B[0][j]
+    movs r2, #0              @ acc
+    movs r3, #N              @ k
+mk_loop:
+    ldr r0, [r4]
+    ldr r1, [r5]
+    muls r0, r1
+    adds r2, r2, r0
+    adds r4, r4, #4
+    adds r5, r5, #NB
+    subs r3, r3, #1
+    bne mk_loop
+    movs r0, #NB
+    mov r1, r7
+    muls r1, r0              @ i * NB
+    lsls r0, r6, #2
+    adds r1, r1, r0
+    ldr r0, =C_BASE
+    adds r1, r1, r0
+    str r2, [r1]             @ C[i][j]
+    adds r6, r6, #1
+    cmp r6, #N
+    blt mj_loop
+    adds r7, r7, #1
+    cmp r7, #N
+    blt mi_loop
+    pop {{r4, r5, r6, r7, pc}}
+
+@ r0 = 32-bit sum of C.
+checksum:
+    push {{r4, lr}}
+    ldr r1, =C_BASE
+    ldr r2, ={cn2}
+    movs r0, #0
+cs_loop:
+    ldr r3, [r1]
+    adds r0, r0, r3
+    adds r1, r1, #4
+    subs r2, r2, #1
+    bne cs_loop
+    pop {{r4, pc}}
+"""
+
+
+def source(
+    n: int = N, repeats: int = REPEATS, tune: int = TUNE, pads: int = PADS
+) -> str:
+    """Assembly text for a parameterized matmul-int run."""
+    return _TEMPLATE.format(
+        n=n,
+        nbytes=n * 4,
+        a_base=f"0x{A_BASE:08X}",
+        b_base=f"0x{A_BASE + 4 * n * n:08X}",
+        c_base=f"0x{A_BASE + 8 * n * n:08X}",
+        repeats=repeats,
+        tune=tune,
+        seed=LCG_SEED,
+        lcg_mul=LCG_MUL,
+        lcg_add=LCG_ADD,
+        fill_words=2 * n * n,
+        cn2=n * n,
+        pads="\n".join("    nop" for _ in range(pads)),
+    )
+
+
+def predicted_cycles(
+    repeats: int = REPEATS, tune: int = TUNE, pads: int = PADS
+) -> int:
+    """Exact cycle count of a matmul-int configuration (N = 20 only).
+
+    The ISS is deterministic, so the count decomposes exactly into the
+    measured base + per-repetition + calibration-loop terms.  The default
+    configuration lands on the paper's 20,047,348 cycles.
+
+    >>> predicted_cycles() == PAPER_CYCLE_COUNT
+    True
+    """
+    return _BASE_CYCLES + repeats * _CYCLES_PER_MATMUL + 4 * tune + pads
+
+
+def golden_checksum(n: int = N) -> int:
+    """Pure-Python/numpy model of the kernel's checksum."""
+    values = []
+    x = LCG_SEED
+    for _ in range(2 * n * n):
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        signed = x - 0x100000000 if x & 0x80000000 else x
+        values.append(signed >> 16)
+    a = np.array(values[: n * n], dtype=np.int64).reshape(n, n)
+    b = np.array(values[n * n :], dtype=np.int64).reshape(n, n)
+    c = (a @ b) & 0xFFFFFFFF
+    return int(c.sum() & 0xFFFFFFFF)
+
+
+def workload(
+    n: int = N, repeats: int = REPEATS, tune: int = TUNE, pads: int = PADS
+) -> Workload:
+    return Workload(
+        name="matmul-int",
+        description=f"{n}x{n} int32 matrix multiply, {repeats} repeats",
+        source=source(n, repeats, tune, pads),
+        expected_checksum=golden_checksum(n),
+    )

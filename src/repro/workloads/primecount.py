@@ -1,0 +1,106 @@
+"""primecount: byte-array sieve of Eratosthenes.
+
+Counts primes below LIMIT; checksum = count.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload
+
+LIMIT = 4096
+REPEATS = 4
+SIEVE_BASE = 0x2000_0000
+
+_TEMPLATE = """
+.equ SIEVE, {sieve_base}
+.equ LIMIT, {limit}
+
+_start:
+    movs r7, #{repeats}
+repeat_loop:
+    bl sieve
+    subs r7, r7, #1
+    bne repeat_loop
+    bkpt #0
+
+@ r0 = number of primes below LIMIT.
+sieve:
+    push {{r4, r5, r6, r7, lr}}
+    @ clear flags array (1 byte per number): mark all as prime (0).
+    ldr r4, =SIEVE
+    ldr r5, =LIMIT
+    movs r0, #0
+clear_loop:
+    strb r0, [r4]
+    adds r4, r4, #1
+    subs r5, r5, #1
+    bne clear_loop
+    @ sieve: for p = 2..; if flags[p] == 0, mark multiples.
+    movs r6, #2           @ p
+p_loop:
+    @ stop when p*p >= LIMIT
+    mov r0, r6
+    muls r0, r0
+    ldr r1, =LIMIT
+    cmp r0, r1
+    bge count_phase
+    ldr r4, =SIEVE
+    ldrb r2, [r4, r6]
+    cmp r2, #0
+    bne next_p
+    @ mark multiples starting at p*p
+    mov r5, r0            @ m = p*p (r0 still holds it)
+    movs r2, #1
+mark_loop:
+    ldr r4, =SIEVE
+    adds r4, r4, r5
+    strb r2, [r4]
+    adds r5, r5, r6       @ m += p
+    ldr r1, =LIMIT
+    cmp r5, r1
+    blt mark_loop
+next_p:
+    adds r6, r6, #1
+    b p_loop
+count_phase:
+    ldr r4, =SIEVE
+    movs r0, #0           @ count
+    movs r6, #2           @ i
+    ldr r7, =LIMIT
+count_loop:
+    ldrb r2, [r4, r6]
+    cmp r2, #0
+    bne not_prime
+    adds r0, r0, #1
+not_prime:
+    adds r6, r6, #1
+    cmp r6, r7
+    blt count_loop
+    pop {{r4, r5, r6, r7, pc}}
+"""
+
+
+def source(limit: int = LIMIT, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(
+        sieve_base=f"0x{SIEVE_BASE:08X}", limit=limit, repeats=repeats
+    )
+
+
+def golden_checksum(limit: int = LIMIT) -> int:
+    flags = bytearray(limit)
+    p = 2
+    while p * p < limit:
+        if not flags[p]:
+            for m in range(p * p, limit, p):
+                flags[m] = 1
+        p += 1
+    return sum(1 for i in range(2, limit) if not flags[i])
+
+
+def workload(limit: int = LIMIT, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="primecount",
+        description=f"sieve of Eratosthenes below {limit}, {repeats} repeats",
+        source=source(limit, repeats),
+        expected_checksum=golden_checksum(limit),
+    )

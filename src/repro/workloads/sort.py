@@ -1,0 +1,141 @@
+"""sort: in-place insertion sort — the suite's store-heavy workload.
+
+Sorting stresses data-memory writes (every element moves), the access
+class under-represented by the arithmetic kernels.  Checksum: a
+position-weighted sum of the sorted array (order-sensitive, so a wrong
+sort is caught).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload
+
+LENGTH = 128
+REPEATS = 4
+LCG_SEED = 31415
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+ARR_BASE = 0x2000_0000
+
+_TEMPLATE = """
+.equ ARR, {arr_base}
+.equ LEN, {length}
+
+_start:
+    movs r7, #{repeats}
+    movs r6, #0
+repeat_loop:
+    bl init               @ re-randomize (sorting is destructive)
+    bl insertion_sort
+    bl checksum
+    adds r6, r6, r0
+    subs r7, r7, #1
+    bne repeat_loop
+    mov r0, r6
+    bkpt #0
+
+init:
+    push {{r4, r5, r6, lr}}
+    ldr r0, =ARR
+    ldr r1, ={seed}
+    ldr r4, ={lcg_mul}
+    ldr r5, ={lcg_add}
+    ldr r6, =LEN
+init_loop:
+    muls r1, r4
+    adds r1, r1, r5
+    lsrs r2, r1, #16      @ unsigned 16-bit keys
+    str r2, [r0]
+    adds r0, r0, #4
+    subs r6, r6, #1
+    bne init_loop
+    pop {{r4, r5, r6, pc}}
+
+@ Classic insertion sort over LEN words at ARR.
+insertion_sort:
+    push {{r4, r5, r6, r7, lr}}
+    movs r4, #1           @ i
+outer:
+    ldr r0, =ARR
+    lsls r1, r4, #2
+    adds r0, r0, r1       @ &a[i]
+    ldr r5, [r0]          @ key
+    mov r6, r4            @ j = i
+inner:
+    cmp r6, #0
+    beq place
+    ldr r0, =ARR
+    subs r1, r6, #1
+    lsls r1, r1, #2
+    adds r0, r0, r1       @ &a[j-1]
+    ldr r2, [r0]
+    cmp r2, r5
+    bls place             @ a[j-1] <= key (unsigned)
+    str r2, [r0, #4]      @ a[j] = a[j-1]
+    subs r6, r6, #1
+    b inner
+place:
+    ldr r0, =ARR
+    lsls r1, r6, #2
+    adds r0, r0, r1
+    str r5, [r0]          @ a[j] = key
+    adds r4, r4, #1
+    ldr r0, =LEN
+    cmp r4, r0
+    blt outer
+    pop {{r4, r5, r6, r7, pc}}
+
+@ r0 = sum of (index+1)*a[index].
+checksum:
+    push {{r4, r5, r6, lr}}
+    ldr r4, =ARR
+    movs r0, #0
+    movs r5, #1           @ weight
+    ldr r6, =LEN
+cs_loop:
+    ldr r1, [r4]
+    mov r2, r1
+    muls r2, r5
+    adds r0, r0, r2
+    adds r4, r4, #4
+    adds r5, r5, #1
+    subs r6, r6, #1
+    bne cs_loop
+    pop {{r4, r5, r6, pc}}
+"""
+
+
+def _lcg_keys(length: int):
+    x = LCG_SEED
+    out = []
+    for _ in range(length):
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        out.append(x >> 16)
+    return out
+
+
+def source(length: int = LENGTH, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(
+        arr_base=f"0x{ARR_BASE:08X}",
+        length=length,
+        repeats=repeats,
+        seed=LCG_SEED,
+        lcg_mul=LCG_MUL,
+        lcg_add=LCG_ADD,
+    )
+
+
+def golden_checksum(length: int = LENGTH, repeats: int = REPEATS) -> int:
+    data = sorted(_lcg_keys(length))
+    one = sum((i + 1) * v for i, v in enumerate(data)) & 0xFFFFFFFF
+    return (one * repeats) & 0xFFFFFFFF
+
+
+def workload(length: int = LENGTH, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="sort",
+        description=f"insertion sort of {length} keys, {repeats} repeats",
+        source=source(length, repeats),
+        expected_checksum=golden_checksum(length, repeats),
+    )

@@ -1,0 +1,120 @@
+"""st: integer statistics kernel (after Embench's ``st``).
+
+Computes the sums needed for mean/variance/correlation of two LCG
+vectors in fixed point: sum(x), sum(y), sum(x*x), sum(x*y), all mod
+2^32, combined into a single checksum.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload
+
+LENGTH = 256
+REPEATS = 8
+LCG_SEED = 55555
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+X_BASE = 0x2000_0000
+
+_TEMPLATE = """
+.equ XV, {x_base}
+.equ YV, {y_base}
+.equ LEN, {length}
+
+_start:
+    bl init
+    movs r7, #{repeats}
+    movs r6, #0
+repeat_loop:
+    bl stats
+    adds r6, r6, r0
+    subs r7, r7, #1
+    bne repeat_loop
+    mov r0, r6
+    bkpt #0
+
+@ Fill x and y (contiguous) with 12-bit signed LCG samples.
+init:
+    push {{r4, r5, r6, lr}}
+    ldr r0, =XV
+    ldr r1, ={seed}
+    ldr r4, ={lcg_mul}
+    ldr r5, ={lcg_add}
+    ldr r6, ={fill_words}
+init_loop:
+    muls r1, r4
+    adds r1, r1, r5
+    asrs r2, r1, #20
+    str r2, [r0]
+    adds r0, r0, #4
+    subs r6, r6, #1
+    bne init_loop
+    pop {{r4, r5, r6, pc}}
+
+@ r0 = sum_x + sum_y + sum_xx + sum_xy (mod 2^32).
+stats:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =XV           @ x pointer
+    ldr r5, =YV           @ y pointer
+    movs r6, #0           @ accumulator (all four sums folded in)
+    ldr r7, =LEN
+st_loop:
+    ldr r0, [r4]
+    ldr r1, [r5]
+    adds r6, r6, r0       @ += x
+    adds r6, r6, r1       @ += y
+    mov r2, r0
+    muls r2, r0           @ x*x
+    adds r6, r6, r2
+    mov r2, r0
+    muls r2, r1           @ x*y
+    adds r6, r6, r2
+    adds r4, r4, #4
+    adds r5, r5, #4
+    subs r7, r7, #1
+    bne st_loop
+    mov r0, r6
+    pop {{r4, r5, r6, r7, pc}}
+"""
+
+
+def _lcg_words(count: int):
+    x = LCG_SEED
+    out = []
+    for _ in range(count):
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        signed = x - 0x100000000 if x & 0x80000000 else x
+        out.append(signed >> 20)
+    return out
+
+
+def source(length: int = LENGTH, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(
+        x_base=f"0x{X_BASE:08X}",
+        y_base=f"0x{X_BASE + 4 * length:08X}",
+        length=length,
+        repeats=repeats,
+        seed=LCG_SEED,
+        lcg_mul=LCG_MUL,
+        lcg_add=LCG_ADD,
+        fill_words=2 * length,
+    )
+
+
+def golden_checksum(length: int = LENGTH, repeats: int = REPEATS) -> int:
+    words = _lcg_words(2 * length)
+    xs, ys = words[:length], words[length:]
+    total = 0
+    for x, y in zip(xs, ys):
+        total = (total + x + y + x * x + x * y) & 0xFFFFFFFF
+    return (total * repeats) & 0xFFFFFFFF
+
+
+def workload(length: int = LENGTH, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="st",
+        description=f"integer statistics over {length} samples, {repeats} repeats",
+        source=source(length, repeats),
+        expected_checksum=golden_checksum(length, repeats),
+    )

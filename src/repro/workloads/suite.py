@@ -1,0 +1,116 @@
+"""Workload registry and runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.cpu.trace import ActivityTrace
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A self-checking assembly workload.
+
+    Attributes:
+        name: Suite name (e.g. ``"matmul-int"``).
+        description: One-line description.
+        source: Thumb assembly text.
+        expected_checksum: Golden r0 value at halt (from a Python model).
+    """
+
+    name: str
+    description: str
+    source: str
+    expected_checksum: int
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running a workload on the ISS."""
+
+    workload: Workload
+    checksum: int
+    cycles: int
+    instructions: int
+    program_reads: int
+    data_reads: int
+    data_writes: int
+    activity_factor: float
+
+    @property
+    def correct(self) -> bool:
+        return self.checksum == self.workload.expected_checksum
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def access_profile(self):
+        """Per-cycle access rates, for the eDRAM energy model."""
+        from repro.edram.energy import AccessProfile
+
+        return AccessProfile(
+            program_reads_per_cycle=self.program_reads / self.cycles,
+            data_reads_per_cycle=self.data_reads / self.cycles,
+            data_writes_per_cycle=self.data_writes / self.cycles,
+        )
+
+
+def run_workload(
+    workload: Workload, max_cycles: int = 500_000_000
+) -> WorkloadResult:
+    """Assemble, execute, and verify a workload."""
+    program = assemble(workload.source)
+    trace = ActivityTrace()
+    cpu = CortexM0(MemoryMap.embedded_system(), trace=trace)
+    cpu.load_program(program)
+    stats = cpu.run(max_cycles=max_cycles)
+    counters = cpu.memory.access_counts()
+    result = WorkloadResult(
+        workload=workload,
+        checksum=cpu.regs.read(0),
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        program_reads=counters["program"].reads,
+        data_reads=counters["data"].reads,
+        data_writes=counters["data"].writes,
+        activity_factor=trace.activity_factor(),
+    )
+    if not result.correct:
+        raise ReproError(
+            f"workload {workload.name!r} failed self-check: "
+            f"got {result.checksum:#010x}, expected "
+            f"{workload.expected_checksum:#010x}"
+        )
+    return result
+
+
+def all_workloads() -> Dict[str, Workload]:
+    """All registered workloads, keyed by name."""
+    from repro.workloads import (
+        crc32, edn, fib, matmul_int, primecount, sort, st, ud,
+    )
+
+    loads = [
+        matmul_int.workload(),
+        crc32.workload(),
+        edn.workload(),
+        primecount.workload(),
+        fib.workload(),
+        ud.workload(),
+        st.workload(),
+        sort.workload(),
+    ]
+    return {w.name: w for w in loads}
+
+
+def get_workload(name: str) -> Workload:
+    loads = all_workloads()
+    if name not in loads:
+        raise ReproError(
+            f"unknown workload {name!r}; available: {sorted(loads)}"
+        )
+    return loads[name]

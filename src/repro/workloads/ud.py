@@ -1,0 +1,114 @@
+"""ud: software unsigned-division stress (after Embench's ``ud``).
+
+The Cortex-M0 has no hardware divider, so division-heavy embedded code
+spends its time in ``__aeabi_uidiv``-style shift-subtract routines.  This
+kernel sums ``n / d`` and ``n % d`` over LCG operand pairs using a
+restoring shift-subtract divider.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload
+
+PAIRS = 256
+REPEATS = 4
+LCG_SEED = 1111
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+_TEMPLATE = """
+_start:
+    movs r7, #{repeats}
+    movs r6, #0
+repeat_loop:
+    bl divsum
+    adds r6, r6, r0
+    subs r7, r7, #1
+    bne repeat_loop
+    mov r0, r6
+    bkpt #0
+
+@ r0 = sum of (n/d + n%d) over LCG pairs.
+divsum:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, ={seed}       @ LCG state
+    movs r5, #0           @ checksum
+    ldr r6, ={pairs}      @ counter
+pair_loop:
+    @ n = next LCG >> 8 ; d = (next LCG >> 20) + 1
+    ldr r0, ={lcg_mul}
+    muls r4, r0
+    ldr r0, ={lcg_add}
+    adds r4, r4, r0
+    lsrs r0, r4, #8       @ n
+    push {{r0}}
+    ldr r1, ={lcg_mul}
+    muls r4, r1
+    ldr r1, ={lcg_add}
+    adds r4, r4, r1
+    lsrs r1, r4, #20
+    adds r1, r1, #1       @ d >= 1
+    pop {{r0}}
+    bl udivmod            @ r0 = n/d, r1 = n%d
+    adds r5, r5, r0
+    adds r5, r5, r1
+    subs r6, r6, #1
+    bne pair_loop
+    mov r0, r5
+    pop {{r4, r5, r6, r7, pc}}
+
+@ Restoring shift-subtract divider: (r0, r1) = (r0 / r1, r0 % r1).
+udivmod:
+    push {{r4, r5, r6, lr}}
+    movs r2, #0           @ quotient
+    movs r3, #0           @ remainder
+    movs r4, #32          @ bit counter
+ud_loop:
+    lsls r3, r3, #1       @ remainder <<= 1
+    lsls r0, r0, #1       @ shift out top bit of n, C = bit
+    bcc ud_nocarry
+    adds r3, r3, #1
+ud_nocarry:
+    lsls r2, r2, #1       @ quotient <<= 1
+    cmp r3, r1
+    blo ud_next
+    subs r3, r3, r1
+    adds r2, r2, #1
+ud_next:
+    subs r4, r4, #1
+    bne ud_loop
+    mov r0, r2
+    mov r1, r3
+    pop {{r4, r5, r6, pc}}
+"""
+
+
+def source(pairs: int = PAIRS, repeats: int = REPEATS) -> str:
+    return _TEMPLATE.format(
+        pairs=pairs,
+        repeats=repeats,
+        seed=LCG_SEED,
+        lcg_mul=LCG_MUL,
+        lcg_add=LCG_ADD,
+    )
+
+
+def golden_checksum(pairs: int = PAIRS, repeats: int = REPEATS) -> int:
+    x = LCG_SEED
+    total = 0
+    for _ in range(pairs):
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        n = x >> 8
+        x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
+        d = (x >> 20) + 1
+        total = (total + n // d + n % d) & 0xFFFFFFFF
+    return (total * repeats) & 0xFFFFFFFF
+
+
+def workload(pairs: int = PAIRS, repeats: int = REPEATS) -> Workload:
+    return Workload(
+        name="ud",
+        description=f"software udiv/umod over {pairs} pairs, {repeats} repeats",
+        source=source(pairs, repeats),
+        expected_checksum=golden_checksum(pairs, repeats),
+    )

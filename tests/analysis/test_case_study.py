@@ -1,0 +1,145 @@
+"""End-to-end case-study tests: the paper's headline numbers."""
+
+import pytest
+
+from repro.analysis import build_case_study
+from repro.analysis.case_study import build_all_si_system, build_m3d_system
+from repro.analysis.ppatc import (
+    PAPER_TABLE2,
+    comparison_with_paper,
+    ppatc_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case_study()
+
+
+class TestTable2:
+    """Every row of Table II, measured vs paper."""
+
+    @pytest.mark.parametrize("tech", ["all-si", "m3d"])
+    @pytest.mark.parametrize(
+        "metric,tolerance",
+        [
+            ("clock_mhz", 1e-9),
+            ("m0_energy_per_cycle_pj", 0.005),
+            ("memory_energy_per_cycle_pj", 0.005),
+            ("cycles", 1e-9),
+            ("memory_area_mm2", 0.01),
+            ("total_area_mm2", 0.01),
+            ("die_height_um", 0.005),
+            ("die_width_um", 0.005),
+            ("embodied_per_wafer_kg", 0.005),
+            ("dies_per_wafer", 0.002),
+            ("embodied_per_good_die_g", 0.005),
+        ],
+    )
+    def test_row(self, case, tech, metric, tolerance):
+        measured = ppatc_summary(case)[tech][metric]
+        paper = PAPER_TABLE2[tech][metric]
+        assert measured == pytest.approx(paper, rel=tolerance), (
+            f"{tech}/{metric}: measured {measured}, paper {paper}"
+        )
+
+    def test_comparison_table_complete(self, case):
+        comp = comparison_with_paper(case)
+        assert set(comp) == {"all-si", "m3d"}
+        for tech in comp:
+            assert set(comp[tech]) == set(PAPER_TABLE2[tech])
+            for metric in comp[tech]:
+                assert comp[tech][metric]["ratio"] == pytest.approx(
+                    1.0, rel=0.02
+                )
+
+
+class TestHeadlineClaims:
+    def test_tcdp_advantage_1_02(self, case):
+        """The abstract's claim: M3D 1.02x more carbon-efficient per
+        good die at the representative 24-month lifetime."""
+        assert case.carbon_efficiency_advantage() == pytest.approx(
+            1.02, abs=0.005
+        )
+
+    def test_area_ratio(self, case):
+        """All-Si die is ~2.6x larger (Table II entries; the paper's
+        prose says 2.72x — see EXPERIMENTS.md)."""
+        ratio = case.all_si.floorplan.area_mm2 / case.m3d.floorplan.area_mm2
+        assert ratio == pytest.approx(0.139 / 0.053, rel=0.02)
+
+    def test_good_die_count_ratio(self, case):
+        """M3D yields 1.13x more good dies per wafer despite 50% yield."""
+        si_good = case.all_si.dies_per_wafer * case.all_si.yield_fraction
+        m3d_good = case.m3d.dies_per_wafer * case.m3d.yield_fraction
+        assert m3d_good / si_good == pytest.approx(1.13, abs=0.01)
+
+    def test_embodied_per_good_die_ratio_1_17(self, case):
+        ratio = (
+            case.m3d.embodied_per_good_die_g
+            / case.all_si.embodied_per_good_die_g
+        )
+        assert ratio == pytest.approx(1.17, abs=0.01)
+
+    def test_tc_crossover_consistent_with_tcdp(self, case):
+        """Equal clocks and cycle counts: tC and tCDP cross together,
+        between the highlighted 1-month and 24-month points."""
+        crossover = case.tc_crossover_months()
+        assert 10.0 < crossover < 24.0
+        assert case.tcdp_ratio(crossover - 1.0) > 1.0
+        assert case.tcdp_ratio(crossover + 1.0) < 1.0
+
+    def test_dominance_months(self, case):
+        """C_embodied dominates until ~14 (all-Si) / ~19 (M3D) months."""
+        si = case.all_si.total_carbon.operational_dominance_months()
+        m3d = case.m3d.total_carbon.operational_dominance_months()
+        assert si == pytest.approx(14.0, abs=1.0)
+        assert m3d == pytest.approx(19.0, abs=1.0)
+
+    def test_operational_power(self, case):
+        """Eq. 6 power: 9.71 mW (all-Si) vs 8.46 mW (M3D)."""
+        assert case.all_si.operational_power_w == pytest.approx(
+            9.71e-3, rel=0.005
+        )
+        assert case.m3d.operational_power_w == pytest.approx(
+            8.46e-3, rel=0.005
+        )
+
+
+class TestSystemConstruction:
+    def test_selected_core_is_rvt(self, case):
+        from repro.physical.stdcells import VtFlavor
+
+        assert case.all_si.core.flavor is VtFlavor.RVT
+        assert case.m3d.core.flavor is VtFlavor.RVT
+
+    def test_same_core_both_systems(self, case):
+        """The M0 is Si CMOS in both designs (Fig. 1)."""
+        assert case.all_si.core.energy_per_cycle_j == pytest.approx(
+            case.m3d.core.energy_per_cycle_j
+        )
+        assert case.all_si.core_area_um2 == pytest.approx(
+            case.m3d.core_area_um2
+        )
+
+    def test_verify_timing_path(self):
+        """With SPICE timing validation on, both systems still build."""
+        system = build_m3d_system(verify_timing=True)
+        assert system.timing is not None
+        assert system.timing.meets_clock(500e6)
+
+    def test_custom_grid(self):
+        dirty = build_all_si_system(grid="coal")
+        clean = build_all_si_system(grid="solar")
+        assert dirty.embodied.per_wafer_g > clean.embodied.per_wafer_g
+
+    def test_timing_failure_raises(self):
+        from repro.errors import PhysicalDesignError, TimingClosureError
+
+        with pytest.raises((PhysicalDesignError, TimingClosureError)):
+            build_m3d_system(clock_hz=2e9, verify_timing=True)
+
+    def test_execution_time(self, case):
+        assert case.all_si.execution_time_s == pytest.approx(
+            20_047_348 / 500e6
+        )

@@ -1,0 +1,83 @@
+"""Tests for the tornado sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import build_case_study
+from repro.analysis.sensitivity import (
+    case_study_parameters,
+    render_tornado,
+    tornado_analysis,
+)
+from repro.errors import CarbonModelError
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    return case_study_parameters(build_case_study())
+
+
+@pytest.fixture(scope="module")
+def entries(nominal):
+    return tornado_analysis(nominal)
+
+
+class TestTornado:
+    def test_all_parameters_covered(self, entries):
+        names = {e.parameter for e in entries}
+        assert names == {
+            "m3d_embodied_wafer",
+            "m3d_yield",
+            "si_yield",
+            "m3d_operational_power",
+            "si_operational_power",
+            "lifetime",
+            "ci_use",
+            "m3d_dies_per_wafer",
+        }
+
+    def test_sorted_by_swing(self, entries):
+        swings = [e.swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_nominal_ratio_matches_headline(self, entries):
+        assert entries[0].ratio_nominal == pytest.approx(1 / 1.02, abs=0.005)
+
+    def test_yield_is_a_top_sensitivity(self, entries):
+        """The paper singles out yield uncertainty (Fig. 6b) — it must
+        rank among the most influential parameters."""
+        top_half = {e.parameter for e in entries[: len(entries) // 2]}
+        assert "m3d_yield" in top_half or "si_yield" in top_half
+
+    def test_directionality(self, entries):
+        by_name = {e.parameter: e for e in entries}
+        # Heavier M3D embodied carbon worsens its ratio.
+        e = by_name["m3d_embodied_wafer"]
+        assert e.ratio_high > e.ratio_nominal > e.ratio_low
+        # Better M3D yield improves (lowers) the ratio.
+        e = by_name["m3d_yield"]
+        assert e.ratio_high < e.ratio_nominal < e.ratio_low
+        # Longer lifetime favors M3D.
+        e = by_name["lifetime"]
+        assert e.ratio_high < e.ratio_low
+
+    def test_close_verdict_flips_easily(self, entries):
+        """At 24 months the 1.02x margin is thin: several +/- 25%
+        perturbations flip the winner — the paper's robustness message."""
+        assert any(e.flips_verdict for e in entries)
+
+    def test_ci_use_does_not_change_winner_alone(self, entries):
+        """CI_use scales both designs' operational carbon, so it shifts
+        the ratio toward the EDP limit but more weakly than yield."""
+        by_name = {e.parameter: e for e in entries}
+        assert by_name["ci_use"].swing < by_name["m3d_yield"].swing
+
+    def test_validation(self, nominal):
+        with pytest.raises(CarbonModelError):
+            tornado_analysis(nominal, relative_change=0.0)
+        with pytest.raises(CarbonModelError):
+            tornado_analysis(nominal, relative_change=1.5)
+
+    def test_render(self, entries):
+        text = render_tornado(entries)
+        assert "tornado" in text.lower() or "TORNADO" in text
+        assert "m3d_yield" in text

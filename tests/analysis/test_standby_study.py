@@ -1,0 +1,88 @@
+"""Tests for the always-on retention study."""
+
+import pytest
+
+from repro.analysis import build_case_study
+from repro.analysis.standby_study import (
+    StandbyPolicy,
+    evaluate_standby,
+    render_standby,
+    standby_comparison,
+)
+from repro.errors import CarbonModelError
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case_study()
+
+
+class TestEvaluateStandby:
+    def test_power_off_has_boot_cost_only(self, case):
+        result = evaluate_standby(case.all_si, StandbyPolicy.POWER_OFF)
+        assert result.idle_power_w == 0.0
+        assert result.boot_carbon_per_month_g > 0.0
+
+    def test_standby_retain_costs_refresh_and_leak(self, case):
+        result = evaluate_standby(case.all_si, StandbyPolicy.STANDBY_RETAIN)
+        assert result.idle_power_w > 10e-6  # ~2 macros' refresh + leak
+        assert result.boot_carbon_per_month_g == 0.0
+
+    def test_si_standby_costs_more_than_m3d(self, case):
+        """The structural asymmetry: the Si cell's ms-scale retention
+        forces continuous refresh; the IGZO cell's does not."""
+        si = evaluate_standby(case.all_si, StandbyPolicy.STANDBY_RETAIN)
+        m3d = evaluate_standby(case.m3d, StandbyPolicy.STANDBY_RETAIN)
+        assert si.idle_carbon_per_month_g > 3 * m3d.idle_carbon_per_month_g
+
+    def test_drowsy_nearly_free(self, case):
+        drowsy = evaluate_standby(case.m3d, StandbyPolicy.M3D_DROWSY)
+        retain = evaluate_standby(case.m3d, StandbyPolicy.STANDBY_RETAIN)
+        assert drowsy.idle_power_w < 0.01 * retain.idle_power_w
+
+    def test_more_active_hours_less_idle_carbon(self, case):
+        lazy = evaluate_standby(
+            case.all_si, StandbyPolicy.STANDBY_RETAIN, active_hours_per_day=2.0
+        )
+        busy = evaluate_standby(
+            case.all_si, StandbyPolicy.STANDBY_RETAIN, active_hours_per_day=12.0
+        )
+        assert busy.idle_carbon_per_month_g < lazy.idle_carbon_per_month_g
+
+    def test_validation(self, case):
+        with pytest.raises(CarbonModelError):
+            evaluate_standby(
+                case.all_si,
+                StandbyPolicy.POWER_OFF,
+                active_hours_per_day=25.0,
+            )
+
+
+class TestComparison:
+    def test_structure(self, case):
+        data = standby_comparison(case.all_si, case.m3d)
+        assert set(data) == {"all-si", "m3d"}
+        assert "with_drowsy_g" in data["m3d"]
+        assert "with_drowsy_g" not in data["all-si"]
+
+    def test_retention_widens_the_m3d_advantage(self, case):
+        data = standby_comparison(case.all_si, case.m3d)
+        active_gap = (
+            data["all-si"]["active_only_g"] - data["m3d"]["active_only_g"]
+        )
+        retain_gap = (
+            data["all-si"]["with_standby_retain_g"]
+            - data["m3d"]["with_standby_retain_g"]
+        )
+        assert retain_gap > active_gap
+
+    def test_policies_ordered(self, case):
+        data = standby_comparison(case.all_si, case.m3d)
+        for tech in data.values():
+            assert tech["with_standby_retain_g"] >= tech["active_only_g"]
+            assert tech["with_power_off_g"] >= tech["active_only_g"]
+
+    def test_render(self, case):
+        text = render_standby(standby_comparison(case.all_si, case.m3d))
+        assert "drowsy" in text
+        assert "paper's scenario" in text

@@ -1,0 +1,76 @@
+"""Tests for the per-workload suite study."""
+
+import pytest
+
+from repro.analysis.suite_study import (
+    default_study_configs,
+    render_suite_study,
+    run_suite_study,
+)
+from repro.workloads import crc32, matmul_int
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_suite_study()
+
+
+class TestSuiteStudy:
+    def test_covers_all_eight_workloads(self, rows):
+        names = {row.name for row in rows}
+        assert names == {
+            "matmul-int", "crc32", "edn", "primecount", "fib", "ud",
+            "st", "sort",
+        }
+
+    def test_m3d_memory_energy_always_lower(self, rows):
+        """The density-driven wire saving applies to every workload."""
+        for row in rows:
+            assert row.m3d_memory_energy_pj < row.si_memory_energy_pj
+
+    def test_m3d_wins_at_24_months_for_all(self, rows):
+        for row in rows:
+            assert row.m3d_wins, row.name
+
+    def test_crossovers_are_finite_and_before_24mo(self, rows):
+        for row in rows:
+            assert row.crossover_months is not None
+            assert 5.0 < row.crossover_months < 24.0
+
+    def test_memory_intensity_correlates_with_saving(self, rows):
+        """More accesses per cycle -> larger absolute power saving."""
+        by_intensity = sorted(rows, key=lambda r: r.accesses_per_cycle)
+        savings = [
+            r.si_power_mw - r.m3d_power_mw for r in by_intensity
+        ]
+        assert savings[-1] > savings[0]
+
+    def test_matmul_row_matches_case_study_scale(self, rows):
+        matmul = next(r for r in rows if r.name == "matmul-int")
+        # The reduced run's profile matches the paper-length run's, so
+        # the energies land on the Table II values.
+        assert matmul.si_memory_energy_pj == pytest.approx(18.0, rel=0.02)
+        assert matmul.m3d_memory_energy_pj == pytest.approx(15.5, rel=0.02)
+        assert matmul.tcdp_ratio_m3d_over_si == pytest.approx(
+            1 / 1.02, abs=0.01
+        )
+
+    def test_custom_config_subset(self):
+        rows = run_suite_study(
+            configs=[crc32.workload(length=128, repeats=1)]
+        )
+        assert len(rows) == 1
+        assert rows[0].name == "crc32"
+
+    def test_short_lifetime_flips_winner(self):
+        rows = run_suite_study(
+            lifetime_months=3.0,
+            configs=[matmul_int.workload(repeats=1, tune=1, pads=0)],
+        )
+        assert not rows[0].m3d_wins
+
+    def test_render(self, rows):
+        text = render_suite_study(rows)
+        assert "matmul-int" in text
+        assert "M3D" in text
+        assert "tCDP ratio" in text

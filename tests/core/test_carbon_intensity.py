@@ -1,0 +1,126 @@
+"""Tests for carbon-intensity profiles."""
+
+import pytest
+
+from repro import units
+from repro.core.carbon_intensity import (
+    ConstantCarbonIntensity,
+    DailyWindowProfile,
+    GRIDS,
+    grid_intensity,
+)
+from repro.errors import CarbonModelError
+
+
+class TestGrids:
+    def test_paper_grid_values(self):
+        assert GRIDS["us"] == 380.0
+        assert GRIDS["coal"] == 820.0
+        assert GRIDS["solar"] == 48.0
+        assert GRIDS["taiwan"] == 563.0
+
+    def test_lookup_case_insensitive(self):
+        assert grid_intensity("US") == 380.0
+
+    def test_unknown_grid(self):
+        with pytest.raises(CarbonModelError, match="unknown grid"):
+            grid_intensity("mars")
+
+
+class TestConstantCarbonIntensity:
+    def test_constant_everywhere(self):
+        ci = ConstantCarbonIntensity(380.0)
+        assert ci.at(0.0) == 380.0
+        assert ci.at(1e9) == 380.0
+        assert ci.mean_over_window(20, 22) == 380.0
+
+    def test_from_grid(self):
+        ci = ConstantCarbonIntensity.from_grid("taiwan")
+        assert ci.value_g_per_kwh == 563.0
+        assert ci.name == "taiwan"
+
+    def test_negative_rejected(self):
+        with pytest.raises(CarbonModelError):
+            ConstantCarbonIntensity(-1.0)
+
+    def test_scaled(self):
+        ci = ConstantCarbonIntensity.from_grid("us").scaled(3.0)
+        assert ci.value_g_per_kwh == pytest.approx(1140.0)
+        with pytest.raises(CarbonModelError):
+            ci.scaled(-1.0)
+
+    def test_integrate_power_closed_form(self):
+        """2 hours/day at constant power: Equation 8."""
+        ci = ConstantCarbonIntensity(380.0)
+        power_w = 9.71e-3
+        t_life = units.months_to_seconds(24.0)
+        carbon = ci.integrate_power(power_w, t_life, [(20.0, 22.0)])
+        expected = 380.0 * power_w * t_life * (2.0 / 24.0) / units.KWH
+        assert carbon == pytest.approx(expected)
+        assert carbon == pytest.approx(5.39, abs=0.01)  # paper-scale check
+
+    def test_integrate_power_rejects_bad_inputs(self):
+        ci = ConstantCarbonIntensity(380.0)
+        with pytest.raises(CarbonModelError):
+            ci.integrate_power(-1.0, 1.0, [(0, 1)])
+        with pytest.raises(CarbonModelError):
+            ci.integrate_power(1.0, -1.0, [(0, 1)])
+        with pytest.raises(CarbonModelError):
+            ci.integrate_power(1.0, 1.0, [(22.0, 20.0)])
+
+    def test_integrate_power_multiple_windows(self):
+        ci = ConstantCarbonIntensity(100.0)
+        t_life = units.DAY * 10
+        one = ci.integrate_power(1.0, t_life, [(0.0, 2.0)])
+        two = ci.integrate_power(1.0, t_life, [(0.0, 1.0), (5.0, 6.0)])
+        assert one == pytest.approx(two)
+
+
+class TestDailyWindowProfile:
+    def _profile(self):
+        # Cheap at night, dirty evening peak 18-22h.
+        return DailyWindowProfile([(0, 300.0), (18, 500.0), (22, 350.0)])
+
+    def test_at_lookup(self):
+        p = self._profile()
+        assert p.at(1 * units.HOUR) == 300.0
+        assert p.at(19 * units.HOUR) == 500.0
+        assert p.at(23 * units.HOUR) == 350.0
+
+    def test_wraps_daily(self):
+        p = self._profile()
+        assert p.at(25 * units.HOUR) == p.at(1 * units.HOUR)
+
+    def test_mean_over_window_inside_segment(self):
+        p = self._profile()
+        assert p.mean_over_window(20.0, 22.0) == pytest.approx(500.0)
+
+    def test_mean_over_window_straddling(self):
+        p = self._profile()
+        # 17-19h: one hour at 300, one hour at 500.
+        assert p.mean_over_window(17.0, 19.0) == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(CarbonModelError):
+            DailyWindowProfile([])
+        with pytest.raises(CarbonModelError):
+            DailyWindowProfile([(5, 100.0)])  # must start at 0
+        with pytest.raises(CarbonModelError):
+            DailyWindowProfile([(0, 100.0), (3, 200.0), (3, 300.0)])
+        with pytest.raises(CarbonModelError):
+            DailyWindowProfile([(0, -5.0)])
+
+    def test_integrate_power_uses_window_mean(self):
+        p = self._profile()
+        t_life = units.DAY * 30
+        carbon = p.integrate_power(1.0, t_life, [(20.0, 22.0)])
+        expected = 500.0 * 1.0 * t_life * (2.0 / 24.0) / units.KWH
+        assert carbon == pytest.approx(expected)
+
+    def test_evening_usage_costs_more_than_night(self):
+        """Time-of-day matters: the paper's 8-10 pm window hits the peak."""
+        p = self._profile()
+        t_life = units.DAY * 30
+        evening = p.integrate_power(1.0, t_life, [(20.0, 22.0)])
+        night = p.integrate_power(1.0, t_life, [(2.0, 4.0)])
+        assert evening > night

@@ -1,0 +1,181 @@
+"""Tests for MPA, GPA, and the Equation 2/5 embodied-carbon model.
+
+The headline assertions reproduce Fig. 2c and the embodied rows of
+Table II.
+"""
+
+import pytest
+
+from repro.core.embodied import EmbodiedCarbonModel
+from repro.core.gas import GasEmissionsModel
+from repro.core.materials import MaterialContribution, MaterialsModel
+from repro.errors import CarbonModelError
+from repro.fab import build_all_si_process, build_m3d_process
+
+
+@pytest.fixture(scope="module")
+def all_si_model():
+    return EmbodiedCarbonModel(
+        build_all_si_process(), materials=MaterialsModel.for_all_si()
+    )
+
+
+@pytest.fixture(scope="module")
+def m3d_model():
+    return EmbodiedCarbonModel(
+        build_m3d_process(), materials=MaterialsModel.for_m3d()
+    )
+
+
+class TestMaterialsModel:
+    def test_si_wafer_footprint(self):
+        """MPA = 500 g/cm^2 -> 3.5e5 g per 300 mm wafer (Sec. II-B)."""
+        m = MaterialsModel.for_all_si()
+        assert m.per_wafer_g() == pytest.approx(3.5e5, rel=0.02)
+
+    def test_cnt_contribution_is_negligible(self):
+        """Picograms of CNT x 14 kg/g is far below a milligram of CO2e."""
+        m3d = MaterialsModel.for_m3d()
+        breakdown = m3d.breakdown_g()
+        assert breakdown["carbon nanotubes (2 tiers)"] < 1e-3
+        assert breakdown["Si wafer"] > 1e5
+
+    def test_duplicate_material_rejected(self):
+        m = MaterialsModel()
+        c = MaterialContribution("x", 1.0, 1.0)
+        m.add_material(c)
+        with pytest.raises(CarbonModelError, match="duplicate"):
+            m.add_material(c)
+
+    def test_custom_material_raises_mpa(self):
+        m = MaterialsModel()
+        base = m.mpa_g_per_cm2()
+        m.add_material(MaterialContribution("exotic", 10.0, 1000.0))
+        assert m.mpa_g_per_cm2() > base
+
+
+class TestGasModel:
+    def test_equation3_scaling(self):
+        gas = GasEmissionsModel()
+        si = build_all_si_process()
+        m3d = build_m3d_process()
+        assert gas.scaling_ratio(si.total_energy_kwh()) == pytest.approx(
+            0.79, rel=1e-6
+        )
+        assert gas.scaling_ratio(m3d.total_energy_kwh()) == pytest.approx(
+            1.22, rel=1e-6
+        )
+
+    def test_gpa_values(self):
+        gas = GasEmissionsModel()
+        assert gas.gpa_for_flow_g_per_cm2(
+            build_all_si_process()
+        ) == pytest.approx(0.79 * 200.0, rel=1e-6)
+
+    def test_reference_gpa_recovered_at_reference_epa(self):
+        gas = GasEmissionsModel()
+        assert gas.gpa_g_per_cm2(885.0) == pytest.approx(200.0)
+
+    def test_negative_epa_rejected(self):
+        with pytest.raises(CarbonModelError):
+            GasEmissionsModel().gpa_g_per_cm2(-1.0)
+
+
+class TestEmbodiedWaferCarbon:
+    """Fig. 2c: embodied carbon per wafer across grids."""
+
+    def test_us_grid_all_si(self, all_si_model):
+        result = all_si_model.evaluate("us")
+        assert result.per_wafer_kg == pytest.approx(837.0, rel=0.005)
+
+    def test_us_grid_m3d(self, m3d_model):
+        result = m3d_model.evaluate("us")
+        assert result.per_wafer_kg == pytest.approx(1100.0, rel=0.005)
+
+    def test_average_ratio_is_1_31(self, all_si_model, m3d_model):
+        """Headline result: M3D is on average 1.31x per wafer."""
+        ratios = []
+        for grid in ("us", "coal", "solar", "taiwan"):
+            si = all_si_model.evaluate(grid).per_wafer_g
+            m3d = m3d_model.evaluate(grid).per_wafer_g
+            ratios.append(m3d / si)
+        assert sum(ratios) / len(ratios) == pytest.approx(1.31, abs=0.02)
+
+    def test_ratio_grows_with_grid_intensity(self, all_si_model, m3d_model):
+        """Dirtier fab grid amplifies the M3D energy overhead."""
+        def ratio(grid):
+            return (
+                m3d_model.evaluate(grid).per_wafer_g
+                / all_si_model.evaluate(grid).per_wafer_g
+            )
+
+        assert ratio("solar") < ratio("us") < ratio("taiwan") < ratio("coal")
+
+    def test_breakdown_sums_to_total(self, m3d_model):
+        result = m3d_model.evaluate("us")
+        parts = result.breakdown_per_wafer_g()
+        assert sum(parts.values()) == pytest.approx(result.per_wafer_g)
+
+    def test_facility_overhead_applied(self, all_si_model):
+        result = all_si_model.evaluate("us")
+        assert result.epa_facility_kwh_per_wafer == pytest.approx(
+            result.epa_kwh_per_wafer * 1.4
+        )
+
+    def test_numeric_and_named_grid_agree(self, all_si_model):
+        assert all_si_model.evaluate(380.0).per_wafer_g == pytest.approx(
+            all_si_model.evaluate("us").per_wafer_g
+        )
+
+    def test_solar_fab_nearly_halves_m3d_footprint(self, m3d_model):
+        dirty = m3d_model.evaluate("us").per_wafer_g
+        clean = m3d_model.evaluate("solar").per_wafer_g
+        assert clean < 0.6 * dirty
+
+    def test_per_wafer_by_grid_covers_all_grids(self, all_si_model):
+        results = all_si_model.per_wafer_by_grid()
+        assert set(results) == {"us", "coal", "solar", "taiwan"}
+
+
+class TestPerDieCarbon:
+    """Equation 5 and the Table II per-good-die rows."""
+
+    def test_good_die_all_si(self, all_si_model):
+        result = all_si_model.evaluate("us")
+        # Paper: 299,127 dies/wafer, 90% yield -> 3.11 g per good die.
+        assert result.per_good_die_g(299127, 0.90) == pytest.approx(
+            3.11, abs=0.01
+        )
+
+    def test_good_die_m3d(self, m3d_model):
+        result = m3d_model.evaluate("us")
+        # Paper: 606,238 dies/wafer, 50% yield -> 3.63 g per good die.
+        assert result.per_good_die_g(606238, 0.50) == pytest.approx(
+            3.63, abs=0.01
+        )
+
+    def test_good_die_ratio_1_17(self, all_si_model, m3d_model):
+        si = all_si_model.evaluate("us").per_good_die_g(299127, 0.90)
+        m3d = m3d_model.evaluate("us").per_good_die_g(606238, 0.50)
+        assert m3d / si == pytest.approx(1.17, abs=0.01)
+
+    def test_yield_validation(self, all_si_model):
+        result = all_si_model.evaluate("us")
+        with pytest.raises(CarbonModelError):
+            result.per_good_die_g(1000, 0.0)
+        with pytest.raises(CarbonModelError):
+            result.per_good_die_g(1000, 1.5)
+        with pytest.raises(CarbonModelError):
+            result.per_die_g(0)
+
+    def test_for_area_scales_linearly(self, all_si_model):
+        result = all_si_model.evaluate("us")
+        assert result.for_area(2.0) == pytest.approx(2 * result.for_area(1.0))
+        with pytest.raises(CarbonModelError):
+            result.for_area(-1.0)
+
+
+class TestModelValidation:
+    def test_facility_overhead_below_one_rejected(self):
+        with pytest.raises(CarbonModelError):
+            EmbodiedCarbonModel(build_all_si_process(), facility_overhead=0.9)

@@ -1,0 +1,108 @@
+"""Tests for the carbon-aware design-space optimization."""
+
+import pytest
+
+from repro.core.optimization import (
+    DesignPoint,
+    optimize_tcdp,
+    pareto_front,
+)
+from repro.errors import CarbonModelError
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A small sweep keeps the test fast while covering both techs.
+    return optimize_tcdp(
+        lifetime_months=24.0,
+        clocks_hz=[200e6, 500e6, 800e6],
+    )
+
+
+class TestOptimizeTcdp:
+    def test_best_is_minimum_of_frontier(self, result):
+        assert result.best.tcdp == min(p.tcdp for p in result.frontier)
+
+    def test_frontier_covers_both_technologies(self, result):
+        techs = {p.technology for p in result.frontier}
+        assert techs == {"all-si", "m3d"}
+
+    def test_memory_timing_constrains_m3d_clock(self, result):
+        """The M3D eDRAM write (~1.5 ns) caps its clock near 500 MHz."""
+        m3d_clocks = {
+            p.clock_mhz for p in result.frontier if p.technology == "m3d"
+        }
+        assert 800.0 not in m3d_clocks
+        assert 500.0 in m3d_clocks
+
+    def test_all_si_can_clock_higher(self, result):
+        si_clocks = {
+            p.clock_mhz for p in result.frontier if p.technology == "all-si"
+        }
+        assert 800.0 in si_clocks
+
+    def test_best_per_technology(self, result):
+        best = result.best_per_technology()
+        assert set(best) == {"all-si", "m3d"}
+        for tech, point in best.items():
+            assert all(
+                point.tcdp <= p.tcdp
+                for p in result.frontier
+                if p.technology == tech
+            )
+
+    def test_latency_constraint_filters(self):
+        tight = optimize_tcdp(
+            clocks_hz=[200e6, 500e6],
+            max_execution_time_s=0.05,  # 20M cycles needs >= 401 MHz
+        )
+        assert all(p.clock_mhz >= 500 for p in tight.frontier)
+
+    def test_impossible_constraints_raise(self):
+        with pytest.raises(CarbonModelError, match="no design point"):
+            optimize_tcdp(
+                clocks_hz=[100e6], max_execution_time_s=1e-6
+            )
+
+    def test_unknown_technology(self):
+        with pytest.raises(CarbonModelError, match="unknown technology"):
+            optimize_tcdp(technologies=("tube-amp",))
+
+    def test_longer_lifetime_favors_m3d(self):
+        """At a fixed 500 MHz, lifetime shifts the winner: short lives
+        favor all-Si's embodied carbon, long lives favor M3D's energy."""
+        short = optimize_tcdp(lifetime_months=3.0, clocks_hz=[500e6])
+        long = optimize_tcdp(lifetime_months=48.0, clocks_hz=[500e6])
+        assert short.best.technology == "all-si"
+        assert long.best.technology == "m3d"
+
+
+class TestParetoFront:
+    def _points(self):
+        return [
+            DesignPoint("a", 1e8, "rvt", 1.0, 10.0, 0.10, 1e-12),
+            DesignPoint("a", 2e8, "rvt", 1.1, 11.0, 0.05, 1e-12),  # faster, dirtier
+            DesignPoint("a", 3e8, "rvt", 2.0, 12.0, 0.08, 1e-12),  # dominated
+            DesignPoint("a", 4e8, "rvt", 0.9, 9.0, 0.20, 1e-12),   # cleanest
+        ]
+
+    def test_dominated_point_removed(self):
+        front = pareto_front(self._points())
+        carbons = [p.total_carbon_g for p in front]
+        assert 12.0 not in carbons
+
+    def test_front_sorted_by_time(self):
+        front = pareto_front(self._points())
+        times = [p.execution_time_s for p in front]
+        assert times == sorted(times)
+
+    def test_front_members_mutually_nondominated(self):
+        front = pareto_front(self._points())
+        for p in front:
+            for q in front:
+                if p is q:
+                    continue
+                assert not (
+                    q.execution_time_s < p.execution_time_s
+                    and q.total_carbon_g < p.total_carbon_g
+                )

@@ -1,0 +1,97 @@
+"""Tests for the tCDP metric (Fig. 5b)."""
+
+import pytest
+
+from repro.core.tcdp import (
+    edp,
+    edp_ratio,
+    execution_time_s,
+    tcdp,
+    tcdp_for_model,
+    tcdp_ratio,
+    tcdp_ratio_series,
+)
+from repro.errors import CarbonModelError
+from tests.core.test_total_carbon import make_all_si, make_m3d
+
+N_CYCLES = 20_047_348
+CLOCK = 500e6
+T_EXEC = N_CYCLES / CLOCK
+
+
+class TestPrimitives:
+    def test_execution_time(self):
+        assert execution_time_s(N_CYCLES, CLOCK) == pytest.approx(0.0401, abs=1e-4)
+        with pytest.raises(CarbonModelError):
+            execution_time_s(-1, CLOCK)
+        with pytest.raises(CarbonModelError):
+            execution_time_s(100, 0.0)
+
+    def test_tcdp_product(self):
+        assert tcdp(10.0, 2.0) == 20.0
+        with pytest.raises(CarbonModelError):
+            tcdp(-1.0, 2.0)
+        with pytest.raises(CarbonModelError):
+            tcdp(1.0, -2.0)
+
+    def test_edp(self):
+        assert edp(3.0, 2.0) == 6.0
+        with pytest.raises(CarbonModelError):
+            edp(-1.0, 1.0)
+
+
+class TestPaperRatios:
+    def test_24_month_ratio_is_1_02(self):
+        """Headline: M3D is 1.02x more carbon-efficient at 24 months."""
+        si, m3d = make_all_si(), make_m3d()
+        ratio = tcdp_ratio(si, m3d, T_EXEC, T_EXEC, 24.0)
+        assert ratio == pytest.approx(1.02, abs=0.005)
+
+    def test_ratio_at_1_month_favors_all_si(self):
+        si, m3d = make_all_si(), make_m3d()
+        ratio = tcdp_ratio(m3d, si, T_EXEC, T_EXEC, 1.0)
+        assert ratio > 1.0
+
+    def test_ratio_crosses_one_near_18_months(self):
+        si, m3d = make_all_si(), make_m3d()
+        ratio_17 = tcdp_ratio(m3d, si, T_EXEC, T_EXEC, 17.0)
+        ratio_19 = tcdp_ratio(m3d, si, T_EXEC, T_EXEC, 19.0)
+        assert ratio_17 > 1.0 > ratio_19
+
+    def test_ratio_series_monotone_decreasing(self):
+        """M3D's relative tCDP improves with lifetime."""
+        si, m3d = make_all_si(), make_m3d()
+        series = tcdp_ratio_series(
+            m3d, si, [1.0, 6.0, 12.0, 18.0, 24.0], T_EXEC, T_EXEC
+        )
+        assert series == sorted(series, reverse=True)
+
+    def test_converges_to_edp_ratio(self):
+        """Fig. 5b: tCDP ratio -> EDP ratio as C_operational dominates."""
+        si, m3d = make_all_si(), make_m3d()
+        limit = edp_ratio(
+            m3d.operational.power.total_w,
+            si.operational.power.total_w,
+            T_EXEC,
+            T_EXEC,
+        )
+        assert limit == pytest.approx(15.5 / 18.0 * 0.0 + 8.46 / 9.71, rel=1e-3)
+        long_ratio = tcdp_ratio(m3d, si, T_EXEC, T_EXEC, 10_000.0)
+        assert long_ratio == pytest.approx(limit, rel=0.01)
+
+    def test_tcdp_for_model(self):
+        si = make_all_si()
+        value = tcdp_for_model(si, N_CYCLES, CLOCK, 24.0)
+        assert value == pytest.approx(si.total_g(24.0) * T_EXEC)
+
+
+class TestValidation:
+    def test_zero_baseline_rejected(self):
+        si, m3d = make_all_si(), make_m3d()
+        si.embodied_g = 0.0
+        with pytest.raises(CarbonModelError):
+            tcdp_ratio(m3d, si, T_EXEC, T_EXEC, 0.0)
+
+    def test_edp_ratio_validation(self):
+        with pytest.raises(CarbonModelError):
+            edp_ratio(1.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,122 @@
+"""Tests for tC vs lifetime and crossover analyses (Fig. 5a)."""
+
+import pytest
+
+from repro.core.carbon_intensity import ConstantCarbonIntensity
+from repro.core.operational import (
+    OperationalCarbonModel,
+    OperationalPower,
+    UsageScenario,
+)
+from repro.core.total_carbon import TotalCarbonModel
+from repro.errors import CarbonModelError
+
+SCENARIO = UsageScenario(24.0)
+US = ConstantCarbonIntensity.from_grid("us")
+
+
+def make_all_si():
+    power = OperationalPower.from_energy_per_cycle(1.42e-12, 18.0e-12, 500e6)
+    return TotalCarbonModel(
+        embodied_g=3.11,
+        operational=OperationalCarbonModel(power, US),
+        scenario=SCENARIO,
+        name="all-Si",
+    )
+
+
+def make_m3d():
+    power = OperationalPower.from_energy_per_cycle(1.42e-12, 15.5e-12, 500e6)
+    return TotalCarbonModel(
+        embodied_g=3.63,
+        operational=OperationalCarbonModel(power, US),
+        scenario=SCENARIO,
+        name="M3D",
+    )
+
+
+class TestBreakdown:
+    def test_components(self):
+        model = make_all_si()
+        b = model.breakdown(24.0)
+        assert b.embodied_g == 3.11
+        assert b.operational_g == pytest.approx(5.39, abs=0.02)
+        assert b.total_g == pytest.approx(8.50, abs=0.02)
+
+    def test_default_lifetime_from_scenario(self):
+        model = make_all_si()
+        assert model.total_g() == pytest.approx(model.total_g(24.0))
+
+    def test_embodied_fraction(self):
+        model = make_all_si()
+        early = model.breakdown(1.0)
+        late = model.breakdown(24.0)
+        assert early.embodied_fraction > 0.9
+        assert late.embodied_fraction < 0.5
+
+    def test_zero_lifetime_is_pure_embodied(self):
+        b = make_all_si().breakdown(0.0)
+        assert b.operational_g == 0.0
+        assert b.total_g == b.embodied_g
+
+    def test_negative_embodied_rejected(self):
+        with pytest.raises(CarbonModelError):
+            TotalCarbonModel(
+                -1.0, make_all_si().operational, SCENARIO
+            )
+
+
+class TestDominanceCrossover:
+    def test_all_si_dominance_at_14_months(self):
+        """Paper: C_embodied dominates until ~14 months for all-Si."""
+        months = make_all_si().operational_dominance_months()
+        assert months == pytest.approx(13.85, abs=0.5)
+
+    def test_m3d_dominance_at_19_months(self):
+        """Paper: C_embodied dominates until ~19 months for M3D."""
+        months = make_m3d().operational_dominance_months()
+        assert months == pytest.approx(18.55, abs=0.7)
+
+    def test_no_dominance_for_zero_power(self):
+        model = TotalCarbonModel(
+            3.0,
+            OperationalCarbonModel(OperationalPower(), US),
+            SCENARIO,
+        )
+        assert model.operational_dominance_months() is None
+
+    def test_dominance_respects_max_months(self):
+        model = make_all_si()
+        assert model.operational_dominance_months(max_months=5.0) is None
+
+
+class TestDesignCrossover:
+    def test_m3d_overtakes_all_si(self):
+        """tC lines cross where the M3D energy benefit repays its
+        embodied premium: (3.63-3.11)/(0.2246-0.1957) ~ 18 months."""
+        si, m3d = make_all_si(), make_m3d()
+        months = si.crossover_months(m3d)
+        assert months == pytest.approx(18.0, abs=0.5)
+        # Symmetric query gives the same lifetime.
+        assert m3d.crossover_months(si) == pytest.approx(months)
+
+    def test_before_crossover_m3d_higher(self):
+        si, m3d = make_all_si(), make_m3d()
+        assert m3d.total_g(6.0) > si.total_g(6.0)
+
+    def test_after_crossover_all_si_higher(self):
+        si, m3d = make_all_si(), make_m3d()
+        assert m3d.total_g(24.0) < si.total_g(24.0)
+
+    def test_parallel_lines_never_cross(self):
+        si = make_all_si()
+        clone = make_all_si()
+        clone.embodied_g = 5.0
+        assert si.crossover_months(clone) is None
+
+    def test_series_matches_point_queries(self):
+        model = make_m3d()
+        months = [1.0, 18.0, 24.0]
+        series = model.series(months)
+        for m, b in zip(months, series):
+            assert b.total_g == pytest.approx(model.total_g(m))

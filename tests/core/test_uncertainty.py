@@ -1,0 +1,173 @@
+"""Tests for the uncertainty analysis (Fig. 6b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertainty import (
+    IsolineUncertaintyAnalysis,
+    ScenarioParameters,
+    monte_carlo_win_probability,
+    paper_perturbations,
+)
+from repro.errors import CarbonModelError
+
+
+@pytest.fixture
+def nominal():
+    """Paper case-study parameters at 24 months, US grid."""
+    return ScenarioParameters(
+        candidate_wafer_g=1100300.0,
+        candidate_dies_per_wafer=606238.0,
+        candidate_yield=0.50,
+        candidate_op_per_month_g=0.1957,
+        baseline_wafer_g=837060.0,
+        baseline_dies_per_wafer=299127.0,
+        baseline_yield=0.90,
+        baseline_op_per_month_g=0.2246,
+        lifetime_months=24.0,
+    )
+
+
+class TestScenarioParameters:
+    def test_points_reproduce_paper(self, nominal):
+        c = nominal.candidate_point()
+        b = nominal.baseline_point()
+        assert c.embodied_g == pytest.approx(3.63, abs=0.01)
+        assert b.embodied_g == pytest.approx(3.11, abs=0.01)
+        assert c.operational_g == pytest.approx(4.70, abs=0.01)
+        assert b.operational_g == pytest.approx(5.39, abs=0.01)
+
+    def test_nominal_map_favors_candidate(self, nominal):
+        assert nominal.tradeoff_map().ratio(1.0, 1.0) < 1.0
+
+    def test_validation(self, nominal):
+        from dataclasses import replace
+
+        with pytest.raises(CarbonModelError):
+            replace(nominal, candidate_yield=0.0)
+        with pytest.raises(CarbonModelError):
+            replace(nominal, lifetime_months=-1.0)
+        with pytest.raises(CarbonModelError):
+            replace(nominal, ci_use_scale=-0.5)
+
+
+class TestPaperPerturbations:
+    def test_six_perturbations(self):
+        perts = paper_perturbations()
+        assert len(perts) == 6
+        names = [p.name for p in perts]
+        assert any("lifetime +6" in n for n in names)
+        assert any("CI_use x3" in n for n in names)
+        assert any("10%" in n for n in names)
+
+    def test_perturbations_change_parameters(self, nominal):
+        for pert in paper_perturbations():
+            changed = pert.apply(nominal)
+            assert changed != nominal
+
+    def test_lifetime_never_negative(self, nominal):
+        from dataclasses import replace
+
+        short = replace(nominal, lifetime_months=2.0)
+        minus = [
+            p for p in paper_perturbations() if p.name.startswith("lifetime -")
+        ][0]
+        assert minus.apply(short).lifetime_months == 0.0
+
+
+class TestIsolineFamilies:
+    def test_isolines_for_all_perturbations(self, nominal):
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        ys = np.linspace(0.1, 1.2, 5)
+        isolines = analysis.isolines(ys)
+        assert set(isolines) == {
+            "nominal",
+            "lifetime +6 mo",
+            "lifetime -6 mo",
+            "CI_use x3",
+            "CI_use /3",
+            "M3D yield 10%",
+            "M3D yield 90%",
+        }
+        for arr in isolines.values():
+            assert arr.shape == ys.shape
+
+    def test_longer_lifetime_moves_isoline_right(self, nominal):
+        """More use time -> more embodied budget for the efficient design."""
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        iso = analysis.isolines(np.array([0.5]))
+        assert iso["lifetime +6 mo"][0] > iso["nominal"][0]
+        assert iso["lifetime -6 mo"][0] < iso["nominal"][0]
+
+    def test_higher_yield_moves_isoline_right(self, nominal):
+        """Better M3D yield shrinks its per-good-die embodied carbon,
+        letting it tolerate a larger embodied scale."""
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        iso = analysis.isolines(np.array([0.5]))
+        assert iso["M3D yield 90%"][0] > iso["nominal"][0]
+        assert iso["M3D yield 10%"][0] < iso["nominal"][0]
+
+    def test_robust_regions_partition_grid(self, nominal):
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        xs = np.linspace(0.1, 3.0, 12)
+        ys = np.linspace(0.1, 3.0, 10)
+        regions = analysis.robust_regions(xs, ys)
+        total = (
+            regions["candidate_always"].astype(int)
+            + regions["baseline_always"].astype(int)
+            + regions["uncertain"].astype(int)
+        )
+        assert np.all(total == 1)
+
+    def test_extreme_corners_are_robust(self, nominal):
+        """Tiny embodied+operational: candidate always wins; huge: never."""
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        regions = analysis.robust_regions(
+            np.array([0.01, 10.0]), np.array([0.01, 10.0])
+        )
+        assert regions["candidate_always"][0, 0]
+        assert regions["baseline_always"][1, 1]
+
+    def test_uncertain_band_exists(self, nominal):
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        xs = np.linspace(0.1, 3.0, 40)
+        ys = np.linspace(0.1, 3.0, 40)
+        regions = analysis.robust_regions(xs, ys)
+        assert regions["uncertain"].any()
+
+
+class TestMonteCarlo:
+    def test_probabilities_in_unit_interval(self, nominal):
+        xs = np.linspace(0.5, 2.0, 4)
+        ys = np.linspace(0.5, 2.0, 4)
+        p = monte_carlo_win_probability(nominal, xs, ys, n_samples=50)
+        assert p.shape == (4, 4)
+        assert np.all((0.0 <= p) & (p <= 1.0))
+
+    def test_deterministic_with_seed(self, nominal):
+        xs = np.array([1.0])
+        ys = np.array([1.0])
+        rng1 = np.random.default_rng(42)
+        rng2 = np.random.default_rng(42)
+        p1 = monte_carlo_win_probability(nominal, xs, ys, 30, rng=rng1)
+        p2 = monte_carlo_win_probability(nominal, xs, ys, 30, rng=rng2)
+        assert p1 == pytest.approx(p2)
+
+    def test_extremes_are_certain(self, nominal):
+        p = monte_carlo_win_probability(
+            nominal, np.array([0.001, 50.0]), np.array([0.001, 50.0]), 100
+        )
+        assert p[0, 0] == pytest.approx(1.0)
+        assert p[1, 1] == pytest.approx(0.0)
+
+    def test_probability_decreases_with_embodied_scale(self, nominal):
+        xs = np.array([0.5, 1.0, 2.0, 4.0])
+        p = monte_carlo_win_probability(nominal, xs, np.array([1.0]), 200)
+        row = p[0]
+        assert all(row[i] >= row[i + 1] for i in range(len(row) - 1))
+
+    def test_bad_sample_count(self, nominal):
+        with pytest.raises(CarbonModelError):
+            monte_carlo_win_probability(
+                nominal, np.array([1.0]), np.array([1.0]), 0
+            )

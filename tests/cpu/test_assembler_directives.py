@@ -1,0 +1,129 @@
+"""Tests for data directives and pseudo-instructions."""
+
+import pytest
+
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.errors import AssemblerError
+
+
+def run_source(source: str) -> CortexM0:
+    cpu = CortexM0(MemoryMap.embedded_system())
+    cpu.load_program(assemble(source))
+    cpu.run(max_cycles=100_000)
+    return cpu
+
+
+class TestByteDirectives:
+    def test_byte_values(self):
+        program = assemble(
+            """
+_start:
+    bkpt #0
+data:
+    .byte 1, 2, 0xFF
+"""
+        )
+        assert program.code[2:5] == b"\x01\x02\xff"
+
+    def test_ascii_and_asciz(self):
+        program = assemble(
+            """
+_start:
+    bkpt #0
+msg:
+    .ascii "hi"
+zmsg:
+    .asciz "ok"
+"""
+        )
+        assert b"hi" in program.code
+        assert b"ok\x00" in program.code
+
+    def test_ascii_escapes(self):
+        program = assemble(
+            """
+_start:
+    bkpt #0
+msg:
+    .ascii "a\\nb"
+"""
+        )
+        assert b"a\nb" in program.code
+
+    def test_ascii_requires_quotes(self):
+        with pytest.raises(AssemblerError, match="double-quoted"):
+            assemble("_start:\n    .ascii hello\n")
+
+    def test_word_after_bytes_needs_alignment(self):
+        with pytest.raises(AssemblerError, match="unaligned"):
+            assemble(
+                """
+_start:
+    bkpt #0
+    .byte 1
+    .word 5
+"""
+            )
+        # And .align fixes it.
+        program = assemble(
+            """
+_start:
+    bkpt #0
+    .byte 1
+.align 2
+    .word 5
+"""
+        )
+        assert program.code[4:8] == (5).to_bytes(4, "little")
+
+
+class TestAdr:
+    def test_adr_loads_label_address(self):
+        cpu = run_source(
+            """
+_start:
+    adr r0, table
+    ldr r1, [r0]
+    bkpt #0
+.align 2
+table:
+    .word 0xCAFEBABE
+"""
+        )
+        assert cpu.regs.read(1) == 0xCAFEBABE
+
+    def test_adr_backward_rejected(self):
+        with pytest.raises(AssemblerError, match="after the instruction"):
+            assemble(
+                """
+table:
+    .word 1
+_start:
+    adr r0, table
+    bkpt #0
+"""
+            )
+
+    def test_string_processing_program(self):
+        """End-to-end: count the bytes of an .asciz string."""
+        cpu = run_source(
+            """
+_start:
+    adr r0, msg
+    movs r1, #0
+count:
+    ldrb r2, [r0]
+    cmp r2, #0
+    beq done
+    adds r1, r1, #1
+    adds r0, r0, #1
+    b count
+done:
+    mov r0, r1
+    bkpt #0
+.align 2
+msg:
+    .asciz "carbon"
+"""
+        )
+        assert cpu.regs.read(0) == 6

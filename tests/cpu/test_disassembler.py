@@ -1,0 +1,130 @@
+"""Disassembler tests, including assembler round trips."""
+
+import pytest
+
+from repro.cpu import assemble, isa
+from repro.cpu.disassembler import disassemble, disassemble_one
+from repro.errors import CpuError
+
+
+class TestDisassembleOne:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            (isa.enc_mov_cmp_add_sub_imm8("mov", 0, 42), "movs r0, #42"),
+            (isa.enc_shift_imm("lsl", 1, 2, 5), "lsls r1, r2, #5"),
+            (isa.enc_shift_imm("lsl", 1, 2, 0), "movs r1, r2"),
+            (isa.enc_add_sub_reg(False, 0, 1, 2), "adds r0, r1, r2"),
+            (isa.enc_add_sub_imm3(True, 3, 4, 5), "subs r3, r4, #5"),
+            (isa.enc_alu("mul", 0, 1), "muls r0, r1"),
+            (isa.enc_alu("tst", 2, 3), "tst r2, r3"),
+            (isa.enc_hi_op("mov", 8, 1), "mov r8, r1"),
+            (isa.enc_bx(14), "bx lr"),
+            (isa.enc_ldr_str_imm("ldr", 0, 1, 8), "ldr r0, [r1, #8]"),
+            (isa.enc_ldr_str_imm("strb", 0, 1, 3), "strb r0, [r1, #3]"),
+            (isa.enc_ldrh_strh_imm(True, 2, 3, 4), "ldrh r2, [r3, #4]"),
+            (isa.enc_ldr_str_reg("ldrsh", 1, 2, 3), "ldrsh r1, [r2, r3]"),
+            (isa.enc_ldr_str_sp(False, 0, 16), "str r0, [sp, #16]"),
+            (isa.enc_adjust_sp(-16), "sub sp, #16"),
+            (isa.enc_adjust_sp(16), "add sp, #16"),
+            (isa.enc_push_pop(False, [0, 1, 14]), "push {r0, r1, lr}"),
+            (isa.enc_push_pop(True, [4, 15]), "pop {r4, pc}"),
+            (isa.enc_extend("sxtb", 0, 1), "sxtb r0, r1"),
+            (isa.enc_rev("rev", 0, 1), "rev r0, r1"),
+            (isa.enc_ldm_stm(True, 2, [0, 1]), "ldmia r2!, {r0, r1}"),
+            (isa.enc_bkpt(3), "bkpt #3"),
+            (isa.enc_nop(), "nop"),
+            (isa.enc_svc(7), "svc #7"),
+        ],
+    )
+    def test_single_instructions(self, word, expected):
+        text, size = disassemble_one(word)
+        assert text == expected
+        assert size == 2
+
+    def test_branch_targets(self):
+        text, _size = disassemble_one(isa.enc_branch(4), address=0x100)
+        assert text == "b 0x108"
+        text, _size = disassemble_one(
+            isa.enc_branch_cond(0x0, -8), address=0x100
+        )
+        assert text == "beq 0xfc"
+
+    def test_bl_pair(self):
+        hi, lo = isa.enc_bl(0x40)
+        text, size = disassemble_one(hi, address=0x200, suffix=lo)
+        assert text == "bl 0x244"
+        assert size == 4
+
+    def test_bl_without_suffix(self):
+        hi, _lo = isa.enc_bl(0)
+        with pytest.raises(CpuError, match="suffix"):
+            disassemble_one(hi)
+
+    def test_undefined(self):
+        with pytest.raises(CpuError):
+            disassemble_one(0xDE00)  # undefined cond (0xE used by B)
+
+
+class TestRoundTrip:
+    def test_program_roundtrip(self):
+        """Disassembling assembled code and re-assembling reproduces the
+        exact machine words."""
+        source = """
+_start:
+    movs r0, #10
+    movs r1, #0
+loop:
+    adds r1, r1, r0
+    subs r0, r0, #1
+    bne loop
+    lsls r2, r1, #2
+    push {r1, r2, lr}
+    pop {r1, r2, pc}
+"""
+        program = assemble(source)
+        listing = disassemble(program.code)
+        # Re-assemble each line (rewriting branch targets as offsets is
+        # not possible textually, so only check non-branch lines).
+        for (addr, text) in listing:
+            if text.startswith(("b", "pop")):
+                continue
+            reassembled = assemble(f"_start:\n    {text}\n")
+            original = program.code[addr : addr + 2]
+            assert reassembled.code[:2] == original, text
+
+    def test_literal_pool_rendered_as_word(self):
+        # Pick a literal whose low halfword (0xde77) is not a valid
+        # instruction, so the disassembler must fall back to .word.
+        program = assemble(
+            """
+_start:
+    ldr r0, =0x4321DE77
+    bkpt #0
+"""
+        )
+        listing = disassemble(program.code)
+        texts = [t for _a, t in listing]
+        assert any("ldr r0, [pc" in t for t in texts)
+        assert any(".word 0x4321de77" in t for t in texts)
+
+    def test_every_simulator_decodable_word_disassembles(self):
+        """Fuzz: any word the ISS accepts must also disassemble."""
+        from repro.cpu import CortexM0, MemoryMap
+        from repro.errors import ExecutionError
+
+        import random
+
+        rng = random.Random(42)
+        for _ in range(2000):
+            word = rng.getrandbits(16)
+            if (word & 0xF800) in (0xF000, 0xF800):
+                continue  # BL halves need pairing
+            cpu = CortexM0(MemoryMap.embedded_system())
+            cpu.memory.load_bytes(0, word.to_bytes(2, "little"))
+            try:
+                cpu.step()
+            except ExecutionError:
+                continue  # ISS rejects it; disassembler may too
+            text, _size = disassemble_one(word)
+            assert text

@@ -1,0 +1,135 @@
+"""Tests for the memory map, access counters, and activity trace."""
+
+import pytest
+
+from repro.cpu.memory import MemoryMap
+from repro.cpu.trace import ActivityTrace, VcdWriter, hamming32
+from repro.errors import MemoryAccessError
+
+
+class TestMemoryMap:
+    def test_embedded_system_layout(self):
+        m = MemoryMap.embedded_system()
+        assert m.region("program").base == 0
+        assert m.region("program").size == 64 * 1024
+        assert m.region("data").base == 0x2000_0000
+        assert m.region("data").size == 64 * 1024
+
+    def test_overlap_rejected(self):
+        m = MemoryMap()
+        m.add_region("a", 0, 1024)
+        with pytest.raises(MemoryAccessError, match="overlaps"):
+            m.add_region("b", 512, 1024)
+
+    def test_little_endian(self):
+        m = MemoryMap.embedded_system()
+        m.write(0x2000_0000, 0x12345678, 4)
+        assert m.read(0x2000_0000, 1) == 0x78
+        assert m.read(0x2000_0003, 1) == 0x12
+
+    def test_counters(self):
+        m = MemoryMap.embedded_system()
+        m.write(0x2000_0000, 1, 4)
+        m.read(0x2000_0000, 4)
+        m.read(0x2000_0000, 4)
+        counts = m.access_counts()
+        assert counts["data"].reads == 2
+        assert counts["data"].writes == 1
+        assert counts["data"].total == 3
+        m.reset_counters()
+        assert m.access_counts()["data"].total == 0
+
+    def test_uncounted_access(self):
+        m = MemoryMap.embedded_system()
+        m.read(0x2000_0000, 4, count=False)
+        assert m.access_counts()["data"].reads == 0
+
+    def test_bulk_load(self):
+        m = MemoryMap.embedded_system()
+        m.load_bytes(0x100, b"\x01\x02\x03\x04")
+        assert m.read(0x100, 4) == 0x04030201
+        assert m.read_bytes(0x100, 4) == b"\x01\x02\x03\x04"
+        assert m.access_counts()["program"].reads == 1  # only the typed read
+
+    def test_misalignment(self):
+        m = MemoryMap.embedded_system()
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            m.read(0x2000_0001, 4)
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            m.write(0x2000_0002, 0, 4)
+
+    def test_unmapped(self):
+        m = MemoryMap.embedded_system()
+        with pytest.raises(MemoryAccessError, match="unmapped"):
+            m.read(0x9000_0000, 4)
+
+    def test_spill_out_of_region(self):
+        m = MemoryMap()
+        m.add_region("tiny", 0, 6)
+        with pytest.raises(MemoryAccessError, match="spills"):
+            m.read(4, 4)
+
+    def test_bad_size(self):
+        m = MemoryMap.embedded_system()
+        with pytest.raises(MemoryAccessError, match="size"):
+            m.read(0x2000_0000, 3)
+
+
+class TestActivityTrace:
+    def test_hamming(self):
+        assert hamming32(0, 0xFFFFFFFF) == 32
+        assert hamming32(0b1010, 0b0101) == 4
+        assert hamming32(7, 7) == 0
+
+    def test_activity_accumulation(self):
+        t = ActivityTrace()
+        t.clock(10)
+        t.register_write(0, 0, 0xF)  # 4 toggles
+        assert t.toggles_per_cycle() == pytest.approx(0.4)
+        assert 0 < t.activity_factor() < 1
+
+    def test_zero_cycles(self):
+        t = ActivityTrace()
+        assert t.activity_factor() == 0.0
+        assert t.toggles_per_cycle() == 0.0
+
+    def test_activity_clamped(self):
+        t = ActivityTrace()
+        t.clock(1)
+        for _ in range(1000):
+            t.register_write(0, 0, 0xFFFFFFFF)
+        assert t.activity_factor() == 1.0
+
+
+class TestVcdWriter:
+    def test_basic_dump(self):
+        w = VcdWriter()
+        w.add_signal("clk")
+        w.add_signal("data", width=8)
+        w.write_header()
+        w.change(0, "clk", 1)
+        w.change(1, "clk", 0)
+        w.change(1, "data", 0xA5)
+        out = w.getvalue()
+        assert "$timescale" in out
+        assert "$var wire 1" in out
+        assert "#1" in out
+        assert "b10100101" in out
+
+    def test_no_change_no_output(self):
+        w = VcdWriter()
+        w.add_signal("clk")
+        w.write_header()
+        w.change(0, "clk", 0)  # same as initial
+        assert "#0" not in w.getvalue()
+
+    def test_errors(self):
+        w = VcdWriter()
+        w.add_signal("clk")
+        with pytest.raises(ValueError):
+            w.change(0, "clk", 1)  # header not written
+        w.write_header()
+        with pytest.raises(KeyError):
+            w.change(0, "nope", 1)
+        with pytest.raises(ValueError):
+            w.add_signal("late")

@@ -1,0 +1,132 @@
+"""Tests for the required-retention analysis (Sec. III-B step 4)."""
+
+import pytest
+
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.cpu.retention_analysis import (
+    AccessRecorder,
+    analyze_workload_retention,
+)
+from repro.edram.bitcell import m3d_bitcell, si_bitcell
+from repro.edram.retention import retention_time_s
+from repro.errors import CpuError
+from repro.workloads import matmul_int
+
+
+class TestAccessRecorder:
+    def test_write_then_read_interval(self):
+        recorder = AccessRecorder()
+        recorder.current_cycle = 100
+        recorder.record("data", 0x2000_0000, 4, True)
+        recorder.current_cycle = 350
+        recorder.record("data", 0x2000_0000, 4, False)
+        req = recorder.requirement("data")
+        assert req.max_interval_cycles == 250
+        assert req.total_intervals == 1
+        assert req.mean_interval_cycles == 250
+
+    def test_max_over_multiple_reads(self):
+        recorder = AccessRecorder()
+        recorder.record("data", 0, 4, True)
+        for cycle in (10, 500, 200):
+            recorder.current_cycle = cycle
+            recorder.record("data", 0, 4, False)
+        assert recorder.requirement("data").max_interval_cycles == 500
+
+    def test_rewrite_resets_interval(self):
+        recorder = AccessRecorder()
+        recorder.record("data", 0, 4, True)
+        recorder.current_cycle = 1000
+        recorder.record("data", 0, 4, True)  # refreshes the datum
+        recorder.current_cycle = 1100
+        recorder.record("data", 0, 4, False)
+        assert recorder.requirement("data").max_interval_cycles == 100
+
+    def test_unwritten_reads_counted(self):
+        recorder = AccessRecorder()
+        recorder.record("program", 0x10, 2, False)
+        req = recorder.requirement("program")
+        assert req.reads_of_unwritten == 1
+        assert req.max_interval_cycles == 0
+
+    def test_subword_accesses_map_to_words(self):
+        recorder = AccessRecorder()
+        recorder.record("data", 0x100, 4, True)
+        recorder.current_cycle = 77
+        recorder.record("data", 0x102, 1, False)  # byte within the word
+        assert recorder.requirement("data").max_interval_cycles == 77
+
+    def test_words_live(self):
+        recorder = AccessRecorder()
+        recorder.record("data", 0, 4, True)
+        recorder.record("data", 8, 4, True)
+        recorder.record("data", 8, 4, True)
+        assert recorder.words_live("data") == 2
+
+    def test_required_retention_seconds(self):
+        recorder = AccessRecorder()
+        recorder.record("data", 0, 4, True)
+        recorder.current_cycle = 500_000
+        recorder.record("data", 0, 4, False)
+        req = recorder.requirement("data")
+        assert req.required_retention_s(500e6) == pytest.approx(1e-3)
+        with pytest.raises(CpuError):
+            req.required_retention_s(0.0)
+
+    def test_untouched_region_empty(self):
+        recorder = AccessRecorder()
+        req = recorder.requirement("nope")
+        assert req.max_interval_cycles == 0
+
+
+class TestIssIntegration:
+    def test_recorder_attached_via_cpu(self):
+        source = """
+_start:
+    ldr r0, =0x20000000
+    movs r1, #7
+    str r1, [r0]
+    ldr r2, [r0]
+    bkpt #0
+"""
+        recorder = AccessRecorder()
+        cpu = CortexM0(MemoryMap.embedded_system(), recorder=recorder)
+        cpu.load_program(assemble(source))
+        cpu.run()
+        req = recorder.requirement("data")
+        assert req.total_intervals == 1
+        assert req.max_interval_cycles > 0
+
+
+class TestWorkloadRetention:
+    @pytest.fixture(scope="class")
+    def matmul_requirements(self):
+        # Reduced config: the access pattern (write-once, read-many)
+        # is repeat-count independent.
+        return analyze_workload_retention(
+            matmul_int.workload(repeats=2, tune=1, pads=0)
+        )
+
+    def test_matmul_writes_once_reads_long(self, matmul_requirements):
+        """Matrices are initialized once and read for the whole run, so
+        the required retention ~ the run length."""
+        req = matmul_requirements["data"]
+        run_cycles = matmul_int.predicted_cycles(repeats=2, tune=1, pads=0)
+        assert req.max_interval_cycles > 0.8 * run_cycles
+
+    def test_si_cell_cannot_hold_full_run(self, matmul_requirements):
+        """The paper-length run takes ~40 ms; the Si 3T cell retains for
+        ~0.8 ms — the all-Si design must refresh."""
+        full_run_s = matmul_int.PAPER_CYCLE_COUNT / 500e6
+        assert retention_time_s(si_bitcell()) < full_run_s
+
+    def test_igzo_cell_holds_entire_run(self, matmul_requirements):
+        full_run_s = matmul_int.PAPER_CYCLE_COUNT / 500e6
+        assert retention_time_s(m3d_bitcell()) > 1000 * full_run_s
+
+    def test_program_memory_read_only(self, matmul_requirements):
+        """Instruction fetches hit never-written addresses: the program
+        must be retained from load time (refresh or reload)."""
+        req = matmul_requirements["program"]
+        assert req.reads_of_unwritten > 0
+        assert req.total_intervals == 0

@@ -1,0 +1,81 @@
+"""Tests for VCD execution recording."""
+
+import pytest
+
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.cpu.trace import record_execution_vcd
+
+
+def _loaded_cpu(source: str) -> CortexM0:
+    cpu = CortexM0(MemoryMap.embedded_system())
+    cpu.load_program(assemble(source))
+    return cpu
+
+
+class TestExecutionVcd:
+    def test_dump_contains_signals_and_times(self):
+        cpu = _loaded_cpu(
+            """
+_start:
+    movs r0, #1
+    movs r0, #2
+    movs r1, #3
+    bkpt #0
+"""
+        )
+        vcd = record_execution_vcd(cpu)
+        assert "$var wire 32" in vcd
+        assert " pc " in vcd
+        assert "#1" in vcd  # time marker after the first instruction
+        assert cpu.halted
+
+    def test_register_changes_recorded(self):
+        cpu = _loaded_cpu(
+            """
+_start:
+    movs r0, #5
+    bkpt #0
+"""
+        )
+        vcd = record_execution_vcd(cpu, registers=(0,))
+        # r0 transitions to binary 101.
+        assert "b101 " in vcd
+
+    def test_unchanged_registers_not_redumped(self):
+        cpu = _loaded_cpu(
+            """
+_start:
+    nop
+    nop
+    nop
+    bkpt #0
+"""
+        )
+        vcd = record_execution_vcd(cpu, registers=(4,))
+        # r4 never changes from 0, so only declarations appear.
+        assert vcd.count("b") <= vcd.count("$var") + 1
+
+    def test_max_steps_cap(self):
+        cpu = _loaded_cpu(
+            """
+_start:
+loop:
+    b loop
+"""
+        )
+        record_execution_vcd(cpu, max_steps=25)
+        assert not cpu.halted
+        assert cpu.stats.instructions == 25
+
+    def test_pc_advances_in_dump(self):
+        cpu = _loaded_cpu(
+            """
+_start:
+    nop
+    nop
+    bkpt #0
+"""
+        )
+        vcd = record_execution_vcd(cpu, registers=(15,))
+        assert "b10 " in vcd  # pc = 2 after first nop
+        assert "b100 " in vcd  # pc = 4

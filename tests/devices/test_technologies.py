@@ -1,0 +1,125 @@
+"""Cross-technology tests: the quantified version of Table I."""
+
+import pytest
+
+from repro.devices import (
+    CnfetQuality,
+    cnfet_nfet,
+    cnfet_pfet,
+    igzo_nfet,
+    si_nfet,
+)
+from repro.devices.igzo import V_WWL
+from repro.devices.silicon import (
+    BEOL_TEMPERATURE_LIMIT_C,
+    SI_PROCESS_TEMPERATURE_C,
+)
+
+
+@pytest.fixture(scope="module")
+def si():
+    return si_nfet("si", 1.0)
+
+
+@pytest.fixture(scope="module")
+def cnt():
+    return cnfet_nfet("cnt", 1.0)
+
+
+@pytest.fixture(scope="module")
+def igzo():
+    return igzo_nfet("igzo", 1.0)
+
+
+class TestTable1Contrasts:
+    def test_cnfet_high_ieff(self, si, cnt):
+        """Table I: CNFET (+) high I_EFF — exceeds Si."""
+        assert cnt.effective_current_a() > si.effective_current_a()
+
+    def test_cnfet_higher_ioff_than_igzo(self, cnt, igzo):
+        """Table I: CNFET (-) metallic CNTs raise I_OFF; IGZO (+) ultra-low."""
+        assert cnt.off_current_a() > 1e3 * igzo.off_current_a()
+
+    def test_igzo_low_ieff(self, si, igzo):
+        """Table I: IGZO (-) low I_EFF due to ~1 cm^2/V.s mobility."""
+        assert igzo.effective_current_a() < 0.01 * si.effective_current_a()
+
+    def test_si_balanced(self, si, cnt, igzo):
+        """Table I: Si (+) high I_EFF, (+) low I_OFF."""
+        assert si.effective_current_a() > 100 * igzo.effective_current_a()
+        assert si.off_current_a() < cnt.off_current_a()
+
+    def test_si_not_beol_compatible(self):
+        """Table I: Si (-) bottom layer only (high-temperature fab)."""
+        assert SI_PROCESS_TEMPERATURE_C > BEOL_TEMPERATURE_LIMIT_C
+
+
+class TestSiliconTargets:
+    def test_ion_in_finfet_range(self, si):
+        assert 400e-6 < si.on_current_a() < 900e-6
+
+    def test_ss_near_65(self, si):
+        assert si.subthreshold_slope_mv_per_dec() == pytest.approx(65.0, abs=1.0)
+
+    def test_junction_floor_limits_retention(self):
+        """Negative VGS cannot turn a Si FET below its junction floor."""
+        fet = si_nfet("w", 0.05)
+        leak = abs(fet.ids(-0.7, 0.7))
+        assert leak > 1e-14  # floor, not exponential decay
+        # ~0.8 ms to lose 0.2 V from a 1 fF storage node.
+        retention_s = 1e-15 * 0.2 / leak
+        assert 1e-4 < retention_s < 1e-2
+
+
+class TestIgzoTargets:
+    def test_ss_is_90(self, igzo):
+        """Measured SS of ref [38]."""
+        assert igzo.subthreshold_slope_mv_per_dec() == pytest.approx(90.0, abs=2.0)
+
+    def test_hold_leakage_near_experimental_record(self):
+        """Refs [13], [23]: I_OFF < 3e-21 A/um in the hold state
+        (gate at 0, storage node near VDD -> VGS = -0.7 V)."""
+        fet = igzo_nfet("w", 1.0)
+        assert abs(fet.ids(-0.7, 0.7)) < 1e-19
+
+    def test_retention_exceeds_1000_seconds(self):
+        """Ref [23]: > 1000 s retention."""
+        fet = igzo_nfet("w", 0.05)
+        leak = abs(fet.ids(-0.7, 0.7))
+        retention_s = 1e-15 * 0.2 / leak
+        assert retention_s > 1000.0
+
+    def test_overdrive_needed_for_write(self):
+        """At VGS = VDD the IGZO FET barely conducts near a full-swing
+        storage node; at V_WWL = 1.3 V it delivers write current."""
+        fet = igzo_nfet("w", 0.05)
+        # Storage node at 0.5 V: source at 0.5, gate at 0.7 vs 1.3.
+        weak = fet.ids(0.7 - 0.5, 0.2)
+        strong = fet.ids(V_WWL - 0.5, 0.2)
+        assert strong > 20 * weak
+
+
+class TestCnfetQuality:
+    def test_no_removal_is_leaky(self):
+        bad = cnfet_nfet("bad", 1.0, CnfetQuality(0.0))
+        good = cnfet_nfet("good", 1.0, CnfetQuality(0.9999))
+        assert bad.off_current_a() > 100 * good.off_current_a()
+
+    def test_perfect_removal_removes_floor(self):
+        perfect = CnfetQuality(1.0)
+        assert perfect.leakage_floor_a_per_um == 0.0
+
+    def test_on_current_unaffected_by_quality(self):
+        bad = cnfet_nfet("bad", 1.0, CnfetQuality(0.0))
+        good = cnfet_nfet("good", 1.0, CnfetQuality(1.0))
+        assert bad.on_current_a() == pytest.approx(
+            good.on_current_a(), rel=0.01
+        )
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            CnfetQuality(1.5)
+
+    def test_pfet_available(self):
+        p = cnfet_pfet("p", 1.0)
+        assert p.ids(-0.7, -0.7) < 0

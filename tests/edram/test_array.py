@@ -1,0 +1,126 @@
+"""Tests for sub-array organization, macro tiling, and periphery."""
+
+import pytest
+
+from repro.edram.array import MemoryMacro
+from repro.edram.bitcell import m3d_bitcell, si_bitcell
+from repro.edram.periphery import PeripheryDesign, standard_periphery
+from repro.edram.subarray import SubArrayDesign
+from repro.errors import PhysicalDesignError
+
+
+@pytest.fixture(scope="module")
+def si_macro():
+    return MemoryMacro.for_cell(si_bitcell())
+
+
+@pytest.fixture(scope="module")
+def m3d_macro():
+    return MemoryMacro.for_cell(m3d_bitcell())
+
+
+class TestSubArray:
+    def test_capacity_is_2kb(self):
+        sa = SubArrayDesign(si_bitcell())
+        assert sa.bytes == 2048
+        assert sa.n_bits == 16384
+
+    def test_512_words_of_32_bits(self):
+        """Paper: 2 kB sub-arrays, each with 512 32-bit words."""
+        sa = SubArrayDesign(si_bitcell())
+        assert sa.n_words == 512
+        assert sa.word_bits == 32
+
+    def test_column_mux_must_divide(self):
+        with pytest.raises(ValueError):
+            SubArrayDesign(si_bitcell(), column_mux=3)
+
+    def test_si_footprint_includes_periphery_strips(self):
+        sa = SubArrayDesign(si_bitcell())
+        assert sa.footprint_height_um > sa.array_height_um
+        assert sa.footprint_width_um > sa.array_width_um
+
+    def test_m3d_footprint_is_array_only(self):
+        sa = SubArrayDesign(m3d_bitcell())
+        assert sa.footprint_height_um == pytest.approx(sa.array_height_um)
+        assert sa.footprint_width_um == pytest.approx(sa.array_width_um)
+
+    def test_parasitics_scale_with_cell_size(self):
+        si_sa = SubArrayDesign(si_bitcell())
+        m3d_sa = SubArrayDesign(m3d_bitcell())
+        assert (
+            m3d_sa.bitline_parasitics().wire_cap_f
+            < si_sa.bitline_parasitics().wire_cap_f
+        )
+
+    def test_leakage_sums_cells(self):
+        sa = SubArrayDesign(si_bitcell())
+        assert sa.leakage_per_subarray_a() == pytest.approx(
+            16384 * si_bitcell().hold_leakage_a(), rel=1e-6
+        )
+
+
+class TestMemoryMacro:
+    def test_capacity_64kb(self, si_macro):
+        assert si_macro.capacity_bytes == 64 * 1024
+        assert si_macro.capacity_kib == 64.0
+
+    def test_si_macro_area_matches_table2(self, si_macro):
+        """Table II: 64 kB memory area footprint = 0.068 mm^2 (all-Si)
+        ... the macro is 270 x 252 um."""
+        assert si_macro.area_mm2 == pytest.approx(0.068, abs=0.0005)
+        assert si_macro.height_um == pytest.approx(270.0, abs=0.5)
+
+    def test_m3d_macro_area_matches_table2(self, m3d_macro):
+        """Table II: 0.025 mm^2 (M3D), 159 um tall."""
+        assert m3d_macro.area_mm2 == pytest.approx(0.025, abs=0.0005)
+        assert m3d_macro.height_um == pytest.approx(159.0, abs=0.5)
+
+    def test_area_ratio(self, si_macro, m3d_macro):
+        """The M3D macro is ~2.7x denser."""
+        assert si_macro.area_mm2 / m3d_macro.area_mm2 == pytest.approx(
+            0.068 / 0.025, rel=0.02
+        )
+
+    def test_m3d_periphery_fits_under_array(self, m3d_macro):
+        assert m3d_macro.periphery_fits_under_array()
+
+    def test_periphery_size_consistency_enforced(self):
+        with pytest.raises(PhysicalDesignError):
+            MemoryMacro(
+                subarray=SubArrayDesign(si_bitcell()),
+                periphery=standard_periphery(16),  # wrong count
+            )
+
+    def test_standby_leakage_is_periphery_only(self, si_macro):
+        assert si_macro.standby_leakage_w() == pytest.approx(
+            si_macro.periphery.leakage_power_w()
+        )
+
+
+class TestPeriphery:
+    def test_standard_periphery_counts(self):
+        p = standard_periphery()
+        assert p.n_subarrays == 32
+        assert p.sense_amps_per_subarray == 32  # one per data bit
+
+    def test_total_gates_positive_and_dominated_by_decoders(self):
+        p = standard_periphery()
+        assert p.total_gates > 0
+        assert p.decoder_gates > p.senseamp_gates / 2
+
+    def test_leakage_uses_hvt(self):
+        """Low static power goal -> HVT periphery."""
+        from repro.physical.stdcells import VtFlavor
+
+        p = standard_periphery()
+        assert p.vt_flavor is VtFlavor.HVT
+
+    def test_switched_energy_validation(self):
+        p = standard_periphery()
+        with pytest.raises(ValueError):
+            p.switched_energy_per_access_j(active_fraction=0.0)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PeripheryDesign(0, 128, 32, 32)

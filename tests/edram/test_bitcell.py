@@ -1,0 +1,112 @@
+"""Tests for the 3T bit cell and retention (Sec. III-A key properties)."""
+
+import math
+
+import pytest
+
+from repro.edram.bitcell import BitcellDesign, m3d_bitcell, si_bitcell
+from repro.edram.retention import (
+    refresh_interval_s,
+    retention_time_s,
+    simulate_retention_decay,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def m3d():
+    return m3d_bitcell()
+
+
+@pytest.fixture(scope="module")
+def si():
+    return si_bitcell()
+
+
+class TestBitcellDesign:
+    def test_m3d_uses_right_technologies(self, m3d):
+        """Fig. 3a: one IGZO write FET + two CNFET read FETs."""
+        assert "IGZO" in type(m3d.make_write_fet().params).__module__ or (
+            m3d.make_write_fet().params.mobility_cm2_per_vs == 1.0
+        )
+        assert m3d.make_read_fet().params.v_x0_cm_per_s > 1.5e7  # CNFET
+
+    def test_si_cell_is_all_silicon(self, si):
+        wt = si.make_write_fet()
+        rt = si.make_read_fet()
+        assert wt.params.mobility_cm2_per_vs == rt.params.mobility_cm2_per_vs
+
+    def test_m3d_cell_is_smaller(self, m3d, si):
+        """High memory density: the stacked cell has a smaller footprint."""
+        assert m3d.area_um2 < 0.5 * si.area_um2
+
+    def test_m3d_is_stacked(self, m3d, si):
+        assert m3d.stacked and not si.stacked
+
+    def test_storage_node_cap_exceeds_explicit(self, m3d):
+        assert m3d.storage_node_cap_f() > m3d.storage_cap_f
+
+    def test_wwl_overdrive(self, m3d):
+        """V_WWL = 1.3 V to overdrive the IGZO write FET."""
+        assert m3d.v_wwl_v == pytest.approx(1.3)
+        assert m3d.v_wwl_v > m3d.vdd_v
+
+    def test_validation(self, m3d):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(m3d, write_width_um=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(m3d, storage_cap_f=-1e-15)
+
+
+class TestHoldLeakage:
+    def test_m3d_hold_leakage_tiny(self, m3d):
+        """IGZO ultra-low I_OFF in the hold state (refs [13], [23])."""
+        assert m3d.hold_leakage_a() < 1e-18
+
+    def test_si_hold_leakage_junction_limited(self, si):
+        assert 1e-14 < si.hold_leakage_a() < 1e-11
+
+    def test_leakage_ratio_many_decades(self, m3d, si):
+        ratio = si.hold_leakage_a() / m3d.hold_leakage_a()
+        assert ratio > 1e5
+
+
+class TestRetention:
+    def test_m3d_retention_over_1000s(self, m3d):
+        """The paper's headline: >1000 s retention (ref [23])."""
+        assert retention_time_s(m3d) > 1000.0
+
+    def test_si_retention_milliseconds(self, si):
+        assert 1e-4 < retention_time_s(si) < 1e-2
+
+    def test_si_needs_refresh_m3d_effectively_not(self, m3d, si):
+        si_interval = refresh_interval_s(si)
+        assert si_interval is not None and si_interval < 1e-2
+        m3d_interval = refresh_interval_s(m3d)
+        # Either no refresh at all, or thousands of seconds apart.
+        assert m3d_interval is None or m3d_interval > 1000.0
+
+    def test_sense_fraction_validation(self, si):
+        with pytest.raises(AnalysisError):
+            retention_time_s(si, sense_fraction=1.5)
+        with pytest.raises(AnalysisError):
+            refresh_interval_s(si, margin=0.5)
+
+    def test_simulated_decay_matches_closed_form(self, si):
+        """SPICE decay and C*dV/I agree on the Si cell's retention."""
+        t_ret = retention_time_s(si)
+        wave = simulate_retention_decay(si, t_stop=2 * t_ret)
+        threshold = 0.7 * si.vdd_v
+        t_cross = wave.first_crossing(threshold, rising=False)
+        assert t_cross == pytest.approx(t_ret, rel=0.3)
+
+    def test_decay_is_monotone(self, si):
+        wave = simulate_retention_decay(si, t_stop=1e-3)
+        diffs = wave.values[1:] - wave.values[:-1]
+        assert (diffs <= 1e-9).all()
+
+    def test_m3d_barely_decays_in_a_second(self, m3d):
+        wave = simulate_retention_decay(m3d, t_stop=1.0, n_steps=50)
+        assert wave.final() > 0.699

@@ -1,0 +1,139 @@
+"""Tests for the GDS writer/reader and the M3D cell layout."""
+
+import pytest
+
+from repro.edram.bitcell import m3d_bitcell
+from repro.edram.layout import (
+    M3D_LAYER_MAP,
+    build_m3d_cell_layout,
+    cross_section_ascii,
+    layer_by_name,
+    layer_map_table,
+)
+from repro.fab.gds import GdsError, GdsLibrary, GdsRect, _parse_real8, _real8
+
+
+class TestGdsPrimitives:
+    def test_rect_validation(self):
+        with pytest.raises(GdsError, match="degenerate"):
+            GdsRect(1, 10, 10, 10, 20)
+        with pytest.raises(GdsError, match="layer"):
+            GdsRect(300, 0, 0, 1, 1)
+
+    def test_rect_dims(self):
+        r = GdsRect(1, 0, 0, 30, 40)
+        assert r.width == 30
+        assert r.height == 40
+
+    @pytest.mark.parametrize(
+        "value", [1.0, 1e-3, 1e-9, 0.5, 123.456, 0.0]
+    )
+    def test_real8_roundtrip(self, value):
+        assert _parse_real8(_real8(value)) == pytest.approx(value, rel=1e-12)
+
+    def test_duplicate_structure(self):
+        lib = GdsLibrary()
+        lib.new_structure("a")
+        with pytest.raises(GdsError, match="duplicate"):
+            lib.new_structure("a")
+
+    def test_empty_structure_bbox(self):
+        lib = GdsLibrary()
+        s = lib.new_structure("a")
+        with pytest.raises(GdsError, match="empty"):
+            s.bounding_box()
+
+
+class TestGdsRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        lib = GdsLibrary("TESTLIB")
+        s = lib.new_structure("cell")
+        s.add(GdsRect(5, 0, 0, 100, 200))
+        s.add(GdsRect(7, -50, -60, 10, 20, datatype=3))
+        path = tmp_path / "out.gds"
+        lib.write(path)
+
+        loaded = GdsLibrary.read(path)
+        assert loaded.name == "TESTLIB"
+        assert set(loaded.structures) == {"cell"}
+        rects = loaded.structures["cell"].rects
+        assert len(rects) == 2
+        assert rects[0] == GdsRect(5, 0, 0, 100, 200)
+        assert rects[1] == GdsRect(7, -50, -60, 10, 20, datatype=3)
+
+    def test_bytes_start_with_header(self):
+        raw = GdsLibrary().to_bytes()
+        # HEADER record: length 6, type 0x00, datatype INT16.
+        assert raw[:4] == b"\x00\x06\x00\x02"
+
+    def test_records_even_length(self):
+        raw = GdsLibrary("ODD").to_bytes()
+        assert len(raw) % 2 == 0
+
+
+class TestLayerMap:
+    def test_monotone_z(self):
+        zs = [info.z_nm for info in M3D_LAYER_MAP]
+        assert zs == sorted(zs)
+
+    def test_unique_gds_layers(self):
+        layers = [info.gds_layer for info in M3D_LAYER_MAP]
+        assert len(layers) == len(set(layers))
+
+    def test_fifteen_metals(self):
+        metals = [i for i in M3D_LAYER_MAP if i.name.startswith("M")]
+        assert len(metals) == 15
+
+    def test_tier_ordering_matches_fig2b(self):
+        tiers = []
+        for info in M3D_LAYER_MAP:
+            if info.tier not in tiers:
+                tiers.append(info.tier)
+        assert tiers == ["si", "cnfet1", "cnfet2", "igzo", "top-metal"]
+
+    def test_layer_lookup(self):
+        assert layer_by_name("igzo_active").thickness_nm == 10.0  # 10 nm film
+        assert layer_by_name("cnt1_active").thickness_nm == 2.0  # ~2 nm CNTs
+        with pytest.raises(KeyError):
+            layer_by_name("unobtainium")
+
+    def test_layer_map_table(self):
+        table = layer_map_table()
+        assert len(table) == len(M3D_LAYER_MAP)
+        assert all("z_nm" in row for row in table)
+
+
+class TestCellLayout:
+    def test_layout_fits_cell_footprint(self):
+        cell = m3d_bitcell()
+        library = build_m3d_cell_layout(cell)
+        x0, y0, x1, y1 = library.structures["bitcell_3t"].bounding_box()
+        assert x1 - x0 <= cell.cell_width_um * 1000
+        assert y1 - y0 <= cell.cell_height_um * 1000
+
+    def test_layout_uses_all_tiers(self):
+        library = build_m3d_cell_layout()
+        layers = library.structures["bitcell_3t"].layers()
+        tiers_used = {
+            info.tier for info in M3D_LAYER_MAP if info.gds_layer in layers
+        }
+        assert {"si", "cnfet1", "igzo"} <= tiers_used
+
+    def test_layout_roundtrips_through_gds(self, tmp_path):
+        library = build_m3d_cell_layout()
+        path = tmp_path / "cell.gds"
+        library.write(path)
+        loaded = GdsLibrary.read(path)
+        original = library.structures["bitcell_3t"].rects
+        recovered = loaded.structures["bitcell_3t"].rects
+        assert recovered == original
+
+    def test_cross_section_render(self):
+        library = build_m3d_cell_layout()
+        text = cross_section_ascii(library)
+        assert "CNFET tier 1" in text
+        assert "IGZO tier" in text
+        assert "*" in text  # drawn layers marked
+        # The IGZO film sits above the CNT tiers, below top metal.
+        assert text.index("cnt1_active") < text.index("igzo_active")
+        assert text.index("igzo_active") < text.index("M15")

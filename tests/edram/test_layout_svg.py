@@ -1,0 +1,79 @@
+"""Tests for SVG layout rendering."""
+
+import pytest
+
+from repro.edram.layout import build_m3d_cell_layout
+from repro.edram.layout_svg import (
+    TIER_COLORS,
+    render_cross_section_svg,
+    render_plan_svg,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_m3d_cell_layout()
+
+
+class TestPlanView:
+    def test_valid_svg_document(self, library):
+        svg = render_plan_svg(library)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_rect_per_shape(self, library):
+        svg = render_plan_svg(library)
+        n_shapes = len(library.structures["bitcell_3t"].rects)
+        # +1 for the white background rect.
+        assert svg.count("<rect") == n_shapes + 1
+
+    def test_tier_colors_used(self, library):
+        svg = render_plan_svg(library)
+        for tier in ("si", "cnfet1", "igzo"):
+            assert TIER_COLORS[tier] in svg
+
+    def test_layer_names_as_tooltips(self, library):
+        svg = render_plan_svg(library)
+        assert "<title>igzo_gate</title>" in svg
+        assert "<title>M4</title>" in svg
+
+    def test_unknown_structure(self, library):
+        with pytest.raises(ReproError, match="no structure"):
+            render_plan_svg(library, "nonexistent")
+
+
+class TestCrossSection:
+    def test_valid_svg(self, library):
+        svg = render_cross_section_svg(library)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_layers_labeled_with_heights(self, library):
+        svg = render_cross_section_svg(library)
+        assert "igzo_gate" in svg
+        assert "z=" in svg
+
+    def test_si_below_igzo(self, library):
+        """In elevation, the Si layers render lower (larger SVG y) than
+        the IGZO tier."""
+        svg = render_cross_section_svg(library)
+
+        def first_y(marker: str) -> float:
+            index = svg.index(f"<title>{marker}</title>")
+            rect_start = svg.rindex("<rect", 0, index)
+            y_field = svg.index('y="', rect_start) + 3
+            return float(svg[y_field: svg.index('"', y_field)])
+
+        assert first_y("M1") > first_y("igzo_active")
+
+    def test_scales_change_size(self, library):
+        small = render_cross_section_svg(library, z_scale=0.1)
+        large = render_cross_section_svg(library, z_scale=0.5)
+
+        def viewbox_height(svg: str) -> float:
+            start = svg.index('viewBox="0 0 ') + len('viewBox="0 0 ')
+            return float(svg[start: svg.index('"', start)].split()[1])
+
+        assert viewbox_height(large) > viewbox_height(small)

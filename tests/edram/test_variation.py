@@ -1,0 +1,80 @@
+"""Tests for Monte Carlo cell-variation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.edram.bitcell import m3d_bitcell
+from repro.edram.variation import monte_carlo_cell_variation
+from repro.errors import AnalysisError
+
+#: Nominal M3D write delay (SPICE-measured; passed in to keep tests fast).
+NOMINAL_WRITE_S = 1.50e-9
+
+
+def run(n=300, sigma=0.03, **kwargs):
+    kwargs.setdefault("nominal_write_delay_s", NOMINAL_WRITE_S)
+    kwargs.setdefault("rng", np.random.default_rng(7))
+    return monte_carlo_cell_variation(
+        vt_sigma_v=sigma, n_samples=n, **kwargs
+    )
+
+
+class TestVariation:
+    def test_zero_sigma_no_failures(self):
+        result = run(n=50, sigma=0.0)
+        assert result.cell_failure_fraction == 0.0
+        assert np.allclose(result.write_delay_s, NOMINAL_WRITE_S)
+
+    def test_m3d_cell_is_write_margin_limited(self):
+        """At sigma = 30 mV a noticeable cell fraction misses the write
+        budget (the 1.5 ns nominal leaves little slack in 1.6 ns) while
+        retention never falls below a 60 s refresh target — the M3D
+        cell's variation risk is writes, not retention."""
+        result = run(n=400)
+        assert result.write_failure_fraction > 0.02
+        assert result.retention_failure_fraction == 0.0
+
+    def test_failures_shrink_with_sigma(self):
+        loose = run(n=400, sigma=0.04).cell_failure_fraction
+        tight = run(n=400, sigma=0.01).cell_failure_fraction
+        assert tight < loose
+
+    def test_retention_spread_is_exponential_in_vt(self):
+        """+/- sigma of V_T moves retention by decades-scale factors."""
+        result = run(n=400)
+        spread = result.retention_percentile_s(99) / result.retention_percentile_s(1)
+        assert spread > 5.0
+
+    def test_wider_write_fet_fixes_write_tail(self):
+        wide = m3d_bitcell(write_width_um=0.30)
+        result = run(
+            n=300,
+            cell=wide,
+            nominal_write_delay_s=NOMINAL_WRITE_S * 0.15 / 0.30,
+        )
+        assert result.write_failure_fraction < 0.01
+
+    def test_slower_clock_relaxes_budget(self):
+        fast = run(n=300, clock_hz=500e6)
+        slow = run(n=300, clock_hz=250e6)
+        assert slow.write_failure_fraction <= fast.write_failure_fraction
+        assert slow.write_failure_fraction == 0.0
+
+    def test_reproducible_with_seed(self):
+        a = run(n=100)
+        b = run(n=100)
+        assert np.array_equal(a.retention_s, b.retention_s)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            run(n=0)
+        with pytest.raises(AnalysisError):
+            run(sigma=-0.01)
+
+    def test_spice_nominal_path(self):
+        """Without a supplied nominal delay, the SPICE run executes and
+        the scaled population brackets it."""
+        result = monte_carlo_cell_variation(
+            n_samples=20, vt_sigma_v=0.02, rng=np.random.default_rng(3)
+        )
+        assert result.write_delay_s.min() < 1.6e-9 < result.write_delay_s.max() * 2

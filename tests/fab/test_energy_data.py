@@ -1,0 +1,99 @@
+"""Tests for the calibrated fabrication-energy dataset."""
+
+import pytest
+
+from repro.fab import energy_data
+from repro.fab.steps import LithographyMethod, ProcessArea
+
+
+class TestAnchors:
+    def test_feol_energy_matches_paper(self):
+        assert energy_data.FEOL_MOL_ENERGY_KWH == 436.0
+
+    def test_deposition_step_energy_matches_paper_example(self):
+        """Paper Sec. II-C: 4 kWh over 3 steps -> 1.33 kWh/step."""
+        assert energy_data.STEP_ENERGY_KWH[
+            ProcessArea.DEPOSITION
+        ] == pytest.approx(4.0 / 3.0)
+
+    def test_facility_overhead_is_itrs_value(self):
+        assert energy_data.FACILITY_ENERGY_OVERHEAD == 1.4
+
+    def test_grid_intensities(self):
+        assert energy_data.GRID_CARBON_INTENSITY["us"] == 380.0
+        assert energy_data.GRID_CARBON_INTENSITY["coal"] == 820.0
+        assert energy_data.GRID_CARBON_INTENSITY["solar"] == 48.0
+        assert energy_data.GRID_CARBON_INTENSITY["taiwan"] == 563.0
+
+
+class TestMetalLayerRecipe:
+    def test_euv_pair_recipe_totals(self):
+        recipe = energy_data.EUV_METAL_VIA_PAIR_RECIPE
+        # 2 litho + 4 dry + 3 wet + 2 metallization + 3 dep + 4 metrology
+        assert recipe.total_steps == 18
+        assert recipe.total_energy_kwh == pytest.approx(33.8625)
+
+    def test_deposition_area_energy_matches_fig2d(self):
+        """Fig. 2d: deposition process area = 3 steps, 4 kWh total."""
+        recipe = energy_data.EUV_METAL_VIA_PAIR_RECIPE
+        assert recipe.steps[ProcessArea.DEPOSITION] == 3
+        assert recipe.area_energy_kwh(ProcessArea.DEPOSITION) == pytest.approx(4.0)
+
+    def test_single_layer_recipe_is_half_the_patterning(self):
+        pair = energy_data.EUV_METAL_VIA_PAIR_RECIPE
+        single = energy_data.EUV_METAL_LAYER_RECIPE
+        assert single.steps[ProcessArea.LITHOGRAPHY] * 2 == pair.steps[
+            ProcessArea.LITHOGRAPHY
+        ]
+        assert single.total_energy_kwh < pair.total_energy_kwh
+
+
+class TestPairEnergies:
+    def test_pair_energy_lookup(self):
+        assert energy_data.pair_energy_kwh(36) == pytest.approx(33.8625)
+        assert energy_data.pair_energy_kwh(48) == pytest.approx(31.0)
+        assert energy_data.pair_energy_kwh(64) == pytest.approx(26.78125)
+        assert energy_data.pair_energy_kwh(80) == pytest.approx(23.0)
+
+    def test_48nm_uses_42nm_data(self):
+        """The paper models 48 nm-pitch layers with 42 nm-pitch data."""
+        assert energy_data.pair_energy_kwh(48) == energy_data.pair_energy_kwh(42)
+
+    def test_unknown_pitch_raises(self):
+        with pytest.raises(KeyError, match="known pitches"):
+            energy_data.pair_energy_kwh(17)
+
+    def test_lithography_method_by_pitch(self):
+        assert energy_data.lithography_for_pitch(36) is LithographyMethod.EUV
+        assert (
+            energy_data.lithography_for_pitch(48)
+            is LithographyMethod.IMMERSION_193_SADP
+        )
+        assert (
+            energy_data.lithography_for_pitch(80)
+            is LithographyMethod.IMMERSION_193
+        )
+
+    def test_finer_pitch_costs_more_energy(self):
+        """Tighter pitch -> more patterning energy (monotone trend)."""
+        energies = [
+            energy_data.pair_energy_kwh(p) for p in (36, 48, 64, 80)
+        ]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestCalibration:
+    def test_verify_calibration_passes(self):
+        energy_data.verify_calibration()
+
+    def test_epa_ratios_match_paper(self):
+        """Bottom-up EPA / iN7 EPA must equal the published 0.79x / 1.22x."""
+        from repro.fab.processes import build_all_si_process, build_m3d_process
+
+        ref = energy_data.IN7_EUV_TOTAL_ENERGY_KWH
+        assert build_all_si_process().total_energy_kwh() / ref == pytest.approx(
+            0.79, rel=1e-6
+        )
+        assert build_m3d_process().total_energy_kwh() / ref == pytest.approx(
+            1.22, rel=1e-6
+        )

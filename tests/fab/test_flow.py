@@ -1,0 +1,137 @@
+"""Tests for the ProcessFlow container and Equation 4 accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProcessFlowError
+from repro.fab.flow import (
+    FlowSegment,
+    ProcessFlow,
+    epa_from_matrices,
+    epa_matrix,
+)
+from repro.fab.steps import ProcessArea, ProcessStep
+
+
+def _segment(name, energies):
+    steps = [
+        ProcessStep(f"{name}-{i}", area, e)
+        for i, (area, e) in enumerate(energies)
+    ]
+    return FlowSegment(name=name, steps=steps)
+
+
+class TestFlowSegment:
+    def test_energy_sums_steps_and_lump(self):
+        seg = _segment(
+            "s", [(ProcessArea.DEPOSITION, 1.0), (ProcessArea.DRY_ETCH, 2.0)]
+        )
+        assert seg.energy_kwh == pytest.approx(3.0)
+        seg.lumped_energy_kwh = 10.0
+        assert seg.energy_kwh == pytest.approx(13.0)
+
+    def test_step_counts(self):
+        seg = _segment(
+            "s",
+            [
+                (ProcessArea.DEPOSITION, 1.0),
+                (ProcessArea.DEPOSITION, 1.0),
+                (ProcessArea.LITHOGRAPHY, 8.0),
+            ],
+        )
+        counts = seg.step_counts()
+        assert counts.count(ProcessArea.DEPOSITION) == 2
+        assert counts.count(ProcessArea.LITHOGRAPHY) == 1
+
+
+class TestProcessFlow:
+    def test_total_energy(self):
+        flow = ProcessFlow("f")
+        flow.add_segment(_segment("a", [(ProcessArea.DEPOSITION, 1.5)]))
+        flow.add_segment(FlowSegment("b", lumped_energy_kwh=10.0))
+        assert flow.total_energy_kwh() == pytest.approx(11.5)
+
+    def test_duplicate_segment_rejected(self):
+        flow = ProcessFlow("f")
+        flow.add_segment(FlowSegment("a"))
+        with pytest.raises(ProcessFlowError, match="duplicate"):
+            flow.add_segment(FlowSegment("a"))
+
+    def test_segment_lookup(self):
+        flow = ProcessFlow("f")
+        flow.add_segment(FlowSegment("a", lumped_energy_kwh=1.0))
+        assert flow.segment("a").energy_kwh == 1.0
+        with pytest.raises(ProcessFlowError, match="no segment"):
+            flow.segment("zzz")
+
+    def test_bad_wafer_diameter(self):
+        with pytest.raises(ProcessFlowError):
+            ProcessFlow("f", wafer_diameter_mm=0.0)
+
+    def test_segment_energies_preserve_order(self):
+        flow = ProcessFlow("f")
+        flow.add_segment(FlowSegment("z", lumped_energy_kwh=1.0))
+        flow.add_segment(FlowSegment("a", lumped_energy_kwh=2.0))
+        assert list(flow.segment_energies()) == ["z", "a"]
+
+    def test_step_count_matrix_shape_and_order(self):
+        flow = ProcessFlow("f")
+        flow.add_segment(
+            _segment(
+                "a",
+                [
+                    (ProcessArea.LITHOGRAPHY, 8.0),
+                    (ProcessArea.DEPOSITION, 1.0),
+                    (ProcessArea.DEPOSITION, 1.0),
+                ],
+            )
+        )
+        mat = flow.step_count_matrix()
+        assert mat.shape == (6, 1)
+        ordered = ProcessArea.ordered()
+        assert mat[ordered.index(ProcessArea.LITHOGRAPHY), 0] == 1
+        assert mat[ordered.index(ProcessArea.DEPOSITION), 0] == 2
+
+
+class TestEquation4:
+    def test_epa_matrix_stacks_flows(self):
+        f1 = ProcessFlow("f1")
+        f1.add_segment(_segment("a", [(ProcessArea.DEPOSITION, 1.0)]))
+        f2 = ProcessFlow("f2")
+        f2.add_segment(
+            _segment(
+                "a",
+                [(ProcessArea.DEPOSITION, 1.0), (ProcessArea.DRY_ETCH, 1.5)],
+            )
+        )
+        mat = epa_matrix([f1, f2])
+        assert mat.shape == (6, 2)
+
+    def test_epa_from_matrices_reproduces_flow_energy(self):
+        """Eq. 4 matrix product == direct per-step summation, when all
+        steps of a flow use the canonical per-area energies."""
+        from repro.fab import energy_data
+        from repro.fab.processes import build_all_si_process, build_m3d_process
+
+        flows = [build_all_si_process(), build_m3d_process()]
+        counts = epa_matrix(flows)
+        energies = np.array(
+            [
+                energy_data.STEP_ENERGY_KWH[a]
+                for a in ProcessArea.ordered()
+            ]
+        )
+        stepwise = epa_from_matrices(counts, energies)
+        for flow, matrix_epa in zip(flows, stepwise):
+            explicit = sum(
+                s.energy_kwh for seg in flow.segments for s in seg.steps
+            )
+            assert matrix_epa == pytest.approx(explicit)
+
+    def test_epa_from_matrices_shape_mismatch(self):
+        with pytest.raises(ProcessFlowError, match="shape"):
+            epa_from_matrices(np.ones((6, 2)), np.ones(5))
+
+    def test_epa_matrix_empty(self):
+        with pytest.raises(ProcessFlowError):
+            epa_matrix([])

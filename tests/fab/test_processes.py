@@ -1,0 +1,140 @@
+"""Tests for the complete all-Si and M3D process flows (Sec. II-C)."""
+
+import pytest
+
+from repro.fab import build_all_si_process, build_m3d_process
+from repro.fab import energy_data
+from repro.fab.steps import ProcessArea
+
+
+class TestAllSiProcess:
+    def setup_method(self):
+        self.flow = build_all_si_process()
+
+    def test_epa_matches_published_ratio(self):
+        """EPA(all-Si) = 0.79 x EPA(iN7-EUV) = 699.15 kWh/wafer."""
+        assert self.flow.total_energy_kwh() == pytest.approx(699.15, rel=1e-9)
+
+    def test_has_feol_and_nine_metal_pairs(self):
+        names = [seg.name for seg in self.flow.segments]
+        assert any("FEOL" in n for n in names)
+        pairs = [n for n in names if "pair" in n]
+        assert len(pairs) == 9
+
+    def test_pitch_assignment_follows_asap7(self):
+        """M1-M3 @36, M4-M5 @48, M6-M7 @64, M8-M9 @80 (paper Sec. II-C)."""
+        names = [seg.name for seg in self.flow.segments if "pair" in seg.name]
+        assert sum("36 nm" in n for n in names) == 3
+        assert sum("48 nm" in n for n in names) == 2
+        assert sum("64 nm" in n for n in names) == 2
+        assert sum("80 nm" in n for n in names) == 2
+
+    def test_beol_energy(self):
+        beol = self.flow.total_energy_kwh() - energy_data.FEOL_MOL_ENERGY_KWH
+        assert beol == pytest.approx(263.15, rel=1e-9)
+
+
+class TestM3dProcess:
+    def setup_method(self):
+        self.flow = build_m3d_process()
+
+    def test_epa_matches_published_ratio(self):
+        """EPA(M3D) = 1.22 x EPA(iN7-EUV) = 1079.7 kWh/wafer."""
+        assert self.flow.total_energy_kwh() == pytest.approx(1079.7, rel=1e-9)
+
+    def test_epa_higher_than_all_si(self):
+        """The M3D C_embodied drawback: more steps -> more energy."""
+        assert (
+            self.flow.total_energy_kwh()
+            > build_all_si_process().total_energy_kwh()
+        )
+
+    def test_tier_structure(self):
+        names = [seg.name for seg in self.flow.segments]
+        assert sum("CNFET tier" in n and "device steps" in n for n in names) == 2
+        assert sum("IGZO tier" in n for n in names) == 1
+
+    def test_fifteen_metal_pairs_plus_three_sd_pairs(self):
+        """M1-M15 plus one S/D pair per device tier = 18 pairs total."""
+        pairs = [seg for seg in self.flow.segments if "pair" in seg.name]
+        assert len(pairs) == 18
+
+    def test_twelve_36nm_pairs(self):
+        """M1-M3, M5-M10, and 3 S/D pairs are all at 36 nm pitch."""
+        names = [seg.name for seg in self.flow.segments if "pair" in seg.name]
+        assert sum("36 nm" in n for n in names) == 12
+
+    def test_top_stack_matches_all_si_m5_to_m9(self):
+        names = [seg.name for seg in self.flow.segments if "pair" in seg.name]
+        assert sum("48 nm" in n for n in names) == 2  # M4 and M11
+        assert sum("64 nm" in n for n in names) == 2  # M12, M13
+        assert sum("80 nm" in n for n in names) == 2  # M14, M15
+
+    def test_metal_numbering_reaches_m15(self):
+        names = [seg.name for seg in self.flow.segments]
+        assert any(n.startswith("M15/") for n in names)
+        assert not any(n.startswith("M16/") for n in names)
+
+    def test_shared_base_through_m4(self):
+        """M3D is identical to all-Si from M1 to M4."""
+        si = build_all_si_process()
+        si_names = [seg.name for seg in si.segments][:5]
+        m3d_names = [seg.name for seg in self.flow.segments][:5]
+        assert si_names == m3d_names
+
+
+class TestParameterizedM3d:
+    def test_zero_tiers_is_cheaper(self):
+        base = build_m3d_process(n_cnfet_tiers=0, include_igzo_tier=False)
+        full = build_m3d_process()
+        assert base.total_energy_kwh() < full.total_energy_kwh()
+
+    def test_energy_monotone_in_tier_count(self):
+        energies = [
+            build_m3d_process(n_cnfet_tiers=n).total_energy_kwh()
+            for n in range(4)
+        ]
+        assert energies == sorted(energies)
+
+    def test_each_cnfet_tier_adds_fixed_energy(self):
+        """Each CNFET tier adds tier steps + 1 S/D pair + 2 metal pairs."""
+        e1 = build_m3d_process(n_cnfet_tiers=1).total_energy_kwh()
+        e2 = build_m3d_process(n_cnfet_tiers=2).total_energy_kwh()
+        e3 = build_m3d_process(n_cnfet_tiers=3).total_energy_kwh()
+        assert e2 - e1 == pytest.approx(e3 - e2)
+        per_tier = 25.5625 + 3 * energy_data.pair_energy_kwh(36)
+        assert e2 - e1 == pytest.approx(per_tier)
+
+    def test_negative_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            build_m3d_process(n_cnfet_tiers=-1)
+
+    def test_igzo_tier_energy(self):
+        with_igzo = build_m3d_process(n_cnfet_tiers=0, include_igzo_tier=True)
+        without = build_m3d_process(n_cnfet_tiers=0, include_igzo_tier=False)
+        delta = with_igzo.total_energy_kwh() - without.total_energy_kwh()
+        assert delta == pytest.approx(
+            24.6625 + 3 * energy_data.pair_energy_kwh(36)
+        )
+
+
+class TestStepAccounting:
+    def test_m3d_has_more_litho_steps(self):
+        si = build_all_si_process().step_counts()
+        m3d = build_m3d_process().step_counts()
+        assert m3d.count(ProcessArea.LITHOGRAPHY) > si.count(
+            ProcessArea.LITHOGRAPHY
+        )
+
+    def test_igzo_tier_has_no_dry_etch(self):
+        """IGZO active region is wet-etched (Sec. II-C)."""
+        flow = build_m3d_process()
+        igzo = flow.segment("IGZO tier (device steps)")
+        areas = [s.area for s in igzo.steps]
+        assert ProcessArea.DRY_ETCH not in areas
+        assert areas.count(ProcessArea.WET_ETCH) == 2
+
+    def test_cnfet_tier_has_o2_dry_etch(self):
+        flow = build_m3d_process()
+        tier = flow.segment("CNFET tier 1 (device steps)")
+        assert any(s.area == ProcessArea.DRY_ETCH for s in tier.steps)

@@ -1,0 +1,120 @@
+"""Tests for process-flow JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ProcessFlowError
+from repro.fab import build_all_si_process, build_m3d_process
+from repro.fab.serialization import (
+    dump_flow,
+    flow_from_dict,
+    flow_to_dict,
+    load_flow,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", [build_all_si_process, build_m3d_process]
+    )
+    def test_builtin_flows_roundtrip(self, builder, tmp_path):
+        original = builder()
+        path = tmp_path / "flow.json"
+        dump_flow(original, path)
+        loaded = load_flow(path)
+        assert loaded.name == original.name
+        assert loaded.total_energy_kwh() == pytest.approx(
+            original.total_energy_kwh(), rel=1e-12
+        )
+        assert len(loaded.segments) == len(original.segments)
+        # Step-level fidelity.
+        assert (
+            loaded.step_count_matrix() == original.step_count_matrix()
+        ).all()
+
+    def test_roundtripped_flow_works_in_carbon_model(self, tmp_path):
+        from repro.core.embodied import EmbodiedCarbonModel
+
+        path = tmp_path / "m3d.json"
+        dump_flow(build_m3d_process(), path)
+        model = EmbodiedCarbonModel(load_flow(path))
+        assert model.evaluate("us").per_wafer_kg == pytest.approx(
+            1100.3, abs=1.0
+        )
+
+    def test_dict_roundtrip_preserves_metadata(self):
+        flow = build_m3d_process()
+        data = flow_to_dict(flow)
+        assert data["wafer_diameter_mm"] == 300.0
+        loaded = flow_from_dict(data)
+        igzo = loaded.segment("IGZO tier (device steps)")
+        comments = [s.comment for s in igzo.steps if s.comment]
+        assert any("BEOL" in c for c in comments)
+
+
+class TestCustomFlows:
+    def test_minimal_custom_flow(self):
+        flow = flow_from_dict(
+            {
+                "name": "toy",
+                "segments": [
+                    {"name": "FEOL", "lumped_energy_kwh": 100.0},
+                    {
+                        "name": "one layer",
+                        "steps": [
+                            {
+                                "name": "litho",
+                                "area": "lithography",
+                                "energy_kwh": 8.0,
+                                "lithography": "euv",
+                            },
+                            {
+                                "name": "etch",
+                                "area": "dry_etch",
+                                "energy_kwh": 1.5,
+                            },
+                        ],
+                    },
+                ],
+            }
+        )
+        assert flow.total_energy_kwh() == pytest.approx(109.5)
+
+    def test_unknown_area_rejected(self):
+        with pytest.raises(ProcessFlowError, match="unknown process area"):
+            flow_from_dict(
+                {
+                    "name": "bad",
+                    "segments": [
+                        {
+                            "name": "s",
+                            "steps": [
+                                {
+                                    "name": "x",
+                                    "area": "teleportation",
+                                    "energy_kwh": 1.0,
+                                }
+                            ],
+                        }
+                    ],
+                }
+            )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ProcessFlowError, match="missing field"):
+            flow_from_dict({"segments": []})
+        with pytest.raises(ProcessFlowError, match="list"):
+            flow_from_dict({"name": "x", "segments": "nope"})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ProcessFlowError, match="invalid JSON"):
+            load_flow(path)
+
+    def test_dumped_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "flow.json"
+        dump_flow(build_all_si_process(), path)
+        data = json.loads(path.read_text())
+        assert data["name"].startswith("all-Si")

@@ -1,0 +1,78 @@
+"""Tests for process-step primitives."""
+
+import pytest
+
+from repro.fab.steps import (
+    LithographyMethod,
+    ProcessArea,
+    ProcessStep,
+    StepCount,
+    per_step_energy,
+)
+
+
+class TestProcessArea:
+    def test_six_areas(self):
+        assert len(ProcessArea) == 6
+
+    def test_ordered_is_complete_and_stable(self):
+        ordered = ProcessArea.ordered()
+        assert len(ordered) == 6
+        assert set(ordered) == set(ProcessArea)
+        assert ordered[0] is ProcessArea.LITHOGRAPHY
+
+    def test_values_are_snake_case_strings(self):
+        for area in ProcessArea:
+            assert area.value == area.value.lower()
+
+
+class TestProcessStep:
+    def test_construction(self):
+        step = ProcessStep("CNT deposition", ProcessArea.DEPOSITION, 1.333)
+        assert step.name == "CNT deposition"
+        assert step.lithography is LithographyMethod.NONE
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProcessStep("bad", ProcessArea.DRY_ETCH, -1.0)
+
+    def test_zero_energy_allowed(self):
+        step = ProcessStep("free", ProcessArea.METROLOGY, 0.0)
+        assert step.energy_kwh == 0.0
+
+    def test_frozen(self):
+        step = ProcessStep("x", ProcessArea.WET_ETCH, 1.0)
+        with pytest.raises(AttributeError):
+            step.energy_kwh = 2.0
+
+
+class TestStepCount:
+    def test_accumulates_counts_and_energy(self):
+        sc = StepCount()
+        sc.add(ProcessStep("a", ProcessArea.DEPOSITION, 1.0))
+        sc.add(ProcessStep("b", ProcessArea.DEPOSITION, 2.0))
+        sc.add(ProcessStep("c", ProcessArea.LITHOGRAPHY, 10.0))
+        assert sc.count(ProcessArea.DEPOSITION) == 2
+        assert sc.energy(ProcessArea.DEPOSITION) == pytest.approx(3.0)
+        assert sc.count(ProcessArea.LITHOGRAPHY) == 1
+        assert sc.total_steps == 3
+        assert sc.total_energy_kwh == pytest.approx(13.0)
+
+    def test_missing_area_is_zero(self):
+        sc = StepCount()
+        assert sc.count(ProcessArea.DRY_ETCH) == 0
+        assert sc.energy(ProcessArea.DRY_ETCH) == 0.0
+
+
+class TestPerStepEnergy:
+    def test_paper_deposition_example(self):
+        """The paper's worked example: 4 kWh over 3 deposition steps."""
+        assert per_step_energy(4.0, 3) == pytest.approx(4.0 / 3.0)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            per_step_energy(4.0, 0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            per_step_energy(-1.0, 3)

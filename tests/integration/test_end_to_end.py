@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the full flow, cross-checked by hand.
+
+These tests rebuild the paper's chain with independent arithmetic at
+every joint — if any module's contract drifts, the mismatch surfaces
+here even when the module's own tests still pass.
+"""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.analysis import build_case_study
+from repro.analysis.case_study import build_m3d_system
+from repro.core.operational import UsageScenario
+from repro.workloads import matmul_int
+from repro.workloads.suite import run_workload
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case_study()
+
+
+class TestCrossModuleConsistency:
+    def test_equation2_by_hand(self, case):
+        """C_embodied = (MPA + GPA + CI_fab*EPA_f) * Area, recomputed
+        from raw pieces."""
+        system = case.m3d
+        result = system.embodied
+        area = result.wafer_area_cm2
+        by_hand = (
+            result.mpa_g_per_cm2
+            + result.gpa_g_per_cm2
+            + 380.0 * (result.epa_kwh_per_wafer * 1.4) / area
+        ) * area
+        assert result.per_wafer_g == pytest.approx(by_hand, rel=1e-12)
+
+    def test_equation5_by_hand(self, case):
+        system = case.all_si
+        by_hand = system.embodied.per_wafer_g / (
+            system.dies_per_wafer * system.yield_fraction
+        )
+        assert system.embodied_per_good_die_g == pytest.approx(
+            by_hand, rel=1e-12
+        )
+
+    def test_equation8_by_hand(self, case):
+        """C_op = CI * P * t_life * (2/24), recomputed."""
+        system = case.m3d
+        power = system.operational_power_w
+        t_life = units.months_to_seconds(24.0)
+        by_hand = 380.0 * power * t_life * (2.0 / 24.0) / units.KWH
+        measured = system.total_carbon.breakdown(24.0).operational_g
+        assert measured == pytest.approx(by_hand, rel=1e-9)
+
+    def test_power_matches_energy_rows(self, case):
+        """Eq. 6: P = (E_core + E_mem) / T_clk."""
+        for system in (case.all_si, case.m3d):
+            by_hand = (
+                system.core.energy_per_cycle_j
+                + system.memory_energy_per_cycle_j
+            ) * system.clock_hz
+            assert system.operational_power_w == pytest.approx(
+                by_hand, rel=1e-12
+            )
+
+    def test_tcdp_by_hand(self, case):
+        system = case.m3d
+        t_exec = 20_047_348 / 500e6
+        by_hand = system.total_carbon.total_g(24.0) * t_exec
+        assert system.tcdp(24.0) == pytest.approx(by_hand, rel=1e-12)
+
+    def test_die_area_consistency(self, case):
+        """Floorplan dims, die geometry, and area all agree."""
+        for system in (case.all_si, case.m3d):
+            assert system.die.die_height_mm == pytest.approx(
+                system.floorplan.height_mm
+            )
+            assert system.die.die_width_mm == pytest.approx(
+                system.floorplan.width_mm
+            )
+            block_area = sum(
+                b.area_mm2 for b in system.floorplan.blocks
+            )
+            assert system.floorplan.area_mm2 == pytest.approx(
+                block_area, rel=1e-9
+            )
+
+    def test_memory_area_is_two_macros_plus_core(self, case):
+        for system in (case.all_si, case.m3d):
+            expected = (
+                2 * system.memory_macro.area_um2 + system.core_area_um2
+            )
+            assert system.floorplan.area_mm2 * 1e6 == pytest.approx(
+                expected, rel=1e-9
+            )
+
+
+class TestFullFlowVariants:
+    def test_with_timing_verification(self):
+        """The complete pipeline with SPICE timing validation on."""
+        system = build_m3d_system(verify_timing=True)
+        assert system.timing is not None
+        assert system.timing.meets_clock(500e6)
+        assert system.embodied_per_good_die_g == pytest.approx(3.63, abs=0.02)
+
+    def test_real_iss_profile_roundtrip(self):
+        """Feed a real ISS run's profile through the whole carbon flow;
+        the result must match the default-profile build (the defaults
+        ARE the matmul-int measurements)."""
+        result = run_workload(matmul_int.workload(repeats=2, tune=1, pads=0))
+        system = build_m3d_system(profile=result.access_profile())
+        default = build_m3d_system()
+        assert system.operational_power_w == pytest.approx(
+            default.operational_power_w, rel=0.005
+        )
+
+    def test_lifetime_sweep_consistency(self):
+        """tC(t) is affine in lifetime: slope = per-month op carbon."""
+        system = build_m3d_system(scenario=UsageScenario(36.0))
+        t6 = system.total_carbon.total_g(6.0)
+        t18 = system.total_carbon.total_g(18.0)
+        t30 = system.total_carbon.total_g(30.0)
+        assert t30 - t18 == pytest.approx(t18 - t6, rel=1e-9)
+
+    def test_headline_chain(self, case):
+        """The abstract's three claims, end to end in one place:
+        1.31x per wafer, 1.02x carbon efficiency, retention >1000 s."""
+        from repro.analysis.figures import fig2c_embodied_per_wafer
+        from repro.edram.bitcell import m3d_bitcell
+        from repro.edram.retention import retention_time_s
+
+        assert fig2c_embodied_per_wafer()["average"]["ratio"] == pytest.approx(
+            1.31, abs=0.02
+        )
+        assert case.carbon_efficiency_advantage() == pytest.approx(
+            1.02, abs=0.005
+        )
+        assert retention_time_s(m3d_bitcell()) > 1000.0

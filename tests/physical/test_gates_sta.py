@@ -1,0 +1,171 @@
+"""Tests for gate cells, netlists, and static timing analysis."""
+
+import pytest
+
+from repro.errors import PhysicalDesignError
+from repro.physical.gates import (
+    GATE_TYPES,
+    gate_delay_s,
+    gate_energy_j,
+    gate_tau_s,
+)
+from repro.physical.netlist_sta import GateNetlist, build_row_decoder
+from repro.physical.stdcells import VtFlavor
+
+
+class TestGateDelay:
+    def test_delay_linear_in_load(self):
+        inv = GATE_TYPES["INV"]
+        d1 = gate_delay_s(inv, VtFlavor.RVT, 1e-15)
+        d2 = gate_delay_s(inv, VtFlavor.RVT, 2e-15)
+        d3 = gate_delay_s(inv, VtFlavor.RVT, 3e-15)
+        assert d3 - d2 == pytest.approx(d2 - d1, rel=1e-9)
+
+    def test_upsizing_reduces_delay(self):
+        nand = GATE_TYPES["NAND2"]
+        assert gate_delay_s(nand, VtFlavor.RVT, 5e-15, size=4.0) < gate_delay_s(
+            nand, VtFlavor.RVT, 5e-15, size=1.0
+        )
+
+    def test_flavor_speed_ordering(self):
+        inv = GATE_TYPES["INV"]
+        delays = [
+            gate_delay_s(inv, flavor, 2e-15)
+            for flavor in VtFlavor.ordered()
+        ]
+        assert delays == sorted(delays, reverse=True)  # HVT slowest
+
+    def test_nand_slower_than_inv_at_same_load(self):
+        load = 2e-15
+        assert gate_delay_s(
+            GATE_TYPES["NAND2"], VtFlavor.RVT, load
+        ) > gate_delay_s(GATE_TYPES["INV"], VtFlavor.RVT, load)
+
+    def test_energy_includes_load(self):
+        inv = GATE_TYPES["INV"]
+        assert gate_energy_j(inv, 2e-15) > gate_energy_j(inv, 0.0)
+
+    def test_validation(self):
+        inv = GATE_TYPES["INV"]
+        with pytest.raises(PhysicalDesignError):
+            gate_delay_s(inv, VtFlavor.RVT, 1e-15, size=0.0)
+        with pytest.raises(PhysicalDesignError):
+            gate_delay_s(inv, VtFlavor.RVT, -1e-15)
+
+    def test_tau_positive(self):
+        assert gate_tau_s(VtFlavor.RVT) > 0
+
+
+class TestGateNetlist:
+    def _inverter_chain(self, n=4):
+        netlist = GateNetlist("chain")
+        netlist.add_input("in")
+        prev = "in"
+        for i in range(n):
+            out = f"n{i}"
+            netlist.add_gate(f"inv{i}", "INV", [prev], out)
+            prev = out
+        netlist.add_output(prev)
+        return netlist
+
+    def test_chain_delay_accumulates(self):
+        short = self._inverter_chain(2).sta()
+        long = self._inverter_chain(6).sta()
+        assert long.critical_delay_s > short.critical_delay_s
+
+    def test_critical_path_is_whole_chain(self):
+        report = self._inverter_chain(4).sta()
+        assert report.critical_path == ["inv0", "inv1", "inv2", "inv3"]
+
+    def test_parallel_paths_take_max(self):
+        netlist = GateNetlist("diamond")
+        netlist.add_input("in")
+        netlist.add_gate("fast", "INV", ["in"], "a")
+        netlist.add_gate("slow1", "INV", ["in"], "b0")
+        netlist.add_gate("slow2", "INV", ["b0"], "b1")
+        netlist.add_gate("slow3", "INV", ["b1"], "b")
+        netlist.add_gate("merge", "NAND2", ["a", "b"], "out")
+        netlist.add_output("out")
+        report = netlist.sta()
+        assert "slow3" in report.critical_path
+        assert "fast" not in report.critical_path
+
+    def test_two_drivers_rejected(self):
+        netlist = GateNetlist()
+        netlist.add_input("in")
+        netlist.add_gate("g1", "INV", ["in"], "out")
+        with pytest.raises(PhysicalDesignError, match="two drivers"):
+            netlist.add_gate("g2", "INV", ["in"], "out")
+
+    def test_undriven_net_detected(self):
+        netlist = GateNetlist()
+        netlist.add_input("in")
+        netlist.add_gate("g1", "NAND2", ["in", "ghost"], "out")
+        netlist.add_output("out")
+        with pytest.raises(PhysicalDesignError, match="undriven"):
+            netlist.sta()
+
+    def test_combinational_loop_detected(self):
+        netlist = GateNetlist()
+        netlist.add_input("in")
+        netlist.add_gate("g1", "NAND2", ["in", "b"], "a")
+        netlist.add_gate("g2", "INV", ["a"], "b")
+        netlist.add_output("b")
+        with pytest.raises(PhysicalDesignError, match="loop"):
+            netlist.sta()
+
+    def test_unknown_gate_type(self):
+        netlist = GateNetlist()
+        netlist.add_input("in")
+        with pytest.raises(PhysicalDesignError, match="unknown gate type"):
+            netlist.add_gate("g", "FLUXCAP", ["in"], "out")
+
+    def test_net_load_slows_path(self):
+        light = self._inverter_chain(3)
+        heavy = self._inverter_chain(3)
+        heavy.set_net_load("n2", 50e-15)
+        assert heavy.sta().critical_delay_s > light.sta().critical_delay_s
+
+    def test_energy_and_area_positive(self):
+        netlist = self._inverter_chain(5)
+        assert netlist.total_energy_j() > 0
+        assert netlist.total_area_um2() > 0
+        with pytest.raises(PhysicalDesignError):
+            netlist.total_energy_j(activity=2.0)
+
+    def test_slack_and_meets(self):
+        report = self._inverter_chain(3).sta()
+        assert report.meets(100e6)
+        assert not report.meets(1e14)
+
+
+class TestRowDecoder:
+    def test_decoder_fits_cycle_margin(self):
+        """The 128-row decoder must fit in the non-access fraction
+        (20%) of the 2 ns cycle — the paper's timing-budget split."""
+        decoder = build_row_decoder(address_bits=7)
+        report = decoder.sta(VtFlavor.RVT)
+        assert report.critical_delay_s < 0.2 * 2e-9
+
+    def test_more_address_bits_slower(self):
+        d7 = build_row_decoder(7).sta().critical_delay_s
+        d10 = build_row_decoder(10).sta().critical_delay_s
+        assert d10 > d7
+
+    def test_wordline_driver_on_critical_path(self):
+        report = build_row_decoder(7).sta()
+        assert report.critical_path[-1] == "wldrv"
+
+    def test_heavier_wordline_slower(self):
+        light = build_row_decoder(7, wordline_cap_f=5e-15).sta()
+        heavy = build_row_decoder(7, wordline_cap_f=80e-15).sta()
+        assert heavy.critical_delay_s > light.critical_delay_s
+
+    def test_validation(self):
+        with pytest.raises(PhysicalDesignError):
+            build_row_decoder(address_bits=1)
+
+    def test_hvt_decoder_still_fits(self):
+        """Periphery uses HVT for leakage; it must still make timing."""
+        report = build_row_decoder(7).sta(VtFlavor.HVT)
+        assert report.critical_delay_s < 0.3 * 2e-9

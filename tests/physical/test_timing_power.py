@@ -1,0 +1,229 @@
+"""Tests for standard cells, timing closure, and core power (Fig. 4)."""
+
+import pytest
+
+from repro.errors import PhysicalDesignError, TimingClosureError
+from repro.physical.power import CorePowerModel
+from repro.physical.stdcells import (
+    CellLibrary,
+    VtFlavor,
+    all_libraries,
+    make_library,
+)
+from repro.physical.timing import TimingClosure
+
+
+@pytest.fixture(scope="module")
+def libraries():
+    return all_libraries()
+
+
+class TestCellLibrary:
+    def test_four_flavors(self, libraries):
+        assert set(libraries) == set(VtFlavor)
+
+    def test_vt_ordering(self, libraries):
+        vts = [libraries[f].vt_v for f in VtFlavor.ordered()]
+        assert vts == sorted(vts, reverse=True)
+
+    def test_lower_vt_is_faster(self, libraries):
+        delays = [libraries[f].fo4_delay_s for f in VtFlavor.ordered()]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_lower_vt_leaks_more(self, libraries):
+        leaks = [libraries[f].leakage_per_gate_w for f in VtFlavor.ordered()]
+        assert leaks == sorted(leaks)
+
+    def test_leakage_decades(self, libraries):
+        """~70 mV/decade: each flavour step is ~10x leakage."""
+        hvt = libraries[VtFlavor.HVT].leakage_per_gate_w
+        slvt = libraries[VtFlavor.SLVT].leakage_per_gate_w
+        assert slvt / hvt == pytest.approx(1000.0, rel=0.01)
+
+    def test_vdd_must_exceed_vt(self):
+        with pytest.raises(PhysicalDesignError):
+            make_library(VtFlavor.HVT, vdd_v=0.3)
+
+    def test_lower_vdd_lower_switch_energy(self):
+        nominal = make_library(VtFlavor.RVT, vdd_v=0.7)
+        scaled = make_library(VtFlavor.RVT, vdd_v=0.5)
+        assert scaled.switch_energy_per_gate_j == pytest.approx(
+            nominal.switch_energy_per_gate_j * (0.5 / 0.7) ** 2
+        )
+
+
+class TestTimingClosure:
+    def test_500mhz_rvt_closes_at_nominal_sizing(self, libraries):
+        """The paper's selected point: RVT just meets 2 ns."""
+        tc = TimingClosure()
+        result = tc.close(libraries[VtFlavor.RVT], 500e6)
+        assert result.met
+        assert result.sizing_factor == pytest.approx(1.0, abs=0.01)
+
+    def test_hvt_needs_upsizing_at_500mhz(self, libraries):
+        tc = TimingClosure()
+        result = tc.close(libraries[VtFlavor.HVT], 500e6)
+        assert result.met
+        assert result.sizing_factor > 1.5
+
+    def test_max_clock_ordering(self, libraries):
+        tc = TimingClosure()
+        fmaxes = [tc.max_clock_hz(libraries[f]) for f in VtFlavor.ordered()]
+        assert fmaxes == sorted(fmaxes)
+
+    def test_slvt_closes_1ghz(self, libraries):
+        """Only the leakiest flavour reaches the top of the paper's sweep."""
+        tc = TimingClosure()
+        assert tc.close(libraries[VtFlavor.SLVT], 1e9).met
+        assert not tc.close(libraries[VtFlavor.HVT], 1e9).met
+
+    def test_unmet_timing_reports_best_effort(self, libraries):
+        tc = TimingClosure()
+        result = tc.close(libraries[VtFlavor.HVT], 5e9)
+        assert not result.met
+        assert result.sizing_factor == tc.max_sizing
+        assert result.slack_s < 0
+
+    def test_sizing_monotone_in_clock(self, libraries):
+        tc = TimingClosure()
+        lib = libraries[VtFlavor.RVT]
+        sizings = [
+            tc.close(lib, f).sizing_factor
+            for f in (100e6, 300e6, 500e6, 600e6, 700e6)
+        ]
+        assert sizings == sorted(sizings)
+
+    def test_sweep_grid_shape(self, libraries):
+        tc = TimingClosure()
+        clocks = [100e6 * k for k in range(1, 11)]
+        grid = tc.sweep(clocks)
+        assert set(grid) == set(VtFlavor)
+        assert all(len(v) == 10 for v in grid.values())
+
+    def test_validation(self):
+        with pytest.raises(TimingClosureError):
+            TimingClosure(logic_depth_fo4=0)
+        with pytest.raises(TimingClosureError):
+            TimingClosure(saturation_speedup=0.9)
+        tc = TimingClosure()
+        with pytest.raises(TimingClosureError):
+            tc.close(all_libraries()[VtFlavor.RVT], 0.0)
+
+
+class TestCorePower:
+    def test_selected_design_matches_table2(self):
+        """RVT at 500 MHz: 1.42 pJ/cycle (Table II calibration)."""
+        model = CorePowerModel()
+        result = model.select_design(500e6)
+        assert result.flavor is VtFlavor.RVT
+        assert result.energy_per_cycle_j == pytest.approx(1.42e-12, rel=0.005)
+
+    def test_energy_rises_near_fmax(self, libraries):
+        model = CorePowerModel()
+        lib = libraries[VtFlavor.RVT]
+        e500 = model.evaluate(lib, 500e6).energy_per_cycle_j
+        e700 = model.evaluate(lib, 700e6).energy_per_cycle_j
+        assert e700 > e500
+
+    def test_leaky_flavors_waste_energy_at_low_clock(self, libraries):
+        """Fig. 4 shape: at 100 MHz, SLVT leakage dominates."""
+        model = CorePowerModel()
+        slvt = model.evaluate(libraries[VtFlavor.SLVT], 100e6)
+        rvt = model.evaluate(libraries[VtFlavor.RVT], 100e6)
+        assert slvt.energy_per_cycle_j > 2 * rvt.energy_per_cycle_j
+
+    def test_leakage_energy_inversely_proportional_to_clock(self, libraries):
+        model = CorePowerModel()
+        lib = libraries[VtFlavor.LVT]
+        e1 = model.evaluate(lib, 100e6)
+        e2 = model.evaluate(lib, 200e6)
+        assert e1.leakage_energy_per_cycle_j == pytest.approx(
+            2 * e2.leakage_energy_per_cycle_j
+        )
+
+    def test_sweep_covers_paper_grid(self):
+        model = CorePowerModel()
+        clocks = [100e6 * k for k in range(1, 11)]
+        grid = model.sweep(clocks)
+        assert set(grid) == set(VtFlavor)
+        # Every flavour has at least one feasible point at the low end.
+        for flavor, results in grid.items():
+            assert results[0].met_timing
+
+    def test_infeasible_selection_raises(self):
+        model = CorePowerModel()
+        with pytest.raises(TimingClosureError):
+            model.select_design(5e9)
+
+    def test_activity_scales_dynamic_energy(self):
+        lib = all_libraries()[VtFlavor.RVT]
+        low = CorePowerModel(activity=0.05).evaluate(lib, 500e6)
+        high = CorePowerModel(activity=0.10).evaluate(lib, 500e6)
+        assert high.dynamic_energy_per_cycle_j == pytest.approx(
+            2 * low.dynamic_energy_per_cycle_j
+        )
+
+    def test_core_area(self):
+        model = CorePowerModel()
+        lib = all_libraries()[VtFlavor.RVT]
+        area = model.core_area_um2(lib)
+        # ~3000 um^2: the Table II-consistent M0 footprint at 7 nm.
+        assert area == pytest.approx(3000.0, rel=0.01)
+        assert model.core_area_um2(lib, sizing=2.0) > area
+
+    def test_validation(self):
+        with pytest.raises(PhysicalDesignError):
+            CorePowerModel(n_gates=0)
+        with pytest.raises(PhysicalDesignError):
+            CorePowerModel(activity=1.5)
+
+
+class TestFloorplan:
+    def test_si_floorplan_matches_table2(self):
+        """Two 0.068 mm^2 macros + M0 strip at 270 um height ->
+        270 x 515 um, 0.139 mm^2 (Table II)."""
+        from repro.physical.floorplan import Floorplan
+
+        fp = Floorplan.row_of(
+            [
+                ("program_mem", 68040.0),
+                ("m0", 3000.0),
+                ("data_mem", 68040.0),
+            ],
+            row_height_um=270.0,
+        )
+        assert fp.height_um == pytest.approx(270.0)
+        assert fp.width_um == pytest.approx(515.1, abs=1.0)
+        assert fp.area_mm2 == pytest.approx(0.139, abs=0.001)
+
+    def test_m3d_floorplan_matches_table2(self):
+        from repro.physical.floorplan import Floorplan
+
+        fp = Floorplan.row_of(
+            [
+                ("program_mem", 25000.0),
+                ("m0", 3000.0),
+                ("data_mem", 25000.0),
+            ],
+            row_height_um=159.0,
+        )
+        assert fp.height_um == pytest.approx(159.0)
+        assert fp.width_um == pytest.approx(334.0, abs=1.5)
+        assert fp.area_mm2 == pytest.approx(0.053, abs=0.001)
+
+    def test_unequal_heights_rejected(self):
+        from repro.errors import PhysicalDesignError
+        from repro.physical.floorplan import Floorplan, FloorplanBlock
+
+        with pytest.raises(PhysicalDesignError):
+            Floorplan(
+                [FloorplanBlock("a", 10.0, 5.0), FloorplanBlock("b", 20.0, 5.0)]
+            )
+
+    def test_block_lookup(self):
+        from repro.physical.floorplan import Floorplan
+
+        fp = Floorplan.row_of([("a", 100.0), ("b", 200.0)], 10.0)
+        assert fp.block("b").width_um == pytest.approx(20.0)
+        with pytest.raises(PhysicalDesignError):
+            fp.block("zzz")

@@ -1,0 +1,60 @@
+"""Tests for the global-wire repeater model."""
+
+import pytest
+
+from repro.errors import PhysicalDesignError
+from repro.physical.wires import (
+    RepeaterDesign,
+    optimal_repeaters,
+    unrepeated_delay_s,
+)
+
+
+class TestRepeaterInsertion:
+    def test_repeated_beats_bare_wire_when_long(self):
+        length = 2_000.0  # 2 mm
+        assert optimal_repeaters(length).delay_s < unrepeated_delay_s(length)
+
+    def test_delay_roughly_linear_in_length(self):
+        d1 = optimal_repeaters(1_000.0).delay_s
+        d2 = optimal_repeaters(2_000.0).delay_s
+        assert d2 / d1 == pytest.approx(2.0, rel=0.2)
+
+    def test_bare_delay_quadratic(self):
+        d1 = unrepeated_delay_s(1_000.0)
+        d2 = unrepeated_delay_s(2_000.0)
+        assert d2 / d1 == pytest.approx(4.0, rel=1e-9)
+
+    def test_repeater_count_grows_with_length(self):
+        assert (
+            optimal_repeaters(4_000.0).n_repeaters
+            > optimal_repeaters(500.0).n_repeaters
+        )
+
+    def test_energy_overhead_factor_matches_bus_calibration(self):
+        """The physical repeater-energy overhead lands in the same range
+        as the calibrated BUS_REPEATER_FACTOR (1.62)."""
+        design = optimal_repeaters(500.0)  # the case-study macro span
+        assert 1.2 < design.energy_overhead_factor < 2.2
+
+    def test_energy_components_positive(self):
+        design = optimal_repeaters(800.0)
+        assert design.wire_energy_j > 0
+        assert design.repeater_energy_j > 0
+        assert design.total_energy_j == pytest.approx(
+            design.wire_energy_j + design.repeater_energy_j
+        )
+
+    def test_short_wire_single_repeater(self):
+        assert optimal_repeaters(10.0).n_repeaters == 1
+
+    def test_validation(self):
+        with pytest.raises(PhysicalDesignError):
+            optimal_repeaters(0.0)
+        with pytest.raises(PhysicalDesignError):
+            unrepeated_delay_s(-1.0)
+
+    def test_lower_vdd_less_energy(self):
+        hi = optimal_repeaters(1_000.0, vdd_v=0.7)
+        lo = optimal_repeaters(1_000.0, vdd_v=0.5)
+        assert lo.total_energy_j < hi.total_energy_j

@@ -1,0 +1,88 @@
+"""Tests for yield models."""
+
+import math
+
+import pytest
+
+from repro.errors import PhysicalDesignError
+from repro.physical.yields import (
+    CompoundTierYield,
+    FixedYield,
+    MurphyYield,
+    PoissonYield,
+)
+
+
+class TestFixedYield:
+    def test_area_independent(self):
+        y = FixedYield(0.9)
+        assert y.yield_fraction(0.01) == 0.9
+        assert y.yield_fraction(10.0) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(PhysicalDesignError):
+            FixedYield(0.0)
+        with pytest.raises(PhysicalDesignError):
+            FixedYield(1.5)
+        with pytest.raises(PhysicalDesignError):
+            FixedYield(0.5).yield_fraction(-1.0)
+
+
+class TestPoissonYield:
+    def test_formula(self):
+        y = PoissonYield(defect_density_per_cm2=0.1)
+        assert y.yield_fraction(1.0) == pytest.approx(math.exp(-0.1))
+
+    def test_zero_area_perfect(self):
+        assert PoissonYield(0.5).yield_fraction(0.0) == 1.0
+
+    def test_zero_defects_perfect(self):
+        assert PoissonYield(0.0).yield_fraction(100.0) == 1.0
+
+    def test_monotone_decreasing_in_area(self):
+        y = PoissonYield(0.2)
+        areas = [0.1, 0.5, 1.0, 5.0]
+        fractions = [y.yield_fraction(a) for a in areas]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestMurphyYield:
+    def test_limits(self):
+        y = MurphyYield(0.1)
+        assert y.yield_fraction(0.0) == 1.0
+        assert 0.0 < y.yield_fraction(100.0) < 0.1
+
+    def test_murphy_above_poisson(self):
+        """Murphy's clustered-defect model is more optimistic."""
+        d0 = 0.5
+        for area in (0.5, 1.0, 2.0):
+            assert MurphyYield(d0).yield_fraction(area) > PoissonYield(
+                d0
+            ).yield_fraction(area)
+
+    def test_small_area_agreement(self):
+        """For A*D0 << 1 both models approach 1 - A*D0."""
+        d0, area = 0.01, 0.01
+        poisson = PoissonYield(d0).yield_fraction(area)
+        murphy = MurphyYield(d0).yield_fraction(area)
+        assert murphy == pytest.approx(poisson, rel=1e-4)
+
+
+class TestCompoundTierYield:
+    def test_product_of_tiers(self):
+        tiers = CompoundTierYield([FixedYield(0.9), FixedYield(0.8)])
+        assert tiers.yield_fraction(1.0) == pytest.approx(0.72)
+
+    def test_m3d_stack_yields_less_than_single_tier(self):
+        single = PoissonYield(0.1)
+        stack = CompoundTierYield([PoissonYield(0.1)] * 4)
+        assert stack.yield_fraction(1.0) < single.yield_fraction(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PhysicalDesignError):
+            CompoundTierYield([])
+
+    def test_paper_yields_representable(self):
+        """The paper's demonstration values as fixed-yield models."""
+        assert FixedYield(0.90).yield_fraction(0.00139) == 0.90
+        assert FixedYield(0.50).yield_fraction(0.00053) == 0.50

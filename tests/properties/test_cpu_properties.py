@@ -1,0 +1,185 @@
+"""Property-based tests: the ISS agrees with Python integer semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CortexM0, MemoryMap, assemble
+
+u8 = st.integers(min_value=0, max_value=255)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+shift5 = st.integers(min_value=1, max_value=31)
+
+
+def run_with_r0_r1(body: str, r0: int, r1: int) -> CortexM0:
+    """Load r0/r1 via literal pool, run body, halt."""
+    source = f"""
+_start:
+    ldr r0, =VAL0
+    ldr r1, =VAL1
+{body}
+    bkpt #0
+.equ VAL0, {r0}
+.equ VAL1, {r1}
+"""
+    cpu = CortexM0(MemoryMap.embedded_system())
+    cpu.load_program(assemble(source))
+    cpu.run(max_cycles=10_000)
+    return cpu
+
+
+MASK = 0xFFFFFFFF
+
+
+class TestAluAgainstPython:
+    @given(u32, u32)
+    @settings(max_examples=40, deadline=None)
+    def test_add(self, a, b):
+        cpu = run_with_r0_r1("    adds r0, r0, r1", a, b)
+        assert cpu.regs.read(0) == (a + b) & MASK
+
+    @given(u32, u32)
+    @settings(max_examples=40, deadline=None)
+    def test_sub(self, a, b):
+        cpu = run_with_r0_r1("    subs r0, r0, r1", a, b)
+        assert cpu.regs.read(0) == (a - b) & MASK
+
+    @given(u32, u32)
+    @settings(max_examples=40, deadline=None)
+    def test_mul(self, a, b):
+        cpu = run_with_r0_r1("    muls r0, r1", a, b)
+        assert cpu.regs.read(0) == (a * b) & MASK
+
+    @given(u32, u32)
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise(self, a, b):
+        cpu = run_with_r0_r1(
+            """
+    mov r2, r0
+    ands r2, r1
+    mov r3, r0
+    orrs r3, r1
+    mov r4, r0
+    eors r4, r1
+""",
+            a,
+            b,
+        )
+        assert cpu.regs.read(2) == a & b
+        assert cpu.regs.read(3) == a | b
+        assert cpu.regs.read(4) == a ^ b
+
+    @given(u32, shift5)
+    @settings(max_examples=30, deadline=None)
+    def test_shifts(self, a, n):
+        cpu = run_with_r0_r1(
+            f"""
+    mov r2, r0
+    lsls r2, r2, #{n}
+    mov r3, r0
+    lsrs r3, r3, #{n}
+    mov r4, r0
+    asrs r4, r4, #{n}
+""",
+            a,
+            0,
+        )
+        assert cpu.regs.read(2) == (a << n) & MASK
+        assert cpu.regs.read(3) == a >> n
+        signed = a - 0x100000000 if a & 0x80000000 else a
+        assert cpu.regs.read(4) == (signed >> n) & MASK
+
+    @given(u32, u32)
+    @settings(max_examples=30, deadline=None)
+    def test_flags_match_comparison(self, a, b):
+        """After CMP, the BHI/BLT outcomes match Python comparisons."""
+        cpu = run_with_r0_r1(
+            """
+    movs r4, #0
+    cmp r0, r1
+    bls not_higher
+    adds r4, r4, #1      @ unsigned a > b
+not_higher:
+    cmp r0, r1
+    bge not_less
+    adds r4, r4, #2      @ signed a < b
+not_less:
+""",
+            a,
+            b,
+        )
+        signed_a = a - 0x100000000 if a & 0x80000000 else a
+        signed_b = b - 0x100000000 if b & 0x80000000 else b
+        expected = (1 if a > b else 0) | (2 if signed_a < signed_b else 0)
+        assert cpu.regs.read(4) == expected
+
+
+class TestMemoryRoundtrip:
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_roundtrip(self, payload):
+        memory = MemoryMap.embedded_system()
+        memory.load_bytes(0x2000_0000, payload)
+        assert memory.read_bytes(0x2000_0000, len(payload)) == payload
+
+    @given(u32, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_word_roundtrip_any_aligned_offset(self, value, word_index):
+        memory = MemoryMap.embedded_system()
+        address = 0x2000_0000 + word_index * 4
+        memory.write(address, value, 4)
+        assert memory.read(address, 4) == value
+
+    @given(st.lists(u32, min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_store_load_sequence_via_iss(self, values):
+        stores = "\n".join(
+            f"    ldr r1, =VAL{i}\n    str r1, [r0, #{4*i}]"
+            for i in range(len(values))
+        )
+        loads = "\n".join(
+            f"    ldr r{2+i}, [r0, #{4*i}]" for i in range(min(len(values), 5))
+        )
+        equs = "\n".join(f".equ VAL{i}, {v}" for i, v in enumerate(values))
+        source = f"""
+_start:
+    ldr r0, =0x20000000
+{stores}
+{loads}
+    bkpt #0
+{equs}
+"""
+        cpu = CortexM0(MemoryMap.embedded_system())
+        cpu.load_program(assemble(source))
+        cpu.run(max_cycles=10_000)
+        for i in range(min(len(values), 5)):
+            assert cpu.regs.read(2 + i) == values[i]
+
+
+class TestCycleAccounting:
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_nop_sled_cycles(self, n):
+        source = "_start:\n" + "\n".join("    nop" for _ in range(n)) + "\n    bkpt #0\n"
+        cpu = CortexM0()
+        cpu.load_program(assemble(source))
+        stats = cpu.run()
+        assert stats.cycles == n + 1  # n NOPs + BKPT
+        assert stats.instructions == n + 1
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_loop_cycle_formula(self, iterations):
+        """movs(1) + iterations*(subs 1 + taken bne 3) - 2 (last not taken)."""
+        source = f"""
+_start:
+    movs r0, #{iterations}
+loop:
+    subs r0, r0, #1
+    bne loop
+    bkpt #0
+"""
+        cpu = CortexM0()
+        cpu.load_program(assemble(source))
+        stats = cpu.run()
+        expected = 1 + iterations * 4 - 2 + 1  # + bkpt
+        assert stats.cycles == expected

@@ -1,0 +1,72 @@
+"""Property-based tests for the virtual-source device models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import cnfet_nfet, igzo_nfet, si_nfet
+
+voltages = st.floats(min_value=0.0, max_value=1.3)
+widths = st.floats(min_value=0.01, max_value=10.0)
+makers = st.sampled_from([si_nfet, cnfet_nfet, igzo_nfet])
+
+
+@given(makers, voltages, voltages, voltages)
+def test_current_monotone_in_vgs(maker, vgs_a, vgs_b, vds):
+    """More gate drive never reduces forward current."""
+    fet = maker("m", 1.0)
+    lo, hi = sorted((vgs_a, vgs_b))
+    assert fet.ids(hi, vds) >= fet.ids(lo, vds) - 1e-18
+
+
+@given(makers, voltages, voltages, voltages)
+def test_current_monotone_in_vds(maker, vgs, vds_a, vds_b):
+    """More drain bias never reduces forward current."""
+    fet = maker("m", 1.0)
+    lo, hi = sorted((vds_a, vds_b))
+    assert fet.ids(vgs, hi) >= fet.ids(vgs, lo) - 1e-18
+
+
+@given(makers, widths, voltages, voltages)
+def test_current_linear_in_width(maker, width, vgs, vds):
+    fet_1 = maker("a", 1.0)
+    fet_w = maker("b", width)
+    expected = fet_1.ids(vgs, vds) * width
+    assert math.isclose(
+        fet_w.ids(vgs, vds), expected, rel_tol=1e-9, abs_tol=1e-30
+    )
+
+
+@given(makers, voltages, st.floats(min_value=-1.0, max_value=1.0))
+def test_reverse_operation_antisymmetry(maker, vg, vds):
+    """I(vgs, -vds) relates to the source/drain-exchanged device."""
+    fet = maker("m", 1.0)
+    forward = fet.ids(vg, vds)
+    # Exchange terminals: new vgs = vg - vds, new vds = -vds.
+    exchanged = fet.ids(vg - vds, -vds)
+    assert math.isclose(forward, -exchanged, rel_tol=1e-9, abs_tol=1e-30)
+
+
+@given(makers, voltages)
+def test_zero_vds_zero_current(maker, vgs):
+    fet = maker("m", 1.0)
+    assert fet.ids(vgs, 0.0) == 0.0
+
+
+@given(makers)
+def test_figures_of_merit_ordering(maker):
+    """I_OFF < I_EFF < I_ON for any of the technologies."""
+    fet = maker("m", 1.0)
+    assert fet.off_current_a() < fet.effective_current_a() < fet.on_current_a()
+
+
+@given(makers, st.floats(min_value=0.0, max_value=0.15))
+def test_vt_shift_monotone(maker, shift):
+    """Raising V_T reduces both on- and off-current."""
+    base = maker("a", 1.0)
+    shifted = maker("b", 1.0, vt_shift_v=shift) if maker is not cnfet_nfet else (
+        cnfet_nfet("b", 1.0, vt_shift_v=shift)
+    )
+    assert shifted.off_current_a() <= base.off_current_a() + 1e-24
+    assert shifted.on_current_a() <= base.on_current_a() + 1e-24

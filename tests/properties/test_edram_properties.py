@@ -1,0 +1,118 @@
+"""Property-based tests for the eDRAM models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edram.bitcell import m3d_bitcell, si_bitcell
+from repro.edram.retention import retention_time_s
+from repro.edram.subarray import SubArrayDesign
+
+widths = st.floats(min_value=0.02, max_value=0.5)
+caps = st.floats(min_value=0.2e-15, max_value=5e-15)
+sense = st.floats(min_value=0.3, max_value=0.9)
+
+
+class TestRetentionProperties:
+    @given(widths, widths)
+    @settings(max_examples=30, deadline=None)
+    def test_retention_decreases_with_write_width(self, w_a, w_b):
+        """Wider write FET leaks proportionally more."""
+        lo, hi = sorted((w_a, w_b))
+        t_lo = retention_time_s(m3d_bitcell(write_width_um=lo))
+        t_hi = retention_time_s(m3d_bitcell(write_width_um=hi))
+        assert t_hi <= t_lo * 1.0001
+
+    @given(caps)
+    @settings(max_examples=30, deadline=None)
+    def test_retention_increases_with_storage_cap(self, cap):
+        base = retention_time_s(m3d_bitcell(storage_cap_f=cap))
+        bigger = retention_time_s(m3d_bitcell(storage_cap_f=cap * 2))
+        assert bigger > base
+
+    @given(sense)
+    @settings(max_examples=30, deadline=None)
+    def test_retention_decreases_with_sense_fraction(self, fraction):
+        """A stricter sensing threshold tolerates less droop."""
+        cell = si_bitcell()
+        loose = retention_time_s(cell, sense_fraction=fraction * 0.9)
+        strict = retention_time_s(cell, sense_fraction=fraction)
+        assert strict <= loose * 1.0001
+
+    @given(widths, caps)
+    @settings(max_examples=30, deadline=None)
+    def test_m3d_always_outlasts_si(self, width, cap):
+        """For any matched geometry, the IGZO cell retains longer."""
+        m3d = retention_time_s(
+            m3d_bitcell(write_width_um=width, storage_cap_f=cap)
+        )
+        si = retention_time_s(
+            si_bitcell(write_width_um=width, storage_cap_f=cap)
+        )
+        assert m3d > 100 * si
+
+
+class TestSubArrayProperties:
+    @given(
+        st.sampled_from([32, 64, 128, 256]),
+        st.sampled_from([32, 64, 128, 256]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_formula(self, rows, cols):
+        design = SubArrayDesign(si_bitcell(), n_rows=rows, n_cols=cols)
+        assert design.n_bits == rows * cols
+        assert design.bytes * 8 == design.n_bits
+
+    @given(st.sampled_from([64, 128, 256]))
+    @settings(max_examples=10, deadline=None)
+    def test_parasitics_scale_with_rows(self, rows):
+        small = SubArrayDesign(si_bitcell(), n_rows=rows, n_cols=128)
+        large = SubArrayDesign(si_bitcell(), n_rows=rows * 2, n_cols=128)
+        assert (
+            large.bitline_parasitics().total_cap_f
+            > small.bitline_parasitics().total_cap_f
+        )
+        # Wordlines are unaffected by the row count.
+        assert math.isclose(
+            large.write_wordline_parasitics().total_cap_f,
+            small.write_wordline_parasitics().total_cap_f,
+            rel_tol=1e-12,
+        )
+
+    @given(st.sampled_from([64, 128, 256]), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=15, deadline=None)
+    def test_words_times_width_is_capacity(self, cols, mux):
+        design = SubArrayDesign(
+            si_bitcell(), n_rows=128, n_cols=cols, column_mux=mux
+        )
+        assert design.n_words * design.word_bits == design.n_bits
+
+
+class TestEnergyProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_energy_monotone_in_access_rates(self, reads, writes):
+        from repro.edram.array import MemoryMacro
+        from repro.edram.energy import EdramEnergyModel
+
+        model = EdramEnergyModel(MemoryMacro.for_cell(m3d_bitcell()))
+        base = model.energy_per_cycle_j(reads, writes, 500e6)
+        more = model.energy_per_cycle_j(reads + 0.1, writes, 500e6)
+        assert more > base
+
+    @given(st.floats(min_value=1e8, max_value=1e9))
+    @settings(max_examples=20, deadline=None)
+    def test_standby_energy_share_shrinks_with_clock(self, clock):
+        """Refresh/leakage is per-second, so its per-cycle share falls
+        as the clock rises."""
+        from repro.edram.array import MemoryMacro
+        from repro.edram.energy import EdramEnergyModel
+
+        model = EdramEnergyModel(MemoryMacro.for_cell(si_bitcell()))
+        slow = model.energy_per_cycle_j(0.0, 0.0, clock)
+        fast = model.energy_per_cycle_j(0.0, 0.0, clock * 2)
+        assert math.isclose(slow, 2 * fast, rel_tol=1e-9)

@@ -1,0 +1,157 @@
+"""Property-based tests for the circuit simulator."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Dc,
+    Pulse,
+    PieceWiseLinear,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    transient,
+)
+
+resistances = st.floats(min_value=10.0, max_value=1e6)
+volts = st.floats(min_value=-5.0, max_value=5.0)
+caps = st.floats(min_value=1e-15, max_value=1e-9)
+
+
+class TestDcProperties:
+    @given(volts, resistances, resistances)
+    @settings(max_examples=30, deadline=None)
+    def test_voltage_divider_formula(self, v, r1, r2):
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", Dc(v)))
+        c.add(Resistor("r1", "in", "mid", r1))
+        c.add(Resistor("r2", "mid", "0", r2))
+        op = dc_operating_point(c)
+        expected = v * r2 / (r1 + r2)
+        assert math.isclose(op["mid"], expected, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(volts, resistances)
+    @settings(max_examples=30, deadline=None)
+    def test_ohms_law_branch_current(self, v, r):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", Dc(v)))
+        c.add(Resistor("r1", "a", "0", r))
+        op = dc_operating_point(c)
+        assert math.isclose(op["a"], v, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e-2),
+        resistances,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_current_source_superposition(self, i, r):
+        c = Circuit()
+        c.add(CurrentSource("i1", "0", "a", Dc(i)))
+        c.add(CurrentSource("i2", "0", "a", Dc(i)))
+        c.add(Resistor("r1", "a", "0", r))
+        op = dc_operating_point(c)
+        assert math.isclose(op["a"], 2 * i * r, rel_tol=1e-6)
+
+    @given(volts, volts, resistances, resistances)
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_of_linear_circuits(self, v1, v2, r1, r2):
+        """Superposition: response to v1+v2 = response(v1) + response(v2)."""
+
+        def solve(v):
+            c = Circuit()
+            c.add(VoltageSource("v", "in", "0", Dc(v)))
+            c.add(Resistor("r1", "in", "mid", r1))
+            c.add(Resistor("r2", "mid", "0", r2))
+            return dc_operating_point(c)["mid"]
+
+        assert math.isclose(
+            solve(v1 + v2), solve(v1) + solve(v2), rel_tol=1e-6, abs_tol=1e-9
+        )
+
+
+class TestTransientProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=1e3, max_value=1e5),
+        caps,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rc_final_value(self, v, r, cap):
+        """After many time constants the capacitor reaches the source."""
+        tau = r * cap
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", Dc(v)))
+        c.add(Resistor("r1", "in", "out", r))
+        c.add(Capacitor("c1", "out", "0", cap))
+        res = transient(
+            c, t_stop=10 * tau, dt=tau / 20, use_dc_start=False
+        )
+        assert math.isclose(res.voltage("out").final(), v, rel_tol=1e-3)
+
+    @given(st.floats(min_value=0.2, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_capacitor_charge_conservation(self, v):
+        """Two series caps divide the source by the capacitive divider."""
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", Dc(v)))
+        c.add(Resistor("r1", "in", "top", 1e3))
+        c.add(Capacitor("c1", "top", "mid", 1e-12))
+        c.add(Capacitor("c2", "mid", "0", 1e-12))
+        res = transient(c, t_stop=50e-9, dt=0.05e-9, use_dc_start=False)
+        # Equal caps -> midpoint settles to v/2.
+        assert math.isclose(
+            res.voltage("mid").final(), v / 2, rel_tol=5e-3
+        )
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_waveform_sample_count(self, steps):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", Dc(1.0)))
+        c.add(Resistor("r1", "a", "0", 1e3))
+        res = transient(c, t_stop=steps * 1e-9, dt=1e-9)
+        assert res.times.shape == (steps + 1,)
+
+
+class TestDriveWaveformProperties:
+    @given(
+        st.floats(min_value=-2, max_value=2),
+        st.floats(min_value=-2, max_value=2),
+        st.floats(min_value=0, max_value=50e-9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pulse_bounded_by_levels(self, v1, v2, t):
+        p = Pulse(v1, v2, delay=5e-9, rise=1e-9, fall=1e-9, width=10e-9)
+        lo, hi = min(v1, v2), max(v1, v2)
+        assert lo - 1e-12 <= p.at(t) <= hi + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=-5, max_value=5),
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        st.floats(min_value=-10, max_value=110),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pwl_bounded_by_points(self, raw_points, t):
+        points = sorted(raw_points, key=lambda p: p[0])
+        pwl = PieceWiseLinear(tuple(points))
+        values = [v for _t, v in points]
+        assert min(values) - 1e-9 <= pwl.at(t) <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0, max_value=40e-9))
+    @settings(max_examples=30, deadline=None)
+    def test_periodic_pulse_period_invariance(self, t):
+        p = Pulse(0.0, 1.0, rise=1e-9, fall=1e-9, width=3e-9, period=10e-9)
+        assert math.isclose(
+            p.at(t), p.at(t + 10e-9), rel_tol=1e-9, abs_tol=1e-9
+        )

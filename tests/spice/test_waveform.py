@@ -1,0 +1,114 @@
+"""Tests for drive waveforms and waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.waveform import (
+    Dc,
+    PieceWiseLinear,
+    Pulse,
+    Waveform,
+    delay_between,
+)
+
+
+class TestDrives:
+    def test_dc(self):
+        assert Dc(0.7).at(0.0) == 0.7
+        assert Dc(0.7).at(1e9) == 0.7
+
+    def test_pulse_phases(self):
+        p = Pulse(0.0, 1.0, delay=1e-9, rise=1e-10, fall=1e-10, width=2e-9)
+        assert p.at(0.0) == 0.0
+        assert p.at(1e-9 + 5e-11) == pytest.approx(0.5)
+        assert p.at(2e-9) == 1.0
+        assert p.at(1e-9 + 1e-10 + 2e-9 + 5e-11) == pytest.approx(0.5)
+        assert p.at(10e-9) == 0.0
+
+    def test_pulse_periodic(self):
+        p = Pulse(0.0, 1.0, rise=1e-12, fall=1e-12, width=1e-9, period=4e-9)
+        assert p.at(0.5e-9) == 1.0
+        assert p.at(2e-9) == 0.0
+        assert p.at(4.5e-9) == 1.0  # second period
+
+    def test_pulse_validation(self):
+        with pytest.raises(AnalysisError):
+            Pulse(0.0, 1.0, rise=0.0)
+        with pytest.raises(AnalysisError):
+            Pulse(0.0, 1.0, width=-1.0)
+
+    def test_pwl(self):
+        p = PieceWiseLinear(((0.0, 0.0), (1.0, 1.0), (2.0, 0.5)))
+        assert p.at(-1.0) == 0.0
+        assert p.at(0.5) == pytest.approx(0.5)
+        assert p.at(1.5) == pytest.approx(0.75)
+        assert p.at(5.0) == 0.5
+
+    def test_pwl_validation(self):
+        with pytest.raises(AnalysisError):
+            PieceWiseLinear(())
+        with pytest.raises(AnalysisError):
+            PieceWiseLinear(((1.0, 0.0), (0.5, 1.0)))
+
+
+class TestWaveform:
+    def _ramp(self):
+        t = np.linspace(0.0, 1.0, 101)
+        return Waveform(t, t.copy())
+
+    def test_interpolation(self):
+        w = self._ramp()
+        assert w.at(0.505) == pytest.approx(0.505)
+
+    def test_crossings_rising(self):
+        w = self._ramp()
+        assert w.first_crossing(0.5) == pytest.approx(0.5)
+
+    def test_crossings_falling(self):
+        t = np.linspace(0.0, 1.0, 101)
+        w = Waveform(t, 1.0 - t)
+        assert w.first_crossing(0.5, rising=False) == pytest.approx(0.5)
+
+    def test_missing_crossing_raises(self):
+        w = self._ramp()
+        with pytest.raises(AnalysisError, match="never crosses"):
+            w.first_crossing(2.0)
+
+    def test_multiple_crossings(self):
+        t = np.linspace(0.0, 2.0, 401)
+        w = Waveform(t, np.sin(2 * np.pi * t))
+        xs = w.crossings(0.0, rising=True)
+        assert len(xs) >= 1
+        assert xs[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_settle_value(self):
+        t = np.linspace(0.0, 1.0, 100)
+        v = np.ones(100) * 0.7
+        v[:50] = 0.0
+        w = Waveform(t, v)
+        assert w.settle_value(0.1) == pytest.approx(0.7)
+
+    def test_extrema_and_integral(self):
+        w = self._ramp()
+        assert w.minimum() == 0.0
+        assert w.maximum() == 1.0
+        assert w.integral() == pytest.approx(0.5, abs=1e-3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_delay_between(self):
+        t = np.linspace(0.0, 1.0, 101)
+        cause = Waveform(t, t)
+        effect = Waveform(t, np.clip((t - 0.2), 0.0, None))
+        d = delay_between(cause, effect, 0.5, 0.5)
+        assert d == pytest.approx(0.2, abs=0.01)
+
+    def test_delay_requires_effect_after_cause(self):
+        t = np.linspace(0.0, 1.0, 101)
+        cause = Waveform(t, t)
+        flat = Waveform(t, np.zeros_like(t))
+        with pytest.raises(AnalysisError):
+            delay_between(cause, flat, 0.5, 0.5)

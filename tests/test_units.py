@@ -1,0 +1,101 @@
+"""Tests for unit constants and conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_kwh_joules_roundtrip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(2.5)) == pytest.approx(2.5)
+
+    def test_kwh_value(self):
+        assert units.KWH == 3.6e6
+
+    def test_wafer_area(self):
+        """300 mm wafer = 706.86 cm^2 (the paper's 3.5e5 g at
+        500 g/cm^2 checks out)."""
+        area = units.wafer_area_cm2(300.0)
+        assert area == pytest.approx(math.pi * 15.0**2)
+        assert 500.0 * area == pytest.approx(3.5e5, rel=0.02)
+
+    def test_months_seconds_roundtrip(self):
+        assert units.seconds_to_months(
+            units.months_to_seconds(24.0)
+        ) == pytest.approx(24.0)
+
+    def test_month_is_julian_twelfth(self):
+        assert units.MONTH * 12 == pytest.approx(units.YEAR)
+        assert units.YEAR == pytest.approx(365.25 * 86400)
+
+    def test_si_prefixes_consistent(self):
+        assert units.PICOJOULE == 1e-12
+        assert units.MHZ * 1000 == units.GHZ
+        assert units.FEMTOFARAD * 1000 == units.PICOFARAD
+
+    def test_thermal_voltage(self):
+        """kT/q at 300 K ~ 25.85 mV."""
+        assert units.THERMAL_VOLTAGE_300K == pytest.approx(0.02585, abs=1e-4)
+
+
+class TestRegisterFile:
+    def test_pc_read_adds_pipeline_offset(self):
+        from repro.cpu.registers import PC, RegisterFile
+
+        regs = RegisterFile()
+        regs.write(PC, 0x100)
+        assert regs.read(PC) == 0x104
+        assert regs.read_raw_pc() == 0x100
+
+    def test_masking_to_32_bits(self):
+        from repro.cpu.registers import RegisterFile
+
+        regs = RegisterFile()
+        regs.write(0, 0x1_FFFF_FFFF)
+        assert regs.read(0) == 0xFFFF_FFFF
+
+    def test_to_signed(self):
+        from repro.cpu.registers import RegisterFile
+
+        assert RegisterFile.to_signed(0xFFFFFFFF) == -1
+        assert RegisterFile.to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_flags_word(self):
+        from repro.cpu.registers import RegisterFile
+
+        regs = RegisterFile()
+        regs.n, regs.z, regs.c, regs.v = True, False, True, False
+        assert regs.flags_word() == 0b1010
+
+    def test_bad_register_index(self):
+        from repro.cpu.registers import RegisterFile
+        from repro.errors import ExecutionError
+
+        regs = RegisterFile()
+        with pytest.raises(ExecutionError):
+            regs.read(16)
+        with pytest.raises(ExecutionError):
+            regs.write(-1, 0)
+
+    def test_dump_format(self):
+        from repro.cpu.registers import RegisterFile
+
+        regs = RegisterFile()
+        regs.write(3, 0xDEADBEEF)
+        dump = regs.dump()
+        assert "r3 =deadbeef" in dump
+        assert "N=0" in dump
+
+    def test_condition_codes(self):
+        from repro.cpu.registers import RegisterFile, condition_passed
+        from repro.errors import ExecutionError
+
+        regs = RegisterFile()
+        regs.z = True
+        assert condition_passed(0x0, regs)  # EQ
+        assert not condition_passed(0x1, regs)  # NE
+        assert condition_passed(0xE, regs)  # AL
+        with pytest.raises(ExecutionError):
+            condition_passed(0xF, regs)

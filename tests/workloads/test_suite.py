@@ -1,0 +1,137 @@
+"""Workload suite tests: self-checks against golden models.
+
+Heavy configurations are scaled down; the full paper-length matmul-int
+run (20,047,348 cycles, ~1 minute) lives in the benchmark harness.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import all_workloads, get_workload, run_workload
+from repro.workloads import (
+    crc32, edn, fib, matmul_int, primecount, sort, st, ud,
+)
+from repro.workloads.suite import Workload
+
+
+class TestRegistry:
+    def test_eight_workloads(self):
+        loads = all_workloads()
+        assert set(loads) == {
+            "matmul-int", "crc32", "edn", "primecount", "fib", "ud",
+            "st", "sort",
+        }
+
+    def test_get_workload(self):
+        w = get_workload("crc32")
+        assert w.name == "crc32"
+        with pytest.raises(ReproError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_headline_workload_is_paper_length(self):
+        """The registered matmul-int must predict the paper's count."""
+        assert matmul_int.predicted_cycles() == matmul_int.PAPER_CYCLE_COUNT
+        assert matmul_int.PAPER_CYCLE_COUNT == 20_047_348
+
+
+class TestMatmulInt:
+    def test_small_config_correct(self):
+        w = matmul_int.workload(repeats=1, tune=1, pads=0)
+        result = run_workload(w)
+        assert result.correct
+
+    def test_predicted_cycles_match_measured(self):
+        for repeats, tune, pads in [(1, 1, 0), (2, 5, 3)]:
+            w = matmul_int.workload(repeats=repeats, tune=tune, pads=pads)
+            result = run_workload(w)
+            assert result.cycles == matmul_int.predicted_cycles(
+                repeats, tune, pads
+            )
+
+    def test_golden_checksum_stable(self):
+        assert matmul_int.golden_checksum() == matmul_int.golden_checksum()
+
+    def test_access_profile_shape(self):
+        """matmul-int is fetch- and load-dominated, few stores."""
+        result = run_workload(matmul_int.workload(repeats=1, tune=1, pads=0))
+        profile = result.access_profile()
+        assert 0.5 < profile.program_reads_per_cycle < 1.0
+        assert profile.data_reads_per_cycle > 5 * profile.data_writes_per_cycle
+
+    def test_failed_selfcheck_raises(self):
+        w = matmul_int.workload(repeats=1, tune=1, pads=0)
+        bad = Workload(w.name, w.description, w.source, expected_checksum=0)
+        with pytest.raises(ReproError, match="self-check"):
+            run_workload(bad)
+
+
+class TestOtherWorkloads:
+    def test_crc32_matches_binascii(self):
+        result = run_workload(crc32.workload(length=256, repeats=1))
+        import binascii
+
+        assert result.checksum == crc32.golden_checksum(256)
+        # golden model itself is binascii-backed
+        assert crc32.golden_checksum(256) == binascii.crc32(
+            crc32._lcg_buffer(256)
+        )
+
+    def test_edn(self):
+        result = run_workload(edn.workload(length=64, taps=8, repeats=2))
+        assert result.correct
+
+    def test_primecount_value(self):
+        result = run_workload(primecount.workload(limit=1000, repeats=1))
+        assert result.checksum == 168  # primes below 1000
+
+    def test_fib(self):
+        result = run_workload(fib.workload(k=32, repeats=2))
+        assert result.correct
+
+    def test_ud_software_divide(self):
+        result = run_workload(ud.workload(pairs=32, repeats=1))
+        assert result.correct
+
+    def test_st_statistics(self):
+        result = run_workload(st.workload(length=64, repeats=2))
+        assert result.correct
+
+    def test_sort_is_store_heavy(self):
+        """Sorting moves data: the highest store rate in the suite."""
+        sort_result = run_workload(sort.workload(length=48, repeats=1))
+        matmul_result = run_workload(
+            matmul_int.workload(repeats=1, tune=1, pads=0)
+        )
+        assert sort_result.correct
+        sort_writes = sort_result.data_writes / sort_result.cycles
+        matmul_writes = matmul_result.data_writes / matmul_result.cycles
+        assert sort_writes > 5 * matmul_writes
+
+    def test_sort_order_sensitive_checksum(self):
+        """The position-weighted checksum catches an unsorted array."""
+        keys = sort._lcg_keys(16)
+        sorted_sum = sum((i + 1) * v for i, v in enumerate(sorted(keys)))
+        unsorted_sum = sum((i + 1) * v for i, v in enumerate(keys))
+        assert sorted_sum != unsorted_sum
+
+    def test_all_have_reasonable_cpi(self):
+        """Cortex-M0 CPI on integer code sits between 1 and ~2."""
+        configs = [
+            matmul_int.workload(repeats=1, tune=1, pads=0),
+            crc32.workload(length=128, repeats=1),
+            edn.workload(length=64, taps=8, repeats=1),
+            primecount.workload(limit=512, repeats=1),
+            fib.workload(k=24, repeats=1),
+            ud.workload(pairs=16, repeats=1),
+        ]
+        for w in configs:
+            result = run_workload(w)
+            assert 1.0 <= result.cpi <= 2.2, w.name
+
+    def test_activity_factors_in_range(self):
+        for w in (
+            matmul_int.workload(repeats=1, tune=1, pads=0),
+            crc32.workload(length=128, repeats=1),
+        ):
+            result = run_workload(w)
+            assert 0.0 < result.activity_factor < 0.3
