@@ -1,0 +1,51 @@
+"""ISS performance benchmark: writes the ``BENCH_iss.json`` artifact.
+
+Tracks the fast-engine speedup, the full-length matmul throughput, the
+suite wall times (serial/parallel/warm-cache), and the cache hit cost,
+so the ISS performance trajectory is visible across PRs.
+"""
+
+import json
+
+
+def test_bench_iss(output_dir):
+    from repro.runtime.bench import run_bench
+
+    path = output_dir / "BENCH_iss.json"
+    report = run_bench(output_path=path, measure_legacy_full=True)
+
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["schema"] == "bench-iss/1"
+
+    medium = data["engine_comparison_medium"]
+    assert medium["bit_identical"]
+    assert medium["speedup_fast_over_legacy"] > 3.0
+
+    full = data["matmul_full_fast"]
+    assert full["cycles_match_paper"]
+    assert full["checksum_correct"]
+    assert full["mips"] > 0
+
+    # The acceptance gate: the paper-length matmul-int run is >= 5x
+    # faster on the fast engine than the legacy (seed) interpreter,
+    # with bit-identical results.
+    legacy_full = data["matmul_full_legacy"]
+    assert legacy_full["bit_identical"]
+    assert legacy_full["speedup_fast_over_legacy"] >= 5.0
+
+    suite = data["suite_study"]
+    assert suite["warm_under_5s"]
+    assert suite["warm_cache_hits"] >= 8
+    # Parallel must not lose to serial beyond noise; on a single-CPU
+    # host the pool collapses to one worker and the two are equal.
+    if suite["parallel_jobs"] > 1:
+        assert (
+            suite["parallel_cold_wall_seconds"]
+            < suite["serial_cold_wall_seconds"]
+        )
+
+    cache = data["cache_entry"]
+    assert cache["hit_was_hit"]
+    assert cache["hit_wall_seconds"] < cache["miss_wall_seconds"]
+
+    print(json.dumps(report["matmul_full_fast"], indent=2))

@@ -26,7 +26,7 @@ from repro.core.operational import UsageScenario
 from repro.workloads import (
     crc32, edn, fib, matmul_int, primecount, sort, st, ud,
 )
-from repro.workloads.suite import Workload, run_workload
+from repro.workloads.suite import Workload
 
 
 def default_study_configs() -> List[Workload]:
@@ -68,12 +68,29 @@ def run_suite_study(
     clock_hz: float = 500e6,
     configs: Optional[List[Workload]] = None,
     grid: str = "us",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> List[WorkloadStudyRow]:
-    """Run the whole suite through the PPAtC flow at one lifetime."""
+    """Run the whole suite through the PPAtC flow at one lifetime.
+
+    ISS runs go through :func:`repro.runtime.parallel.run_workloads`:
+    previously-seen workloads resolve from the persistent result cache,
+    and cache misses fan out over worker processes.
+
+    Args:
+        jobs: ISS worker processes (``None`` auto-sizes to the CPU
+            count, ``1`` forces serial).
+        cache: A :class:`~repro.runtime.cache.ResultCache`, ``None``
+            for the default persistent cache, or ``False`` to disable
+            result caching.
+    """
+    from repro.runtime.parallel import run_workloads
+
     scenario = UsageScenario(lifetime_months)
+    workloads = configs if configs is not None else default_study_configs()
+    report = run_workloads(workloads, jobs=jobs, cache=cache)
     rows: List[WorkloadStudyRow] = []
-    for workload in configs if configs is not None else default_study_configs():
-        result = run_workload(workload)
+    for workload, result in zip(workloads, report.results):
         profile = result.access_profile()
         si = build_all_si_system(
             clock_hz=clock_hz,

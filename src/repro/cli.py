@@ -120,16 +120,58 @@ def cmd_fig6b(args) -> int:
 
 def cmd_workloads(args) -> int:
     from repro.analysis.suite_study import default_study_configs
-    from repro.workloads.suite import run_workload
+    from repro.runtime import render_perf_table, run_workloads
 
     configs = default_study_configs()
+    report = run_workloads(
+        configs,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+    )
     print(f"{'workload':12s} {'cycles':>10s} {'CPI':>6s} {'checksum':>12s}")
-    for workload in configs:
-        result = run_workload(workload)
+    for result in report.results:
         print(
-            f"{workload.name:12s} {result.cycles:>10,} {result.cpi:>6.2f} "
-            f"{result.checksum:>#12x}"
+            f"{result.workload.name:12s} {result.cycles:>10,} "
+            f"{result.cpi:>6.2f} {result.checksum:>#12x}"
         )
+    if args.perf:
+        print()
+        print(render_perf_table(report.perfs))
+        print(
+            f"suite wall {report.wall_seconds:.3f}s, jobs={report.jobs}, "
+            f"cache hits {report.cache_hits}/{len(report.results)}"
+        )
+    return 0
+
+
+def cmd_bench_iss(args) -> int:
+    from repro.runtime.bench import run_bench
+
+    report = run_bench(
+        output_path=args.output,
+        measure_legacy_full=args.full,
+    )
+    medium = report["engine_comparison_medium"]
+    full = report["matmul_full_fast"]
+    suite = report["suite_study"]
+    print(
+        f"fast vs legacy (medium matmul): "
+        f"{medium['speedup_fast_over_legacy']:.1f}x "
+        f"(bit-identical: {medium['bit_identical']})"
+    )
+    print(
+        f"full matmul (fast): {full['wall_seconds']:.2f}s, "
+        f"{full['mips']:.1f} MIPS, "
+        f"cycles match paper: {full['cycles_match_paper']}"
+    )
+    print(
+        f"suite: serial cold {suite['serial_cold_wall_seconds']:.2f}s, "
+        f"parallel cold {suite['parallel_cold_wall_seconds']:.2f}s "
+        f"(jobs={suite['parallel_jobs']}), "
+        f"warm cache {suite['warm_cache_wall_seconds']:.2f}s"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -199,6 +241,7 @@ _COMMANDS = {
     "workloads": (cmd_workloads, "run the Embench-style suite"),
     "optimize": (cmd_optimize, "tCDP-optimal operating point"),
     "process": (cmd_process, "dump/evaluate process-flow JSON files"),
+    "bench-iss": (cmd_bench_iss, "ISS performance benchmark (BENCH_iss.json)"),
 }
 
 
@@ -225,6 +268,35 @@ def build_parser() -> argparse.ArgumentParser:
                 default="m3d",
                 choices=("all-si", "m3d"),
                 help="which built-in flow --dump writes",
+            )
+        if name == "workloads":
+            sub.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="ISS worker processes (default: one per CPU)",
+            )
+            sub.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="bypass the persistent result cache (REPRO_CACHE_DIR)",
+            )
+            sub.add_argument(
+                "--perf",
+                action="store_true",
+                help="print wall-time and simulated-MIPS per run",
+            )
+        if name == "bench-iss":
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the BENCH_iss.json artifact to FILE",
+            )
+            sub.add_argument(
+                "--full",
+                action="store_true",
+                help="also measure the full-length legacy run (~1 min)",
             )
         sub.set_defaults(func=func)
     return parser

@@ -1,0 +1,1575 @@
+"""Predecoded fast execution engine for the Cortex-M0 ISS.
+
+The legacy :meth:`~repro.cpu.simulator.CortexM0.step` re-decodes every
+instruction on every execution: a ~20-branch mask cascade, field
+extraction, and a region scan per memory access.  Programs live in
+immutable ROM, however, so each halfword only ever decodes one way.
+
+This module decodes each program halfword *once* into a bound Python
+closure ("handler") stored in a per-PC dispatch table.  A handler
+carries its pre-extracted fields (registers, immediates, branch
+targets, mnemonic) as closure constants and touches the architectural
+state directly — register list, APSR flags, region byte arrays and
+counters — producing **bit-identical** results to the legacy path:
+
+- same :class:`~repro.cpu.simulator.ExecutionStats` (cycles,
+  instructions, branch/load/store tallies, per-mnemonic counts),
+- same per-region access counters (every executed fetch is counted,
+  exactly as the legacy per-step fetch is),
+- same :class:`~repro.cpu.trace.ActivityTrace` toggle counts,
+- same exception types and messages on faults.
+
+Hot-loop accounting trick: every fast-dispatched step is exactly one
+instruction and one counted program fetch, so both tallies live in a
+single loop-local counter flushed to ``ExecutionStats`` and the program
+region's ``AccessCounters`` at exit (BL adds its extra suffix fetch in
+its handler).  Self-modifying code is supported: stores that land in
+the program region invalidate the dispatch table, and executed
+addresses outside the program region fall back to the legacy
+``step()``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError, MemoryAccessError
+
+_MASK32 = 0xFFFFFFFF
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def _hamming(x: int) -> int:
+        return x.bit_count()
+else:  # pragma: no cover - exercised only on 3.9
+    def _hamming(x: int) -> int:
+        return bin(x).count("1")
+
+
+class _Halt(Exception):
+    """Internal signal: a BKPT handler stopped the core."""
+
+
+class _NullTrace:
+    """Toggle sink used when no ActivityTrace is attached."""
+
+    __slots__ = ("register_writes", "register_toggles")
+
+    def __init__(self) -> None:
+        self.register_writes = 0
+        self.register_toggles = 0
+
+
+def _adc(R, a: int, b: int, cin: int) -> int:
+    """Add with carry, setting N/Z/C/V exactly like the legacy core."""
+    result = a + b + cin
+    R.c = result > 0xFFFFFFFF
+    result &= 0xFFFFFFFF
+    sa = a - 0x100000000 if a & 0x80000000 else a
+    sb = b - 0x100000000 if b & 0x80000000 else b
+    signed = sa + sb + cin
+    R.v = not (-2147483648 <= signed <= 2147483647)
+    R.n = result >= 0x80000000
+    R.z = result == 0
+    return result
+
+
+def _cond_fn(cond: int, R):
+    """A bound condition-code checker reading the APSR flags."""
+    if cond == 0x0:
+        return lambda: R.z
+    if cond == 0x1:
+        return lambda: not R.z
+    if cond == 0x2:
+        return lambda: R.c
+    if cond == 0x3:
+        return lambda: not R.c
+    if cond == 0x4:
+        return lambda: R.n
+    if cond == 0x5:
+        return lambda: not R.n
+    if cond == 0x6:
+        return lambda: R.v
+    if cond == 0x7:
+        return lambda: not R.v
+    if cond == 0x8:
+        return lambda: R.c and not R.z
+    if cond == 0x9:
+        return lambda: (not R.c) or R.z
+    if cond == 0xA:
+        return lambda: R.n == R.v
+    if cond == 0xB:
+        return lambda: R.n != R.v
+    if cond == 0xC:
+        return lambda: (not R.z) and R.n == R.v
+    return lambda: R.z or R.n != R.v  # 0xD LE (0xE/0xF never reach here)
+
+
+class FastEngine:
+    """Per-CPU dispatch table of predecoded instruction handlers.
+
+    The table is indexed by ``pc - program_base`` (byte-granular: odd
+    slots stay ``None`` forever; decoding an odd PC raises the same
+    misaligned-fetch error the legacy fetch would).
+    """
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        mem = cpu.memory
+        self.prog = mem.region("program")
+        self.data = mem.region("data")
+        self.regs_list = cpu.regs._regs
+        self.table = [None] * self.prog.size
+        self._decoded_version = self.prog.version
+        self._null_trace = _NullTrace()
+        self._mem_helpers = self._make_mem_helpers(mem, self.prog, self.data)
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached handler (program memory changed)."""
+        table = self.table
+        for i in range(len(table)):
+            table[i] = None
+        self._decoded_version = self.prog.version
+
+    # ------------------------------------------------------------------
+    def _make_mem_helpers(self, mem, prog, data):
+        """Region-resolved data access closures shared by all handlers.
+
+        The clean in-bounds aligned case skips the per-access region
+        scan; everything else (misalignment, spills, unmapped addresses,
+        program-region stores) delegates to the legacy
+        :meth:`MemoryMap.read`/:meth:`MemoryMap.write`, which raises the
+        identical errors and keeps the identical counting discipline.
+        """
+        prog_base, prog_end = prog.base, prog.end
+        prog_data, prog_counters = prog.data, prog.counters
+        data_base, data_end = data.base, data.end
+        data_bytes, data_counters = data.data, data.counters
+        mem_read = mem.read
+        mem_write = mem.write
+        invalidate = self.invalidate
+        from_bytes = int.from_bytes
+
+        def read32(a):
+            if data_base <= a and a + 4 <= data_end and not a & 3:
+                data_counters.reads += 1
+                o = a - data_base
+                return from_bytes(data_bytes[o:o + 4], "little")
+            if prog_base <= a and a + 4 <= prog_end and not a & 3:
+                prog_counters.reads += 1
+                o = a - prog_base
+                return from_bytes(prog_data[o:o + 4], "little")
+            return mem_read(a, 4)
+
+        def read16(a):
+            if data_base <= a and a + 2 <= data_end and not a & 1:
+                data_counters.reads += 1
+                o = a - data_base
+                return from_bytes(data_bytes[o:o + 2], "little")
+            if prog_base <= a and a + 2 <= prog_end and not a & 1:
+                prog_counters.reads += 1
+                o = a - prog_base
+                return from_bytes(prog_data[o:o + 2], "little")
+            return mem_read(a, 2)
+
+        def read8(a):
+            if data_base <= a < data_end:
+                data_counters.reads += 1
+                return data_bytes[a - data_base]
+            if prog_base <= a < prog_end:
+                prog_counters.reads += 1
+                return prog_data[a - prog_base]
+            return mem_read(a, 1)
+
+        def write32(a, v):
+            if data_base <= a and a + 4 <= data_end and not a & 3:
+                data_counters.writes += 1
+                o = a - data_base
+                data_bytes[o:o + 4] = (v & 0xFFFFFFFF).to_bytes(4, "little")
+                return
+            mem_write(a, v, 4)
+            if prog_base <= a < prog_end:
+                invalidate()
+
+        def write16(a, v):
+            if data_base <= a and a + 2 <= data_end and not a & 1:
+                data_counters.writes += 1
+                o = a - data_base
+                data_bytes[o:o + 2] = (v & 0xFFFF).to_bytes(2, "little")
+                return
+            mem_write(a, v, 2)
+            if prog_base <= a < prog_end:
+                invalidate()
+
+        def write8(a, v):
+            if data_base <= a < data_end:
+                data_counters.writes += 1
+                data_bytes[a - data_base] = v & 0xFF
+                return
+            mem_write(a, v, 1)
+            if prog_base <= a < prog_end:
+                invalidate()
+
+        return read32, read16, read8, write32, write16, write8
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int):
+        """Run until BKPT or the cycle limit; returns the shared stats."""
+        cpu = self.cpu
+        if self._decoded_version != self.prog.version:
+            self.invalidate()
+        stats = cpu.stats
+        regs = self.regs_list
+        table = self.table
+        decode = self._decode
+        prog_base = self.prog.base
+        prog_counters = self.prog.counters
+        trace = cpu.trace
+        cycles = stats.cycles
+        base_cycles = cycles
+        trace_base = trace.cycles if trace is not None else 0
+        # One fast step == one instruction == one counted program fetch;
+        # both tallies flush as deltas so a raising legacy fallback step
+        # (which updates stats itself) is never clobbered.
+        steps = 0
+        flushed_steps = 0
+        if cpu.halted:
+            return stats
+        try:
+            while True:
+                if cycles >= max_cycles:
+                    raise ExecutionError(
+                        f"cycle limit {max_cycles} exceeded at "
+                        f"pc={regs[15]:#010x}"
+                    )
+                pc = regs[15]
+                h = None
+                if prog_base <= pc:
+                    try:
+                        h = table[pc - prog_base]
+                    except IndexError:
+                        pass
+                    else:
+                        if h is None:
+                            h = decode(pc)
+                if h is not None:
+                    steps += 1
+                    cycles += h()
+                else:
+                    # Executing outside the predecoded program region:
+                    # flush and take one legacy step, which decodes,
+                    # counts, and raises identically.
+                    delta = steps - flushed_steps
+                    flushed_steps = steps
+                    prog_counters.reads += delta
+                    stats.instructions += delta
+                    stats.cycles = cycles
+                    if trace is not None:
+                        trace.cycles = trace_base + (cycles - base_cycles)
+                    cpu.step()
+                    cycles = stats.cycles
+                    if cpu.halted:
+                        break
+        except _Halt:
+            cycles += 1  # the BKPT cycle
+        finally:
+            delta = steps - flushed_steps
+            prog_counters.reads += delta
+            stats.instructions += delta
+            stats.cycles = cycles
+            if trace is not None:
+                trace.cycles = trace_base + (cycles - base_cycles)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _decode(self, pc: int):
+        # Uncounted fetch: the executed fetch is tallied by the run
+        # loop's step counter.  Raises the legacy misaligned/unmapped
+        # errors for bad PCs.
+        insn = self.cpu.memory.read(pc, 2, count=False)
+        handler = self._build(pc, insn)
+        self.table[pc - self.prog.base] = handler
+        return handler
+
+    def _build(self, pc: int, insn: int):  # noqa: C901 - one decode site
+        cpu = self.cpu
+        R = cpu.regs
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        mem = cpu.memory
+        prog_counters = self.prog.counters
+        read32, read16, read8, write32, write16, write8 = self._mem_helpers
+        data_region = self.data
+        data_base, data_end = data_region.base, data_region.end
+        data_bytes, data_counters = data_region.data, data_region.counters
+        from_bytes = int.from_bytes
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+
+        def raiser(msg):
+            # The run loop has already tallied the fetch and the
+            # instruction by the time a handler runs, matching legacy.
+            def h_raise():
+                raise ExecutionError(msg)
+            return h_raise
+
+        top5 = insn >> 11
+
+        # -- BL prefix + suffix ----------------------------------------
+        if (insn & 0xF800) == 0xF000:
+            try:
+                suffix = mem.read(pc + 2, 2, count=False)
+            except MemoryAccessError:
+                def h_bl_nofetch():
+                    mem.read(pc + 2, 2)  # raises exactly like legacy
+                    raise ExecutionError("unreachable")  # pragma: no cover
+                return h_bl_nofetch
+            if (suffix & 0xF800) != 0xF800:
+                def h_bl_bad():
+                    prog_counters.reads += 1  # the counted suffix fetch
+                    raise ExecutionError(
+                        f"BL prefix without suffix at {pc:#010x}"
+                    )
+                return h_bl_bad
+            offset = ((insn & 0x7FF) << 11) | (suffix & 0x7FF)
+            if offset & (1 << 21):
+                offset -= 1 << 22
+            lr_val = (pc + 4) | 1
+            target = (pc + 4 + (offset << 1)) & MASK
+
+            def h_bl():
+                prog_counters.reads += 1  # extra suffix fetch
+                regs[14] = lr_val
+                regs[15] = target
+                st.taken_branches += 1
+                pm["bl"] += 1
+                return 4
+            return h_bl
+
+        # -- shift immediate -------------------------------------------
+        if top5 in (0b00000, 0b00001, 0b00010):
+            op = top5 & 0x3
+            imm5 = (insn >> 6) & 0x1F
+            rm = (insn >> 3) & 0x7
+            rd = insn & 0x7
+            if op == 0 and imm5 == 0:  # MOVS (register): C unchanged
+                def h_movs_reg():
+                    value = regs[rm]
+                    R.n = value >= 0x80000000
+                    R.z = value == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    pm["movs"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_movs_reg
+            if op == 0:  # LSL imm
+                carry_shift = 32 - imm5
+
+                def h_lsls_imm():
+                    value = regs[rm]
+                    R.c = (value >> carry_shift) & 1 != 0
+                    value = (value << imm5) & MASK
+                    R.n = value >= 0x80000000
+                    R.z = value == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    pm["lsls"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_lsls_imm
+            if op == 1:  # LSR imm (imm5 == 0 means 32)
+                shift = imm5 or 32
+                if shift < 32:
+                    def h_lsrs_imm():
+                        value = regs[rm]
+                        R.c = (value >> (shift - 1)) & 1 != 0
+                        value >>= shift
+                        R.n = value >= 0x80000000
+                        R.z = value == 0
+                        old = regs[rd]
+                        tr.register_writes += 1
+                        tr.register_toggles += H(old ^ value)
+                        regs[rd] = value
+                        pm["lsrs"] += 1
+                        regs[15] = pc2
+                        return 1
+                    return h_lsrs_imm
+
+                def h_lsrs32():
+                    value = regs[rm]
+                    R.c = value >> 31 != 0
+                    R.n = False
+                    R.z = True
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old)
+                    regs[rd] = 0
+                    pm["lsrs"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_lsrs32
+            # ASR imm (imm5 == 0 means 32)
+            shift = imm5 or 32
+            if shift < 32:
+                def h_asrs_imm():
+                    value = regs[rm]
+                    signed = (
+                        value - 0x100000000 if value & 0x80000000 else value
+                    )
+                    R.c = (signed >> (shift - 1)) & 1 != 0
+                    value = (signed >> shift) & MASK
+                    R.n = value >= 0x80000000
+                    R.z = value == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    pm["asrs"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_asrs_imm
+
+            def h_asrs32():
+                value = regs[rm]
+                signed = value - 0x100000000 if value & 0x80000000 else value
+                R.c = (signed >> 31) & 1 != 0
+                value = MASK if signed < 0 else 0
+                R.n = value >= 0x80000000
+                R.z = value == 0
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                pm["asrs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_asrs32
+
+        # -- three-register / small-immediate ADD/SUB ------------------
+        # The N/Z/C/V updates below are the inlined form of _adc();
+        # hot path, so no helper call.
+        if top5 == 0b00011:
+            immediate = bool(insn & (1 << 10))
+            sub = bool(insn & (1 << 9))
+            operand = (insn >> 6) & 0x7
+            rn = (insn >> 3) & 0x7
+            rd = insn & 0x7
+            if immediate:
+                if sub:
+                    nb = (~operand) & MASK
+                    snb = nb - 0x100000000  # nb always has bit 31 set
+
+                    def h_subs_imm3():
+                        a = regs[rn]
+                        result = a + nb + 1
+                        R.c = result > 0xFFFFFFFF
+                        result &= MASK
+                        sa = a - 0x100000000 if a & 0x80000000 else a
+                        signed = sa + snb + 1
+                        R.v = not (-2147483648 <= signed <= 2147483647)
+                        R.n = result >= 0x80000000
+                        R.z = result == 0
+                        old = regs[rd]
+                        tr.register_writes += 1
+                        tr.register_toggles += H(old ^ result)
+                        regs[rd] = result
+                        pm["subs"] += 1
+                        regs[15] = pc2
+                        return 1
+                    return h_subs_imm3
+
+                def h_adds_imm3():
+                    a = regs[rn]
+                    result = a + operand
+                    R.c = result > 0xFFFFFFFF
+                    result &= MASK
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    signed = sa + operand
+                    R.v = not (-2147483648 <= signed <= 2147483647)
+                    R.n = result >= 0x80000000
+                    R.z = result == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ result)
+                    regs[rd] = result
+                    pm["adds"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_adds_imm3
+            if sub:
+                def h_subs_reg():
+                    a = regs[rn]
+                    b = (~regs[operand]) & MASK
+                    result = a + b + 1
+                    R.c = result > 0xFFFFFFFF
+                    result &= MASK
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    sb = b - 0x100000000 if b & 0x80000000 else b
+                    signed = sa + sb + 1
+                    R.v = not (-2147483648 <= signed <= 2147483647)
+                    R.n = result >= 0x80000000
+                    R.z = result == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ result)
+                    regs[rd] = result
+                    pm["subs"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_subs_reg
+
+            def h_adds_reg():
+                a = regs[rn]
+                b = regs[operand]
+                result = a + b
+                R.c = result > 0xFFFFFFFF
+                result &= MASK
+                sa = a - 0x100000000 if a & 0x80000000 else a
+                sb = b - 0x100000000 if b & 0x80000000 else b
+                signed = sa + sb
+                R.v = not (-2147483648 <= signed <= 2147483647)
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rd] = result
+                pm["adds"] += 1
+                regs[15] = pc2
+                return 1
+            return h_adds_reg
+
+        # -- MOV/CMP/ADD/SUB with 8-bit immediate ----------------------
+        if (insn >> 13) == 0b001:
+            op = (insn >> 11) & 0x3
+            rd = (insn >> 8) & 0x7
+            imm8 = insn & 0xFF
+            if op == 0:  # MOVS
+                z_const = imm8 == 0
+
+                def h_movs_imm():
+                    R.n = False
+                    R.z = z_const
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ imm8)
+                    regs[rd] = imm8
+                    pm["movs"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_movs_imm
+            if op == 1:  # CMP
+                nb = (~imm8) & MASK
+                snb = nb - 0x100000000  # nb always has bit 31 set
+
+                def h_cmp_imm():
+                    a = regs[rd]
+                    result = a + nb + 1
+                    R.c = result > 0xFFFFFFFF
+                    result &= MASK
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    signed = sa + snb + 1
+                    R.v = not (-2147483648 <= signed <= 2147483647)
+                    R.n = result >= 0x80000000
+                    R.z = result == 0
+                    pm["cmp"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_cmp_imm
+            if op == 2:  # ADDS
+                def h_adds_imm8():
+                    a = regs[rd]
+                    result = a + imm8
+                    R.c = result > 0xFFFFFFFF
+                    result &= MASK
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    signed = sa + imm8
+                    R.v = not (-2147483648 <= signed <= 2147483647)
+                    R.n = result >= 0x80000000
+                    R.z = result == 0
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ result)
+                    regs[rd] = result
+                    pm["adds"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_adds_imm8
+            nb = (~imm8) & MASK
+            snb = nb - 0x100000000  # nb always has bit 31 set
+
+            def h_subs_imm8():
+                a = regs[rd]
+                result = a + nb + 1
+                R.c = result > 0xFFFFFFFF
+                result &= MASK
+                sa = a - 0x100000000 if a & 0x80000000 else a
+                signed = sa + snb + 1
+                R.v = not (-2147483648 <= signed <= 2147483647)
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rd] = result
+                pm["subs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_subs_imm8
+
+        # -- register-to-register ALU (format 4) -----------------------
+        if (insn & 0xFC00) == 0x4000:
+            return self._build_alu_fmt4(pc, insn)
+
+        # -- high-register ops / BX / BLX ------------------------------
+        if (insn & 0xFC00) == 0x4400:
+            return self._build_hi_ops(pc, insn)
+
+        # -- PC-relative literal load ----------------------------------
+        if (insn & 0xF800) == 0x4800:
+            rd = (insn >> 8) & 0x7
+            address = ((pc + 4) & ~3) + (insn & 0xFF) * 4
+
+            def h_ldr_lit():
+                value = read32(address)
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                st.loads += 1
+                pm["ldr"] += 1
+                regs[15] = pc2
+                return 2
+            return h_ldr_lit
+
+        # -- register-offset load/store --------------------------------
+        if (insn & 0xF000) == 0x5000:
+            return self._build_ldr_str_reg(pc, insn)
+
+        # -- immediate-offset word/byte load/store ---------------------
+        if (insn & 0xE000) == 0x6000:
+            byte = bool(insn & (1 << 12))
+            load = bool(insn & (1 << 11))
+            imm5 = (insn >> 6) & 0x1F
+            rn = (insn >> 3) & 0x7
+            rd = insn & 0x7
+            offset = imm5 * (1 if byte else 4)
+            if load and byte:
+                def h_ldrb_imm():
+                    value = read8((regs[rn] + offset) & MASK)
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    st.loads += 1
+                    pm["ldrb"] += 1
+                    regs[15] = pc2
+                    return 2
+                return h_ldrb_imm
+            if load:
+                def h_ldr_imm():
+                    a = (regs[rn] + offset) & MASK
+                    if data_base <= a and a + 4 <= data_end and not a & 3:
+                        data_counters.reads += 1
+                        o = a - data_base
+                        value = from_bytes(data_bytes[o:o + 4], "little")
+                    else:
+                        value = read32(a)
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    st.loads += 1
+                    pm["ldr"] += 1
+                    regs[15] = pc2
+                    return 2
+                return h_ldr_imm
+            if byte:
+                def h_strb_imm():
+                    write8((regs[rn] + offset) & MASK, regs[rd])
+                    st.stores += 1
+                    pm["strb"] += 1
+                    regs[15] = pc2
+                    return 2
+                return h_strb_imm
+
+            def h_str_imm():
+                a = (regs[rn] + offset) & MASK
+                if data_base <= a and a + 4 <= data_end and not a & 3:
+                    data_counters.writes += 1
+                    o = a - data_base
+                    data_bytes[o:o + 4] = regs[rd].to_bytes(4, "little")
+                else:
+                    write32(a, regs[rd])
+                st.stores += 1
+                pm["str"] += 1
+                regs[15] = pc2
+                return 2
+            return h_str_imm
+
+        # -- immediate-offset halfword load/store ----------------------
+        if (insn & 0xF000) == 0x8000:
+            load = bool(insn & (1 << 11))
+            offset = ((insn >> 6) & 0x1F) * 2
+            rn = (insn >> 3) & 0x7
+            rd = insn & 0x7
+            if load:
+                def h_ldrh_imm():
+                    value = read16((regs[rn] + offset) & MASK)
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    st.loads += 1
+                    pm["ldrh"] += 1
+                    regs[15] = pc2
+                    return 2
+                return h_ldrh_imm
+
+            def h_strh_imm():
+                write16((regs[rn] + offset) & MASK, regs[rd])
+                st.stores += 1
+                pm["strh"] += 1
+                regs[15] = pc2
+                return 2
+            return h_strh_imm
+
+        # -- SP-relative load/store ------------------------------------
+        if (insn & 0xF000) == 0x9000:
+            load = bool(insn & (1 << 11))
+            rd = (insn >> 8) & 0x7
+            offset = (insn & 0xFF) * 4
+            if load:
+                def h_ldr_sp():
+                    a = (regs[13] + offset) & MASK
+                    if data_base <= a and a + 4 <= data_end and not a & 3:
+                        data_counters.reads += 1
+                        o = a - data_base
+                        value = from_bytes(data_bytes[o:o + 4], "little")
+                    else:
+                        value = read32(a)
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    st.loads += 1
+                    pm["ldr"] += 1
+                    regs[15] = pc2
+                    return 2
+                return h_ldr_sp
+
+            def h_str_sp():
+                a = (regs[13] + offset) & MASK
+                if data_base <= a and a + 4 <= data_end and not a & 3:
+                    data_counters.writes += 1
+                    o = a - data_base
+                    data_bytes[o:o + 4] = regs[rd].to_bytes(4, "little")
+                else:
+                    write32(a, regs[rd])
+                st.stores += 1
+                pm["str"] += 1
+                regs[15] = pc2
+                return 2
+            return h_str_sp
+
+        # -- ADD rd, SP/PC, #imm ---------------------------------------
+        if (insn & 0xF000) == 0xA000:
+            use_sp = bool(insn & (1 << 11))
+            rd = (insn >> 8) & 0x7
+            imm = (insn & 0xFF) * 4
+            if use_sp:
+                def h_add_rd_sp():
+                    value = (regs[13] + imm) & MASK
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[rd] = value
+                    pm["add"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_add_rd_sp
+            value_const = (((pc + 4) & ~3) + imm) & MASK
+
+            def h_add_rd_pc():
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value_const)
+                regs[rd] = value_const
+                pm["add"] += 1
+                regs[15] = pc2
+                return 1
+            return h_add_rd_pc
+
+        # -- ADD/SUB SP, #imm ------------------------------------------
+        if (insn & 0xFF00) == 0xB000:
+            magnitude = (insn & 0x7F) * 4
+            if insn & 0x80:
+                magnitude = -magnitude
+            mnem = "add sp" if magnitude >= 0 else "sub sp"
+
+            def h_adjust_sp():
+                regs[13] = (regs[13] + magnitude) & MASK
+                pm[mnem] += 1
+                regs[15] = pc2
+                return 1
+            return h_adjust_sp
+
+        # -- sign/zero extend ------------------------------------------
+        if (insn & 0xFF00) == 0xB200:
+            return self._build_extend(pc, insn)
+
+        # -- byte-reverse ----------------------------------------------
+        if (insn & 0xFF00) == 0xBA00:
+            return self._build_rev(pc, insn)
+
+        # -- PUSH / POP ------------------------------------------------
+        if (insn & 0xF600) == 0xB400:
+            return self._build_push_pop(pc, insn)
+
+        # -- BKPT ------------------------------------------------------
+        if (insn & 0xFF00) == 0xBE00:
+            def h_bkpt():
+                cpu.halted = True
+                pm["bkpt"] += 1
+                raise _Halt  # the loop adds the 1 BKPT cycle
+            return h_bkpt
+
+        # -- NOP -------------------------------------------------------
+        if (insn & 0xFFFF) == 0xBF00:
+            def h_nop():
+                pm["nop"] += 1
+                regs[15] = pc2
+                return 1
+            return h_nop
+
+        # -- LDM / STM -------------------------------------------------
+        if (insn & 0xF000) == 0xC000:
+            return self._build_ldm_stm(pc, insn)
+
+        # -- SVC -------------------------------------------------------
+        if (insn & 0xFF00) == 0xDF00:
+            def h_svc():
+                pm["svc"] += 1
+                regs[15] = pc2
+                return 1
+            return h_svc
+
+        # -- conditional branch ----------------------------------------
+        if (insn & 0xF000) == 0xD000:
+            cond = (insn >> 8) & 0xF
+            if cond == 0xE:
+                return raiser(
+                    f"undefined instruction {insn:#06x} at {pc:#010x}"
+                )
+            offset = insn & 0xFF
+            if offset & 0x80:
+                offset -= 0x100
+            taken_pc = (pc + 4 + (offset << 1)) & MASK
+            check = _cond_fn(cond, R)
+
+            def h_bcond():
+                pm["bcond"] += 1
+                if check():
+                    st.taken_branches += 1
+                    regs[15] = taken_pc
+                    return 3
+                regs[15] = pc2
+                return 1
+            return h_bcond
+
+        # -- unconditional branch --------------------------------------
+        if (insn & 0xF800) == 0xE000:
+            offset = insn & 0x7FF
+            if offset & 0x400:
+                offset -= 0x800
+            target = (pc + 4 + (offset << 1)) & MASK
+
+            def h_b():
+                regs[15] = target
+                st.taken_branches += 1
+                pm["b"] += 1
+                return 3
+            return h_b
+
+        return raiser(f"undefined instruction {insn:#06x} at {pc:#010x}")
+
+    # ------------------------------------------------------------------
+    def _build_alu_fmt4(self, pc: int, insn: int):
+        cpu = self.cpu
+        R = cpu.regs
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+        op = (insn >> 6) & 0xF
+        rm = (insn >> 3) & 0x7
+        rdn = insn & 0x7
+
+        def bitwise(combine, mnem):
+            def h_bitwise():
+                result = combine(regs[rdn], regs[rm])
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm[mnem] += 1
+                regs[15] = pc2
+                return 1
+            return h_bitwise
+
+        if op == 0x0:
+            return bitwise(lambda a, b: a & b, "ands")
+        if op == 0x1:
+            return bitwise(lambda a, b: a ^ b, "eors")
+        if op == 0x2:  # LSL (register)
+            def h_lsls_reg():
+                a = regs[rdn]
+                shift = regs[rm] & 0xFF
+                result = a
+                if shift:
+                    R.c = shift <= 32 and (a >> (32 - shift)) & 1 != 0
+                    result = (a << shift) & MASK if shift < 32 else 0
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["lsls"] += 1
+                regs[15] = pc2
+                return 1
+            return h_lsls_reg
+        if op == 0x3:  # LSR (register)
+            def h_lsrs_reg():
+                a = regs[rdn]
+                shift = regs[rm] & 0xFF
+                result = a
+                if shift:
+                    R.c = shift <= 32 and (a >> (shift - 1)) & 1 != 0
+                    result = (a >> shift) if shift < 32 else 0
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["lsrs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_lsrs_reg
+        if op == 0x4:  # ASR (register)
+            def h_asrs_reg():
+                a = regs[rdn]
+                shift = regs[rm] & 0xFF
+                result = a
+                if shift:
+                    signed = a - 0x100000000 if a & 0x80000000 else a
+                    effective = shift if shift < 32 else 32
+                    R.c = (signed >> (effective - 1)) & 1 != 0
+                    if effective < 32:
+                        result = (signed >> effective) & MASK
+                    else:
+                        result = MASK if signed < 0 else 0
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["asrs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_asrs_reg
+        if op == 0x5:  # ADC
+            def h_adcs():
+                result = _adc(R, regs[rdn], regs[rm], 1 if R.c else 0)
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["adcs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_adcs
+        if op == 0x6:  # SBC
+            def h_sbcs():
+                result = _adc(
+                    R, regs[rdn], (~regs[rm]) & MASK, 1 if R.c else 0
+                )
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["sbcs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_sbcs
+        if op == 0x7:  # ROR
+            def h_rors():
+                a = regs[rdn]
+                shift = regs[rm] & 0xFF
+                result = a
+                if shift:
+                    rot = shift % 32
+                    if rot:
+                        result = ((a >> rot) | (a << (32 - rot))) & MASK
+                    R.c = result >= 0x80000000
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["rors"] += 1
+                regs[15] = pc2
+                return 1
+            return h_rors
+        if op == 0x8:  # TST
+            def h_tst():
+                result = regs[rdn] & regs[rm]
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                pm["tst"] += 1
+                regs[15] = pc2
+                return 1
+            return h_tst
+        if op == 0x9:  # RSB (NEG)
+            def h_rsbs():
+                result = _adc(R, 0, (~regs[rm]) & MASK, 1)
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["rsbs"] += 1
+                regs[15] = pc2
+                return 1
+            return h_rsbs
+        if op == 0xA:  # CMP — hot (loop bounds), inlined flags
+            def h_cmp_reg():
+                a = regs[rdn]
+                b = (~regs[rm]) & MASK
+                result = a + b + 1
+                R.c = result > 0xFFFFFFFF
+                result &= MASK
+                sa = a - 0x100000000 if a & 0x80000000 else a
+                sb = b - 0x100000000 if b & 0x80000000 else b
+                signed = sa + sb + 1
+                R.v = not (-2147483648 <= signed <= 2147483647)
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                pm["cmp"] += 1
+                regs[15] = pc2
+                return 1
+            return h_cmp_reg
+        if op == 0xB:  # CMN
+            def h_cmn():
+                _adc(R, regs[rdn], regs[rm], 0)
+                pm["cmn"] += 1
+                regs[15] = pc2
+                return 1
+            return h_cmn
+        if op == 0xC:
+            return bitwise(lambda a, b: a | b, "orrs")
+        if op == 0xD:  # MUL
+            def h_muls():
+                result = (regs[rdn] * regs[rm]) & MASK
+                R.n = result >= 0x80000000
+                R.z = result == 0
+                old = regs[rdn]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rdn] = result
+                pm["muls"] += 1
+                regs[15] = pc2
+                return 1
+            return h_muls
+        if op == 0xE:  # BIC
+            return bitwise(lambda a, b: a & ~b & 0xFFFFFFFF, "bics")
+        # MVN
+        def h_mvns():
+            result = (~regs[rm]) & MASK
+            R.n = result >= 0x80000000
+            R.z = result == 0
+            old = regs[rdn]
+            tr.register_writes += 1
+            tr.register_toggles += H(old ^ result)
+            regs[rdn] = result
+            pm["mvns"] += 1
+            regs[15] = pc2
+            return 1
+        return h_mvns
+
+    # ------------------------------------------------------------------
+    def _build_hi_ops(self, pc: int, insn: int):
+        cpu = self.cpu
+        R = cpu.regs
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+        pc4 = (pc + 4) & MASK
+        op = (insn >> 8) & 0x3
+        rm = (insn >> 3) & 0xF
+        rd = ((insn >> 4) & 0x8) | (insn & 0x7)
+
+        if op == 0x3:  # BX / BLX
+            blx = bool(insn & 0x80)
+            mnem = "blx" if blx else "bx"
+            lr_val = (pc + 2) | 1
+            if rm == 15:
+                target_const = pc4 & 0xFFFFFFFE
+
+                def h_bx_pc():
+                    if blx:
+                        regs[14] = lr_val
+                    pm[mnem] += 1
+                    st.taken_branches += 1
+                    regs[15] = target_const
+                    return 3
+                return h_bx_pc
+
+            def h_bx():
+                target = regs[rm] & 0xFFFFFFFE
+                if blx:
+                    regs[14] = lr_val
+                pm[mnem] += 1
+                st.taken_branches += 1
+                regs[15] = target
+                return 3
+            return h_bx
+
+        if op == 0x0:  # ADD (no flags)
+            if rd == 15:
+                if rm == 15:
+                    target_const = ((pc4 + pc4) & MASK) & 0xFFFFFFFE
+
+                    def h_add_pc_pc():
+                        pm["add pc"] += 1
+                        st.taken_branches += 1
+                        regs[15] = target_const
+                        return 3
+                    return h_add_pc_pc
+
+                def h_add_pc():
+                    pm["add pc"] += 1
+                    st.taken_branches += 1
+                    regs[15] = ((pc4 + regs[rm]) & MASK) & 0xFFFFFFFE
+                    return 3
+                return h_add_pc
+            if rm == 15:
+                def h_add_hi_pc():
+                    result = (regs[rd] + pc4) & MASK
+                    old = regs[rd]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ result)
+                    regs[rd] = result
+                    pm["add"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_add_hi_pc
+
+            def h_add_hi():
+                result = (regs[rd] + regs[rm]) & MASK
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ result)
+                regs[rd] = result
+                pm["add"] += 1
+                regs[15] = pc2
+                return 1
+            return h_add_hi
+
+        if op == 0x1:  # CMP
+            if rd == 15 or rm == 15:
+                def h_cmp_hi_pc():
+                    a = pc4 if rd == 15 else regs[rd]
+                    b = pc4 if rm == 15 else regs[rm]
+                    _adc(R, a, (~b) & MASK, 1)
+                    pm["cmp"] += 1
+                    regs[15] = pc2
+                    return 1
+                return h_cmp_hi_pc
+
+            def h_cmp_hi():
+                _adc(R, regs[rd], (~regs[rm]) & MASK, 1)
+                pm["cmp"] += 1
+                regs[15] = pc2
+                return 1
+            return h_cmp_hi
+
+        # MOV (no flags)
+        if rd == 15:
+            if rm == 15:
+                target_const = pc4 & 0xFFFFFFFE
+
+                def h_mov_pc_pc():
+                    pm["mov pc"] += 1
+                    st.taken_branches += 1
+                    regs[15] = target_const
+                    return 3
+                return h_mov_pc_pc
+
+            def h_mov_pc():
+                pm["mov pc"] += 1
+                st.taken_branches += 1
+                regs[15] = regs[rm] & 0xFFFFFFFE
+                return 3
+            return h_mov_pc
+        if rm == 15:
+            def h_mov_hi_pc():
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ pc4)
+                regs[rd] = pc4
+                pm["mov"] += 1
+                regs[15] = pc2
+                return 1
+            return h_mov_hi_pc
+
+        def h_mov_hi():
+            value = regs[rm]
+            old = regs[rd]
+            tr.register_writes += 1
+            tr.register_toggles += H(old ^ value)
+            regs[rd] = value
+            pm["mov"] += 1
+            regs[15] = pc2
+            return 1
+        return h_mov_hi
+
+    # ------------------------------------------------------------------
+    def _build_ldr_str_reg(self, pc: int, insn: int):
+        cpu = self.cpu
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        read32, read16, read8, write32, write16, write8 = self._mem_helpers
+        data_region = self.data
+        data_base, data_end = data_region.base, data_region.end
+        data_bytes, data_counters = data_region.data, data_region.counters
+        from_bytes = int.from_bytes
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+        op = (insn >> 9) & 0x7
+        rm = (insn >> 6) & 0x7
+        rn = (insn >> 3) & 0x7
+        rd = insn & 0x7
+
+        # Legacy counts the mnemonic *before* the access in this format
+        # (observable when the access faults), so these handlers do too.
+        if op == 0:  # STR
+            def h_str_reg():
+                pm["str"] += 1
+                a = (regs[rn] + regs[rm]) & MASK
+                if data_base <= a and a + 4 <= data_end and not a & 3:
+                    data_counters.writes += 1
+                    o = a - data_base
+                    data_bytes[o:o + 4] = regs[rd].to_bytes(4, "little")
+                else:
+                    write32(a, regs[rd])
+                st.stores += 1
+                regs[15] = pc2
+                return 2
+            return h_str_reg
+        if op == 1:  # STRH
+            def h_strh_reg():
+                pm["strh"] += 1
+                write16((regs[rn] + regs[rm]) & MASK, regs[rd])
+                st.stores += 1
+                regs[15] = pc2
+                return 2
+            return h_strh_reg
+        if op == 2:  # STRB
+            def h_strb_reg():
+                pm["strb"] += 1
+                write8((regs[rn] + regs[rm]) & MASK, regs[rd])
+                st.stores += 1
+                regs[15] = pc2
+                return 2
+            return h_strb_reg
+        if op == 3:  # LDRSB
+            def h_ldrsb_reg():
+                pm["ldrsb"] += 1
+                value = read8((regs[rn] + regs[rm]) & MASK)
+                if value & 0x80:
+                    value |= 0xFFFFFF00
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                st.loads += 1
+                regs[15] = pc2
+                return 2
+            return h_ldrsb_reg
+        if op == 4:  # LDR — the hottest load form, inlined fast case
+            def h_ldr_reg():
+                pm["ldr"] += 1
+                a = (regs[rn] + regs[rm]) & MASK
+                if data_base <= a and a + 4 <= data_end and not a & 3:
+                    data_counters.reads += 1
+                    o = a - data_base
+                    value = from_bytes(data_bytes[o:o + 4], "little")
+                else:
+                    value = read32(a)
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                st.loads += 1
+                regs[15] = pc2
+                return 2
+            return h_ldr_reg
+        if op == 5:  # LDRH
+            def h_ldrh_reg():
+                pm["ldrh"] += 1
+                value = read16((regs[rn] + regs[rm]) & MASK)
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                st.loads += 1
+                regs[15] = pc2
+                return 2
+            return h_ldrh_reg
+        if op == 6:  # LDRB
+            def h_ldrb_reg():
+                pm["ldrb"] += 1
+                value = read8((regs[rn] + regs[rm]) & MASK)
+                old = regs[rd]
+                tr.register_writes += 1
+                tr.register_toggles += H(old ^ value)
+                regs[rd] = value
+                st.loads += 1
+                regs[15] = pc2
+                return 2
+            return h_ldrb_reg
+
+        def h_ldrsh_reg():  # LDRSH
+            pm["ldrsh"] += 1
+            value = read16((regs[rn] + regs[rm]) & MASK)
+            if value & 0x8000:
+                value |= 0xFFFF0000
+            old = regs[rd]
+            tr.register_writes += 1
+            tr.register_toggles += H(old ^ value)
+            regs[rd] = value
+            st.loads += 1
+            regs[15] = pc2
+            return 2
+        return h_ldrsh_reg
+
+    # ------------------------------------------------------------------
+    def _build_extend(self, pc: int, insn: int):
+        cpu = self.cpu
+        regs = self.regs_list
+        pm = cpu.stats.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        H = _hamming
+        pc2 = pc + 2
+        op = (insn >> 6) & 0x3
+        rm = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        mnem = ["sxth", "sxtb", "uxth", "uxtb"][op]
+
+        if op == 0:  # SXTH
+            def extend_value(v):
+                v &= 0xFFFF
+                return v | 0xFFFF0000 if v & 0x8000 else v
+        elif op == 1:  # SXTB
+            def extend_value(v):
+                v &= 0xFF
+                return v | 0xFFFFFF00 if v & 0x80 else v
+        elif op == 2:  # UXTH
+            def extend_value(v):
+                return v & 0xFFFF
+        else:  # UXTB
+            def extend_value(v):
+                return v & 0xFF
+
+        def h_extend():
+            value = extend_value(regs[rm])
+            old = regs[rd]
+            tr.register_writes += 1
+            tr.register_toggles += H(old ^ value)
+            regs[rd] = value
+            pm[mnem] += 1
+            regs[15] = pc2
+            return 1
+        return h_extend
+
+    # ------------------------------------------------------------------
+    def _build_rev(self, pc: int, insn: int):
+        cpu = self.cpu
+        regs = self.regs_list
+        pm = cpu.stats.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        H = _hamming
+        pc2 = pc + 2
+        op = (insn >> 6) & 0x3
+        rm = (insn >> 3) & 0x7
+        rd = insn & 0x7
+
+        if op == 0:  # REV
+            def rev_value(v):
+                return (
+                    ((v & 0xFF) << 24)
+                    | ((v & 0xFF00) << 8)
+                    | ((v >> 8) & 0xFF00)
+                    | ((v >> 24) & 0xFF)
+                )
+        elif op == 1:  # REV16
+            def rev_value(v):
+                return (
+                    ((v & 0xFF) << 8)
+                    | ((v >> 8) & 0xFF)
+                    | ((v & 0xFF0000) << 8)
+                    | ((v >> 8) & 0xFF0000)
+                )
+        elif op == 3:  # REVSH
+            def rev_value(v):
+                result = ((v & 0xFF) << 8) | ((v >> 8) & 0xFF)
+                return result | 0xFFFF0000 if result & 0x8000 else result
+        else:
+            msg = f"undefined REV variant in {insn:#06x}"
+
+            def h_rev_bad():
+                raise ExecutionError(msg)
+            return h_rev_bad
+
+        def h_rev():
+            value = rev_value(regs[rm])
+            old = regs[rd]
+            tr.register_writes += 1
+            tr.register_toggles += H(old ^ value)
+            regs[rd] = value
+            pm["rev"] += 1
+            regs[15] = pc2
+            return 1
+        return h_rev
+
+    # ------------------------------------------------------------------
+    def _build_push_pop(self, pc: int, insn: int):
+        cpu = self.cpu
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        read32, _r16, _r8, write32, _w16, _w8 = self._mem_helpers
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+        pop = bool(insn & (1 << 11))
+        special = bool(insn & (1 << 8))
+        bits = insn & 0xFF
+        rlist = tuple(i for i in range(8) if bits & (1 << i))
+        n = len(rlist) + int(special)
+
+        if pop:
+            cycles = (3 + n) if special else (1 + n)
+
+            def h_pop():
+                address = regs[13]
+                for reg in rlist:
+                    value = read32(address)
+                    old = regs[reg]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[reg] = value
+                    address += 4
+                if special:
+                    regs[15] = read32(address) & 0xFFFFFFFE
+                    address += 4
+                    st.taken_branches += 1
+                else:
+                    regs[15] = pc2
+                regs[13] = address & MASK
+                st.loads += n
+                pm["pop"] += 1
+                return cycles
+            return h_pop
+
+        push_bytes = 4 * n
+        cycles = 1 + n
+
+        def h_push():
+            address = (regs[13] - push_bytes) & MASK
+            regs[13] = address
+            for reg in rlist:
+                write32(address, regs[reg])
+                address += 4
+            if special:
+                write32(address, regs[14])
+            st.stores += n
+            pm["push"] += 1
+            regs[15] = pc2
+            return cycles
+        return h_push
+
+    # ------------------------------------------------------------------
+    def _build_ldm_stm(self, pc: int, insn: int):
+        cpu = self.cpu
+        regs = self.regs_list
+        st = cpu.stats
+        pm = st.per_mnemonic
+        tr = cpu.trace if cpu.trace is not None else self._null_trace
+        read32, _r16, _r8, write32, _w16, _w8 = self._mem_helpers
+        H = _hamming
+        MASK = 0xFFFFFFFF
+        pc2 = pc + 2
+        load = bool(insn & (1 << 11))
+        rn = (insn >> 8) & 0x7
+        bits = insn & 0xFF
+        rlist = tuple(i for i in range(8) if bits & (1 << i))
+        if not rlist:
+            def h_ldm_empty():
+                raise ExecutionError("LDM/STM with empty register list")
+            return h_ldm_empty
+        cycles = 1 + len(rlist)
+
+        if load:
+            writeback = rn not in rlist
+
+            def h_ldm():
+                address = regs[rn]
+                for reg in rlist:
+                    value = read32(address)
+                    old = regs[reg]
+                    tr.register_writes += 1
+                    tr.register_toggles += H(old ^ value)
+                    regs[reg] = value
+                    st.loads += 1
+                    address += 4
+                if writeback:
+                    regs[rn] = address & MASK
+                pm["ldm"] += 1
+                regs[15] = pc2
+                return cycles
+            return h_ldm
+
+        def h_stm():
+            address = regs[rn]
+            for reg in rlist:
+                write32(address, regs[reg])
+                st.stores += 1
+                address += 4
+            regs[rn] = address & MASK
+            pm["stm"] += 1
+            regs[15] = pc2
+            return cycles
+        return h_stm

@@ -41,6 +41,9 @@ class MemoryRegion:
         self.size = size
         self.data = bytearray(size)
         self.counters = AccessCounters()
+        #: Bumped on every mutation (stores and bulk loads).  The fast
+        #: execution engine snapshots it to detect self-modifying code.
+        self.version = 0
 
     def contains(self, address: int) -> bool:
         return self.base <= address < self.base + self.size
@@ -61,6 +64,7 @@ class MemoryMap:
     def __init__(self) -> None:
         self._regions: List[MemoryRegion] = []
         self.recorder = None
+        self._last_region: Optional[MemoryRegion] = None
 
     def add_region(self, name: str, base: int, size: int) -> MemoryRegion:
         region = MemoryRegion(name, base, size)
@@ -98,6 +102,16 @@ class MemoryMap:
 
     def _find(self, address: int, size: int) -> MemoryRegion:
         address &= _MASK32
+        # Fast path: consecutive accesses overwhelmingly hit the same
+        # region, so retry the last hit before scanning the region list.
+        region = self._last_region
+        if region is not None and region.contains(address):
+            if address + size > region.end:
+                raise MemoryAccessError(
+                    f"access at {address:#010x} size {size} spills out "
+                    f"of region {region.name!r}"
+                )
+            return region
         for region in self._regions:
             if region.contains(address):
                 if address + size > region.end:
@@ -105,8 +119,19 @@ class MemoryMap:
                         f"access at {address:#010x} size {size} spills out "
                         f"of region {region.name!r}"
                     )
+                self._last_region = region
                 return region
         raise MemoryAccessError(f"unmapped address {address:#010x}")
+
+    def port(self, name: str) -> "RegionPort":
+        """A pre-resolved access port for one region.
+
+        Counted reads/writes through a port skip the per-access region
+        scan of :meth:`read`/:meth:`write` — the resolution happens once,
+        here.  Used by the fast execution engine for program fetches and
+        data accesses.
+        """
+        return RegionPort(self.region(name))
 
     # -- typed access (little-endian) -------------------------------------
     def read(self, address: int, size: int, count: bool = True) -> int:
@@ -139,6 +164,7 @@ class MemoryMap:
         region.data[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
             size, "little"
         )
+        region.version += 1
         if count:
             region.counters.writes += 1
             if self.recorder is not None:
@@ -149,6 +175,7 @@ class MemoryMap:
         region = self._find(address, max(len(payload), 1))
         offset = address - region.base
         region.data[offset : offset + len(payload)] = payload
+        region.version += 1
 
     def read_bytes(self, address: int, length: int) -> bytes:
         region = self._find(address, max(length, 1))
@@ -160,4 +187,43 @@ class MemoryMap:
 
     def reset_counters(self) -> None:
         for region in self._regions:
-            region.counters = AccessCounters()
+            # Reset in place: ports and the fast engine hold references
+            # to the counter objects.
+            region.counters.reads = 0
+            region.counters.writes = 0
+
+
+class RegionPort:
+    """Bound fast access to a single region.
+
+    Exposes the raw backing ``data`` bytearray, ``counters``, and bounds
+    so a hot loop can perform counted accesses without re-resolving the
+    region on every call.  The port stays valid across
+    :meth:`MemoryMap.reset_counters` (counters reset in place) and
+    region mutation (``data`` is mutated, never replaced).
+    """
+
+    __slots__ = ("region", "base", "end", "data", "counters")
+
+    def __init__(self, region: MemoryRegion) -> None:
+        self.region = region
+        self.base = region.base
+        self.end = region.end
+        self.data = region.data
+        self.counters = region.counters
+
+    @property
+    def version(self) -> int:
+        return self.region.version
+
+    def read_u16(self, address: int) -> int:
+        """Counted halfword read; caller guarantees bounds/alignment."""
+        offset = address - self.base
+        self.counters.reads += 1
+        return int.from_bytes(self.data[offset : offset + 2], "little")
+
+    def read_u32(self, address: int) -> int:
+        """Counted word read; caller guarantees bounds/alignment."""
+        offset = address - self.base
+        self.counters.reads += 1
+        return int.from_bytes(self.data[offset : offset + 4], "little")

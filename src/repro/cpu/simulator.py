@@ -23,15 +23,19 @@ writes feed the :class:`~repro.cpu.trace.ActivityTrace`.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.cpu.memory import MemoryMap
 from repro.cpu.registers import LR, PC, SP, RegisterFile, condition_passed
 from repro.cpu.trace import ActivityTrace
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ReproError
 
 _MASK32 = 0xFFFFFFFF
+
+#: Execution engine choices accepted by :meth:`CortexM0.run`.
+ENGINES = ("auto", "fast", "legacy")
 
 
 @dataclass
@@ -43,10 +47,23 @@ class ExecutionStats:
     taken_branches: int = 0
     loads: int = 0
     stores: int = 0
-    per_mnemonic: Dict[str, int] = field(default_factory=dict)
+    per_mnemonic: Counter = field(default_factory=Counter)
 
     def count(self, mnemonic: str) -> None:
-        self.per_mnemonic[mnemonic] = self.per_mnemonic.get(mnemonic, 0) + 1
+        self.per_mnemonic[mnemonic] += 1
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (inverse CPI)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def ips(self, wall_seconds: float) -> float:
+        """Simulated instructions per wall-clock second."""
+        return self.instructions / wall_seconds if wall_seconds > 0 else 0.0
+
+    def mips(self, wall_seconds: float) -> float:
+        """Simulated millions of instructions per wall-clock second."""
+        return self.ips(wall_seconds) / 1e6
 
 
 class CortexM0:
@@ -65,6 +82,7 @@ class CortexM0:
         if recorder is not None:
             self.memory.recorder = recorder
         self.halted = False
+        self._fast = None
         # Reset state: SP at the top of the data region, LR poisoned.
         data = self.memory.region("data")
         self.regs.write(SP, data.end)
@@ -76,8 +94,40 @@ class CortexM0:
         self.memory.load_bytes(program.base_address, program.code)
         self.regs.write(PC, program.entry_point)
 
-    def run(self, max_cycles: int = 500_000_000) -> ExecutionStats:
-        """Run until BKPT or the cycle limit."""
+    def run(
+        self, max_cycles: int = 500_000_000, engine: str = "auto"
+    ) -> ExecutionStats:
+        """Run until BKPT or the cycle limit.
+
+        Args:
+            max_cycles: Cycle budget; exceeding it raises
+                :class:`~repro.errors.ExecutionError`.
+            engine: ``"fast"`` uses the predecoded dispatch-cache engine
+                (:mod:`repro.cpu.fastpath`), ``"legacy"`` the original
+                decode-every-step loop, and ``"auto"`` (default) picks
+                the fast engine unless an access recorder is attached
+                (the recorder needs per-step cycle stamps).  Both
+                engines produce bit-identical statistics, checksums,
+                traces, and access counters.
+        """
+        if engine not in ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "fast" and self.memory.recorder is not None:
+            raise ReproError(
+                "the fast engine does not drive access recorders; "
+                "use engine='auto' or 'legacy' with a recorder attached"
+            )
+        use_fast = engine == "fast" or (
+            engine == "auto" and self.memory.recorder is None
+        )
+        if use_fast:
+            if self._fast is None:
+                from repro.cpu.fastpath import FastEngine
+
+                self._fast = FastEngine(self)
+            return self._fast.run(max_cycles)
         while not self.halted:
             if self.stats.cycles >= max_cycles:
                 raise ExecutionError(

@@ -1,0 +1,34 @@
+"""Execution-runtime services for the ISS: caching, fan-out, metering.
+
+This package makes repeat studies cheap and large studies fast:
+
+- :mod:`repro.runtime.cache` — persistent content-addressed memoization
+  of :class:`~repro.workloads.suite.WorkloadResult` keyed on the
+  assembly source, cycle budget, and ISS version tag.
+- :mod:`repro.runtime.parallel` — suite fan-out over a process pool
+  with cache integration and a serial fallback.
+- :mod:`repro.runtime.perfcounters` — wall-time / MIPS metering so the
+  speedups stay observable from the CLI and benchmarks.
+- :mod:`repro.runtime.bench` — the ``BENCH_iss.json`` harness tracking
+  the performance trajectory across PRs.
+"""
+
+from repro.runtime.cache import (
+    ISS_VERSION,
+    ResultCache,
+    default_cache_dir,
+    run_workload_cached,
+)
+from repro.runtime.parallel import SuiteRunReport, run_workloads
+from repro.runtime.perfcounters import RunPerf, render_perf_table
+
+__all__ = [
+    "ISS_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "run_workload_cached",
+    "SuiteRunReport",
+    "run_workloads",
+    "RunPerf",
+    "render_perf_table",
+]

@@ -1,0 +1,203 @@
+"""Persistent content-addressed cache of workload results.
+
+An ISS run is a pure function of the assembly source, the cycle budget,
+and the simulator semantics.  This module memoizes
+:class:`~repro.workloads.suite.WorkloadResult` on disk keyed by a
+SHA-256 over exactly those inputs, so figure regeneration and repeated
+benchmark builds reuse prior runs.
+
+Cache directory resolution (first match wins):
+
+1. the ``root`` argument to :class:`ResultCache`,
+2. the ``REPRO_CACHE_DIR`` environment variable,
+3. ``~/.cache/repro-iss``.
+
+Entries are single JSON files named ``<key>.json``.  A corrupted or
+incomplete file is treated as a miss and deleted.  Bump
+:data:`ISS_VERSION` whenever simulator semantics change observably —
+every old entry then misses by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.workloads.suite import Workload, WorkloadResult, run_workload
+
+#: Version tag folded into every cache key.  Bump on any change to the
+#: simulator, assembler, or result fields that alters observable output.
+ISS_VERSION = "iss-1-fastpath"
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: The numeric result fields persisted per entry (name -> type).
+_RESULT_FIELDS = (
+    ("checksum", int),
+    ("cycles", int),
+    ("instructions", int),
+    ("program_reads", int),
+    ("data_reads", int),
+    ("data_writes", int),
+    ("activity_factor", float),
+)
+
+
+def default_cache_dir() -> Path:
+    """The cache root honoring ``REPRO_CACHE_DIR``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-iss"
+
+
+def cache_key(
+    workload: Workload, max_cycles: int, version: str = ISS_VERSION
+) -> str:
+    """SHA-256 hex digest identifying one (workload, budget, ISS) run."""
+    payload = json.dumps(
+        {
+            "name": workload.name,
+            "source": workload.source,
+            "expected_checksum": workload.expected_checksum,
+            "max_cycles": max_cycles,
+            "iss_version": version,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk-backed memoization of workload results.
+
+    Thread/process-safe for concurrent writers of the *same* entry: the
+    payload is deterministic, and writes go through an atomic rename.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, version: str = ISS_VERSION
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, workload: Workload, max_cycles: int) -> Path:
+        return self.root / (
+            cache_key(workload, max_cycles, self.version) + ".json"
+        )
+
+    # ------------------------------------------------------------------
+    def get(
+        self, workload: Workload, max_cycles: int
+    ) -> Optional[WorkloadResult]:
+        """The cached result, or ``None`` on miss.
+
+        The returned result wraps the *requested* workload object; only
+        the numeric outcome fields come from disk.  Corrupted entries
+        count as misses and are removed.
+        """
+        path = self._path(workload, max_cycles)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            fields = {}
+            for name, typ in _RESULT_FIELDS:
+                value = payload["result"][name]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(f"bad field {name!r}")
+                fields[name] = typ(value)
+        except (ValueError, KeyError, TypeError):
+            # Corrupted or stale-schema entry: drop it and miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return WorkloadResult(workload=workload, **fields)
+
+    # ------------------------------------------------------------------
+    def put(
+        self, result: WorkloadResult, max_cycles: int
+    ) -> Optional[Path]:
+        """Persist a result; returns the entry path.
+
+        Best-effort: an unwritable cache directory returns ``None``
+        instead of failing the run the cache was meant to speed up.
+        """
+        path = self._path(result.workload, max_cycles)
+        payload = {
+            "schema": "repro-iss-result/1",
+            "iss_version": self.version,
+            "workload": result.workload.name,
+            "max_cycles": max_cycles,
+            "result": {
+                name: getattr(result, name) for name, _ in _RESULT_FIELDS
+            },
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(payload, indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            return None
+        return path
+
+    # ------------------------------------------------------------------
+    def invalidate(self, workload: Workload, max_cycles: int) -> bool:
+        """Drop one entry; ``True`` if it existed."""
+        try:
+            self._path(workload, max_cycles).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry under the root; returns the count removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def run_workload_cached(
+    workload: Workload,
+    max_cycles: int = 500_000_000,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[WorkloadResult, bool]:
+    """Run a workload through the cache.
+
+    Returns ``(result, was_hit)``.  On a miss the workload executes on
+    the ISS and the outcome is persisted before returning.
+    """
+    if cache is None:
+        cache = ResultCache()
+    cached = cache.get(workload, max_cycles)
+    if cached is not None:
+        return cached, True
+    result = run_workload(workload, max_cycles=max_cycles)
+    cache.put(result, max_cycles)
+    return result, False

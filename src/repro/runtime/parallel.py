@@ -1,0 +1,154 @@
+"""Parallel workload fan-out with cache integration.
+
+:func:`run_workloads` executes a list of workloads and returns results
+in input order.  Cache hits resolve in the parent without spawning
+anything; only misses fan out over a ``ProcessPoolExecutor``.  The pool
+degrades gracefully to serial execution when only one job is requested,
+when only one CPU is available, or when worker processes cannot be
+spawned at all (sandboxed environments).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.perfcounters import RunPerf
+from repro.workloads.suite import Workload, WorkloadResult, run_workload
+
+
+@dataclass
+class SuiteRunReport:
+    """Outcome of one suite fan-out."""
+
+    results: List[WorkloadResult]
+    perfs: List[RunPerf]
+    wall_seconds: float
+    jobs: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.instructions for r in self.results)
+
+    @property
+    def mips(self) -> float:
+        """Aggregate simulated MIPS over the suite wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_instructions / self.wall_seconds / 1e6
+
+
+def resolve_jobs(requested: Optional[int], n_tasks: int) -> int:
+    """The worker count to use: explicit, else one per available CPU."""
+    if requested is not None:
+        if requested < 1:
+            raise ValueError(f"jobs must be >= 1, got {requested}")
+        return min(requested, max(n_tasks, 1))
+    return min(os.cpu_count() or 1, max(n_tasks, 1))
+
+
+def _execute_one(payload: Tuple[Workload, int]) -> Tuple[WorkloadResult, float]:
+    """Worker-side entry point (module-level for pickling)."""
+    workload, max_cycles = payload
+    start = time.perf_counter()
+    result = run_workload(workload, max_cycles=max_cycles)
+    return result, time.perf_counter() - start
+
+
+def run_workloads(
+    workloads: Sequence[Workload],
+    max_cycles: int = 500_000_000,
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+) -> SuiteRunReport:
+    """Run workloads, preserving order, via cache + process pool.
+
+    Args:
+        workloads: Workloads to execute.
+        max_cycles: Cycle budget per run (part of the cache key).
+        jobs: Worker processes; ``None`` auto-sizes to the CPU count,
+            ``1`` forces serial execution in-process.
+        cache: A :class:`ResultCache`, ``None`` for the default cache,
+            or ``False`` to disable caching entirely.
+    """
+    start = time.perf_counter()
+    use_cache = cache is not False
+    result_cache: Optional[ResultCache] = None
+    if use_cache:
+        result_cache = cache if isinstance(cache, ResultCache) else ResultCache()
+
+    n = len(workloads)
+    results: List[Optional[WorkloadResult]] = [None] * n
+    perfs: List[Optional[RunPerf]] = [None] * n
+
+    # Resolve cache hits in the parent; only misses fan out.
+    pending: List[int] = []
+    hits = 0
+    for i, workload in enumerate(workloads):
+        if result_cache is not None:
+            t0 = time.perf_counter()
+            found = result_cache.get(workload, max_cycles)
+            if found is not None:
+                results[i] = found
+                perfs[i] = RunPerf(
+                    name=workload.name,
+                    wall_seconds=time.perf_counter() - t0,
+                    cycles=found.cycles,
+                    instructions=found.instructions,
+                    cached=True,
+                )
+                hits += 1
+                continue
+        pending.append(i)
+
+    workers = resolve_jobs(jobs, len(pending))
+    used_jobs = workers if pending else 1
+
+    def record(i: int, result: WorkloadResult, wall: float) -> None:
+        results[i] = result
+        perfs[i] = RunPerf(
+            name=result.workload.name,
+            wall_seconds=wall,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            cached=False,
+        )
+        if result_cache is not None:
+            result_cache.put(result, max_cycles)
+
+    if pending and workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                payloads = [(workloads[i], max_cycles) for i in pending]
+                for i, (result, wall) in zip(
+                    pending, pool.map(_execute_one, payloads)
+                ):
+                    record(i, result, wall)
+        except (OSError, PermissionError):
+            # No subprocess support here (e.g. a sandbox): run the
+            # remaining misses serially instead.
+            used_jobs = 1
+            for i in pending:
+                if results[i] is None:
+                    result, wall = _execute_one((workloads[i], max_cycles))
+                    record(i, result, wall)
+    else:
+        used_jobs = 1
+        for i in pending:
+            result, wall = _execute_one((workloads[i], max_cycles))
+            record(i, result, wall)
+
+    return SuiteRunReport(
+        results=[r for r in results if r is not None],
+        perfs=[p for p in perfs if p is not None],
+        wall_seconds=time.perf_counter() - start,
+        jobs=used_jobs,
+        cache_hits=hits,
+        cache_misses=len(pending),
+    )

@@ -50,7 +50,12 @@ class TransientResult:
         if not isinstance(source, VoltageSource):
             raise AnalysisError(f"{source_name!r} is not a voltage source")
         i = self.branch_currents[source_name]
-        v = np.array([source.drive.at(t) for t in self.times])
+        drive = source.drive
+        at_array = getattr(drive, "at_array", None)
+        if at_array is not None:
+            v = np.asarray(at_array(self.times), dtype=float)
+        else:  # custom drive objects only expose the scalar protocol
+            v = np.array([drive.at(t) for t in self.times])
         return float(_trapezoid(v * (-i), self.times))
 
 

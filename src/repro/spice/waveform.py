@@ -26,6 +26,11 @@ class Dc:
     def at(self, t: float) -> float:
         return self.value
 
+    def at_array(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` over an array of sample times."""
+        t = np.asarray(t, dtype=float)
+        return np.full(t.shape, self.value)
+
 
 @dataclass(frozen=True)
 class Pulse:
@@ -65,6 +70,37 @@ class Pulse:
             return self.v2 + (self.v1 - self.v2) * local / self.fall
         return self.v1
 
+    def at_array(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` over an array of sample times.
+
+        The branch expressions mirror the scalar method exactly, so the
+        two paths agree to the last float64 bit (``np.select`` takes
+        the first true condition, like the scalar if-chain).
+        """
+        t = np.asarray(t, dtype=float)
+        local = t - self.delay
+        if self.period > 0:
+            local = np.mod(local, self.period)
+        rise_seg = self.v1 + (self.v2 - self.v1) * local / self.rise
+        after_rise = local - self.rise
+        after_width = after_rise - self.width
+        fall_seg = self.v2 + (self.v1 - self.v2) * after_width / self.fall
+        return np.select(
+            [
+                t < self.delay,
+                local < self.rise,
+                after_rise < self.width,
+                after_width < self.fall,
+            ],
+            [
+                np.full(t.shape, self.v1),
+                rise_seg,
+                np.full(t.shape, self.v2),
+                fall_seg,
+            ],
+            default=self.v1,
+        )
+
 
 @dataclass(frozen=True)
 class PieceWiseLinear:
@@ -91,6 +127,37 @@ class PieceWiseLinear:
         if t1 == t0:
             return v1
         return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def at_array(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` over an array of sample times.
+
+        Strictly increasing breakpoints vectorize the scalar bisect +
+        interpolation arithmetic term-for-term (bit-exact); duplicate
+        times (step discontinuities) have bisect-direction semantics a
+        plain interpolation cannot express, so that case evaluates
+        through the scalar method.
+        """
+        t = np.asarray(t, dtype=float)
+        raw_times = [p[0] for p in self.points]
+        if len(raw_times) < 2 or any(
+            a >= b for a, b in zip(raw_times, raw_times[1:])
+        ):
+            return np.array(
+                [self.at(ti) for ti in t.ravel()]
+            ).reshape(t.shape)
+        times = np.array(raw_times)
+        values = np.array([p[1] for p in self.points])
+        idx = np.clip(
+            np.searchsorted(times, t, side="right"), 1, times.size - 1
+        )
+        t0, v0 = times[idx - 1], values[idx - 1]
+        t1, v1 = times[idx], values[idx]
+        interior = v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return np.where(
+            t <= times[0],
+            values[0],
+            np.where(t >= times[-1], values[-1], interior),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -60,14 +61,26 @@ class WorkloadResult:
 
 
 def run_workload(
-    workload: Workload, max_cycles: int = 500_000_000
+    workload: Workload,
+    max_cycles: int = 500_000_000,
+    engine: Optional[str] = None,
 ) -> WorkloadResult:
-    """Assemble, execute, and verify a workload."""
+    """Assemble, execute, and verify a workload.
+
+    Args:
+        engine: ISS engine selection passed to
+            :meth:`~repro.cpu.simulator.CortexM0.run` (``"auto"``,
+            ``"fast"``, ``"legacy"``).  ``None`` reads the
+            ``REPRO_ISS_ENGINE`` environment variable and falls back to
+            ``"auto"``.  Both engines are bit-identical.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ISS_ENGINE", "auto")
     program = assemble(workload.source)
     trace = ActivityTrace()
     cpu = CortexM0(MemoryMap.embedded_system(), trace=trace)
     cpu.load_program(program)
-    stats = cpu.run(max_cycles=max_cycles)
+    stats = cpu.run(max_cycles=max_cycles, engine=engine)
     counters = cpu.memory.access_counts()
     result = WorkloadResult(
         workload=workload,

@@ -1,0 +1,182 @@
+"""Differential tests: fast dispatch-cache engine vs legacy decode loop.
+
+The fast engine must be *bit-identical* to the legacy path — same
+statistics, checksums, per-region access counters, activity trace, and
+exception behavior — across every workload in the suite.
+"""
+
+import pytest
+
+from repro.analysis.suite_study import default_study_configs
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.cpu.retention_analysis import AccessRecorder
+from repro.cpu.simulator import ENGINES
+from repro.cpu.trace import ActivityTrace
+from repro.errors import ExecutionError, ReproError
+from repro.workloads import matmul_int
+
+
+def execute(source, engine, max_cycles=500_000_000):
+    """Run one program and capture every observable outcome."""
+    program = assemble(source)
+    trace = ActivityTrace()
+    cpu = CortexM0(MemoryMap.embedded_system(), trace=trace)
+    cpu.load_program(program)
+    error = None
+    try:
+        cpu.run(max_cycles=max_cycles, engine=engine)
+    except ExecutionError as exc:
+        error = str(exc)
+    return {
+        "regs": list(cpu.regs._regs),
+        "flags": (cpu.regs.n, cpu.regs.z, cpu.regs.c, cpu.regs.v),
+        "halted": cpu.halted,
+        "cycles": cpu.stats.cycles,
+        "instructions": cpu.stats.instructions,
+        "taken_branches": cpu.stats.taken_branches,
+        "loads": cpu.stats.loads,
+        "stores": cpu.stats.stores,
+        "per_mnemonic": dict(cpu.stats.per_mnemonic),
+        "counters": {
+            r.name: (r.counters.reads, r.counters.writes)
+            for r in cpu.memory.regions
+        },
+        "trace": (
+            trace.register_writes,
+            trace.register_toggles,
+            trace.cycles,
+        ),
+        "error": error,
+    }
+
+
+def assert_engines_identical(source, max_cycles=500_000_000):
+    legacy = execute(source, "legacy", max_cycles)
+    fast = execute(source, "fast", max_cycles)
+    assert fast == legacy
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize(
+    "workload",
+    default_study_configs(),
+    ids=lambda w: w.name,
+)
+def test_suite_workloads_bit_identical(workload):
+    """Every suite workload matches the legacy engine field-for-field."""
+    assert_engines_identical(workload.source)
+
+
+def test_medium_matmul_bit_identical():
+    """A heavier configuration exercising deep loop nests."""
+    workload = matmul_int.workload(n=12, repeats=4, tune=5)
+    assert_engines_identical(workload.source)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        cpu = CortexM0(MemoryMap.embedded_system())
+        with pytest.raises(ReproError, match="unknown engine"):
+            cpu.run(engine="turbo")
+
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "fast", "legacy")
+
+    def test_fast_engine_refuses_recorder(self):
+        cpu = CortexM0(
+            MemoryMap.embedded_system(), recorder=AccessRecorder()
+        )
+        with pytest.raises(ReproError, match="recorder"):
+            cpu.run(engine="fast")
+
+    def test_auto_with_recorder_uses_legacy(self):
+        workload = default_study_configs()[-1]
+        program = assemble(workload.source)
+        cpu = CortexM0(
+            MemoryMap.embedded_system(), recorder=AccessRecorder()
+        )
+        cpu.load_program(program)
+        stats = cpu.run(engine="auto")
+        assert cpu.halted
+        assert stats.instructions > 0
+
+
+class TestFaultFidelity:
+    """Error paths must raise the same exceptions with the same text."""
+
+    def _messages(self, source, max_cycles=500_000_000):
+        legacy = execute(source, "legacy", max_cycles)
+        fast = execute(source, "fast", max_cycles)
+        assert fast == legacy
+        return legacy["error"]
+
+    def test_cycle_limit_identical(self):
+        source = """
+            loop:
+                b loop
+        """
+        message = self._messages(source, max_cycles=99)
+        assert message is not None
+        assert "cycle limit 99 exceeded" in message
+
+    def test_misaligned_load_identical(self):
+        source = """
+                movs r0, #1
+                ldr r1, [r0]
+                bkpt
+        """
+        message = self._messages(source)
+        assert "misaligned" in message
+
+    def test_unmapped_store_identical(self):
+        source = """
+                movs r0, #1
+                lsls r0, r0, #30
+                str r0, [r0]
+                bkpt
+        """
+        message = self._messages(source)
+        assert "unmapped" in message
+
+
+class TestSelfModifyingCode:
+    def test_external_program_patch_invalidates_decode_cache(self):
+        """Patching program memory between runs must re-decode."""
+        source = """
+                movs r0, #1
+                bkpt
+        """
+        program = assemble(source)
+        cpu = CortexM0(MemoryMap.embedded_system())
+        cpu.load_program(program)
+        cpu.run(engine="fast")
+        assert cpu.regs.read(0) == 1
+
+        # Patch the movs immediate from #1 to #42 and re-run.
+        insn = cpu.memory.read(program.base_address, 2, count=False)
+        cpu.memory.write(
+            program.base_address, (insn & 0xFF00) | 42, 2, count=False
+        )
+        cpu.halted = False
+        cpu.regs.write(15, program.entry_point)
+        cpu.run(engine="fast")
+        assert cpu.regs.read(0) == 42
+
+    def test_store_into_program_region_invalidates(self):
+        """A store over not-yet-executed code must take effect."""
+        # movs r0, #7 assembles to 0x2007; the program stores that
+        # encoding over the placeholder `movs r0, #1` before reaching
+        # it, so the executed instruction must be the patched one.
+        source = """
+                ldr r1, =target
+                ldr r2, =0x2007
+                strh r2, [r1]
+                b target
+            target:
+                movs r0, #1
+                bkpt
+        """
+        legacy = execute(source, "legacy")
+        fast = execute(source, "fast")
+        assert fast == legacy
+        assert fast["regs"][0] == 7

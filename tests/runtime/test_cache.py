@@ -1,0 +1,169 @@
+"""Result-cache tests: hit/miss, invalidation, corruption recovery."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.runtime.cache import (
+    ISS_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    run_workload_cached,
+)
+from repro.workloads import matmul_int, sort
+from repro.workloads.suite import run_workload
+
+
+@pytest.fixture
+def tiny_workload():
+    return matmul_int.workload(n=4, repeats=1, tune=1, pads=0)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.mark.smoke
+class TestHitMiss:
+    def test_cold_then_warm(self, cache, tiny_workload):
+        result, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert not hit
+        assert cache.misses == 1 and cache.hits == 0
+
+        again, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert hit
+        assert cache.hits == 1
+        assert again == result
+
+    def test_get_on_empty_cache_is_miss(self, cache, tiny_workload):
+        assert cache.get(tiny_workload, 1000) is None
+        assert cache.misses == 1
+
+    def test_cached_equals_fresh(self, cache, tiny_workload):
+        """Equivalence: every field of a cached result matches a fresh run."""
+        fresh = run_workload(tiny_workload)
+        cached_run, _ = run_workload_cached(tiny_workload, cache=cache)
+        from_disk, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert hit
+        for name in (
+            "checksum",
+            "cycles",
+            "instructions",
+            "program_reads",
+            "data_reads",
+            "data_writes",
+            "activity_factor",
+        ):
+            assert getattr(from_disk, name) == getattr(fresh, name)
+            assert getattr(from_disk, name) == getattr(cached_run, name)
+        assert from_disk.workload == tiny_workload
+        assert from_disk.correct
+
+    def test_result_wraps_requested_workload_object(
+        self, cache, tiny_workload
+    ):
+        run_workload_cached(tiny_workload, cache=cache)
+        result, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert hit
+        assert result.workload is tiny_workload
+
+
+class TestInvalidation:
+    def test_source_change_misses(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        changed = dataclasses.replace(
+            tiny_workload, source=tiny_workload.source + "\n@ touched\n"
+        )
+        assert cache.get(changed, 500_000_000) is None
+
+    def test_max_cycles_part_of_key(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, max_cycles=10_000_000, cache=cache)
+        assert cache.get(tiny_workload, 20_000_000) is None
+
+    def test_version_tag_change_misses(self, tmp_path, tiny_workload):
+        old = ResultCache(tmp_path, version="iss-old")
+        run_workload_cached(tiny_workload, cache=old)
+        new = ResultCache(tmp_path, version="iss-new")
+        assert new.get(tiny_workload, 500_000_000) is None
+
+    def test_different_workloads_different_keys(self, tiny_workload):
+        other = sort.workload(length=8, repeats=1)
+        assert cache_key(tiny_workload, 1000) != cache_key(other, 1000)
+        assert cache_key(tiny_workload, 1000) == cache_key(
+            tiny_workload, 1000
+        )
+
+    def test_explicit_invalidate(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        assert cache.invalidate(tiny_workload, 500_000_000)
+        assert not cache.invalidate(tiny_workload, 500_000_000)
+        assert cache.get(tiny_workload, 500_000_000) is None
+
+    def test_clear(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        run_workload_cached(tiny_workload, max_cycles=10_000_000, cache=cache)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+
+class TestCorruptionRecovery:
+    def _entry_path(self, cache, workload, max_cycles=500_000_000):
+        return cache.root / (
+            cache_key(workload, max_cycles, cache.version) + ".json"
+        )
+
+    def test_garbage_json_is_miss_and_removed(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        path = self._entry_path(cache, tiny_workload)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(tiny_workload, 500_000_000) is None
+        assert not path.exists()
+        # The next cached run recovers by re-executing and re-persisting.
+        result, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert not hit
+        assert result.correct
+        assert path.exists()
+
+    def test_missing_field_is_miss(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        path = self._entry_path(cache, tiny_workload)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["result"]["cycles"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(tiny_workload, 500_000_000) is None
+        assert not path.exists()
+
+    def test_wrong_type_is_miss(self, cache, tiny_workload):
+        run_workload_cached(tiny_workload, cache=cache)
+        path = self._entry_path(cache, tiny_workload)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["result"]["instructions"] = "lots"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(tiny_workload, 500_000_000) is None
+
+
+class TestConfiguration:
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ResultCache().root == tmp_path / "custom"
+
+    def test_default_dir_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-iss"
+
+    def test_unwritable_root_degrades_gracefully(
+        self, tmp_path, tiny_workload
+    ):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("occupied")
+        cache = ResultCache(blocked / "sub")
+        result, hit = run_workload_cached(tiny_workload, cache=cache)
+        assert not hit
+        assert result.correct
+
+    def test_version_tag_present(self):
+        assert isinstance(ISS_VERSION, str) and ISS_VERSION

@@ -1,0 +1,99 @@
+"""Vectorized drive evaluation must match the scalar protocol exactly."""
+
+import numpy as np
+import pytest
+
+from repro.spice.waveform import Dc, PieceWiseLinear, Pulse
+
+
+def sample_times(*extra):
+    base = np.linspace(-1e-9, 12e-9, 301)
+    return np.concatenate([base, np.array(extra, dtype=float)])
+
+
+def assert_vector_matches_scalar(drive, times):
+    vectorized = drive.at_array(times)
+    scalar = np.array([drive.at(float(t)) for t in times])
+    # Bit-exact, not approximate: the two paths share the arithmetic.
+    assert vectorized.shape == times.shape
+    assert np.array_equal(vectorized, scalar)
+
+
+class TestDc:
+    def test_matches_scalar(self):
+        assert_vector_matches_scalar(Dc(0.85), sample_times())
+
+    def test_shape(self):
+        out = Dc(1.0).at_array(np.zeros((3, 2)))
+        assert out.shape == (3, 2)
+        assert np.all(out == 1.0)
+
+
+class TestPulse:
+    def test_one_shot_matches_scalar(self):
+        pulse = Pulse(
+            v1=0.0, v2=0.9, delay=1e-9, rise=0.2e-9, fall=0.3e-9,
+            width=2e-9,
+        )
+        # Include the exact segment boundaries, where < vs <= matters.
+        times = sample_times(
+            1e-9, 1.2e-9, 3.2e-9, 3.5e-9, 0.0, 12e-9
+        )
+        assert_vector_matches_scalar(pulse, times)
+
+    def test_periodic_matches_scalar(self):
+        pulse = Pulse(
+            v1=0.1, v2=1.0, delay=0.5e-9, rise=0.1e-9, fall=0.1e-9,
+            width=1e-9, period=3e-9,
+        )
+        assert_vector_matches_scalar(pulse, sample_times(0.5e-9, 3.5e-9))
+
+    def test_inverted_levels(self):
+        pulse = Pulse(v1=1.0, v2=0.0, rise=0.5e-9, fall=0.5e-9, width=1e-9)
+        assert_vector_matches_scalar(pulse, sample_times())
+
+
+class TestPieceWiseLinear:
+    def test_strictly_increasing_matches_scalar(self):
+        pwl = PieceWiseLinear(
+            points=((0.0, 0.0), (1e-9, 0.9), (2e-9, 0.9), (4e-9, 0.1))
+        )
+        times = sample_times(0.0, 1e-9, 2e-9, 4e-9)
+        assert_vector_matches_scalar(pwl, times)
+
+    def test_duplicate_breakpoint_matches_scalar(self):
+        # A step discontinuity: duplicate times fall back to the scalar
+        # bisect semantics.
+        pwl = PieceWiseLinear(
+            points=((0.0, 0.0), (1e-9, 0.0), (1e-9, 1.0), (2e-9, 1.0))
+        )
+        assert_vector_matches_scalar(pwl, sample_times(1e-9))
+
+    def test_single_point(self):
+        pwl = PieceWiseLinear(points=((1e-9, 0.7),))
+        assert_vector_matches_scalar(pwl, sample_times())
+
+
+class TestSourceEnergyEquivalence:
+    def test_vectorized_energy_matches_scalar_loop(self):
+        """source_energy_j through at_array equals the per-sample loop."""
+        from repro.spice.elements import Capacitor, Resistor, VoltageSource
+        from repro.spice.netlist import Circuit
+        from repro.spice.transient import transient
+        from repro.spice.waveform import _trapezoid
+
+        circuit = Circuit("rc")
+        drive = Pulse(
+            v1=0.0, v2=1.0, delay=0.2e-9, rise=0.1e-9, fall=0.1e-9,
+            width=1e-9,
+        )
+        circuit.add(VoltageSource("Vin", "in", "0", drive))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Capacitor("C1", "out", "0", 1e-15))
+        result = transient(circuit, t_stop=2e-9, dt=0.02e-9)
+
+        energy = result.source_energy_j("Vin", circuit)
+        i = result.branch_currents["Vin"]
+        v = np.array([drive.at(float(t)) for t in result.times])
+        expected = float(_trapezoid(v * (-i), result.times))
+        assert energy == expected
