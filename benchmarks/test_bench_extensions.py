@@ -1,6 +1,5 @@
 """Extension benchmarks: optimization, standby retention, cost/water."""
 
-import pytest
 
 from repro.analysis.standby_study import render_standby, standby_comparison
 from repro.core.extensions import WaferCostModel, WaterModel

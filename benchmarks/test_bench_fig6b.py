@@ -1,7 +1,5 @@
 """Fig. 6b: tCDP isoline variation under uncertainty."""
 
-import numpy as np
-import pytest
 
 from repro.analysis import figures, report
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis import build_case_study
 from repro.analysis.sensitivity import (
     case_study_parameters,
     render_tornado,

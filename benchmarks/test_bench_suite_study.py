@@ -1,6 +1,5 @@
 """Extension benchmark: per-workload PPAtC across the whole suite."""
 
-import pytest
 
 from repro.analysis.suite_study import render_suite_study, run_suite_study
 

@@ -1,0 +1,45 @@
+"""Uncertainty-sweep benchmark: writes the ``BENCH_sweep.json`` artifact.
+
+Tracks the batched Monte Carlo speedup over the legacy per-sample loop,
+the chunked-parallel and sweep-cache paths, and the full paper-artifact
+pipeline wall time, so sweep performance is visible across PRs.
+"""
+
+import json
+
+
+def test_bench_sweep(output_dir):
+    from repro.runtime.bench_sweep import run_sweep_bench
+
+    path = output_dir / "BENCH_sweep.json"
+    report = run_sweep_bench(output_path=path)
+
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["schema"] == "bench-sweep/1"
+
+    mc = data["monte_carlo"]
+    assert mc["n_samples"] == 1000
+    assert mc["grid_points"] == 1600  # the Fig. 6a 40x40 grid
+
+    # The acceptance gate: the batched engine is >= 5x faster than the
+    # legacy per-sample loop at n_samples=1000 on the Fig. 6a grid and
+    # bit-identical to it under a fixed seed — on every path.
+    assert mc["bit_identical"]
+    assert mc["parallel_bit_identical"]
+    assert mc["speedup_batched_over_legacy"] >= 5.0
+
+    cache = data["sweep_cache"]
+    assert cache["hit_was_hit"]
+    assert cache["hit_bit_identical"]
+    assert cache["hit_wall_seconds"] < cache["miss_wall_seconds"]
+
+    pipeline = data["artifact_pipeline"]
+    assert pipeline["artifact_count"] == 11
+    assert pipeline["total_wall_seconds"] < 60.0
+    assert set(pipeline["per_artifact_wall_seconds"]) == {
+        "table1", "table2", "fig2c", "fig2d", "fig4_energy",
+        "fig4_critical_path", "fig5", "fig6a", "fig6b", "tornado",
+        "monte_carlo_map",
+    }
+
+    print(json.dumps(report["monte_carlo"], indent=2))

@@ -5,7 +5,6 @@ and (-) entry from the compact models: I_EFF, I_OFF, and BEOL
 compatibility per technology.
 """
 
-import pytest
 
 from repro.analysis.figures import table1_fet_figures
 from repro.analysis.report import render_table1

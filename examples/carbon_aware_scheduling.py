@@ -11,7 +11,6 @@ Run:  python examples/carbon_aware_scheduling.py
 """
 
 from repro.analysis import build_case_study
-from repro.core.carbon_intensity import DailyWindowProfile
 from repro.core.grid_profiles import (
     best_usage_window,
     get_daily_profile,

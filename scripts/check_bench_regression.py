@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json reports against the committed baselines.
+
+Exit status 0 when every metric is within tolerance, 1 on any
+regression, 2 on usage errors (missing/invalid files).  Used by CI after
+regenerating the benchmark artifacts::
+
+    python scripts/check_bench_regression.py \\
+        --baseline benchmarks/output/BENCH_iss.json --fresh /tmp/BENCH_iss.json \\
+        --baseline benchmarks/output/BENCH_sweep.json --fresh /tmp/BENCH_sweep.json \\
+        --tolerance 0.5
+
+With a single --baseline/--fresh pair it checks one report; pairs are
+matched positionally.  The numeric tolerance is relative drift in the
+bad direction; boolean correctness gates (bit-identity, paper cycle
+match) must hold exactly regardless of tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.regression import (  # noqa: E402
+    compare_reports,
+    render_comparisons,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        required=True,
+        metavar="FILE",
+        help="committed baseline JSON (repeatable)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="append",
+        required=True,
+        metavar="FILE",
+        help="freshly generated JSON, matched positionally to --baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative drift in the bad direction (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    if len(args.baseline) != len(args.fresh):
+        print(
+            f"error: {len(args.baseline)} --baseline vs "
+            f"{len(args.fresh)} --fresh",
+            file=sys.stderr,
+        )
+        return 2
+
+    any_regression = False
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        try:
+            baseline = json.loads(Path(baseline_path).read_text())
+            fresh = json.loads(Path(fresh_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error reading reports: {exc}", file=sys.stderr)
+            return 2
+        try:
+            comparisons = compare_reports(
+                baseline, fresh, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_comparisons(comparisons, label=str(baseline_path)))
+        any_regression |= any(c.regressed for c in comparisons)
+
+    if any_regression:
+        print("FAIL: benchmark regression detected")
+        return 1
+    print("OK: all benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""Deterministic paper-artifact pipeline with a content-addressed store.
+
+``run_artifact_pipeline`` regenerates every table/figure data product of
+the paper's evaluation — Table I/II, Fig. 2c/2d/4/5/6a/6b, the tornado
+sensitivity, and the Monte Carlo win-probability map — as canonical JSON
+under a run directory named by the hash of the generating parameters::
+
+    <output_root>/<params_hash[:12]>/
+        manifest.json
+        artifacts/<name>.json
+
+The manifest records, per artifact, the SHA-256 of its serialized bytes
+and its wall time, plus the parameter hash, the ISS/sweep cache version
+tags, and an aggregate ``content_hash`` over all artifact digests.  Two
+runs with identical parameters produce byte-identical manifests modulo
+the timing fields (``*_wall_seconds``, ``generated_unix``) — so artifact
+regressions are a ``diff`` away, and CI can gate on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.case_study import CaseStudy, build_case_study
+from repro.core.operational import UsageScenario
+
+#: Manifest fields (at any nesting depth) excluded from determinism
+#: comparisons — everything else must be byte-identical across runs.
+TIMING_FIELDS = ("wall_seconds", "total_wall_seconds", "generated_unix")
+
+MANIFEST_SCHEMA = "repro-artifacts/1"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that determines the artifact contents."""
+
+    grid: str = "us"
+    lifetime_months: float = 24.0
+    clock_mhz: float = 500.0
+    seed: int = 0
+    mc_samples: int = 1000
+
+    def params_hash(self) -> str:
+        blob = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PipelineContext:
+    """Shared state handed to every artifact builder."""
+
+    config: PipelineConfig
+    case: CaseStudy
+    jobs: Optional[int] = 1
+    sweep_cache: "Union[object, None, bool]" = None
+
+
+# ---------------------------------------------------------------------------
+# Artifact builders
+# ---------------------------------------------------------------------------
+def _build_table1(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.table1_fet_figures()
+
+
+def _build_table2(ctx: PipelineContext) -> object:
+    from repro.analysis.ppatc import comparison_with_paper
+
+    return comparison_with_paper(ctx.case)
+
+
+def _build_fig2c(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig2c_embodied_per_wafer()
+
+
+def _build_fig2d(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig2d_euv_metal_steps()
+
+
+def _build_fig4_energy(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig4_energy_vs_clock()
+
+
+def _build_fig4_critical_path(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig4_critical_path()
+
+
+def _build_fig5(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    months = [
+        float(m) for m in range(1, int(ctx.config.lifetime_months) + 1)
+    ]
+    return figures.fig5_tc_and_tcdp(ctx.case, months=months)
+
+
+def _build_fig6a(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig6a_tradeoff_map(ctx.case, ctx.config.lifetime_months)
+
+
+def _build_fig6b(ctx: PipelineContext) -> object:
+    from repro.analysis import figures
+
+    return figures.fig6b_isoline_uncertainty(
+        ctx.case, ctx.config.lifetime_months
+    )
+
+
+def _build_tornado(ctx: PipelineContext) -> object:
+    from repro.analysis.sensitivity import (
+        case_study_parameters,
+        tornado_analysis,
+    )
+
+    params = case_study_parameters(ctx.case, ctx.config.lifetime_months)
+    entries = tornado_analysis(params)
+    return [
+        {
+            "parameter": e.parameter,
+            "ratio_low": e.ratio_low,
+            "ratio_high": e.ratio_high,
+            "ratio_nominal": e.ratio_nominal,
+            "swing": e.swing,
+            "flips_verdict": e.flips_verdict,
+        }
+        for e in entries
+    ]
+
+
+def _build_monte_carlo_map(ctx: PipelineContext) -> object:
+    from repro.analysis.sensitivity import case_study_parameters
+    from repro.core.uncertainty import monte_carlo_win_probability
+
+    params = case_study_parameters(ctx.case, ctx.config.lifetime_months)
+    xs = np.linspace(0.05, 2.0, 40)
+    ys = np.linspace(0.05, 2.0, 40)
+    win = monte_carlo_win_probability(
+        params,
+        xs,
+        ys,
+        n_samples=ctx.config.mc_samples,
+        rng=np.random.default_rng(ctx.config.seed),
+        jobs=ctx.jobs,
+        cache=ctx.sweep_cache,
+    )
+    return {
+        "emb_scales": xs,
+        "op_scales": ys,
+        "win_probability": win,
+        "n_samples": ctx.config.mc_samples,
+        "seed": ctx.config.seed,
+        "parameters": params,
+    }
+
+
+_BUILDERS: Dict[str, Callable[[PipelineContext], object]] = {
+    "table1": _build_table1,
+    "table2": _build_table2,
+    "fig2c": _build_fig2c,
+    "fig2d": _build_fig2d,
+    "fig4_energy": _build_fig4_energy,
+    "fig4_critical_path": _build_fig4_critical_path,
+    "fig5": _build_fig5,
+    "fig6a": _build_fig6a,
+    "fig6b": _build_fig6b,
+    "tornado": _build_tornado,
+    "monte_carlo_map": _build_monte_carlo_map,
+}
+
+
+def default_artifact_names() -> List[str]:
+    """Every artifact the pipeline knows how to build, in build order."""
+    return list(_BUILDERS)
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization
+# ---------------------------------------------------------------------------
+def to_jsonable(obj: object) -> object:
+    """Recursively convert arrays/dataclasses/numpy scalars for JSON."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return obj
+
+
+def canonical_json(obj: object) -> str:
+    """Stable text form: sorted keys, fixed indent, trailing newline."""
+    return json.dumps(to_jsonable(obj), indent=2, sort_keys=True) + "\n"
+
+
+def strip_timing_fields(obj: object) -> object:
+    """A copy of a manifest with every timing field removed (any depth)."""
+    if isinstance(obj, dict):
+        return {
+            k: strip_timing_fields(v)
+            for k, v in obj.items()
+            if k not in TIMING_FIELDS
+        }
+    if isinstance(obj, list):
+        return [strip_timing_fields(v) for v in obj]
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+def run_artifact_pipeline(
+    output_root: "Union[str, Path]",
+    config: Optional[PipelineConfig] = None,
+    artifacts: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = 1,
+    sweep_cache: "Union[object, None, bool]" = None,
+) -> dict:
+    """Regenerate the requested artifacts; returns the manifest dict.
+
+    Args:
+        output_root: directory that receives one run directory per
+            parameter hash.
+        config: generating parameters; defaults to the paper's nominal
+            case (US grid, 24 months, 500 MHz, seed 0, 1000 MC samples).
+        artifacts: subset of :func:`default_artifact_names` to build
+            (the manifest parameter hash covers the selection).
+        jobs: process fan-out for the Monte Carlo sweep.
+        sweep_cache: passed through to the Monte Carlo memoization.
+    """
+    from repro.runtime.cache import ISS_VERSION, SWEEP_VERSION
+
+    cfg = config if config is not None else PipelineConfig()
+    names = list(artifacts) if artifacts is not None else default_artifact_names()
+    unknown = [n for n in names if n not in _BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown artifacts {unknown}; known: {default_artifact_names()}"
+        )
+
+    selection_blob = json.dumps({"config": asdict(cfg), "artifacts": names},
+                                sort_keys=True)
+    params_hash = hashlib.sha256(selection_blob.encode("utf-8")).hexdigest()
+    run_dir = Path(output_root) / params_hash[:12]
+    artifact_dir = run_dir / "artifacts"
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    pipeline_start = time.perf_counter()
+    case = build_case_study(
+        clock_hz=cfg.clock_mhz * 1e6,
+        scenario=UsageScenario(cfg.lifetime_months),
+        grid=cfg.grid,
+    )
+    ctx = PipelineContext(
+        config=cfg, case=case, jobs=jobs, sweep_cache=sweep_cache
+    )
+
+    entries: Dict[str, dict] = {}
+    for name in names:
+        start = time.perf_counter()
+        data = _BUILDERS[name](ctx)
+        text = canonical_json(data)
+        wall = time.perf_counter() - start
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        rel_path = f"artifacts/{name}.json"
+        (run_dir / rel_path).write_text(text, encoding="utf-8")
+        entries[name] = {
+            "sha256": digest,
+            "path": rel_path,
+            "bytes": len(text.encode("utf-8")),
+            "wall_seconds": wall,
+        }
+
+    content_hash = hashlib.sha256(
+        json.dumps(
+            {name: e["sha256"] for name, e in entries.items()},
+            sort_keys=True,
+        ).encode("utf-8")
+    ).hexdigest()
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "params": asdict(cfg),
+        "params_hash": params_hash,
+        "artifact_names": names,
+        "iss_version": ISS_VERSION,
+        "sweep_version": SWEEP_VERSION,
+        "python": platform.python_version(),
+        "artifacts": entries,
+        "content_hash": content_hash,
+        "total_wall_seconds": time.perf_counter() - pipeline_start,
+        "generated_unix": time.time(),
+    }
+    (run_dir / "manifest.json").write_text(
+        canonical_json(manifest), encoding="utf-8"
+    )
+    return manifest
+
+
+def render_manifest(manifest: dict) -> str:
+    """Human-readable run summary for the CLI."""
+    lines = [
+        f"artifact run {manifest['params_hash'][:12]} "
+        f"(content {manifest['content_hash'][:12]}, "
+        f"{manifest['iss_version']})",
+        f"{'artifact':20s} {'sha256':>14s} {'bytes':>10s} {'wall':>9s}",
+        "-" * 58,
+    ]
+    for name, entry in manifest["artifacts"].items():
+        lines.append(
+            f"{name:20s} {entry['sha256'][:12]:>14s} "
+            f"{entry['bytes']:>10,} {entry['wall_seconds']:>8.3f}s"
+        )
+    lines.append(
+        f"{'total':20s} {'':>14s} {'':>10s} "
+        f"{manifest['total_wall_seconds']:>8.3f}s"
+    )
+    return "\n".join(lines)

@@ -6,7 +6,7 @@ regenerates the same rows/series the paper reports.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from repro.analysis.case_study import CaseStudy
 from repro.analysis.ppatc import PAPER_TABLE2, ppatc_summary

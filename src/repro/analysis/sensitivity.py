@@ -64,6 +64,9 @@ _PERTURBERS: Dict[str, Callable[[ScenarioParameters, float], ScenarioParameters]
 
 
 def _ratio(params: ScenarioParameters) -> float:
+    # tradeoff_map() is memoized on the parameter set, so a clamped
+    # perturbation that lands back on an already-seen scenario (or the
+    # nominal one) reuses the existing map instead of rebuilding it.
     return params.tradeoff_map().ratio(1.0, 1.0)
 
 
@@ -73,6 +76,8 @@ def tornado_analysis(
 ) -> List[SensitivityEntry]:
     """Perturb each parameter by +/- ``relative_change``; sort by swing.
 
+    The nominal trade-off map is computed exactly once and shared by
+    every entry; only genuinely perturbed scenarios build new maps.
     Returns entries sorted most-sensitive first (the tornado ordering).
     """
     if not (0.0 < relative_change < 1.0):

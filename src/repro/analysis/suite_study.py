@@ -15,10 +15,9 @@ design's energy advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.case_study import (
-    DEFAULT_SCENARIO,
     build_all_si_system,
     build_m3d_system,
 )

@@ -175,6 +175,59 @@ def cmd_bench_iss(args) -> int:
     return 0
 
 
+def cmd_bench_sweep(args) -> int:
+    from repro.runtime.bench_sweep import run_sweep_bench
+
+    report = run_sweep_bench(
+        output_path=args.output, n_samples=args.mc_samples
+    )
+    mc = report["monte_carlo"]
+    pipeline = report["artifact_pipeline"]
+    print(
+        f"monte carlo ({mc['n_samples']} samples, {mc['grid_points']} grid "
+        f"points): batched {mc['speedup_batched_over_legacy']:.1f}x over "
+        f"legacy (bit-identical: {mc['bit_identical']})"
+    )
+    print(
+        f"  {mc['batched_samples_per_second']:,.0f} samples/s batched vs "
+        f"{mc['legacy_samples_per_second']:,.0f} legacy"
+    )
+    print(
+        f"artifact pipeline: {pipeline['artifact_count']} artifacts in "
+        f"{pipeline['total_wall_seconds']:.2f}s "
+        f"(content {pipeline['content_hash'][:12]})"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_artifacts(args) -> int:
+    from repro.analysis.artifacts import (
+        PipelineConfig,
+        render_manifest,
+        run_artifact_pipeline,
+    )
+
+    config = PipelineConfig(
+        grid=args.grid,
+        lifetime_months=args.lifetime,
+        clock_mhz=args.clock_mhz,
+        seed=args.seed,
+        mc_samples=args.mc_samples,
+    )
+    manifest = run_artifact_pipeline(
+        args.output,
+        config=config,
+        artifacts=args.only.split(",") if args.only else None,
+        jobs=args.jobs,
+        sweep_cache=None if args.no_cache else True,
+    )
+    print(render_manifest(manifest))
+    print(f"wrote {args.output}/{manifest['params_hash'][:12]}/manifest.json")
+    return 0
+
+
 def cmd_process(args) -> int:
     from repro.core.embodied import EmbodiedCarbonModel
     from repro.core.materials import MaterialsModel
@@ -241,7 +294,15 @@ _COMMANDS = {
     "workloads": (cmd_workloads, "run the Embench-style suite"),
     "optimize": (cmd_optimize, "tCDP-optimal operating point"),
     "process": (cmd_process, "dump/evaluate process-flow JSON files"),
+    "artifacts": (
+        cmd_artifacts,
+        "regenerate every paper artifact into a content-addressed store",
+    ),
     "bench-iss": (cmd_bench_iss, "ISS performance benchmark (BENCH_iss.json)"),
+    "bench-sweep": (
+        cmd_bench_sweep,
+        "uncertainty-sweep benchmark (BENCH_sweep.json)",
+    ),
 }
 
 
@@ -297,6 +358,55 @@ def build_parser() -> argparse.ArgumentParser:
                 "--full",
                 action="store_true",
                 help="also measure the full-length legacy run (~1 min)",
+            )
+        if name == "bench-sweep":
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the BENCH_sweep.json artifact to FILE",
+            )
+            sub.add_argument(
+                "--mc-samples",
+                type=int,
+                default=1000,
+                help="Monte Carlo samples for the sweep benchmark",
+            )
+        if name == "artifacts":
+            sub.add_argument(
+                "--output",
+                metavar="DIR",
+                default="benchmarks/output/artifacts",
+                help="content-addressed artifact store root",
+            )
+            sub.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="Monte Carlo seed folded into the parameter hash",
+            )
+            sub.add_argument(
+                "--mc-samples",
+                type=int,
+                default=1000,
+                help="Monte Carlo samples for the win-probability map",
+            )
+            sub.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="sweep worker processes (default: one per CPU)",
+            )
+            sub.add_argument(
+                "--only",
+                metavar="NAMES",
+                default=None,
+                help="comma-separated subset of artifacts to build",
+            )
+            sub.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="bypass the persistent sweep cache (REPRO_CACHE_DIR)",
             )
         sub.set_defaults(func=func)
     return parser

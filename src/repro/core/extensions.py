@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
 from repro.errors import CarbonModelError
 from repro.fab.flow import ProcessFlow
 

@@ -25,11 +25,51 @@ otherwise).  ``ratio < 1`` is the red region where the candidate wins; the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import CarbonModelError
+
+
+def batched_ratio_grid(
+    cand_embodied_g: np.ndarray,
+    cand_operational_g: np.ndarray,
+    cand_execution_time_s: "float | np.ndarray",
+    baseline_tcdp: "float | np.ndarray",
+    emb_scales: np.ndarray,
+    op_scales: np.ndarray,
+) -> np.ndarray:
+    """Relative-tCDP grids for a *batch* of candidate operating points.
+
+    The batched kernel behind :meth:`TcdpTradeoffMap.ratio_grid` and the
+    vectorized Monte Carlo sweep: the candidate components are arrays of
+    shape ``(n,)`` (one entry per sampled scenario) and the result has
+    shape ``(n, len(op_scales), len(emb_scales))``.  Element ``[s, i, j]``
+    uses exactly the same float operations, in the same order, as the
+    scalar ``ratio_grid`` of sample ``s`` — so a batched sweep is
+    bit-identical to a per-sample loop.
+    """
+    x = np.asarray(emb_scales, dtype=float)
+    y = np.asarray(op_scales, dtype=float)
+    if np.any(x < 0) or np.any(y < 0):
+        raise CarbonModelError("scale factors must be >= 0")
+    emb = np.asarray(cand_embodied_g, dtype=float)
+    op = np.asarray(cand_operational_g, dtype=float)
+    t = np.asarray(cand_execution_time_s, dtype=float)
+    if t.ndim:
+        t = t[:, None, None]
+    denom = np.asarray(baseline_tcdp, dtype=float)
+    if denom.ndim:
+        denom = denom[:, None, None]
+    # One full (n, y, x) temporary; the scale/divide passes run in place.
+    # Element-wise this is ((x*emb + y*op) * t) / tcdp_b exactly — the
+    # same operations, in the same order, as the scalar ratio().
+    grid = x[None, None, :] * emb[:, None, None]
+    grid = grid + (y[None, :] * op[:, None])[:, :, None]
+    np.multiply(grid, t, out=grid)
+    np.divide(grid, denom, out=grid)
+    return grid
 
 
 @dataclass(frozen=True)
@@ -92,15 +132,14 @@ class TcdpTradeoffMap:
         Row i, column j is ``ratio(emb_scales[j], op_scales[i])`` — the
         colormap of Fig. 6a (y-axis = operational scale, x = embodied).
         """
-        x = np.asarray(emb_scales, dtype=float)
-        y = np.asarray(op_scales, dtype=float)
-        if np.any(x < 0) or np.any(y < 0):
-            raise CarbonModelError("scale factors must be >= 0")
-        grid = (
-            x[None, :] * self.candidate.embodied_g
-            + y[:, None] * self.candidate.operational_g
-        ) * self.candidate.execution_time_s
-        return grid / self.baseline.tcdp
+        return batched_ratio_grid(
+            np.array([self.candidate.embodied_g]),
+            np.array([self.candidate.operational_g]),
+            self.candidate.execution_time_s,
+            self.baseline.tcdp,
+            emb_scales,
+            op_scales,
+        )[0]
 
     def isoline_emb_scale(self, op_scale: "float | np.ndarray"):
         """The ratio==1 contour: embodied scale x as a function of y.

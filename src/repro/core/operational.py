@@ -10,7 +10,7 @@ function collapses the Eq. 1 integral to Equation 8:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro import units

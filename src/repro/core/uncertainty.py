@@ -13,17 +13,44 @@ Section III-D: the tCDP isoline moves when the underlying assumptions move
 - :func:`monte_carlo_win_probability` — samples parameter distributions
   and estimates, per (x, y) grid point, the probability that the candidate
   design has better tCDP.
+
+The Monte Carlo is *batched*: all samples are drawn up front with the
+NumPy generator (:func:`draw_monte_carlo_samples`) and the win indicator
+is evaluated as one ``(samples, op_scales, emb_scales)`` grid computation
+on the same kernel as :meth:`TcdpTradeoffMap.ratio_grid`, optionally
+chunked over the :mod:`repro.runtime.parallel` process pool and memoized
+through a :class:`repro.runtime.cache.SweepCache`.  The per-sample
+reference loop survives as :func:`monte_carlo_win_probability_legacy`;
+both consume the same drawn samples, so for a fixed seed the two are
+bit-identical.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.core.isoline import TcdpOperatingPoint, TcdpTradeoffMap
+from repro.core.isoline import (
+    TcdpOperatingPoint,
+    TcdpTradeoffMap,
+    batched_ratio_grid,
+)
 from repro.errors import CarbonModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cache import SweepCache
 
 
 @dataclass(frozen=True)
@@ -84,7 +111,18 @@ class ScenarioParameters:
         return TcdpOperatingPoint(emb, op, execution_time_s=1.0)
 
     def tradeoff_map(self) -> TcdpTradeoffMap:
-        return TcdpTradeoffMap(self.candidate_point(), self.baseline_point())
+        """The trade-off map for these parameters, memoized.
+
+        Equal parameter sets (the frozen dataclass is hashable) share one
+        map instance, so analyses that revisit the nominal scenario per
+        perturbation build it exactly once.
+        """
+        return _build_tradeoff_map(self)
+
+
+@functools.lru_cache(maxsize=1024)
+def _build_tradeoff_map(params: ScenarioParameters) -> TcdpTradeoffMap:
+    return TcdpTradeoffMap(params.candidate_point(), params.baseline_point())
 
 
 @dataclass(frozen=True)
@@ -143,6 +181,14 @@ def paper_perturbations(
     ]
 
 
+def _perturbed_ratio_grid(
+    payload: Tuple[ScenarioParameters, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Worker-side ratio grid for one perturbed scenario (picklable)."""
+    params, emb_scales, op_scales = payload
+    return params.tradeoff_map().ratio_grid(emb_scales, op_scales)
+
+
 class IsolineUncertaintyAnalysis:
     """Family of tCDP isolines under parameter perturbations (Fig. 6b)."""
 
@@ -157,6 +203,12 @@ class IsolineUncertaintyAnalysis:
             if perturbations is not None
             else paper_perturbations()
         )
+        # The nominal map is perturbation-independent: build it once and
+        # reuse it across isolines(), robust_regions(), and repeat calls.
+        self._nominal_map = nominal.tradeoff_map()
+
+    def _perturbed_parameters(self) -> List[ScenarioParameters]:
+        return [pert.apply(self.nominal) for pert in self.perturbations]
 
     def isolines(
         self, op_scales: np.ndarray
@@ -164,10 +216,11 @@ class IsolineUncertaintyAnalysis:
         """Embodied-scale isoline x(y) for nominal + each perturbation."""
         y = np.asarray(op_scales, dtype=float)
         result: Dict[str, np.ndarray] = {
-            "nominal": self.nominal.tradeoff_map().isoline_emb_scale(y)
+            "nominal": self._nominal_map.isoline_emb_scale(y)
         }
-        for pert in self.perturbations:
-            params = pert.apply(self.nominal)
+        for pert, params in zip(
+            self.perturbations, self._perturbed_parameters()
+        ):
             result[pert.name] = params.tradeoff_map().isoline_emb_scale(y)
         return result
 
@@ -175,6 +228,7 @@ class IsolineUncertaintyAnalysis:
         self,
         emb_scales: np.ndarray,
         op_scales: np.ndarray,
+        jobs: Optional[int] = 1,
     ) -> Dict[str, np.ndarray]:
         """Boolean masks over the (y, x) grid.
 
@@ -183,14 +237,28 @@ class IsolineUncertaintyAnalysis:
         everywhere; the rest is the uncertain band.  These are the
         "regions in which the M3D design maintains better tCDP vs. the
         all-Si design (and vice versa)" of Sec. III-D.
+
+        ``jobs`` fans the perturbation family out over the runtime
+        process pool (``1`` = serial in-process, ``None`` = one worker
+        per CPU); the result is identical either way.
         """
-        maps = [self.nominal.tradeoff_map()] + [
-            pert.apply(self.nominal).tradeoff_map()
-            for pert in self.perturbations
-        ]
-        ratios = np.stack(
-            [m.ratio_grid(emb_scales, op_scales) for m in maps], axis=0
-        )
+        x = np.asarray(emb_scales, dtype=float)
+        y = np.asarray(op_scales, dtype=float)
+        nominal_grid = self._nominal_map.ratio_grid(x, y)
+        if jobs == 1 or len(self.perturbations) <= 1:
+            perturbed = [
+                params.tradeoff_map().ratio_grid(x, y)
+                for params in self._perturbed_parameters()
+            ]
+        else:
+            from repro.runtime.parallel import map_parallel
+
+            perturbed = map_parallel(
+                _perturbed_ratio_grid,
+                [(params, x, y) for params in self._perturbed_parameters()],
+                jobs=jobs,
+            )
+        ratios = np.stack([nominal_grid] + perturbed, axis=0)
         candidate_always = np.all(ratios < 1.0, axis=0)
         baseline_always = np.all(ratios >= 1.0, axis=0)
         return {
@@ -198,6 +266,105 @@ class IsolineUncertaintyAnalysis:
             "baseline_always": baseline_always,
             "uncertain": ~(candidate_always | baseline_always),
         }
+
+
+@dataclass(frozen=True)
+class MonteCarloSamples:
+    """One batch of drawn scenario samples (all arrays of length n)."""
+
+    lifetime_months: np.ndarray
+    ci_scales: np.ndarray
+    yields: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.lifetime_months.size
+        if self.ci_scales.size != n or self.yields.size != n:
+            raise CarbonModelError("sample arrays must share one length")
+
+    @property
+    def n(self) -> int:
+        return int(self.lifetime_months.size)
+
+    def chunk(self, start: int, stop: int) -> "MonteCarloSamples":
+        return MonteCarloSamples(
+            self.lifetime_months[start:stop],
+            self.ci_scales[start:stop],
+            self.yields[start:stop],
+        )
+
+
+def draw_monte_carlo_samples(
+    nominal: ScenarioParameters,
+    n_samples: int,
+    lifetime_sigma_months: float = 3.0,
+    ci_log_sigma: float = 0.5,
+    yield_low: float = 0.10,
+    yield_high: float = 0.90,
+    rng: Optional[np.random.Generator] = None,
+) -> MonteCarloSamples:
+    """Draw every sample for one Monte Carlo sweep in three batched calls.
+
+    Lifetime ~ Normal(nominal, sigma) truncated at > 0, CI_use scale ~
+    LogNormal(0, ci_log_sigma), candidate yield ~ Uniform[low, high].
+    Drawing is separated from evaluation so the batched engine, the
+    legacy per-sample loop, the chunked parallel path, and the sweep
+    cache all consume the *same* sample set for a given generator state.
+    """
+    if n_samples <= 0:
+        raise CarbonModelError(f"n_samples must be > 0, got {n_samples}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    lifetimes = np.maximum(
+        1e-3,
+        rng.normal(
+            nominal.lifetime_months, lifetime_sigma_months, size=n_samples
+        ),
+    )
+    ci_scales = np.exp(rng.normal(0.0, ci_log_sigma, size=n_samples))
+    yields = rng.uniform(yield_low, yield_high, size=n_samples)
+    return MonteCarloSamples(lifetimes, ci_scales, yields)
+
+
+def _mc_chunk_win_counts(
+    payload: Tuple[ScenarioParameters, np.ndarray, np.ndarray, MonteCarloSamples],
+) -> np.ndarray:
+    """Win counts over one sample chunk: shape (op_scales, emb_scales).
+
+    The candidate/baseline carbon components are computed with the same
+    float operations, in the same order, as ``ScenarioParameters``
+    rebuilt per sample — the batched sweep is bit-identical to the
+    legacy loop by construction.
+    """
+    nominal, x, y, samples = payload
+    ci_use = nominal.ci_use_scale * samples.ci_scales
+    cand_emb = nominal.candidate_wafer_g / (
+        nominal.candidate_dies_per_wafer * samples.yields
+    )
+    cand_op = (
+        ci_use * nominal.candidate_op_per_month_g * samples.lifetime_months
+    )
+    base_emb = nominal.baseline_wafer_g / (
+        nominal.baseline_dies_per_wafer * nominal.baseline_yield
+    )
+    base_op = (
+        ci_use * nominal.baseline_op_per_month_g * samples.lifetime_months
+    )
+    base_tcdp = (base_emb + base_op) * 1.0  # baseline execution time is 1 s
+    ratios = batched_ratio_grid(
+        cand_emb,
+        cand_op,
+        nominal.execution_time_ratio,
+        base_tcdp,
+        x,
+        y,
+    )
+    return np.count_nonzero(ratios < 1.0, axis=0)
+
+
+def _default_chunk_size(n_samples: int, grid_points: int) -> int:
+    """Samples per chunk bounding the (chunk, y, x) tensor to ~16 MiB."""
+    budget = 1 << 21  # float64 elements
+    return max(1, min(n_samples, budget // max(1, grid_points)))
 
 
 def monte_carlo_win_probability(
@@ -210,36 +377,127 @@ def monte_carlo_win_probability(
     yield_low: float = 0.10,
     yield_high: float = 0.90,
     rng: Optional[np.random.Generator] = None,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    cache: "Union[SweepCache, None, bool]" = None,
 ) -> np.ndarray:
     """Probability (per grid point) that the candidate has better tCDP.
 
     Samples lifetime ~ Normal(nominal, sigma) truncated at > 0, CI_use
     scale ~ LogNormal(0, ci_log_sigma), and candidate yield ~ Uniform
-    [yield_low, yield_high]; evaluates the win indicator at each sample.
+    [yield_low, yield_high]; evaluates the win indicator for all samples
+    at once as a batched (samples, op_scales, emb_scales) grid.
+
+    Args:
+        jobs: fan sample chunks out over the runtime process pool
+            (``1`` = in-process, ``None`` = one worker per CPU).  The
+            result is identical for any ``jobs``/``chunk_size``.
+        chunk_size: samples per evaluation chunk; ``None`` auto-sizes to
+            bound peak memory.
+        cache: a :class:`repro.runtime.cache.SweepCache`, ``True`` for
+            the default cache directory, or ``None``/``False`` to skip
+            memoization.  The key covers the scenario, both grid axes,
+            and the drawn samples, so a hit is exact; the generator is
+            advanced identically either way.
 
     Returns:
         Array of shape (len(op_scales), len(emb_scales)) of win
         probabilities in [0, 1].
     """
-    if n_samples <= 0:
-        raise CarbonModelError(f"n_samples must be > 0, got {n_samples}")
-    if rng is None:
-        rng = np.random.default_rng(0)
     x = np.asarray(emb_scales, dtype=float)
     y = np.asarray(op_scales, dtype=float)
+    samples = draw_monte_carlo_samples(
+        nominal,
+        n_samples,
+        lifetime_sigma_months=lifetime_sigma_months,
+        ci_log_sigma=ci_log_sigma,
+        yield_low=yield_low,
+        yield_high=yield_high,
+        rng=rng,
+    )
+
+    sweep_cache = None
+    payload = None
+    if cache is not None and cache is not False:
+        from repro.runtime.cache import SweepCache
+
+        sweep_cache = cache if isinstance(cache, SweepCache) else SweepCache()
+        payload = {
+            "kind": "monte-carlo-win-probability",
+            "nominal": sorted(
+                (k, v) for k, v in vars(nominal).items()
+            ),
+            "emb_scales": x,
+            "op_scales": y,
+            "lifetime_months": samples.lifetime_months,
+            "ci_scales": samples.ci_scales,
+            "yields": samples.yields,
+        }
+        hit = sweep_cache.get(payload)
+        if hit is not None:
+            return hit
+
+    chunk = (
+        chunk_size
+        if chunk_size is not None
+        else _default_chunk_size(n_samples, x.size * y.size)
+    )
+    if chunk < 1:
+        raise CarbonModelError(f"chunk_size must be >= 1, got {chunk}")
+    bounds = list(range(0, n_samples, chunk))
+    chunks = [
+        (nominal, x, y, samples.chunk(start, start + chunk))
+        for start in bounds
+    ]
+    if jobs == 1 or len(chunks) == 1:
+        counts = [_mc_chunk_win_counts(c) for c in chunks]
+    else:
+        from repro.runtime.parallel import map_parallel
+
+        counts = map_parallel(_mc_chunk_win_counts, chunks, jobs=jobs)
+    wins = np.sum(counts, axis=0, dtype=float)
+    probability = wins / n_samples
+    if sweep_cache is not None and payload is not None:
+        sweep_cache.put(payload, probability)
+    return probability
+
+
+def monte_carlo_win_probability_legacy(
+    nominal: ScenarioParameters,
+    emb_scales: np.ndarray,
+    op_scales: np.ndarray,
+    n_samples: int = 1000,
+    lifetime_sigma_months: float = 3.0,
+    ci_log_sigma: float = 0.5,
+    yield_low: float = 0.10,
+    yield_high: float = 0.90,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """The per-sample reference loop the batched engine is checked against.
+
+    Consumes the same batched sample draw, then rebuilds
+    :class:`ScenarioParameters` and evaluates ``ratio_grid`` one sample
+    at a time.  For any fixed generator state the result is bit-identical
+    to :func:`monte_carlo_win_probability`.
+    """
+    x = np.asarray(emb_scales, dtype=float)
+    y = np.asarray(op_scales, dtype=float)
+    samples = draw_monte_carlo_samples(
+        nominal,
+        n_samples,
+        lifetime_sigma_months=lifetime_sigma_months,
+        ci_log_sigma=ci_log_sigma,
+        yield_low=yield_low,
+        yield_high=yield_high,
+        rng=rng,
+    )
     wins = np.zeros((y.size, x.size), dtype=float)
-    for _ in range(n_samples):
-        lifetime = max(
-            1e-3,
-            rng.normal(nominal.lifetime_months, lifetime_sigma_months),
-        )
-        ci_scale = float(np.exp(rng.normal(0.0, ci_log_sigma)))
-        yld = float(rng.uniform(yield_low, yield_high))
+    for i in range(samples.n):
         params = replace(
             nominal,
-            lifetime_months=lifetime,
-            ci_use_scale=nominal.ci_use_scale * ci_scale,
-            candidate_yield=yld,
+            lifetime_months=float(samples.lifetime_months[i]),
+            ci_use_scale=nominal.ci_use_scale * float(samples.ci_scales[i]),
+            candidate_yield=float(samples.yields[i]),
         )
         ratio = params.tradeoff_map().ratio_grid(x, y)
         wins += (ratio < 1.0).astype(float)

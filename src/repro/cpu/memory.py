@@ -8,7 +8,7 @@ and records written-address lifetimes for retention analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MemoryAccessError

@@ -13,7 +13,7 @@ A real .vcd writer is also provided for interoperability/debugging.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Dict, Optional, TextIO
 
 #: Architectural state bits observed: 16 registers x 32 bits.
 _STATE_BITS = 16 * 32

@@ -24,7 +24,7 @@ makes refresh free).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.edram.array import MemoryMacro
 from repro.edram.retention import refresh_interval_s

@@ -11,7 +11,7 @@ Organization: 128 rows x 128 columns of bit cells (16,384 bits = 2 kB),
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.edram.bitcell import BitcellDesign
 from repro.edram.parasitics import (

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.edram.bitcell import BitcellDesign
 from repro.edram.subarray import SubArrayDesign
 from repro.spice import (
     Capacitor,

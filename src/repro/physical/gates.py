@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.errors import PhysicalDesignError
-from repro.physical.stdcells import CellLibrary, VtFlavor, make_library
+from repro.physical.stdcells import VtFlavor, make_library
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ design flows" step checks for the eDRAM decoder and refresh controller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PhysicalDesignError

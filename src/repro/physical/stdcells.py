@@ -17,7 +17,7 @@ by the paper (RVT, 500 MHz) lands at 1.42 pJ/cycle (Table II).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.errors import PhysicalDesignError

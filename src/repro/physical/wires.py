@@ -14,7 +14,6 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import PhysicalDesignError
-from repro.physical.stdcells import CellLibrary, VtFlavor, make_library
 
 #: Wire parasitics for intermediate-level routing (48-64 nm pitch).
 GLOBAL_WIRE_RES_OHM_PER_UM = 8.0

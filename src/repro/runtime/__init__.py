@@ -15,19 +15,28 @@ This package makes repeat studies cheap and large studies fast:
 
 from repro.runtime.cache import (
     ISS_VERSION,
+    SWEEP_VERSION,
     ResultCache,
+    SweepCache,
     default_cache_dir,
     run_workload_cached,
 )
-from repro.runtime.parallel import SuiteRunReport, run_workloads
+from repro.runtime.parallel import (
+    SuiteRunReport,
+    map_parallel,
+    run_workloads,
+)
 from repro.runtime.perfcounters import RunPerf, render_perf_table
 
 __all__ = [
     "ISS_VERSION",
+    "SWEEP_VERSION",
     "ResultCache",
+    "SweepCache",
     "default_cache_dir",
     "run_workload_cached",
     "SuiteRunReport",
+    "map_parallel",
     "run_workloads",
     "RunPerf",
     "render_perf_table",

@@ -1,0 +1,136 @@
+"""The ``BENCH_sweep.json`` harness: uncertainty-sweep performance.
+
+Companion to :mod:`repro.runtime.bench` (``BENCH_iss.json``): measures
+the batched Monte Carlo engine against the legacy per-sample loop on the
+Fig. 6a grid, the chunked-parallel and sweep-cache paths, and the full
+paper-artifact pipeline wall time, and writes them to a JSON artifact so
+sweep-performance regressions are visible across PRs.
+
+Run it via ``python -m repro bench-sweep`` or the benchmarks suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+
+def run_sweep_bench(
+    output_path: Optional[Path] = None,
+    n_samples: int = 1000,
+) -> dict:
+    """Collect the sweep benchmark numbers; optionally write the artifact."""
+    from repro.analysis.artifacts import run_artifact_pipeline
+    from repro.analysis.case_study import build_case_study
+    from repro.analysis.sensitivity import case_study_parameters
+    from repro.core.uncertainty import (
+        monte_carlo_win_probability,
+        monte_carlo_win_probability_legacy,
+    )
+    from repro.runtime.cache import SWEEP_VERSION, SweepCache
+    from repro.runtime.parallel import resolve_jobs
+
+    report: dict = {
+        "schema": "bench-sweep/1",
+        "sweep_version": SWEEP_VERSION,
+        "python": platform.python_version(),
+        "generated_unix": time.time(),
+    }
+
+    case = build_case_study()
+    nominal = case_study_parameters(case)
+    xs = np.linspace(0.05, 2.0, 40)
+    ys = np.linspace(0.05, 2.0, 40)
+    seed = 12345
+
+    # -- legacy per-sample loop vs batched engine ----------------------
+    start = time.perf_counter()
+    p_legacy = monte_carlo_win_probability_legacy(
+        nominal, xs, ys, n_samples, rng=np.random.default_rng(seed)
+    )
+    legacy_wall = time.perf_counter() - start
+
+    batched_wall = float("inf")
+    for _ in range(3):  # best-of-3: the run is milliseconds long
+        start = time.perf_counter()
+        p_batched = monte_carlo_win_probability(
+            nominal, xs, ys, n_samples, rng=np.random.default_rng(seed)
+        )
+        batched_wall = min(batched_wall, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    p_parallel = monte_carlo_win_probability(
+        nominal,
+        xs,
+        ys,
+        n_samples,
+        rng=np.random.default_rng(seed),
+        jobs=None,
+        chunk_size=max(1, n_samples // max(1, resolve_jobs(None, 4))),
+    )
+    parallel_wall = time.perf_counter() - start
+
+    report["monte_carlo"] = {
+        "n_samples": n_samples,
+        "grid_points": int(xs.size * ys.size),
+        "legacy_wall_seconds": legacy_wall,
+        "batched_wall_seconds": batched_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "legacy_samples_per_second": n_samples / legacy_wall,
+        "batched_samples_per_second": n_samples / batched_wall,
+        "speedup_batched_over_legacy": legacy_wall / batched_wall,
+        "bit_identical": bool(np.array_equal(p_legacy, p_batched)),
+        "parallel_bit_identical": bool(np.array_equal(p_legacy, p_parallel)),
+    }
+
+    # -- sweep cache: miss vs hit --------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        cache = SweepCache(Path(tmp))
+        start = time.perf_counter()
+        monte_carlo_win_probability(
+            nominal, xs, ys, n_samples,
+            rng=np.random.default_rng(seed), cache=cache,
+        )
+        miss_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        cached = monte_carlo_win_probability(
+            nominal, xs, ys, n_samples,
+            rng=np.random.default_rng(seed), cache=cache,
+        )
+        hit_wall = time.perf_counter() - start
+        report["sweep_cache"] = {
+            "miss_wall_seconds": miss_wall,
+            "hit_wall_seconds": hit_wall,
+            "hit_was_hit": cache.hits == 1,
+            "hit_bit_identical": bool(np.array_equal(p_legacy, cached)),
+        }
+
+        # -- full artifact pipeline ------------------------------------
+        start = time.perf_counter()
+        manifest = run_artifact_pipeline(Path(tmp) / "artifacts")
+        pipeline_wall = time.perf_counter() - start
+        report["artifact_pipeline"] = {
+            "total_wall_seconds": pipeline_wall,
+            "artifact_count": len(manifest["artifacts"]),
+            "params_hash": manifest["params_hash"],
+            "content_hash": manifest["content_hash"],
+            "per_artifact_wall_seconds": {
+                name: entry["wall_seconds"]
+                for name, entry in manifest["artifacts"].items()
+            },
+        }
+
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report

@@ -24,13 +24,19 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.workloads.suite import Workload, WorkloadResult, run_workload
 
 #: Version tag folded into every cache key.  Bump on any change to the
 #: simulator, assembler, or result fields that alters observable output.
 ISS_VERSION = "iss-1-fastpath"
+
+#: Version tag for memoized analysis sweeps (Monte Carlo grids etc.).
+#: Bump whenever sweep evaluation semantics change observably.
+SWEEP_VERSION = "sweep-1"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -181,6 +187,101 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+
+def sweep_key(payload: Dict[str, Any], version: str = SWEEP_VERSION) -> str:
+    """SHA-256 hex digest over a canonical-JSON key payload.
+
+    ``numpy`` arrays in the payload are keyed by shape + raw bytes so two
+    sweeps over bit-identical inputs share an entry.
+    """
+
+    def canonical(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            return {
+                "__ndarray__": hashlib.sha256(
+                    np.ascontiguousarray(value).tobytes()
+                ).hexdigest(),
+                "shape": list(value.shape),
+                "dtype": str(value.dtype),
+            }
+        if isinstance(value, dict):
+            return {k: canonical(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [canonical(v) for v in value]
+        return value
+
+    blob = json.dumps(
+        {"version": version, "payload": canonical(payload)}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Disk-backed memoization of analysis sweep grids.
+
+    Same contract as :class:`ResultCache`, but the value is a single
+    ``numpy`` array (e.g. a Monte Carlo win-probability grid) and the key
+    is a caller-supplied payload of everything the grid depends on —
+    scenario parameters, grid axes, and the drawn samples.  Entries are
+    JSON files under ``<cache root>/sweeps``; corrupted entries miss and
+    are removed.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, version: str = SWEEP_VERSION
+    ) -> None:
+        base = Path(root) if root is not None else default_cache_dir()
+        self.root = base / "sweeps"
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, payload: Dict[str, Any]) -> Path:
+        return self.root / (sweep_key(payload, self.version) + ".json")
+
+    def get(self, payload: Dict[str, Any]) -> Optional[np.ndarray]:
+        """The cached grid, or ``None`` on miss."""
+        path = self._path(payload)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            grid = np.asarray(entry["grid"], dtype=entry["dtype"])
+            grid = grid.reshape([int(n) for n in entry["shape"]])
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return grid
+
+    def put(
+        self, payload: Dict[str, Any], grid: np.ndarray
+    ) -> Optional[Path]:
+        """Persist a grid; best-effort like :meth:`ResultCache.put`."""
+        path = self._path(payload)
+        entry = {
+            "schema": "repro-sweep-grid/1",
+            "version": self.version,
+            "shape": list(grid.shape),
+            "dtype": str(grid.dtype),
+            "grid": np.asarray(grid).ravel().tolist(),
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(entry), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            return None
+        return path
 
 
 def run_workload_cached(

@@ -1,4 +1,4 @@
-"""Parallel workload fan-out with cache integration.
+"""Parallel fan-out with cache integration.
 
 :func:`run_workloads` executes a list of workloads and returns results
 in input order.  Cache hits resolve in the parent without spawning
@@ -6,6 +6,11 @@ anything; only misses fan out over a ``ProcessPoolExecutor``.  The pool
 degrades gracefully to serial execution when only one job is requested,
 when only one CPU is available, or when worker processes cannot be
 spawned at all (sandboxed environments).
+
+:func:`map_parallel` is the generic building block underneath: apply a
+picklable function to a list of payloads, preserving order, over the
+same pool-with-serial-fallback policy.  The uncertainty sweeps use it to
+fan out Monte Carlo sample chunks and perturbation families.
 """
 
 from __future__ import annotations
@@ -14,7 +19,10 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.perfcounters import RunPerf
@@ -51,6 +59,29 @@ def resolve_jobs(requested: Optional[int], n_tasks: int) -> int:
             raise ValueError(f"jobs must be >= 1, got {requested}")
         return min(requested, max(n_tasks, 1))
     return min(os.cpu_count() or 1, max(n_tasks, 1))
+
+
+def map_parallel(
+    func: "Callable[[_T], _R]",
+    payloads: Sequence[_T],
+    jobs: Optional[int] = None,
+) -> "List[_R]":
+    """Apply ``func`` to every payload, preserving input order.
+
+    ``func`` must be a module-level (picklable) callable.  ``jobs=None``
+    auto-sizes to the CPU count; ``jobs=1`` runs serially in-process.
+    When worker processes cannot be spawned (sandboxes), the remaining
+    payloads fall back to serial execution — results are identical
+    either way, only wall time changes.
+    """
+    workers = resolve_jobs(jobs, len(payloads))
+    if len(payloads) > 1 and workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(func, payloads))
+        except (OSError, PermissionError):
+            pass
+    return [func(p) for p in payloads]
 
 
 def _execute_one(payload: Tuple[Workload, int]) -> Tuple[WorkloadResult, float]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.cpu import CortexM0, MemoryMap, assemble
 from repro.cpu.trace import ActivityTrace

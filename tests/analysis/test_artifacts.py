@@ -1,0 +1,198 @@
+"""Golden-data pins and determinism tests for the artifact pipeline.
+
+The golden values freeze the paper-facing numbers the repo currently
+reproduces.  They are intentionally tight: any change to the carbon or
+physical models that moves a headline figure must update these pins
+deliberately (and show up in review), never by accident.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_case_study, figures
+from repro.analysis.artifacts import (
+    PipelineConfig,
+    canonical_json,
+    default_artifact_names,
+    render_manifest,
+    run_artifact_pipeline,
+    strip_timing_fields,
+    to_jsonable,
+)
+from repro.analysis.sensitivity import case_study_parameters, tornado_analysis
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case_study()
+
+
+@pytest.mark.smoke
+class TestGoldenFig2c:
+    def test_us_wafer_carbon_pinned(self):
+        data = figures.fig2c_embodied_per_wafer()
+        us = data["us"]
+        assert us["all_si"] == pytest.approx(837.0605923639688, rel=1e-9)
+        assert us["m3d"] == pytest.approx(1100.303011211071, rel=1e-9)
+        assert us["ratio"] == pytest.approx(1.3144843052564106, rel=1e-9)
+
+    def test_average_ratio_pinned(self):
+        data = figures.fig2c_embodied_per_wafer()
+        assert data["average"]["ratio"] == pytest.approx(
+            1.307670834090077, rel=1e-9
+        )
+
+
+@pytest.mark.smoke
+class TestGoldenFig6a:
+    def test_nominal_ratio_pinned(self, case):
+        data = figures.fig6a_tradeoff_map(case)
+        assert data["nominal_ratio"] == pytest.approx(
+            0.9787625398968598, rel=1e-12
+        )
+
+    def test_ratio_map_values_pinned(self, case):
+        data = figures.fig6a_tradeoff_map(case)
+        rm = data["ratio_map"]
+        assert rm.shape == (40, 40)
+        assert rm[0, 0] == pytest.approx(0.048938126994843, rel=1e-12)
+        assert rm[-1, -1] == pytest.approx(1.9575250797937196, rel=1e-12)
+        assert rm[20, 10] == pytest.approx(0.8145459174144598, rel=1e-12)
+        assert float(rm.mean()) == pytest.approx(
+            1.0032316033942812, rel=1e-12
+        )
+
+    def test_isoline_pinned(self, case):
+        data = figures.fig6a_tradeoff_map(case)
+        iso = data["isoline_emb_scale"]
+        assert iso[0] == pytest.approx(2.280918793359319, rel=1e-12)
+        assert np.isnan(iso[-1])
+
+
+@pytest.mark.smoke
+class TestGoldenTornado:
+    def test_ranking_pinned(self, case):
+        entries = tornado_analysis(case_study_parameters(case))
+        assert [e.parameter for e in entries] == [
+            "si_operational_power",
+            "m3d_operational_power",
+            "m3d_yield",
+            "m3d_dies_per_wafer",
+            "m3d_embodied_wafer",
+            "si_yield",
+            "lifetime",
+            "ci_use",
+        ]
+
+    def test_top_entries_pinned(self, case):
+        entries = tornado_analysis(case_study_parameters(case))
+        by_name = {e.parameter: e for e in entries}
+        top = by_name["si_operational_power"]
+        assert top.ratio_low == pytest.approx(1.1631426449966444, rel=1e-12)
+        assert top.ratio_high == pytest.approx(0.8448395022628004, rel=1e-12)
+        assert top.swing == pytest.approx(0.3183031427338441, rel=1e-12)
+        y = by_name["m3d_yield"]
+        assert y.ratio_low == pytest.approx(1.120865706215022, rel=1e-12)
+        assert y.ratio_high == pytest.approx(0.8935006401059626, rel=1e-12)
+        assert entries[0].ratio_nominal == pytest.approx(
+            0.9787625398968598, rel=1e-12
+        )
+
+
+class TestPipelineDeterminism:
+    # A fast, representative subset covering both cheap figure builders
+    # and the seeded Monte Carlo path.
+    SUBSET = ["fig2c", "fig6a", "tornado", "monte_carlo_map"]
+    CONFIG = PipelineConfig(seed=0, mc_samples=50)
+
+    def test_same_seed_same_manifest_modulo_timing(self, tmp_path):
+        m1 = run_artifact_pipeline(
+            tmp_path / "a", config=self.CONFIG, artifacts=self.SUBSET
+        )
+        m2 = run_artifact_pipeline(
+            tmp_path / "b", config=self.CONFIG, artifacts=self.SUBSET
+        )
+        assert canonical_json(strip_timing_fields(m1)) == canonical_json(
+            strip_timing_fields(m2)
+        )
+
+    def test_timing_fields_differ_but_are_stripped(self, tmp_path):
+        manifest = run_artifact_pipeline(
+            tmp_path, config=self.CONFIG, artifacts=["fig2c"]
+        )
+        stripped = strip_timing_fields(manifest)
+        assert "total_wall_seconds" not in stripped
+        assert "generated_unix" not in stripped
+        assert all(
+            "wall_seconds" not in e for e in stripped["artifacts"].values()
+        )
+        # Non-timing content survives untouched.
+        assert stripped["content_hash"] == manifest["content_hash"]
+
+    def test_different_seed_different_content(self, tmp_path):
+        m1 = run_artifact_pipeline(
+            tmp_path / "a",
+            config=PipelineConfig(seed=0, mc_samples=50),
+            artifacts=["monte_carlo_map"],
+        )
+        m2 = run_artifact_pipeline(
+            tmp_path / "b",
+            config=PipelineConfig(seed=1, mc_samples=50),
+            artifacts=["monte_carlo_map"],
+        )
+        assert m1["content_hash"] != m2["content_hash"]
+        assert m1["params_hash"] != m2["params_hash"]
+
+    def test_run_directory_layout(self, tmp_path):
+        manifest = run_artifact_pipeline(
+            tmp_path, config=self.CONFIG, artifacts=["fig2c", "tornado"]
+        )
+        run_dir = tmp_path / manifest["params_hash"][:12]
+        assert (run_dir / "manifest.json").is_file()
+        for name, entry in manifest["artifacts"].items():
+            path = run_dir / entry["path"]
+            assert path.is_file()
+            text = path.read_text(encoding="utf-8")
+            import hashlib
+
+            assert (
+                hashlib.sha256(text.encode("utf-8")).hexdigest()
+                == entry["sha256"]
+            )
+        on_disk = json.loads((run_dir / "manifest.json").read_text())
+        assert strip_timing_fields(on_disk) == to_jsonable(
+            strip_timing_fields(manifest)
+        )
+
+    def test_artifact_json_round_trips(self, tmp_path):
+        manifest = run_artifact_pipeline(
+            tmp_path, config=self.CONFIG, artifacts=["fig6a"]
+        )
+        run_dir = tmp_path / manifest["params_hash"][:12]
+        data = json.loads(
+            (run_dir / "artifacts" / "fig6a.json").read_text()
+        )
+        assert data["nominal_ratio"] == pytest.approx(
+            0.9787625398968598, rel=1e-12
+        )
+        assert len(data["ratio_map"]) == 40
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown artifacts"):
+            run_artifact_pipeline(tmp_path, artifacts=["nope"])
+
+    def test_default_names_cover_all_builders(self):
+        names = default_artifact_names()
+        assert len(names) == 11
+        assert names[0] == "table1"
+        assert "monte_carlo_map" in names
+
+    def test_render_manifest(self, tmp_path):
+        manifest = run_artifact_pipeline(
+            tmp_path, config=self.CONFIG, artifacts=["fig2c"]
+        )
+        text = render_manifest(manifest)
+        assert "fig2c" in text
+        assert manifest["params_hash"][:12] in text

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.suite_study import (
-    default_study_configs,
     render_suite_study,
     run_suite_study,
 )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.carbon_intensity import ConstantCarbonIntensity
 from repro.core.grid_profiles import (
     best_usage_window,
     coal_daily_profile,

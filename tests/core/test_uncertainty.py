@@ -5,8 +5,11 @@ import pytest
 
 from repro.core.uncertainty import (
     IsolineUncertaintyAnalysis,
+    MonteCarloSamples,
     ScenarioParameters,
+    draw_monte_carlo_samples,
     monte_carlo_win_probability,
+    monte_carlo_win_probability_legacy,
     paper_perturbations,
 )
 from repro.errors import CarbonModelError
@@ -171,3 +174,157 @@ class TestMonteCarlo:
             monte_carlo_win_probability(
                 nominal, np.array([1.0]), np.array([1.0]), 0
             )
+
+
+@pytest.mark.smoke
+class TestBatchedEngineEquivalence:
+    """The batched Monte Carlo engine vs the legacy per-sample loop."""
+
+    XS = np.linspace(0.05, 2.0, 9)
+    YS = np.linspace(0.05, 2.0, 7)
+
+    def test_batched_bit_identical_to_legacy(self, nominal):
+        """Seeded-RNG equivalence: not approx — bit-for-bit equal."""
+        fast = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 200, rng=np.random.default_rng(7)
+        )
+        slow = monte_carlo_win_probability_legacy(
+            nominal, self.XS, self.YS, 200, rng=np.random.default_rng(7)
+        )
+        assert np.array_equal(fast, slow)
+
+    def test_chunking_does_not_change_results(self, nominal):
+        rng = lambda: np.random.default_rng(11)  # noqa: E731
+        whole = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 100, rng=rng()
+        )
+        chunked = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 100, rng=rng(), chunk_size=7
+        )
+        assert np.array_equal(whole, chunked)
+
+    def test_parallel_bit_identical_to_serial(self, nominal):
+        serial = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 100, rng=np.random.default_rng(3),
+            jobs=1,
+        )
+        fanned = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 100, rng=np.random.default_rng(3),
+            jobs=2, chunk_size=25,
+        )
+        assert np.array_equal(serial, fanned)
+
+    def test_sweep_cache_hit_returns_identical_grid(self, nominal, tmp_path):
+        from repro.runtime.cache import SweepCache
+
+        cache = SweepCache(root=tmp_path)
+        first = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 60, rng=np.random.default_rng(5),
+            cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 60, rng=np.random.default_rng(5),
+            cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(first, second)
+
+    def test_sweep_cache_distinguishes_parameters(self, nominal, tmp_path):
+        from dataclasses import replace
+
+        from repro.runtime.cache import SweepCache
+
+        cache = SweepCache(root=tmp_path)
+        monte_carlo_win_probability(
+            nominal, self.XS, self.YS, 40, rng=np.random.default_rng(5),
+            cache=cache,
+        )
+        other = replace(nominal, lifetime_months=36.0)
+        monte_carlo_win_probability(
+            other, self.XS, self.YS, 40, rng=np.random.default_rng(5),
+            cache=cache,
+        )
+        assert cache.misses == 2
+
+
+class TestSampleDraws:
+    def test_draw_shapes_and_bounds(self, nominal):
+        samples = draw_monte_carlo_samples(
+            nominal, 500, rng=np.random.default_rng(0)
+        )
+        assert samples.n == 500
+        for arr in (
+            samples.lifetime_months, samples.ci_scales, samples.yields
+        ):
+            assert arr.shape == (500,)
+        assert np.all(samples.lifetime_months >= 0.0)
+        assert np.all(samples.ci_scales > 0.0)
+        assert np.all((0.10 <= samples.yields) & (samples.yields <= 0.90))
+
+    def test_draws_deterministic_under_seed(self, nominal):
+        a = draw_monte_carlo_samples(
+            nominal, 64, rng=np.random.default_rng(9)
+        )
+        b = draw_monte_carlo_samples(
+            nominal, 64, rng=np.random.default_rng(9)
+        )
+        assert np.array_equal(a.lifetime_months, b.lifetime_months)
+        assert np.array_equal(a.ci_scales, b.ci_scales)
+        assert np.array_equal(a.yields, b.yields)
+
+    def test_chunk_slices_all_arrays(self, nominal):
+        samples = draw_monte_carlo_samples(
+            nominal, 10, rng=np.random.default_rng(0)
+        )
+        part = samples.chunk(2, 7)
+        assert part.n == 5
+        assert np.array_equal(part.yields, samples.yields[2:7])
+
+    def test_validation(self, nominal):
+        with pytest.raises(CarbonModelError):
+            draw_monte_carlo_samples(nominal, 0)
+        with pytest.raises(CarbonModelError):
+            MonteCarloSamples(
+                np.zeros(3), np.ones(2), np.full(3, 0.5)
+            )
+
+
+@pytest.mark.smoke
+class TestNominalMapReuse:
+    """The nominal trade-off map is built once and shared (bugfix)."""
+
+    def test_tradeoff_map_is_memoized(self, nominal):
+        assert nominal.tradeoff_map() is nominal.tradeoff_map()
+
+    def test_analysis_reuses_nominal_map(self, nominal):
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        assert analysis._nominal_map is nominal.tradeoff_map()
+
+    def test_robust_regions_identical_to_fresh_reference(self, nominal):
+        """Reusing the cached nominal map changes nothing in the output."""
+        xs = np.linspace(0.1, 3.0, 12)
+        ys = np.linspace(0.1, 3.0, 10)
+        regions = IsolineUncertaintyAnalysis(nominal).robust_regions(xs, ys)
+
+        # Reference: rebuild every map from scratch, bypassing the cache.
+        from repro.core.uncertainty import _build_tradeoff_map
+
+        grids = [_build_tradeoff_map.__wrapped__(nominal).ratio_grid(xs, ys)]
+        for pert in paper_perturbations():
+            changed = pert.apply(nominal)
+            grids.append(
+                _build_tradeoff_map.__wrapped__(changed).ratio_grid(xs, ys)
+            )
+        wins = np.stack([g < 1.0 for g in grids])
+        assert np.array_equal(regions["candidate_always"], wins.all(axis=0))
+        assert np.array_equal(regions["baseline_always"], ~wins.any(axis=0))
+
+    def test_robust_regions_parallel_matches_serial(self, nominal):
+        xs = np.linspace(0.1, 3.0, 8)
+        ys = np.linspace(0.1, 3.0, 6)
+        analysis = IsolineUncertaintyAnalysis(nominal)
+        serial = analysis.robust_regions(xs, ys, jobs=1)
+        fanned = analysis.robust_regions(xs, ys, jobs=2)
+        for key in serial:
+            assert np.array_equal(serial[key], fanned[key])

@@ -1,6 +1,5 @@
 """Tests for VCD execution recording."""
 
-import pytest
 
 from repro.cpu import CortexM0, MemoryMap, assemble
 from repro.cpu.trace import record_execution_vcd

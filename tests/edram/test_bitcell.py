@@ -1,10 +1,9 @@
 """Tests for the 3T bit cell and retention (Sec. III-A key properties)."""
 
-import math
 
 import pytest
 
-from repro.edram.bitcell import BitcellDesign, m3d_bitcell, si_bitcell
+from repro.edram.bitcell import m3d_bitcell, si_bitcell
 from repro.edram.retention import (
     refresh_interval_s,
     retention_time_s,

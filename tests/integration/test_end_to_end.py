@@ -5,7 +5,6 @@ every joint — if any module's contract drifts, the mismatch surfaces
 here even when the module's own tests still pass.
 """
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import PhysicalDesignError, TimingClosureError
 from repro.physical.power import CorePowerModel
 from repro.physical.stdcells import (
-    CellLibrary,
     VtFlavor,
     all_libraries,
     make_library,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import PhysicalDesignError
 from repro.physical.wires import (
-    RepeaterDesign,
     optimal_repeaters,
     unrepeated_delay_s,
 )

@@ -63,11 +63,9 @@ class TestOperationalLinearity:
         """Carbon depends only on total active hours for constant CI."""
         windows = []
         cursor = 12.0
-        total_hours = 0.0
         for _start, duration in raw_windows:
             windows.append((cursor, cursor + duration))
             cursor += duration + 0.01
-            total_hours += duration
             if cursor > 23.0:
                 break
         model = OperationalCarbonModel(

@@ -1,7 +1,6 @@
 """Vectorized drive evaluation must match the scalar protocol exactly."""
 
 import numpy as np
-import pytest
 
 from repro.spice.waveform import Dc, PieceWiseLinear, Pulse
 
