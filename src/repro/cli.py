@@ -282,6 +282,67 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.quality import Baseline, LintEngine, BASELINE_FILENAME
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    if paths is None:
+        default = Path("src/repro")
+        paths = [default] if default.is_dir() else [Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        BASELINE_FILENAME
+    )
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    rules = None
+    if args.rules:
+        from repro.quality import RULE_REGISTRY
+
+        wanted = [token.strip() for token in args.rules.split(",")]
+        unknown = [r for r in wanted if r not in RULE_REGISTRY]
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULE_REGISTRY))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULE_REGISTRY[r]() for r in wanted]
+
+    engine = LintEngine(rules=rules, baseline=baseline)
+    report = engine.lint_paths(paths, root=Path.cwd())
+
+    if args.write_baseline:
+        merged = Baseline.from_findings(report.findings + report.baselined)
+        merged.save(baseline_path)
+        print(
+            f"wrote {baseline_path} with {len(merged)} grandfathered "
+            f"finding(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 _COMMANDS = {
     "table1": (cmd_table1, "Table I: FET figures of merit"),
     "table2": (cmd_table2, "Table II: PPAtC summary"),
@@ -303,7 +364,11 @@ _COMMANDS = {
         cmd_bench_sweep,
         "uncertainty-sweep benchmark (BENCH_sweep.json)",
     ),
+    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL005)"),
 }
+
+#: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
+_NO_COMMON_ARGS = {"lint"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,7 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (func, help_text) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
-        _add_common(sub)
+        if name not in _NO_COMMON_ARGS:
+            _add_common(sub)
         if name == "process":
             sub.add_argument(
                 "--dump", metavar="FILE", help="write a built-in flow as JSON"
@@ -407,6 +473,41 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-cache",
                 action="store_true",
                 help="bypass the persistent sweep cache (REPRO_CACHE_DIR)",
+            )
+        if name == "lint":
+            sub.add_argument(
+                "paths",
+                nargs="*",
+                metavar="PATH",
+                help="files/directories to lint (default: src/repro)",
+            )
+            sub.add_argument(
+                "--format",
+                default="text",
+                choices=("text", "json"),
+                help="output format",
+            )
+            sub.add_argument(
+                "--baseline",
+                metavar="FILE",
+                default=None,
+                help="baseline file (default: repro-lint-baseline.json)",
+            )
+            sub.add_argument(
+                "--no-baseline",
+                action="store_true",
+                help="ignore the baseline: report every finding",
+            )
+            sub.add_argument(
+                "--write-baseline",
+                action="store_true",
+                help="grandfather all current findings into the baseline",
+            )
+            sub.add_argument(
+                "--rules",
+                metavar="IDS",
+                default=None,
+                help="comma-separated subset of rule ids to run",
             )
         sub.set_defaults(func=func)
     return parser

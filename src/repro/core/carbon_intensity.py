@@ -137,7 +137,7 @@ class DailyWindowProfile(CarbonIntensity):
         hours = [h for h, _v in breakpoints]
         if hours != sorted(hours) or len(set(hours)) != len(hours):
             raise CarbonModelError("breakpoint hours must be strictly increasing")
-        if hours[0] != 0.0:
+        if hours[0] != 0.0:  # repro-lint: disable=RPL004 - literal-input check
             raise CarbonModelError("first breakpoint must be at hour 0")
         if any(not (0.0 <= h < 24.0) for h in hours):
             raise CarbonModelError("breakpoint hours must lie in [0, 24)")

@@ -125,7 +125,7 @@ class CntVariationModel:
         if not (0.0 <= spare_fraction < 1.0):
             raise ReproError("spare fraction must be in [0, 1)")
         p_fail = self.cell_failure_probability(width_um, fets_per_cell)
-        if spare_fraction == 0.0:
+        if spare_fraction == 0.0:  # repro-lint: disable=RPL004 - default sentinel
             if p_fail >= 1.0:
                 return 0.0
             log_yield = n_bits * math.log1p(-p_fail)
@@ -133,7 +133,7 @@ class CntVariationModel:
         mean = n_bits * p_fail
         spares = spare_fraction * n_bits
         variance = n_bits * p_fail * (1.0 - p_fail)
-        if variance == 0.0:
+        if variance == 0.0:  # repro-lint: disable=RPL004 - degenerate-normal guard
             return 1.0 if mean <= spares else 0.0
         z = (spares - mean) / math.sqrt(variance)
         return _phi(z)

@@ -90,7 +90,7 @@ class FET(abc.ABC):
     def on_off_ratio(self) -> float:
         """I_ON / I_OFF; infinite off-currents are guarded upstream."""
         off = self.off_current_a()
-        if off == 0.0:
+        if off == 0.0:  # repro-lint: disable=RPL004 - division-by-zero guard
             return float("inf")
         return self.on_current_a() / off
 

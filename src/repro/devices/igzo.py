@@ -51,6 +51,6 @@ def igzo_nfet(
 ) -> VirtualSourceFET:
     """An n-channel IGZO FET instance (IGZO is n-type only [24])."""
     params = IGZO_NMOS_PARAMS
-    if vt_shift_v != 0.0:
+    if vt_shift_v != 0.0:  # repro-lint: disable=RPL004 - default sentinel
         params = replace(params, vt0_v=params.vt0_v + vt_shift_v)
     return VirtualSourceFET(name, Polarity.NMOS, width_um, params)

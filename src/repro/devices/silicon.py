@@ -75,7 +75,7 @@ def si_pfet(name: str, width_um: float, vt_shift_v: float = 0.0) -> VirtualSourc
 
 
 def _shift_vt(params: VSParameters, vt_shift_v: float) -> VSParameters:
-    if vt_shift_v == 0.0:
+    if vt_shift_v == 0.0:  # repro-lint: disable=RPL004 - default sentinel
         return params
     from dataclasses import replace
 

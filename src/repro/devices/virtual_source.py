@@ -128,7 +128,7 @@ class VirtualSourceFET(FET):
 
     def _ids_forward_per_um(self, vgs: float, vds: float) -> float:
         p = self.params
-        if vds == 0.0:
+        if vds == 0.0:  # repro-lint: disable=RPL004 - exact singular point
             return 0.0
         vdsat = max(p.v_dsat_v, 1e-6)
         ratio = vds / vdsat

@@ -46,7 +46,9 @@ class GdsError(ReproError):
 
 def _real8(value: float) -> bytes:
     """Encode an 8-byte GDSII excess-64 real."""
-    if value == 0.0:
+    # GDSII reserves the all-zero word for exactly 0.0: the exact
+    # comparison is the spec, not a tolerance bug.
+    if value == 0.0:  # repro-lint: disable=RPL004 - spec-exact zero
         return b"\x00" * 8
     sign = 0
     if value < 0:

@@ -83,7 +83,9 @@ class MurphyYield(YieldModel):
     def yield_fraction(self, die_area_cm2: float) -> float:
         self._check_area(die_area_cm2)
         ad0 = die_area_cm2 * self.defect_density_per_cm2
-        if ad0 == 0.0:
+        # Exact-zero guard for the A*D0 -> 0 limit (yield -> 1); any
+        # nonzero product takes the closed form below.
+        if ad0 == 0.0:  # repro-lint: disable=RPL004 - exact limit guard
             return 1.0
         # expm1 avoids the catastrophic cancellation of 1 - e^-x at
         # small x (where the naive form underflows toward 0).

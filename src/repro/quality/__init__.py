@@ -1,0 +1,56 @@
+"""repro-lint: an AST-based correctness linter for this repository.
+
+The model's credibility rests on invariants the test suite cannot see:
+every quantity is SI-with-suffix (``_j``, ``_mm2``, ``_kg`` per
+:mod:`repro.units`), every artifact must be bit-reproducible under a
+fixed seed, and every cached function must be pure.  This package
+checks those invariants statically:
+
+- :mod:`repro.quality.dimensions` — suffix -> dimension/scale table
+  derived from :mod:`repro.units`;
+- :mod:`repro.quality.rules` — the rule set (RPL001-RPL005);
+- :mod:`repro.quality.engine` — file walking, pragma suppression,
+  reporting;
+- :mod:`repro.quality.baseline` — committed grandfathered findings
+  (``repro-lint-baseline.json``);
+- :mod:`repro.quality.pragmas` — ``# repro-lint: disable=...`` and
+  ``# repro-lint: cache-pure`` inline pragmas.
+
+Run it as ``repro lint`` (or ``python -m repro lint``); see the README
+"Static analysis" section for the rule table and baseline workflow.
+"""
+
+from repro.quality.baseline import BASELINE_FILENAME, Baseline
+from repro.quality.dimensions import SUFFIX_TABLE, UnitSuffix, suffix_of
+from repro.quality.engine import (
+    FileContext,
+    LintEngine,
+    LintReport,
+    find_package_root,
+    iter_python_files,
+    lint_paths,
+)
+from repro.quality.findings import Finding, Severity
+from repro.quality.pragmas import PragmaMap, parse_pragmas
+from repro.quality.rules import RULE_REGISTRY, Rule, default_rules
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "SUFFIX_TABLE",
+    "UnitSuffix",
+    "suffix_of",
+    "FileContext",
+    "LintEngine",
+    "LintReport",
+    "find_package_root",
+    "iter_python_files",
+    "lint_paths",
+    "Finding",
+    "Severity",
+    "PragmaMap",
+    "parse_pragmas",
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+]

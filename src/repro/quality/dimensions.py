@@ -1,0 +1,133 @@
+"""Unit-suffix dimensional analysis table, derived from :mod:`repro.units`.
+
+The repo's naming convention encodes units in identifier suffixes:
+``energy_j``, ``die_area_cm2``, ``lifetime_months``.  This module maps
+each recognized suffix to a *dimension* (energy, area, time, ...) and a
+*scale* pulled from the corresponding constant in :mod:`repro.units`,
+so RPL001 can tell that ``_j`` and ``_kwh`` measure the same dimension
+at different scales (adding them is a bug) while ``_j`` and ``_g`` do
+not even share a dimension.
+
+Keeping the scales as ``getattr(units, ...)`` lookups — rather than
+literals repeated here — means the table cannot drift from the library:
+``tests/quality/test_dimensions.py`` asserts every entry resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+
+#: suffix -> (dimension name, constant in units.py providing the scale).
+_SUFFIX_SPEC: Dict[str, tuple] = {
+    # time ------------------------------------------------------------
+    "s": ("time", "SECOND"),
+    "ms": ("time", "MILLISECOND"),
+    "us": ("time", "MICROSECOND"),
+    "ns": ("time", "NANOSECOND"),
+    "ps": ("time", "PICOSECOND"),
+    "minutes": ("time", "MINUTE"),
+    "hours": ("time", "HOUR"),
+    "days": ("time", "DAY"),
+    "months": ("time", "MONTH"),
+    "years": ("time", "YEAR"),
+    # frequency -------------------------------------------------------
+    "hz": ("frequency", "HZ"),
+    "khz": ("frequency", "KHZ"),
+    "mhz": ("frequency", "MHZ"),
+    "ghz": ("frequency", "GHZ"),
+    # energy ----------------------------------------------------------
+    "j": ("energy", "JOULE"),
+    "mj": ("energy", "MILLIJOULE"),
+    "uj": ("energy", "MICROJOULE"),
+    "nj": ("energy", "NANOJOULE"),
+    "pj": ("energy", "PICOJOULE"),
+    "fj": ("energy", "FEMTOJOULE"),
+    "kwh": ("energy", "KWH"),
+    # power -----------------------------------------------------------
+    "w": ("power", "WATT"),
+    "mw": ("power", "MILLIWATT"),
+    "uw": ("power", "MICROWATT"),
+    "nw": ("power", "NANOWATT"),
+    # area ------------------------------------------------------------
+    "m2": ("area", "M2"),
+    "cm2": ("area", "CM2"),
+    "mm2": ("area", "MM2"),
+    "um2": ("area", "UM2"),
+    # length ----------------------------------------------------------
+    "cm": ("length", "CENTIMETER"),
+    "mm": ("length", "MILLIMETER"),
+    "um": ("length", "MICROMETER"),
+    "nm": ("length", "NANOMETER"),
+    # electrical ------------------------------------------------------
+    "v": ("voltage", "VOLT"),
+    "mv": ("voltage", "MILLIVOLT"),
+    "ma": ("current", "MILLIAMP"),
+    "ua": ("current", "MICROAMP"),
+    "na": ("current", "NANOAMP"),
+    "pf": ("capacitance", "PICOFARAD"),
+    "ff": ("capacitance", "FEMTOFARAD"),
+    "af": ("capacitance", "ATTOFARAD"),
+    "ohm": ("resistance", "OHM"),
+    "kohm": ("resistance", "KILOOHM"),
+    # mass / carbon ---------------------------------------------------
+    "g": ("mass", "GRAM"),
+    "kg": ("mass", "KILOGRAM"),
+    "mg": ("mass", "MILLIGRAM"),
+    "pg": ("mass", "PICOGRAM"),
+}
+
+
+@dataclass(frozen=True)
+class UnitSuffix:
+    """One recognized identifier suffix with its dimension and SI scale."""
+
+    suffix: str
+    dimension: str
+    scale: float
+
+    def compatible(self, other: "UnitSuffix") -> bool:
+        """True when quantities may be added/subtracted/compared directly.
+
+        Same dimension *and* same scale: ``_j`` + ``_j`` is fine,
+        ``_j`` + ``_kwh`` (same dimension, different scale) and
+        ``_j`` + ``_g`` (different dimension) both are not.
+        """
+        return self.dimension == other.dimension and self.scale == other.scale
+
+
+def _build_table() -> Dict[str, UnitSuffix]:
+    table = {}
+    for suffix, (dimension, constant) in _SUFFIX_SPEC.items():
+        table[suffix] = UnitSuffix(
+            suffix=suffix,
+            dimension=dimension,
+            scale=float(getattr(units, constant)),
+        )
+    return table
+
+
+#: The canonical suffix table, keyed by lowercase suffix.
+SUFFIX_TABLE: Dict[str, UnitSuffix] = _build_table()
+
+
+def suffix_of(name: str) -> Optional[UnitSuffix]:
+    """The unit suffix encoded in an identifier, if any.
+
+    Returns ``None`` for names without a recognized ``_<suffix>`` tail,
+    bare suffixes with no stem (a variable literally named ``s``), and
+    rate-style names containing ``_per_`` (``g_per_kwh`` is a ratio of
+    two dimensions, not either one).
+    """
+    lowered = name.lower()
+    # "_per_" marks the trailing unit as a denominator (g_per_kwh is a
+    # rate, not an energy); a leading "per_" stem (per_wafer_g) leaves
+    # the suffix as the numerator unit and stays checkable.
+    if "_per_" in lowered:
+        return None
+    stem, sep, tail = lowered.rpartition("_")
+    if not sep or not stem:
+        return None
+    return SUFFIX_TABLE.get(tail)

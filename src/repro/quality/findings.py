@@ -1,0 +1,70 @@
+"""Finding and severity types shared by every repro-lint rule.
+
+A :class:`Finding` is one diagnostic anchored to a file position.  Its
+:meth:`Finding.fingerprint` deliberately excludes the line *number* —
+baselined findings stay suppressed when unrelated edits shift code up
+or down, and resurface only when the flagged line itself changes.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """Per-rule severity; the CLI maps these to exit codes."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    ``path`` is repo-relative (POSIX separators) whenever the linted
+    file sits under the lint root, so fingerprints are stable across
+    checkouts.  ``snippet`` is the stripped source line the finding
+    anchors to; it doubles as the fingerprint's position-independent
+    anchor.
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    snippet: str = ""
+    symbol: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Position-independent identity used for baseline matching."""
+        blob = "\x1f".join((self.rule, self.path, self.snippet))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: RULE [severity] message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )

@@ -1,0 +1,72 @@
+"""Inline ``# repro-lint:`` pragma parsing.
+
+Two pragma forms are recognized, both attached to the physical line
+they appear on:
+
+- ``# repro-lint: disable=RPL001,RPL004`` — suppress the named rules
+  on this line (``disable=all`` suppresses every rule);
+- ``# repro-lint: cache-pure`` — opt the ``def`` on this line into
+  RPL003 cache-purity checking even without an ``lru_cache`` decorator
+  (used for functions whose results feed a
+  :class:`~repro.runtime.cache.SweepCache`).
+
+Pragmas ride on comments, so they survive ``ast`` parsing untouched;
+the engine scans raw source lines once per file and hands rules a
+:class:`PragmaMap`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence, Set
+
+#: Token accepted by ``disable=`` meaning "every rule".
+ALL_RULES = "all"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<body>[A-Za-z0-9_=,\- ]+)"
+)
+_DISABLE_RE = re.compile(r"disable\s*=\s*(?P<rules>[A-Za-z0-9_, ]+)")
+
+
+@dataclass(frozen=True)
+class PragmaMap:
+    """Per-line pragma state for one source file (1-based line numbers)."""
+
+    disabled: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    cache_pure_lines: FrozenSet[int] = frozenset()
+
+    def is_disabled(self, rule: str, line: int) -> bool:
+        rules = self.disabled.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule in rules
+
+    def is_cache_pure(self, line: int) -> bool:
+        return line in self.cache_pure_lines
+
+
+def parse_pragmas(source_lines: Sequence[str]) -> PragmaMap:
+    """Scan raw source lines for ``# repro-lint:`` pragmas."""
+    disabled: Dict[int, FrozenSet[str]] = {}
+    cache_pure: Set[int] = set()
+    for lineno, text in enumerate(source_lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body")
+        if "cache-pure" in body:
+            cache_pure.add(lineno)
+        dis = _DISABLE_RE.search(body)
+        if dis is not None:
+            rules = frozenset(
+                token.strip()
+                for token in dis.group("rules").split(",")
+                if token.strip()
+            )
+            if rules:
+                disabled[lineno] = rules
+    return PragmaMap(disabled=disabled, cache_pure_lines=frozenset(cache_pure))

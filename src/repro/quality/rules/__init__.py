@@ -1,0 +1,34 @@
+"""repro-lint rule set.
+
+Importing this package registers every built-in rule:
+
+- RPL001 — unit-suffix dimensional consistency;
+- RPL002 — determinism of model code (no unseeded RNG / wall clocks);
+- RPL003 — purity of cached functions;
+- RPL004 — no float ``==`` / ``!=`` in model code;
+- RPL005 — ``__all__`` exports exist and carry docstrings.
+"""
+
+from repro.quality.rules.base import (
+    RULE_REGISTRY,
+    Rule,
+    default_rules,
+    register,
+)
+from repro.quality.rules.units_rule import UnitConsistencyRule
+from repro.quality.rules.determinism import DeterminismRule
+from repro.quality.rules.cache_purity import CachePurityRule
+from repro.quality.rules.float_compare import FloatEqualityRule
+from repro.quality.rules.api_hygiene import ApiHygieneRule
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "register",
+    "UnitConsistencyRule",
+    "DeterminismRule",
+    "CachePurityRule",
+    "FloatEqualityRule",
+    "ApiHygieneRule",
+]

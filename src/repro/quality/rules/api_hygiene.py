@@ -1,0 +1,153 @@
+"""RPL005 — public-API hygiene of package ``__init__`` exports.
+
+Every name in an ``__init__.py``'s ``__all__`` is a promise to users.
+The rule verifies two things per exported name:
+
+- **existence** — the name is actually bound in the ``__init__`` (via
+  import, def, class, or assignment), and when it is re-exported with
+  ``from repro.x.y import N``, that ``N`` really is defined at the top
+  level of ``repro/x/y``;
+- **documentation** — when the export resolves to a function or class,
+  the definition carries a docstring.
+
+Re-exported *constants* (plain assignments) are existence-checked only;
+there is nowhere to hang a docstring on them.  Modules outside the
+lintable tree (third-party imports) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.rules.base import Rule, register
+
+
+def _exported_names(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """``__all__`` entries as (name, anchor node) pairs."""
+    exported: List[Tuple[str, ast.AST]] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            continue
+        if isinstance(stmt.value, (ast.List, ast.Tuple)):
+            for elt in stmt.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    exported.append((elt.value, elt))
+    return exported
+
+
+def _bindings(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Top-level name -> binding node (imports, defs, assignments)."""
+    bound: Dict[str, ast.AST] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound[stmt.name] = stmt
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bound[name] = stmt
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound[alias.asname or alias.name] = stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bound[target.id] = stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                bound[stmt.target.id] = stmt
+    return bound
+
+
+def _import_origin(stmt: ast.ImportFrom, name: str) -> Optional[str]:
+    """The original (pre-``as``) name this binding imports, if any."""
+    for alias in stmt.names:
+        if (alias.asname or alias.name) == name:
+            return alias.name
+    return None
+
+
+@register
+class ApiHygieneRule(Rule):
+    """Verify ``__all__`` entries exist and carry docstrings."""
+
+    rule_id = "RPL005"
+    severity = Severity.WARNING
+    summary = "__all__ exports must exist and be documented"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.path.name != "__init__.py":
+            return
+        bindings = _bindings(ctx.tree)
+        for name, anchor in _exported_names(ctx.tree):
+            binding = bindings.get(name)
+            if binding is None:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"'__all__' exports '{name}' but nothing in this "
+                    f"module binds it",
+                    symbol=name,
+                )
+                continue
+            yield from self._check_binding(ctx, name, anchor, binding)
+
+    # ------------------------------------------------------------------
+    def _check_binding(
+        self, ctx, name: str, anchor: ast.AST, binding: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(
+            binding, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if ast.get_docstring(binding) is None:
+                yield self.finding(
+                    ctx,
+                    binding,
+                    f"exported {_kind(binding)} '{name}' has no docstring",
+                    symbol=name,
+                )
+            return
+        if not isinstance(binding, ast.ImportFrom):
+            return  # plain assignment or `import x` — existence suffices
+        origin = _import_origin(binding, name)
+        if origin is None:
+            return
+        module_tree = ctx.load_module(binding.module, binding.level)
+        if module_tree is None:
+            return  # outside the lintable tree (third-party / namespace)
+        target = _bindings(module_tree).get(origin)
+        if target is None:
+            yield self.finding(
+                ctx,
+                anchor,
+                f"'__all__' exports '{name}' from "
+                f"'{binding.module or '.'}' but that module does not "
+                f"define '{origin}'",
+                symbol=name,
+            )
+            return
+        if isinstance(
+            target, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if ast.get_docstring(target) is None:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"exported {_kind(target)} '{origin}' "
+                    f"(from '{binding.module or '.'}') has no docstring",
+                    symbol=name,
+                )
+
+
+def _kind(node: ast.AST) -> str:
+    return "class" if isinstance(node, ast.ClassDef) else "function"

@@ -121,6 +121,7 @@ def all_workloads() -> Dict[str, Workload]:
 
 
 def get_workload(name: str) -> Workload:
+    """Look up one registered workload by name (raises on unknown names)."""
     loads = all_workloads()
     if name not in loads:
         raise ReproError(

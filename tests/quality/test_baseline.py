@@ -1,0 +1,84 @@
+"""Baseline round-trip, fingerprint stability, and count consumption."""
+
+import json
+
+import pytest
+
+from repro.quality import Baseline, Finding, Severity
+
+
+def make_finding(rule="RPL001", path="src/x.py", line=3,
+                 snippet="a = b_j + c_kwh", message="mixes scales"):
+    return Finding(
+        rule=rule,
+        message=message,
+        path=path,
+        line=line,
+        severity=Severity.ERROR,
+        snippet=snippet,
+    )
+
+
+@pytest.mark.smoke
+class TestRoundTrip:
+    def test_save_load_partition(self, tmp_path):
+        findings = [make_finding(), make_finding(rule="RPL004", line=9)]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        fresh, grandfathered = loaded.partition(findings)
+        assert fresh == []
+        assert len(grandfathered) == 2
+
+    def test_save_is_deterministic(self, tmp_path):
+        findings = [make_finding(path="b.py"), make_finding(path="a.py")]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings).save(a)
+        Baseline.from_findings(list(reversed(findings))).save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+        path.write_text(json.dumps({"schema": "other/9"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_line_drift_does_not_resurrect(self):
+        baseline = Baseline.from_findings([make_finding(line=3)])
+        drifted = make_finding(line=47)
+        fresh, grandfathered = baseline.partition([drifted])
+        assert fresh == []
+        assert grandfathered == [drifted]
+
+    def test_edited_snippet_resurfaces(self):
+        baseline = Baseline.from_findings([make_finding()])
+        edited = make_finding(snippet="a = b_j + d_kwh")
+        fresh, _ = baseline.partition([edited])
+        assert fresh == [edited]
+
+    def test_counts_consumed_per_fingerprint(self):
+        # Two identical findings baselined; a third new copy must fail.
+        pair = [make_finding(), make_finding()]
+        baseline = Baseline.from_findings(pair)
+        assert len(baseline) == 2
+        fresh, grandfathered = baseline.partition(pair + [make_finding()])
+        assert len(grandfathered) == 2
+        assert len(fresh) == 1
+
+    def test_unrelated_rule_not_suppressed(self):
+        baseline = Baseline.from_findings([make_finding(rule="RPL001")])
+        other = make_finding(rule="RPL002")
+        fresh, _ = baseline.partition([other])
+        assert fresh == [other]

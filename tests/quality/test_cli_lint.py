@@ -1,0 +1,107 @@
+"""End-to-end `repro lint` CLI behavior."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BAD_SNIPPET = textwrap.dedent(
+    """
+    import functools
+    import os
+    import time
+
+    def total_j(a_j, b_kwh):
+        return a_j + b_kwh
+
+    @functools.lru_cache()
+    def cached(x):
+        return os.environ.get("MODE", "") + x
+
+    stamp = time.time()
+    check = stamp == 0.25
+    """
+)
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "model.py").write_text(BAD_SNIPPET, encoding="utf-8")
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text(
+        '__all__ = ["missing"]\n', encoding="utf-8"
+    )
+    return tmp_path
+
+
+@pytest.mark.smoke
+class TestLintCli:
+    def test_repo_is_clean_with_committed_baseline(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_injected_violations_fail_each_rule(self, capsys, monkeypatch,
+                                                bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "pkg"]) == 1
+        out = capsys.readouterr().out
+        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert rule in out
+
+    def test_each_rule_fails_in_isolation(self, capsys, monkeypatch,
+                                          bad_tree):
+        monkeypatch.chdir(bad_tree)
+        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert main(["lint", "core", "pkg", "--rules", rule]) == 1, rule
+            assert rule in capsys.readouterr().out
+
+    def test_json_format(self, capsys, monkeypatch, bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["counts_by_rule"]["RPL001"] >= 1
+        assert all(
+            set(f) >= {"rule", "path", "line", "message", "fingerprint"}
+            for f in payload["findings"]
+        )
+
+    def test_rule_subset_selection(self, capsys, monkeypatch, bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--rules", "RPL004"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL004" in out and "RPL001" not in out
+
+    def test_unknown_rule_rejected(self, capsys, monkeypatch, bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--rules", "RPL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_rejected(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "does-not-exist"]) == 2
+
+    def test_write_baseline_then_clean(self, capsys, monkeypatch, bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--write-baseline"]) == 0
+        assert (bad_tree / "repro-lint-baseline.json").is_file()
+        capsys.readouterr()
+        assert main(["lint", "core"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_no_baseline_flag_unsuppresses(self, capsys, monkeypatch,
+                                           bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--write-baseline"]) == 0
+        assert main(["lint", "core", "--no-baseline"]) == 1

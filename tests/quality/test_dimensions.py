@@ -1,0 +1,58 @@
+"""The suffix table must stay consistent with repro.units."""
+
+import pytest
+
+from repro import units
+from repro.quality.dimensions import (
+    _SUFFIX_SPEC,
+    SUFFIX_TABLE,
+    suffix_of,
+)
+
+
+@pytest.mark.smoke
+class TestTableDerivation:
+    def test_every_entry_resolves_against_units(self):
+        for suffix, (dimension, constant) in _SUFFIX_SPEC.items():
+            entry = SUFFIX_TABLE[suffix]
+            assert entry.dimension == dimension
+            assert entry.scale == float(getattr(units, constant))
+
+    def test_scales_within_a_dimension_are_distinct(self):
+        # Two suffixes of one dimension with equal scales would make
+        # `compatible` treat them as interchangeable spellings.
+        by_dim = {}
+        for entry in SUFFIX_TABLE.values():
+            by_dim.setdefault(entry.dimension, []).append(entry.scale)
+        for dimension, scales in by_dim.items():
+            assert len(scales) == len(set(scales)), dimension
+
+    def test_repo_core_suffixes_present(self):
+        for suffix in ("j", "kwh", "mm2", "cm2", "g", "kg", "s", "months",
+                       "hz", "mhz", "v", "w"):
+            assert suffix in SUFFIX_TABLE
+
+
+class TestSuffixOf:
+    def test_recognizes_suffixed_names(self):
+        assert suffix_of("energy_j").dimension == "energy"
+        assert suffix_of("die_area_cm2").dimension == "area"
+        assert suffix_of("lifetime_months").dimension == "time"
+        assert suffix_of("TOTAL_ENERGY_KWH").suffix == "kwh"
+
+    def test_compatibility(self):
+        assert suffix_of("a_j").compatible(suffix_of("b_j"))
+        assert not suffix_of("a_j").compatible(suffix_of("b_kwh"))
+        assert not suffix_of("a_j").compatible(suffix_of("b_g"))
+        assert not suffix_of("a_mm2").compatible(suffix_of("b_cm2"))
+
+    def test_rate_names_are_exempt(self):
+        assert suffix_of("value_g_per_kwh") is None
+        assert suffix_of("dibl_v_per_v") is None
+        assert suffix_of("per_wafer_g") is not None  # prefix per_ is fine
+
+    def test_bare_and_unknown_names(self):
+        assert suffix_of("s") is None  # no stem
+        assert suffix_of("_s") is None
+        assert suffix_of("energy") is None
+        assert suffix_of("x_parsec") is None

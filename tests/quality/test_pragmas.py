@@ -1,0 +1,48 @@
+"""Pragma parsing: disable lists, disable=all, cache-pure markers."""
+
+import pytest
+
+from repro.quality.pragmas import parse_pragmas
+
+
+@pytest.mark.smoke
+class TestParsePragmas:
+    def test_disable_single_and_list(self):
+        pragmas = parse_pragmas([
+            "x = 1  # repro-lint: disable=RPL001",
+            "y = 2  # repro-lint: disable=RPL002, RPL004",
+            "z = 3",
+        ])
+        assert pragmas.is_disabled("RPL001", 1)
+        assert not pragmas.is_disabled("RPL002", 1)
+        assert pragmas.is_disabled("RPL002", 2)
+        assert pragmas.is_disabled("RPL004", 2)
+        assert not pragmas.is_disabled("RPL001", 3)
+
+    def test_disable_all(self):
+        pragmas = parse_pragmas(["x = 1  # repro-lint: disable=all"])
+        assert pragmas.is_disabled("RPL001", 1)
+        assert pragmas.is_disabled("RPL005", 1)
+
+    def test_trailing_justification_ignored(self):
+        pragmas = parse_pragmas([
+            "x = 1  # repro-lint: disable=RPL004 - exact sentinel, by design",
+        ])
+        assert pragmas.is_disabled("RPL004", 1)
+        assert not pragmas.is_disabled("by", 1)
+
+    def test_cache_pure_marker(self):
+        pragmas = parse_pragmas([
+            "def f(x):  # repro-lint: cache-pure",
+            "    return x",
+        ])
+        assert pragmas.is_cache_pure(1)
+        assert not pragmas.is_cache_pure(2)
+
+    def test_plain_comments_are_not_pragmas(self):
+        pragmas = parse_pragmas([
+            "# this mentions repro-lint without the pragma form",
+            "x = 1  # disable=RPL001 (missing the repro-lint: prefix)",
+        ])
+        assert not pragmas.is_disabled("RPL001", 1)
+        assert not pragmas.is_disabled("RPL001", 2)
