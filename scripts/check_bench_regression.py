@@ -8,12 +8,14 @@ regenerating the benchmark artifacts::
     python scripts/check_bench_regression.py \\
         --baseline benchmarks/output/BENCH_iss.json --fresh /tmp/BENCH_iss.json \\
         --baseline benchmarks/output/BENCH_sweep.json --fresh /tmp/BENCH_sweep.json \\
+        --baseline benchmarks/output/BENCH_obs.json --fresh /tmp/BENCH_obs.json \\
         --tolerance 0.5
 
 With a single --baseline/--fresh pair it checks one report; pairs are
 matched positionally.  The numeric tolerance is relative drift in the
 bad direction; boolean correctness gates (bit-identity, paper cycle
-match) must hold exactly regardless of tolerance.
+match, the bench-obs <2% tracing-off overhead budget) must hold
+exactly regardless of tolerance.
 """
 
 from __future__ import annotations

@@ -29,12 +29,22 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.case_study import CaseStudy, build_case_study
 from repro.core.operational import UsageScenario
 
 #: Manifest fields (at any nesting depth) excluded from determinism
 #: comparisons — everything else must be byte-identical across runs.
-TIMING_FIELDS = ("wall_seconds", "total_wall_seconds", "generated_unix")
+#: ``sweep_cache`` (per-artifact hit/miss deltas) and ``metrics`` (the
+#: observability snapshot) describe *how* a run executed, not what it
+#: produced, so they are excluded alongside the wall-clock stamps.
+TIMING_FIELDS = (
+    "wall_seconds",
+    "total_wall_seconds",
+    "generated_unix",
+    "sweep_cache",
+    "metrics",
+)
 
 MANIFEST_SCHEMA = "repro-artifacts/1"
 
@@ -251,7 +261,13 @@ def run_artifact_pipeline(
         jobs: process fan-out for the Monte Carlo sweep.
         sweep_cache: passed through to the Monte Carlo memoization.
     """
-    from repro.runtime.cache import ISS_VERSION, SWEEP_VERSION
+    from repro.runtime.cache import ISS_VERSION, SWEEP_VERSION, SweepCache
+
+    if sweep_cache is True:
+        # Resolve the default cache here (rather than downstream in the
+        # Monte Carlo) so per-artifact hit/miss deltas can be attributed.
+        sweep_cache = SweepCache()
+    cache_obj = sweep_cache if isinstance(sweep_cache, SweepCache) else None
 
     cfg = config if config is not None else PipelineConfig()
     names = list(artifacts) if artifacts is not None else default_artifact_names()
@@ -275,30 +291,50 @@ def run_artifact_pipeline(
     # reproducibility is unaffected.  They are grandfathered in
     # repro-lint-baseline.json rather than pragma'd line by line.
     pipeline_start = time.perf_counter()
-    case = build_case_study(
-        clock_hz=cfg.clock_mhz * 1e6,
-        scenario=UsageScenario(cfg.lifetime_months),
-        grid=cfg.grid,
-    )
-    ctx = PipelineContext(
-        config=cfg, case=case, jobs=jobs, sweep_cache=sweep_cache
-    )
+    with obs.span(
+        "artifacts.pipeline", params=params_hash[:12], artifacts=len(names)
+    ):
+        case = build_case_study(
+            clock_hz=cfg.clock_mhz * 1e6,
+            scenario=UsageScenario(cfg.lifetime_months),
+            grid=cfg.grid,
+        )
+        ctx = PipelineContext(
+            config=cfg, case=case, jobs=jobs, sweep_cache=sweep_cache
+        )
 
-    entries: Dict[str, dict] = {}
-    for name in names:
-        start = time.perf_counter()
-        data = _BUILDERS[name](ctx)
-        text = canonical_json(data)
-        wall = time.perf_counter() - start
-        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
-        rel_path = f"artifacts/{name}.json"
-        (run_dir / rel_path).write_text(text, encoding="utf-8")
-        entries[name] = {
-            "sha256": digest,
-            "path": rel_path,
-            "bytes": len(text.encode("utf-8")),
-            "wall_seconds": wall,
-        }
+        metrics = obs.get_metrics()
+        build_hist = metrics.histogram("artifacts.build_seconds")
+        entries: Dict[str, dict] = {}
+        for name in names:
+            hits_before = cache_obj.hits if cache_obj is not None else 0
+            misses_before = cache_obj.misses if cache_obj is not None else 0
+            with obs.span(f"artifact.{name}") as sp:
+                start = time.perf_counter()
+                data = _BUILDERS[name](ctx)
+                text = canonical_json(data)
+                wall = time.perf_counter() - start
+                digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+                rel_path = f"artifacts/{name}.json"
+                (run_dir / rel_path).write_text(text, encoding="utf-8")
+                entries[name] = {
+                    "sha256": digest,
+                    "path": rel_path,
+                    "bytes": len(text.encode("utf-8")),
+                    "wall_seconds": wall,
+                }
+                sp.set(bytes=len(text.encode("utf-8")), sha=digest[:12])
+                if cache_obj is not None:
+                    entries[name]["sweep_cache"] = {
+                        "hits": cache_obj.hits - hits_before,
+                        "misses": cache_obj.misses - misses_before,
+                    }
+                    sp.set(
+                        cache_hits=cache_obj.hits - hits_before,
+                        cache_misses=cache_obj.misses - misses_before,
+                    )
+            metrics.counter("artifacts.built").inc()
+            build_hist.observe(wall)
 
     content_hash = hashlib.sha256(
         json.dumps(
@@ -320,6 +356,10 @@ def run_artifact_pipeline(
         "total_wall_seconds": time.perf_counter() - pipeline_start,
         "generated_unix": time.time(),
     }
+    if obs.enabled():
+        # Embedded observability snapshot; a TIMING_FIELDS member, so
+        # determinism comparisons ignore it like the wall-clock stamps.
+        manifest["metrics"] = obs.get_metrics().snapshot()
     (run_dir / "manifest.json").write_text(
         canonical_json(manifest), encoding="utf-8"
     )
@@ -327,21 +367,45 @@ def run_artifact_pipeline(
 
 
 def render_manifest(manifest: dict) -> str:
-    """Human-readable run summary for the CLI."""
+    """Human-readable run summary for the CLI.
+
+    When the run carried a sweep cache, a ``cache`` column shows the
+    per-artifact hit/miss deltas (``-`` for artifacts that never touch
+    the cache).
+    """
+    entries = manifest["artifacts"]
+    show_cache = any("sweep_cache" in e for e in entries.values())
+    header = f"{'artifact':20s} {'sha256':>14s} {'bytes':>10s} {'wall':>9s}"
+    if show_cache:
+        header += f" {'cache h/m':>10s}"
     lines = [
         f"artifact run {manifest['params_hash'][:12]} "
         f"(content {manifest['content_hash'][:12]}, "
         f"{manifest['iss_version']})",
-        f"{'artifact':20s} {'sha256':>14s} {'bytes':>10s} {'wall':>9s}",
-        "-" * 58,
+        header,
+        "-" * len(header),
     ]
-    for name, entry in manifest["artifacts"].items():
-        lines.append(
+    total_hits = 0
+    total_misses = 0
+    for name, entry in entries.items():
+        line = (
             f"{name:20s} {entry['sha256'][:12]:>14s} "
             f"{entry['bytes']:>10,} {entry['wall_seconds']:>8.3f}s"
         )
-    lines.append(
+        if show_cache:
+            stats = entry.get("sweep_cache")
+            if stats is not None and (stats["hits"] or stats["misses"]):
+                total_hits += stats["hits"]
+                total_misses += stats["misses"]
+                line += f" {stats['hits']:>5}/{stats['misses']:<4}"
+            else:
+                line += f" {'-':>7s}"
+        lines.append(line)
+    total = (
         f"{'total':20s} {'':>14s} {'':>10s} "
         f"{manifest['total_wall_seconds']:>8.3f}s"
     )
+    if show_cache:
+        total += f" {total_hits:>5}/{total_misses:<4}"
+    lines.append(total)
     return "\n".join(lines)

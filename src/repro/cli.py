@@ -8,11 +8,23 @@ Usage::
     python -m repro fig6b
     python -m repro workloads
     python -m repro optimize --lifetime 24
+    python -m repro trace artifacts --no-cache
+    python -m repro metrics workloads
+    python -m repro --trace fig6b
+
+Observability: ``repro trace <cmd> [args...]`` runs any subcommand with
+tracing on, prints the span tree, and writes a Chrome-trace JSON
+(open in ``chrome://tracing`` or Perfetto).  ``repro metrics <cmd>``
+prints the counter/gauge/histogram table instead.  The top-level
+``--trace`` flag (or ``REPRO_TRACE=1``) enables tracing for a plain
+subcommand and writes the trace to ``--trace-out`` /
+``REPRO_TRACE_OUT`` / ``repro-trace.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -282,6 +294,75 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_bench_obs(args) -> int:
+    from repro.runtime.bench_obs import run_obs_bench
+
+    report = run_obs_bench(output_path=args.output, repeats=args.repeats)
+    print(
+        f"observability overhead ({report['workload']}, best of "
+        f"{report['repeats']}):"
+    )
+    print(
+        f"  control {report['control_wall_seconds']:.3f}s, "
+        f"disabled {report['disabled_wall_seconds']:.3f}s "
+        f"({report['tracing_off_overhead_fraction']:+.2%}), "
+        f"enabled {report['enabled_wall_seconds']:.3f}s "
+        f"({report['tracing_on_overhead_fraction']:+.2%})"
+    )
+    print(
+        f"  tracing-off under 2%: "
+        f"{report['tracing_off_overhead_under_2pct']} "
+        f"(bit-identical: {report['bit_identical']})"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if report["tracing_off_overhead_under_2pct"] else 1
+
+
+def _dispatch_observed(args, label: str) -> int:
+    """Parse and run the wrapped subcommand of ``trace``/``metrics``.
+
+    The inner argv is re-parsed with the full parser and its handler is
+    called directly — NOT through :func:`main` — so the outer wrapper
+    owns the one trace export.
+    """
+    if args.cmd in ("trace", "metrics"):
+        print(
+            f"repro {label}: cannot wrap '{args.cmd}' "
+            f"(observability passthroughs do not nest)",
+            file=sys.stderr,
+        )
+        return 2
+    inner = build_parser().parse_args([args.cmd] + list(args.cmd_argv))
+    return inner.func(inner)
+
+
+def cmd_trace(args) -> int:
+    from repro import obs
+
+    obs.enable()
+    code = _dispatch_observed(args, "trace")
+    if code == 2 and not obs.get_tracer().spans:
+        return code
+    tracer = obs.get_tracer()
+    out = args.output or os.environ.get(obs.ENV_TRACE_OUT) or "repro-trace.json"
+    n_spans = tracer.write_chrome_trace(out, metrics=obs.get_metrics())
+    print()
+    print(tracer.render_tree())
+    print(f"\nwrote {n_spans} span(s) to {out}")
+    return code
+
+
+def cmd_metrics(args) -> int:
+    from repro import obs
+
+    obs.enable()
+    code = _dispatch_observed(args, "metrics")
+    print()
+    print(obs.get_metrics().render_text())
+    return code
+
+
 def cmd_lint(args) -> int:
     import json as _json
     from pathlib import Path
@@ -296,6 +377,13 @@ def cmd_lint(args) -> int:
     if missing:
         print(f"repro lint: no such path: {missing[0]}", file=sys.stderr)
         return 2
+
+    if args.audit_pragmas:
+        from repro.quality import audit_paths, render_audit
+
+        entries, files = audit_paths(paths, root=Path.cwd())
+        print(render_audit(entries, files))
+        return 1 if entries else 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(
         BASELINE_FILENAME
@@ -364,11 +452,23 @@ _COMMANDS = {
         cmd_bench_sweep,
         "uncertainty-sweep benchmark (BENCH_sweep.json)",
     ),
+    "bench-obs": (
+        cmd_bench_obs,
+        "observability overhead benchmark (BENCH_obs.json)",
+    ),
     "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL005)"),
+    "trace": (
+        cmd_trace,
+        "run a subcommand with tracing on; write a Chrome trace JSON",
+    ),
+    "metrics": (
+        cmd_metrics,
+        "run a subcommand with metrics on; print the summary table",
+    ),
 }
 
 #: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
-_NO_COMMON_ARGS = {"lint"}
+_NO_COMMON_ARGS = {"lint", "trace", "metrics", "bench-obs"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,6 +477,18 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the DATE 2025 PPAtC paper's tables and figures."
         ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable tracing for the subcommand and write a Chrome trace",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="trace output path (default: $REPRO_TRACE_OUT or "
+        "repro-trace.json)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (func, help_text) in _COMMANDS.items():
@@ -438,6 +550,39 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1000,
                 help="Monte Carlo samples for the sweep benchmark",
             )
+        if name == "bench-obs":
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the BENCH_obs.json artifact to FILE",
+            )
+            sub.add_argument(
+                "--repeats",
+                type=int,
+                default=5,
+                help="interleaved timing repeats per variant (min is kept)",
+            )
+        if name in ("trace", "metrics"):
+            sub.add_argument(
+                "cmd",
+                metavar="CMD",
+                help="the subcommand to run under observability",
+            )
+            sub.add_argument(
+                "cmd_argv",
+                nargs=argparse.REMAINDER,
+                metavar="ARGS",
+                help="arguments passed through to CMD",
+            )
+            if name == "trace":
+                sub.add_argument(
+                    "--output",
+                    metavar="FILE",
+                    default=None,
+                    help="Chrome trace path (default: $REPRO_TRACE_OUT or "
+                    "repro-trace.json)",
+                )
         if name == "artifacts":
             sub.add_argument(
                 "--output",
@@ -509,13 +654,34 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="comma-separated subset of rule ids to run",
             )
+            sub.add_argument(
+                "--audit-pragmas",
+                action="store_true",
+                help="report stale/unknown # repro-lint pragmas and exit",
+            )
         sub.set_defaults(func=func)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import obs
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "trace", False):
+        obs.enable()
+    code = args.func(args)
+    # Export for --trace / REPRO_TRACE runs of plain subcommands; the
+    # trace/metrics passthroughs own their export and are skipped here.
+    tracer = obs.get_tracer()
+    if tracer.enabled and args.command not in ("trace", "metrics"):
+        out = (
+            getattr(args, "trace_out", None)
+            or os.environ.get(obs.ENV_TRACE_OUT)
+            or "repro-trace.json"
+        )
+        n_spans = tracer.write_chrome_trace(out, metrics=obs.get_metrics())
+        print(f"wrote {n_spans} trace span(s) to {out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,6 +42,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.core.isoline import (
     TcdpOperatingPoint,
     TcdpTradeoffMap,
@@ -257,6 +258,7 @@ class IsolineUncertaintyAnalysis:
                 _perturbed_ratio_grid,
                 [(params, x, y) for params in self._perturbed_parameters()],
                 jobs=jobs,
+                label="uncertainty.perturbation",
             )
         ratios = np.stack([nominal_grid] + perturbed, axis=0)
         candidate_always = np.all(ratios < 1.0, axis=0)
@@ -406,60 +408,75 @@ def monte_carlo_win_probability(
     """
     x = np.asarray(emb_scales, dtype=float)
     y = np.asarray(op_scales, dtype=float)
-    samples = draw_monte_carlo_samples(
-        nominal,
-        n_samples,
-        lifetime_sigma_months=lifetime_sigma_months,
-        ci_log_sigma=ci_log_sigma,
-        yield_low=yield_low,
-        yield_high=yield_high,
-        rng=rng,
-    )
+    metrics = obs.get_metrics()
+    with obs.span(
+        "mc.win_probability", samples=n_samples, grid=x.size * y.size
+    ) as sp:
+        samples = draw_monte_carlo_samples(
+            nominal,
+            n_samples,
+            lifetime_sigma_months=lifetime_sigma_months,
+            ci_log_sigma=ci_log_sigma,
+            yield_low=yield_low,
+            yield_high=yield_high,
+            rng=rng,
+        )
 
-    sweep_cache = None
-    payload = None
-    if cache is not None and cache is not False:
-        from repro.runtime.cache import SweepCache
+        sweep_cache = None
+        payload = None
+        if cache is not None and cache is not False:
+            from repro.runtime.cache import SweepCache
 
-        sweep_cache = cache if isinstance(cache, SweepCache) else SweepCache()
-        payload = {
-            "kind": "monte-carlo-win-probability",
-            "nominal": sorted(
-                (k, v) for k, v in vars(nominal).items()
-            ),
-            "emb_scales": x,
-            "op_scales": y,
-            "lifetime_months": samples.lifetime_months,
-            "ci_scales": samples.ci_scales,
-            "yields": samples.yields,
-        }
-        hit = sweep_cache.get(payload)
-        if hit is not None:
-            return hit
+            sweep_cache = (
+                cache if isinstance(cache, SweepCache) else SweepCache()
+            )
+            payload = {
+                "kind": "monte-carlo-win-probability",
+                "nominal": sorted(
+                    (k, v) for k, v in vars(nominal).items()
+                ),
+                "emb_scales": x,
+                "op_scales": y,
+                "lifetime_months": samples.lifetime_months,
+                "ci_scales": samples.ci_scales,
+                "yields": samples.yields,
+            }
+            hit = sweep_cache.get(payload)
+            if hit is not None:
+                sp.set(cache="hit")
+                return hit
 
-    chunk = (
-        chunk_size
-        if chunk_size is not None
-        else _default_chunk_size(n_samples, x.size * y.size)
-    )
-    if chunk < 1:
-        raise CarbonModelError(f"chunk_size must be >= 1, got {chunk}")
-    bounds = list(range(0, n_samples, chunk))
-    chunks = [
-        (nominal, x, y, samples.chunk(start, start + chunk))
-        for start in bounds
-    ]
-    if jobs == 1 or len(chunks) == 1:
-        counts = [_mc_chunk_win_counts(c) for c in chunks]
-    else:
-        from repro.runtime.parallel import map_parallel
+        chunk = (
+            chunk_size
+            if chunk_size is not None
+            else _default_chunk_size(n_samples, x.size * y.size)
+        )
+        if chunk < 1:
+            raise CarbonModelError(f"chunk_size must be >= 1, got {chunk}")
+        bounds = list(range(0, n_samples, chunk))
+        chunks = [
+            (nominal, x, y, samples.chunk(start, start + chunk))
+            for start in bounds
+        ]
+        metrics.counter("mc.samples").inc(n_samples)
+        metrics.counter("mc.batches").inc(len(chunks))
+        sp.set(batches=len(chunks))
+        if jobs == 1 or len(chunks) == 1:
+            counts = []
+            for i, c in enumerate(chunks):
+                with obs.span("mc.batch", index=i, samples=c[3].n):
+                    counts.append(_mc_chunk_win_counts(c))
+        else:
+            from repro.runtime.parallel import map_parallel
 
-        counts = map_parallel(_mc_chunk_win_counts, chunks, jobs=jobs)
-    wins = np.sum(counts, axis=0, dtype=float)
-    probability = wins / n_samples
-    if sweep_cache is not None and payload is not None:
-        sweep_cache.put(payload, probability)
-    return probability
+            counts = map_parallel(
+                _mc_chunk_win_counts, chunks, jobs=jobs, label="mc.batch"
+            )
+        wins = np.sum(counts, axis=0, dtype=float)
+        probability = wins / n_samples
+        if sweep_cache is not None and payload is not None:
+            sweep_cache.put(payload, probability)
+        return probability
 
 
 def monte_carlo_win_probability_legacy(

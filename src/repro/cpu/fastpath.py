@@ -120,6 +120,13 @@ class FastEngine:
         self._decoded_version = self.prog.version
         self._null_trace = _NullTrace()
         self._mem_helpers = self._make_mem_helpers(mem, self.prog, self.data)
+        # Engine-health tallies, read by the observability layer after a
+        # run.  Plain ints bumped only at cold points (fallback steps,
+        # table invalidations, the per-run flush) — never in the hot
+        # dispatch loop — so they cost nothing when nobody reads them.
+        self.fast_steps = 0
+        self.fallback_steps = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -128,6 +135,7 @@ class FastEngine:
         for i in range(len(table)):
             table[i] = None
         self._decoded_version = self.prog.version
+        self.invalidations += 1
 
     # ------------------------------------------------------------------
     def _make_mem_helpers(self, mem, prog, data):
@@ -265,6 +273,7 @@ class FastEngine:
                     if trace is not None:
                         trace.cycles = trace_base + (cycles - base_cycles)
                     cpu.step()
+                    self.fallback_steps += 1
                     cycles = stats.cycles
                     if cpu.halted:
                         break
@@ -275,6 +284,7 @@ class FastEngine:
             prog_counters.reads += delta
             stats.instructions += delta
             stats.cycles = cycles
+            self.fast_steps += steps
             if trace is not None:
                 trace.cycles = trace_base + (cycles - base_cycles)
         return stats

@@ -94,6 +94,16 @@ class CortexM0:
         self.memory.load_bytes(program.base_address, program.code)
         self.regs.write(PC, program.entry_point)
 
+    @property
+    def fast_engine(self):
+        """The lazily built fast engine, or ``None`` if never used.
+
+        Exposes the engine-health tallies (``fast_steps``,
+        ``fallback_steps``, ``invalidations``) without poking the
+        private ``_fast`` slot.
+        """
+        return self._fast
+
     def run(
         self, max_cycles: int = 500_000_000, engine: str = "auto"
     ) -> ExecutionStats:

@@ -1,0 +1,255 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named instruments.  Creation
+(:meth:`~MetricsRegistry.counter` etc.) is locked and idempotent — the
+same name always returns the same instrument — while the write path
+(:meth:`Counter.inc`, :meth:`Gauge.set`, :meth:`Histogram.observe`) is
+a single enabled-flag check plus an int/float update, cheap enough for
+per-run (not per-instruction) hot-path accounting.  ISS instruction-mix
+numbers are aggregated from the simulator's own
+:class:`~repro.cpu.simulator.ExecutionStats` *after* each run, so the
+execute loop itself is never touched.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-able dicts;
+:meth:`MetricsRegistry.render_text` is the ``repro metrics`` table.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, tuned for wall-clock seconds.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.value = 0
+        self._registry = registry
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op while the registry is disabled)."""
+        if self._registry.enabled:
+            self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric metric."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.value: float = 0.0
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        """Record the current level (no-op while disabled)."""
+        if self._registry.enabled:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper edges in ascending order; an implicit
+    overflow bucket catches everything above the last bound, so
+    ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "_registry")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        registry: "MetricsRegistry",
+    ) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram bounds must be non-empty, unique, and "
+                f"ascending; got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._registry = registry
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op while disabled)."""
+        if not self._registry.enabled:
+            return
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with JSON snapshots.
+
+    Instruments are process-local; worker processes aggregate into their
+    own registry copies, and fan-out sites fold what matters back into
+    the parent (see :mod:`repro.runtime.parallel`).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument creation (idempotent) ------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, self)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, self)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use.
+
+        Re-requesting an existing histogram with *different* explicit
+        bounds raises — silently returning mismatched buckets would
+        corrupt the aggregation.
+        """
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds or DEFAULT_SECONDS_BUCKETS, self
+                )
+            elif bounds is not None and tuple(
+                float(b) for b in bounds
+            ) != instrument.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already exists with bounds "
+                    f"{instrument.bounds}"
+                )
+            return instrument
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument (registrations and bounds survive)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0
+            for gauge in self._gauges.values():
+                gauge.value = 0.0
+            for hist in self._histograms.values():
+                hist.counts = [0] * (len(hist.bounds) + 1)
+                hist.count = 0
+                hist.total = 0.0
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "count": h.count,
+                        "sum": h.total,
+                        "mean": h.mean,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def render_text(self, skip_zero: bool = True) -> str:
+        """The ``repro metrics`` summary table."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        counters = {
+            k: v
+            for k, v in snap["counters"].items()
+            if v or not skip_zero
+        }
+        if counters:
+            lines.append(f"{'counter':40s} {'value':>14s}")
+            lines.extend(
+                f"{name:40s} {value:>14,}"
+                for name, value in counters.items()
+            )
+        gauges = {
+            k: v for k, v in snap["gauges"].items() if v or not skip_zero
+        }
+        if gauges:
+            if lines:
+                lines.append("")
+            lines.append(f"{'gauge':40s} {'value':>14s}")
+            lines.extend(
+                f"{name:40s} {value:>14.6g}"
+                for name, value in gauges.items()
+            )
+        histograms = {
+            k: v
+            for k, v in snap["histograms"].items()
+            if v["count"] or not skip_zero
+        }
+        if histograms:
+            if lines:
+                lines.append("")
+            lines.append(
+                f"{'histogram':40s} {'count':>8s} {'mean':>12s} "
+                f"{'buckets (<=bound: n)':s}"
+            )
+            for name, h in histograms.items():
+                cells = [
+                    f"{bound:g}:{n}"
+                    for bound, n in zip(h["bounds"], h["counts"])
+                    if n
+                ]
+                if h["counts"][-1]:
+                    cells.append(f">{h['bounds'][-1]:g}:{h['counts'][-1]}")
+                lines.append(
+                    f"{name:40s} {h['count']:>8,} {h['mean']:>12.6g} "
+                    f"{' '.join(cells)}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -14,7 +14,9 @@ checks those invariants statically:
 - :mod:`repro.quality.baseline` — committed grandfathered findings
   (``repro-lint-baseline.json``);
 - :mod:`repro.quality.pragmas` — ``# repro-lint: disable=...`` and
-  ``# repro-lint: cache-pure`` inline pragmas.
+  ``# repro-lint: cache-pure`` inline pragmas;
+- :mod:`repro.quality.pragma_audit` — stale/unknown pragma detection
+  (``repro lint --audit-pragmas``).
 
 Run it as ``repro lint`` (or ``python -m repro lint``); see the README
 "Static analysis" section for the rule table and baseline workflow.
@@ -31,6 +33,11 @@ from repro.quality.engine import (
     lint_paths,
 )
 from repro.quality.findings import Finding, Severity
+from repro.quality.pragma_audit import (
+    PragmaAuditEntry,
+    audit_paths,
+    render_audit,
+)
 from repro.quality.pragmas import PragmaMap, parse_pragmas
 from repro.quality.rules import RULE_REGISTRY, Rule, default_rules
 
@@ -48,6 +55,9 @@ __all__ = [
     "lint_paths",
     "Finding",
     "Severity",
+    "PragmaAuditEntry",
+    "audit_paths",
+    "render_audit",
     "PragmaMap",
     "parse_pragmas",
     "RULE_REGISTRY",

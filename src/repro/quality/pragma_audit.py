@@ -1,0 +1,213 @@
+"""Audit of ``# repro-lint:`` pragmas: find the stale and the broken.
+
+A ``disable=`` pragma is a debt marker: it asserts "this line trips
+rule X for a reason we accept".  When the flagged code is later fixed
+or deleted, the pragma survives as dead weight — and worse, it will
+silently swallow the *next* genuine finding on that line.  This module
+re-runs the rule set with pragma suppression turned off and reports:
+
+- **stale-disable** — a ``disable=RPLxxx`` naming a rule that produces
+  no finding on that line (nothing left to suppress);
+- **unknown-rule** — a ``disable=`` naming a rule id that is not in
+  the registry (typo'd pragmas suppress nothing, forever);
+- **orphan-cache-pure** — a ``cache-pure`` pragma on a line with no
+  ``def`` (it opts nothing into RPL003 checking).
+
+Run via ``repro lint --audit-pragmas``.  The audit is advisory by
+default in the same way findings are: a non-empty audit exits 1 so CI
+can gate on pragma hygiene.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.quality.engine import (
+    FileContext,
+    find_package_root,
+    iter_python_files,
+)
+from repro.quality.pragmas import ALL_RULES, parse_pragmas
+from repro.quality.rules import RULE_REGISTRY, Rule, default_rules
+
+__all__ = [
+    "PragmaAuditEntry",
+    "audit_source",
+    "audit_paths",
+    "render_audit",
+]
+
+
+@dataclass(frozen=True)
+class PragmaAuditEntry:
+    """One pragma hygiene problem."""
+
+    path: str
+    line: int
+    kind: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.kind}] {self.detail}"
+
+
+def _comment_pragma_lines(source: str) -> Set[int]:
+    """Lines whose ``repro-lint`` pragma lives in a real comment token.
+
+    ``parse_pragmas`` scans raw text, so a pragma *example* inside a
+    docstring parses like the real thing.  Such a line never suppresses
+    anything meaningful, and auditing it would flag every documentation
+    mention as stale — tokenization separates prose from comments.
+    """
+    lines: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT and "repro-lint" in tok.string:
+                lines.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return lines
+
+
+def _def_lines(tree: ast.Module) -> Set[int]:
+    """Lines holding a ``def`` header or one of its decorators."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lines.add(node.lineno)
+            lines.update(d.lineno for d in node.decorator_list)
+    return lines
+
+
+def audit_source(
+    source: str,
+    path: Path = Path("<memory>.py"),
+    rel_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[PragmaAuditEntry]:
+    """Audit one file's pragmas against the unsuppressed finding set."""
+    rel = rel_path if rel_path is not None else Path(path).name
+    lines = source.splitlines()
+    pragmas = parse_pragmas(lines)
+    if not pragmas.disabled and not pragmas.cache_pure_lines:
+        return []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return []  # RPL000 owns unparsable files; nothing to audit.
+    ctx = FileContext(
+        path=Path(path),
+        rel_path=rel,
+        parts=tuple(Path(rel).parts),
+        source=source,
+        lines=lines,
+        tree=tree,
+        pragmas=pragmas,
+        package_root=(
+            find_package_root(Path(path)) if Path(path).is_file() else None
+        ),
+    )
+    active = list(rules) if rules is not None else default_rules()
+    hit: Set[Tuple[int, str]] = set()
+    for rule in active:
+        for finding in rule.check(ctx):
+            hit.add((finding.line, finding.rule))
+
+    comment_lines = _comment_pragma_lines(source)
+    entries: List[PragmaAuditEntry] = []
+    for line, named in sorted(pragmas.disabled.items()):
+        if line not in comment_lines:
+            continue  # docstring example, not a live pragma
+        for rule_id in sorted(named):
+            if rule_id == ALL_RULES:
+                if not any(ln == line for ln, _ in hit):
+                    entries.append(
+                        PragmaAuditEntry(
+                            rel,
+                            line,
+                            "stale-disable",
+                            "disable=all suppresses nothing on this line",
+                        )
+                    )
+                continue
+            if rule_id not in RULE_REGISTRY:
+                entries.append(
+                    PragmaAuditEntry(
+                        rel,
+                        line,
+                        "unknown-rule",
+                        f"disable={rule_id}: no such rule "
+                        f"(known: {', '.join(sorted(RULE_REGISTRY))})",
+                    )
+                )
+                continue
+            if (line, rule_id) not in hit:
+                entries.append(
+                    PragmaAuditEntry(
+                        rel,
+                        line,
+                        "stale-disable",
+                        f"disable={rule_id} suppresses nothing: the rule "
+                        f"no longer fires on this line",
+                    )
+                )
+    def_lines = _def_lines(tree)
+    for line in sorted(pragmas.cache_pure_lines):
+        if line not in comment_lines:
+            continue
+        if line not in def_lines:
+            entries.append(
+                PragmaAuditEntry(
+                    rel,
+                    line,
+                    "orphan-cache-pure",
+                    "cache-pure pragma is not on a def line; it opts "
+                    "nothing into RPL003",
+                )
+            )
+    return entries
+
+
+def audit_paths(
+    paths: Iterable[Path], root: Optional[Path] = None
+) -> Tuple[List[PragmaAuditEntry], int]:
+    """Audit every Python file under ``paths``.
+
+    Returns ``(entries, files_checked)``; paths are reported relative
+    to ``root`` (default: the current directory).
+    """
+    base = Path(root).resolve() if root is not None else Path.cwd()
+    entries: List[PragmaAuditEntry] = []
+    files = 0
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        files += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        resolved = file_path.resolve()
+        try:
+            rel = resolved.relative_to(base).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        entries.extend(audit_source(source, path=file_path, rel_path=rel))
+    entries.sort(key=lambda e: (e.path, e.line, e.kind))
+    return entries, files
+
+
+def render_audit(
+    entries: Sequence[PragmaAuditEntry], files_checked: int
+) -> str:
+    """Human-readable audit summary."""
+    out = [e.render() for e in entries]
+    out.append(
+        f"repro-lint pragma audit: {len(entries)} problem(s) in "
+        f"{files_checked} file(s)"
+    )
+    return "\n".join(out)

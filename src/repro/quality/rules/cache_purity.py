@@ -24,6 +24,10 @@ Inside a checked function the rule flags:
   (``list``/``dict``/``set`` literals, comprehensions, or constructor
   calls).  ALL_CAPS module names are treated as frozen-by-convention
   lookup tables and are not flagged.
+
+The ``obs`` package is exempt (mirroring RPL002): the tracing layer's
+whole job is to read clocks and accumulate mutable state, and nothing
+in it is memoized on arguments.
 """
 
 from __future__ import annotations
@@ -41,6 +45,9 @@ from repro.quality.rules.base import (
 )
 
 _CACHE_DECORATORS = {"lru_cache", "cache", "cached_property"}
+
+#: Path components whose files are never treated as memoized model code.
+EXEMPT_COMPONENTS = frozenset({"obs"})
 _MUTABLE_CONSTRUCTORS = {
     "list",
     "dict",
@@ -130,6 +137,8 @@ class CachePurityRule(Rule):
     summary = "cached functions must be pure"
 
     def check(self, ctx) -> Iterator[Finding]:
+        if EXEMPT_COMPONENTS.intersection(ctx.parts[:-1]):
+            return
         mutables = _module_level_mutables(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

@@ -14,8 +14,9 @@ This rule flags, in model code:
 - wall-clock reads (``time.time``/``perf_counter``/``monotonic`` and
   ``datetime.now``/``utcnow``/``today``) and ``uuid.uuid4``.
 
-The ``runtime`` package is exempt: perf counters and benchmark
-harnesses measure wall time on purpose.
+The ``runtime`` and ``obs`` packages are exempt: perf counters,
+benchmark harnesses, and the tracing layer measure wall time on
+purpose.
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from repro.quality.rules.base import (
 )
 
 #: Path components whose files may legitimately read clocks / entropy.
-EXEMPT_COMPONENTS: FrozenSet[str] = frozenset({"runtime"})
+EXEMPT_COMPONENTS: FrozenSet[str] = frozenset({"runtime", "obs"})
 
 
 @register

@@ -7,10 +7,13 @@ This package makes repeat studies cheap and large studies fast:
   assembly source, cycle budget, and ISS version tag.
 - :mod:`repro.runtime.parallel` — suite fan-out over a process pool
   with cache integration and a serial fallback.
-- :mod:`repro.runtime.perfcounters` — wall-time / MIPS metering so the
-  speedups stay observable from the CLI and benchmarks.
+- :mod:`repro.obs.perf` — wall-time / MIPS metering so the speedups
+  stay observable from the CLI and benchmarks
+  (:mod:`repro.runtime.perfcounters` is now a back-compat shim for it).
 - :mod:`repro.runtime.bench` — the ``BENCH_iss.json`` harness tracking
   the performance trajectory across PRs.
+- :mod:`repro.runtime.bench_obs` — the ``BENCH_obs.json`` harness
+  pinning the tracing-off observability overhead under 2 %.
 """
 
 from repro.runtime.cache import (
@@ -26,7 +29,7 @@ from repro.runtime.parallel import (
     map_parallel,
     run_workloads,
 )
-from repro.runtime.perfcounters import RunPerf, render_perf_table
+from repro.obs.perf import RunPerf, render_perf_table
 
 __all__ = [
     "ISS_VERSION",

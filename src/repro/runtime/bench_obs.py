@@ -1,0 +1,152 @@
+"""The ``BENCH_obs.json`` harness: observability overhead gate.
+
+The ``repro.obs`` layer promises to be free when disabled — every
+instrumentation site is one flag check.  This harness proves it by
+timing three variants of the same medium matmul-int ISS run:
+
+- **control** — an inline replica of :func:`~repro.workloads.suite
+  .run_workload` with no observability calls at all (the pre-obs code
+  path);
+- **disabled** — the real, instrumented ``run_workload`` with tracing
+  and metrics off (the default production path);
+- **enabled** — the same with tracing and metrics on (informational:
+  what turning observability on actually costs).
+
+Measurements interleave the variants round-robin and keep the per
+variant *minimum* over several repeats, so a background scheduler blip
+penalizes one repeat of one variant instead of biasing a whole series.
+The gated boolean ``tracing_off_overhead_under_2pct`` asserts
+``min(disabled) / min(control) - 1 < 0.02``; the regression gate
+(:mod:`repro.runtime.regression`, schema ``bench-obs/1``) compares it
+exactly so CI fails the moment the disabled path grows a real cost.
+
+Run via ``python -m repro bench-obs`` or the benchmarks suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.cpu import CortexM0, MemoryMap, assemble
+from repro.cpu.trace import ActivityTrace
+from repro.errors import ReproError
+from repro.runtime.bench import _gc_quiet
+from repro.workloads import matmul_int
+from repro.workloads.suite import Workload, WorkloadResult, run_workload
+
+#: The disabled path must cost less than this fraction over control.
+OVERHEAD_BUDGET = 0.02
+
+
+def _run_workload_control(
+    workload: Workload, max_cycles: int = 500_000_000
+) -> WorkloadResult:
+    """``run_workload`` as it was before instrumentation: no obs calls.
+
+    Kept byte-for-byte equivalent in simulator behavior so the timing
+    difference against the instrumented function isolates exactly the
+    observability overhead.
+    """
+    program = assemble(workload.source)
+    trace = ActivityTrace()
+    cpu = CortexM0(MemoryMap.embedded_system(), trace=trace)
+    cpu.load_program(program)
+    stats = cpu.run(max_cycles=max_cycles, engine="auto")
+    counters = cpu.memory.access_counts()
+    result = WorkloadResult(
+        workload=workload,
+        checksum=cpu.regs.read(0),
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        program_reads=counters["program"].reads,
+        data_reads=counters["data"].reads,
+        data_writes=counters["data"].writes,
+        activity_factor=trace.activity_factor(),
+    )
+    if not result.correct:
+        raise ReproError(
+            f"workload {workload.name!r} failed self-check in bench-obs"
+        )
+    return result
+
+
+def run_obs_bench(
+    output_path: Optional[Path] = None, repeats: int = 5
+) -> dict:
+    """Measure the observability overhead; optionally write the artifact."""
+    workload = matmul_int.workload(n=12, repeats=8, tune=5)
+    control_wall = float("inf")
+    disabled_wall = float("inf")
+    enabled_wall = float("inf")
+
+    was_tracing = obs.get_tracer().enabled
+    was_metrics = obs.get_metrics().enabled
+    try:
+        with _gc_quiet():
+            # Warm-up: import costs, assembler caches, branch predictors.
+            _run_workload_control(workload)
+            obs.disable()
+            run_workload(workload, engine="auto")
+
+            for _ in range(repeats):
+                start = time.perf_counter()
+                control = _run_workload_control(workload)
+                control_wall = min(
+                    control_wall, time.perf_counter() - start
+                )
+
+                obs.disable()
+                start = time.perf_counter()
+                disabled = run_workload(workload, engine="auto")
+                disabled_wall = min(
+                    disabled_wall, time.perf_counter() - start
+                )
+
+                obs.enable()
+                start = time.perf_counter()
+                enabled = run_workload(workload, engine="auto")
+                enabled_wall = min(
+                    enabled_wall, time.perf_counter() - start
+                )
+                obs.disable()
+    finally:
+        obs.get_tracer().enabled = was_tracing
+        obs.get_metrics().enabled = was_metrics
+
+    bit_identical = (
+        control.cycles == disabled.cycles == enabled.cycles
+        and control.instructions
+        == disabled.instructions
+        == enabled.instructions
+        and control.checksum == disabled.checksum == enabled.checksum
+    )
+    off_overhead = disabled_wall / control_wall - 1.0
+    on_overhead = enabled_wall / control_wall - 1.0
+    report = {
+        "schema": "bench-obs/1",
+        "python": platform.python_version(),
+        "generated_unix": time.time(),
+        "workload": "matmul-int n=12 repeats=8 tune=5",
+        "repeats": repeats,
+        "control_wall_seconds": control_wall,
+        "disabled_wall_seconds": disabled_wall,
+        "enabled_wall_seconds": enabled_wall,
+        "tracing_off_overhead_fraction": off_overhead,
+        "tracing_on_overhead_fraction": on_overhead,
+        "tracing_off_overhead_under_2pct": off_overhead < OVERHEAD_BUDGET,
+        "bit_identical": bit_identical,
+    }
+
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report

@@ -28,7 +28,22 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.workloads.suite import Workload, WorkloadResult, run_workload
+
+
+def _cache_event(
+    prefix: str, kind: str, bytes_read: int = 0, bytes_written: int = 0
+) -> None:
+    """Fold one cache access into the global metrics (one flag check)."""
+    metrics = obs.get_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter(f"{prefix}.{kind}").inc()
+    if bytes_read:
+        metrics.counter(f"{prefix}.bytes_read").inc(bytes_read)
+    if bytes_written:
+        metrics.counter(f"{prefix}.bytes_written").inc(bytes_written)
 
 #: Version tag folded into every cache key.  Bump on any change to the
 #: simulator, assembler, or result fields that alters observable output.
@@ -113,6 +128,7 @@ class ResultCache:
             raw = path.read_text(encoding="utf-8")
         except OSError:
             self.misses += 1
+            _cache_event("cache.iss", "misses")
             return None
         try:
             payload = json.loads(raw)
@@ -131,8 +147,11 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            _cache_event("cache.iss", "corrupt", bytes_read=len(raw))
+            _cache_event("cache.iss", "misses")
             return None
         self.hits += 1
+        _cache_event("cache.iss", "hits", bytes_read=len(raw))
         return WorkloadResult(workload=workload, **fields)
 
     # ------------------------------------------------------------------
@@ -154,16 +173,15 @@ class ResultCache:
                 name: getattr(result, name) for name, _ in _RESULT_FIELDS
             },
         }
+        blob = json.dumps(payload, indent=2, sort_keys=True)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(
-                json.dumps(payload, indent=2, sort_keys=True),
-                encoding="utf-8",
-            )
+            tmp.write_text(blob, encoding="utf-8")
             os.replace(tmp, path)
         except OSError:
             return None
+        _cache_event("cache.iss", "writes", bytes_written=len(blob))
         return path
 
     # ------------------------------------------------------------------
@@ -247,6 +265,7 @@ class SweepCache:
             raw = path.read_text(encoding="utf-8")
         except OSError:
             self.misses += 1
+            _cache_event("cache.sweep", "misses")
             return None
         try:
             entry = json.loads(raw)
@@ -258,8 +277,11 @@ class SweepCache:
             except OSError:
                 pass
             self.misses += 1
+            _cache_event("cache.sweep", "corrupt", bytes_read=len(raw))
+            _cache_event("cache.sweep", "misses")
             return None
         self.hits += 1
+        _cache_event("cache.sweep", "hits", bytes_read=len(raw))
         return grid
 
     def put(
@@ -274,13 +296,15 @@ class SweepCache:
             "dtype": str(grid.dtype),
             "grid": np.asarray(grid).ravel().tolist(),
         }
+        blob = json.dumps(entry)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(entry), encoding="utf-8")
+            tmp.write_text(blob, encoding="utf-8")
             os.replace(tmp, path)
         except OSError:
             return None
+        _cache_event("cache.sweep", "writes", bytes_written=len(blob))
         return path
 
 

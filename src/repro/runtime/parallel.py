@@ -24,8 +24,9 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+from repro import obs
+from repro.obs.perf import RunPerf
 from repro.runtime.cache import ResultCache
-from repro.runtime.perfcounters import RunPerf
 from repro.workloads.suite import Workload, WorkloadResult, run_workload
 
 
@@ -65,6 +66,7 @@ def map_parallel(
     func: "Callable[[_T], _R]",
     payloads: Sequence[_T],
     jobs: Optional[int] = None,
+    label: Optional[str] = None,
 ) -> "List[_R]":
     """Apply ``func`` to every payload, preserving input order.
 
@@ -73,8 +75,17 @@ def map_parallel(
     When worker processes cannot be spawned (sandboxes), the remaining
     payloads fall back to serial execution — results are identical
     either way, only wall time changes.
+
+    ``label`` names the fan-out in trace spans (defaults to the
+    function name).  With tracing off this function is byte-for-byte
+    the original pool dispatch plus one flag check.
     """
     workers = resolve_jobs(jobs, len(payloads))
+    if obs.get_tracer().enabled:
+        return _map_parallel_traced(
+            func, payloads, workers,
+            label or getattr(func, "__name__", "call"),
+        )
     if len(payloads) > 1 and workers > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -82,6 +93,63 @@ def map_parallel(
         except (OSError, PermissionError):
             pass
     return [func(p) for p in payloads]
+
+
+def _traced_call(
+    payload: "Tuple[Callable[[_T], _R], _T]",
+) -> "Tuple[_R, int, int, int]":
+    """Worker-side timing shim (module-level for pickling).
+
+    Returns ``(result, pid, start_ns, duration_ns)`` so the parent can
+    replay the chunk as a span with worker attribution; on Linux
+    ``perf_counter_ns`` is system-wide ``CLOCK_MONOTONIC``, so worker
+    timestamps share the parent's time axis.
+    """
+    func, item = payload
+    start_ns = time.perf_counter_ns()
+    result = func(item)
+    return result, os.getpid(), start_ns, time.perf_counter_ns() - start_ns
+
+
+def _map_parallel_traced(
+    func: "Callable[[_T], _R]",
+    payloads: Sequence[_T],
+    workers: int,
+    label: str,
+) -> "List[_R]":
+    """The tracing twin of :func:`map_parallel` (same fallback policy)."""
+    tracer = obs.get_tracer()
+    metrics = obs.get_metrics()
+    metrics.counter("parallel.maps").inc()
+    metrics.counter("parallel.chunks").inc(len(payloads))
+    with tracer.span(
+        f"parallel.map.{label}", items=len(payloads), jobs=workers
+    ) as sp:
+        if len(payloads) > 1 and workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    wrapped = [(func, p) for p in payloads]
+                    raw = list(pool.map(_traced_call, wrapped))
+            except (OSError, PermissionError):
+                raw = None
+            if raw is not None:
+                results: "List[_R]" = []
+                for i, (result, pid, start_ns, dur_ns) in enumerate(raw):
+                    tracer.add_span(
+                        label,
+                        start_ns,
+                        dur_ns,
+                        pid=pid,
+                        args={"index": i},
+                    )
+                    results.append(result)
+                return results
+            sp.set(fallback="serial")
+        results = []
+        for i, p in enumerate(payloads):
+            with tracer.span(label, index=i):
+                results.append(func(p))
+        return results
 
 
 def _execute_one(payload: Tuple[Workload, int]) -> Tuple[WorkloadResult, float]:

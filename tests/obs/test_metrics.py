@@ -1,0 +1,139 @@
+"""Counter/gauge/histogram semantics and registry snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry(enabled=True)
+        counter = reg.counter("iss.runs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_idempotent_creation(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        counter = reg.counter("x")
+        counter.inc(100)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        gauge = reg.gauge("depth")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        gauge = reg.gauge("depth")
+        gauge.set(9.0)
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_edges(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 1.5, 10.0, 11.0, 1000.0):
+            hist.observe(value)
+        # bisect_left on ascending bounds: value == bound lands in that
+        # bound's bucket (inclusive upper edge); above the last bound
+        # goes to the overflow slot.
+        assert hist.counts == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.total == pytest.approx(1024.0)
+        assert hist.mean == pytest.approx(1024.0 / 6)
+
+    def test_default_bounds(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h")
+        assert hist.bounds == DEFAULT_SECONDS_BUCKETS
+        assert len(hist.counts) == len(DEFAULT_SECONDS_BUCKETS) + 1
+
+    def test_bounds_mismatch_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("h", bounds=(1.0, 3.0))
+        # Re-requesting without bounds returns the existing instrument.
+        assert reg.histogram("h").bounds == (1.0, 2.0)
+
+    def test_invalid_bounds_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        for bad in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(ValueError, match="ascending"):
+                Histogram("h", bad, reg)
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        hist = reg.histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        assert hist.count == 0
+        assert hist.mean == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_jsonable(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("b.second").inc(2)
+        reg.counter("a.first").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h", bounds=(1.0,)).observe(0.2)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.first", "b.second"]
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"] == {
+            "bounds": [1.0],
+            "counts": [1, 0],
+            "count": 1,
+            "sum": 0.2,
+            "mean": 0.2,
+        }
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1.0)
+        hist = reg.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0.0
+        assert hist.counts == [0, 0, 0]
+        assert hist.count == 0
+        # Bounds survive a reset, so the mismatch guard still works.
+        assert reg.histogram("h").bounds == (1.0, 2.0)
+
+    def test_render_text_skips_zero_by_default(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("live").inc(3)
+        reg.counter("dead")
+        text = reg.render_text()
+        assert "live" in text
+        assert "dead" not in text
+        assert "dead" in reg.render_text(skip_zero=False)
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+    def test_render_text_histogram_cells(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = reg.render_text()
+        assert "1:1" in text
+        assert ">2:1" in text

@@ -1,0 +1,129 @@
+"""Tests for the pragma hygiene audit (``repro lint --audit-pragmas``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.quality.pragma_audit import (
+    PragmaAuditEntry,
+    audit_paths,
+    audit_source,
+    render_audit,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestAuditSource:
+    def test_live_disable_is_not_flagged(self):
+        # RPL002 genuinely fires on this line outside runtime/: the
+        # pragma suppresses a real finding, so the audit stays quiet.
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPL002\n"
+        )
+        assert audit_source(source, rel_path="core/x.py") == []
+
+    def test_stale_disable_flagged(self):
+        source = "x = 1  # repro-lint: disable=RPL002\n"
+        (entry,) = audit_source(source, rel_path="core/x.py")
+        assert entry.kind == "stale-disable"
+        assert entry.line == 1
+        assert "RPL002" in entry.detail
+
+    def test_stale_disable_all_flagged(self):
+        source = "x = 1  # repro-lint: disable=all\n"
+        (entry,) = audit_source(source, rel_path="core/x.py")
+        assert entry.kind == "stale-disable"
+        assert "disable=all" in entry.detail
+
+    def test_unknown_rule_flagged(self):
+        source = "x = 1  # repro-lint: disable=RPL999\n"
+        (entry,) = audit_source(source, rel_path="core/x.py")
+        assert entry.kind == "unknown-rule"
+        assert "RPL999" in entry.detail
+
+    def test_orphan_cache_pure_flagged(self):
+        source = "x = 1  # repro-lint: cache-pure\n"
+        (entry,) = audit_source(source, rel_path="core/x.py")
+        assert entry.kind == "orphan-cache-pure"
+
+    def test_cache_pure_on_def_is_fine(self):
+        source = (
+            "def f():  # repro-lint: cache-pure\n"
+            "    return 1\n"
+        )
+        assert audit_source(source, rel_path="core/x.py") == []
+
+    def test_docstring_examples_are_ignored(self):
+        # A pragma *mentioned* in a docstring is documentation, not a
+        # suppression; auditing it would flag every doc mention.
+        source = (
+            '"""Use ``# repro-lint: disable=RPL999`` inline.\n'
+            "\n"
+            "Or ``# repro-lint: cache-pure`` on a def line.\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        assert audit_source(source, rel_path="core/x.py") == []
+
+    def test_syntax_error_yields_nothing(self):
+        source = "def broken(:  # repro-lint: disable=RPL002\n"
+        assert audit_source(source, rel_path="core/x.py") == []
+
+    def test_no_pragmas_short_circuits(self):
+        assert audit_source("x = 1\n", rel_path="core/x.py") == []
+
+
+class TestAuditPaths:
+    def test_walks_and_relativizes(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "x = 1  # repro-lint: disable=RPL999\n"
+        )
+        entries, files = audit_paths([tmp_path], root=tmp_path)
+        assert files == 2
+        (entry,) = entries
+        assert entry.path == "bad.py"
+        assert entry.kind == "unknown-rule"
+
+    def test_repo_tree_is_clean(self):
+        """Every committed pragma suppresses something real."""
+        entries, files = audit_paths(
+            [REPO_ROOT / "src"], root=REPO_ROOT
+        )
+        assert files > 50
+        assert entries == [], render_audit(entries, files)
+
+
+class TestRendering:
+    def test_render_entry(self):
+        entry = PragmaAuditEntry("a/b.py", 3, "stale-disable", "dead")
+        assert entry.render() == "a/b.py:3: [stale-disable] dead"
+
+    def test_render_audit_summary_line(self):
+        text = render_audit([], 12)
+        assert "0 problem(s) in 12 file(s)" in text
+
+
+class TestCli:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        )
+
+    def test_audit_pragmas_clean_exit_zero(self):
+        proc = self._run("lint", "--audit-pragmas")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 problem(s)" in proc.stdout
+
+    def test_audit_pragmas_dirty_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1  # repro-lint: disable=RPL999\n")
+        proc = self._run("lint", "--audit-pragmas", str(bad))
+        assert proc.returncode == 1
+        assert "unknown-rule" in proc.stdout

@@ -125,13 +125,63 @@ class TestCompareReports:
             compare_reports(sweep_report(), sweep_report(), tolerance=-0.1)
 
     def test_every_schema_has_specs(self):
-        assert set(METRIC_SPECS) == {"bench-iss/1", "bench-sweep/1"}
+        assert set(METRIC_SPECS) == {
+            "bench-iss/1", "bench-sweep/1", "bench-obs/1",
+        }
 
     def test_render_lists_every_metric(self):
         comparisons = compare_reports(sweep_report(), sweep_report())
         text = render_comparisons(comparisons, label="x")
         for c in comparisons:
             assert c.metric in text
+
+
+def obs_report(under_budget=True, bit_identical=True, off_frac=0.01):
+    return {
+        "schema": "bench-obs/1",
+        "workload": "matmul-int",
+        "tracing_off_overhead_fraction": off_frac,
+        "tracing_on_overhead_fraction": 0.05,
+        "tracing_off_overhead_under_2pct": under_budget,
+        "bit_identical": bit_identical,
+    }
+
+
+class TestBenchObsSpecs:
+    """The bench-obs schema gates only on its boolean invariants."""
+
+    def test_identical_reports_pass(self):
+        report = obs_report()
+        assert not any(
+            c.regressed
+            for c in compare_reports(report, report, tolerance=0.0)
+        )
+
+    def test_overhead_budget_break_is_caught(self):
+        comparisons = compare_reports(
+            obs_report(), obs_report(under_budget=False, off_frac=0.08),
+            tolerance=10.0,
+        )
+        regressed = {c.metric for c in comparisons if c.regressed}
+        assert "tracing_off_overhead_under_2pct" in regressed
+
+    def test_bit_identity_break_is_caught(self):
+        comparisons = compare_reports(
+            obs_report(), obs_report(bit_identical=False)
+        )
+        assert any(
+            c.regressed and c.metric == "bit_identical"
+            for c in comparisons
+        )
+
+    def test_overhead_fraction_is_not_gated(self):
+        # Noise-scale numbers: a worse fraction alone must not fail as
+        # long as the budget boolean holds.
+        comparisons = compare_reports(
+            obs_report(off_frac=0.001), obs_report(off_frac=0.019),
+            tolerance=0.0,
+        )
+        assert not any(c.regressed for c in comparisons)
 
 
 class TestScript:
@@ -176,7 +226,9 @@ class TestScript:
 
     def test_exit_zero_against_committed_baselines(self, tmp_path):
         """The committed baselines must pass against themselves."""
-        for name in ("BENCH_iss.json", "BENCH_sweep.json"):
+        for name in (
+            "BENCH_iss.json", "BENCH_sweep.json", "BENCH_obs.json",
+        ):
             committed = REPO_ROOT / "benchmarks" / "output" / name
             baseline = json.loads(committed.read_text())
             proc = self.run_script(tmp_path, baseline, baseline)
