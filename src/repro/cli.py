@@ -369,6 +369,9 @@ def cmd_lint(args) -> int:
 
     from repro.quality import Baseline, LintEngine, BASELINE_FILENAME
 
+    if args.explain:
+        return _explain_rule(args.explain)
+
     paths = [Path(p) for p in args.paths] if args.paths else None
     if paths is None:
         default = Path("src/repro")
@@ -431,6 +434,32 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _explain_rule(rule_id: str) -> int:
+    """Print the long-form rationale for one lint rule (``--explain``)."""
+    from repro.quality import RULE_REGISTRY
+
+    token = rule_id.strip().upper()
+    rule_cls = RULE_REGISTRY.get(token)
+    if rule_cls is None:
+        print(
+            f"repro lint: unknown rule {rule_id!r} "
+            f"(known: {', '.join(sorted(RULE_REGISTRY))})",
+            file=sys.stderr,
+        )
+        return 2
+    instance = rule_cls()
+    doc = (
+        getattr(rule_cls, "explain", None)
+        or sys.modules[rule_cls.__module__].__doc__
+        or rule_cls.__doc__
+        or "(no documentation)"
+    )
+    print(f"{instance.rule_id} [{instance.severity.value}] {instance.summary}")
+    print()
+    print(doc.strip())
+    return 0
+
+
 _COMMANDS = {
     "table1": (cmd_table1, "Table I: FET figures of merit"),
     "table2": (cmd_table2, "Table II: PPAtC summary"),
@@ -456,7 +485,7 @@ _COMMANDS = {
         cmd_bench_obs,
         "observability overhead benchmark (BENCH_obs.json)",
     ),
-    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL005)"),
+    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL008)"),
     "trace": (
         cmd_trace,
         "run a subcommand with tracing on; write a Chrome trace JSON",
@@ -658,6 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--audit-pragmas",
                 action="store_true",
                 help="report stale/unknown # repro-lint pragmas and exit",
+            )
+            sub.add_argument(
+                "--explain",
+                metavar="RULE",
+                default=None,
+                help="print the rationale and examples for one rule "
+                "(e.g. --explain RPL006) and exit",
             )
         sub.set_defaults(func=func)
     return parser

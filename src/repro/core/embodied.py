@@ -140,7 +140,7 @@ class EmbodiedCarbonModel:
         else:
             ci = ci_fab
         wafer_area = units.wafer_area_cm2(self.flow.wafer_diameter_mm)
-        epa_f_per_cm2 = self.epa_facility_kwh / wafer_area  # kWh/cm^2
+        epa_f_kwh_per_cm2 = self.epa_facility_kwh / wafer_area
         return EmbodiedCarbonResult(
             process_name=self.flow.name,
             grid_name=ci.name or f"{ci.value_g_per_kwh:g} gCO2e/kWh",
@@ -149,7 +149,7 @@ class EmbodiedCarbonModel:
             epa_facility_kwh_per_wafer=self.epa_facility_kwh,
             mpa_g_per_cm2=self.materials.mpa_g_per_cm2(),
             gpa_g_per_cm2=self.gas.gpa_for_flow_g_per_cm2(self.flow),
-            energy_carbon_g_per_cm2=ci.value_g_per_kwh * epa_f_per_cm2,
+            energy_carbon_g_per_cm2=ci.value_g_per_kwh * epa_f_kwh_per_cm2,
             wafer_area_cm2=wafer_area,
         )
 

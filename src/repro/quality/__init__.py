@@ -7,8 +7,11 @@ fixed seed, and every cached function must be pure.  This package
 checks those invariants statically:
 
 - :mod:`repro.quality.dimensions` — suffix -> dimension/scale table
-  derived from :mod:`repro.units`;
-- :mod:`repro.quality.rules` — the rule set (RPL001-RPL005);
+  (simple and ``_per_`` composite rates) derived from :mod:`repro.units`;
+- :mod:`repro.quality.flow` — dataflow unit-inference engine: a
+  ``(dimension, scale)`` abstract interpretation over each function
+  plus cross-module return-unit propagation, feeding RPL006-RPL008;
+- :mod:`repro.quality.rules` — the rule set (RPL001-RPL008);
 - :mod:`repro.quality.engine` — file walking, pragma suppression,
   reporting;
 - :mod:`repro.quality.baseline` — committed grandfathered findings
@@ -23,7 +26,14 @@ Run it as ``repro lint`` (or ``python -m repro lint``); see the README
 """
 
 from repro.quality.baseline import BASELINE_FILENAME, Baseline
-from repro.quality.dimensions import SUFFIX_TABLE, UnitSuffix, suffix_of
+from repro.quality.dimensions import (
+    SUFFIX_TABLE,
+    CompositeUnit,
+    UnitSuffix,
+    composite_of,
+    resolve_unit,
+    suffix_of,
+)
 from repro.quality.engine import (
     FileContext,
     LintEngine,
@@ -45,7 +55,10 @@ __all__ = [
     "BASELINE_FILENAME",
     "Baseline",
     "SUFFIX_TABLE",
+    "CompositeUnit",
     "UnitSuffix",
+    "composite_of",
+    "resolve_unit",
     "suffix_of",
     "FileContext",
     "LintEngine",

@@ -16,7 +16,7 @@ literals repeated here — means the table cannot drift from the library:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
 
 from repro import units
 
@@ -77,6 +77,11 @@ _SUFFIX_SPEC: Dict[str, tuple] = {
     "kg": ("mass", "KILOGRAM"),
     "mg": ("mass", "MILLIGRAM"),
     "pg": ("mass", "PICOGRAM"),
+    # carbon (gCO2e) --------------------------------------------------
+    # A dimension of its own: mixing grams of material with grams of
+    # CO2-equivalent is a modeling bug even though both are "grams".
+    "gco2": ("carbon", "GCO2E"),
+    "kgco2": ("carbon", "KGCO2E"),
 }
 
 
@@ -131,3 +136,120 @@ def suffix_of(name: str) -> Optional[UnitSuffix]:
     if not sep or not stem:
         return None
     return SUFFIX_TABLE.get(tail)
+
+
+# ---------------------------------------------------------------------------
+# Composite (rate) units: ``_g_per_kwh``, ``_kwh_per_cm2``, ``_per_cm2``
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompositeUnit:
+    """A ratio unit ``numerator / denominator`` encoded in a name.
+
+    ``numerator`` is ``None`` for count-style rates (``defects_per_cm2``
+    is a pure count divided by an area).  The paper's carbon chains are
+    built from exactly these: EPA in kWh/cm^2, MPA/GPA in gCO2e/cm^2,
+    grid carbon intensity in gCO2e/kWh.
+    """
+
+    numerator: Optional[UnitSuffix]
+    denominator: UnitSuffix
+
+    @property
+    def dimension(self) -> str:
+        num = self.numerator.dimension if self.numerator else "count"
+        return f"{num}/{self.denominator.dimension}"
+
+    @property
+    def scale(self) -> float:
+        num = self.numerator.scale if self.numerator else 1.0
+        return num / self.denominator.scale
+
+    @property
+    def suffix(self) -> str:
+        num = self.numerator.suffix if self.numerator else ""
+        return f"{num}_per_{self.denominator.suffix}".lstrip("_")
+
+    def compatible(self, other: object) -> bool:
+        """Same dimension ratio at the same scale (addable/comparable)."""
+        if not isinstance(other, CompositeUnit):
+            return False
+        return (
+            self.dimension == other.dimension and self.scale == other.scale
+        )
+
+
+def composite_of(name: str) -> Optional[CompositeUnit]:
+    """The composite rate unit encoded in an identifier, if any.
+
+    ``ci_gco2_per_kwh`` -> gCO2e/kWh; ``epa_kwh_per_cm2`` -> kWh/cm^2;
+    ``defect_density_per_cm2`` -> (count)/cm^2.  The denominator must be
+    a single recognized suffix token; the numerator is the identifier
+    component immediately before ``_per_`` when that component is itself
+    a recognized suffix, else ``None`` (a count rate).
+    """
+    lowered = name.lower()
+    head, sep, tail = lowered.rpartition("_per_")
+    if not sep:
+        return None
+    denominator = SUFFIX_TABLE.get(tail)
+    if denominator is None:
+        return None
+    num_token = head.rpartition("_")[2]
+    numerator = SUFFIX_TABLE.get(num_token)
+    if numerator is None and not head:
+        return None  # a bare "per_cm2" has no stem at all
+    return CompositeUnit(numerator=numerator, denominator=denominator)
+
+
+def resolve_unit(name: str) -> Optional["UnitLike"]:
+    """Simple or composite unit encoded in ``name`` (flow-engine entry).
+
+    Unlike :func:`suffix_of` — which RPL001 uses and which deliberately
+    exempts ``_per_`` rate names — this resolves rates to
+    :class:`CompositeUnit` so the dataflow engine can propagate them
+    through multiplications (``ci_gco2_per_kwh * energy_kwh`` is a
+    carbon mass).
+    """
+    simple = suffix_of(name)
+    if simple is not None:
+        return simple
+    return composite_of(name)
+
+
+#: Either a simple suffix unit or a composite rate unit.
+UnitLike = Union[UnitSuffix, CompositeUnit]
+
+
+def _build_reverse_tables() -> Tuple[
+    Dict[str, UnitSuffix], Dict[Tuple[str, float], UnitSuffix]
+]:
+    by_constant: Dict[str, UnitSuffix] = {}
+    by_dim_scale: Dict[Tuple[str, float], UnitSuffix] = {}
+    for suffix, (dimension, constant) in _SUFFIX_SPEC.items():
+        entry = SUFFIX_TABLE[suffix]
+        by_constant.setdefault(constant, entry)
+        by_dim_scale.setdefault((dimension, entry.scale), entry)
+    return by_constant, by_dim_scale
+
+
+#: units.py constant name -> the suffix it scales (``"KWH"`` -> ``_kwh``).
+CONSTANT_TABLE: Dict[str, UnitSuffix]
+_DIM_SCALE_TABLE: Dict[Tuple[str, float], UnitSuffix]
+CONSTANT_TABLE, _DIM_SCALE_TABLE = _build_reverse_tables()
+
+
+def suffix_for(dimension: str, scale: float) -> Optional[UnitSuffix]:
+    """The table suffix measuring ``dimension`` at ``scale``, if any.
+
+    Scales produced by conversion arithmetic carry float rounding, so
+    matching is tolerant to a relative epsilon.
+    """
+    exact = _DIM_SCALE_TABLE.get((dimension, scale))
+    if exact is not None:
+        return exact
+    for (dim, s), entry in _DIM_SCALE_TABLE.items():
+        if dim == dimension and abs(s - scale) <= 1e-9 * max(
+            abs(s), abs(scale)
+        ):
+            return entry
+    return None

@@ -26,10 +26,16 @@ _SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules"}
 
 
 class _ModuleCache:
-    """Shared parse cache for cross-file rules (RPL005)."""
+    """Shared parse cache for cross-file rules (RPL005, RPL006).
+
+    ``extras`` is a scratch dict for per-run cross-file state keyed by
+    rule subsystem (the flow engine parks its :class:`~repro.quality.
+    flow.Program` of memoized function summaries there).
+    """
 
     def __init__(self) -> None:
         self._trees: Dict[Path, Optional[ast.Module]] = {}
+        self.extras: Dict[str, object] = {}
 
     def parse(self, path: Path) -> Optional[ast.Module]:
         path = path.resolve()

@@ -6,7 +6,10 @@ Importing this package registers every built-in rule:
 - RPL002 — determinism of model code (no unseeded RNG / wall clocks);
 - RPL003 — purity of cached functions;
 - RPL004 — no float ``==`` / ``!=`` in model code;
-- RPL005 — ``__all__`` exports exist and carry docstrings.
+- RPL005 — ``__all__`` exports exist and carry docstrings;
+- RPL006 — dataflow-inferred unit mismatch (with witness chains);
+- RPL007 — lossy rebinding without a ``units.py`` conversion;
+- RPL008 — parallel-safety of process-pool callables.
 """
 
 from repro.quality.rules.base import (
@@ -20,6 +23,8 @@ from repro.quality.rules.determinism import DeterminismRule
 from repro.quality.rules.cache_purity import CachePurityRule
 from repro.quality.rules.float_compare import FloatEqualityRule
 from repro.quality.rules.api_hygiene import ApiHygieneRule
+from repro.quality.rules.flow_units import InferredUnitRule, LossyRebindingRule
+from repro.quality.rules.parallel_safety import ParallelSafetyRule
 
 __all__ = [
     "RULE_REGISTRY",
@@ -31,4 +36,7 @@ __all__ = [
     "CachePurityRule",
     "FloatEqualityRule",
     "ApiHygieneRule",
+    "InferredUnitRule",
+    "LossyRebindingRule",
+    "ParallelSafetyRule",
 ]

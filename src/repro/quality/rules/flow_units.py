@@ -1,0 +1,179 @@
+"""RPL006 / RPL007 — dataflow unit rules built on :mod:`repro.quality.flow`.
+
+RPL006 (*inferred-unit mismatch*) is the dataflow generalization of
+RPL001: where RPL001 needs a unit suffix on both operands at the point
+of use, RPL006 follows values through assignments, tuple unpacking,
+arithmetic, and (cross-module) call returns, then checks the same
+add/subtract/compare/return contracts against the *inferred* units.
+Each finding carries a witness chain naming the defining assignments so
+the derivation can be audited at a glance:
+
+    eol = lifetime_months
+    total = eol + use_hours      # RPL006: '+' mixes time scales _months
+                                 # and _hours: left 'eol' =
+                                 # lifetime_months [line 1] <- suffix of
+                                 # 'lifetime_months' [line 1]; ...
+
+Pairs where *both* operands carry a directly readable suffix are left
+to RPL001 so one bug never double-reports.
+
+RPL007 (*lossy rebinding*) flags a variable whose inferred dimension
+changes across an assignment without an explicit conversion through a
+:mod:`repro.units` constant or helper — the classic shape of a silent
+kWh/J or months/seconds slip:
+
+    budget = energy_kwh
+    budget = lifetime_months          # RPL007: time overwrote energy
+    budget = energy_kwh * units.KWH   # ok: explicit conversion
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.flow import (
+    FunctionFlow,
+    Inferred,
+    analyze_scopes,
+    dimension_of,
+    units_compatible,
+)
+from repro.quality.rules.base import Rule, register
+from repro.quality.rules.units_rule import _infer_suffix
+
+
+def _mix_text(a: Inferred, b: Inferred) -> str:
+    ua, ub = a.unit, b.unit
+    if dimension_of(ua) != dimension_of(ub):
+        return (
+            f"mixes dimensions {dimension_of(ua)} (_{ua.suffix}) and "
+            f"{dimension_of(ub)} (_{ub.suffix})"
+        )
+    return (
+        f"mixes {dimension_of(ua)} scales _{ua.suffix} and _{ub.suffix} "
+        f"(convert explicitly first)"
+    )
+
+
+def _flaggable(a: Inferred, b: Inferred) -> bool:
+    """Incompatible, and solid enough to report.
+
+    Cross-dimension mixes always count; same-dimension scale mixes are
+    suppressed when either side passed through a bare numeric literal
+    (``x_kg * 1000`` may be a deliberate manual conversion).
+    """
+    if units_compatible(a.unit, b.unit):
+        return False
+    if dimension_of(a.unit) != dimension_of(b.unit):
+        return True
+    return not (a.fuzzy or b.fuzzy)
+
+
+@register
+class InferredUnitRule(Rule):
+    """Flag arithmetic whose *inferred* operand units disagree."""
+
+    rule_id = "RPL006"
+    severity = Severity.ERROR
+    summary = "dataflow-inferred unit mismatch (with witness chain)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for flow in analyze_scopes(ctx):
+            yield from self._check_operands(ctx, flow)
+            yield from self._check_returns(ctx, flow)
+            yield from self._check_targets(ctx, flow)
+
+    # ------------------------------------------------------------------
+    def _check_operands(self, ctx, flow: FunctionFlow) -> Iterator[Finding]:
+        for check in flow.checks:
+            if check.left is None or check.right is None:
+                continue
+            if not _flaggable(check.left, check.right):
+                continue
+            if (
+                _infer_suffix(check.left_node) is not None
+                and _infer_suffix(check.right_node) is not None
+            ):
+                continue  # both directly suffixed: RPL001 territory
+            yield self.finding(
+                ctx,
+                check.node,
+                f"'{check.op}' {_mix_text(check.left, check.right)}: "
+                f"left {check.left.describe()}; "
+                f"right {check.right.describe()}",
+                symbol=flow.name,
+            )
+
+    # ------------------------------------------------------------------
+    def _check_returns(self, ctx, flow: FunctionFlow) -> Iterator[Finding]:
+        declared = flow.declared
+        if declared is None:
+            return
+        for node, inferred in flow.returns:
+            if inferred is None:
+                continue
+            if units_compatible(declared, inferred.unit):
+                continue
+            if _infer_suffix(node.value) is not None:
+                continue  # RPL001 already checks directly suffixed returns
+            if (
+                dimension_of(declared) == dimension_of(inferred.unit)
+                and inferred.fuzzy
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"function '{flow.name}' declares _{declared.suffix} but "
+                f"returns {inferred.describe()}",
+                symbol=flow.name,
+            )
+
+    # ------------------------------------------------------------------
+    def _check_targets(self, ctx, flow: FunctionFlow) -> Iterator[Finding]:
+        for mismatch in flow.target_mismatches:
+            if mismatch.converted:
+                continue
+            if (
+                dimension_of(mismatch.declared)
+                == dimension_of(mismatch.value.unit)
+                and mismatch.value.fuzzy
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                mismatch.node,
+                f"'{mismatch.name}' declares _{mismatch.declared.suffix} "
+                f"but is assigned {mismatch.value.describe()}",
+                symbol=mismatch.name,
+            )
+
+
+@register
+class LossyRebindingRule(Rule):
+    """Flag a variable whose inferred dimension silently changes."""
+
+    rule_id = "RPL007"
+    severity = Severity.WARNING
+    summary = (
+        "lossy rebinding: dimension changes without a units.py conversion"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for flow in analyze_scopes(ctx):
+            for event in flow.rebindings:
+                if event.converted:
+                    continue
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"'{event.name}' rebound from "
+                    f"{dimension_of(event.old.unit)} "
+                    f"(_{event.old.unit.suffix}) to "
+                    f"{dimension_of(event.new.unit)} "
+                    f"(_{event.new.unit.suffix}) without a units.py "
+                    f"conversion: was {event.old.describe()}; "
+                    f"now {event.new.describe()}",
+                    symbol=event.name,
+                )

@@ -95,6 +95,12 @@ KILOGRAM = 1e3
 MILLIGRAM = 1e-3
 PICOGRAM = 1e-12
 
+# Carbon bookkeeping (gCO2e).  Kept as a dimension of its own, distinct
+# from generic mass: adding grams of deposited tungsten to grams of
+# emitted CO2-equivalent is a modeling bug even though both are "grams".
+GCO2E = 1.0
+KGCO2E = 1e3
+
 #: Boltzmann constant times room temperature, in electron-volts (kT/q at
 #: 300 K).  Used by the compact device models for the subthreshold regime.
 THERMAL_VOLTAGE_300K = 0.025852

@@ -25,7 +25,28 @@ BAD_SNIPPET = textwrap.dedent(
 
     stamp = time.time()
     check = stamp == 0.25
+
+    def eol_overhead(energy_j, lifetime_months):
+        eol = lifetime_months
+        total = energy_j + eol
+        mode = energy_j
+        mode = lifetime_months
+        return total
+
+    def fan_out(payloads):
+        return map_parallel(lambda p: p, payloads)
     """
+)
+
+ALL_RULES = (
+    "RPL001",
+    "RPL002",
+    "RPL003",
+    "RPL004",
+    "RPL005",
+    "RPL006",
+    "RPL007",
+    "RPL008",
 )
 
 
@@ -55,13 +76,13 @@ class TestLintCli:
         monkeypatch.chdir(bad_tree)
         assert main(["lint", "core", "pkg"]) == 1
         out = capsys.readouterr().out
-        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+        for rule in ALL_RULES:
             assert rule in out
 
     def test_each_rule_fails_in_isolation(self, capsys, monkeypatch,
                                           bad_tree):
         monkeypatch.chdir(bad_tree)
-        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+        for rule in ALL_RULES:
             assert main(["lint", "core", "pkg", "--rules", rule]) == 1, rule
             assert rule in capsys.readouterr().out
 
@@ -105,3 +126,29 @@ class TestLintCli:
         monkeypatch.chdir(bad_tree)
         assert main(["lint", "core", "--write-baseline"]) == 0
         assert main(["lint", "core", "--no-baseline"]) == 1
+
+    def test_witness_chain_rendered_in_output(self, capsys, monkeypatch,
+                                              bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--rules", "RPL006"]) == 1
+        out = capsys.readouterr().out
+        assert "'eol' = lifetime_months" in out
+        assert "[line" in out and "<-" in out
+
+
+@pytest.mark.smoke
+class TestExplain:
+    def test_explain_prints_rule_rationale(self, capsys):
+        for rule in ALL_RULES:
+            assert main(["lint", "--explain", rule]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith(rule), rule
+            assert len(out.splitlines()) > 3, rule
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "rpl006"]) == 0
+        assert capsys.readouterr().out.startswith("RPL006")
+
+    def test_explain_unknown_rule_rejected(self, capsys):
+        assert main(["lint", "--explain", "RPL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err

@@ -5,7 +5,12 @@ import pytest
 from repro import units
 from repro.quality.dimensions import (
     _SUFFIX_SPEC,
+    CONSTANT_TABLE,
     SUFFIX_TABLE,
+    CompositeUnit,
+    composite_of,
+    resolve_unit,
+    suffix_for,
     suffix_of,
 )
 
@@ -56,3 +61,78 @@ class TestSuffixOf:
         assert suffix_of("_s") is None
         assert suffix_of("energy") is None
         assert suffix_of("x_parsec") is None
+
+
+class TestCarbonSuffixes:
+    def test_carbon_resolves_against_units(self):
+        assert suffix_of("embodied_gco2").dimension == "carbon"
+        assert suffix_of("embodied_gco2").scale == float(units.GCO2E)
+        assert suffix_of("total_kgco2").scale == float(units.KGCO2E)
+
+    def test_carbon_is_not_mass(self):
+        # Grams of deposited tungsten and grams of CO2e must not add.
+        assert not suffix_of("a_gco2").compatible(suffix_of("b_g"))
+        assert suffix_of("a_gco2").dimension != suffix_of("b_g").dimension
+
+    def test_carbon_scales_are_distinct(self):
+        assert not suffix_of("a_gco2").compatible(suffix_of("b_kgco2"))
+
+
+class TestCompositeOf:
+    def test_carbon_intensity_rate(self):
+        comp = composite_of("ci_gco2_per_kwh")
+        assert isinstance(comp, CompositeUnit)
+        assert comp.dimension == "carbon/energy"
+        assert comp.suffix == "gco2_per_kwh"
+        assert comp.scale == float(units.GCO2E) / float(units.KWH)
+
+    def test_energy_per_area_rate(self):
+        comp = composite_of("epa_kwh_per_cm2")
+        assert comp.dimension == "energy/area"
+        assert comp.scale == float(units.KWH) / float(units.CM2)
+
+    def test_count_rate_has_no_numerator(self):
+        comp = composite_of("defect_density_per_cm2")
+        assert comp.numerator is None
+        assert comp.dimension == "count/area"
+        assert comp.suffix == "per_cm2"
+
+    def test_unknown_denominator_rejected(self):
+        assert composite_of("speed_m_per_fortnight") is None
+
+    def test_bare_rate_without_stem_rejected(self):
+        assert composite_of("per_cm2") is None
+
+    def test_compatibility(self):
+        a = composite_of("ci_gco2_per_kwh")
+        b = composite_of("grid_gco2_per_kwh")
+        c = composite_of("mpa_g_per_cm2")
+        assert a.compatible(b)
+        assert not a.compatible(c)
+        assert not a.compatible(suffix_of("x_gco2"))
+
+
+class TestResolveUnit:
+    def test_prefers_simple_suffix(self):
+        assert resolve_unit("energy_kwh").suffix == "kwh"
+
+    def test_falls_back_to_composite(self):
+        assert isinstance(resolve_unit("ci_gco2_per_kwh"), CompositeUnit)
+
+    def test_unknown_is_none(self):
+        assert resolve_unit("payload") is None
+
+
+class TestReverseTables:
+    def test_constant_table_round_trips(self):
+        assert CONSTANT_TABLE["KWH"].suffix == "kwh"
+        assert CONSTANT_TABLE["GCO2E"].suffix == "gco2"
+        for constant, entry in CONSTANT_TABLE.items():
+            assert entry.scale == float(getattr(units, constant))
+
+    def test_suffix_for_matches_conversion_arithmetic(self):
+        kwh = SUFFIX_TABLE["kwh"]
+        assert suffix_for("energy", kwh.scale / float(units.KWH)).suffix == "j"
+        # Tolerant to float rounding from conversion chains.
+        assert suffix_for("energy", 1.0 + 1e-12).suffix == "j"
+        assert suffix_for("energy", 42.0) is None

@@ -1,0 +1,290 @@
+"""Unit tests for the dataflow unit-inference engine (quality/flow.py)."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.quality.dimensions import CompositeUnit, UnitSuffix
+from repro.quality.engine import FileContext, _ModuleCache, find_package_root
+from repro.quality.flow import (
+    MAX_CHAIN_STEPS,
+    Inferred,
+    Step,
+    analyze_scopes,
+    context_info,
+    dimension_of,
+    get_program,
+    units_compatible,
+)
+from repro.quality.pragmas import parse_pragmas
+
+
+def make_ctx(source, rel_path="core/mod.py", path=None):
+    """A FileContext for in-memory (or on-disk) source, engine-style."""
+    src = textwrap.dedent(source)
+    lines = src.splitlines()
+    p = Path(path) if path is not None else Path("<memory>.py")
+    return FileContext(
+        path=p,
+        rel_path=rel_path,
+        parts=tuple(Path(rel_path).parts),
+        source=src,
+        lines=lines,
+        tree=ast.parse(src),
+        pragmas=parse_pragmas(lines),
+        package_root=find_package_root(p) if p.is_file() else None,
+        modules=_ModuleCache(),
+    )
+
+
+def flow_named(ctx, name):
+    for flow in analyze_scopes(ctx):
+        if flow.name == name:
+            return flow
+    raise AssertionError(f"no flow named {name!r}")
+
+
+@pytest.mark.smoke
+class TestInferredValue:
+    def test_describe_renders_chain_most_recent_first(self):
+        unit = UnitSuffix("j", "energy", 1.0)
+        value = Inferred(unit, (Step("a", 1),)).derived("b", 2)
+        assert value.describe() == "_j via b [line 2] <- a [line 1]"
+
+    def test_chain_render_is_capped(self):
+        unit = UnitSuffix("j", "energy", 1.0)
+        value = Inferred(unit)
+        for i in range(MAX_CHAIN_STEPS + 3):
+            value = value.derived(f"s{i}", i)
+        assert value.describe().endswith("<- ...")
+        assert value.describe().count("<-") == MAX_CHAIN_STEPS
+
+    def test_fuzzy_is_sticky_across_derivation(self):
+        unit = UnitSuffix("j", "energy", 1.0)
+        value = Inferred(unit, fuzzy=True).derived("x", 1)
+        assert value.fuzzy
+
+
+class TestPropagation:
+    def test_assignment_and_parameter_seeding(self):
+        ctx = make_ctx(
+            """
+            def f(energy_j):
+                total = energy_j
+                again = total
+                return again
+            """
+        )
+        flow = flow_named(ctx, "f")
+        (ret_node, inferred), = flow.returns
+        assert inferred is not None
+        assert inferred.unit.suffix == "j"
+        # The witness names the defining assignments back to the source.
+        text = inferred.describe()
+        assert "'again' = total" in text
+        assert "'total' = energy_j" in text
+
+    def test_tuple_unpacking(self):
+        ctx = make_ctx(
+            """
+            def f(block):
+                power, runtime = block.load_w, block.window_months
+                check = power < runtime
+            """
+        )
+        flow = flow_named(ctx, "f")
+        check = flow.checks[-1]
+        assert dimension_of(check.left.unit) == "power"
+        assert dimension_of(check.right.unit) == "time"
+
+    def test_literal_scaling_marks_fuzzy(self):
+        ctx = make_ctx(
+            """
+            def f(mass_kg):
+                scaled = mass_kg * 1000
+                return scaled
+            """
+        )
+        flow = flow_named(ctx, "f")
+        (_, inferred), = flow.returns
+        assert inferred.fuzzy
+        assert dimension_of(inferred.unit) == "mass"
+
+    def test_branch_join_keeps_compatible_values(self):
+        ctx = make_ctx(
+            """
+            def f(flag, a_j, b_j, c_months):
+                if flag:
+                    x = a_j
+                    y = a_j
+                else:
+                    x = b_j
+                    y = c_months
+                keep = x
+                drop = y
+                return keep
+            """
+        )
+        flow = flow_named(ctx, "f")
+        (_, inferred), = flow.returns
+        # x agrees (_j) on both branches and survives; y does not.
+        assert inferred is not None and inferred.unit.suffix == "j"
+
+
+class TestConversionAlgebra:
+    def _return_unit(self, source):
+        ctx = make_ctx(source)
+        flow = flow_named(ctx, "f")
+        (_, inferred), = flow.returns
+        return inferred
+
+    def test_multiply_by_constant_converts_to_base(self):
+        inferred = self._return_unit(
+            """
+            from repro import units
+
+            def f(energy_kwh):
+                return energy_kwh * units.KWH
+            """
+        )
+        assert inferred.unit.suffix == "j"
+        assert not inferred.fuzzy
+
+    def test_divide_by_constant_converts_from_base(self):
+        inferred = self._return_unit(
+            """
+            from repro import units
+
+            def f(energy_j):
+                return energy_j / units.KWH
+            """
+        )
+        assert inferred.unit.suffix == "kwh"
+
+    def test_power_times_time_is_energy(self):
+        inferred = self._return_unit(
+            """
+            def f(power_w, duration_s):
+                return power_w * duration_s
+            """
+        )
+        assert dimension_of(inferred.unit) == "energy"
+
+    def test_energy_over_time_is_power(self):
+        inferred = self._return_unit(
+            """
+            def f(energy_j, duration_s):
+                return energy_j / duration_s
+            """
+        )
+        assert dimension_of(inferred.unit) == "power"
+
+    def test_composite_rate_times_quantity_cancels(self):
+        inferred = self._return_unit(
+            """
+            def f(ci_gco2_per_kwh, energy_kwh):
+                return ci_gco2_per_kwh * energy_kwh
+            """
+        )
+        assert isinstance(inferred.unit, UnitSuffix)
+        assert inferred.unit.suffix == "gco2"
+
+    def test_quantity_ratio_builds_composite(self):
+        inferred = self._return_unit(
+            """
+            def f(epa_kwh, wafer_area_cm2):
+                return epa_kwh / wafer_area_cm2
+            """
+        )
+        assert isinstance(inferred.unit, CompositeUnit)
+        assert inferred.unit.suffix == "kwh_per_cm2"
+
+    def test_same_unit_ratio_is_dimensionless(self):
+        inferred = self._return_unit(
+            """
+            def f(a_j, b_j):
+                return a_j / b_j
+            """
+        )
+        assert inferred is None
+
+
+class TestCrossModule:
+    def _package(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "helpers.py").write_text(
+            textwrap.dedent(
+                """
+                def device_lifetime(config):
+                    lifetime_months = config.lifetime_months
+                    return lifetime_months
+                """
+            )
+        )
+        main = pkg / "main.py"
+        main.write_text(
+            textwrap.dedent(
+                """
+                from pkg.helpers import device_lifetime
+
+                def f(config):
+                    horizon = device_lifetime(config)
+                    return horizon
+                """
+            )
+        )
+        return main
+
+    def test_imported_return_unit_propagates(self, tmp_path):
+        main = self._package(tmp_path)
+        ctx = make_ctx(main.read_text(), path=main)
+        flow = flow_named(ctx, "f")
+        (_, inferred), = flow.returns
+        assert inferred is not None
+        assert dimension_of(inferred.unit) == "time"
+        assert "device_lifetime" in inferred.describe()
+
+    def test_program_is_shared_per_module_cache(self):
+        ctx = make_ctx("x = 1\n")
+        assert get_program(ctx) is get_program(ctx)
+
+    def test_suffixed_function_name_is_authoritative(self):
+        ctx = make_ctx(
+            """
+            def total_energy_j(parts):
+                return sum(parts)
+
+            def f(parts):
+                return total_energy_j(parts)
+            """
+        )
+        program = get_program(ctx)
+        info = context_info(ctx, program)
+        unit = program.return_unit(info, "total_energy_j")
+        assert unit is not None and unit.suffix == "j"
+
+    def test_recursive_function_does_not_loop(self):
+        ctx = make_ctx(
+            """
+            def f(n):
+                return f(n - 1)
+            """
+        )
+        program = get_program(ctx)
+        info = context_info(ctx, program)
+        assert program.return_unit(info, "f") is None
+
+
+class TestCompatibility:
+    def test_composite_vs_simple_never_compatible(self):
+        simple = UnitSuffix("kwh", "energy", 3.6e6)
+        comp = CompositeUnit(
+            numerator=UnitSuffix("kwh", "energy", 3.6e6),
+            denominator=UnitSuffix("cm2", "area", 1.0),
+        )
+        assert not units_compatible(simple, comp)
+        assert units_compatible(comp, comp)

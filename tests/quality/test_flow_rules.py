@@ -1,0 +1,241 @@
+"""RPL006/RPL007 fixtures, including the RPL006-vs-RPL001 differential.
+
+The differential tests are the point of the dataflow engine: each
+positive fixture here is a real unit bug that RPL001's suffix-at-point-
+of-use check is structurally blind to, and each is asserted *both*
+ways — RPL006 fires, RPL001 stays silent.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.quality import Baseline, LintEngine
+
+
+def lint(source, rel_path="core/snippet.py", rules=None):
+    from repro.quality import RULE_REGISTRY
+
+    selected = None
+    if rules is not None:
+        selected = [RULE_REGISTRY[r]() for r in rules]
+    engine = LintEngine(rules=selected, baseline=Baseline())
+    return engine.lint_source(textwrap.dedent(source), rel_path=rel_path)
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+def assert_differential(source, rel_path="core/snippet.py"):
+    """RPL006 catches it; RPL001 alone does not."""
+    flow_findings, _ = lint(source, rel_path, rules=["RPL006"])
+    assert rule_ids(flow_findings) == ["RPL006"], flow_findings
+    legacy_findings, _ = lint(source, rel_path, rules=["RPL001"])
+    assert legacy_findings == [], legacy_findings
+    return flow_findings
+
+
+@pytest.mark.smoke
+class TestRPL006Differential:
+    def test_alias_chain_mix_invisible_to_rpl001(self):
+        findings = assert_differential(
+            """
+            def f(energy_j, lifetime_months):
+                eol = lifetime_months
+                return energy_j + eol
+            """
+        )
+        # The witness chain names the defining assignment.
+        assert "'eol' = lifetime_months" in findings[0].message
+
+    def test_tuple_unpacking_mix_invisible_to_rpl001(self):
+        assert_differential(
+            """
+            def f(block):
+                power, runtime = block.load_w, block.window_months
+                worst = power + runtime
+            """
+        )
+
+    def test_cross_function_return_mix_invisible_to_rpl001(self):
+        findings = assert_differential(
+            """
+            def horizon(config):
+                lifetime_months = config.lifetime_months
+                return lifetime_months
+
+            def f(config, energy_j):
+                eol = horizon(config)
+                return energy_j + eol
+            """
+        )
+        message = findings[0].message
+        assert "return of horizon()" in message
+        assert "'eol' = horizon(config)" in message
+
+    def test_declared_return_suffix_vs_inferred_value(self):
+        findings = assert_differential(
+            """
+            def total_j(standby_kwh):
+                budget = standby_kwh
+                return budget
+            """
+        )
+        assert "declares _j" in findings[0].message
+
+    def test_suffixed_target_assigned_incompatible_inference(self):
+        findings = assert_differential(
+            """
+            def f(parts):
+                total = parts.energy_kwh
+                total_j = total
+            """
+        )
+        assert "'total_j'" in findings[0].message
+
+
+class TestRPL006CrossModule:
+    def test_imported_return_unit_flagged(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "helpers.py").write_text(
+            textwrap.dedent(
+                """
+                def device_lifetime(config):
+                    lifetime_months = config.lifetime_months
+                    return lifetime_months
+                """
+            )
+        )
+        (pkg / "main.py").write_text(
+            textwrap.dedent(
+                """
+                from pkg.helpers import device_lifetime
+
+                def f(config, energy_j):
+                    horizon = device_lifetime(config)
+                    return energy_j + horizon
+                """
+            )
+        )
+        from repro.quality import RULE_REGISTRY
+
+        engine = LintEngine(
+            rules=[RULE_REGISTRY["RPL006"]()], baseline=Baseline()
+        )
+        report = engine.lint_paths([pkg], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["RPL006"]
+        message = report.findings[0].message
+        assert "device_lifetime" in message
+        # RPL001 alone sees nothing here.
+        legacy = LintEngine(
+            rules=[RULE_REGISTRY["RPL001"]()], baseline=Baseline()
+        ).lint_paths([pkg], root=tmp_path)
+        assert legacy.findings == []
+
+
+class TestRPL006Negatives:
+    def test_explicit_constant_conversion_ok(self):
+        findings, _ = lint(
+            """
+            from repro import units
+
+            def f(energy_kwh):
+                energy_j = energy_kwh * units.KWH
+                total_j = energy_j + 0.0
+                return total_j
+            """,
+            rules=["RPL006"],
+        )
+        assert findings == []
+
+    def test_composite_cancellation_ok(self):
+        findings, _ = lint(
+            """
+            def f(ci_gco2_per_kwh, energy_kwh, base_gco2):
+                carbon_gco2 = ci_gco2_per_kwh * energy_kwh
+                return carbon_gco2 + base_gco2
+            """,
+            rules=["RPL006"],
+        )
+        assert findings == []
+
+    def test_literal_scaling_not_flagged_same_dimension(self):
+        # x_kg * 1000 may be a deliberate manual conversion to grams;
+        # the fuzzy flag keeps same-dimension scale checks quiet.
+        findings, _ = lint(
+            """
+            def f(mass_kg, other_g):
+                scaled = mass_kg * 1000
+                return scaled + other_g
+            """,
+            rules=["RPL006"],
+        )
+        assert findings == []
+
+    def test_directly_suffixed_operands_left_to_rpl001(self):
+        # Both operands readable at point of use: RPL001 territory,
+        # RPL006 must not double-report.
+        findings, _ = lint(
+            "total = static_j + dynamic_kwh\n", rules=["RPL006"]
+        )
+        assert findings == []
+        findings, _ = lint(
+            "total = static_j + dynamic_kwh\n", rules=["RPL001"]
+        )
+        assert rule_ids(findings) == ["RPL001"]
+
+    def test_pragma_suppression(self):
+        findings, suppressed = lint(
+            """
+            def f(energy_j, lifetime_months):
+                eol = lifetime_months
+                return energy_j + eol  # repro-lint: disable=RPL006
+            """,
+            rules=["RPL006"],
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestRPL007Rebinding:
+    def test_dimension_change_flagged(self):
+        findings, _ = lint(
+            """
+            def f(energy_kwh, lifetime_months):
+                budget = energy_kwh
+                budget = lifetime_months
+            """,
+            rules=["RPL007"],
+        )
+        assert rule_ids(findings) == ["RPL007"]
+        message = findings[0].message
+        assert "energy" in message and "time" in message
+        assert "'budget' = energy_kwh" in message
+
+    def test_conversion_through_units_constant_ok(self):
+        findings, _ = lint(
+            """
+            from repro import units
+
+            def f(energy_kwh):
+                budget = energy_kwh
+                budget = budget * units.KWH
+                return budget
+            """,
+            rules=["RPL007"],
+        )
+        assert findings == []
+
+    def test_same_dimension_rebinding_ok(self):
+        findings, _ = lint(
+            """
+            def f(a_j, b_j):
+                best = a_j
+                best = b_j
+            """,
+            rules=["RPL007"],
+        )
+        assert findings == []

@@ -80,8 +80,16 @@ class TestRPL001Units:
         assert findings == []
 
     def test_rate_names_exempt(self):
-        findings, _ = lint("x = intensity_g_per_kwh + other_j\n")
+        # RPL001's suffix check exempts `_per_` rate names; the mix is
+        # RPL006's to catch via its composite-unit lattice.
+        findings, _ = lint(
+            "x = intensity_g_per_kwh + other_j\n", rules=["RPL001"]
+        )
         assert findings == []
+        findings, _ = lint(
+            "x = intensity_g_per_kwh + other_j\n", rules=["RPL006"]
+        )
+        assert rule_ids(findings) == ["RPL006"]
 
     def test_subscript_and_call_inference(self):
         findings, _ = lint("y = clocks_hz[0] + lifetime_s\n")
