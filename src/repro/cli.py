@@ -131,11 +131,19 @@ def cmd_fig6b(args) -> int:
 
 
 def cmd_workloads(args) -> int:
-    from repro.analysis.suite_study import default_study_configs
+    from repro.analysis.suite_study import (
+        default_study_configs,
+        seed_variant_configs,
+    )
     from repro.runtime import render_perf_table, run_workloads
+    from repro.runtime.parallel import run_workloads_vector
 
-    configs = default_study_configs()
-    report = run_workloads(
+    if args.variants:
+        configs = seed_variant_configs(args.variants)
+    else:
+        configs = default_study_configs()
+    runner = run_workloads_vector if args.vector else run_workloads
+    report = runner(
         configs,
         jobs=args.jobs,
         cache=False if args.no_cache else None,
@@ -149,10 +157,16 @@ def cmd_workloads(args) -> int:
     if args.perf:
         print()
         print(render_perf_table(report.perfs))
-        print(
+        line = (
             f"suite wall {report.wall_seconds:.3f}s, jobs={report.jobs}, "
             f"cache hits {report.cache_hits}/{len(report.results)}"
         )
+        if args.vector:
+            line += (
+                f", vector groups {report.vector_groups} "
+                f"({report.vector_lanes} lanes)"
+            )
+        print(line)
     return 0
 
 
@@ -176,11 +190,35 @@ def cmd_bench_iss(args) -> int:
         f"{full['mips']:.1f} MIPS, "
         f"cycles match paper: {full['cycles_match_paper']}"
     )
+    sb = report["superblock"]
+    print(
+        f"full matmul (superblock): {sb['wall_seconds']:.2f}s, "
+        f"{sb['speedup_superblock_over_fast']:.2f}x over fast "
+        f"(bit-identical: {sb['bit_identical']})"
+    )
+    vec = report["vector_lanes"]
+    print(f"vector N=1 bit-identical: {vec['n1_bit_identical']}")
+    for n_lanes in (8, 16, 32, 64):
+        row = vec[f"n{n_lanes}"]
+        print(
+            f"vector N={n_lanes:<3d}: {row['aggregate_mips']:6.1f} MIPS "
+            f"aggregate ({row['speedup_vs_fast']:.1f}x fast path, "
+            f"correct: {row['all_correct']})"
+        )
+    if suite["parallel_comparison_valid"]:
+        parallel = (
+            f"parallel cold {suite['parallel_cold_wall_seconds']:.2f}s "
+            f"(jobs={suite['parallel_jobs']}), "
+        )
+    else:
+        parallel = (
+            f"parallel comparison skipped "
+            f"(cpus={suite['cpus_available']}), "
+        )
     print(
         f"suite: serial cold {suite['serial_cold_wall_seconds']:.2f}s, "
-        f"parallel cold {suite['parallel_cold_wall_seconds']:.2f}s "
-        f"(jobs={suite['parallel_jobs']}), "
-        f"warm cache {suite['warm_cache_wall_seconds']:.2f}s"
+        + parallel
+        + f"warm cache {suite['warm_cache_wall_seconds']:.2f}s"
     )
     if args.output:
         print(f"wrote {args.output}")
@@ -553,6 +591,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "--perf",
                 action="store_true",
                 help="print wall-time and simulated-MIPS per run",
+            )
+            sub.add_argument(
+                "--vector",
+                action="store_true",
+                help="run workloads sharing a program text as one "
+                "N-lane lockstep vector group",
+            )
+            sub.add_argument(
+                "--variants",
+                type=int,
+                default=0,
+                metavar="N",
+                help="run N seed-parameterized matmul variants instead "
+                "of the standard suite (pairs with --vector)",
             )
         if name == "bench-iss":
             sub.add_argument(

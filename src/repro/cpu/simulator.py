@@ -35,7 +35,7 @@ from repro.errors import ExecutionError, ReproError
 _MASK32 = 0xFFFFFFFF
 
 #: Execution engine choices accepted by :meth:`CortexM0.run`.
-ENGINES = ("auto", "fast", "legacy")
+ENGINES = ("auto", "superblock", "fast", "legacy")
 
 
 @dataclass
@@ -83,6 +83,7 @@ class CortexM0:
             self.memory.recorder = recorder
         self.halted = False
         self._fast = None
+        self._engines = {}
         # Reset state: SP at the top of the data region, LR poisoned.
         data = self.memory.region("data")
         self.regs.write(SP, data.end)
@@ -124,20 +125,30 @@ class CortexM0:
             raise ReproError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
-        if engine == "fast" and self.memory.recorder is not None:
+        if engine in ("fast", "superblock") and self.memory.recorder is not None:
             raise ReproError(
-                "the fast engine does not drive access recorders; "
+                f"the {engine} engine does not drive access recorders; "
                 "use engine='auto' or 'legacy' with a recorder attached"
             )
-        use_fast = engine == "fast" or (
-            engine == "auto" and self.memory.recorder is None
-        )
-        if use_fast:
-            if self._fast is None:
-                from repro.cpu.fastpath import FastEngine
+        if engine == "auto" and self.memory.recorder is None:
+            engine = "superblock"
+        if engine in ("fast", "superblock"):
+            # One dispatch-cache engine per kind, built lazily and kept
+            # for the CPU's lifetime (SMC tests re-run on the same
+            # engine so its invalidation path is exercised).
+            cached = self._engines.get(engine)
+            if cached is None:
+                if engine == "superblock":
+                    from repro.cpu.superblock import SuperblockEngine
 
-                self._fast = FastEngine(self)
-            return self._fast.run(max_cycles)
+                    cached = SuperblockEngine(self)
+                else:
+                    from repro.cpu.fastpath import FastEngine
+
+                    cached = FastEngine(self)
+                self._engines[engine] = cached
+            self._fast = cached
+            return cached.run(max_cycles)
         while not self.halted:
             if self.stats.cycles >= max_cycles:
                 raise ExecutionError(

@@ -1,0 +1,1571 @@
+"""Superblock-translating execution engine for the Cortex-M0 ISS.
+
+:class:`~repro.cpu.fastpath.FastEngine` pays one Python call, one
+per-mnemonic ``Counter`` update, and one ``regs[15]`` store per
+instruction.  This engine extends it by *translating* straight-line runs
+of instructions ("superblocks": everything up to the next BL, BKPT, or
+multi-access memory op, *including* a terminating conditional or
+unconditional branch) into a single exec-compiled Python function,
+executed as one call per block:
+
+- **Batched constant accounting.**  Every straight-line instruction has
+  a constant cycle count, load/store count, mnemonic, and
+  register-write count, so a block's totals are compile-time constants.
+  The run loop bumps one per-block execution counter; cycles accumulate
+  in a loop local; per-mnemonic counts, loads/stores, and
+  ``register_writes`` flush as ``constant * executions`` at run exit.
+- **Flag liveness.**  Within a block, N/Z/C/V stores are emitted only
+  when a later reader (ADC/SBC, a potentially faulting memory access,
+  or the block exit) can observe them — dead flag writes cost nothing.
+- **Register caching.**  Architectural registers live in Python locals
+  for the duration of a block and are written back at every exit.
+
+Bit-identity with the legacy engine is preserved exactly, including the
+awkward cases:
+
+- **Faults mid-block** (misaligned/unmapped accesses): the generated
+  code tracks the index of the active memory instruction and, on any
+  exception, restores registers, sets ``regs[15]`` to the faulting pc,
+  and stashes a precomputed partial-progress tuple (instructions,
+  cycles, loads, stores, register writes, per-mnemonic counts for the
+  completed prefix — including the faulting instruction's mnemonic
+  exactly when the legacy decoder counts it before the access) that
+  ``run()`` merges in its ``finally`` clause before re-raising.
+- **Self-modifying code**: stores that reach the program region
+  invalidate the block cache (block granularity: every translated
+  block drops).  The generated code checks the cache generation after
+  every slow-path store and, when it changed, exits the block early
+  with the same partial-progress protocol so the remaining
+  instructions re-translate from the patched bytes.
+- **Cycle limits**: a block only runs when the budget covers every
+  intermediate pre-instruction check the legacy loop would make
+  (``cycles + guard < max_cycles`` where ``guard`` is the cycle prefix
+  before the block's terminating instruction); otherwise execution
+  falls back
+  to the per-instruction dispatch table, which raises the identical
+  ``cycle limit N exceeded`` error at the identical instruction.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cpu.fastpath import FastEngine, _Halt, _hamming
+from repro.errors import ExecutionError, MemoryAccessError
+
+_MASK32 = 0xFFFFFFFF
+
+#: Register-write toggle pattern, rewritten in vector blocks to the
+#: pair-journaling form ``H2(old, new)`` so the XOR happens in bulk at
+#: journal-flush time instead of as one NumPy op per write.
+_VEC_TOGGLE_RE = re.compile(r"tg \+= H\((r\d+) \^ v\)")
+
+#: Block cache slots (plain lists for dispatch speed).
+(
+    B_FN, B_CYC, B_GUARD, B_EXECS, B_K, B_LD, B_ST, B_WR, B_PM, B_TB,
+) = range(10)
+
+#: Minimum run length worth translating; shorter runs use the parent
+#: per-instruction handlers (marked ``False`` in the block cache).
+_MIN_BLOCK = 2
+
+#: Maximum instructions fused into one block.
+_MAX_BLOCK = 48
+
+_ALL_FLAGS = frozenset("nzcv")
+_NZ = frozenset("nz")
+_NZC = frozenset("nzc")
+
+#: Condition-code expressions over the live APSR, mirroring
+#: :func:`repro.cpu.fastpath._cond_fn` case for case (indices 0..13;
+#: 0xE is undefined and 0xF is SVC, neither of which fuses).
+_COND_EXPR = (
+    "R.z", "not R.z", "R.c", "not R.c", "R.n", "not R.n", "R.v",
+    "not R.v", "R.c and not R.z", "(not R.c) or R.z", "R.n == R.v",
+    "R.n != R.v", "(not R.z) and R.n == R.v", "R.z or R.n != R.v",
+)
+
+
+class _FusedBranch:
+    """A conditional or unconditional branch terminating a block.
+
+    ``base_cycles`` joins the block's constant cycle total; the tail
+    code returns the *extra* cycles beyond that base (2 for a taken
+    conditional branch, 0 otherwise).  ``taken_const`` is the
+    per-execution ``taken_branches`` increment when it is a constant
+    (unconditional branches); data-dependent outcomes bump the stats
+    object directly in the tail.
+    """
+
+    __slots__ = ("mnem", "base_cycles", "taken_const", "_lines", "_vec_lines")
+
+    def __init__(
+        self,
+        mnem: str,
+        base_cycles: int,
+        taken_const: int,
+        lines: List[str],
+        vec_lines: Optional[List[str]] = None,
+    ) -> None:
+        self.mnem = mnem
+        self.base_cycles = base_cycles
+        self.taken_const = taken_const
+        self._lines = lines
+        self._vec_lines = vec_lines if vec_lines is not None else lines
+
+    def tail(self) -> List[str]:
+        return self._lines
+
+    def vector_tail(self) -> List[str]:
+        """Tail for N-lane blocks: flags may be arrays, so conditional
+        outcomes resolve through ``eng._vec_branch`` (uniform -> extra
+        cycles, divergent -> a divergence object the vector run loop
+        handles)."""
+        return self._vec_lines
+
+
+class _Insn:
+    """One classified straight-line instruction inside a block."""
+
+    __slots__ = (
+        "pc", "mnem", "cycles", "loads", "stores", "writes",
+        "fw", "fkill", "fr", "faultable", "pm_on_fault",
+        "reads_regs", "writes_regs", "gen",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        mnem: str,
+        cycles: int,
+        gen: Callable[..., List[str]],
+        loads: int = 0,
+        stores: int = 0,
+        writes: int = 0,
+        fw: frozenset = frozenset(),
+        fkill: Optional[frozenset] = None,
+        fr: frozenset = frozenset(),
+        faultable: bool = False,
+        pm_on_fault: bool = False,
+        reads_regs: Tuple[int, ...] = (),
+        writes_regs: Tuple[int, ...] = (),
+    ) -> None:
+        self.pc = pc
+        self.mnem = mnem
+        self.cycles = cycles
+        self.loads = loads
+        self.stores = stores
+        self.writes = writes
+        self.fw = fw
+        # Flags *unconditionally* overwritten (kill set for liveness);
+        # shift-by-register ops write C only when the shift is nonzero.
+        self.fkill = fw if fkill is None else fkill
+        self.fr = fr
+        self.faultable = faultable
+        self.pm_on_fault = pm_on_fault
+        self.reads_regs = reads_regs
+        self.writes_regs = writes_regs
+        self.gen = gen
+
+
+class SuperblockEngine(FastEngine):
+    """FastEngine with straight-line runs fused into translated blocks."""
+
+    # Flipped by the N-lane vector subclass: switches block codegen to
+    # array-safe emission (helper-based memory, deferred branch tails).
+    _vector = False
+
+    # The ``H`` binding in generated blocks; the vector subclass swaps
+    # in a polymorphic popcount that journals lane-varying patterns.
+    _toggle_hash = staticmethod(_hamming)
+
+    # The ``H2`` binding (pair-journaled toggles).  Scalar blocks never
+    # emit an H2 call, so the placeholder is never invoked.
+    _toggle_hash2: Any = None
+
+    def __init__(self, cpu) -> None:
+        self.blocks: Dict[int, Any] = {}
+        self._generation = 0
+        self._partial: Optional[tuple] = None
+        super().__init__(cpu)
+        # Engine-health tallies (cold paths only), mirrored into the
+        # observability counters by the workload runner.
+        self.blocks_translated = 0
+        self.block_execs = 0
+        self.block_steps = 0
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Program memory changed: drop blocks and per-PC handlers."""
+        self._flush_blocks()
+        self.blocks.clear()
+        self._generation += 1
+        super().invalidate()
+
+    # ------------------------------------------------------------------
+    def _flush_blocks(self) -> None:
+        """Fold batched per-block tallies into the architectural stats."""
+        stats = self.cpu.stats
+        pm = stats.per_mnemonic
+        tr = self.cpu.trace if self.cpu.trace is not None else self._null_trace
+        prog_reads = 0
+        for b in self.blocks.values():
+            if b and b[B_EXECS]:
+                e = b[B_EXECS]
+                b[B_EXECS] = 0
+                k = e * b[B_K]
+                prog_reads += k
+                stats.instructions += k
+                stats.loads += e * b[B_LD]
+                stats.stores += e * b[B_ST]
+                tr.register_writes += e * b[B_WR]
+                stats.taken_branches += e * b[B_TB]
+                for m, c in b[B_PM]:
+                    pm[m] += c * e
+                self.block_execs += e
+                self.block_steps += k
+        if prog_reads:
+            self.prog.counters.reads += prog_reads
+
+    def _merge_partial(self, cycles: int) -> int:
+        """Fold a block's partial-progress tuple; returns new cycles."""
+        p = self._partial
+        if p is None:
+            return cycles
+        self._partial = None
+        k, cyc, ld, stc, wr, pmi = p
+        stats = self.cpu.stats
+        self.prog.counters.reads += k
+        stats.instructions += k
+        stats.loads += ld
+        stats.stores += stc
+        tr = self.cpu.trace if self.cpu.trace is not None else self._null_trace
+        tr.register_writes += wr
+        pm = stats.per_mnemonic
+        for m, c in pmi:
+            pm[m] += c
+        self.block_steps += k
+        return cycles + cyc
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int):
+        """Run until BKPT or the cycle limit; returns the shared stats."""
+        cpu = self.cpu
+        if self._decoded_version != self.prog.version:
+            self.invalidate()
+        stats = cpu.stats
+        regs = self.regs_list
+        table = self.table
+        decode = self._decode
+        bget = self.blocks.get
+        translate = self._translate
+        prog_base = self.prog.base
+        prog_counters = self.prog.counters
+        trace = cpu.trace
+        cycles = stats.cycles
+        base_cycles = cycles
+        trace_base = trace.cycles if trace is not None else 0
+        steps = 0
+        flushed_steps = 0
+        if cpu.halted:
+            return stats
+        try:
+            while True:
+                if cycles >= max_cycles:
+                    raise ExecutionError(
+                        f"cycle limit {max_cycles} exceeded at "
+                        f"pc={regs[15]:#010x}"
+                    )
+                pc = regs[15]
+                b = bget(pc)
+                if b is None and prog_base <= pc:
+                    b = translate(pc)
+                if b and cycles + b[2] < max_cycles:
+                    extra = b[0]()
+                    if extra is not None:
+                        # Normal exit: ``extra`` is the terminating
+                        # branch's cycles beyond the not-taken base
+                        # (0 for blocks without a fused branch).
+                        b[3] += 1
+                        cycles += b[1] + extra
+                        continue
+                    # Early exit: a store invalidated the block cache.
+                    cycles = self._merge_partial(cycles)
+                    continue
+                h = None
+                if prog_base <= pc:
+                    try:
+                        h = table[pc - prog_base]
+                    except IndexError:
+                        pass
+                    else:
+                        if h is None:
+                            h = decode(pc)
+                if h is not None:
+                    steps += 1
+                    cycles += h()
+                else:
+                    # Executing outside the predecoded program region:
+                    # flush and take one legacy step, which decodes,
+                    # counts, and raises identically.
+                    delta = steps - flushed_steps
+                    flushed_steps = steps
+                    prog_counters.reads += delta
+                    stats.instructions += delta
+                    self._flush_blocks()
+                    stats.cycles = cycles
+                    if trace is not None:
+                        trace.cycles = trace_base + (cycles - base_cycles)
+                    cpu.step()
+                    self.fallback_steps += 1
+                    cycles = stats.cycles
+                    if cpu.halted:
+                        break
+        except _Halt:
+            cycles += 1  # the BKPT cycle
+        finally:
+            cycles = self._merge_partial(cycles)
+            delta = steps - flushed_steps
+            prog_counters.reads += delta
+            stats.instructions += delta
+            self._flush_blocks()
+            stats.cycles = cycles
+            self.fast_steps += steps
+            if trace is not None:
+                trace.cycles = trace_base + (cycles - base_cycles)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def _translate(self, start: int):
+        """Classify the straight-line run at ``start`` and compile it.
+
+        Returns the block list, or ``False`` (cached) when the run is
+        too short to be worth fusing.
+        """
+        mem = self.cpu.memory
+        prog_end = self.prog.end
+        insns: List[_Insn] = []
+        branch = None
+        pc = start
+        while len(insns) < _MAX_BLOCK:
+            if pc < self.prog.base or pc + 2 > prog_end or pc & 1:
+                break
+            try:
+                raw = mem.read(pc, 2, count=False)
+            except MemoryAccessError:
+                break
+            d = self._classify(pc, raw)
+            if d is None:
+                if insns:
+                    branch = self._classify_branch(pc, raw)
+                break
+            insns.append(d)
+            pc += 2
+        if len(insns) + (1 if branch else 0) < _MIN_BLOCK:
+            self.blocks[start] = False
+            return False
+        block = self._compile(start, insns, branch)
+        self.blocks[start] = block
+        self.blocks_translated += 1
+        return block
+
+    # ------------------------------------------------------------------
+    def _classify_branch(self, pc: int, insn: int) -> Optional[_FusedBranch]:
+        """Classify a block-terminating branch for fusion, or ``None``.
+
+        Mirrors the conditional/unconditional branch handlers in
+        :meth:`FastEngine._build`: ``bcond`` costs 3 cycles taken / 1
+        not taken, ``b`` always 3, and both count one ``taken_branches``
+        per taken execution.
+        """
+        if (insn & 0xF800) == 0xE000:
+            offset = insn & 0x7FF
+            if offset & 0x400:
+                offset -= 0x800
+            target = (pc + 4 + (offset << 1)) & _MASK32
+            return _FusedBranch(
+                "b", 3, 1, [f"regs[15] = {target}", "return 0"]
+            )
+        if (insn & 0xF000) == 0xD000:
+            cond = (insn >> 8) & 0xF
+            if cond >= 0xE:  # 0xE undefined, 0xF SVC
+                return None
+            offset = insn & 0xFF
+            if offset & 0x80:
+                offset -= 0x100
+            taken_pc = (pc + 4 + (offset << 1)) & _MASK32
+            if cond < 8:
+                # Single-flag condition: when the flag is a plain bool
+                # (lane-uniform), resolve inline; anything else (an
+                # array, a NumPy scalar) defers to _vec_branch.
+                flag = "zzccnnvv"[cond]
+                want = "True" if (cond & 1) == 0 else "False"
+                other = "False" if want == "True" else "True"
+                vec_lines = [
+                    f"f_ = R.{flag}",
+                    f"if f_ is {want}:",
+                    "    st.taken_branches += 1",
+                    f"    regs[15] = {taken_pc}",
+                    "    return 2",
+                    f"if f_ is {other}:",
+                    f"    regs[15] = {pc + 2}",
+                    "    return 0",
+                    f"return eng._vec_branch({cond}, {taken_pc}, {pc + 2})",
+                ]
+            else:
+                vec_lines = [
+                    f"return eng._vec_branch({cond}, {taken_pc}, {pc + 2})",
+                ]
+            return _FusedBranch(
+                "bcond", 1, 0,
+                [
+                    f"if {_COND_EXPR[cond]}:",
+                    "    st.taken_branches += 1",
+                    f"    regs[15] = {taken_pc}",
+                    "    return 2",
+                    f"regs[15] = {pc + 2}",
+                    "return 0",
+                ],
+                vec_lines=vec_lines,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def _compile(self, start: int, insns: List[_Insn], branch=None):
+        """Generate, exec, and wrap the fused handler for one block.
+
+        ``branch`` is an optional ``_FusedBranch`` terminating the
+        block; its (possibly data-dependent) cycles and ``regs[15]``
+        update are emitted in the block tail, and its extra-over-base
+        cycles are the generated function's return value.
+        """
+        k = len(insns)
+        # Backward flag liveness: a flag store is emitted only when a
+        # later reader may observe it.  Memory instructions read all
+        # four (a fault freezes architectural state mid-block), and the
+        # block exit is conservatively a full read (the terminator may
+        # be a conditional branch).
+        live: Set[str] = set(_ALL_FLAGS)
+        mats: List[Set[str]] = [set()] * k
+        for i in range(k - 1, -1, -1):
+            d = insns[i]
+            reads = set(d.fr) | (_ALL_FLAGS if d.faultable else frozenset())
+            mats[i] = set(d.fw) & live
+            live = (live - set(d.fkill)) | reads
+
+        # Prefix tables for fault / self-modifying-code exits.
+        pcs = tuple(d.pc for d in insns)
+        cyc_prefix = [0] * (k + 1)
+        ld_prefix = [0] * (k + 1)
+        st_prefix = [0] * (k + 1)
+        wr_prefix = [0] * (k + 1)
+        pm_prefix: List[Counter] = [Counter()]
+        for i, d in enumerate(insns):
+            cyc_prefix[i + 1] = cyc_prefix[i] + d.cycles
+            ld_prefix[i + 1] = ld_prefix[i] + d.loads
+            st_prefix[i + 1] = st_prefix[i] + d.stores
+            wr_prefix[i + 1] = wr_prefix[i] + d.writes
+            nxt = Counter(pm_prefix[i])
+            nxt[d.mnem] += 1
+            pm_prefix.append(nxt)
+        # FLT[i]: legacy state when instruction i faults — its fetch is
+        # counted, its cycles/loads/stores/writes are not, and its
+        # mnemonic is counted only for formats that tally before the
+        # access (register-offset loads/stores).
+        flt = []
+        smc = []
+        for i, d in enumerate(insns):
+            pm_f = Counter(pm_prefix[i])
+            if d.pm_on_fault:
+                pm_f[d.mnem] += 1
+            flt.append((
+                i + 1, cyc_prefix[i], ld_prefix[i], st_prefix[i],
+                wr_prefix[i], tuple(pm_f.items()),
+            ))
+            smc.append((
+                i + 1, cyc_prefix[i + 1], ld_prefix[i + 1],
+                st_prefix[i + 1], wr_prefix[i + 1],
+                tuple(pm_prefix[i + 1].items()),
+            ))
+        flt_t = tuple(flt)
+        smc_t = tuple(smc)
+
+        cached = sorted(
+            {r for d in insns for r in d.reads_regs}
+            | {r for d in insns for r in d.writes_regs}
+        )
+        written = sorted({r for d in insns for r in d.writes_regs})
+        wb = "; ".join(f"regs[{r}] = r{r}" for r in written) or "pass"
+        end_pc = pcs[-1] + 2
+
+        k_total = k + (1 if branch else 0)
+        cyc_total = cyc_prefix[k]
+        tb_const = 0
+        pm_total = Counter(pm_prefix[k])
+        if branch:
+            # The terminator executes only after every straight-line
+            # instruction's pre-check passed, so the guard is the full
+            # straight-line prefix.
+            guard = cyc_prefix[k]
+            cyc_total += branch.base_cycles
+            tb_const = branch.taken_const
+            pm_total[branch.mnem] += 1
+        else:
+            guard = cyc_prefix[k - 1]
+
+        lines: List[str] = []
+        lines.append(
+            "def _block(regs=regs, R=R, tr=tr, H=H, H2=H2,"
+        )
+        lines.append(
+            "           from_bytes=from_bytes,"
+        )
+        lines.append(
+            "           data_bytes=data_bytes, data_counters=data_counters,"
+        )
+        lines.append(
+            "           read32=read32, read16=read16, read8=read8,"
+        )
+        lines.append(
+            "           write32=write32, write16=write16, write8=write8):"
+        )
+        lines.append("    tg = 0")
+        lines.append("    _i = 0")
+        for r in cached:
+            lines.append(f"    r{r} = regs[{r}]")
+        lines.append("    try:")
+        ctx = _GenCtx(self, wb, vector=self._vector)
+        body: List[str] = []
+        for i, d in enumerate(insns):
+            body.append(f"# {d.pc:#06x} {d.mnem}")
+            body.extend(d.gen(i, mats[i], ctx))
+        if self._vector:
+            body = [
+                _VEC_TOGGLE_RE.sub(r"tg += H2(\1, v)", ln) for ln in body
+            ]
+        if all(ln.startswith("#") for ln in body):
+            body.append("pass")  # e.g. an all-NOP block emits no code
+        for ln in body:
+            lines.append("        " + ln)
+        lines.append("    except Exception:")
+        lines.append(f"        {wb}")
+        lines.append("        regs[15] = PCS[_i]")
+        lines.append("        tr.register_toggles += tg")
+        lines.append("        eng._partial = FLT[_i]")
+        lines.append("        raise")
+        lines.append(f"    {wb}")
+        lines.append("    tr.register_toggles += tg")
+        if branch is None:
+            lines.append(f"    regs[15] = {end_pc}")
+            lines.append("    return 0")
+        else:
+            tail = branch.vector_tail() if self._vector else branch.tail()
+            for ln in tail:
+                lines.append("    " + ln)
+
+        tr = self.cpu.trace if self.cpu.trace is not None else self._null_trace
+        r32, r16, r8, w32, w16, w8 = self._mem_helpers
+        ns: Dict[str, Any] = {
+            "regs": self.regs_list,
+            "R": self.cpu.regs,
+            "tr": tr,
+            "H": self._toggle_hash,
+            "H2": self._toggle_hash2,
+            "from_bytes": int.from_bytes,
+            "data_bytes": self.data.data,
+            "data_counters": self.data.counters,
+            "read32": r32, "read16": r16, "read8": r8,
+            "write32": w32, "write16": w16, "write8": w8,
+            "eng": self,
+            "st": self.cpu.stats,
+            "PCS": pcs,
+            "FLT": flt_t,
+            "SMC": smc_t,
+        }
+        src = "\n".join(lines)
+        exec(compile(src, f"<superblock@{start:#06x}>", "exec"), ns)
+        fn = ns["_block"]
+        return [
+            fn, cyc_total, guard, 0, k_total,
+            ld_prefix[k], st_prefix[k], wr_prefix[k],
+            tuple(pm_total.items()), tb_const,
+        ]
+
+    # ------------------------------------------------------------------
+    # Classification: one straight-line instruction -> codegen recipe.
+    # Mirrors FastEngine._build case for case; anything that branches,
+    # halts, does multi-register memory access, or is undefined ends
+    # the block (returns None) and runs through the parent handlers.
+    # ------------------------------------------------------------------
+    def _classify(self, pc: int, insn: int) -> Optional[_Insn]:  # noqa: C901
+        db = self.data.base
+        de = self.data.end
+        top5 = insn >> 11
+
+        if (insn & 0xF800) == 0xF000:  # BL prefix: terminator
+            return None
+
+        if top5 in (0b00000, 0b00001, 0b00010):
+            return self._c_shift_imm(pc, insn)
+
+        if top5 == 0b00011:
+            return self._c_add_sub_fmt2(pc, insn)
+
+        if (insn >> 13) == 0b001:
+            return self._c_imm8_ops(pc, insn)
+
+        if (insn & 0xFC00) == 0x4000:
+            return self._c_alu_fmt4(pc, insn)
+
+        if (insn & 0xFC00) == 0x4400:
+            return self._c_hi_ops(pc, insn)
+
+        if (insn & 0xF800) == 0x4800:  # LDR literal
+            rd = (insn >> 8) & 0x7
+            address = ((pc + 4) & ~3) + (insn & 0xFF) * 4
+
+            def g_lit(i, mat, ctx, rd=rd, address=address):
+                return [
+                    f"_i = {i}",
+                    f"v = read32({address})",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldr", 2, g_lit, loads=1, writes=1, faultable=True,
+                writes_regs=(rd,),
+            )
+
+        if (insn & 0xF000) == 0x5000:
+            return self._c_ldr_str_reg(pc, insn, db, de)
+
+        if (insn & 0xE000) == 0x6000:
+            return self._c_ldr_str_imm(pc, insn, db, de)
+
+        if (insn & 0xF000) == 0x8000:
+            return self._c_ldrh_strh_imm(pc, insn)
+
+        if (insn & 0xF000) == 0x9000:
+            return self._c_ldr_str_sp(pc, insn, db, de)
+
+        if (insn & 0xF000) == 0xA000:  # ADD rd, SP/PC, #imm
+            use_sp = bool(insn & (1 << 11))
+            rd = (insn >> 8) & 0x7
+            imm = (insn & 0xFF) * 4
+            if use_sp:
+                def g_addsp(i, mat, ctx, rd=rd, imm=imm):
+                    return [
+                        f"v = (r13 + {imm}) & 0xFFFFFFFF",
+                        f"tg += H(r{rd} ^ v); r{rd} = v",
+                    ]
+                return _Insn(
+                    pc, "add", 1, g_addsp, writes=1,
+                    reads_regs=(13,), writes_regs=(rd,),
+                )
+            const = (((pc + 4) & ~3) + imm) & _MASK32
+
+            def g_addpc(i, mat, ctx, rd=rd, const=const):
+                return [f"tg += H(r{rd} ^ {const}); r{rd} = {const}"]
+            return _Insn(pc, "add", 1, g_addpc, writes=1, writes_regs=(rd,))
+
+        if (insn & 0xFF00) == 0xB000:  # ADD/SUB SP, #imm
+            magnitude = (insn & 0x7F) * 4
+            if insn & 0x80:
+                magnitude = -magnitude
+            mnem = "add sp" if magnitude >= 0 else "sub sp"
+
+            def g_adjsp(i, mat, ctx, magnitude=magnitude):
+                # No trace write: the legacy path writes SP directly.
+                return [f"r13 = (r13 + {magnitude}) & 0xFFFFFFFF"]
+            return _Insn(
+                pc, mnem, 1, g_adjsp, reads_regs=(13,), writes_regs=(13,),
+            )
+
+        if (insn & 0xFF00) == 0xB200:
+            return self._c_extend(pc, insn)
+
+        if (insn & 0xFF00) == 0xBA00:
+            return self._c_rev(pc, insn)
+
+        if (insn & 0xF600) == 0xB400:  # PUSH/POP: terminator
+            return None
+
+        if (insn & 0xFF00) == 0xBE00:  # BKPT: terminator
+            return None
+
+        if (insn & 0xFFFF) == 0xBF00:  # NOP
+            def g_nop(i, mat, ctx):
+                return []
+            return _Insn(pc, "nop", 1, g_nop)
+
+        if (insn & 0xF000) == 0xC000:  # LDM/STM: terminator
+            return None
+
+        if (insn & 0xFF00) == 0xDF00:  # SVC
+            def g_svc(i, mat, ctx):
+                return []
+            return _Insn(pc, "svc", 1, g_svc)
+
+        # Conditional branch, B, undefined encodings: terminator.
+        return None
+
+    # -- flag helpers --------------------------------------------------
+    @staticmethod
+    def _nz(mat: Set[str], val: str = "v") -> List[str]:
+        out = []
+        if "n" in mat:
+            out.append(f"R.n = {val} >= 0x80000000")
+        if "z" in mat:
+            out.append(f"R.z = {val} == 0")
+        return out
+
+    @staticmethod
+    def _addsub_flags(
+        mat: Set[str], a: str, b_sig: str, cin: str
+    ) -> List[str]:
+        """C/V stores for the inlined ``_adc`` pattern.
+
+        ``b_sig`` is the *signed* expression for the second operand (a
+        constant string for immediates); ``cin`` is "0" or "1" or a
+        local name.  The caller has computed ``res = a + b + cin`` and
+        must emit these lines immediately after, before masking.
+        """
+        out = []
+        if "c" in mat:
+            out.append("R.c = res > 0xFFFFFFFF")
+        if "v" in mat:
+            out.append(
+                f"sa = ({a} & 0x7FFFFFFF) - ({a} & 0x80000000)"
+            )
+            out.append(f"sr = sa + {b_sig} + {cin}")
+            out.append(
+                "R.v = (sr < -2147483648) | (2147483647 < sr)"
+            )
+        return out
+
+    # -- per-format classifiers ----------------------------------------
+    def _c_shift_imm(self, pc: int, insn: int) -> _Insn:
+        top5 = insn >> 11
+        op = top5 & 0x3
+        imm5 = (insn >> 6) & 0x1F
+        rm = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        if op == 0 and imm5 == 0:  # MOVS (register): C unchanged
+            def g(i, mat, ctx, rm=rm, rd=rd):
+                out = [f"v = r{rm}"]
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+            return _Insn(
+                pc, "movs", 1, g, writes=1, fw=_NZ,
+                reads_regs=(rm,), writes_regs=(rd,),
+            )
+        if op == 0:  # LSL imm
+            def g(i, mat, ctx, rm=rm, rd=rd, imm5=imm5):
+                out = [f"a = r{rm}"]
+                if "c" in mat:
+                    out.append(f"R.c = (a >> {32 - imm5}) & 1 != 0")
+                out.append(f"v = (a << {imm5}) & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+            return _Insn(
+                pc, "lsls", 1, g, writes=1, fw=_NZC,
+                reads_regs=(rm,), writes_regs=(rd,),
+            )
+        if op == 1:  # LSR imm (imm5 == 0 means 32)
+            shift = imm5 or 32
+            if shift < 32:
+                def g(i, mat, ctx, rm=rm, rd=rd, shift=shift):
+                    out = [f"a = r{rm}"]
+                    if "c" in mat:
+                        out.append(f"R.c = (a >> {shift - 1}) & 1 != 0")
+                    out.append(f"v = a >> {shift}")
+                    out += self._nz(mat)
+                    out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                    return out
+            else:
+                def g(i, mat, ctx, rm=rm, rd=rd):
+                    out = [f"a = r{rm}"]
+                    if "c" in mat:
+                        out.append("R.c = a >> 31 != 0")
+                    if "n" in mat:
+                        out.append("R.n = False")
+                    if "z" in mat:
+                        out.append("R.z = True")
+                    out.append(f"tg += H(r{rd}); r{rd} = 0")
+                    return out
+            return _Insn(
+                pc, "lsrs", 1, g, writes=1, fw=_NZC,
+                reads_regs=(rm,), writes_regs=(rd,),
+            )
+        # ASR imm (imm5 == 0 means 32)
+        shift = imm5 or 32
+        if shift < 32:
+            def g(i, mat, ctx, rm=rm, rd=rd, shift=shift):
+                out = [
+                    f"a = r{rm}",
+                    "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)",
+                ]
+                if "c" in mat:
+                    out.append(f"R.c = (sa >> {shift - 1}) & 1 != 0")
+                out.append(f"v = (sa >> {shift}) & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+        else:
+            def g(i, mat, ctx, rm=rm, rd=rd):
+                out = [
+                    f"a = r{rm}",
+                    "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)",
+                ]
+                if "c" in mat:
+                    out.append("R.c = (sa >> 31) & 1 != 0")
+                out.append("v = ((sa >> 63) & 1) * 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+        return _Insn(
+            pc, "asrs", 1, g, writes=1, fw=_NZC,
+            reads_regs=(rm,), writes_regs=(rd,),
+        )
+
+    def _c_add_sub_fmt2(self, pc: int, insn: int) -> _Insn:
+        immediate = bool(insn & (1 << 10))
+        sub = bool(insn & (1 << 9))
+        operand = (insn >> 6) & 0x7
+        rn = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        mnem = "subs" if sub else "adds"
+        if immediate:
+            if sub:
+                nb = (~operand) & _MASK32
+                snb = nb - 0x100000000
+
+                def g(i, mat, ctx, rn=rn, rd=rd, nb=nb, snb=snb):
+                    out = [f"a = r{rn}", f"res = a + {nb} + 1"]
+                    out += self._addsub_flags(mat, "a", str(snb), "1")
+                    out.append("v = res & 0xFFFFFFFF")
+                    out += self._nz(mat)
+                    out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                    return out
+            else:
+                def g(i, mat, ctx, rn=rn, rd=rd, operand=operand):
+                    out = [f"a = r{rn}", f"res = a + {operand}"]
+                    out += self._addsub_flags(mat, "a", str(operand), "0")
+                    out.append("v = res & 0xFFFFFFFF")
+                    out += self._nz(mat)
+                    out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                    return out
+            return _Insn(
+                pc, mnem, 1, g, writes=1, fw=_ALL_FLAGS,
+                reads_regs=(rn,), writes_regs=(rd,),
+            )
+        if sub:
+            def g(i, mat, ctx, rn=rn, rd=rd, rm=operand):
+                out = [
+                    f"a = r{rn}",
+                    f"b = (~r{rm}) & 0xFFFFFFFF",
+                    "res = a + b + 1",
+                ]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb + 1; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+        else:
+            def g(i, mat, ctx, rn=rn, rd=rd, rm=operand):
+                out = [f"a = r{rn}", f"b = r{rm}", "res = a + b"]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+        return _Insn(
+            pc, mnem, 1, g, writes=1, fw=_ALL_FLAGS,
+            reads_regs=(rn, operand), writes_regs=(rd,),
+        )
+
+    def _c_imm8_ops(self, pc: int, insn: int) -> _Insn:
+        op = (insn >> 11) & 0x3
+        rd = (insn >> 8) & 0x7
+        imm8 = insn & 0xFF
+        if op == 0:  # MOVS
+            def g(i, mat, ctx, rd=rd, imm8=imm8):
+                out = []
+                if "n" in mat:
+                    out.append("R.n = False")
+                if "z" in mat:
+                    out.append(f"R.z = {imm8 == 0}")
+                out.append(f"tg += H(r{rd} ^ {imm8}); r{rd} = {imm8}")
+                return out
+            return _Insn(
+                pc, "movs", 1, g, writes=1, fw=_NZ, writes_regs=(rd,),
+            )
+        if op == 1:  # CMP
+            nb = (~imm8) & _MASK32
+            snb = nb - 0x100000000
+
+            def g(i, mat, ctx, rd=rd, nb=nb, snb=snb):
+                out = [f"a = r{rd}", f"res = a + {nb} + 1"]
+                out += self._addsub_flags(mat, "a", str(snb), "1")
+                if "n" in mat or "z" in mat:
+                    out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                return out
+            return _Insn(
+                pc, "cmp", 1, g, fw=_ALL_FLAGS, reads_regs=(rd,),
+            )
+        if op == 2:  # ADDS
+            def g(i, mat, ctx, rd=rd, imm8=imm8):
+                out = [f"a = r{rd}", f"res = a + {imm8}"]
+                out += self._addsub_flags(mat, "a", str(imm8), "0")
+                out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+                return out
+            return _Insn(
+                pc, "adds", 1, g, writes=1, fw=_ALL_FLAGS,
+                reads_regs=(rd,), writes_regs=(rd,),
+            )
+        nb = (~imm8) & _MASK32
+        snb = nb - 0x100000000
+
+        def g(i, mat, ctx, rd=rd, nb=nb, snb=snb):
+            out = [f"a = r{rd}", f"res = a + {nb} + 1"]
+            out += self._addsub_flags(mat, "a", str(snb), "1")
+            out.append("v = res & 0xFFFFFFFF")
+            out += self._nz(mat)
+            out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+            return out
+        return _Insn(
+            pc, "subs", 1, g, writes=1, fw=_ALL_FLAGS,
+            reads_regs=(rd,), writes_regs=(rd,),
+        )
+
+    def _c_alu_fmt4(self, pc: int, insn: int) -> _Insn:  # noqa: C901
+        op = (insn >> 6) & 0xF
+        rm = (insn >> 3) & 0x7
+        rdn = insn & 0x7
+
+        def bitwise(expr: str, mnem: str) -> _Insn:
+            def g(i, mat, ctx, rdn=rdn, expr=expr):
+                out = [f"v = {expr}"]
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, mnem, 1, g, writes=1, fw=_NZ,
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+
+        if op == 0x0:
+            return bitwise(f"r{rdn} & r{rm}", "ands")
+        if op == 0x1:
+            return bitwise(f"r{rdn} ^ r{rm}", "eors")
+        if op == 0x2:  # LSL (register)
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"a = r{rdn}", f"sh = r{rm} & 0xFF", "v = a"]
+                out.append("if sh:")
+                if "c" in mat:
+                    out.append(
+                        "    R.c = sh <= 32 and (a >> (32 - sh)) & 1 != 0"
+                    )
+                out.append(
+                    "    v = (a << sh) & 0xFFFFFFFF if sh < 32 else 0"
+                )
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, "lsls", 1, g, writes=1, fw=_NZC, fkill=_NZ,
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+        if op == 0x3:  # LSR (register)
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"a = r{rdn}", f"sh = r{rm} & 0xFF", "v = a"]
+                out.append("if sh:")
+                if "c" in mat:
+                    out.append(
+                        "    R.c = sh <= 32 and (a >> (sh - 1)) & 1 != 0"
+                    )
+                out.append("    v = (a >> sh) if sh < 32 else 0")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, "lsrs", 1, g, writes=1, fw=_NZC, fkill=_NZ,
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+        if op == 0x4:  # ASR (register)
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"a = r{rdn}", f"sh = r{rm} & 0xFF", "v = a"]
+                out.append("if sh:")
+                out.append(
+                    "    sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                )
+                out.append("    eff = sh if sh < 32 else 32")
+                if "c" in mat:
+                    out.append("    R.c = (sa >> (eff - 1)) & 1 != 0")
+                out.append("    if eff < 32:")
+                out.append("        v = (sa >> eff) & 0xFFFFFFFF")
+                out.append("    else:")
+                out.append("        v = ((sa >> 63) & 1) * 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, "asrs", 1, g, writes=1, fw=_NZC, fkill=_NZ,
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+        if op in (0x5, 0x6):  # ADC / SBC
+            mnem = "adcs" if op == 0x5 else "sbcs"
+            bexpr = f"r{rm}" if op == 0x5 else f"(~r{rm}) & 0xFFFFFFFF"
+
+            def g(i, mat, ctx, rdn=rdn, bexpr=bexpr):
+                out = [
+                    f"a = r{rdn}",
+                    f"b = {bexpr}",
+                    "cin = 1 if R.c else 0",
+                    "res = a + b + cin",
+                ]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb + cin; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, mnem, 1, g, writes=1, fw=_ALL_FLAGS, fr=frozenset("c"),
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+        if op == 0x7:  # ROR
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"a = r{rdn}", f"sh = r{rm} & 0xFF", "v = a"]
+                out.append("if sh:")
+                out.append("    rot = sh % 32")
+                out.append("    if rot:")
+                out.append(
+                    "        v = ((a >> rot) | (a << (32 - rot)))"
+                    " & 0xFFFFFFFF"
+                )
+                if "c" in mat:
+                    out.append("    R.c = v >= 0x80000000")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, "rors", 1, g, writes=1, fw=_NZC, fkill=_NZ,
+                reads_regs=(rdn, rm), writes_regs=(rdn,),
+            )
+        if op == 0x8:  # TST
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"v = r{rdn} & r{rm}"]
+                out += self._nz(mat)
+                return out
+            return _Insn(pc, "tst", 1, g, fw=_NZ, reads_regs=(rdn, rm))
+        if op == 0x9:  # RSB (NEG)
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"b = (~r{rm}) & 0xFFFFFFFF", "res = b + 1"]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sb + 1; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+                return out
+            return _Insn(
+                pc, "rsbs", 1, g, writes=1, fw=_ALL_FLAGS,
+                reads_regs=(rm,), writes_regs=(rdn,),
+            )
+        if op == 0xA:  # CMP
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [
+                    f"a = r{rdn}",
+                    f"b = (~r{rm}) & 0xFFFFFFFF",
+                    "res = a + b + 1",
+                ]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb + 1; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                if "n" in mat or "z" in mat:
+                    out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                return out
+            return _Insn(
+                pc, "cmp", 1, g, fw=_ALL_FLAGS, reads_regs=(rdn, rm),
+            )
+        if op == 0xB:  # CMN
+            def g(i, mat, ctx, rdn=rdn, rm=rm):
+                out = [f"a = r{rdn}", f"b = r{rm}", "res = a + b"]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                if "n" in mat or "z" in mat:
+                    out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                return out
+            return _Insn(
+                pc, "cmn", 1, g, fw=_ALL_FLAGS, reads_regs=(rdn, rm),
+            )
+        if op == 0xC:
+            return bitwise(f"r{rdn} | r{rm}", "orrs")
+        if op == 0xD:  # MUL
+            return bitwise(f"(r{rdn} * r{rm}) & 0xFFFFFFFF", "muls")
+        if op == 0xE:  # BIC
+            return bitwise(f"r{rdn} & ~r{rm} & 0xFFFFFFFF", "bics")
+        # MVN
+        def g(i, mat, ctx, rdn=rdn, rm=rm):
+            out = [f"v = (~r{rm}) & 0xFFFFFFFF"]
+            out += self._nz(mat)
+            out.append(f"tg += H(r{rdn} ^ v); r{rdn} = v")
+            return out
+        return _Insn(
+            pc, "mvns", 1, g, writes=1, fw=_NZ,
+            reads_regs=(rm,), writes_regs=(rdn,),
+        )
+
+    def _c_hi_ops(self, pc: int, insn: int) -> Optional[_Insn]:
+        op = (insn >> 8) & 0x3
+        rm = (insn >> 3) & 0xF
+        rd = ((insn >> 4) & 0x8) | (insn & 0x7)
+        if op == 0x3:  # BX / BLX: terminator
+            return None
+        pc4 = (pc + 4) & _MASK32
+        if op == 0x0:  # ADD (no flags)
+            if rd == 15:
+                return None  # branch: terminator
+            if rm == 15:
+                def g(i, mat, ctx, rd=rd, pc4=pc4):
+                    return [
+                        f"v = (r{rd} + {pc4}) & 0xFFFFFFFF",
+                        f"tg += H(r{rd} ^ v); r{rd} = v",
+                    ]
+                return _Insn(
+                    pc, "add", 1, g, writes=1,
+                    reads_regs=(rd,), writes_regs=(rd,),
+                )
+
+            def g(i, mat, ctx, rd=rd, rm=rm):
+                return [
+                    f"v = (r{rd} + r{rm}) & 0xFFFFFFFF",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "add", 1, g, writes=1,
+                reads_regs=(rd, rm), writes_regs=(rd,),
+            )
+        if op == 0x1:  # CMP
+            aexpr = str(pc4) if rd == 15 else f"r{rd}"
+            bexpr = str(pc4) if rm == 15 else f"r{rm}"
+
+            def g(i, mat, ctx, aexpr=aexpr, bexpr=bexpr):
+                out = [
+                    f"a = {aexpr}",
+                    f"b = (~{bexpr}) & 0xFFFFFFFF",
+                    "res = a + b + 1",
+                ]
+                if "c" in mat:
+                    out.append("R.c = res > 0xFFFFFFFF")
+                if "v" in mat:
+                    out.append(
+                        "sa = (a & 0x7FFFFFFF) - (a & 0x80000000)"
+                    )
+                    out.append(
+                        "sb = (b & 0x7FFFFFFF) - (b & 0x80000000)"
+                    )
+                    out.append(
+                        "sr = sa + sb + 1; R.v = (sr < -2147483648) | (2147483647 < sr)"
+                    )
+                if "n" in mat or "z" in mat:
+                    out.append("v = res & 0xFFFFFFFF")
+                out += self._nz(mat)
+                return out
+            reads = tuple(r for r in (rd, rm) if r != 15)
+            return _Insn(pc, "cmp", 1, g, fw=_ALL_FLAGS, reads_regs=reads)
+        # MOV (no flags)
+        if rd == 15:
+            return None  # branch: terminator
+        if rm == 15:
+            def g(i, mat, ctx, rd=rd, pc4=pc4):
+                return [f"tg += H(r{rd} ^ {pc4}); r{rd} = {pc4}"]
+            return _Insn(pc, "mov", 1, g, writes=1, writes_regs=(rd,))
+
+        def g(i, mat, ctx, rd=rd, rm=rm):
+            return [f"v = r{rm}", f"tg += H(r{rd} ^ v); r{rd} = v"]
+        return _Insn(
+            pc, "mov", 1, g, writes=1, reads_regs=(rm,), writes_regs=(rd,),
+        )
+
+    def _c_ldr_str_reg(self, pc: int, insn: int, db: int, de: int) -> _Insn:
+        op = (insn >> 9) & 0x7
+        rm = (insn >> 6) & 0x7
+        rn = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        addr = f"(r{rn} + r{rm}) & 0xFFFFFFFF"
+        names = ["str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb",
+                 "ldrsh"]
+        mnem = names[op]
+        # Legacy counts the mnemonic *before* the access in this format.
+        if op == 0:  # STR
+            def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+                if ctx.vector:
+                    return [f"_i = {i}", f"write32({addr}, r{rd})"]
+                return [
+                    f"_i = {i}",
+                    f"a = {addr}",
+                    f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                    "    data_counters.writes += 1",
+                    f"    o = a - {db}",
+                    f"    data_bytes[o:o + 4] = r{rd}.to_bytes(4, 'little')",
+                    "else:",
+                    f"    write32(a, r{rd})",
+                ] + ctx.genchk(i, indent=1)
+            return _Insn(
+                pc, "str", 2, g, stores=1, faultable=True, pm_on_fault=True,
+                reads_regs=(rn, rm, rd),
+            )
+        if op in (1, 2):  # STRH / STRB
+            helper = "write16" if op == 1 else "write8"
+
+            def g(i, mat, ctx, rd=rd, addr=addr, helper=helper):
+                return [
+                    f"_i = {i}",
+                    f"{helper}({addr}, r{rd})",
+                ] + ctx.genchk(i, indent=0)
+            return _Insn(
+                pc, mnem, 2, g, stores=1, faultable=True, pm_on_fault=True,
+                reads_regs=(rn, rm, rd),
+            )
+        if op == 4:  # LDR — hottest load form, inlined fast case
+            def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+                if ctx.vector:
+                    return [
+                        f"_i = {i}",
+                        f"v = read32({addr})",
+                        f"tg += H(r{rd} ^ v); r{rd} = v",
+                    ]
+                return [
+                    f"_i = {i}",
+                    f"a = {addr}",
+                    f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                    "    data_counters.reads += 1",
+                    f"    o = a - {db}",
+                    "    v = from_bytes(data_bytes[o:o + 4], 'little')",
+                    "else:",
+                    "    v = read32(a)",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldr", 2, g, loads=1, writes=1, faultable=True,
+                pm_on_fault=True, reads_regs=(rn, rm), writes_regs=(rd,),
+            )
+        # LDRSB / LDRH / LDRB / LDRSH
+        helper = {3: "read8", 5: "read16", 6: "read8", 7: "read16"}[op]
+        sign = {3: (7, "0xFFFFFF00"), 7: (15, "0xFFFF0000")}
+
+        def g(i, mat, ctx, rd=rd, addr=addr, helper=helper,
+              ext=sign.get(op)):
+            out = [f"_i = {i}", f"v = {helper}({addr})"]
+            if ext is not None:
+                out.append(f"v |= ((v >> {ext[0]}) & 1) * {ext[1]}")
+            out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+            return out
+        return _Insn(
+            pc, mnem, 2, g, loads=1, writes=1, faultable=True,
+            pm_on_fault=True, reads_regs=(rn, rm), writes_regs=(rd,),
+        )
+
+    def _c_ldr_str_imm(self, pc: int, insn: int, db: int, de: int) -> _Insn:
+        byte = bool(insn & (1 << 12))
+        load = bool(insn & (1 << 11))
+        imm5 = (insn >> 6) & 0x1F
+        rn = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        offset = imm5 * (1 if byte else 4)
+        addr = f"(r{rn} + {offset}) & 0xFFFFFFFF" if offset else f"r{rn}"
+        if load and byte:
+            def g(i, mat, ctx, rd=rd, addr=addr):
+                return [
+                    f"_i = {i}",
+                    f"v = read8({addr})",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldrb", 2, g, loads=1, writes=1, faultable=True,
+                reads_regs=(rn,), writes_regs=(rd,),
+            )
+        if load:
+            def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+                if ctx.vector:
+                    return [
+                        f"_i = {i}",
+                        f"v = read32({addr})",
+                        f"tg += H(r{rd} ^ v); r{rd} = v",
+                    ]
+                return [
+                    f"_i = {i}",
+                    f"a = {addr}",
+                    f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                    "    data_counters.reads += 1",
+                    f"    o = a - {db}",
+                    "    v = from_bytes(data_bytes[o:o + 4], 'little')",
+                    "else:",
+                    "    v = read32(a)",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldr", 2, g, loads=1, writes=1, faultable=True,
+                reads_regs=(rn,), writes_regs=(rd,),
+            )
+        if byte:
+            def g(i, mat, ctx, rd=rd, addr=addr):
+                return [
+                    f"_i = {i}",
+                    f"write8({addr}, r{rd})",
+                ] + ctx.genchk(i, indent=0)
+            return _Insn(
+                pc, "strb", 2, g, stores=1, faultable=True,
+                reads_regs=(rn, rd),
+            )
+
+        def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+            if ctx.vector:
+                return [f"_i = {i}", f"write32({addr}, r{rd})"]
+            return [
+                f"_i = {i}",
+                f"a = {addr}",
+                f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                "    data_counters.writes += 1",
+                f"    o = a - {db}",
+                f"    data_bytes[o:o + 4] = r{rd}.to_bytes(4, 'little')",
+                "else:",
+                f"    write32(a, r{rd})",
+            ] + ctx.genchk(i, indent=1)
+        return _Insn(
+            pc, "str", 2, g, stores=1, faultable=True, reads_regs=(rn, rd),
+        )
+
+    def _c_ldrh_strh_imm(self, pc: int, insn: int) -> _Insn:
+        load = bool(insn & (1 << 11))
+        offset = ((insn >> 6) & 0x1F) * 2
+        rn = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        addr = f"(r{rn} + {offset}) & 0xFFFFFFFF" if offset else f"r{rn}"
+        if load:
+            def g(i, mat, ctx, rd=rd, addr=addr):
+                return [
+                    f"_i = {i}",
+                    f"v = read16({addr})",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldrh", 2, g, loads=1, writes=1, faultable=True,
+                reads_regs=(rn,), writes_regs=(rd,),
+            )
+
+        def g(i, mat, ctx, rd=rd, addr=addr):
+            return [
+                f"_i = {i}",
+                f"write16({addr}, r{rd})",
+            ] + ctx.genchk(i, indent=0)
+        return _Insn(
+            pc, "strh", 2, g, stores=1, faultable=True, reads_regs=(rn, rd),
+        )
+
+    def _c_ldr_str_sp(self, pc: int, insn: int, db: int, de: int) -> _Insn:
+        load = bool(insn & (1 << 11))
+        rd = (insn >> 8) & 0x7
+        offset = (insn & 0xFF) * 4
+        addr = f"(r13 + {offset}) & 0xFFFFFFFF" if offset else "r13"
+        if load:
+            def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+                if ctx.vector:
+                    return [
+                        f"_i = {i}",
+                        f"v = read32({addr})",
+                        f"tg += H(r{rd} ^ v); r{rd} = v",
+                    ]
+                return [
+                    f"_i = {i}",
+                    f"a = {addr}",
+                    f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                    "    data_counters.reads += 1",
+                    f"    o = a - {db}",
+                    "    v = from_bytes(data_bytes[o:o + 4], 'little')",
+                    "else:",
+                    "    v = read32(a)",
+                    f"tg += H(r{rd} ^ v); r{rd} = v",
+                ]
+            return _Insn(
+                pc, "ldr", 2, g, loads=1, writes=1, faultable=True,
+                reads_regs=(13,), writes_regs=(rd,),
+            )
+
+        def g(i, mat, ctx, rd=rd, addr=addr, db=db, de=de):
+            if ctx.vector:
+                return [f"_i = {i}", f"write32({addr}, r{rd})"]
+            return [
+                f"_i = {i}",
+                f"a = {addr}",
+                f"if {db} <= a and a + 4 <= {de} and not a & 3:",
+                "    data_counters.writes += 1",
+                f"    o = a - {db}",
+                f"    data_bytes[o:o + 4] = r{rd}.to_bytes(4, 'little')",
+                "else:",
+                f"    write32(a, r{rd})",
+            ] + ctx.genchk(i, indent=1)
+        return _Insn(
+            pc, "str", 2, g, stores=1, faultable=True, reads_regs=(13, rd),
+        )
+
+    def _c_extend(self, pc: int, insn: int) -> _Insn:
+        op = (insn >> 6) & 0x3
+        rm = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        mnem = ["sxth", "sxtb", "uxth", "uxtb"][op]
+
+        def g(i, mat, ctx, rd=rd, rm=rm, op=op):
+            if op == 0:
+                out = [
+                    f"v = r{rm} & 0xFFFF",
+                    "v |= ((v >> 15) & 1) * 0xFFFF0000",
+                ]
+            elif op == 1:
+                out = [
+                    f"v = r{rm} & 0xFF",
+                    "v |= ((v >> 7) & 1) * 0xFFFFFF00",
+                ]
+            elif op == 2:
+                out = [f"v = r{rm} & 0xFFFF"]
+            else:
+                out = [f"v = r{rm} & 0xFF"]
+            out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+            return out
+        return _Insn(
+            pc, mnem, 1, g, writes=1, reads_regs=(rm,), writes_regs=(rd,),
+        )
+
+    def _c_rev(self, pc: int, insn: int) -> Optional[_Insn]:
+        op = (insn >> 6) & 0x3
+        rm = (insn >> 3) & 0x7
+        rd = insn & 0x7
+        if op == 2:  # undefined REV variant: terminator
+            return None
+
+        def g(i, mat, ctx, rd=rd, rm=rm, op=op):
+            out = [f"a = r{rm}"]
+            if op == 0:
+                out.append(
+                    "v = ((a & 0xFF) << 24) | ((a & 0xFF00) << 8)"
+                    " | ((a >> 8) & 0xFF00) | ((a >> 24) & 0xFF)"
+                )
+            elif op == 1:
+                out.append(
+                    "v = ((a & 0xFF) << 8) | ((a >> 8) & 0xFF)"
+                    " | ((a & 0xFF0000) << 8) | ((a >> 8) & 0xFF0000)"
+                )
+            else:  # REVSH
+                out.append("v = ((a & 0xFF) << 8) | ((a >> 8) & 0xFF)")
+                out.append("v |= ((v >> 15) & 1) * 0xFFFF0000")
+            out.append(f"tg += H(r{rd} ^ v); r{rd} = v")
+            return out
+        return _Insn(
+            pc, "rev", 1, g, writes=1, reads_regs=(rm,), writes_regs=(rd,),
+        )
+
+
+class _GenCtx:
+    """Shared state handed to instruction generators."""
+
+    def __init__(
+        self,
+        engine: SuperblockEngine,
+        writeback: str,
+        vector: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.writeback = writeback
+        self.vector = vector
+
+    def genchk(self, i: int, indent: int) -> List[str]:
+        """Post-slow-path-store generation check (self-modifying code).
+
+        Emitted after every store that may have reached the program
+        region; when the block cache generation changed, the block
+        exits early with the store's effects fully applied.
+
+        Vector lanes cannot self-modify: stores into the program region
+        raise inside the vector memory helpers (forcing a scalar
+        bailout), so no generation check is emitted.
+        """
+        if self.vector:
+            return []
+        pad = "    " * indent
+        return [
+            pad + f"if eng._generation != {self.engine._generation}:",
+            pad + f"    {self.writeback}",
+            pad + f"    regs[15] = PCS[{i}] + 2",
+            pad + "    tr.register_toggles += tg",
+            pad + f"    eng._partial = SMC[{i}]",
+            pad + "    return None",
+        ]

@@ -47,11 +47,15 @@ from repro.quality.rules.base import Rule, dotted_name, register
 _FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 #: Constructors whose module-level instances are per-process resources.
+#: VectorEngine/CortexM0 carry live simulator state (lane masks, toggle
+#: journals, memory images) that diverges silently across workers.
 _RESOURCE_FACTORIES = {
     "ResultCache",
     "SweepCache",
     "Tracer",
     "MetricsRegistry",
+    "VectorEngine",
+    "CortexM0",
     "open",
     "get_tracer",
     "get_metrics",

@@ -9,7 +9,15 @@ a JSON artifact so regressions are visible across PRs:
 - a direct fast-vs-legacy speedup measurement on a medium matmul
   configuration (the full-length legacy run takes ~a minute; pass
   ``measure_legacy_full=True`` to include it),
-- suite study wall times: serial cold, parallel cold, and warm-cache,
+- the superblock engine on the full-length matmul: wall time, speedup
+  over the fast engine, paper-golden bit-identity,
+- the N-lane vector engine: full-length matmul at N=1 (bit-identity
+  against the paper goldens), lane-scaling rows at 8/16/32/64 lanes of
+  seed-parameterized matmul variants (aggregate MIPS and speedup over
+  the measured fast-path MIPS), and an 8-variant suite run through
+  :func:`~repro.runtime.parallel.run_workloads_vector`,
+- suite study wall times: serial cold, parallel cold (skipped on
+  single-CPU hosts, where the comparison is meaningless), warm-cache,
 - single-entry cache hit/miss timings.
 
 Run it via ``python -m repro.cli bench-iss`` or the benchmarks suite.
@@ -20,6 +28,7 @@ from __future__ import annotations
 import contextlib
 import gc
 import json
+import os
 import platform
 import tempfile
 import time
@@ -68,7 +77,7 @@ def run_bench(
 ) -> dict:
     """Collect the benchmark numbers; optionally write the artifact."""
     report: dict = {
-        "schema": "bench-iss/1",
+        "schema": "bench-iss/2",
         "iss_version": ISS_VERSION,
         "python": platform.python_version(),
         "generated_unix": time.time(),
@@ -95,12 +104,14 @@ def run_bench(
     # -- full-length matmul on the fast engine -------------------------
     # Best of two runs: a single sample of a multi-second measurement is
     # vulnerable to scheduler noise on a shared host.
+    # engine="fast" is pinned: "auto" now resolves to the superblock
+    # engine, which gets its own section below.
     full = matmul_int.workload()
     full_wall = float("inf")
     for _ in range(2):
         with _gc_quiet():
             start = time.perf_counter()
-            result = run_workload(full)
+            result = run_workload(full, engine="fast")
             full_wall = min(full_wall, time.perf_counter() - start)
     report["matmul_full_fast"] = {
         "wall_seconds": full_wall,
@@ -131,6 +142,97 @@ def run_bench(
             "basis": "medium-config speedup x full fast wall",
         }
 
+    # -- superblock engine on the full-length matmul -------------------
+    sb_wall = float("inf")
+    for _ in range(2):
+        with _gc_quiet():
+            start = time.perf_counter()
+            sb_result = run_workload(full, engine="superblock")
+            sb_wall = min(sb_wall, time.perf_counter() - start)
+    report["superblock"] = {
+        "wall_seconds": sb_wall,
+        "mips": sb_result.instructions / sb_wall / 1e6,
+        "speedup_superblock_over_fast": full_wall / sb_wall,
+        "bit_identical": (
+            sb_result.cycles == matmul_int.PAPER_CYCLE_COUNT
+            and sb_result.correct
+            and sb_result.cycles == result.cycles
+            and sb_result.instructions == result.instructions
+            and sb_result.checksum == result.checksum
+        ),
+    }
+
+    # -- N-lane vector engine ------------------------------------------
+    from repro.cpu.vector_engine import run_lanes
+    from repro.runtime.parallel import run_workloads_vector
+
+    fast_mips = report["matmul_full_fast"]["mips"]
+
+    # N=1 property run: the vector engine degenerates to one lane and
+    # must stay bit-identical to the paper goldens on the full workload.
+    with _gc_quiet():
+        start = time.perf_counter()
+        n1 = run_lanes(full.source, lanes=1)
+        n1_wall = time.perf_counter() - start
+    n1_lane = n1.lanes[0]
+    vector: dict = {
+        "n1_wall_seconds": n1_wall,
+        "n1_vectorized": n1.vectorized,
+        "n1_bit_identical": (
+            n1.vectorized
+            and n1_lane.checksum == full.expected_checksum
+            and n1_lane.cycles == matmul_int.PAPER_CYCLE_COUNT
+        ),
+    }
+
+    # Lane-scaling rows: N seed-parameterized matmul variants share one
+    # program text and run in lockstep.  Aggregate MIPS is total
+    # retired instructions over the group wall; speedup is against the
+    # fast-path MIPS measured above on this same host.
+    scale_cfg = dict(n=20, repeats=20, tune=1000)
+    for n_lanes in (8, 16, 32, 64):
+        variants = [
+            matmul_int.seed_variant(12345 + 7919 * i, **scale_cfg)
+            for i in range(n_lanes)
+        ]
+        lane_words = [w.data_words for w in variants]
+        src = variants[0].source
+        run_lanes(src, lane_words=lane_words[: max(2, n_lanes // 4)])  # warm
+        with _gc_quiet():
+            start = time.perf_counter()
+            vres = run_lanes(src, lane_words=lane_words)
+            wall = time.perf_counter() - start
+        mips = vres.total_instructions / wall / 1e6
+        vector[f"n{n_lanes}"] = {
+            "lanes": n_lanes,
+            "wall_seconds": wall,
+            "vectorized": vres.vectorized,
+            "total_instructions": vres.total_instructions,
+            "aggregate_mips": mips,
+            "speedup_vs_fast": mips / fast_mips,
+            "all_correct": all(
+                lane.checksum == w.expected_checksum
+                for w, lane in zip(variants, vres.lanes)
+            ),
+        }
+
+    # 8-variant suite through the vector runner (end-to-end path).
+    from repro.analysis.suite_study import seed_variant_configs
+
+    suite_variants = seed_variant_configs(8)
+    with _gc_quiet():
+        start = time.perf_counter()
+        vreport = run_workloads_vector(suite_variants, cache=False)
+        vsuite_wall = time.perf_counter() - start
+    vector["suite_8_variants"] = {
+        "wall_seconds": vsuite_wall,
+        "vector_groups": vreport.vector_groups,
+        "vector_lanes": vreport.vector_lanes,
+        "aggregate_mips": vreport.mips,
+        "all_correct": all(r.correct for r in vreport.results),
+    }
+    report["vector_lanes"] = vector
+
     # -- suite study: serial cold, parallel cold, warm cache -----------
     from repro.analysis.suite_study import run_suite_study
 
@@ -141,9 +243,19 @@ def run_bench(
         run_suite_study(cache=False, jobs=1)
         serial_cold = time.perf_counter() - start
 
-        start = time.perf_counter()
-        run_suite_study(cache=False, jobs=None)
-        parallel_cold = time.perf_counter() - start
+        # The serial/parallel comparison is only meaningful when the
+        # pool actually gets more than one worker.  On a single-CPU
+        # host it collapses to a serial rerun, so skip the measurement
+        # rather than publish a same-vs-same "comparison".
+        from repro.runtime.parallel import resolve_jobs
+
+        cpus = os.cpu_count() or 1
+        parallel_jobs = resolve_jobs(None, 8)
+        parallel_cold: Optional[float] = None
+        if parallel_jobs > 1:
+            start = time.perf_counter()
+            run_suite_study(cache=False, jobs=None)
+            parallel_cold = time.perf_counter() - start
 
         start = time.perf_counter()
         run_suite_study(cache=bench_cache)  # cold: primes the cache
@@ -153,13 +265,13 @@ def run_bench(
         run_suite_study(cache=bench_cache)  # warm: all hits
         warm_wall = time.perf_counter() - start
 
-        from repro.runtime.parallel import resolve_jobs
-
         report["suite_study"] = {
             "workloads": 8,
+            "cpus_available": cpus,
             "serial_cold_wall_seconds": serial_cold,
             "parallel_cold_wall_seconds": parallel_cold,
-            "parallel_jobs": resolve_jobs(None, 8),
+            "parallel_jobs": parallel_jobs,
+            "parallel_comparison_valid": parallel_jobs > 1,
             "cold_prime_wall_seconds": prime_wall,
             "warm_cache_wall_seconds": warm_wall,
             "warm_cache_hits": bench_cache.hits,

@@ -78,17 +78,22 @@ def default_cache_dir() -> Path:
 def cache_key(
     workload: Workload, max_cycles: int, version: str = ISS_VERSION
 ) -> str:
-    """SHA-256 hex digest identifying one (workload, budget, ISS) run."""
-    payload = json.dumps(
-        {
-            "name": workload.name,
-            "source": workload.source,
-            "expected_checksum": workload.expected_checksum,
-            "max_cycles": max_cycles,
-            "iss_version": version,
-        },
-        sort_keys=True,
-    )
+    """SHA-256 hex digest identifying one (workload, budget, ISS) run.
+
+    ``data_words`` joins the key only when non-empty: data-parameterized
+    lane variants share source text and *must* key on their parameter
+    words, while every pre-existing workload keeps its existing key.
+    """
+    fields = {
+        "name": workload.name,
+        "source": workload.source,
+        "expected_checksum": workload.expected_checksum,
+        "max_cycles": max_cycles,
+        "iss_version": version,
+    }
+    if workload.data_words:
+        fields["data_words"] = list(workload.data_words)
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -40,6 +40,10 @@ class SuiteRunReport:
     jobs: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Lane groups executed on the N-lane vector engine (vector runner).
+    vector_groups: int = 0
+    #: Total lanes across those groups.
+    vector_lanes: int = 0
 
     @property
     def total_instructions(self) -> int:
@@ -250,4 +254,141 @@ def run_workloads(
         jobs=used_jobs,
         cache_hits=hits,
         cache_misses=len(pending),
+    )
+
+
+def _lane_to_result(workload: Workload, lane) -> WorkloadResult:
+    """Adapt one :class:`~repro.cpu.vector_engine.LaneOutcome` to the
+    suite result type, with the same self-check :func:`run_workload`
+    applies."""
+    from repro.errors import ReproError
+
+    if lane.error is not None:
+        raise ReproError(
+            f"workload {workload.name!r} failed in vector lane: "
+            f"{lane.error}"
+        )
+    result = WorkloadResult(
+        workload=workload,
+        checksum=lane.checksum,
+        cycles=lane.cycles,
+        instructions=lane.instructions,
+        program_reads=lane.program_reads,
+        data_reads=lane.data_reads,
+        data_writes=lane.data_writes,
+        activity_factor=lane.activity_factor(),
+    )
+    if not result.correct:
+        raise ReproError(
+            f"workload {workload.name!r} failed self-check: "
+            f"got {result.checksum:#010x}, expected "
+            f"{workload.expected_checksum:#010x}"
+        )
+    return result
+
+
+def run_workloads_vector(
+    workloads: Sequence[Workload],
+    max_cycles: int = 500_000_000,
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+) -> SuiteRunReport:
+    """Run workloads through the N-lane vector engine where possible.
+
+    Cache hits resolve in the parent exactly as in
+    :func:`run_workloads` (per-lane keys: ``data_words`` joins the
+    cache key).  Remaining misses are grouped by identical source text;
+    each group of two or more becomes one
+    :func:`~repro.cpu.vector_engine.run_lanes` call executing every
+    variant in lockstep (falling back per-lane to the scalar superblock
+    engine on a vector bailout, so results are always bit-exact).
+    Groups of one fan out over :func:`map_parallel` with the ordinary
+    scalar worker.
+    """
+    from repro.cpu.vector_engine import run_lanes
+
+    start = time.perf_counter()
+    use_cache = cache is not False
+    result_cache: Optional[ResultCache] = None
+    if use_cache:
+        result_cache = cache if isinstance(cache, ResultCache) else ResultCache()
+
+    n = len(workloads)
+    results: List[Optional[WorkloadResult]] = [None] * n
+    perfs: List[Optional[RunPerf]] = [None] * n
+
+    pending: List[int] = []
+    hits = 0
+    for i, workload in enumerate(workloads):
+        if result_cache is not None:
+            t0 = time.perf_counter()
+            found = result_cache.get(workload, max_cycles)
+            if found is not None:
+                results[i] = found
+                perfs[i] = RunPerf(
+                    name=workload.name,
+                    wall_seconds=time.perf_counter() - t0,
+                    cycles=found.cycles,
+                    instructions=found.instructions,
+                    cached=True,
+                )
+                hits += 1
+                continue
+        pending.append(i)
+
+    def record(i: int, result: WorkloadResult, wall: float) -> None:
+        results[i] = result
+        perfs[i] = RunPerf(
+            name=result.workload.name,
+            wall_seconds=wall,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            cached=False,
+        )
+        if result_cache is not None:
+            result_cache.put(result, max_cycles)
+
+    # Group cache misses by identical program text: only byte-identical
+    # programs can share a lockstep vector run.
+    groups: "dict[str, List[int]]" = {}
+    for i in pending:
+        groups.setdefault(workloads[i].source, []).append(i)
+
+    vector_groups = 0
+    vector_lanes = 0
+    singles: List[int] = []
+    for source, members in groups.items():
+        if len(members) < 2:
+            singles.extend(members)
+            continue
+        t0 = time.perf_counter()
+        vres = run_lanes(
+            source,
+            lane_words=[tuple(workloads[i].data_words) for i in members],
+            max_cycles=max_cycles,
+        )
+        group_wall = time.perf_counter() - t0
+        if vres.vectorized:
+            vector_groups += 1
+            vector_lanes += len(members)
+        per_lane_wall = group_wall / len(members)
+        for i, lane in zip(members, vres.lanes):
+            record(i, _lane_to_result(workloads[i], lane), per_lane_wall)
+
+    if singles:
+        payloads = [(workloads[i], max_cycles) for i in singles]
+        for i, (result, wall) in zip(
+            singles, map_parallel(_execute_one, payloads, jobs=jobs)
+        ):
+            record(i, result, wall)
+
+    return SuiteRunReport(
+        results=[r for r in results if r is not None],
+        perfs=[p for p in perfs if p is not None],
+        wall_seconds=time.perf_counter() - start,
+        jobs=resolve_jobs(jobs, len(singles)) if singles else 1,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        vector_groups=vector_groups,
+        vector_lanes=vector_lanes,
     )

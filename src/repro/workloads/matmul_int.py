@@ -71,7 +71,7 @@ tune_loop:
 init:
     push {{r4, r5, r6, lr}}
     ldr r0, =A_BASE
-    ldr r1, ={seed}
+    {seed_load}
     ldr r4, ={lcg_mul}
     ldr r5, ={lcg_add}
     ldr r6, ={fill_words}
@@ -144,9 +144,23 @@ cs_loop:
 
 
 def source(
-    n: int = N, repeats: int = REPEATS, tune: int = TUNE, pads: int = PADS
+    n: int = N,
+    repeats: int = REPEATS,
+    tune: int = TUNE,
+    pads: int = PADS,
+    seed: "int | None" = LCG_SEED,
 ) -> str:
-    """Assembly text for a parameterized matmul-int run."""
+    """Assembly text for a parameterized matmul-int run.
+
+    ``seed=None`` emits a program that reads the LCG seed from the
+    first data-region word (``A_BASE``, overwritten by the fill loop a
+    moment later) instead of baking it into the literal pool.  Every
+    seed variant then shares identical program bytes, which is what
+    lets the N-lane vector engine run them in lockstep.
+    """
+    seed_load = (
+        "ldr r1, [r0]" if seed is None else f"ldr r1, ={seed}"
+    )
     return _TEMPLATE.format(
         n=n,
         nbytes=n * 4,
@@ -155,7 +169,7 @@ def source(
         c_base=f"0x{A_BASE + 8 * n * n:08X}",
         repeats=repeats,
         tune=tune,
-        seed=LCG_SEED,
+        seed_load=seed_load,
         lcg_mul=LCG_MUL,
         lcg_add=LCG_ADD,
         fill_words=2 * n * n,
@@ -179,10 +193,10 @@ def predicted_cycles(
     return _BASE_CYCLES + repeats * _CYCLES_PER_MATMUL + 4 * tune + pads
 
 
-def golden_checksum(n: int = N) -> int:
+def golden_checksum(n: int = N, seed: int = LCG_SEED) -> int:
     """Pure-Python/numpy model of the kernel's checksum."""
     values = []
-    x = LCG_SEED
+    x = seed
     for _ in range(2 * n * n):
         x = (x * LCG_MUL + LCG_ADD) & 0xFFFFFFFF
         signed = x - 0x100000000 if x & 0x80000000 else x
@@ -201,4 +215,29 @@ def workload(
         description=f"{n}x{n} int32 matrix multiply, {repeats} repeats",
         source=source(n, repeats, tune, pads),
         expected_checksum=golden_checksum(n),
+    )
+
+
+def seed_variant(
+    seed: int,
+    n: int = N,
+    repeats: int = REPEATS,
+    tune: int = TUNE,
+    pads: int = PADS,
+) -> Workload:
+    """A matmul-int variant whose LCG seed arrives via a data word.
+
+    All variants of one ``(n, repeats, tune, pads)`` shape share
+    byte-identical program text — only ``data_words`` differs — so a
+    batch of them forms one vector-engine lane group.
+    """
+    return Workload(
+        name=f"matmul-int-s{seed}",
+        description=(
+            f"{n}x{n} int32 matrix multiply, {repeats} repeats, "
+            f"seed {seed}"
+        ),
+        source=source(n, repeats, tune, pads, seed=None),
+        expected_checksum=golden_checksum(n, seed),
+        data_words=(seed,),
     )

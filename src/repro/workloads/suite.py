@@ -21,12 +21,18 @@ class Workload:
         description: One-line description.
         source: Thumb assembly text.
         expected_checksum: Golden r0 value at halt (from a Python model).
+        data_words: Parameter words written (uncounted) at the data
+            region base before the run.  Parameterizing a workload
+            through data words instead of source text keeps the program
+            bytes identical across variants, which is what lets the
+            N-lane vector engine run many variants in one pass.
     """
 
     name: str
     description: str
     source: str
     expected_checksum: int
+    data_words: tuple = ()
 
 
 @dataclass
@@ -71,9 +77,9 @@ def run_workload(
     Args:
         engine: ISS engine selection passed to
             :meth:`~repro.cpu.simulator.CortexM0.run` (``"auto"``,
-            ``"fast"``, ``"legacy"``).  ``None`` reads the
-            ``REPRO_ISS_ENGINE`` environment variable and falls back to
-            ``"auto"``.  Both engines are bit-identical.
+            ``"superblock"``, ``"fast"``, ``"legacy"``).  ``None``
+            reads the ``REPRO_ISS_ENGINE`` environment variable and
+            falls back to ``"auto"``.  All engines are bit-identical.
     """
     if engine is None:
         engine = os.environ.get("REPRO_ISS_ENGINE", "auto")
@@ -81,6 +87,12 @@ def run_workload(
     trace = ActivityTrace()
     cpu = CortexM0(MemoryMap.embedded_system(), trace=trace)
     cpu.load_program(program)
+    if workload.data_words:
+        data_base = cpu.memory.region("data").base
+        for i, word in enumerate(workload.data_words):
+            cpu.memory.write(
+                data_base + 4 * i, word & 0xFFFFFFFF, 4, count=False
+            )
     with obs.span("iss.run", workload=workload.name, engine=engine) as sp:
         stats = cpu.run(max_cycles=max_cycles, engine=engine)
         sp.set(cycles=stats.cycles, instructions=stats.instructions)
@@ -104,6 +116,19 @@ def run_workload(
             metrics.counter("iss.fastpath.invalidations").inc(
                 fast.invalidations
             )
+            # Block-cache health of the superblock translator: execs
+            # are cache hits (a translated block ran), translations
+            # are misses that compiled a new block.
+            if hasattr(fast, "block_execs"):
+                metrics.counter("iss.superblock.blocks_translated").inc(
+                    fast.blocks_translated
+                )
+                metrics.counter("iss.superblock.block_execs").inc(
+                    fast.block_execs
+                )
+                metrics.counter("iss.superblock.block_steps").inc(
+                    fast.block_steps
+                )
     result = WorkloadResult(
         workload=workload,
         checksum=cpu.regs.read(0),

@@ -1,8 +1,9 @@
-"""Differential tests: fast dispatch-cache engine vs legacy decode loop.
+"""Differential tests: predecoded engines vs the legacy decode loop.
 
-The fast engine must be *bit-identical* to the legacy path — same
-statistics, checksums, per-region access counters, activity trace, and
-exception behavior — across every workload in the suite.
+The fast dispatch-cache engine and the superblock-translating engine
+must both be *bit-identical* to the legacy path — same statistics,
+checksums, per-region access counters, activity trace, and exception
+behavior — across every workload in the suite.
 """
 
 import pytest
@@ -52,8 +53,10 @@ def execute(source, engine, max_cycles=500_000_000):
 
 def assert_engines_identical(source, max_cycles=500_000_000):
     legacy = execute(source, "legacy", max_cycles)
-    fast = execute(source, "fast", max_cycles)
-    assert fast == legacy
+    for engine in ("fast", "superblock"):
+        predecoded = execute(source, engine, max_cycles)
+        assert predecoded == legacy, f"{engine} diverged from legacy"
+    return legacy
 
 
 @pytest.mark.smoke
@@ -80,14 +83,15 @@ class TestEngineSelection:
             cpu.run(engine="turbo")
 
     def test_engines_tuple(self):
-        assert ENGINES == ("auto", "fast", "legacy")
+        assert ENGINES == ("auto", "superblock", "fast", "legacy")
 
-    def test_fast_engine_refuses_recorder(self):
+    @pytest.mark.parametrize("engine", ["fast", "superblock"])
+    def test_predecoded_engine_refuses_recorder(self, engine):
         cpu = CortexM0(
             MemoryMap.embedded_system(), recorder=AccessRecorder()
         )
         with pytest.raises(ReproError, match="recorder"):
-            cpu.run(engine="fast")
+            cpu.run(engine=engine)
 
     def test_auto_with_recorder_uses_legacy(self):
         workload = default_study_configs()[-1]
@@ -105,9 +109,7 @@ class TestFaultFidelity:
     """Error paths must raise the same exceptions with the same text."""
 
     def _messages(self, source, max_cycles=500_000_000):
-        legacy = execute(source, "legacy", max_cycles)
-        fast = execute(source, "fast", max_cycles)
-        assert fast == legacy
+        legacy = assert_engines_identical(source, max_cycles)
         return legacy["error"]
 
     def test_cycle_limit_identical(self):
@@ -140,7 +142,8 @@ class TestFaultFidelity:
 
 
 class TestSelfModifyingCode:
-    def test_external_program_patch_invalidates_decode_cache(self):
+    @pytest.mark.parametrize("engine", ["fast", "superblock"])
+    def test_external_program_patch_invalidates_decode_cache(self, engine):
         """Patching program memory between runs must re-decode."""
         source = """
                 movs r0, #1
@@ -149,7 +152,7 @@ class TestSelfModifyingCode:
         program = assemble(source)
         cpu = CortexM0(MemoryMap.embedded_system())
         cpu.load_program(program)
-        cpu.run(engine="fast")
+        cpu.run(engine=engine)
         assert cpu.regs.read(0) == 1
 
         # Patch the movs immediate from #1 to #42 and re-run.
@@ -159,7 +162,7 @@ class TestSelfModifyingCode:
         )
         cpu.halted = False
         cpu.regs.write(15, program.entry_point)
-        cpu.run(engine="fast")
+        cpu.run(engine=engine)
         assert cpu.regs.read(0) == 42
 
     def test_store_into_program_region_invalidates(self):
@@ -176,7 +179,114 @@ class TestSelfModifyingCode:
                 movs r0, #1
                 bkpt
         """
-        legacy = execute(source, "legacy")
-        fast = execute(source, "fast")
-        assert fast == legacy
-        assert fast["regs"][0] == 7
+        legacy = assert_engines_identical(source)
+        assert legacy["regs"][0] == 7
+
+
+class TestSuperblockBoundaries:
+    """SMC, faults, and cycle limits landing *inside* translated blocks.
+
+    The superblock engine batches whole straight-line runs into one
+    call; these tests pin the partial-progress bookkeeping when
+    execution stops partway through a block.
+    """
+
+    def _superblock_engine(self, source):
+        program = assemble(source)
+        cpu = CortexM0(MemoryMap.embedded_system())
+        cpu.load_program(program)
+        cpu.run(engine="superblock", max_cycles=500_000_000)
+        return cpu.fast_engine
+
+    def test_store_into_own_block_reexecutes_patched_tail(self):
+        """A store over a later instruction of the *current* block.
+
+        The strh lands on code inside the very straight-line run being
+        executed; the block must stop after the store, re-translate,
+        and execute the patched instruction.
+        """
+        source = """
+                ldr r1, =patch
+                ldr r2, =0x2007
+                movs r4, #9
+                strh r2, [r1]
+                movs r5, #8
+                movs r6, #3
+            patch:
+                movs r0, #1
+                bkpt
+        """
+        legacy = assert_engines_identical(source)
+        assert legacy["regs"][0] == 7
+        assert legacy["regs"][5] == 8  # post-store prefix re-ran correctly
+
+    def test_fault_mid_block_preserves_architectural_state(self):
+        """A misaligned load in the middle of a fused run."""
+        source = """
+                movs r0, #1
+                movs r2, #2
+                adds r3, r0, r2
+                ldr r1, [r0]
+                adds r4, r3, r2
+                bkpt
+        """
+        legacy = assert_engines_identical(source)
+        assert "misaligned" in legacy["error"]
+        assert legacy["regs"][3] == 3  # pre-fault effects applied
+        assert legacy["regs"][4] == 0  # post-fault insn never ran
+
+    def test_unmapped_store_mid_block(self):
+        source = """
+                movs r0, #1
+                lsls r0, r0, #30
+                movs r3, #5
+                str r0, [r0]
+                movs r4, #6
+                bkpt
+        """
+        legacy = assert_engines_identical(source)
+        assert "unmapped" in legacy["error"]
+
+    def test_cycle_limit_lands_mid_block(self):
+        """The limit must raise at the same pc as the legacy loop."""
+        source = """
+            loop:
+                adds r0, r0, #1
+                adds r1, r1, #1
+                adds r2, r2, #1
+                adds r3, r3, #1
+                b loop
+        """
+        legacy = assert_engines_identical(source, max_cycles=57)
+        assert "cycle limit 57 exceeded" in legacy["error"]
+
+    def test_blocks_actually_translate(self):
+        """Sanity: the scenarios above really exercise fused blocks."""
+        eng = self._superblock_engine(
+            """
+                movs r0, #1
+                movs r1, #2
+                adds r0, r0, r1
+                bkpt
+            """
+        )
+        assert eng.blocks_translated >= 1
+        assert eng.block_steps >= 3
+
+    def test_fused_branch_loops_stay_in_block_dispatch(self):
+        """Loop bodies ending in bcond fuse the branch into the block."""
+        eng = self._superblock_engine(
+            """
+                movs r0, #0
+                movs r1, #10
+            loop:
+                adds r0, r0, #1
+                cmp r0, r1
+                bne loop
+                movs r2, #1
+                bkpt
+            """
+        )
+        # The loop body (adds/cmp/bne) executes as one block per
+        # iteration; only the prologue and epilogue use other paths.
+        assert eng.block_execs >= 10

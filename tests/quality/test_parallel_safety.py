@@ -176,6 +176,86 @@ class TestSharedState:
         assert suppressed == 1
 
 
+class TestVectorWorkers:
+    """Vector-engine callables crossing the pool boundary."""
+
+    def test_module_level_vector_engine_closure_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.cpu.vector_engine import VectorEngine
+            from repro.runtime.parallel import map_parallel
+
+            _ENGINE = VectorEngine(None, 8)
+
+            def _worker(payload):
+                return _ENGINE.run(payload)
+
+            def run(payloads):
+                return map_parallel(_worker, payloads)
+            """
+        )
+        assert [f.rule for f in findings] == ["RPL008"]
+        assert "_ENGINE" in findings[0].message
+
+    def test_module_level_cpu_closure_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.cpu import CortexM0, MemoryMap
+            from repro.runtime.parallel import map_parallel
+
+            _CPU = CortexM0(MemoryMap.embedded_system())
+
+            def _worker(payload):
+                _CPU.load_program(payload)
+                return _CPU.run()
+
+            def run(payloads):
+                return map_parallel(_worker, payloads)
+            """
+        )
+        assert [f.rule for f in findings] == ["RPL008"]
+        assert "_CPU" in findings[0].message
+
+    def test_journal_mutation_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.runtime.parallel import map_parallel
+
+            _JOURNAL = []
+
+            def _worker(payload):
+                _JOURNAL.append(payload)
+                return payload
+
+            def run(payloads):
+                return map_parallel(_worker, payloads)
+            """
+        )
+        assert [f.rule for f in findings] == ["RPL008"]
+        assert "_JOURNAL" in findings[0].message
+
+    def test_per_call_engine_construction_ok(self):
+        # The share-nothing pattern run_workloads_vector uses for its
+        # singleton groups: the worker builds every bit of simulator
+        # state inside the call, nothing crosses the boundary but the
+        # payload.
+        findings, _ = lint(
+            """
+            from repro.runtime.parallel import map_parallel
+
+            def _worker(payload):
+                from repro.cpu.vector_engine import run_lanes
+
+                source, lane_words = payload
+                return run_lanes(source, lane_words=lane_words)
+
+            def run(payloads):
+                return map_parallel(_worker, payloads)
+            """
+        )
+        assert findings == []
+
+
 class TestLiveCallSites:
     def test_every_existing_src_call_site_passes(self):
         """Acceptance: RPL008 is clean over the real runtime + core."""

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.runtime.cache import ResultCache
-from repro.runtime.parallel import resolve_jobs, run_workloads
+from repro.runtime.parallel import (
+    resolve_jobs,
+    run_workloads,
+    run_workloads_vector,
+)
 from repro.workloads import fib, matmul_int, sort
 
 
@@ -98,6 +102,69 @@ class TestCacheIntegration:
         assert not (tmp_path / "env-cache").exists()
 
 
+class TestVectorRunner:
+    @pytest.fixture
+    def mixed_suite(self):
+        """8 seed variants (one vector group) plus two singleton programs."""
+        variants = [
+            matmul_int.seed_variant(12345 + 7919 * i, n=8, repeats=2, tune=5)
+            for i in range(8)
+        ]
+        return variants + [
+            fib.workload(k=8, repeats=2),
+            sort.workload(length=8, repeats=1),
+        ]
+
+    def test_bit_identical_to_scalar_runner(self, mixed_suite):
+        scalar = run_workloads(mixed_suite, jobs=1, cache=False)
+        vector = run_workloads_vector(mixed_suite, jobs=1, cache=False)
+        assert vector.vector_groups == 1
+        assert vector.vector_lanes == 8
+        assert [r.workload.name for r in vector.results] == [
+            w.name for w in mixed_suite
+        ]
+        for a, b in zip(vector.results, scalar.results):
+            assert a.checksum == b.checksum
+            assert a.cycles == b.cycles
+            assert a.instructions == b.instructions
+            assert a.program_reads == b.program_reads
+            assert a.data_reads == b.data_reads
+            assert a.data_writes == b.data_writes
+            assert abs(a.activity_factor - b.activity_factor) < 1e-15
+
+    def test_cache_warm_rerun_all_hits(self, mixed_suite, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_workloads_vector(mixed_suite, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.vector_lanes == 8
+        warm = run_workloads_vector(mixed_suite, cache=cache)
+        assert warm.cache_hits == len(mixed_suite)
+        assert warm.vector_groups == 0
+        for a, b in zip(cold.results, warm.results):
+            assert a.checksum == b.checksum
+            assert a.cycles == b.cycles
+
+    def test_seed_variants_have_distinct_cache_keys(self, tmp_path):
+        """Same source, different data words: entries must not collide."""
+        variants = [
+            matmul_int.seed_variant(s, n=8, repeats=1, tune=1)
+            for s in (1, 2)
+        ]
+        cache = ResultCache(tmp_path)
+        run_workloads_vector(variants, cache=cache)
+        report = run_workloads_vector(list(reversed(variants)), cache=cache)
+        assert report.cache_hits == 2
+        for workload, result in zip(reversed(variants), report.results):
+            assert result.workload.name == workload.name
+            assert result.checksum == workload.expected_checksum
+
+    def test_all_singletons_degenerates_to_scalar_path(self, tiny_suite):
+        report = run_workloads_vector(tiny_suite, jobs=1, cache=False)
+        assert report.vector_groups == 0
+        assert report.vector_lanes == 0
+        assert all(r.correct for r in report.results)
+
+
 class TestSuiteStudyIntegration:
     def test_suite_study_cached_rows_identical(self, tmp_path):
         from repro.analysis.suite_study import run_suite_study
@@ -108,4 +175,19 @@ class TestSuiteStudyIntegration:
         assert cache.hits >= 8
         assert len(cold) == len(warm) == 8
         for a, b in zip(cold, warm):
+            assert a.__dict__ == b.__dict__
+
+    def test_suite_study_vector_rows_identical(self, tmp_path):
+        from repro.analysis.suite_study import (
+            run_suite_study,
+            seed_variant_configs,
+        )
+
+        configs = seed_variant_configs(4)
+        scalar = run_suite_study(configs=configs, jobs=1, cache=False)
+        vector = run_suite_study(
+            configs=configs, jobs=1, cache=False, vector=True
+        )
+        assert len(scalar) == len(vector) == 4
+        for a, b in zip(scalar, vector):
             assert a.__dict__ == b.__dict__

@@ -126,8 +126,14 @@ class TestCompareReports:
 
     def test_every_schema_has_specs(self):
         assert set(METRIC_SPECS) == {
-            "bench-iss/1", "bench-sweep/1", "bench-obs/1",
+            "bench-iss/1", "bench-iss/2", "bench-sweep/1", "bench-obs/1",
         }
+
+    def test_iss_v2_extends_v1(self):
+        """Every v1 gate survives in v2: the bench grew, never shrank."""
+        assert set(METRIC_SPECS["bench-iss/1"]) <= set(
+            METRIC_SPECS["bench-iss/2"]
+        )
 
     def test_render_lists_every_metric(self):
         comparisons = compare_reports(sweep_report(), sweep_report())
