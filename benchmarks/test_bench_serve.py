@@ -1,0 +1,29 @@
+"""Serving benchmark: writes ``BENCH_serve.json``.
+
+The acceptance gate the serve layer was built around: at 32 concurrent
+clients the batched server clears at least 3x the QPS of the
+serial-dispatch control while returning bit-identical JSON payloads,
+and both servers drain cleanly on SIGTERM.
+"""
+
+import json
+
+
+def test_bench_serve(output_dir):
+    from repro.runtime.bench_serve import SPEEDUP_FLOOR, run_serve_bench
+
+    path = output_dir / "BENCH_serve.json"
+    report = run_serve_bench(output_path=path)
+
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["schema"] == "bench-serve/1"
+    assert data["bit_equal_responses"]
+    assert data["speedup_at_least_3x"]
+    assert data["speedup_batched_over_serial"] >= SPEEDUP_FLOOR
+    assert data["clean_shutdown"]
+    assert data["open_loop"]["all_ok"]
+    assert data["batched"]["errors"] == 0
+    assert data["serial"]["errors"] == 0
+    assert data["batch_occupancy"]["mean"] > 1.0
+
+    print(json.dumps(report, indent=2))

@@ -357,6 +357,77 @@ def cmd_bench_obs(args) -> int:
     return 0 if report["tracing_off_overhead_under_2pct"] else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        grids=tuple(g.strip() for g in args.grids.split(",") if g.strip()),
+        clock_mhz=args.clock_mhz,
+        serial=args.serial,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        access_log=args.access_log,
+        sweep_cache=not args.no_sweep_cache,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from repro.runtime.bench_serve import run_serve_bench
+
+    report = run_serve_bench(
+        output_path=args.output,
+        clients=args.clients,
+        requests=args.requests,
+        open_rate_qps=args.open_rate,
+    )
+    batched, serial = report["batched"], report["serial"]
+    open_loop = report["open_loop"]
+    occupancy = report["batch_occupancy"]
+    print(
+        f"closed loop ({report['config']['clients']} clients, "
+        f"{report['config']['requests']} requests):"
+    )
+    print(
+        f"  batched {batched['qps']:,.0f} qps "
+        f"(p50 {batched['p50_ms']:.1f} ms, p99 {batched['p99_ms']:.1f} ms)"
+        f" vs serial {serial['qps']:,.0f} qps"
+    )
+    print(
+        f"  speedup {report['speedup_batched_over_serial']:.2f}x "
+        f"(>=3x: {report['speedup_at_least_3x']}, "
+        f"bit-equal responses: {report['bit_equal_responses']})"
+    )
+    print(
+        f"open loop @ {report['config']['open_rate_qps']:.0f} qps offered: "
+        f"p50 {open_loop['p50_ms']:.1f} ms, p99 {open_loop['p99_ms']:.1f} ms "
+        f"(all ok: {open_loop['all_ok']})"
+    )
+    print(
+        f"batch occupancy: mean {occupancy['mean']:.1f} over "
+        f"{occupancy['batches']} batches; clean shutdown: "
+        f"{report['clean_shutdown']}"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    gates_ok = (
+        report["speedup_at_least_3x"]
+        and report["bit_equal_responses"]
+        and report["clean_shutdown"]
+        and open_loop["all_ok"]
+    )
+    return 0 if gates_ok else 1
+
+
 def _dispatch_observed(args, label: str) -> int:
     """Parse and run the wrapped subcommand of ``trace``/``metrics``.
 
@@ -523,6 +594,14 @@ _COMMANDS = {
         cmd_bench_obs,
         "observability overhead benchmark (BENCH_obs.json)",
     ),
+    "serve": (
+        cmd_serve,
+        "run the PPAtC query server (POST /v1/tcdp, /v1/grid)",
+    ),
+    "bench-serve": (
+        cmd_bench_serve,
+        "serving throughput/latency benchmark (BENCH_serve.json)",
+    ),
     "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL008)"),
     "trace": (
         cmd_trace,
@@ -535,7 +614,7 @@ _COMMANDS = {
 }
 
 #: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
-_NO_COMMON_ARGS = {"lint", "trace", "metrics", "bench-obs"}
+_NO_COMMON_ARGS = {"lint", "trace", "metrics", "bench-obs", "serve", "bench-serve"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -643,6 +722,88 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=5,
                 help="interleaved timing repeats per variant (min is kept)",
+            )
+        if name == "serve":
+            sub.add_argument(
+                "--host", default="127.0.0.1", help="bind address"
+            )
+            sub.add_argument(
+                "--port",
+                type=int,
+                default=8080,
+                help="bind port (0 = ephemeral, announced on stdout)",
+            )
+            sub.add_argument(
+                "--grids",
+                default="us,coal,solar,taiwan",
+                metavar="NAMES",
+                help="comma-separated carbon grids to warm at startup",
+            )
+            sub.add_argument(
+                "--clock-mhz",
+                type=float,
+                default=500.0,
+                help="clock frequency the warmed scenario bases use",
+            )
+            sub.add_argument(
+                "--serial",
+                action="store_true",
+                help="bypass the request batcher (per-request scalar "
+                "evaluation; the bench's control mode)",
+            )
+            sub.add_argument(
+                "--batch-window-ms",
+                type=float,
+                default=2.0,
+                help="coalescing window for concurrent point queries",
+            )
+            sub.add_argument(
+                "--max-batch",
+                type=int,
+                default=128,
+                help="max point queries per tensor evaluation",
+            )
+            sub.add_argument(
+                "--max-pending",
+                type=int,
+                default=1024,
+                help="queue depth before requests shed with HTTP 429",
+            )
+            sub.add_argument(
+                "--access-log",
+                metavar="FILE",
+                default=None,
+                help="append JSON-lines access records to FILE",
+            )
+            sub.add_argument(
+                "--no-sweep-cache",
+                action="store_true",
+                help="disable the shared SweepCache for /v1/grid MC tiles",
+            )
+        if name == "bench-serve":
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the BENCH_serve.json artifact to FILE",
+            )
+            sub.add_argument(
+                "--clients",
+                type=int,
+                default=32,
+                help="concurrent connections in the closed-loop phases",
+            )
+            sub.add_argument(
+                "--requests",
+                type=int,
+                default=512,
+                help="closed-loop corpus size per server mode",
+            )
+            sub.add_argument(
+                "--open-rate",
+                type=float,
+                default=200.0,
+                help="open-loop offered arrival rate (requests/s)",
             )
         if name in ("trace", "metrics"):
             sub.add_argument(

@@ -72,6 +72,39 @@ def batched_ratio_grid(
     return grid
 
 
+def batched_ratio_points(
+    cand_embodied_g: np.ndarray,
+    cand_operational_g: np.ndarray,
+    cand_execution_time_s: "float | np.ndarray",
+    baseline_tcdp: "float | np.ndarray",
+    emb_scales: np.ndarray,
+    op_scales: np.ndarray,
+) -> np.ndarray:
+    """Element-wise relative tCDP for a batch of *paired* (x, y) points.
+
+    The diagonal counterpart of :func:`batched_ratio_grid`: instead of
+    the outer product of two scale axes, every batch element carries its
+    own ``(emb_scale, op_scale)`` pair — the shape serving-layer point
+    queries need, where request *i* asks for the ratio at its own map
+    position.  All arguments broadcast together; element ``i`` performs
+    exactly the same float operations, in the same order, as the scalar
+    :meth:`TcdpTradeoffMap.ratio` — and as ``batched_ratio_grid``
+    element ``[i, j, k]`` with matching scales — so coalescing point
+    queries into one call is bit-identical to evaluating them one at a
+    time.
+    """
+    x = np.asarray(emb_scales, dtype=float)
+    y = np.asarray(op_scales, dtype=float)
+    if np.any(x < 0) or np.any(y < 0):
+        raise CarbonModelError("scale factors must be >= 0")
+    emb = np.asarray(cand_embodied_g, dtype=float)
+    op = np.asarray(cand_operational_g, dtype=float)
+    t = np.asarray(cand_execution_time_s, dtype=float)
+    denom = np.asarray(baseline_tcdp, dtype=float)
+    # ((x*emb + y*op) * t) / tcdp_b — the exact op order of ratio().
+    return ((x * emb) + (y * op)) * t / denom
+
+
 @dataclass(frozen=True)
 class TcdpOperatingPoint:
     """The carbon components entering the trade-off map (gCO2e).

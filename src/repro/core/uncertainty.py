@@ -327,6 +327,46 @@ def draw_monte_carlo_samples(
     return MonteCarloSamples(lifetimes, ci_scales, yields)
 
 
+def batched_scenario_components(
+    candidate_wafer_g: "float | np.ndarray",
+    candidate_dies_per_wafer: "float | np.ndarray",
+    candidate_yields: "float | np.ndarray",
+    candidate_op_per_month_g: "float | np.ndarray",
+    baseline_wafer_g: "float | np.ndarray",
+    baseline_dies_per_wafer: "float | np.ndarray",
+    baseline_yield: "float | np.ndarray",
+    baseline_op_per_month_g: "float | np.ndarray",
+    lifetime_months: "float | np.ndarray",
+    ci_use_scales: "float | np.ndarray",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Carbon components for a batch of scenarios, as four arrays.
+
+    Returns ``(cand_embodied_g, cand_operational_g, base_embodied_g,
+    base_operational_g)``; every argument broadcasts, so callers can mix
+    shared scalars (one nominal scenario, varying samples) with per-entry
+    arrays (the serving layer, where each request carries its own base).
+    Element-wise this performs the same float operations, in the same
+    order, as :meth:`ScenarioParameters.candidate_point` /
+    :meth:`ScenarioParameters.baseline_point` rebuilt per entry, which
+    makes batched evaluation bit-identical to a per-scenario loop — the
+    contract both the Monte Carlo sweep and the query server's request
+    coalescing rely on.
+    """
+    ci_use = np.asarray(ci_use_scales, dtype=float)
+    lifetimes = np.asarray(lifetime_months, dtype=float)
+    cand_emb = np.asarray(candidate_wafer_g, dtype=float) / (
+        np.asarray(candidate_dies_per_wafer, dtype=float)
+        * np.asarray(candidate_yields, dtype=float)
+    )
+    cand_op = ci_use * candidate_op_per_month_g * lifetimes
+    base_emb = np.asarray(baseline_wafer_g, dtype=float) / (
+        np.asarray(baseline_dies_per_wafer, dtype=float)
+        * np.asarray(baseline_yield, dtype=float)
+    )
+    base_op = ci_use * baseline_op_per_month_g * lifetimes
+    return cand_emb, cand_op, base_emb, base_op
+
+
 def _mc_chunk_win_counts(
     payload: Tuple[ScenarioParameters, np.ndarray, np.ndarray, MonteCarloSamples],
 ) -> np.ndarray:
@@ -338,18 +378,17 @@ def _mc_chunk_win_counts(
     legacy loop by construction.
     """
     nominal, x, y, samples = payload
-    ci_use = nominal.ci_use_scale * samples.ci_scales
-    cand_emb = nominal.candidate_wafer_g / (
-        nominal.candidate_dies_per_wafer * samples.yields
-    )
-    cand_op = (
-        ci_use * nominal.candidate_op_per_month_g * samples.lifetime_months
-    )
-    base_emb = nominal.baseline_wafer_g / (
-        nominal.baseline_dies_per_wafer * nominal.baseline_yield
-    )
-    base_op = (
-        ci_use * nominal.baseline_op_per_month_g * samples.lifetime_months
+    cand_emb, cand_op, base_emb, base_op = batched_scenario_components(
+        nominal.candidate_wafer_g,
+        nominal.candidate_dies_per_wafer,
+        samples.yields,
+        nominal.candidate_op_per_month_g,
+        nominal.baseline_wafer_g,
+        nominal.baseline_dies_per_wafer,
+        nominal.baseline_yield,
+        nominal.baseline_op_per_month_g,
+        samples.lifetime_months,
+        nominal.ci_use_scale * samples.ci_scales,
     )
     base_tcdp = (base_emb + base_op) * 1.0  # baseline execution time is 1 s
     ratios = batched_ratio_grid(

@@ -1,0 +1,266 @@
+"""The ``BENCH_serve.json`` harness: the query-server throughput gate.
+
+Boots the real server twice as subprocesses (``python -m repro serve``)
+— once in batched mode, once with ``--serial`` (the per-request
+scalar-stack control) — and drives both with the deterministic load
+generator at 32 concurrent clients over the same seeded corpus:
+
+- **closed loop** (both modes): every client replays its corpus share
+  back-to-back; measures throughput and collects a SHA-256 digest over
+  all response bodies.  ``bit_equal_responses`` asserts the two modes'
+  digests match — request coalescing must be invisible byte-for-byte.
+- **open loop** (batched only): Poisson arrivals at a fixed offered
+  rate; p50/p99 include queueing delay, the honest tail-latency number
+  the ``bench-serve/1`` regression specs gate.
+
+``speedup_at_least_3x`` encodes the ISSUE-7 acceptance criterion as a
+machine-independent boolean; ``clean_shutdown`` asserts the SIGTERM
+drain path exits 0.  Run via ``python -m repro bench-serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.serve.loadgen import (
+    LoadPhaseResult,
+    build_corpus,
+    fetch_json,
+    run_closed_loop,
+    run_open_loop,
+)
+
+#: The acceptance floor for batched-over-serial closed-loop throughput.
+SPEEDUP_FLOOR = 3.0
+
+_BOOT_TIMEOUT_S = 60.0
+_SHUTDOWN_TIMEOUT_S = 15.0
+
+
+class _ServerProcess:
+    """One ``repro serve`` subprocess with parsed bound port."""
+
+    def __init__(self, serial: bool, batch_window_ms: float) -> None:
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--batch-window-ms",
+            str(batch_window_ms),
+            "--no-sweep-cache",
+        ]
+        if serial:
+            argv.append("--serial")
+        self.process = subprocess.Popen(
+            argv,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        self.port = self._await_announce()
+
+    def _await_announce(self) -> int:
+        assert self.process.stdout is not None
+        deadline = time.perf_counter() + _BOOT_TIMEOUT_S
+        line = self.process.stdout.readline()
+        if time.perf_counter() > deadline or "listening on" not in line:
+            self.process.kill()
+            raise ReproError(
+                f"server did not announce within {_BOOT_TIMEOUT_S}s "
+                f"(got {line!r})"
+            )
+        return int(line.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+
+    def shutdown(self) -> bool:
+        """SIGTERM and wait; True when the drain path exited cleanly."""
+        if self.process.poll() is not None:
+            return False
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            code = self.process.wait(timeout=_SHUTDOWN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+            return False
+        finally:
+            if self.process.stdout is not None:
+                self.process.stdout.close()
+        return code == 0
+
+
+def _phase_stats(result: LoadPhaseResult) -> Dict[str, Any]:
+    return {
+        "requests": result.requests,
+        "errors": result.errors,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "qps": round(result.qps, 1),
+        "p50_ms": round(result.percentile(0.50) * 1e3, 3),
+        "p99_ms": round(result.percentile(0.99) * 1e3, 3),
+    }
+
+
+async def _drive_batched(
+    port: int,
+    corpus: List[bytes],
+    warmup: List[bytes],
+    clients: int,
+    open_rate_qps: float,
+    open_corpus: List[bytes],
+    seed: int,
+) -> Dict[str, Any]:
+    await run_closed_loop("127.0.0.1", port, warmup, connections=clients)
+    closed = await run_closed_loop(
+        "127.0.0.1", port, corpus, connections=clients
+    )
+    open_result = await run_open_loop(
+        "127.0.0.1",
+        port,
+        open_corpus,
+        rate_qps=open_rate_qps,
+        seed=seed,
+        connections=clients,
+    )
+    metrics = await fetch_json("127.0.0.1", port, "/metricz")
+    health = await fetch_json("127.0.0.1", port, "/healthz")
+    return {
+        "closed": closed,
+        "open": open_result,
+        "metrics": metrics,
+        "health": health,
+    }
+
+
+async def _drive_serial(
+    port: int, corpus: List[bytes], warmup: List[bytes], clients: int
+) -> LoadPhaseResult:
+    await run_closed_loop("127.0.0.1", port, warmup, connections=clients)
+    return await run_closed_loop(
+        "127.0.0.1", port, corpus, connections=clients
+    )
+
+
+def run_serve_bench(
+    output_path: Optional[Path] = None,
+    clients: int = 32,
+    requests: int = 512,
+    open_rate_qps: float = 200.0,
+    open_requests: int = 400,
+    seed: int = 11,
+    batch_window_ms: float = 2.0,
+) -> Dict[str, Any]:
+    """Measure batched-vs-serial serving and write ``BENCH_serve.json``."""
+    corpus = build_corpus(seed=seed, n=requests)
+    warmup = build_corpus(seed=seed + 1, n=min(64, requests))
+    open_corpus = build_corpus(seed=seed + 2, n=open_requests)
+
+    batched_server = _ServerProcess(
+        serial=False, batch_window_ms=batch_window_ms
+    )
+    try:
+        batched = asyncio.run(
+            _drive_batched(
+                batched_server.port,
+                corpus,
+                warmup,
+                clients,
+                open_rate_qps,
+                open_corpus,
+                seed,
+            )
+        )
+    except BaseException:
+        batched_server.process.kill()
+        raise
+    batched_clean = batched_server.shutdown()
+
+    serial_server = _ServerProcess(
+        serial=True, batch_window_ms=batch_window_ms
+    )
+    try:
+        serial = asyncio.run(
+            _drive_serial(serial_server.port, corpus, warmup, clients)
+        )
+    except BaseException:
+        serial_server.process.kill()
+        raise
+    serial_clean = serial_server.shutdown()
+
+    closed: LoadPhaseResult = batched["closed"]
+    open_result: LoadPhaseResult = batched["open"]
+    speedup = closed.qps / serial.qps if serial.qps > 0 else 0.0
+    occupancy = (
+        batched["metrics"]
+        .get("histograms", {})
+        .get("serve.batch.occupancy", {})
+    )
+    batch_count = (
+        batched["metrics"].get("counters", {}).get("serve.batch.count", 0)
+    )
+    report: Dict[str, Any] = {
+        "schema": "bench-serve/1",
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "clients": clients,
+            "requests": requests,
+            "open_rate_qps": open_rate_qps,
+            "open_requests": open_requests,
+            "seed": seed,
+            "batch_window_ms": batch_window_ms,
+        },
+        "batched": _phase_stats(closed),
+        "serial": _phase_stats(serial),
+        "open_loop": {
+            **_phase_stats(open_result),
+            "all_ok": bool(
+                open_result.errors == 0
+                and open_result.requests == open_requests
+            ),
+        },
+        "batch_occupancy": {
+            "bounds": occupancy.get("bounds", []),
+            "counts": occupancy.get("counts", []),
+            "mean": round(occupancy.get("mean", 0.0), 2),
+            "batches": batch_count,
+        },
+        "speedup_batched_over_serial": round(speedup, 3),
+        "speedup_at_least_3x": bool(
+            speedup >= SPEEDUP_FLOOR
+            and closed.errors == 0
+            and serial.errors == 0
+        ),
+        "bit_equal_responses": bool(
+            closed.requests == serial.requests
+            and closed.digest() == serial.digest()
+        ),
+        "clean_shutdown": bool(batched_clean and serial_clean),
+    }
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report

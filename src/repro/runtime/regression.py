@@ -68,6 +68,20 @@ METRIC_SPECS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("tracing_off_overhead_under_2pct", "exact_true"),
         ("bit_identical", "exact_true"),
     ),
+    # The serving gate.  The ISSUE-7 acceptance criterion — batched
+    # handling at >=3x the QPS of the serial-dispatch control at 32
+    # concurrent clients, with bit-equal JSON payloads — is encoded as
+    # absolute booleans (machine-independent); the QPS/latency numbers
+    # ride the relative tolerance like every other wall-time metric.
+    "bench-serve/1": (
+        ("speedup_batched_over_serial", "higher_better"),
+        ("batched.qps", "higher_better"),
+        ("open_loop.p99_ms", "lower_better"),
+        ("speedup_at_least_3x", "exact_true"),
+        ("bit_equal_responses", "exact_true"),
+        ("clean_shutdown", "exact_true"),
+        ("open_loop.all_ok", "exact_true"),
+    ),
 }
 
 

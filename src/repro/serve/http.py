@@ -1,0 +1,195 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+Just enough protocol for the PPAtC query server: request-line + header
+parsing with hard size limits, ``Content-Length`` bodies (chunked
+transfer encoding is rejected — no client of a JSON point-query API
+needs it), and keep-alive by default as HTTP/1.1 specifies.  Kept
+deliberately tiny and dependency-free so the serving stack stays within
+the repo's stdlib-only discipline and every parsing branch is unit
+testable with hand-written byte fixtures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Hard cap on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Hard cap on a request body (grid tiles with explicit axes fit easily).
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Reason phrases for the statuses the server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the response status.
+
+    ``keep_alive`` is False for framing-level failures where the
+    connection byte stream can no longer be trusted (oversized or
+    malformed heads) and True for semantic failures (bad JSON, unknown
+    route) where the connection remains usable.
+    """
+
+    def __init__(
+        self, status: int, message: str, keep_alive: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.keep_alive = keep_alive
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client wants the connection reused afterwards."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json_body(self) -> dict:
+        """The body decoded as a JSON object; raises 400 otherwise."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(
+                400, "request body is not valid JSON", keep_alive=True
+            )
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "request body must be a JSON object", keep_alive=True
+            )
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for protocol violations; the caller turns
+    that into an error response (and drops the connection when the
+    stream position is no longer trustworthy).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head exceeds the stream limit")
+    if len(head) > max_header_bytes:
+        raise HttpError(431, "request head too large")
+    lines = head[:-4].split(b"\r\n")
+    request_line, header_lines = lines[0], lines[1:]
+    try:
+        method_b, target_b, version_b = request_line.split(b" ")
+        method = method_b.decode("ascii")
+        target = target_b.decode("ascii")
+        version = version_b.decode("ascii")
+    except (ValueError, UnicodeDecodeError):
+        raise HttpError(400, "malformed request line")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers: Dict[str, str] = {}
+    for raw in header_lines:
+        name, sep, value = raw.partition(b":")
+        if not sep or not name:
+            raise HttpError(400, "malformed header line")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("latin-1").strip()
+            )
+        except UnicodeDecodeError:
+            raise HttpError(400, "malformed header line")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked transfer encoding is not supported")
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    return HttpRequest(method, target, version, headers, body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialize one response, ready for ``writer.write``."""
+    reason = REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"content-type: {content_type}",
+        f"content-length: {len(body)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(
+    status: int,
+    payload: dict,
+    keep_alive: bool = True,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """A JSON response with compact separators (payloads stay canonical)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return response_bytes(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def error_response(error: HttpError) -> bytes:
+    """The standard error envelope for an :class:`HttpError`."""
+    return json_response(
+        error.status,
+        {"error": error.message, "status": error.status},
+        keep_alive=error.keep_alive,
+    )

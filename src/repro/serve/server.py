@@ -1,0 +1,323 @@
+"""The PPAtC query server: asyncio front door over the model stack.
+
+Routes:
+
+- ``POST /v1/tcdp``    — one design-point query (``ppatc-point/1``);
+  point queries ride the request batcher, so concurrent clients are
+  coalesced into single tensor evaluations.
+- ``POST /v1/grid``    — one trade-off-map tile (``ppatc-grid/1``);
+  already a tensor evaluation, dispatched inline, Monte Carlo overlays
+  memoized through the shared warm ``SweepCache``.
+- ``GET /healthz``     — liveness + readiness (bases warmed).
+- ``GET /metricz``     — the ``repro.obs`` metrics snapshot.
+
+Operational behavior: bounded batcher queue with HTTP 429 shedding,
+per-request ``serve.request`` spans, a JSON-lines access log, HTTP/1.1
+keep-alive, and graceful drain — SIGTERM/SIGINT stop the listener,
+let in-flight requests finish (draining the batcher queue), then close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+from repro import obs
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    error_response,
+    json_response,
+    read_request,
+)
+from repro.serve.model import (
+    SUPPORTED_GRIDS,
+    GridQuery,
+    ModelContext,
+    PointQuery,
+    QueryError,
+    evaluate_grid,
+    evaluate_point_scalar,
+    evaluate_points_batched,
+)
+from repro.serve.batcher import QueueFullError, RequestBatcher
+
+__all__ = ["ServerConfig", "PpatcServer", "run_server"]
+
+#: Request-latency histogram buckets, in seconds.
+_LATENCY_BOUNDS = (
+    0.0005, 0.001, 0.002, 0.005, 0.010, 0.025, 0.050, 0.100, 0.250, 1.0
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything `repro serve` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 = ephemeral (the bound port is on PpatcServer)
+    grids: Sequence[str] = SUPPORTED_GRIDS
+    clock_mhz: float = 500.0
+    serial: bool = False  # bypass the batcher (the bench's control arm)
+    batch_window_s: float = 0.002
+    max_batch: int = 128
+    max_pending: int = 1024
+    access_log: Optional[str] = None  # JSON-lines path; None = stderr off
+    sweep_cache: bool = True
+
+
+class PpatcServer:
+    """One server instance; start/serve/stop are all asyncio-native."""
+
+    def __init__(
+        self, config: ServerConfig, access_log_stream: Optional[TextIO] = None
+    ) -> None:
+        self.config = config
+        cache = None
+        if config.sweep_cache:
+            from repro.runtime.cache import SweepCache
+
+            cache = SweepCache()
+        self.context = ModelContext(
+            grids=config.grids,
+            clock_mhz=config.clock_mhz,
+            sweep_cache=cache,
+        )
+        self.batcher = RequestBatcher(
+            self._evaluate_batch,
+            window_s=config.batch_window_s,
+            max_batch=config.max_batch,
+            max_pending=config.max_pending,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self._access_log = access_log_stream
+        self._access_log_owned = False
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        """Warm the model bases and open the listening socket."""
+        obs.enable(tracing=False, metrics=True)
+        warmed = self.context.warm()
+        obs.get_metrics().gauge("serve.bases.warm").set(warmed)
+        if self.config.access_log and self._access_log is None:
+            self._access_log = open(  # noqa: SIM115 - closed in stop()
+                self.config.access_log, "a", encoding="utf-8"
+            )
+            self._access_log_owned = True
+        if not self.config.serial:
+            self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        # time.time() is wall-clock for the uptime report only; it never
+        # enters a model result.
+        self._started_at = time.time()  # repro-lint: disable=RPL002 - uptime metadata, not model output
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if not self.config.serial:
+            await self.batcher.stop()
+        if self._access_log is not None:
+            self._access_log.flush()
+            if self._access_log_owned:
+                self._access_log.close()
+            self._access_log = None
+
+    async def serve_until_signal(
+        self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
+    ) -> None:
+        """Run until one of ``signals`` arrives, then drain and return."""
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in signals:
+            loop.add_signal_handler(sig, stop_event.set)
+        try:
+            await stop_event.wait()
+        finally:
+            for sig in signals:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    # -- evaluation --------------------------------------------------------
+    def _evaluate_batch(
+        self, queries: Sequence[PointQuery]
+    ) -> List[Dict[str, Any]]:
+        return evaluate_points_batched(self.context, queries)
+
+    async def _evaluate_point(self, query: PointQuery) -> Dict[str, Any]:
+        if self.config.serial:
+            return evaluate_point_scalar(self.context, query)
+        try:
+            return await self.batcher.submit(query)
+        except QueueFullError as exc:
+            raise HttpError(429, str(exc), keep_alive=True)
+
+    # -- request handling --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = obs.get_metrics()
+        metrics.counter("serve.connections.total").inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    metrics.counter("serve.errors.protocol").inc()
+                    writer.write(error_response(exc))
+                    await writer.drain()
+                    if not exc.keep_alive:
+                        break
+                    continue
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._draining
+                keep_alive = await self._respond(request, writer, keep_alive)
+                self.requests_served += 1
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            metrics.counter("serve.connections.reset").inc()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        metrics = obs.get_metrics()
+        loop = asyncio.get_running_loop()
+        start = loop.time()  # monotonic event-loop clock, RPL002-clean
+        status = 200
+        with obs.span(
+            "serve.request", method=request.method, target=request.target
+        ) as span:
+            try:
+                body = await self._route(request)
+                response = json_response(200, body, keep_alive=keep_alive)
+            except HttpError as exc:
+                status = exc.status
+                keep_alive = keep_alive and exc.keep_alive
+                exc.keep_alive = keep_alive
+                response = error_response(exc)
+            except Exception:
+                status = 500
+                keep_alive = False
+                metrics.counter("serve.errors.internal").inc()
+                response = error_response(
+                    HttpError(500, "internal error", keep_alive=False)
+                )
+            span.set(status=status)
+            writer.write(response)
+            await writer.drain()
+        elapsed = loop.time() - start
+        metrics.counter("serve.requests.total").inc()
+        metrics.counter(f"serve.status.{status}").inc()
+        metrics.histogram("serve.request.seconds", _LATENCY_BOUNDS).observe(
+            elapsed
+        )
+        self._log_access(request, status, elapsed)
+        return keep_alive
+
+    async def _route(self, request: HttpRequest) -> Dict[str, Any]:
+        method, target = request.method, request.target.split("?", 1)[0]
+        if target == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "use GET", keep_alive=True)
+            return self._healthz()
+        if target == "/metricz":
+            if method != "GET":
+                raise HttpError(405, "use GET", keep_alive=True)
+            return obs.get_metrics().snapshot()
+        if target == "/v1/tcdp":
+            if method != "POST":
+                raise HttpError(405, "use POST", keep_alive=True)
+            query = self._parse(PointQuery, request)
+            return await self._evaluate_point(query)
+        if target == "/v1/grid":
+            if method != "POST":
+                raise HttpError(405, "use POST", keep_alive=True)
+            grid_query = self._parse(GridQuery, request)
+            return evaluate_grid(self.context, grid_query)
+        raise HttpError(404, f"no route for {target}", keep_alive=True)
+
+    @staticmethod
+    def _parse(query_cls: Any, request: HttpRequest) -> Any:
+        try:
+            return query_cls.from_payload(request.json_body())
+        except QueryError as exc:
+            raise HttpError(400, str(exc), keep_alive=True)
+
+    def _healthz(self) -> Dict[str, Any]:
+        uptime = 0.0
+        if self._started_at is not None:
+            uptime = time.time() - self._started_at  # repro-lint: disable=RPL002 - uptime metadata, not model output
+        return {
+            "status": "draining" if self._draining else "ok",
+            "mode": "serial" if self.config.serial else "batched",
+            "grids": list(self.context.grids),
+            "clock_mhz": self.context.clock_mhz,
+            "uptime_s": uptime,
+            "requests_served": self.requests_served,
+            "queue_depth": (
+                0 if self.config.serial else self.batcher.pending
+            ),
+        }
+
+    def _log_access(
+        self, request: HttpRequest, status: int, elapsed_s: float
+    ) -> None:
+        if self._access_log is None:
+            return
+        record = {
+            "ts": time.time(),  # repro-lint: disable=RPL002 - access-log timestamp, not model output
+            "method": request.method,
+            "target": request.target,
+            "status": status,
+            "elapsed_ms": round(elapsed_s * 1e3, 3),
+            "bytes_in": len(request.body),
+        }
+        self._access_log.write(json.dumps(record, separators=(",", ":")))
+        self._access_log.write("\n")
+
+
+async def run_server(
+    config: ServerConfig, announce: Optional[TextIO] = None
+) -> None:
+    """Boot, announce the bound address, and serve until SIGTERM/SIGINT."""
+    server = PpatcServer(config)
+    await server.start()
+    stream = announce if announce is not None else sys.stdout
+    mode = "serial" if config.serial else "batched"
+    print(
+        f"repro-serve listening on http://{config.host}:{server.port} "
+        f"({mode} mode, grids: {','.join(server.context.grids)})",
+        file=stream,
+        flush=True,
+    )
+    await server.serve_until_signal()

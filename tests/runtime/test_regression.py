@@ -127,6 +127,7 @@ class TestCompareReports:
     def test_every_schema_has_specs(self):
         assert set(METRIC_SPECS) == {
             "bench-iss/1", "bench-iss/2", "bench-sweep/1", "bench-obs/1",
+            "bench-serve/1",
         }
 
     def test_iss_v2_extends_v1(self):
@@ -188,6 +189,55 @@ class TestBenchObsSpecs:
             tolerance=0.0,
         )
         assert not any(c.regressed for c in comparisons)
+
+
+def serve_report(speedup=5.0, gate=True, bit_equal=True, p99=8.0):
+    return {
+        "schema": "bench-serve/1",
+        "speedup_batched_over_serial": speedup,
+        "batched": {"qps": 2500.0 * speedup / 5.0},
+        "open_loop": {"p99_ms": p99, "all_ok": True},
+        "speedup_at_least_3x": gate,
+        "bit_equal_responses": bit_equal,
+        "clean_shutdown": True,
+    }
+
+
+class TestBenchServeSpecs:
+    """bench-serve gates throughput, tail latency, and its booleans."""
+
+    def test_identical_reports_pass(self):
+        report = serve_report()
+        assert not any(
+            c.regressed
+            for c in compare_reports(report, report, tolerance=0.0)
+        )
+
+    def test_speedup_collapse_is_caught(self):
+        comparisons = compare_reports(
+            serve_report(speedup=5.0), serve_report(speedup=1.5)
+        )
+        regressed = {c.metric for c in comparisons if c.regressed}
+        assert "speedup_batched_over_serial" in regressed
+
+    def test_gate_booleans_are_exact(self):
+        # Even at huge tolerance, losing the 3x gate or bit-equality
+        # regresses.
+        comparisons = compare_reports(
+            serve_report(),
+            serve_report(speedup=2.0, gate=False, bit_equal=False),
+            tolerance=10.0,
+        )
+        regressed = {c.metric for c in comparisons if c.regressed}
+        assert "speedup_at_least_3x" in regressed
+        assert "bit_equal_responses" in regressed
+
+    def test_tail_latency_blowup_is_caught(self):
+        comparisons = compare_reports(
+            serve_report(p99=5.0), serve_report(p99=50.0), tolerance=0.75
+        )
+        regressed = {c.metric for c in comparisons if c.regressed}
+        assert "open_loop.p99_ms" in regressed
 
 
 class TestScript:

@@ -1,0 +1,178 @@
+"""HTTP/1.1 framing: byte fixtures through the stream parser."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    error_response,
+    json_response,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to the parser as a closed stream."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_parses_post_with_body():
+    body = b'{"grid":"us"}'
+    raw = (
+        b"POST /v1/tcdp HTTP/1.1\r\n"
+        b"Host: example\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"\r\n" + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.target == "/v1/tcdp"
+    assert request.version == "HTTP/1.1"
+    assert request.headers["host"] == "example"
+    assert request.body == body
+    assert request.json_body() == {"grid": "us"}
+    assert request.keep_alive
+
+
+def test_get_without_body():
+    request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.body == b""
+    assert request.json_body() == {}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_truncated_head_raises_400():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"POST /v1/tcdp HTTP/1.1\r\nHost: x")
+    assert excinfo.value.status == 400
+    assert not excinfo.value.keep_alive
+
+
+def test_truncated_body_raises_400():
+    with pytest.raises(HttpError) as excinfo:
+        parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        )
+    assert excinfo.value.status == 400
+
+
+def test_malformed_request_line():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"NONSENSE\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_unsupported_version():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"GET / HTTP/2\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_malformed_header_line():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_bad_content_length():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n")
+    assert excinfo.value.status == 400
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_oversized_body_raises_413():
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw)
+    assert excinfo.value.status == 413
+
+
+def test_oversized_head_raises_431():
+    raw = (
+        b"GET / HTTP/1.1\r\nx-pad: " + b"a" * 70000 + b"\r\n\r\n"
+    )
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw)
+    assert excinfo.value.status == 431
+
+
+def test_chunked_encoding_rejected_501():
+    with pytest.raises(HttpError) as excinfo:
+        parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+    assert excinfo.value.status == 501
+
+
+def test_keep_alive_semantics():
+    http11 = HttpRequest("GET", "/", "HTTP/1.1")
+    assert http11.keep_alive
+    http11_close = HttpRequest(
+        "GET", "/", "HTTP/1.1", headers={"connection": "close"}
+    )
+    assert not http11_close.keep_alive
+    http10 = HttpRequest("GET", "/", "HTTP/1.0")
+    assert not http10.keep_alive
+    http10_ka = HttpRequest(
+        "GET", "/", "HTTP/1.0", headers={"connection": "keep-alive"}
+    )
+    assert http10_ka.keep_alive
+
+
+def test_json_body_errors_are_400_keep_alive():
+    bad = HttpRequest("POST", "/", "HTTP/1.1", body=b"{nope")
+    with pytest.raises(HttpError) as excinfo:
+        bad.json_body()
+    assert excinfo.value.status == 400
+    assert excinfo.value.keep_alive
+    non_object = HttpRequest("POST", "/", "HTTP/1.1", body=b"[1,2]")
+    with pytest.raises(HttpError):
+        non_object.json_body()
+
+
+def test_response_bytes_roundtrip():
+    raw = response_bytes(200, b"hi", content_type="text/plain")
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"content-length: 2" in head
+    assert b"connection: keep-alive" in head
+    assert body == b"hi"
+    closed = response_bytes(429, b"", keep_alive=False)
+    assert b"connection: close" in closed
+
+
+def test_json_response_is_compact():
+    raw = json_response(200, {"a": [1.5, None]})
+    body = raw.partition(b"\r\n\r\n")[2]
+    assert body == b'{"a":[1.5,null]}'
+    assert json.loads(body) == {"a": [1.5, None]}
+
+
+def test_error_response_envelope():
+    raw = error_response(HttpError(404, "no route", keep_alive=True))
+    body = json.loads(raw.partition(b"\r\n\r\n")[2])
+    assert body == {"error": "no route", "status": 404}

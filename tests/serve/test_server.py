@@ -1,0 +1,306 @@
+"""In-process server tests: routes, errors, drain, mode equivalence.
+
+Each test boots a real ``PpatcServer`` on an ephemeral port inside
+``asyncio.run`` and talks actual HTTP over loopback through the load
+generator's client helpers — the same path ``repro bench-serve`` uses.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import PpatcServer, ServerConfig
+from repro.serve.loadgen import (
+    _post_bytes,
+    _read_response,
+    build_corpus,
+    fetch_json,
+    run_closed_loop,
+)
+
+pytestmark = pytest.mark.usefixtures("clean_obs")
+
+#: One warmed grid keeps per-test server boots fast.
+TEST_CONFIG = dict(port=0, grids=("us",), sweep_cache=False)
+
+
+async def post_json(port, payload, target="/v1/tcdp"):
+    """One POST; returns (status, decoded-or-None body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(payload).encode()
+        writer.write(_post_bytes(body, target=target))
+        await writer.drain()
+        status, raw = await _read_response(reader)
+        return status, json.loads(raw) if raw else None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+@pytest.mark.smoke
+def test_end_to_end_point_request():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            status, body = await post_json(
+                server.port,
+                {"grid": "us", "lifetime_months": 24.0},
+            )
+        finally:
+            await server.stop()
+        return status, body
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    assert body["schema"] == "ppatc-point/1"
+    assert body["query"]["grid"] == "us"
+    assert 0 < body["tcdp_ratio"]
+    assert body["candidate"]["tcdp_gs"] > 0
+    assert len(body["lifetime"]["months"]) == 24
+
+
+def test_healthz_and_metricz():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            health = await fetch_json(
+                "127.0.0.1", server.port, "/healthz"
+            )
+            await post_json(server.port, {})
+            metrics = await fetch_json(
+                "127.0.0.1", server.port, "/metricz"
+            )
+        finally:
+            await server.stop()
+        return health, metrics
+
+    health, metrics = asyncio.run(run())
+    assert health["status"] == "ok"
+    assert health["mode"] == "batched"
+    assert health["grids"] == ["us"]
+    assert metrics["counters"]["serve.requests.total"] >= 1
+    assert metrics["gauges"]["serve.bases.warm"] == 1.0
+
+
+def test_error_statuses():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            results = {
+                "unknown_route": await post_json(
+                    server.port, {}, target="/v2/nope"
+                ),
+                "bad_method": None,
+                "bad_field": await post_json(
+                    server.port, {"grid": "mars"}
+                ),
+                "unwarmed_ok": await post_json(
+                    server.port, {"grid": "coal"}
+                ),
+            }
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                b"PUT /v1/tcdp HTTP/1.1\r\ncontent-length: 0\r\n\r\n"
+            )
+            await writer.drain()
+            results["bad_method"] = await _read_response(reader)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.stop()
+        return results
+
+    results = asyncio.run(run())
+    assert results["unknown_route"][0] == 404
+    assert results["bad_method"][0] == 405
+    status, body = results["bad_field"]
+    assert status == 400
+    assert "grid" in body["error"]
+    # Grids outside the warmed set still work (memoized on first use).
+    assert results["unwarmed_ok"][0] == 200
+
+
+def test_grid_endpoint():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            status, body = await post_json(
+                server.port,
+                {
+                    "grid": "us",
+                    "emb_scales": {"start": 0.1, "stop": 2.0, "n": 4},
+                    "op_scales": [0.5, 1.0],
+                },
+                target="/v1/grid",
+            )
+        finally:
+            await server.stop()
+        return status, body
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    assert body["schema"] == "ppatc-grid/1"
+    assert len(body["ratio_map"]) == 2
+    assert len(body["ratio_map"][0]) == 4
+
+
+def test_serial_and_batched_responses_are_bit_equal():
+    corpus = build_corpus(seed=3, n=64)
+
+    async def drive(serial):
+        server = PpatcServer(
+            ServerConfig(serial=serial, **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            return await run_closed_loop(
+                "127.0.0.1", server.port, corpus, connections=8
+            )
+        finally:
+            await server.stop()
+
+    batched = asyncio.run(drive(serial=False))
+    serial = asyncio.run(drive(serial=True))
+    assert batched.errors == 0 and serial.errors == 0
+    assert batched.requests == serial.requests == 64
+    assert batched.digest() == serial.digest()
+
+
+def test_concurrent_clients_coalesce(clean_obs):
+    """N concurrent clients -> far fewer tensor evaluations than N."""
+    corpus = build_corpus(seed=5, n=64)
+
+    async def run():
+        server = PpatcServer(
+            ServerConfig(batch_window_s=0.02, **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            result = await run_closed_loop(
+                "127.0.0.1", server.port, corpus, connections=16
+            )
+            metrics = await fetch_json(
+                "127.0.0.1", server.port, "/metricz"
+            )
+        finally:
+            await server.stop()
+        return result, metrics
+
+    result, metrics = asyncio.run(run())
+    assert result.errors == 0
+    batches = metrics["counters"]["serve.batch.count"]
+    queries = metrics["counters"]["serve.batch.queries"]
+    assert queries == 64
+    # 16 clients in lockstep over a 20 ms window: every round coalesces,
+    # so evaluations number ~requests/16, far below one per request.
+    assert batches <= 16
+    occupancy = metrics["histograms"]["serve.batch.occupancy"]
+    assert occupancy["mean"] >= 4.0
+
+
+def test_queue_full_returns_429():
+    async def run():
+        server = PpatcServer(
+            ServerConfig(
+                batch_window_s=0.2,
+                max_pending=2,
+                **TEST_CONFIG,
+            )
+        )
+        await server.start()
+        try:
+            statuses = await asyncio.gather(
+                *[post_json(server.port, {}) for _ in range(12)]
+            )
+        finally:
+            await server.stop()
+        return [status for status, _ in statuses]
+
+    statuses = asyncio.run(run())
+    assert statuses.count(429) > 0
+    assert statuses.count(200) > 0
+    assert set(statuses) <= {200, 429}
+
+
+def test_graceful_drain_finishes_inflight_requests():
+    """stop() mid-flight: admitted requests still get 200s."""
+
+    async def run():
+        server = PpatcServer(
+            ServerConfig(batch_window_s=0.1, **TEST_CONFIG)
+        )
+        await server.start()
+        inflight = [
+            asyncio.ensure_future(post_json(server.port, {}))
+            for _ in range(6)
+        ]
+        await asyncio.sleep(0.02)  # let them enter the batch window
+        await server.stop()
+        return await asyncio.gather(*inflight)
+
+    outcomes = asyncio.run(run())
+    assert [status for status, _ in outcomes] == [200] * 6
+    assert all(body["schema"] == "ppatc-point/1" for _, body in outcomes)
+
+
+def test_keep_alive_reuses_connection():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            statuses = []
+            for _ in range(3):
+                writer.write(_post_bytes(b"{}"))
+                await writer.drain()
+                status, _ = await _read_response(reader)
+                statuses.append(status)
+            writer.close()
+            await writer.wait_closed()
+            served = server.requests_served
+        finally:
+            await server.stop()
+        return statuses, served
+
+    statuses, served = asyncio.run(run())
+    assert statuses == [200, 200, 200]
+    assert served == 3
+
+
+def test_access_log_written(tmp_path):
+    log_path = tmp_path / "access.jsonl"
+
+    async def run():
+        server = PpatcServer(
+            ServerConfig(access_log=str(log_path), **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            await post_json(server.port, {})
+            await post_json(server.port, {"grid": "mars"})
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+    records = [
+        json.loads(line)
+        for line in log_path.read_text().splitlines()
+    ]
+    assert len(records) == 2
+    assert records[0]["target"] == "/v1/tcdp"
+    assert records[0]["status"] == 200
+    assert records[1]["status"] == 400
+    assert records[0]["elapsed_ms"] >= 0
