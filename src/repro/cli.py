@@ -525,7 +525,7 @@ def cmd_lint(args) -> int:
         rules = [RULE_REGISTRY[r]() for r in wanted]
 
     engine = LintEngine(rules=rules, baseline=baseline)
-    report = engine.lint_paths(paths, root=Path.cwd())
+    report = engine.lint_paths(paths, root=Path.cwd(), jobs=args.jobs)
 
     if args.write_baseline:
         merged = Baseline.from_findings(report.findings + report.baselined)
@@ -538,9 +538,55 @@ def cmd_lint(args) -> int:
 
     if args.format == "json":
         print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.quality.sarif import report_to_sarif
+
+        sarif = report_to_sarif(report, rules=engine.rules)
+        print(_json.dumps(sarif, indent=2, sort_keys=True))
     else:
         print(report.render_text())
     return report.exit_code
+
+
+def cmd_sanitize(args) -> int:
+    from pathlib import Path
+
+    from repro.quality.sanitizer import run_pytest
+
+    watch = [Path(p) for p in args.watch] if args.watch else None
+    ignore = set(args.ignore) if args.ignore else None
+    pytest_args = list(args.pytest_args) or ["tests/serve", "tests/runtime"]
+    try:
+        report, status = run_pytest(pytest_args, watch=watch, ignore=ignore)
+    except RuntimeError as exc:
+        print(f"repro sanitize: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.render())
+    return status
+
+
+def cmd_bench_lint(args) -> int:
+    from repro.runtime.bench_lint import run_lint_bench
+
+    report = run_lint_bench(output_path=args.output, repeats=args.repeats)
+    print(
+        f"lint wall time over {report['target']} "
+        f"({report['files_checked']} files, best of {report['repeats']}):"
+    )
+    print(
+        f"  serial {report['serial_wall_seconds']:.3f}s, "
+        f"parallel {report['parallel_wall_seconds']:.3f}s "
+        f"({report['speedup_parallel_over_serial']:.2f}x)"
+    )
+    print(
+        f"  parity: {report['parity']}  lint_clean: {report['lint_clean']}"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    if not report["parity"] or not report["lint_clean"]:
+        return 1
+    return 0
 
 
 def _explain_rule(rule_id: str) -> int:
@@ -602,7 +648,15 @@ _COMMANDS = {
         cmd_bench_serve,
         "serving throughput/latency benchmark (BENCH_serve.json)",
     ),
-    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL008)"),
+    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL012)"),
+    "sanitize": (
+        cmd_sanitize,
+        "run tests under the tsan-lite race sanitizer",
+    ),
+    "bench-lint": (
+        cmd_bench_lint,
+        "repro-lint wall-time benchmark (BENCH_lint.json)",
+    ),
     "trace": (
         cmd_trace,
         "run a subcommand with tracing on; write a Chrome trace JSON",
@@ -614,7 +668,16 @@ _COMMANDS = {
 }
 
 #: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
-_NO_COMMON_ARGS = {"lint", "trace", "metrics", "bench-obs", "serve", "bench-serve"}
+_NO_COMMON_ARGS = {
+    "lint",
+    "sanitize",
+    "bench-lint",
+    "trace",
+    "metrics",
+    "bench-obs",
+    "serve",
+    "bench-serve",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -871,8 +934,16 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--format",
                 default="text",
-                choices=("text", "json"),
-                help="output format",
+                choices=("text", "json", "sarif"),
+                help="output format (sarif = SARIF 2.1.0 for code "
+                "scanning upload)",
+            )
+            sub.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="lint worker processes (default: one per CPU; "
+                "1 = serial)",
             )
             sub.add_argument(
                 "--baseline",
@@ -907,6 +978,44 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="print the rationale and examples for one rule "
                 "(e.g. --explain RPL006) and exit",
+            )
+        if name == "sanitize":
+            sub.add_argument(
+                "pytest_args",
+                nargs="*",
+                metavar="PYTEST_ARG",
+                help="arguments passed through to pytest "
+                "(default: tests/serve tests/runtime)",
+            )
+            sub.add_argument(
+                "--watch",
+                action="append",
+                metavar="PATH",
+                default=None,
+                help="source tree(s) to watch for shared-state writes "
+                "(default: repro's serve/obs/runtime packages; "
+                "repeatable)",
+            )
+            sub.add_argument(
+                "--ignore",
+                action="append",
+                metavar="CLASS.ATTR",
+                default=None,
+                help="Class.attr pairs exempt from race reporting "
+                "(default: known benign lifecycle flags; repeatable)",
+            )
+        if name == "bench-lint":
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the BENCH_lint.json artifact to FILE",
+            )
+            sub.add_argument(
+                "--repeats",
+                type=int,
+                default=2,
+                help="timing repeats per arm (min is kept)",
             )
         sub.set_defaults(func=func)
     return parser

@@ -95,7 +95,12 @@ class MaterialsModel:
 
     def mpa_g_per_cm2(self) -> float:
         """MPA in gCO2e/cm^2 (wafer term + amortized extra materials)."""
-        extra = sum(c.carbon_g for c in self.extra_materials.values())
+        # Summed in sorted-name order so the float total is bit-stable
+        # regardless of registration order (RPL012).
+        extra = sum(
+            self.extra_materials[name].carbon_g
+            for name in sorted(self.extra_materials)
+        )
         return self.si_wafer_g_per_cm2 + extra / self.wafer_area_cm2
 
     def per_wafer_g(self) -> float:

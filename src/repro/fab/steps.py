@@ -102,7 +102,12 @@ class StepCount:
 
     @property
     def total_energy_kwh(self) -> float:
-        return sum(self.energies_kwh.values())
+        # Summed in fixed area order so the float total is bit-stable
+        # regardless of step-recording order (RPL012).
+        return sum(
+            self.energies_kwh[area]
+            for area in sorted(self.energies_kwh, key=lambda a: a.value)
+        )
 
     @property
     def total_steps(self) -> int:

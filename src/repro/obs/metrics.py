@@ -2,10 +2,14 @@
 
 A :class:`MetricsRegistry` owns named instruments.  Creation
 (:meth:`~MetricsRegistry.counter` etc.) is locked and idempotent — the
-same name always returns the same instrument — while the write path
-(:meth:`Counter.inc`, :meth:`Gauge.set`, :meth:`Histogram.observe`) is
-a single enabled-flag check plus an int/float update, cheap enough for
-per-run (not per-instruction) hot-path accounting.  ISS instruction-mix
+same name always returns the same instrument.  The write path
+(:meth:`Counter.inc`, :meth:`Gauge.set`, :meth:`Histogram.observe`)
+takes the registry lock too: instruments are updated from the event
+loop, the grid executor, and fan-out threads at once, and ``+=`` is a
+read-modify-write that loses updates under that interleaving.  While
+the registry is *disabled* the write path is still a single flag check
+that allocates nothing, which is what the bench-obs overhead budget
+actually measures.  ISS instruction-mix
 numbers are aggregated from the simulator's own
 :class:`~repro.cpu.simulator.ExecutionStats` *after* each run, so the
 execute loop itself is never touched.
@@ -47,7 +51,8 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (no-op while the registry is disabled)."""
         if self._registry.enabled:
-            self.value += amount
+            with self._registry._lock:
+                self.value += amount
 
 
 class Gauge:
@@ -63,7 +68,8 @@ class Gauge:
     def set(self, value: float) -> None:
         """Record the current level (no-op while disabled)."""
         if self._registry.enabled:
-            self.value = value
+            with self._registry._lock:
+                self.value = value
 
 
 class Histogram:
@@ -99,9 +105,10 @@ class Histogram:
         """Record one observation (no-op while disabled)."""
         if not self._registry.enabled:
             return
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
+        with self._registry._lock:
+            self.counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
 
     @property
     def mean(self) -> float:

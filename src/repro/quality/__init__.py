@@ -11,15 +11,22 @@ checks those invariants statically:
 - :mod:`repro.quality.flow` — dataflow unit-inference engine: a
   ``(dimension, scale)`` abstract interpretation over each function
   plus cross-module return-unit propagation, feeding RPL006-RPL008;
-- :mod:`repro.quality.rules` — the rule set (RPL001-RPL008);
+- :mod:`repro.quality.concurrency` — the concurrency analysis layer:
+  blocking-call classification with transitive witnesses and per-class
+  lock-discipline inference, feeding RPL009-RPL012;
+- :mod:`repro.quality.rules` — the rule set (RPL001-RPL012);
 - :mod:`repro.quality.engine` — file walking, pragma suppression,
-  reporting;
+  reporting, and the ``--jobs`` process-parallel fan-out;
 - :mod:`repro.quality.baseline` — committed grandfathered findings
   (``repro-lint-baseline.json``);
 - :mod:`repro.quality.pragmas` — ``# repro-lint: disable=...`` and
   ``# repro-lint: cache-pure`` inline pragmas;
 - :mod:`repro.quality.pragma_audit` — stale/unknown pragma detection
-  (``repro lint --audit-pragmas``).
+  (``repro lint --audit-pragmas``);
+- :mod:`repro.quality.sarif` — SARIF 2.1.0 export
+  (``repro lint --format sarif``);
+- :mod:`repro.quality.sanitizer` — the tsan-lite *runtime* race
+  harness (``repro sanitize``), the dynamic complement to RPL011.
 
 Run it as ``repro lint`` (or ``python -m repro lint``); see the README
 "Static analysis" section for the rule table and baseline workflow.
@@ -50,6 +57,11 @@ from repro.quality.pragma_audit import (
 )
 from repro.quality.pragmas import PragmaMap, parse_pragmas
 from repro.quality.rules import RULE_REGISTRY, Rule, default_rules
+from repro.quality.sanitizer import (
+    Sanitizer,
+    SanitizerReport,
+    run_pytest as sanitize_pytest,
+)
 
 __all__ = [
     "BASELINE_FILENAME",
@@ -76,4 +88,7 @@ __all__ = [
     "RULE_REGISTRY",
     "Rule",
     "default_rules",
+    "Sanitizer",
+    "SanitizerReport",
+    "sanitize_pytest",
 ]

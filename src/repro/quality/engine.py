@@ -254,28 +254,110 @@ class LintEngine:
 
     # ------------------------------------------------------------------
     def lint_paths(
-        self, paths: Sequence[Path], root: Optional[Path] = None
+        self,
+        paths: Sequence[Path],
+        root: Optional[Path] = None,
+        jobs: Optional[int] = None,
     ) -> LintReport:
-        """Lint a path set and fold in the baseline."""
-        modules = _ModuleCache()
+        """Lint a path set and fold in the baseline.
+
+        ``jobs=None`` auto-sizes worker processes to the CPU count via
+        :func:`repro.runtime.parallel.map_parallel` (file chunks fan
+        out; per-file analysis is independent, so the merged result is
+        byte-identical to a serial run); ``jobs=1`` forces serial.
+        Custom rule *instances* that are not registry classes cannot be
+        reconstructed worker-side and also force serial.
+        """
+        files = list(iter_python_files(paths))
         all_findings: List[Finding] = []
         suppressed = 0
-        files = 0
-        for file_path in iter_python_files(paths):
-            files += 1
-            findings, skipped = self.lint_file(
-                file_path, root=root, modules=modules
-            )
-            all_findings.extend(findings)
-            suppressed += skipped
+        chunks = self._parallel_chunks(files, jobs)
+        if chunks is not None:
+            from repro.runtime.parallel import map_parallel
+
+            rule_ids = tuple(rule.rule_id for rule in self.rules)
+            root_str = str(root) if root is not None else None
+            payloads = [
+                ([str(f) for f in chunk], root_str, rule_ids)
+                for chunk in chunks
+            ]
+            for findings, skipped, _count in map_parallel(
+                _lint_chunk, payloads, jobs=len(payloads), label="lint"
+            ):
+                all_findings.extend(findings)
+                suppressed += skipped
+        else:
+            modules = _ModuleCache()
+            for file_path in files:
+                findings, skipped = self.lint_file(
+                    file_path, root=root, modules=modules
+                )
+                all_findings.extend(findings)
+                suppressed += skipped
         all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         fresh, grandfathered = self.baseline.partition(all_findings)
         return LintReport(
             findings=fresh,
             baselined=grandfathered,
             suppressed=suppressed,
-            files_checked=files,
+            files_checked=len(files),
         )
+
+    # ------------------------------------------------------------------
+    def _parallel_chunks(
+        self, files: List[Path], jobs: Optional[int]
+    ) -> Optional[List[List[Path]]]:
+        """Contiguous file chunks for the process pool, or ``None``.
+
+        ``None`` means "lint serially": one job requested, too few
+        files to amortize a pool, or a rule set that cannot be rebuilt
+        from the registry in a worker.
+        """
+        from repro.quality.rules import RULE_REGISTRY
+        from repro.runtime.parallel import resolve_jobs
+
+        if jobs == 1 or len(files) < 2:
+            return None
+        if not all(
+            RULE_REGISTRY.get(rule.rule_id) is type(rule)
+            for rule in self.rules
+        ):
+            return None
+        workers = resolve_jobs(jobs, len(files))
+        if workers < 2:
+            return None
+        # Contiguous chunks keep sibling modules in one worker, so the
+        # shared parse cache still serves the cross-file rules.
+        size = (len(files) + workers - 1) // workers
+        return [files[i : i + size] for i in range(0, len(files), size)]
+
+
+def _lint_chunk(
+    payload: Tuple[List[str], Optional[str], Tuple[str, ...]],
+) -> Tuple[List[Finding], int, int]:
+    """Worker-side entry point (module-level for pickling).
+
+    Rebuilds the rule set from registry ids and lints one contiguous
+    file chunk with its own shared module cache; the parent merges,
+    sorts, and applies the baseline once globally.
+    """
+    from repro.quality.rules import RULE_REGISTRY
+
+    file_paths, root_str, rule_ids = payload
+    root = Path(root_str) if root_str is not None else None
+    engine = LintEngine(
+        rules=[RULE_REGISTRY[rule_id]() for rule_id in rule_ids]
+    )
+    modules = _ModuleCache()
+    findings: List[Finding] = []
+    suppressed = 0
+    for file_path in file_paths:
+        found, skipped = engine.lint_file(
+            Path(file_path), root=root, modules=modules
+        )
+        findings.extend(found)
+        suppressed += skipped
+    return findings, suppressed, len(file_paths)
 
 
 def _rel(path: Path, root: Optional[Path]) -> str:

@@ -9,7 +9,11 @@ Importing this package registers every built-in rule:
 - RPL005 — ``__all__`` exports exist and carry docstrings;
 - RPL006 — dataflow-inferred unit mismatch (with witness chains);
 - RPL007 — lossy rebinding without a ``units.py`` conversion;
-- RPL008 — parallel-safety of process-pool callables.
+- RPL008 — parallel-safety of process-pool callables;
+- RPL009 — no blocking calls inside ``async def`` (event-loop stalls);
+- RPL010 — orphaned tasks / unawaited coroutines;
+- RPL011 — lock-discipline: guarded fields stay guarded everywhere;
+- RPL012 — no unit-carrying sums over unordered iterables.
 """
 
 from repro.quality.rules.base import (
@@ -25,6 +29,10 @@ from repro.quality.rules.float_compare import FloatEqualityRule
 from repro.quality.rules.api_hygiene import ApiHygieneRule
 from repro.quality.rules.flow_units import InferredUnitRule, LossyRebindingRule
 from repro.quality.rules.parallel_safety import ParallelSafetyRule
+from repro.quality.rules.async_blocking import AsyncBlockingRule
+from repro.quality.rules.task_hygiene import TaskHygieneRule
+from repro.quality.rules.lock_discipline import LockDisciplineRule
+from repro.quality.rules.iter_order import IterOrderRule
 
 __all__ = [
     "RULE_REGISTRY",
@@ -39,4 +47,8 @@ __all__ = [
     "InferredUnitRule",
     "LossyRebindingRule",
     "ParallelSafetyRule",
+    "AsyncBlockingRule",
+    "TaskHygieneRule",
+    "LockDisciplineRule",
+    "IterOrderRule",
 ]

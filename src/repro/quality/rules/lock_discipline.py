@@ -1,0 +1,70 @@
+"""RPL011 — lock-discipline inference over thread-shared classes.
+
+The observability layer (:class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.metrics.MetricsRegistry`) and the serve batcher are
+mutated from multiple threads, and they defend themselves with a
+``self._lock``.  A lock only works when *every* write to a protected
+field goes through it: one unguarded ``self._records.append(...)`` next
+to ten guarded ones is a data race that corrupts state on exactly the
+run where it matters — and tools cannot bisect a race after the fact.
+
+For every class that owns a lock attribute (``self._lock =
+threading.Lock()`` / ``RLock`` / ``Condition`` / ``Semaphore``), the
+rule builds the map of instance attributes written under
+``with self._lock:`` versus outside it, and flags each attribute
+written **both ways**.  The finding cites the guarded site as the
+witness — the class itself established the discipline the unguarded
+write breaks:
+
+    'Tracer._records' is written under self._lock in _record() [line
+    62] but without it in reset() [line 88]
+
+Deliberate exceptions exist — reads-mostly fields published with a
+single atomic store, ``__init__`` bodies (excluded automatically: the
+instance is not shared during construction), GIL-atomic flag flips —
+and should carry a ``# repro-lint: disable=RPL011`` pragma naming the
+invariant that makes the unguarded write safe.  Classes without any
+lock attribute are never flagged: the rule infers the discipline a
+class declared for itself, it does not impose one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.quality.concurrency import analyze_lock_discipline
+from repro.quality.findings import Finding, Severity
+from repro.quality.rules.base import Rule, register
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Fields guarded somewhere must be guarded everywhere."""
+
+    rule_id = "RPL011"
+    severity = Severity.ERROR
+    summary = "attributes written under a lock must not be written outside it"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if "Lock" not in ctx.source and "Semaphore" not in ctx.source:
+            return
+        for discipline in analyze_lock_discipline(ctx.tree):
+            for attr in sorted(discipline.guarded_attrs()):
+                guarded = discipline.guarded_example(attr)
+                if guarded is None:
+                    continue
+                guarded_line = getattr(guarded.node, "lineno", 0)
+                for write in discipline.unguarded(attr):
+                    yield self.finding(
+                        ctx,
+                        write.node,
+                        (
+                            f"unguarded write: "
+                            f"'{discipline.class_name}.{attr}' is written "
+                            f"under the lock in {guarded.method}() [line "
+                            f"{guarded_line}] but without it here in "
+                            f"{write.method}() — a data race on the "
+                            f"thread-shared field"
+                        ),
+                        symbol=f"{discipline.class_name}.{write.method}",
+                    )

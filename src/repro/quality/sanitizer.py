@@ -1,0 +1,599 @@
+"""tsan-lite: a runtime race harness for the serve/runtime stack.
+
+RPL009-RPL012 are static; this module is the dynamic complement.
+``repro sanitize <pytest args>`` runs a test expression under two
+cooperating hooks and reports what static analysis cannot prove:
+
+- **Unguarded shared writes** (``sys.settrace`` +
+  ``threading.settrace``).  Watched source files are parsed once into a
+  per-line map of attribute-write targets (``self.X = ...``,
+  ``obj.X += ...``, ``self.X.append(...)``); at runtime each ``line``
+  event resolves the receiver object from the frame and records a
+  *write sample* — thread id, the set of locks currently held, the
+  source location, and the innermost live ``repro.obs`` span.  Two
+  writes to the same ``(object, attribute)`` from different threads
+  with **disjoint lock sets** are a race (the Eraser lockset
+  discipline): nothing orders them, so one update can be lost.
+
+- **Lock-order inversions** (``sys.setprofile`` +
+  ``threading.setprofile``).  ``c_call`` events on
+  ``lock.acquire``/``__enter__`` maintain a per-thread held-lock stack
+  and a global acquired-after graph; acquiring B while holding A when
+  some thread previously acquired A while holding B is a latent
+  deadlock, reported with both acquisition sites.
+
+Like ThreadSanitizer, the harness observes *this run's* interleavings
+only — a clean run is evidence, not proof.  Unlike tsan it has no
+happens-before engine, so lifecycle fields that are toggled
+single-threadedly from different threads over the process lifetime
+(start from the loop thread, teardown from the test main thread) can
+trip the lockset check; those carry entries in the **ignore list**
+(``Class.attr``, see ``DEFAULT_IGNORES``) rather than locks they do
+not need.
+
+Span attribution hooks :class:`repro.obs.trace._Span` enter/exit, so
+when tracing is enabled each write sample names the span it happened
+under — ``serve.request`` vs ``batch.evaluate`` localizes a race to a
+code path, which a bare thread id cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "DEFAULT_IGNORES",
+    "LockOrderReport",
+    "RaceReport",
+    "Sanitizer",
+    "SanitizerReport",
+    "default_watch_paths",
+    "run_pytest",
+]
+
+#: ``Class.attr`` pairs exempt from the lockset check: lifecycle flags
+#: toggled single-threadedly (enable on the serving thread, disable in
+#: test teardown) that the harness cannot order without happens-before.
+DEFAULT_IGNORES: FrozenSet[str] = frozenset(
+    {
+        "Tracer.enabled",
+        "MetricsRegistry.enabled",
+    }
+)
+
+#: Lock-typed receivers recognized by the profile hook.
+_LOCK_TYPE_NAMES = frozenset({"lock", "RLock"})
+
+_ACQUIRE_NAMES = frozenset({"acquire", "__enter__", "acquire_lock"})
+_RELEASE_NAMES = frozenset({"release", "__exit__", "release_lock"})
+
+#: Acquisitions made from inside the stdlib threading module itself
+#: (Condition/Event waiter-lock protocol) are excluded from order-edge
+#: tracking — that protocol takes its locks in both orders by design.
+_THREADING_FILE = threading.__file__
+
+#: In-place mutations of ``self.X.<method>(...)`` counted as writes to X.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "appendleft",
+    }
+)
+
+
+def default_watch_paths() -> List[Path]:
+    """The packages the CI sanitize job watches: serve, obs, runtime."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    return [root / "serve", root / "obs", root / "runtime"]
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WriteSample:
+    """One observed attribute write."""
+
+    tid: int
+    locks: FrozenSet[int]
+    location: str
+    span: str
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two unordered writes to the same field from different threads."""
+
+    owner: str  # class name of the written object
+    attr: str
+    first: WriteSample
+    second: WriteSample
+
+    def describe(self) -> str:
+        return (
+            f"data race on {self.owner}.{self.attr}: "
+            f"write at {self.first.location} "
+            f"(tid={self.first.tid}, span={self.first.span}) and "
+            f"write at {self.second.location} "
+            f"(tid={self.second.tid}, span={self.second.span}) "
+            f"hold no common lock"
+        )
+
+
+@dataclass(frozen=True)
+class LockOrderReport:
+    """Two locks acquired in both orders by different code paths."""
+
+    forward: str  # "A then B at <loc>"
+    backward: str
+
+    def describe(self) -> str:
+        return (
+            f"lock-order inversion: {self.forward}, but {self.backward} "
+            f"— a latent deadlock under the wrong interleaving"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one harness run observed."""
+
+    races: List[RaceReport] = field(default_factory=list)
+    inversions: List[LockOrderReport] = field(default_factory=list)
+    writes_seen: int = 0
+    files_watched: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.races and not self.inversions
+
+    def render(self) -> str:
+        lines = [
+            f"repro-sanitize: {len(self.races)} race(s), "
+            f"{len(self.inversions)} lock-order inversion(s) "
+            f"({self.writes_seen} write(s) across "
+            f"{self.files_watched} watched file(s))"
+        ]
+        for race in self.races:
+            lines.append(f"  RACE {race.describe()}")
+        for inversion in self.inversions:
+            lines.append(f"  ORDER {inversion.describe()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Static write-site extraction
+# ---------------------------------------------------------------------------
+@dataclass
+class _FileMap:
+    """Per-file static facts the line tracer consults.
+
+    ``writes``: lineno -> [(receiver local name, attribute)] write
+    sites.  ``lock_headers``: lineno -> [(base name, attr chain)] for
+    ``with <expr>:`` headers whose context expression is a plain
+    name/attribute chain — resolved against frame locals at runtime and
+    counted as an acquire if the object is lock-typed.  CPython emits
+    no ``c_call`` profile event for a ``with`` block's ``__enter__``
+    (only for ``__exit__``), so without this the profile hook would
+    never see with-based guards at all.
+    """
+
+    writes: Dict[int, List[Tuple[str, str]]] = field(default_factory=dict)
+    lock_headers: Dict[int, List[Tuple[str, Tuple[str, ...]]]] = field(
+        default_factory=dict
+    )
+
+    def __bool__(self) -> bool:
+        return bool(self.writes or self.lock_headers)
+
+
+def _attr_chain(node: ast.expr) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """``a.b.c`` as ``("a", ("b", "c"))``; None for anything else."""
+    attrs: List[str] = []
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id, tuple(reversed(attrs))
+    return None
+
+
+def _write_map(source: str) -> _FileMap:
+    """Write sites and with-lock headers for one watched file.
+
+    Only single-level receivers are tracked for writes (``self.X``,
+    ``obj.X``); multi-level chains like ``self._local.depth`` are
+    skipped — in this codebase those are ``threading.local`` slots,
+    per-thread by construction.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return _FileMap()
+    file_map = _FileMap()
+    out = file_map.writes
+
+    def record(node: ast.expr, lineno: int) -> None:
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            out.setdefault(lineno, []).append((node.value.id, node.attr))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(target, node.lineno)
+                if isinstance(target, ast.Subscript):
+                    record(target.value, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            record(node.target, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            record(node.target, node.lineno)
+            if isinstance(node.target, ast.Subscript):
+                record(node.target.value, node.lineno)
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATING_METHODS:
+                record(node.func.value, node.lineno)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                chain = _attr_chain(item.context_expr)
+                if chain is not None:
+                    file_map.lock_headers.setdefault(
+                        node.lineno, []
+                    ).append(chain)
+    return file_map
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+class Sanitizer:
+    """Install/uninstall the hooks and accumulate reports.
+
+    Use as a context manager::
+
+        sanitizer = Sanitizer()
+        with sanitizer:
+            run_the_workload()
+        report = sanitizer.report
+    """
+
+    MAX_REPORTS = 50
+
+    def __init__(
+        self,
+        watch: Optional[Sequence[Path]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> None:
+        paths = list(watch) if watch is not None else default_watch_paths()
+        self._prefixes = tuple(str(p.resolve()) for p in paths)
+        self._ignore = frozenset(ignore) if ignore is not None else (
+            DEFAULT_IGNORES
+        )
+        self.report = SanitizerReport()
+        # filename -> file map (None = not watched), consulted per call.
+        self._maps: Dict[str, Optional[_FileMap]] = {}
+        # (id(obj), attr) -> {tid: last sample}; owner class kept aside.
+        self._writes: Dict[Tuple[int, str], Dict[int, WriteSample]] = {}
+        self._owners: Dict[Tuple[int, str], str] = {}
+        self._race_keys: Set[Tuple[str, str, str, str]] = set()
+        # Lock bookkeeping.
+        self._held = threading.local()
+        self._tid_local = threading.local()
+        self._tid_counter = 0
+        self._edges: Dict[Tuple[int, int], str] = {}
+        self._inversion_keys: Set[Tuple[int, int]] = set()
+        self._state_lock = threading.Lock()
+        self._span_stack = threading.local()
+        self._orig_span_enter = None
+        self._orig_span_exit = None
+        self._prev_trace = None
+        self._prev_profile = None
+
+    # -- install/uninstall ---------------------------------------------
+    def __enter__(self) -> "Sanitizer":
+        self._patch_spans()
+        self._prev_trace = sys.gettrace()
+        self._prev_profile = sys.getprofile()
+        threading.settrace(self._trace)
+        threading.setprofile(self._profile)
+        sys.settrace(self._trace)
+        sys.setprofile(self._profile)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        sys.settrace(self._prev_trace)
+        sys.setprofile(self._prev_profile)
+        threading.settrace(None)  # type: ignore[arg-type]
+        threading.setprofile(None)  # type: ignore[arg-type]
+        self._unpatch_spans()
+        self.report.files_watched = sum(
+            1 for m in self._maps.values() if m
+        )
+        return False
+
+    # -- span attribution ----------------------------------------------
+    def _patch_spans(self) -> None:
+        from repro.obs import trace as trace_mod
+
+        sanitizer = self
+        self._orig_span_enter = trace_mod._Span.__enter__
+        self._orig_span_exit = trace_mod._Span.__exit__
+
+        def enter(span):  # type: ignore[no-untyped-def]
+            stack = getattr(sanitizer._span_stack, "names", None)
+            if stack is None:
+                stack = sanitizer._span_stack.names = []
+            stack.append(span.name)
+            return sanitizer._orig_span_enter(span)
+
+        def exit_(span, exc_type, exc, tb):  # type: ignore[no-untyped-def]
+            stack = getattr(sanitizer._span_stack, "names", None)
+            if stack:
+                stack.pop()
+            return sanitizer._orig_span_exit(span, exc_type, exc, tb)
+
+        trace_mod._Span.__enter__ = enter
+        trace_mod._Span.__exit__ = exit_
+
+    def _unpatch_spans(self) -> None:
+        from repro.obs import trace as trace_mod
+
+        if self._orig_span_enter is not None:
+            trace_mod._Span.__enter__ = self._orig_span_enter
+            trace_mod._Span.__exit__ = self._orig_span_exit
+            self._orig_span_enter = None
+            self._orig_span_exit = None
+
+    def _current_span(self) -> str:
+        stack = getattr(self._span_stack, "names", None)
+        return stack[-1] if stack else "-"
+
+    # -- write tracking (trace hook) -----------------------------------
+    def _map_for(self, filename: str) -> Optional[_FileMap]:
+        if filename in self._maps:
+            return self._maps[filename]
+        result: Optional[_FileMap] = None
+        if filename.startswith(self._prefixes):
+            try:
+                source = Path(filename).read_text(encoding="utf-8")
+            except OSError:
+                source = ""
+            result = _write_map(source)
+        self._maps[filename] = result
+        return result
+
+    def _trace(self, frame, event, arg):  # type: ignore[no-untyped-def]
+        if event != "call":
+            return None
+        if self._map_for(frame.f_code.co_filename):
+            return self._trace_line
+        return None
+
+    def _trace_line(self, frame, event, arg):  # type: ignore[no-untyped-def]
+        if event != "line":
+            return self._trace_line
+        sites = self._maps.get(frame.f_code.co_filename)
+        if not sites:
+            return self._trace_line
+        headers = sites.lock_headers.get(frame.f_lineno)
+        if headers:
+            for base, attrs in headers:
+                obj = frame.f_locals.get(base)
+                for attr in attrs:
+                    if obj is None:
+                        break
+                    obj = getattr(obj, attr, None)
+                if (
+                    obj is not None
+                    and obj is not self._state_lock
+                    and type(obj).__name__ in _LOCK_TYPE_NAMES
+                ):
+                    # The header line fires just before __enter__ runs;
+                    # close enough for lockset and ordering purposes.
+                    self._on_acquire(
+                        obj,
+                        f"{frame.f_code.co_filename}:{frame.f_lineno}",
+                        reentrant_ok=False,
+                    )
+        targets = sites.writes.get(frame.f_lineno)
+        if not targets:
+            return self._trace_line
+        for base, attr in targets:
+            owner = frame.f_locals.get(base)
+            if owner is None:
+                continue
+            owner_cls = type(owner).__name__
+            if f"{owner_cls}.{attr}" in self._ignore:
+                continue
+            self._record_write(
+                owner,
+                owner_cls,
+                attr,
+                f"{frame.f_code.co_filename}:{frame.f_lineno}",
+            )
+        return self._trace_line
+
+    def _thread_token(self) -> int:
+        """A stable per-thread id.
+
+        ``threading.get_ident()`` is recycled the moment a thread
+        exits, so two short-lived threads can share one ident and their
+        writes would collapse into a single (raceless) history.  Tokens
+        are handed out once per thread and never reused.
+        """
+        token = getattr(self._tid_local, "token", None)
+        if token is None:
+            with self._state_lock:
+                self._tid_counter += 1
+                token = self._tid_counter
+            self._tid_local.token = token
+        return token
+
+    def _record_write(
+        self, owner: object, owner_cls: str, attr: str, location: str
+    ) -> None:
+        tid = self._thread_token()
+        sample = WriteSample(
+            tid=tid,
+            locks=self._held_locks(),
+            location=location,
+            span=self._current_span(),
+        )
+        key = (id(owner), attr)
+        with self._state_lock:
+            self.report.writes_seen += 1
+            per_thread = self._writes.setdefault(key, {})
+            self._owners[key] = owner_cls
+            for other_tid, other in per_thread.items():
+                if other_tid == tid:
+                    continue
+                if other.locks.isdisjoint(sample.locks):
+                    race_key = (
+                        owner_cls,
+                        attr,
+                        *sorted((other.location, sample.location)),
+                    )
+                    if race_key in self._race_keys:
+                        continue
+                    self._race_keys.add(race_key)
+                    if len(self.report.races) < self.MAX_REPORTS:
+                        self.report.races.append(
+                            RaceReport(
+                                owner=owner_cls,
+                                attr=attr,
+                                first=other,
+                                second=sample,
+                            )
+                        )
+            per_thread[tid] = sample
+
+    # -- lock tracking (profile hook) ----------------------------------
+    def _held_list(self) -> List[Tuple[int, str]]:
+        held = getattr(self._held, "locks", None)
+        if held is None:
+            held = self._held.locks = []
+        return held
+
+    def _held_locks(self) -> FrozenSet[int]:
+        return frozenset(lock_id for lock_id, _ in self._held_list())
+
+    def _profile(self, frame, event, arg):  # type: ignore[no-untyped-def]
+        if event not in ("c_call", "c_return"):
+            return
+        receiver = getattr(arg, "__self__", None)
+        if receiver is None or receiver is self._state_lock:
+            return
+        if type(receiver).__name__ not in _LOCK_TYPE_NAMES:
+            return
+        name = getattr(arg, "__name__", "")
+        filename = frame.f_code.co_filename
+        location = f"{filename}:{frame.f_lineno}"
+        if event == "c_return" and name in _ACQUIRE_NAMES:
+            # threading.py's own Condition/Event waiter protocol takes
+            # its internal locks in both orders by design; held-set
+            # tracking still sees them, but they never form order edges.
+            # ``__enter__`` acquires are non-reentrant because watched
+            # ``with`` headers are already recorded by the line tracer.
+            self._on_acquire(
+                receiver,
+                location,
+                track_order=filename != _THREADING_FILE,
+                reentrant_ok=name != "__enter__",
+            )
+        elif event == "c_call" and name in _RELEASE_NAMES:
+            self._on_release(receiver)
+
+    def _on_acquire(
+        self,
+        lock: object,
+        location: str,
+        track_order: bool = True,
+        reentrant_ok: bool = True,
+    ) -> None:
+        held = self._held_list()
+        lock_id = id(lock)
+        if any(h == lock_id for h, _ in held):
+            if reentrant_ok:
+                held.append((lock_id, location))  # reentrant RLock acquire
+            return
+        if not track_order:
+            held.append((lock_id, location))
+            return
+        with self._state_lock:
+            for held_id, held_loc in held:
+                edge = (held_id, lock_id)
+                self._edges.setdefault(
+                    edge, f"{held_loc} then {location}"
+                )
+                back = (lock_id, held_id)
+                if back in self._edges:
+                    inversion_key = (
+                        min(held_id, lock_id),
+                        max(held_id, lock_id),
+                    )
+                    if inversion_key not in self._inversion_keys:
+                        self._inversion_keys.add(inversion_key)
+                        if len(self.report.inversions) < self.MAX_REPORTS:
+                            self.report.inversions.append(
+                                LockOrderReport(
+                                    forward=self._edges[back],
+                                    backward=self._edges[edge],
+                                )
+                            )
+        held.append((lock_id, location))
+
+    def _on_release(self, lock: object) -> None:
+        held = self._held_list()
+        lock_id = id(lock)
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] == lock_id:
+                del held[index]
+                return
+
+
+# ---------------------------------------------------------------------------
+# pytest driver
+# ---------------------------------------------------------------------------
+def run_pytest(
+    pytest_args: Sequence[str],
+    watch: Optional[Sequence[Path]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[SanitizerReport, int]:
+    """Run ``pytest.main(pytest_args)`` under the harness.
+
+    Returns ``(report, exit_code)`` where the exit code is pytest's
+    unless the run found races/inversions (then 1).
+    """
+    try:
+        import pytest
+    except ImportError:  # pragma: no cover - test env always has pytest
+        raise RuntimeError(
+            "repro sanitize drives pytest; install the [test] extra"
+        )
+    sanitizer = Sanitizer(watch=watch, ignore=ignore)
+    with sanitizer:
+        status = int(pytest.main(list(pytest_args)))
+    report = sanitizer.report
+    if not report.clean:
+        status = status or 1
+    return report, status

@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 export for repro-lint (GitHub code scanning).
+
+``repro lint --format sarif`` emits one SARIF run so CI findings
+surface as inline pull-request annotations instead of a log to scroll.
+The mapping is deliberately minimal and lossless where it matters:
+
+- every registered rule becomes a ``tool.driver.rules`` entry (id,
+  summary, and the ``--explain`` rationale as ``fullDescription``);
+- every finding becomes a ``result`` with its message, severity level,
+  and one physical location (repo-relative URI, 1-based line/column);
+- the finding's stable fingerprint (the same line-number-free hash the
+  baseline uses) rides in ``partialFingerprints`` so GitHub tracks a
+  finding across pushes exactly as the baseline would.
+
+Baselined findings are *not* exported — the SARIF view shows what the
+gate shows.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.quality.engine import LintReport
+from repro.quality.findings import Finding, Severity
+from repro.quality.rules import Rule
+
+__all__ = ["report_to_sarif"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_entry(rule: Rule) -> Dict[str, Any]:
+    doc = sys.modules[type(rule).__module__].__doc__ or rule.summary
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": doc.strip()},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "error")
+        },
+    }
+
+
+def _result_entry(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint()
+        },
+    }
+
+
+def report_to_sarif(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> Dict[str, Any]:
+    """The report as a SARIF 2.1.0 log object (JSON-able dict)."""
+    if rules is None:
+        from repro.quality.rules import default_rules
+
+        rules = default_rules()
+    rule_entries: List[Dict[str, Any]] = [
+        _rule_entry(rule) for rule in rules
+    ]
+    known = {entry["id"] for entry in rule_entries}
+    # Findings can carry ids outside the configured rule set (RPL000
+    # parse errors); give them a stub entry so the log validates.
+    for finding in report.findings:
+        if finding.rule not in known:
+            known.add(finding.rule)
+            rule_entries.append(
+                {
+                    "id": finding.rule,
+                    "name": finding.rule,
+                    "shortDescription": {"text": "repro-lint diagnostic"},
+                    "defaultConfiguration": {"level": "error"},
+                }
+            )
+    rule_entries.sort(key=lambda entry: str(entry["id"]))
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rule_entries,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repo root"}}
+                },
+                "results": [
+                    _result_entry(finding) for finding in report.findings
+                ],
+            }
+        ],
+    }

@@ -1,0 +1,93 @@
+"""The ``BENCH_lint.json`` harness: repro-lint wall-time gate.
+
+repro-lint runs as a blocking CI job, so its wall time is a direct tax
+on every push.  This harness times two full runs over ``src/repro``
+against the committed baseline:
+
+- **serial** — ``jobs=1``, the single-process reference;
+- **parallel** — ``jobs=None`` (auto), file chunks fanned out through
+  :func:`repro.runtime.parallel.map_parallel`.
+
+Both arms must produce the *same* report (``parity``) — parallel lint
+is only a scheduling change, never an analysis change — and the run
+must be clean modulo the baseline (``lint_clean``).  Wall times keep
+the per-arm minimum over ``repeats`` so one scheduler blip does not
+bias the series; the regression gate (schema ``bench-lint/1``) lets
+them drift within the usual relative tolerance but fails CI on a real
+slowdown, e.g. a new rule going accidentally quadratic.
+
+Run via ``python -m repro bench-lint`` or the benchmarks suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.quality import BASELINE_FILENAME, Baseline, LintEngine
+from repro.runtime.bench import _gc_quiet
+
+#: What the harness lints: the package itself, like the CI job does.
+DEFAULT_TARGET = Path("src/repro")
+
+
+def run_lint_bench(
+    output_path: Optional[Path] = None,
+    target: Optional[Path] = None,
+    repeats: int = 2,
+) -> dict:
+    """Time serial vs parallel lint; optionally write the artifact."""
+    target = Path(target) if target is not None else DEFAULT_TARGET
+    root = Path.cwd()
+    baseline_path = root / BASELINE_FILENAME
+    baseline = (
+        Baseline.load(baseline_path)
+        if baseline_path.is_file()
+        else Baseline()
+    )
+
+    serial_wall = float("inf")
+    parallel_wall = float("inf")
+    serial_report = parallel_report = None
+    with _gc_quiet():
+        for _ in range(repeats):
+            engine = LintEngine(baseline=baseline)
+            start = time.perf_counter()
+            serial_report = engine.lint_paths([target], root=root, jobs=1)
+            serial_wall = min(serial_wall, time.perf_counter() - start)
+
+            engine = LintEngine(baseline=baseline)
+            start = time.perf_counter()
+            parallel_report = engine.lint_paths([target], root=root)
+            parallel_wall = min(parallel_wall, time.perf_counter() - start)
+
+    assert serial_report is not None and parallel_report is not None
+    parity = serial_report.to_json() == parallel_report.to_json()
+    report = {
+        "schema": "bench-lint/1",
+        "python": platform.python_version(),
+        "generated_unix": time.time(),
+        "target": target.as_posix(),
+        "repeats": repeats,
+        "files_checked": serial_report.files_checked,
+        "findings": len(serial_report.findings),
+        "baselined": len(serial_report.baselined),
+        "suppressed": serial_report.suppressed,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup_parallel_over_serial": serial_wall / parallel_wall,
+        "parity": parity,
+        "lint_clean": serial_report.exit_code == 0,
+    }
+
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report

@@ -4,17 +4,27 @@ PR 4's observability layer (``repro.obs``) absorbed the wall-clock
 metering that lived here; :class:`RunPerf`, :class:`Stopwatch`,
 :func:`stopwatch`, and :func:`render_perf_table` are re-exported below
 unchanged so existing imports keep working.  New code should import
-from :mod:`repro.obs` (or :mod:`repro.obs.perf`) directly; this shim
-will be removed once no caller references it.
+from :mod:`repro.obs` (or :mod:`repro.obs.perf`) directly; importing
+this shim emits a :class:`DeprecationWarning`, and the module will be
+removed once no caller references it.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.obs.perf import (
     RunPerf,
     Stopwatch,
     render_perf_table,
     stopwatch,
+)
+
+warnings.warn(
+    "repro.runtime.perfcounters is deprecated; import from repro.obs "
+    "(or repro.obs.perf) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

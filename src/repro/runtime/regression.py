@@ -1,7 +1,8 @@
 """Benchmark-regression comparator for the committed BENCH_*.json files.
 
 CI regenerates ``BENCH_iss.json`` / ``BENCH_sweep.json`` /
-``BENCH_obs.json`` on the runner
+``BENCH_obs.json`` / ``BENCH_serve.json`` / ``BENCH_lint.json`` on the
+runner
 and compares them against the baselines committed in
 ``benchmarks/output/`` via :func:`compare_reports`.  Three metric kinds:
 
@@ -67,6 +68,15 @@ METRIC_SPECS: Dict[str, Tuple[Tuple[str, str], ...]] = {
     "bench-obs/1": (
         ("tracing_off_overhead_under_2pct", "exact_true"),
         ("bit_identical", "exact_true"),
+    ),
+    # The lint-speed gate.  Wall times ride the relative tolerance;
+    # ``parity`` (parallel report == serial report) and ``lint_clean``
+    # are absolute correctness booleans.
+    "bench-lint/1": (
+        ("serial_wall_seconds", "lower_better"),
+        ("parallel_wall_seconds", "lower_better"),
+        ("parity", "exact_true"),
+        ("lint_clean", "exact_true"),
     ),
     # The serving gate.  The ISSUE-7 acceptance criterion — batched
     # handling at >=3x the QPS of the serial-dispatch control at 32

@@ -24,6 +24,7 @@ import json
 import signal
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TextIO
 
@@ -94,6 +95,14 @@ class PpatcServer:
             max_batch=config.max_batch,
             max_pending=config.max_pending,
         )
+        # Grid tiles are full tensor evaluations; they run on this
+        # single-thread executor so they never stall the event loop
+        # (RPL009) while staying serialized exactly as they were when
+        # dispatched inline — same evaluation order, same SweepCache
+        # access pattern, bit-identical responses.
+        self._grid_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="ppatc-grid"
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._started_at: Optional[float] = None
@@ -114,7 +123,9 @@ class PpatcServer:
         warmed = self.context.warm()
         obs.get_metrics().gauge("serve.bases.warm").set(warmed)
         if self.config.access_log and self._access_log is None:
-            self._access_log = open(  # noqa: SIM115 - closed in stop()
+            # One-time open before the listener accepts traffic; no
+            # requests are in flight yet, so nothing can stall.
+            self._access_log = open(  # noqa: SIM115 - closed in stop()  # repro-lint: disable=RPL009 - one-time startup open before the listener accepts traffic
                 self.config.access_log, "a", encoding="utf-8"
             )
             self._access_log_owned = True
@@ -135,6 +146,7 @@ class PpatcServer:
             await self._server.wait_closed()
         if not self.config.serial:
             await self.batcher.stop()
+        self._grid_executor.shutdown(wait=True)
         if self._access_log is not None:
             self._access_log.flush()
             if self._access_log_owned:
@@ -263,7 +275,9 @@ class PpatcServer:
             if method != "POST":
                 raise HttpError(405, "use POST", keep_alive=True)
             grid_query = self._parse(GridQuery, request)
-            return evaluate_grid(self.context, grid_query)
+            return await asyncio.get_running_loop().run_in_executor(
+                self._grid_executor, evaluate_grid, self.context, grid_query
+            )
         raise HttpError(404, f"no route for {target}", keep_alive=True)
 
     @staticmethod

@@ -35,6 +35,32 @@ BAD_SNIPPET = textwrap.dedent(
 
     def fan_out(payloads):
         return map_parallel(lambda p: p, payloads)
+
+    import asyncio
+    import threading
+
+    async def handler():
+        time.sleep(0.1)
+
+    async def spawn(work):
+        asyncio.create_task(work())
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+
+        def add(self, item):
+            with self._lock:
+                self._items.append(item)
+
+        def reset(self):
+            self._items = []
+
+    def set_total(parts):
+        costs = {p.cost for p in parts}
+        total_j = sum(costs)
+        return total_j
     """
 )
 
@@ -47,6 +73,10 @@ ALL_RULES = (
     "RPL006",
     "RPL007",
     "RPL008",
+    "RPL009",
+    "RPL010",
+    "RPL011",
+    "RPL012",
 )
 
 
@@ -134,6 +164,59 @@ class TestLintCli:
         out = capsys.readouterr().out
         assert "'eol' = lifetime_months" in out
         assert "[line" in out and "<-" in out
+
+    def test_parallel_jobs_match_serial(self, capsys, monkeypatch,
+                                        bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "pkg", "--format", "json",
+                     "--jobs", "1"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["lint", "core", "pkg", "--format", "json",
+                     "--jobs", "2"]) == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+
+@pytest.mark.smoke
+class TestSarifFormat:
+    def test_sarif_log_shape(self, capsys, monkeypatch, bad_tree):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "pkg", "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert set(ALL_RULES) <= declared
+        assert run["results"], "expected findings from the bad tree"
+        result_rules = {r["ruleId"] for r in run["results"]}
+        assert result_rules <= declared
+
+    def test_sarif_results_carry_location_and_fingerprint(
+        self, capsys, monkeypatch, bad_tree
+    ):
+        monkeypatch.chdir(bad_tree)
+        assert main(["lint", "core", "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        for result in log["runs"][0]["results"]:
+            (location,) = result["locations"]
+            region = location["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert location["physicalLocation"]["artifactLocation"][
+                "uri"
+            ].endswith(".py")
+            assert result["partialFingerprints"][
+                "reproLintFingerprint/v1"
+            ]
+
+    def test_sarif_clean_tree_has_no_results(self, capsys, monkeypatch,
+                                             tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "ok.py", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
 
 
 @pytest.mark.smoke

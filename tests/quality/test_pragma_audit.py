@@ -43,6 +43,31 @@ class TestAuditSource:
         assert entry.kind == "unknown-rule"
         assert "RPL999" in entry.detail
 
+    def test_live_rpl009_disable_is_not_flagged(self):
+        source = (
+            "import time\n"
+            "\n"
+            "async def handler():\n"
+            "    time.sleep(0.1)  # repro-lint: disable=RPL009 - fixture\n"
+        )
+        assert audit_source(source, rel_path="serve/x.py") == []
+
+    def test_live_rpl012_disable_is_not_flagged(self):
+        source = (
+            "def total(parts):\n"
+            "    costs = {p.cost for p in parts}\n"
+            "    total_j = sum(costs)  # repro-lint: disable=RPL012 - ok\n"
+            "    return total_j\n"
+        )
+        assert audit_source(source, rel_path="core/x.py") == []
+
+    def test_stale_concurrency_disables_flagged(self):
+        for rule in ("RPL009", "RPL010", "RPL011", "RPL012"):
+            source = f"x = 1  # repro-lint: disable={rule}\n"
+            (entry,) = audit_source(source, rel_path="serve/x.py")
+            assert entry.kind == "stale-disable"
+            assert rule in entry.detail
+
     def test_orphan_cache_pure_flagged(self):
         source = "x = 1  # repro-lint: cache-pure\n"
         (entry,) = audit_source(source, rel_path="core/x.py")

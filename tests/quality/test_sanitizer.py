@@ -1,0 +1,187 @@
+"""The tsan-lite harness: seeded races, guarded controls, inversions."""
+
+import importlib.util
+import sys
+import threading
+
+import pytest
+
+from repro.quality.sanitizer import (
+    DEFAULT_IGNORES,
+    Sanitizer,
+    SanitizerReport,
+    default_watch_paths,
+)
+
+RACY_MODULE = '''\
+import threading
+
+
+class Shared:
+    def __init__(self):
+        self.count = 0
+        self._lock = threading.Lock()
+
+
+def unguarded(shared, n):
+    for _ in range(n):
+        shared.count = shared.count + 1
+
+
+def guarded(shared, n):
+    for _ in range(n):
+        with shared._lock:
+            shared.count = shared.count + 1
+'''
+
+INVERSION_MODULE = '''\
+def forward(first, second):
+    with first:
+        with second:
+            pass
+
+
+def backward(first, second):
+    with second:
+        with first:
+            pass
+'''
+
+
+def load_module(tmp_path, name, source):
+    path = tmp_path / f"{name}.py"
+    path.write_text(source, encoding="utf-8")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_in_threads(*thunks):
+    threads = [threading.Thread(target=t) for t in thunks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+@pytest.fixture
+def racy(tmp_path):
+    module = load_module(tmp_path, "sanitizer_racy_fixture", RACY_MODULE)
+    yield module
+    sys.modules.pop("sanitizer_racy_fixture", None)
+
+
+@pytest.fixture
+def inversion(tmp_path):
+    module = load_module(
+        tmp_path, "sanitizer_inversion_fixture", INVERSION_MODULE
+    )
+    yield module
+    sys.modules.pop("sanitizer_inversion_fixture", None)
+
+
+class TestRaceDetection:
+    def test_seeded_unguarded_race_detected(self, tmp_path, racy):
+        shared = racy.Shared()
+        sanitizer = Sanitizer(watch=[tmp_path])
+        with sanitizer:
+            run_in_threads(
+                lambda: racy.unguarded(shared, 5),
+                lambda: racy.unguarded(shared, 5),
+            )
+        report = sanitizer.report
+        assert not report.clean
+        assert len(report.races) == 1
+        race = report.races[0]
+        assert race.owner == "Shared"
+        assert race.attr == "count"
+        assert "hold no common lock" in race.describe()
+
+    def test_guarded_writes_clean(self, tmp_path, racy):
+        shared = racy.Shared()
+        sanitizer = Sanitizer(watch=[tmp_path])
+        with sanitizer:
+            run_in_threads(
+                lambda: racy.guarded(shared, 5),
+                lambda: racy.guarded(shared, 5),
+            )
+        assert sanitizer.report.clean
+        assert sanitizer.report.writes_seen > 0
+
+    def test_single_thread_clean(self, tmp_path, racy):
+        shared = racy.Shared()
+        sanitizer = Sanitizer(watch=[tmp_path])
+        with sanitizer:
+            racy.unguarded(shared, 5)
+            racy.unguarded(shared, 5)
+        assert sanitizer.report.clean
+
+    def test_ignore_list_suppresses(self, tmp_path, racy):
+        shared = racy.Shared()
+        sanitizer = Sanitizer(
+            watch=[tmp_path], ignore={"Shared.count"}
+        )
+        with sanitizer:
+            run_in_threads(
+                lambda: racy.unguarded(shared, 5),
+                lambda: racy.unguarded(shared, 5),
+            )
+        assert sanitizer.report.clean
+
+    def test_unwatched_path_records_nothing(self, tmp_path, racy):
+        shared = racy.Shared()
+        sanitizer = Sanitizer(watch=[tmp_path / "elsewhere"])
+        with sanitizer:
+            run_in_threads(
+                lambda: racy.unguarded(shared, 5),
+                lambda: racy.unguarded(shared, 5),
+            )
+        assert sanitizer.report.clean
+        assert sanitizer.report.writes_seen == 0
+
+
+class TestLockOrderInversion:
+    def test_opposite_order_reported(self, tmp_path, inversion):
+        first, second = threading.Lock(), threading.Lock()
+        sanitizer = Sanitizer(watch=[tmp_path])
+        with sanitizer:
+            inversion.forward(first, second)
+            inversion.backward(first, second)
+        report = sanitizer.report
+        assert len(report.inversions) == 1
+        assert "latent deadlock" in report.inversions[0].describe()
+
+    def test_consistent_order_clean(self, tmp_path, inversion):
+        first, second = threading.Lock(), threading.Lock()
+        sanitizer = Sanitizer(watch=[tmp_path])
+        with sanitizer:
+            inversion.forward(first, second)
+            inversion.forward(first, second)
+        assert sanitizer.report.clean
+
+
+class TestHarness:
+    def test_hooks_restored_on_exit(self, tmp_path):
+        prev_trace = sys.gettrace()
+        prev_profile = sys.getprofile()
+        with Sanitizer(watch=[tmp_path]):
+            pass
+        assert sys.gettrace() is prev_trace
+        assert sys.getprofile() is prev_profile
+
+    def test_default_watch_is_serve_obs_runtime(self):
+        names = sorted(p.name for p in default_watch_paths())
+        assert names == ["obs", "runtime", "serve"]
+
+    def test_default_ignores_cover_lifecycle_flags(self):
+        assert "Tracer.enabled" in DEFAULT_IGNORES
+        assert "MetricsRegistry.enabled" in DEFAULT_IGNORES
+
+    def test_render_mentions_counts(self):
+        report = SanitizerReport(writes_seen=3, files_watched=2)
+        text = report.render()
+        assert "0 race(s)" in text
+        assert "3 write(s)" in text
+        assert report.clean

@@ -1,0 +1,45 @@
+"""The BENCH_lint harness: parity, artifact shape, gate booleans."""
+
+import json
+from pathlib import Path
+
+from repro.runtime.bench_lint import run_lint_bench
+
+
+def seed_tree(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+    (tmp_path / "b.py").write_text("y = 2\n", encoding="utf-8")
+
+
+class TestBenchLint:
+    def test_report_shape_and_parity(self, tmp_path, monkeypatch):
+        seed_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = run_lint_bench(target=Path("."), repeats=1)
+        assert report["schema"] == "bench-lint/1"
+        assert report["files_checked"] == 2
+        assert report["parity"] is True
+        assert report["lint_clean"] is True
+        assert report["serial_wall_seconds"] > 0
+        assert report["parallel_wall_seconds"] > 0
+
+    def test_artifact_written(self, tmp_path, monkeypatch):
+        seed_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "out" / "BENCH_lint.json"
+        report = run_lint_bench(
+            output_path=out, target=Path("."), repeats=1
+        )
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk == report
+
+    def test_findings_counted_not_hidden(self, tmp_path, monkeypatch):
+        (tmp_path / "bad.py").write_text(
+            "total = static_j + dynamic_kwh\n", encoding="utf-8"
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        report = run_lint_bench(target=Path("."), repeats=1)
+        assert report["findings"] >= 1
+        assert report["lint_clean"] is False
+        assert report["parity"] is True

@@ -127,7 +127,7 @@ class TestCompareReports:
     def test_every_schema_has_specs(self):
         assert set(METRIC_SPECS) == {
             "bench-iss/1", "bench-iss/2", "bench-sweep/1", "bench-obs/1",
-            "bench-serve/1",
+            "bench-serve/1", "bench-lint/1",
         }
 
     def test_iss_v2_extends_v1(self):
