@@ -2,23 +2,32 @@
 
 The contract the obs layer was built around: with tracing off, the
 fully instrumented ISS path costs under 2 % versus an uninstrumented
-control, and results stay bit-identical with tracing on or off.
+control; the 100 Hz continuous sampling profiler costs under 5 %; and
+results stay bit-identical across all four arms.
 """
 
 import json
 
 
 def test_bench_obs(output_dir):
-    from repro.runtime.bench_obs import OVERHEAD_BUDGET, run_obs_bench
+    from repro.runtime.bench_obs import (
+        OVERHEAD_BUDGET,
+        PROFILER_BUDGET,
+        run_obs_bench,
+    )
 
     path = output_dir / "BENCH_obs.json"
     report = run_obs_bench(output_path=path)
 
     data = json.loads(path.read_text(encoding="utf-8"))
-    assert data["schema"] == "bench-obs/1"
+    assert data["schema"] == "bench-obs/2"
     assert data["bit_identical"]
     assert data["tracing_off_overhead_under_2pct"]
     assert data["tracing_off_overhead_fraction"] < OVERHEAD_BUDGET
+    assert data["profiler_overhead_under_5pct"]
+    assert data["profiler_on_overhead_fraction"] < PROFILER_BUDGET
+    assert data["profiler_sampled"]
+    assert data["profiler_samples"] > 0
     assert data["control_wall_seconds"] > 0
 
     print(json.dumps(report, indent=2))

@@ -10,6 +10,8 @@ Usage::
     python -m repro optimize --lifetime 24
     python -m repro trace artifacts --no-cache
     python -m repro metrics workloads
+    python -m repro profile --hz 200 workloads
+    python -m repro obs-report --port 8080
     python -m repro --trace fig6b
 
 Observability: ``repro trace <cmd> [args...]`` runs any subcommand with
@@ -348,13 +350,25 @@ def cmd_bench_obs(args) -> int:
         f"({report['tracing_on_overhead_fraction']:+.2%})"
     )
     print(
+        f"  profiled @ {report['profiler_hz']:g} Hz "
+        f"{report['profiled_wall_seconds']:.3f}s "
+        f"({report['profiler_on_overhead_fraction']:+.2%}, "
+        f"{report['profiler_samples']} samples)"
+    )
+    print(
         f"  tracing-off under 2%: "
-        f"{report['tracing_off_overhead_under_2pct']} "
+        f"{report['tracing_off_overhead_under_2pct']}, "
+        f"profiler under 5%: {report['profiler_overhead_under_5pct']} "
         f"(bit-identical: {report['bit_identical']})"
     )
     if args.output:
         print(f"wrote {args.output}")
-    return 0 if report["tracing_off_overhead_under_2pct"] else 1
+    gates_ok = (
+        report["tracing_off_overhead_under_2pct"]
+        and report["profiler_overhead_under_5pct"]
+        and report["profiler_sampled"]
+    )
+    return 0 if gates_ok else 1
 
 
 def cmd_serve(args) -> int:
@@ -373,6 +387,12 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         access_log=args.access_log,
         sweep_cache=not args.no_sweep_cache,
+        profile_hz=args.profile_hz,
+        flight_capacity=args.flight_capacity,
+        flight_dump_path=args.flight_dump,
+        carbon_grid=args.carbon_grid,
+        carbon_sample_s=args.carbon_sample_s,
+        slo_latency_ms=args.slo_latency_ms,
     )
     try:
         asyncio.run(run_server(config))
@@ -435,7 +455,7 @@ def _dispatch_observed(args, label: str) -> int:
     called directly — NOT through :func:`main` — so the outer wrapper
     owns the one trace export.
     """
-    if args.cmd in ("trace", "metrics"):
+    if args.cmd in ("trace", "metrics", "profile"):
         print(
             f"repro {label}: cannot wrap '{args.cmd}' "
             f"(observability passthroughs do not nest)",
@@ -470,6 +490,49 @@ def cmd_metrics(args) -> int:
     print()
     print(obs.get_metrics().render_text())
     return code
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profiler import SamplingProfiler
+
+    if args.cmd in ("trace", "metrics", "profile"):
+        print(
+            f"repro profile: cannot wrap '{args.cmd}' "
+            f"(observability passthroughs do not nest)",
+            file=sys.stderr,
+        )
+        return 2
+    inner = build_parser().parse_args([args.cmd] + list(args.cmd_argv))
+    profiler = SamplingProfiler(hz=args.hz)
+    profiler.start()
+    try:
+        code = inner.func(inner)
+    finally:
+        report = profiler.stop()
+    print()
+    print(report.render_text(top=args.top))
+    out = args.output or "repro-profile.collapsed"
+    n_stacks = report.write_collapsed(out)
+    print(f"\nwrote {n_stacks} folded stack(s) to {out}")
+    if args.chrome:
+        n_events = report.write_chrome_trace(args.chrome)
+        print(f"wrote {n_events} trace event(s) to {args.chrome}")
+    return code
+
+
+def cmd_obs_report(args) -> int:
+    from repro.serve.report import obs_report
+
+    try:
+        print(obs_report(args.host, args.port))
+    except (ConnectionError, OSError, RuntimeError) as exc:
+        print(
+            f"repro obs-report: cannot report on {args.host}:{args.port}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -555,7 +618,9 @@ def cmd_sanitize(args) -> int:
 
     watch = [Path(p) for p in args.watch] if args.watch else None
     ignore = set(args.ignore) if args.ignore else None
-    pytest_args = list(args.pytest_args) or ["tests/serve", "tests/runtime"]
+    pytest_args = list(args.pytest_args) or [
+        "tests/serve", "tests/runtime", "tests/obs",
+    ]
     try:
         report, status = run_pytest(pytest_args, watch=watch, ignore=ignore)
     except RuntimeError as exc:
@@ -665,6 +730,15 @@ _COMMANDS = {
         cmd_metrics,
         "run a subcommand with metrics on; print the summary table",
     ),
+    "profile": (
+        cmd_profile,
+        "run a subcommand under the sampling profiler; write a "
+        "collapsed flamegraph",
+    ),
+    "obs-report": (
+        cmd_obs_report,
+        "one-page observability report for a running server",
+    ),
 }
 
 #: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
@@ -677,6 +751,8 @@ _NO_COMMON_ARGS = {
     "bench-obs",
     "serve",
     "bench-serve",
+    "profile",
+    "obs-report",
 }
 
 
@@ -783,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--repeats",
                 type=int,
-                default=5,
+                default=7,
                 help="interleaved timing repeats per variant (min is kept)",
             )
         if name == "serve":
@@ -843,6 +919,44 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="disable the shared SweepCache for /v1/grid MC tiles",
             )
+            sub.add_argument(
+                "--profile-hz",
+                type=float,
+                default=0.0,
+                help="continuous-profiler sampling rate "
+                "(0 = off; snapshot at GET /profilez)",
+            )
+            sub.add_argument(
+                "--flight-capacity",
+                type=int,
+                default=256,
+                help="flight-recorder ring size (GET /debugz, SIGUSR2)",
+            )
+            sub.add_argument(
+                "--flight-dump",
+                metavar="FILE",
+                default=None,
+                help="SIGUSR2 flight-dump path "
+                "(default: ppatc-flight-<pid>.json)",
+            )
+            sub.add_argument(
+                "--carbon-grid",
+                default="us",
+                choices=("us", "coal", "solar", "taiwan"),
+                help="grid CI the carbon self-telemetry charges energy at",
+            )
+            sub.add_argument(
+                "--carbon-sample-s",
+                type=float,
+                default=5.0,
+                help="carbon self-telemetry sampling period (seconds)",
+            )
+            sub.add_argument(
+                "--slo-latency-ms",
+                type=float,
+                default=100.0,
+                help="latency-SLO threshold reported on /healthz",
+            )
         if name == "bench-serve":
             sub.add_argument(
                 "--output",
@@ -868,7 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
                 default=200.0,
                 help="open-loop offered arrival rate (requests/s)",
             )
-        if name in ("trace", "metrics"):
+        if name in ("trace", "metrics", "profile"):
             sub.add_argument(
                 "cmd",
                 metavar="CMD",
@@ -888,6 +1002,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Chrome trace path (default: $REPRO_TRACE_OUT or "
                     "repro-trace.json)",
                 )
+            if name == "profile":
+                sub.add_argument(
+                    "--hz",
+                    type=float,
+                    default=100.0,
+                    help="sampling rate for the profiler thread",
+                )
+                sub.add_argument(
+                    "--top",
+                    type=int,
+                    default=15,
+                    help="hottest stacks to print in the summary table",
+                )
+                sub.add_argument(
+                    "--output",
+                    metavar="FILE",
+                    default=None,
+                    help="collapsed-flamegraph path "
+                    "(default: repro-profile.collapsed)",
+                )
+                sub.add_argument(
+                    "--chrome",
+                    metavar="FILE",
+                    default=None,
+                    help="also write a Chrome trace-event JSON to FILE",
+                )
+        if name == "obs-report":
+            sub.add_argument(
+                "--host", default="127.0.0.1", help="server address"
+            )
+            sub.add_argument(
+                "--port", type=int, default=8080, help="server port"
+            )
         if name == "artifacts":
             sub.add_argument(
                 "--output",

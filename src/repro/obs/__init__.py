@@ -34,14 +34,24 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.obs.carbon import CarbonSelfTelemetry
+from repro.obs.exposition import (
+    negotiate_format,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
+    QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
 )
 from repro.obs.perf import RunPerf, Stopwatch, render_perf_table, stopwatch
+from repro.obs.profiler import ProfileReport, SamplingProfiler, profile_call
+from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
@@ -53,6 +63,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_SECONDS_BUCKETS",
+    "QUANTILES",
+    "quantile_from_buckets",
+    "CarbonSelfTelemetry",
+    "ProfileReport",
+    "SamplingProfiler",
+    "profile_call",
+    "SloObjective",
+    "SloTracker",
+    "negotiate_format",
+    "render_prometheus",
+    "sanitize_metric_name",
     "RunPerf",
     "Stopwatch",
     "stopwatch",

@@ -1,0 +1,155 @@
+"""Carbon self-telemetry: the service's own operational gCO2e, live.
+
+The paper's operational-carbon model (:mod:`repro.core.operational`,
+Equations 6-8) integrates grid carbon intensity against a power draw
+over a usage window.  This module dogfoods that exact model on the
+running process: sampled process CPU-seconds (``time.process_time``)
+drive the dynamic term of an :class:`~repro.core.operational
+.OperationalPower`, wall time drives the static term, and the energy
+of each sampling interval is charged at the configured
+:class:`~repro.core.carbon_intensity.CarbonIntensity` — so a
+time-varying grid profile prices the server's evening traffic
+differently from its 3 am idle, exactly as CI_use(t) does in Fig. 5.
+
+Each :meth:`CarbonSelfTelemetry.sample` publishes gauges on the
+metrics registry:
+
+- ``serve.carbon.operational_gco2e`` — cumulative operational carbon;
+- ``serve.carbon.energy_kwh``       — cumulative electrical energy;
+- ``serve.carbon.power_w``          — mean draw over the last interval;
+- ``serve.carbon.cpu_seconds_total``— process CPU time consumed;
+- ``serve.carbon.utilization``      — CPU-seconds per wall-second;
+- ``serve.carbon.ci_gco2e_per_kwh`` — the CI the last interval paid.
+
+The default power coefficients are deliberately modest (one busy
+server core plus its idle share); they are knobs, not measurements —
+the point is the *accounting structure*, reported with the same units
+and model as the paper's own numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro import units
+from repro.core.carbon_intensity import (
+    CarbonIntensity,
+    ConstantCarbonIntensity,
+)
+from repro.core.operational import OperationalPower
+
+__all__ = [
+    "CarbonSelfTelemetry",
+    "DEFAULT_ACTIVE_POWER_W",
+    "DEFAULT_IDLE_POWER_W",
+]
+
+#: Incremental draw attributed to one fully-busy core, in watts.
+DEFAULT_ACTIVE_POWER_W = 12.0
+
+#: The process's share of platform idle draw, in watts.
+DEFAULT_IDLE_POWER_W = 2.0
+
+
+class CarbonSelfTelemetry:
+    """Accumulate the process's operational carbon between samples."""
+
+    def __init__(
+        self,
+        ci: Optional[CarbonIntensity] = None,
+        active_power_w: float = DEFAULT_ACTIVE_POWER_W,
+        idle_power_w: float = DEFAULT_IDLE_POWER_W,
+        registry: Optional[Any] = None,
+        cpu_time: Callable[[], float] = time.process_time,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ci = ci if ci is not None else ConstantCarbonIntensity(
+            380.0, name="us"
+        )
+        #: Eq. 6 power split: static (always-on) + dynamic (per busy core).
+        self.power = OperationalPower(
+            static_w=idle_power_w, core_dynamic_w=active_power_w
+        )
+        self._registry = registry
+        self._cpu_time = cpu_time
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._start_wall = clock()
+        self._last_wall = self._start_wall
+        self._last_cpu = cpu_time()
+        self._total_cpu_s = 0.0
+        self._total_energy_j = 0.0
+        self._total_gco2e = 0.0
+        self._last_power_w = self.power.static_w
+        self._last_ci = self.ci.at(0.0)
+
+    def sample(self) -> Dict[str, float]:
+        """Advance the accounting to now; publish and return the state.
+
+        Energy over the interval follows Equation 6's shape:
+        ``static_w`` applies to the whole wall interval,
+        ``core_dynamic_w`` to the CPU-busy fraction of it.  Carbon
+        charges that energy at ``CI(t)`` evaluated at the interval
+        midpoint relative to telemetry start, so day-periodic profiles
+        (:class:`~repro.core.carbon_intensity.DailyWindowProfile`)
+        price each interval by its own hour.
+        """
+        now = self._clock()
+        cpu = self._cpu_time()
+        with self._lock:
+            wall_dt = max(0.0, now - self._last_wall)
+            cpu_dt = max(0.0, cpu - self._last_cpu)
+            self._last_wall = now
+            self._last_cpu = cpu
+            energy_j = (
+                self.power.static_w * wall_dt
+                + self.power.core_dynamic_w * cpu_dt
+            )
+            elapsed_mid = (
+                now - self._start_wall - wall_dt / 2.0
+            )
+            ci_g_per_kwh = self.ci.at(max(0.0, elapsed_mid))
+            gco2e = ci_g_per_kwh * energy_j / units.KWH
+            self._total_cpu_s += cpu_dt
+            self._total_energy_j += energy_j
+            self._total_gco2e += gco2e
+            self._last_power_w = (
+                energy_j / wall_dt if wall_dt > 0 else self.power.static_w
+            )
+            self._last_ci = ci_g_per_kwh
+            state = self._state_locked(now)
+        if self._registry is not None:
+            gauges = self._registry
+            gauges.gauge("serve.carbon.operational_gco2e").set(
+                state["operational_gco2e"]
+            )
+            gauges.gauge("serve.carbon.energy_kwh").set(
+                state["energy_kwh"]
+            )
+            gauges.gauge("serve.carbon.power_w").set(state["power_w"])
+            gauges.gauge("serve.carbon.cpu_seconds_total").set(
+                state["cpu_seconds_total"]
+            )
+            gauges.gauge("serve.carbon.utilization").set(
+                state["utilization"]
+            )
+            gauges.gauge("serve.carbon.ci_gco2e_per_kwh").set(
+                state["ci_gco2e_per_kwh"]
+            )
+        return state
+
+    def _state_locked(self, now: float) -> Dict[str, float]:
+        elapsed = max(0.0, now - self._start_wall)
+        return {
+            "operational_gco2e": self._total_gco2e,
+            "energy_kwh": self._total_energy_j / units.KWH,
+            "power_w": self._last_power_w,
+            "cpu_seconds_total": self._total_cpu_s,
+            "utilization": (
+                self._total_cpu_s / elapsed if elapsed > 0 else 0.0
+            ),
+            "ci_gco2e_per_kwh": self._last_ci,
+            "elapsed_s": elapsed,
+        }

@@ -1,0 +1,168 @@
+"""Prometheus text-format exposition of the :class:`MetricsRegistry`.
+
+Renders the registry's counters/gauges/histograms in the Prometheus
+text format 0.0.4 (the format every Prometheus-compatible scraper
+accepts), and optionally the OpenMetrics 1.0 dialect, which adds
+bucket *exemplars* — ``# {span_id="1a"} 0.0023`` annotations that link
+one aggregate bucket back to a concrete traced request.
+
+Mapping rules, chosen to match Prometheus conventions exactly:
+
+- metric names are sanitized (``serve.request.seconds`` becomes
+  ``serve_request_seconds``; anything outside ``[a-zA-Z0-9_:]`` folds
+  to ``_``);
+- counters are exported as ``<name>_total`` with ``# TYPE ... counter``;
+- gauges keep their name with ``# TYPE ... gauge``;
+- histograms become cumulative ``<name>_bucket{le="<bound>"}`` series
+  (inclusive upper edges, closed by ``le="+Inf"``) plus ``<name>_sum``
+  and ``<name>_count``.
+
+:func:`negotiate_format` implements the ``/metricz`` content
+negotiation: JSON stays the default (the snapshot is the pre-existing
+API), ``Accept: text/plain`` selects 0.0.4 text, and
+``Accept: application/openmetrics-text`` selects OpenMetrics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_OPENMETRICS",
+    "CONTENT_TYPE_TEXT",
+    "negotiate_format",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+CONTENT_TYPE_JSON = "application/json"
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_OPENMETRICS = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold an instrument name into the Prometheus name charset."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def negotiate_format(accept: Optional[str]) -> str:
+    """Pick ``"json"``, ``"text"``, or ``"openmetrics"`` for an Accept.
+
+    JSON remains the default (no header, ``*/*``, or explicit
+    ``application/json``) so existing snapshot consumers are
+    unaffected; Prometheus scrapers that ask for ``text/plain`` or the
+    OpenMetrics media type get the exposition format.  The check is a
+    token scan, not a full q-value parse — Prometheus sends the
+    OpenMetrics type first when it wants it, and nothing in this repo
+    needs finer arbitration.
+    """
+    if not accept:
+        return "json"
+    lowered = accept.lower()
+    if "application/openmetrics-text" in lowered:
+        return "openmetrics"
+    if "text/plain" in lowered:
+        return "text"
+    return "json"
+
+
+def _format_value(value: float) -> str:
+    """A float in Prometheus's expected rendering (no exponent drift)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bound_label(bound: float) -> str:
+    return _format_value(float(bound))
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    openmetrics: bool = False,
+    skip_zero: bool = False,
+) -> str:
+    """The whole registry in Prometheus text format 0.0.4.
+
+    With ``openmetrics=True`` the OpenMetrics dialect is produced
+    instead: same series, plus bucket exemplars (when any histogram
+    observation carried a span id) and the mandatory ``# EOF`` trailer.
+    """
+    snap = registry.snapshot()
+    exemplars = registry.exemplar_snapshot() if openmetrics else {}
+    lines: List[str] = []
+
+    for name, value in snap["counters"].items():
+        if skip_zero and not value:
+            continue
+        metric = sanitize_metric_name(name)
+        if not metric.endswith("_total"):  # counters end in _total once
+            metric += "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in snap["gauges"].items():
+        if skip_zero and not value:
+            continue
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, hist in snap["histograms"].items():
+        if skip_zero and not hist["count"]:
+            continue
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        lines.extend(
+            _histogram_lines(metric, hist, exemplars.get(name))
+        )
+
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(
+    metric: str,
+    hist: Dict[str, Any],
+    bucket_exemplars: Optional[List[Optional[Tuple[float, str]]]],
+) -> List[str]:
+    """Cumulative bucket series + ``_sum``/``_count`` for one histogram."""
+    lines: List[str] = []
+    cumulative = 0
+    edges = [_bound_label(b) for b in hist["bounds"]] + ["+Inf"]
+    for index, (edge, count) in enumerate(zip(edges, hist["counts"])):
+        cumulative += count
+        line = f'{metric}_bucket{{le="{edge}"}} {cumulative}'
+        exemplar = (
+            bucket_exemplars[index] if bucket_exemplars else None
+        )
+        if exemplar is not None:
+            value, span_id = exemplar
+            line += (
+                f' # {{span_id="{span_id}"}} {_format_value(value)}'
+            )
+        lines.append(line)
+    lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+    lines.append(f"{metric}_count {hist['count']}")
+    return lines

@@ -30,7 +30,45 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
+    "QUANTILES",
+    "quantile_from_buckets",
 ]
+
+#: The derived quantiles exported in snapshots and ``render_text``.
+QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile from fixed-bucket counts.
+
+    Linear interpolation inside the bucket that contains the target
+    rank, mirroring Prometheus's ``histogram_quantile``: the first
+    bucket interpolates from ``min(0, bound)``; observations in the
+    implicit overflow bucket clamp to the last finite bound (there is
+    no upper edge to interpolate toward).  Returns 0.0 for an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= rank:
+            if i >= len(bounds):  # overflow bucket: clamp
+                return float(bounds[-1])
+            upper = float(bounds[i])
+            lower = float(bounds[i - 1]) if i > 0 else min(0.0, upper)
+            fraction = (rank - cumulative) / bucket_count
+            return lower + (upper - lower) * fraction
+        cumulative += bucket_count
+    return float(bounds[-1])
 
 #: Default histogram bucket upper bounds, tuned for wall-clock seconds.
 DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
@@ -80,7 +118,10 @@ class Histogram:
     ``len(counts) == len(bounds) + 1``.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "_registry")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "exemplars",
+        "_registry",
+    )
 
     def __init__(
         self,
@@ -99,20 +140,38 @@ class Histogram:
         self.counts: List[int] = [0] * (len(ordered) + 1)
         self.count = 0
         self.total = 0.0
+        #: Per-bucket last exemplar: ``(value, span_id)`` or None.
+        self.exemplars: List[Optional[Tuple[float, str]]] = (
+            [None] * (len(ordered) + 1)
+        )
         self._registry = registry
 
-    def observe(self, value: float) -> None:
-        """Record one observation (no-op while disabled)."""
+    def observe(self, value: float, span_id: Optional[str] = None) -> None:
+        """Record one observation (no-op while disabled).
+
+        ``span_id`` attaches an exemplar to the bucket the value lands
+        in — the Prometheus/OpenMetrics bridge from an aggregate bucket
+        back to one concrete traced request.  Only the most recent
+        exemplar per bucket is kept.
+        """
         if not self._registry.enabled:
             return
         with self._registry._lock:
-            self.counts[bisect.bisect_left(self.bounds, value)] += 1
+            index = bisect.bisect_left(self.bounds, value)
+            self.counts[index] += 1
             self.count += 1
             self.total += value
+            if span_id is not None:
+                self.exemplars[index] = (value, span_id)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (see :func:`quantile_from_buckets`)."""
+        with self._registry._lock:
+            return quantile_from_buckets(self.bounds, self.counts, q)
 
 
 class MetricsRegistry:
@@ -183,6 +242,7 @@ class MetricsRegistry:
                 hist.counts = [0] * (len(hist.bounds) + 1)
                 hist.count = 0
                 hist.total = 0.0
+                hist.exemplars = [None] * (len(hist.bounds) + 1)
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -204,9 +264,30 @@ class MetricsRegistry:
                         "count": h.count,
                         "sum": h.total,
                         "mean": h.mean,
+                        **{
+                            f"p{q * 100:g}": quantile_from_buckets(
+                                h.bounds, h.counts, q
+                            )
+                            for q in QUANTILES
+                        },
                     }
                     for name, h in sorted(self._histograms.items())
                 },
+            }
+
+    def exemplar_snapshot(
+        self,
+    ) -> Dict[str, List[Optional[Tuple[float, str]]]]:
+        """Per-histogram bucket exemplars (for OpenMetrics exposition).
+
+        Histograms with no exemplars at all are omitted, so the common
+        no-tracing case costs nothing to render.
+        """
+        with self._lock:
+            return {
+                name: list(h.exemplars)
+                for name, h in sorted(self._histograms.items())
+                if any(e is not None for e in h.exemplars)
             }
 
     def render_text(self, skip_zero: bool = True) -> str:
@@ -245,6 +326,7 @@ class MetricsRegistry:
                 lines.append("")
             lines.append(
                 f"{'histogram':40s} {'count':>8s} {'mean':>12s} "
+                f"{'p50':>10s} {'p90':>10s} {'p99':>10s} "
                 f"{'buckets (<=bound: n)':s}"
             )
             for name, h in histograms.items():
@@ -257,6 +339,8 @@ class MetricsRegistry:
                     cells.append(f">{h['bounds'][-1]:g}:{h['counts'][-1]}")
                 lines.append(
                     f"{name:40s} {h['count']:>8,} {h['mean']:>12.6g} "
+                    f"{h['p50']:>10.4g} {h['p90']:>10.4g} "
+                    f"{h['p99']:>10.4g} "
                     f"{' '.join(cells)}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"

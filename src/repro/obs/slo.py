@@ -1,0 +1,175 @@
+"""Rolling-window SLOs with multi-window burn rates.
+
+A service-level objective is a target fraction of *good* requests —
+"99.9 % of requests succeed" (availability) or "99 % of requests
+complete under 100 ms" (latency).  :class:`SloTracker` scores every
+request against a set of objectives over time-bucketed rolling windows
+and reports the **burn rate** per window: the observed bad fraction
+divided by the objective's error budget.  Burn rate 1.0 means the
+budget is being consumed exactly as fast as it accrues; sustained
+burn above 1.0 on a long window plus a high short-window burn is the
+standard multi-window page condition (the short window proves the
+problem is current, the long window proves it is material).
+
+The tracker is clock-injectable (tests drive it with a fake monotonic
+clock) and O(1) per request: events land in fixed one-``bucket_s``
+buckets on a ring sized to the longest window, and report() sums the
+buckets that fall inside each window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SloObjective",
+    "SloTracker",
+    "DEFAULT_WINDOWS_S",
+]
+
+#: The multi-window pair burn rates are reported over: 5 min and 1 h.
+DEFAULT_WINDOWS_S: Tuple[float, ...] = (300.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: a target good-fraction, optionally latency-bound.
+
+    ``latency_threshold_s=None`` makes this an availability objective
+    (good = the request did not fail); a threshold makes it a latency
+    objective (good = succeeded *and* finished within the threshold).
+    """
+
+    name: str
+    target: float
+    latency_threshold_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"target must be in (0, 1), got {self.target}"
+            )
+        if (
+            self.latency_threshold_s is not None
+            and self.latency_threshold_s <= 0
+        ):
+            raise ValueError("latency threshold must be > 0")
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad fraction (1 - target)."""
+        return 1.0 - self.target
+
+    def is_good(self, latency_s: float, ok: bool) -> bool:
+        """Whether one request counts toward the objective."""
+        if not ok:
+            return False
+        if self.latency_threshold_s is None:
+            return True
+        return latency_s <= self.latency_threshold_s
+
+
+class _Bucket:
+    """One time bucket: total events + good events per objective."""
+
+    __slots__ = ("epoch", "total", "good")
+
+    def __init__(self, n_objectives: int) -> None:
+        self.epoch = -1
+        self.total = 0
+        self.good = [0] * n_objectives
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.total = 0
+        for i in range(len(self.good)):
+            self.good[i] = 0
+
+
+class SloTracker:
+    """Score requests against objectives over rolling windows."""
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective],
+        windows_s: Sequence[float] = DEFAULT_WINDOWS_S,
+        bucket_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not objectives:
+            raise ValueError("need at least one objective")
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be > 0")
+        if not windows_s or any(w < bucket_s for w in windows_s):
+            raise ValueError(
+                "windows must be non-empty and at least one bucket wide"
+            )
+        self.objectives = tuple(objectives)
+        self.windows_s = tuple(sorted(float(w) for w in windows_s))
+        self.bucket_s = float(bucket_s)
+        self._clock = clock
+        n_buckets = int(self.windows_s[-1] / self.bucket_s) + 1
+        self._ring: List[_Bucket] = [
+            _Bucket(len(self.objectives)) for _ in range(n_buckets)
+        ]
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+    def record(self, latency_s: float, ok: bool = True) -> None:
+        """Score one completed request against every objective."""
+        epoch = int(self._clock() / self.bucket_s)
+        with self._lock:
+            bucket = self._ring[epoch % len(self._ring)]
+            if bucket.epoch != epoch:
+                bucket.reset(epoch)
+            bucket.total += 1
+            for i, objective in enumerate(self.objectives):
+                if objective.is_good(latency_s, ok):
+                    bucket.good[i] += 1
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """Per-objective, per-window compliance and burn rates.
+
+        An empty window reports burn rate 0.0 and ``compliant: true``
+        — no traffic burns no budget.
+        """
+        now_epoch = int(self._clock() / self.bucket_s)
+        with self._lock:
+            live = [
+                bucket
+                for bucket in self._ring
+                if bucket.epoch >= 0
+                and (now_epoch - bucket.epoch) < len(self._ring)
+            ]
+            out: Dict[str, Any] = {}
+            for i, objective in enumerate(self.objectives):
+                windows: Dict[str, Any] = {}
+                for window_s in self.windows_s:
+                    span = int(window_s / self.bucket_s)
+                    total = good = 0
+                    for bucket in live:
+                        if (now_epoch - bucket.epoch) < span:
+                            total += bucket.total
+                            good += bucket.good[i]
+                    bad_fraction = (
+                        (total - good) / total if total else 0.0
+                    )
+                    burn = bad_fraction / objective.error_budget
+                    windows[f"{window_s:g}s"] = {
+                        "events": total,
+                        "good": good,
+                        "bad_fraction": bad_fraction,
+                        "burn_rate": burn,
+                        "compliant": burn <= 1.0,
+                    }
+                out[objective.name] = {
+                    "target": objective.target,
+                    "latency_threshold_s": objective.latency_threshold_s,
+                    "error_budget": objective.error_budget,
+                    "windows": windows,
+                }
+            return out

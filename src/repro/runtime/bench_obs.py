@@ -10,15 +10,18 @@ timing three variants of the same medium matmul-int ISS run:
 - **disabled** — the real, instrumented ``run_workload`` with tracing
   and metrics off (the default production path);
 - **enabled** — the same with tracing and metrics on (informational:
-  what turning observability on actually costs).
+  what turning observability on actually costs);
+- **profiled** — the control run with the continuous sampling profiler
+  attached at 100 Hz (:mod:`repro.obs.profiler`), bounding what
+  always-on profiling costs a production process.
 
 Measurements interleave the variants round-robin and keep the per
 variant *minimum* over several repeats, so a background scheduler blip
 penalizes one repeat of one variant instead of biasing a whole series.
-The gated boolean ``tracing_off_overhead_under_2pct`` asserts
-``min(disabled) / min(control) - 1 < 0.02``; the regression gate
-(:mod:`repro.runtime.regression`, schema ``bench-obs/1``) compares it
-exactly so CI fails the moment the disabled path grows a real cost.
+The gated booleans assert ``min(disabled) / min(control) - 1 < 0.02``
+and ``min(profiled) / min(control) - 1 < 0.05``; the regression gate
+(:mod:`repro.runtime.regression`, schema ``bench-obs/2``) compares
+them exactly so CI fails the moment either path grows a real cost.
 
 Run via ``python -m repro bench-obs`` or the benchmarks suite.
 """
@@ -35,12 +38,19 @@ from repro import obs
 from repro.cpu import CortexM0, MemoryMap, assemble
 from repro.cpu.trace import ActivityTrace
 from repro.errors import ReproError
+from repro.obs.profiler import SamplingProfiler
 from repro.runtime.bench import _gc_quiet
 from repro.workloads import matmul_int
 from repro.workloads.suite import Workload, WorkloadResult, run_workload
 
 #: The disabled path must cost less than this fraction over control.
 OVERHEAD_BUDGET = 0.02
+
+#: The 100 Hz continuous profiler must cost less than this over control.
+PROFILER_BUDGET = 0.05
+
+#: The sampling rate the profiled arm (and production serving) uses.
+PROFILER_HZ = 100.0
 
 
 def _run_workload_control(
@@ -76,13 +86,15 @@ def _run_workload_control(
 
 
 def run_obs_bench(
-    output_path: Optional[Path] = None, repeats: int = 5
+    output_path: Optional[Path] = None, repeats: int = 7
 ) -> dict:
     """Measure the observability overhead; optionally write the artifact."""
     workload = matmul_int.workload(n=12, repeats=8, tune=5)
     control_wall = float("inf")
     disabled_wall = float("inf")
     enabled_wall = float("inf")
+    profiled_wall = float("inf")
+    profiler_samples = 0
 
     was_tracing = obs.get_tracer().enabled
     was_metrics = obs.get_metrics().enabled
@@ -114,21 +126,37 @@ def run_obs_bench(
                     enabled_wall, time.perf_counter() - start
                 )
                 obs.disable()
+
+                profiler = SamplingProfiler(hz=PROFILER_HZ)
+                profiler.start()
+                start = time.perf_counter()
+                profiled = _run_workload_control(workload)
+                profiled_wall = min(
+                    profiled_wall, time.perf_counter() - start
+                )
+                profiler_samples = max(
+                    profiler_samples, profiler.stop().samples
+                )
     finally:
         obs.get_tracer().enabled = was_tracing
         obs.get_metrics().enabled = was_metrics
 
     bit_identical = (
-        control.cycles == disabled.cycles == enabled.cycles
+        control.cycles == disabled.cycles == enabled.cycles == profiled.cycles
         and control.instructions
         == disabled.instructions
         == enabled.instructions
-        and control.checksum == disabled.checksum == enabled.checksum
+        == profiled.instructions
+        and control.checksum
+        == disabled.checksum
+        == enabled.checksum
+        == profiled.checksum
     )
     off_overhead = disabled_wall / control_wall - 1.0
     on_overhead = enabled_wall / control_wall - 1.0
+    profiler_overhead = profiled_wall / control_wall - 1.0
     report = {
-        "schema": "bench-obs/1",
+        "schema": "bench-obs/2",
         "python": platform.python_version(),
         "generated_unix": time.time(),
         "workload": "matmul-int n=12 repeats=8 tune=5",
@@ -136,9 +164,15 @@ def run_obs_bench(
         "control_wall_seconds": control_wall,
         "disabled_wall_seconds": disabled_wall,
         "enabled_wall_seconds": enabled_wall,
+        "profiled_wall_seconds": profiled_wall,
+        "profiler_hz": PROFILER_HZ,
+        "profiler_samples": profiler_samples,
         "tracing_off_overhead_fraction": off_overhead,
         "tracing_on_overhead_fraction": on_overhead,
+        "profiler_on_overhead_fraction": profiler_overhead,
         "tracing_off_overhead_under_2pct": off_overhead < OVERHEAD_BUDGET,
+        "profiler_overhead_under_5pct": profiler_overhead < PROFILER_BUDGET,
+        "profiler_sampled": profiler_samples > 0,
         "bit_identical": bit_identical,
     }
 

@@ -69,6 +69,16 @@ METRIC_SPECS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("tracing_off_overhead_under_2pct", "exact_true"),
         ("bit_identical", "exact_true"),
     ),
+    # bench-obs/2 adds the continuous-profiler arm: the 100 Hz sampler
+    # must stay under its 5% budget over the uninstrumented control,
+    # and must actually have captured samples (a sampler that silently
+    # stops sampling would otherwise "pass" with zero overhead).
+    "bench-obs/2": (
+        ("tracing_off_overhead_under_2pct", "exact_true"),
+        ("profiler_overhead_under_5pct", "exact_true"),
+        ("profiler_sampled", "exact_true"),
+        ("bit_identical", "exact_true"),
+    ),
     # The lint-speed gate.  Wall times ride the relative tolerance;
     # ``parity`` (parallel report == serial report) and ``lint_clean``
     # are absolute correctness booleans.

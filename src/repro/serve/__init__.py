@@ -14,11 +14,13 @@ Modules:
 - :mod:`repro.serve.model` — query validation + the two bit-equal
   evaluators (scalar control, batched tensor path);
 - :mod:`repro.serve.batcher` — window-based coalescing, 429 shedding;
+- :mod:`repro.serve.flight` — tail-sampled flight recorder (``/debugz``);
 - :mod:`repro.serve.server` — routes, obs integration, graceful drain;
 - :mod:`repro.serve.loadgen` — deterministic closed/open-loop load.
 """
 
 from repro.serve.batcher import QueueFullError, RequestBatcher
+from repro.serve.flight import FlightRecorder
 from repro.serve.model import (
     GridQuery,
     ModelContext,
@@ -31,6 +33,7 @@ from repro.serve.model import (
 from repro.serve.server import PpatcServer, ServerConfig, run_server
 
 __all__ = [
+    "FlightRecorder",
     "GridQuery",
     "ModelContext",
     "PointQuery",

@@ -17,8 +17,9 @@ which is what makes SIGTERM graceful.
 
 Observability: ``serve.batch.count`` / ``serve.batch.queries`` counters,
 a ``serve.batch.occupancy`` histogram (the bench's batch-occupancy
-evidence that coalescing actually happened), and ``serve.shed.total``
-for 429s.
+evidence that coalescing actually happened), live ``serve.queue.depth``
+and ``serve.batch.last_occupancy`` gauges (scraped via ``/metricz`` and
+stamped into every access-log line), and ``serve.shed.total`` for 429s.
 """
 
 from __future__ import annotations
@@ -119,6 +120,9 @@ class RequestBatcher:
             asyncio.get_running_loop().create_future()
         )
         self._pending.append((item, future))
+        obs.get_metrics().gauge("serve.queue.depth").set(
+            len(self._pending)
+        )
         assert self._wakeup is not None
         self._wakeup.set()
         return future
@@ -151,6 +155,7 @@ class RequestBatcher:
             while self._pending:
                 self._flush(self._pending[: self.max_batch])
                 del self._pending[: self.max_batch]
+            obs.get_metrics().gauge("serve.queue.depth").set(0)
             if self._stopping and not self._pending:
                 return
 
@@ -163,6 +168,7 @@ class RequestBatcher:
         metrics.histogram(
             "serve.batch.occupancy", OCCUPANCY_BOUNDS
         ).observe(len(batch))
+        metrics.gauge("serve.batch.last_occupancy").set(len(batch))
         items = [item for item, _ in batch]
         try:
             with obs.span("serve.batch", occupancy=len(batch)):

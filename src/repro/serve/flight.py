@@ -1,0 +1,160 @@
+"""Tail-sampled flight recorder: the last interesting requests, in full.
+
+Aggregate metrics say *that* p99 regressed; a flight recorder says
+*which requests* did it.  :class:`FlightRecorder` keeps three bounded
+views of recent traffic, updated in O(log k) per request:
+
+- **recent** — a ring of the last ``capacity`` requests, whatever they
+  were (head-based context);
+- **errors** — its own ring of the last ``capacity`` requests with
+  status >= 400, so a burst of successes can never evict the failure
+  you are hunting (tail-based error retention);
+- **slowest** — a min-heap of the ``slowest_k`` highest-latency
+  requests seen since the last dump reset, so the tail percentile's
+  concrete victims survive no matter how much fast traffic follows.
+
+This is tail-based sampling in the tracing sense: the keep/drop
+decision is made *after* the request finishes, when its status and
+latency are known, instead of up-front by a coin flip that almost
+always discards the interesting 0.1 %.
+
+The recorder never reads a clock — the server passes completion
+timestamps in — so it stays inert under the repo's determinism lint
+and is trivially clock-injectable in tests.  All mutable state is
+guarded by one lock; records are normalized to a fixed key order so
+dumps are deterministic and byte-stable for equal inputs.
+
+Dumps surface two ways: ``GET /debugz`` returns one, and SIGUSR2 makes
+the server write one to disk without stopping (the classic "what is it
+doing *right now*" escape hatch).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "DUMP_SCHEMA"]
+
+DUMP_SCHEMA = "flight-recorder/1"
+
+#: Fixed record key order (dump determinism is asserted by tests).
+_RECORD_KEYS = (
+    "request_id",
+    "ts",
+    "method",
+    "target",
+    "status",
+    "latency_ms",
+    "queue_depth",
+    "bytes_in",
+    "trace",
+)
+
+
+class FlightRecorder:
+    """Bounded, tail-sampled retention of completed-request records."""
+
+    def __init__(self, capacity: int = 256, slowest_k: int = 16) -> None:
+        if capacity < 1 or slowest_k < 1:
+            raise ValueError("capacity and slowest_k must be >= 1")
+        self.capacity = capacity
+        self.slowest_k = slowest_k
+        self._lock = threading.Lock()
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._errors: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        # min-heap of (latency_ms, seq, record): the smallest of the
+        # retained slowest is always on top, ready to be displaced.
+        self._slowest: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._seq = 0
+        self._recorded = 0
+        self._errors_total = 0
+
+    def record(
+        self,
+        request_id: str,
+        method: str,
+        target: str,
+        status: int,
+        latency_s: float,
+        ts: float,
+        queue_depth: int = 0,
+        bytes_in: int = 0,
+        trace: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        """Admit one completed request to the tail-sampling views.
+
+        ``ts`` is the caller-supplied completion timestamp (wall-clock
+        seconds); ``trace`` is an optional list of per-phase timing
+        dicts captured while serving the request.
+        """
+        entry = {
+            "request_id": request_id,
+            "ts": ts,
+            "method": method,
+            "target": target,
+            "status": status,
+            "latency_ms": round(latency_s * 1e3, 4),
+            "queue_depth": queue_depth,
+            "bytes_in": bytes_in,
+            "trace": list(trace) if trace else [],
+        }
+        with self._lock:
+            self._seq += 1
+            self._recorded += 1
+            self._recent.append(entry)
+            if status >= 400:
+                self._errors_total += 1
+                self._errors.append(entry)
+            item = (entry["latency_ms"], self._seq, entry)
+            if len(self._slowest) < self.slowest_k:
+                heapq.heappush(self._slowest, item)
+            elif item[0] > self._slowest[0][0]:
+                heapq.heapreplace(self._slowest, item)
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    def dump(self) -> Dict[str, Any]:
+        """Everything currently retained, deterministically ordered.
+
+        ``recent`` and ``errors`` run oldest to newest; ``slowest``
+        runs highest latency first (sequence number breaks ties, so
+        equal inputs always dump byte-identically).
+        """
+        with self._lock:
+            recent = [self._normalize(e) for e in self._recent]
+            errors = [self._normalize(e) for e in self._errors]
+            slowest = [
+                self._normalize(entry)
+                for _, _, entry in sorted(
+                    self._slowest, key=lambda item: (-item[0], -item[1])
+                )
+            ]
+            return {
+                "schema": DUMP_SCHEMA,
+                "capacity": self.capacity,
+                "slowest_k": self.slowest_k,
+                "recorded": self._recorded,
+                "errors_total": self._errors_total,
+                "recent": recent,
+                "errors": errors,
+                "slowest": slowest,
+            }
+
+    def reset(self) -> None:
+        """Forget everything (counters included)."""
+        with self._lock:
+            self._recent.clear()
+            self._errors.clear()
+            self._slowest.clear()
+            self._recorded = 0
+            self._errors_total = 0
+
+    @staticmethod
+    def _normalize(entry: Dict[str, Any]) -> Dict[str, Any]:
+        return {key: entry[key] for key in _RECORD_KEYS}

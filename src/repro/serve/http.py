@@ -186,6 +186,23 @@ def json_response(
     )
 
 
+def text_response(
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """A plain-text response (Prometheus exposition, profiler dumps)."""
+    return response_bytes(
+        status,
+        text.encode("utf-8"),
+        content_type=content_type,
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )
+
+
 def error_response(error: HttpError) -> bytes:
     """The standard error envelope for an :class:`HttpError`."""
     return json_response(

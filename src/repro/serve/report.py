@@ -1,0 +1,138 @@
+"""`repro obs-report`: one terminal page of a live server's health.
+
+Collects ``/healthz``, ``/metricz`` (JSON snapshot), ``/debugz``, and
+``/profilez`` from a running PPAtC server over its own HTTP API and
+renders the operator's one-glance summary: SLO burn rates per window,
+latency quantiles, queue/batch occupancy, the flight recorder's worst
+recent requests, the hottest profiled stacks, and the process's own
+operational-carbon ledger.
+
+Everything here rides the same minimal client the load generator uses
+(:func:`repro.serve.loadgen.fetch_json`), so the report exercises the
+very endpoints a production scrape would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.serve.loadgen import fetch_json
+
+__all__ = ["collect_obs_report", "render_obs_report", "obs_report"]
+
+
+async def collect_obs_report(host: str, port: int) -> Dict[str, Any]:
+    """Fetch the four observability endpoints; profiler may be absent."""
+    health = await fetch_json(host, port, "/healthz")
+    metrics = await fetch_json(host, port, "/metricz")
+    debug = await fetch_json(host, port, "/debugz")
+    try:
+        profile: Optional[Dict[str, Any]] = await fetch_json(
+            host, port, "/profilez"
+        )
+    except RuntimeError:  # 404: server running without --profile-hz
+        profile = None
+    return {
+        "health": health,
+        "metrics": metrics,
+        "debug": debug,
+        "profile": profile,
+    }
+
+
+def render_obs_report(collected: Dict[str, Any]) -> str:
+    """The `repro obs-report` text page."""
+    health = collected["health"]
+    metrics = collected["metrics"]
+    debug = collected["debug"]
+    profile = collected.get("profile")
+    lines: List[str] = []
+
+    lines.append(
+        f"server: {health['status']} ({health['mode']} mode), "
+        f"uptime {health['uptime_s']:.0f}s, "
+        f"{health['requests_served']} requests served, "
+        f"queue depth {health['queue_depth']}"
+    )
+
+    slo = health.get("slo", {})
+    if slo:
+        lines.append("")
+        lines.append(
+            f"{'objective':14s} {'target':>8s} {'window':>8s} "
+            f"{'events':>8s} {'burn':>8s} {'ok':>4s}"
+        )
+        for name, objective in slo.items():
+            for window, stats in objective["windows"].items():
+                lines.append(
+                    f"{name:14s} {objective['target']:>8.3%} {window:>8s} "
+                    f"{stats['events']:>8,} {stats['burn_rate']:>8.2f} "
+                    f"{'yes' if stats['compliant'] else 'NO':>4s}"
+                )
+
+    latency = metrics.get("histograms", {}).get("serve.request.seconds")
+    if latency:
+        lines.append("")
+        lines.append(
+            f"latency: p50 {latency['p50'] * 1e3:.2f} ms, "
+            f"p90 {latency['p90'] * 1e3:.2f} ms, "
+            f"p99 {latency['p99'] * 1e3:.2f} ms "
+            f"over {latency['count']:,} requests"
+        )
+    gauges = metrics.get("gauges", {})
+    occupancy = metrics.get("histograms", {}).get("serve.batch.occupancy")
+    if occupancy and occupancy["count"]:
+        lines.append(
+            f"batching: mean occupancy {occupancy['mean']:.1f} over "
+            f"{occupancy['count']:,} batches, last "
+            f"{gauges.get('serve.batch.last_occupancy', 0):g}, "
+            f"queue depth now {gauges.get('serve.queue.depth', 0):g}"
+        )
+
+    carbon = health.get("carbon")
+    if carbon:
+        lines.append("")
+        lines.append(
+            f"carbon: {carbon['operational_gco2e']:.3g} gCO2e operational "
+            f"({carbon['energy_kwh']:.3g} kWh @ "
+            f"{carbon['ci_gco2e_per_kwh']:.0f} gCO2e/kWh), "
+            f"mean power {carbon['power_w']:.2f} W, "
+            f"cpu util {carbon['utilization']:.1%}"
+        )
+
+    lines.append("")
+    lines.append(
+        f"flight recorder: {debug['recorded']:,} recorded, "
+        f"{debug['errors_total']:,} errors retained"
+    )
+    for record in debug.get("slowest", [])[:3]:
+        lines.append(
+            f"  slow {record['request_id']}: {record['method']} "
+            f"{record['target']} -> {record['status']} in "
+            f"{record['latency_ms']:.2f} ms (queue {record['queue_depth']})"
+        )
+
+    if profile is not None:
+        lines.append("")
+        lines.append(
+            f"profiler: {profile['hz']:g} Hz, {profile['samples']:,} "
+            f"samples, self-overhead {profile['self_fraction']:.2%}"
+        )
+        ranked: List[Any] = []
+        for thread, stacks in profile.get("threads", {}).items():
+            for stack, count in stacks.items():
+                ranked.append((count, f"{thread}: {stack}"))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        for count, label in ranked[:3]:
+            leaf = label.split(";")[-1]
+            lines.append(f"  hot {count:>6,}  {leaf}")
+    else:
+        lines.append("profiler: disabled (start with --profile-hz)")
+
+    return "\n".join(lines)
+
+
+def obs_report(host: str, port: int) -> str:
+    """Synchronous wrapper: collect + render in one call."""
+    return render_obs_report(asyncio.run(collect_obs_report(host, port)))

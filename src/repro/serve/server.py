@@ -8,19 +8,32 @@ Routes:
 - ``POST /v1/grid``    — one trade-off-map tile (``ppatc-grid/1``);
   already a tensor evaluation, dispatched inline, Monte Carlo overlays
   memoized through the shared warm ``SweepCache``.
-- ``GET /healthz``     — liveness + readiness (bases warmed).
-- ``GET /metricz``     — the ``repro.obs`` metrics snapshot.
+- ``GET /healthz``     — liveness + readiness (bases warmed), SLO
+  burn rates, and the process's own live operational gCO2e.
+- ``GET /metricz``     — the ``repro.obs`` metrics snapshot; content
+  negotiation serves Prometheus text 0.0.4 to ``Accept: text/plain``
+  scrapers and OpenMetrics (with request-id exemplars) to
+  ``Accept: application/openmetrics-text``; JSON stays the default.
+- ``GET /debugz``      — the flight recorder's tail-sampled dump: the
+  last N requests in full, plus every retained error and the slowest-K.
+- ``GET /profilez``    — live continuous-profiler snapshot (enabled
+  with ``--profile-hz``); collapsed flamegraph text via
+  ``Accept: text/plain``, JSON folded stacks otherwise.
 
 Operational behavior: bounded batcher queue with HTTP 429 shedding,
-per-request ``serve.request`` spans, a JSON-lines access log, HTTP/1.1
-keep-alive, and graceful drain — SIGTERM/SIGINT stop the listener,
-let in-flight requests finish (draining the batcher queue), then close.
+per-request ``serve.request`` spans, a flush-per-record JSON-lines
+access log carrying live queue depth, HTTP/1.1 keep-alive, SIGUSR2
+flight-recorder dumps to disk, periodic carbon self-telemetry sampling
+(``serve.carbon.*`` gauges), and graceful drain — SIGTERM/SIGINT stop
+the listener, let in-flight requests finish (draining the batcher
+queue), then close.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 import time
@@ -29,12 +42,24 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TextIO
 
 from repro import obs
+from repro.core.carbon_intensity import grid_intensity
+from repro.obs.carbon import CarbonSelfTelemetry
+from repro.obs.exposition import (
+    CONTENT_TYPE_OPENMETRICS,
+    CONTENT_TYPE_TEXT,
+    negotiate_format,
+    render_prometheus,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SloObjective, SloTracker
+from repro.serve.flight import FlightRecorder
 from repro.serve.http import (
     HttpError,
     HttpRequest,
     error_response,
     json_response,
     read_request,
+    text_response,
 )
 from repro.serve.model import (
     SUPPORTED_GRIDS,
@@ -70,6 +95,16 @@ class ServerConfig:
     max_pending: int = 1024
     access_log: Optional[str] = None  # JSON-lines path; None = stderr off
     sweep_cache: bool = True
+    # -- observability ----------------------------------------------------
+    profile_hz: float = 0.0  # 0 = continuous profiler off
+    flight_capacity: int = 256
+    flight_slowest: int = 16
+    flight_dump_path: Optional[str] = None  # SIGUSR2 target; None = cwd
+    carbon_grid: str = "us"  # CI the self-telemetry charges energy at
+    carbon_sample_s: float = 5.0
+    slo_availability_target: float = 0.999
+    slo_latency_target: float = 0.99
+    slo_latency_ms: float = 100.0
 
 
 class PpatcServer:
@@ -103,12 +138,43 @@ class PpatcServer:
         self._grid_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="ppatc-grid"
         )
+        self.flight = FlightRecorder(
+            capacity=config.flight_capacity,
+            slowest_k=config.flight_slowest,
+        )
+        self.slo = SloTracker(
+            [
+                SloObjective(
+                    "availability", target=config.slo_availability_target
+                ),
+                SloObjective(
+                    "latency",
+                    target=config.slo_latency_target,
+                    latency_threshold_s=config.slo_latency_ms / 1e3,
+                ),
+            ]
+        )
+        self.carbon = CarbonSelfTelemetry(
+            ci=None
+            if config.carbon_grid == "us"
+            else _carbon_ci(config.carbon_grid),
+            registry=obs.get_metrics(),
+        )
+        self.profiler: Optional[SamplingProfiler] = (
+            SamplingProfiler(
+                hz=config.profile_hz, registry=obs.get_metrics()
+            )
+            if config.profile_hz > 0
+            else None
+        )
+        self._carbon_task: Optional["asyncio.Task[None]"] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._started_at: Optional[float] = None
         self._access_log = access_log_stream
         self._access_log_owned = False
         self.requests_served = 0
+        self._request_seq = 0
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -129,8 +195,14 @@ class PpatcServer:
                 self.config.access_log, "a", encoding="utf-8"
             )
             self._access_log_owned = True
+        if self.profiler is not None:
+            self.profiler.start()
         if not self.config.serial:
             self.batcher.start()
+        self.carbon.sample()
+        self._carbon_task = asyncio.get_running_loop().create_task(
+            self._carbon_loop(), name="repro-serve-carbon"
+        )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -147,6 +219,16 @@ class PpatcServer:
         if not self.config.serial:
             await self.batcher.stop()
         self._grid_executor.shutdown(wait=True)
+        if self._carbon_task is not None:
+            self._carbon_task.cancel()
+            try:
+                await self._carbon_task
+            except asyncio.CancelledError:
+                pass
+            self._carbon_task = None
+            self.carbon.sample()  # final accounting up to shutdown
+        if self.profiler is not None and self.profiler.running:
+            self.profiler.stop()
         if self._access_log is not None:
             self._access_log.flush()
             if self._access_log_owned:
@@ -156,17 +238,43 @@ class PpatcServer:
     async def serve_until_signal(
         self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
     ) -> None:
-        """Run until one of ``signals`` arrives, then drain and return."""
+        """Run until one of ``signals`` arrives, then drain and return.
+
+        SIGUSR2 (where the platform has it) is additionally wired to
+        dump the flight recorder to disk without stopping the server.
+        """
         stop_event = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in signals:
             loop.add_signal_handler(sig, stop_event.set)
+        usr2 = getattr(signal, "SIGUSR2", None)
+        if usr2 is not None:
+            loop.add_signal_handler(usr2, self.dump_flight)
         try:
             await stop_event.wait()
         finally:
             for sig in signals:
                 loop.remove_signal_handler(sig)
+            if usr2 is not None:
+                loop.remove_signal_handler(usr2)
             await self.stop()
+
+    def dump_flight(self, path: Optional[str] = None) -> str:
+        """Write the flight-recorder dump as JSON; returns the path."""
+        target = path or self.config.flight_dump_path
+        if target is None:
+            target = f"ppatc-flight-{os.getpid()}.json"
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(self.flight.dump(), fh, indent=1)
+            fh.write("\n")
+        obs.get_metrics().counter("serve.flight.dumps").inc()
+        return target
+
+    async def _carbon_loop(self) -> None:
+        """Periodically advance the operational-carbon accounting."""
+        while True:
+            await asyncio.sleep(self.config.carbon_sample_s)
+            self.carbon.sample()
 
     # -- evaluation --------------------------------------------------------
     def _evaluate_batch(
@@ -224,6 +332,9 @@ class PpatcServer:
         """Serve one request; returns whether to keep the connection."""
         metrics = obs.get_metrics()
         loop = asyncio.get_running_loop()
+        self._request_seq += 1
+        request_id = f"{self._request_seq:08x}"
+        queue_depth = 0 if self.config.serial else self.batcher.pending
         start = loop.time()  # monotonic event-loop clock, RPL002-clean
         status = 200
         with obs.span(
@@ -231,7 +342,12 @@ class PpatcServer:
         ) as span:
             try:
                 body = await self._route(request)
-                response = json_response(200, body, keep_alive=keep_alive)
+                if isinstance(body, bytes):
+                    response = body  # pre-rendered (content-negotiated)
+                else:
+                    response = json_response(
+                        200, body, keep_alive=keep_alive
+                    )
             except HttpError as exc:
                 status = exc.status
                 keep_alive = keep_alive and exc.keep_alive
@@ -251,12 +367,23 @@ class PpatcServer:
         metrics.counter("serve.requests.total").inc()
         metrics.counter(f"serve.status.{status}").inc()
         metrics.histogram("serve.request.seconds", _LATENCY_BOUNDS).observe(
-            elapsed
+            elapsed, span_id=request_id
         )
-        self._log_access(request, status, elapsed)
+        self.slo.record(elapsed, ok=status < 500)
+        self.flight.record(
+            request_id=request_id,
+            method=request.method,
+            target=request.target,
+            status=status,
+            latency_s=elapsed,
+            ts=time.time(),  # repro-lint: disable=RPL002 - flight-recorder timestamp, not model output
+            queue_depth=queue_depth,
+            bytes_in=len(request.body),
+        )
+        self._log_access(request, status, elapsed, request_id, queue_depth)
         return keep_alive
 
-    async def _route(self, request: HttpRequest) -> Dict[str, Any]:
+    async def _route(self, request: HttpRequest) -> Any:
         method, target = request.method, request.target.split("?", 1)[0]
         if target == "/healthz":
             if method != "GET":
@@ -265,7 +392,15 @@ class PpatcServer:
         if target == "/metricz":
             if method != "GET":
                 raise HttpError(405, "use GET", keep_alive=True)
-            return obs.get_metrics().snapshot()
+            return self._metricz(request)
+        if target == "/debugz":
+            if method != "GET":
+                raise HttpError(405, "use GET", keep_alive=True)
+            return self.flight.dump()
+        if target == "/profilez":
+            if method != "GET":
+                raise HttpError(405, "use GET", keep_alive=True)
+            return self._profilez(request)
         if target == "/v1/tcdp":
             if method != "POST":
                 raise HttpError(405, "use POST", keep_alive=True)
@@ -279,6 +414,32 @@ class PpatcServer:
                 self._grid_executor, evaluate_grid, self.context, grid_query
             )
         raise HttpError(404, f"no route for {target}", keep_alive=True)
+
+    def _metricz(self, request: HttpRequest) -> Any:
+        """JSON snapshot by default; Prometheus text when asked for."""
+        fmt = negotiate_format(request.headers.get("accept"))
+        if fmt == "json":
+            return obs.get_metrics().snapshot()
+        openmetrics = fmt == "openmetrics"
+        text = render_prometheus(
+            obs.get_metrics(), openmetrics=openmetrics
+        )
+        content_type = (
+            CONTENT_TYPE_OPENMETRICS if openmetrics else CONTENT_TYPE_TEXT
+        )
+        return text_response(200, text, content_type=content_type)
+
+    def _profilez(self, request: HttpRequest) -> Any:
+        if self.profiler is None:
+            raise HttpError(
+                404,
+                "profiler disabled; start the server with --profile-hz",
+                keep_alive=True,
+            )
+        report = self.profiler.snapshot()
+        if negotiate_format(request.headers.get("accept")) != "json":
+            return text_response(200, report.to_collapsed())
+        return report.to_json()
 
     @staticmethod
     def _parse(query_cls: Any, request: HttpRequest) -> Any:
@@ -301,23 +462,48 @@ class PpatcServer:
             "queue_depth": (
                 0 if self.config.serial else self.batcher.pending
             ),
+            "slo": self.slo.report(),
+            "carbon": self.carbon.sample(),
+            "profiler_hz": (
+                self.profiler.hz if self.profiler is not None else 0.0
+            ),
+            "flight_recorded": self.flight.recorded,
         }
 
     def _log_access(
-        self, request: HttpRequest, status: int, elapsed_s: float
+        self,
+        request: HttpRequest,
+        status: int,
+        elapsed_s: float,
+        request_id: str,
+        queue_depth: int,
     ) -> None:
         if self._access_log is None:
             return
         record = {
             "ts": time.time(),  # repro-lint: disable=RPL002 - access-log timestamp, not model output
+            "request_id": request_id,
             "method": request.method,
             "target": request.target,
             "status": status,
             "elapsed_ms": round(elapsed_s * 1e3, 3),
             "bytes_in": len(request.body),
+            "queue_depth": queue_depth,
+            "batch_occupancy": obs.get_metrics()
+            .gauge("serve.batch.last_occupancy")
+            .value,
         }
         self._access_log.write(json.dumps(record, separators=(",", ":")))
         self._access_log.write("\n")
+        # Flush per record: a SIGTERM drain (or a crash right after it)
+        # must never lose the lines describing the requests it drained.
+        self._access_log.flush()
+
+
+def _carbon_ci(grid: str) -> Any:
+    from repro.core.carbon_intensity import ConstantCarbonIntensity
+
+    return ConstantCarbonIntensity(grid_intensity(grid), name=grid)
 
 
 async def run_server(

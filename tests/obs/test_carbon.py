@@ -1,0 +1,165 @@
+"""Carbon self-telemetry: the paper's Eq. 6-8 applied to the process."""
+
+import pytest
+
+from repro import units
+from repro.core.carbon_intensity import (
+    ConstantCarbonIntensity,
+    DailyWindowProfile,
+)
+from repro.obs.carbon import (
+    DEFAULT_ACTIVE_POWER_W,
+    DEFAULT_IDLE_POWER_W,
+    CarbonSelfTelemetry,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeProcess:
+    """Injectable wall clock + CPU clock for deterministic accounting."""
+
+    def __init__(self) -> None:
+        self.wall = 100.0
+        self.cpu = 10.0
+
+    def run(self, wall_s: float, busy_fraction: float = 1.0) -> None:
+        self.wall += wall_s
+        self.cpu += wall_s * busy_fraction
+
+
+def make_telemetry(process, ci=None, registry=None, **kwargs):
+    return CarbonSelfTelemetry(
+        ci=ci,
+        registry=registry,
+        cpu_time=lambda: process.cpu,
+        clock=lambda: process.wall,
+        **kwargs,
+    )
+
+
+class TestEnergyAccounting:
+    def test_idle_interval_charges_static_power_only(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=ConstantCarbonIntensity(380.0)
+        )
+        process.run(wall_s=100.0, busy_fraction=0.0)
+        state = telemetry.sample()
+        expected_j = DEFAULT_IDLE_POWER_W * 100.0
+        assert state["energy_kwh"] == pytest.approx(expected_j / units.KWH)
+        assert state["cpu_seconds_total"] == 0.0
+        assert state["power_w"] == pytest.approx(DEFAULT_IDLE_POWER_W)
+
+    def test_busy_interval_adds_dynamic_power(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=ConstantCarbonIntensity(380.0)
+        )
+        process.run(wall_s=100.0, busy_fraction=1.0)
+        state = telemetry.sample()
+        expected_j = (
+            DEFAULT_IDLE_POWER_W + DEFAULT_ACTIVE_POWER_W
+        ) * 100.0
+        assert state["energy_kwh"] == pytest.approx(expected_j / units.KWH)
+        assert state["utilization"] == pytest.approx(1.0)
+        assert state["power_w"] == pytest.approx(
+            DEFAULT_IDLE_POWER_W + DEFAULT_ACTIVE_POWER_W
+        )
+
+    def test_carbon_charges_energy_at_the_configured_ci(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process,
+            ci=ConstantCarbonIntensity(820.0, name="coal"),
+            active_power_w=10.0,
+            idle_power_w=0.0,
+        )
+        process.run(wall_s=units.HOUR, busy_fraction=1.0)
+        state = telemetry.sample()
+        # 10 W for one hour = 0.01 kWh; at 820 g/kWh that is 8.2 g.
+        assert state["energy_kwh"] == pytest.approx(0.01)
+        assert state["operational_gco2e"] == pytest.approx(8.2)
+
+    def test_samples_accumulate(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=ConstantCarbonIntensity(100.0)
+        )
+        process.run(50.0)
+        first = telemetry.sample()
+        process.run(50.0)
+        second = telemetry.sample()
+        assert second["operational_gco2e"] > first["operational_gco2e"]
+        assert second["cpu_seconds_total"] == pytest.approx(100.0)
+        assert second["elapsed_s"] == pytest.approx(100.0)
+
+    def test_zero_interval_sample_is_safe(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=ConstantCarbonIntensity(100.0)
+        )
+        first = telemetry.sample()
+        second = telemetry.sample()
+        assert first["energy_kwh"] == second["energy_kwh"]
+        assert second["power_w"] == pytest.approx(DEFAULT_IDLE_POWER_W)
+
+
+class TestTimeVaryingGrid:
+    def test_interval_priced_at_its_midpoint_hour(self):
+        # CI jumps from 100 to 900 g/kWh at hour 1 (relative to start).
+        profile = DailyWindowProfile([(0, 100.0), (1, 900.0)])
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=profile, active_power_w=0.0, idle_power_w=1000.0
+        )
+        # First interval: 0..0.5 h, midpoint 0.25 h -> cheap grid.
+        process.run(wall_s=0.5 * units.HOUR, busy_fraction=0.0)
+        cheap = telemetry.sample()
+        assert cheap["ci_gco2e_per_kwh"] == pytest.approx(100.0)
+        # Second interval: 0.5..1.0 h, midpoint 0.75 h -> still cheap.
+        process.run(wall_s=0.5 * units.HOUR, busy_fraction=0.0)
+        telemetry.sample()
+        # Third interval: 1.0..2.0 h, midpoint 1.5 h -> dirty grid.
+        process.run(wall_s=1.0 * units.HOUR, busy_fraction=0.0)
+        dirty = telemetry.sample()
+        assert dirty["ci_gco2e_per_kwh"] == pytest.approx(900.0)
+        # 1 kW for 2 h: 1 kWh cheap + 1 kWh dirty.
+        assert dirty["energy_kwh"] == pytest.approx(2.0)
+        assert dirty["operational_gco2e"] == pytest.approx(
+            1.0 * 100.0 + 1.0 * 900.0
+        )
+
+
+class TestGauges:
+    def test_sample_publishes_all_gauges(self):
+        registry = MetricsRegistry(enabled=True)
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process,
+            ci=ConstantCarbonIntensity(380.0),
+            registry=registry,
+        )
+        process.run(10.0)
+        state = telemetry.sample()
+        for key in (
+            "operational_gco2e",
+            "energy_kwh",
+            "power_w",
+            "cpu_seconds_total",
+            "utilization",
+            "ci_gco2e_per_kwh",
+        ):
+            gauge = registry.gauge(f"serve.carbon.{key}")
+            assert gauge.value == pytest.approx(state[key])
+
+    def test_no_registry_is_fine(self):
+        process = FakeProcess()
+        telemetry = make_telemetry(
+            process, ci=ConstantCarbonIntensity(380.0)
+        )
+        process.run(10.0)
+        assert telemetry.sample()["operational_gco2e"] > 0.0
+
+    def test_default_ci_is_us_grid(self):
+        telemetry = CarbonSelfTelemetry()
+        assert telemetry.ci.at(0.0) == 380.0

@@ -1,0 +1,215 @@
+"""Prometheus/OpenMetrics rendering of the metrics registry.
+
+The rendering tests parse the exposition text with a mini text-format
+parser rather than substring checks, so a malformed line (bad label
+quoting, missing TYPE, non-cumulative buckets) fails loudly.
+"""
+
+import re
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_OPENMETRICS,
+    CONTENT_TYPE_TEXT,
+    negotiate_format,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ #]+)"
+    r"(?: # \{(?P<exemplar_labels>[^}]*)\} (?P<exemplar_value>\S+))?$"
+)
+
+
+def parse_exposition(text: str) -> dict:
+    """A tiny Prometheus text-format parser: samples + TYPE/HELP map."""
+    samples = {}
+    types = {}
+    helps = {}
+    saw_eof = False
+    for line in text.strip().split("\n"):
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, metric, kind = line.split(" ", 3)
+            types[metric] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, metric, help_text = line.split(" ", 3)
+            helps[metric] = help_text
+            continue
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        key = match["name"]
+        if match["labels"]:
+            key += "{" + match["labels"] + "}"
+        samples[key] = {
+            "value": float(match["value"]),
+            "exemplar": (
+                (match["exemplar_labels"], float(match["exemplar_value"]))
+                if match["exemplar_value"]
+                else None
+            ),
+        }
+    return {
+        "samples": samples,
+        "types": types,
+        "helps": helps,
+        "eof": saw_eof,
+    }
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("serve.requests.total").inc(7)
+    reg.gauge("serve.queue.depth").set(3.0)
+    hist = reg.histogram("serve.request.seconds", bounds=(0.01, 0.1))
+    hist.observe(0.005, span_id="0000002a")
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return reg
+
+
+class TestSanitize:
+    def test_dots_fold_to_underscores(self):
+        assert (
+            sanitize_metric_name("serve.request.seconds")
+            == "serve_request_seconds"
+        )
+
+    def test_arbitrary_punctuation_folds(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("3d.stack") == "_3d_stack"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("valid_name:x") == "valid_name:x"
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize(
+        "accept", [None, "", "*/*", "application/json", "text/html"]
+    )
+    def test_json_is_the_default(self, accept):
+        assert negotiate_format(accept) == "json"
+
+    def test_text_plain_selects_text(self):
+        assert negotiate_format("text/plain") == "text"
+        assert negotiate_format("text/plain; version=0.0.4") == "text"
+
+    def test_openmetrics_wins_over_text(self):
+        accept = (
+            "application/openmetrics-text; version=1.0.0,"
+            "text/plain;version=0.0.4;q=0.5"
+        )
+        assert negotiate_format(accept) == "openmetrics"
+
+    def test_content_types_are_distinct(self):
+        assert len(
+            {CONTENT_TYPE_JSON, CONTENT_TYPE_TEXT, CONTENT_TYPE_OPENMETRICS}
+        ) == 3
+
+
+class TestTextFormat:
+    def test_counter_rendering(self):
+        parsed = parse_exposition(render_prometheus(populated_registry()))
+        assert parsed["types"]["serve_requests_total"] == "counter"
+        assert parsed["samples"]["serve_requests_total"]["value"] == 7.0
+
+    def test_counter_total_suffix_not_doubled(self):
+        text = render_prometheus(populated_registry())
+        assert "serve_requests_total_total" not in text
+        # A counter without the suffix gains exactly one.
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("hits").inc()
+        assert "hits_total 1" in render_prometheus(reg)
+
+    def test_gauge_rendering(self):
+        parsed = parse_exposition(render_prometheus(populated_registry()))
+        assert parsed["types"]["serve_queue_depth"] == "gauge"
+        assert parsed["samples"]["serve_queue_depth"]["value"] == 3.0
+
+    def test_histogram_buckets_are_cumulative_and_close_at_inf(self):
+        parsed = parse_exposition(render_prometheus(populated_registry()))
+        samples = parsed["samples"]
+        assert samples['serve_request_seconds_bucket{le="0.01"}']["value"] == 1
+        assert samples['serve_request_seconds_bucket{le="0.1"}']["value"] == 2
+        assert samples['serve_request_seconds_bucket{le="+Inf"}']["value"] == 3
+        assert samples["serve_request_seconds_count"]["value"] == 3
+        assert samples["serve_request_seconds_sum"]["value"] == pytest.approx(
+            0.555
+        )
+        assert parsed["types"]["serve_request_seconds"] == "histogram"
+
+    def test_every_metric_has_help_and_type(self):
+        parsed = parse_exposition(render_prometheus(populated_registry()))
+        for metric in parsed["types"]:
+            assert metric in parsed["helps"]
+
+    def test_skip_zero(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("dead")
+        reg.counter("live").inc()
+        text = render_prometheus(reg, skip_zero=True)
+        assert "dead" not in text
+        assert "live_total" in text
+
+    def test_text_format_has_no_eof_or_exemplars(self):
+        parsed = parse_exposition(render_prometheus(populated_registry()))
+        assert not parsed["eof"]
+        assert all(
+            s["exemplar"] is None for s in parsed["samples"].values()
+        )
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry(enabled=True)) == "\n"
+
+
+class TestOpenMetrics:
+    def test_ends_with_eof(self):
+        text = render_prometheus(populated_registry(), openmetrics=True)
+        assert text.endswith("# EOF\n")
+        assert parse_exposition(text)["eof"]
+
+    def test_exemplar_attached_to_its_bucket(self):
+        text = render_prometheus(populated_registry(), openmetrics=True)
+        parsed = parse_exposition(text)
+        bucket = parsed["samples"]['serve_request_seconds_bucket{le="0.01"}']
+        assert bucket["exemplar"] == ('span_id="0000002a"', 0.005)
+        # Buckets whose observations carried no span id stay bare.
+        other = parsed["samples"]['serve_request_seconds_bucket{le="0.1"}']
+        assert other["exemplar"] is None
+
+    def test_same_series_as_text_format(self):
+        text = parse_exposition(render_prometheus(populated_registry()))
+        om = parse_exposition(
+            render_prometheus(populated_registry(), openmetrics=True)
+        )
+        assert set(text["samples"]) == set(om["samples"])
+        for key, sample in text["samples"].items():
+            assert om["samples"][key]["value"] == sample["value"]
+
+
+class TestValueFormatting:
+    def test_integral_floats_render_without_decimal(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g").set(4.0)
+        assert "\ng 4\n" in render_prometheus(reg)
+
+    def test_infinite_gauge_renders_as_inf(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g").set(float("inf"))
+        assert "\ng +Inf\n" in render_prometheus(reg)
+
+    def test_nan_gauge_renders_as_nan(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g").set(float("nan"))
+        assert "\ng NaN\n" in render_prometheus(reg)

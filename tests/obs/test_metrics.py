@@ -6,6 +6,7 @@ from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
 )
 
 
@@ -101,6 +102,9 @@ class TestRegistry:
             "count": 1,
             "sum": 0.2,
             "mean": 0.2,
+            "p50": 0.5,
+            "p90": pytest.approx(0.9),
+            "p99": pytest.approx(0.99),
         }
 
     def test_reset_zeroes_but_keeps_registrations(self):
@@ -137,3 +141,86 @@ class TestRegistry:
         text = reg.render_text()
         assert "1:1" in text
         assert ">2:1" in text
+
+    def test_render_text_histogram_quantile_columns(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(0.5)
+        text = reg.render_text()
+        assert "p50" in text and "p90" in text and "p99" in text
+
+
+class TestQuantiles:
+    """quantile_from_buckets against distributions with known answers."""
+
+    def test_uniform_over_one_bucket_interpolates_linearly(self):
+        # 100 observations all landing in (1.0, 2.0]: rank q*100 sits
+        # at fraction q of that bucket's width.
+        bounds, counts = (1.0, 2.0), [0, 100, 0]
+        assert quantile_from_buckets(bounds, counts, 0.5) == pytest.approx(1.5)
+        assert quantile_from_buckets(bounds, counts, 0.9) == pytest.approx(1.9)
+        assert quantile_from_buckets(bounds, counts, 0.0) == pytest.approx(1.0)
+        assert quantile_from_buckets(bounds, counts, 1.0) == pytest.approx(2.0)
+
+    def test_even_split_across_buckets(self):
+        # Half the mass below 1.0, half in (1.0, 2.0]: the median sits
+        # exactly at the shared edge, p75 midway through bucket two.
+        bounds, counts = (1.0, 2.0), [50, 50, 0]
+        assert quantile_from_buckets(bounds, counts, 0.5) == pytest.approx(1.0)
+        assert quantile_from_buckets(bounds, counts, 0.75) == pytest.approx(1.5)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        bounds, counts = (1.0, 2.0), [0, 0, 10]
+        assert quantile_from_buckets(bounds, counts, 0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets((1.0,), [0, 0], 0.5) == 0.0
+
+    def test_skewed_distribution_p99_lands_in_tail_bucket(self):
+        # 980 fast requests under 10 ms, 20 slow ones in (0.1, 1.0]:
+        # p50 interpolates in the first bucket, p99 must leave it —
+        # rank 990 sits halfway through the 20-count tail bucket.
+        bounds = (0.01, 0.1, 1.0)
+        counts = [980, 0, 20, 0]
+        p50 = quantile_from_buckets(bounds, counts, 0.5)
+        p99 = quantile_from_buckets(bounds, counts, 0.99)
+        assert 0.0 < p50 < 0.01
+        assert p99 == pytest.approx(0.55)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            quantile_from_buckets((1.0,), [1, 0], 1.5)
+
+    def test_histogram_quantile_method_matches_free_function(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(0.01, 0.1, 1.0))
+        for value in [0.005] * 9 + [0.5]:
+            hist.observe(value)
+        assert hist.quantile(0.5) == quantile_from_buckets(
+            hist.bounds, hist.counts, 0.5
+        )
+
+
+class TestExemplars:
+    def test_observe_with_span_id_keeps_latest_per_bucket(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5, span_id="a")
+        hist.observe(0.7, span_id="b")
+        hist.observe(1.5)  # no span id: bucket keeps no exemplar
+        snap = reg.exemplar_snapshot()
+        assert snap["h"][0] == (0.7, "b")
+        assert snap["h"][1] is None
+
+    def test_registries_without_exemplars_are_omitted(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        assert reg.exemplar_snapshot() == {}
+
+    def test_reset_clears_exemplars(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h", bounds=(1.0,))
+        hist.observe(0.5, span_id="a")
+        reg.reset()
+        assert reg.exemplar_snapshot() == {}

@@ -1,0 +1,243 @@
+"""The continuous sampling profiler: aggregation, exports, lifecycle."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    ProfileReport,
+    SamplingProfiler,
+    profile_call,
+)
+
+
+def spin(seconds: float) -> int:
+    """A recognizable CPU-bound leaf for the sampler to catch."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += 1
+    return total
+
+
+def sample_report(**overrides) -> ProfileReport:
+    """A hand-built two-thread report with a known timeline."""
+    base = dict(
+        hz=100.0,
+        duration_s=0.05,
+        ticks=5,
+        folded={
+            (1, "MainThread"): {"main.run;main.leaf": 3, "main.run": 2},
+            (2, "worker"): {"worker.loop": 5},
+        },
+        timeline=[
+            (0, 1, "main.run;main.leaf"),
+            (0, 2, "worker.loop"),
+            (10_000_000, 1, "main.run;main.leaf"),
+            (10_000_000, 2, "worker.loop"),
+            (20_000_000, 1, "main.run"),
+        ],
+        pid=4242,
+        self_seconds=0.001,
+    )
+    base.update(overrides)
+    return ProfileReport(**base)
+
+
+class TestLiveSampling:
+    def test_profile_call_captures_the_busy_leaf(self):
+        _, report = profile_call(spin, 0.15, hz=200.0)
+        assert report.samples > 0
+        assert report.ticks > 0
+        assert "spin" in report.to_collapsed()
+
+    def test_sampler_thread_excludes_itself(self):
+        _, report = profile_call(spin, 0.1, hz=200.0)
+        for (_tid, name) in report.folded:
+            assert name != "repro-profiler"
+
+    def test_snapshot_while_running(self):
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.start()
+        try:
+            spin(0.1)
+            report = profiler.snapshot()
+            assert report.ticks > 0
+            assert profiler.running
+        finally:
+            profiler.stop()
+
+    def test_self_overhead_is_accounted_and_small(self):
+        _, report = profile_call(spin, 0.1, hz=100.0)
+        assert report.self_seconds > 0.0
+        assert report.self_fraction < 0.05
+
+    def test_start_twice_raises(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            SamplingProfiler().stop()
+
+    def test_restart_clears_previous_session(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        spin(0.05)
+        first = profiler.stop()
+        profiler.start()
+        second = profiler.stop()
+        assert second.ticks <= first.ticks
+        assert second.samples <= first.samples
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0.0)
+
+    def test_registry_gauges_published_on_snapshot(self):
+        registry = MetricsRegistry(enabled=True)
+        profiler = SamplingProfiler(hz=500.0, registry=registry)
+        profiler.start()
+        spin(0.05)
+        profiler.stop()
+        assert registry.gauge("profiler.ticks").value > 0
+
+    def test_multiple_threads_attributed_separately(self):
+        done = threading.Event()
+
+        def worker():
+            while not done.is_set():
+                spin(0.01)
+
+        thread = threading.Thread(target=worker, name="busy-worker")
+        thread.start()
+        try:
+            _, report = profile_call(spin, 0.15, hz=200.0)
+        finally:
+            done.set()
+            thread.join()
+        names = {name for _tid, name in report.folded}
+        assert "busy-worker" in names
+        assert len(names) >= 2
+
+
+class TestCollapsedExport:
+    def test_lines_sorted_by_count_then_stack(self):
+        text = sample_report().to_collapsed()
+        lines = text.strip().split("\n")
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+        assert lines[0] == "worker;worker.loop 5"
+
+    def test_thread_names_root_each_stack(self):
+        text = sample_report().to_collapsed()
+        assert "MainThread;main.run;main.leaf 3" in text
+
+    def test_merging_without_thread_names(self):
+        report = sample_report(
+            folded={
+                (1, "a"): {"f;g": 2},
+                (2, "b"): {"f;g": 3},
+            }
+        )
+        assert report.to_collapsed(thread_names=False).strip() == "f;g 5"
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        path = tmp_path / "profile.collapsed"
+        n_lines = sample_report().write_collapsed(path)
+        on_disk = path.read_text(encoding="utf-8")
+        assert n_lines == len(on_disk.strip().split("\n"))
+        for line in on_disk.strip().split("\n"):
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+
+    def test_deterministic_for_equal_inputs(self):
+        assert sample_report().to_collapsed() == sample_report().to_collapsed()
+
+    def test_empty_report(self):
+        report = sample_report(folded={}, timeline=[], ticks=0)
+        assert report.to_collapsed() == ""
+        assert report.samples == 0
+
+
+class TestChromeTraceExport:
+    def test_json_roundtrip_and_event_shape(self):
+        trace = sample_report().to_chrome_trace()
+        decoded = json.loads(json.dumps(trace))
+        assert decoded["traceEvents"]
+        for event in decoded["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["pid"] == 4242
+            assert event["tid"] in (1, 2)
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_field_order_is_deterministic(self):
+        first = json.dumps(sample_report().to_chrome_trace(), sort_keys=True)
+        second = json.dumps(sample_report().to_chrome_trace(), sort_keys=True)
+        assert first == second
+
+    def test_consecutive_identical_samples_merge(self):
+        # main.run spans all three ticks (one event); main.leaf spans
+        # the first two; worker.loop spans its two ticks.
+        events = sample_report().to_chrome_trace()["traceEvents"]
+        names = [e["name"] for e in events]
+        assert names.count("main.run") == 1
+        assert names.count("main.leaf") == 1
+        assert names.count("worker.loop") == 1
+
+    def test_merged_event_duration_covers_the_run(self):
+        events = sample_report().to_chrome_trace()["traceEvents"]
+        run = next(e for e in events if e["name"] == "main.run")
+        # 3 ticks at 10 ms apart + one trailing period = 30 ms in us.
+        assert run["dur"] == pytest.approx(30_000.0)
+
+    def test_stack_nesting_preserved(self):
+        events = sample_report().to_chrome_trace()["traceEvents"]
+        run = next(e for e in events if e["name"] == "main.run")
+        leaf = next(e for e in events if e["name"] == "main.leaf")
+        assert run["ts"] <= leaf["ts"]
+        assert leaf["ts"] + leaf["dur"] <= run["ts"] + run["dur"]
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "profile.trace.json"
+        n_events = sample_report().write_chrome_trace(path)
+        decoded = json.loads(path.read_text(encoding="utf-8"))
+        assert len(decoded["traceEvents"]) == n_events
+        assert decoded["metadata"]["profiler_hz"] == 100.0
+
+    def test_live_trace_has_pid_and_tid(self):
+        _, report = profile_call(spin, 0.1, hz=200.0)
+        events = report.to_chrome_trace()["traceEvents"]
+        assert events
+        import os
+
+        assert all(e["pid"] == os.getpid() for e in events)
+
+
+class TestJsonReport:
+    def test_to_json_is_jsonable_and_complete(self):
+        payload = sample_report().to_json()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["schema"] == "repro-profile/1"
+        assert decoded["samples"] == 10
+        assert decoded["hz"] == 100.0
+        assert "MainThread (tid=1)" in decoded["threads"]
+
+    def test_render_text_mentions_hot_stack(self):
+        text = sample_report().render_text(top=2)
+        assert "worker.loop" in text
+        assert "10 samples" in text
+
+    def test_render_text_empty(self):
+        report = sample_report(folded={}, timeline=[], ticks=0)
+        assert "no profile samples" in report.render_text()

@@ -1,0 +1,169 @@
+"""Rolling-window SLO objectives and multi-window burn rates."""
+
+import pytest
+
+from repro.obs.slo import DEFAULT_WINDOWS_S, SloObjective, SloTracker
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(clock, **kwargs):
+    defaults = dict(
+        objectives=[
+            SloObjective("availability", target=0.999),
+            SloObjective(
+                "latency", target=0.99, latency_threshold_s=0.1
+            ),
+        ],
+        windows_s=(60.0, 600.0),
+        bucket_s=5.0,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return SloTracker(**defaults)
+
+
+class TestObjective:
+    def test_error_budget(self):
+        assert SloObjective("a", target=0.999).error_budget == pytest.approx(
+            0.001
+        )
+
+    def test_availability_ignores_latency(self):
+        objective = SloObjective("a", target=0.99)
+        assert objective.is_good(latency_s=100.0, ok=True)
+        assert not objective.is_good(latency_s=0.001, ok=False)
+
+    def test_latency_objective_needs_both(self):
+        objective = SloObjective("l", target=0.99, latency_threshold_s=0.1)
+        assert objective.is_good(0.05, ok=True)
+        assert objective.is_good(0.1, ok=True)  # inclusive threshold
+        assert not objective.is_good(0.11, ok=True)
+        assert not objective.is_good(0.05, ok=False)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 1.5])
+    def test_target_outside_open_interval_rejected(self, target):
+        with pytest.raises(ValueError, match="target"):
+            SloObjective("bad", target=target)
+
+    def test_nonpositive_latency_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SloObjective("bad", target=0.99, latency_threshold_s=0.0)
+
+
+class TestTrackerValidation:
+    def test_needs_objectives(self):
+        with pytest.raises(ValueError, match="objective"):
+            SloTracker(objectives=[])
+
+    def test_window_narrower_than_bucket_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            make_tracker(FakeClock(), windows_s=(2.0,), bucket_s=5.0)
+
+    def test_nonpositive_bucket_rejected(self):
+        with pytest.raises(ValueError, match="bucket_s"):
+            make_tracker(FakeClock(), bucket_s=0.0)
+
+    def test_default_windows_are_five_minutes_and_one_hour(self):
+        assert DEFAULT_WINDOWS_S == (300.0, 3600.0)
+
+
+class TestBurnRates:
+    def test_no_traffic_burns_no_budget(self):
+        report = make_tracker(FakeClock()).report()
+        for objective in report.values():
+            for window in objective["windows"].values():
+                assert window["events"] == 0
+                assert window["burn_rate"] == 0.0
+                assert window["compliant"] is True
+
+    def test_all_good_traffic_is_compliant(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(100):
+            tracker.record(0.01, ok=True)
+        report = tracker.report()
+        window = report["availability"]["windows"]["60s"]
+        assert window["events"] == 100
+        assert window["good"] == 100
+        assert window["burn_rate"] == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        # 1% failures against a 0.1% budget: burn rate 10x.
+        for i in range(1000):
+            tracker.record(0.01, ok=(i % 100 != 0))
+        window = tracker.report()["availability"]["windows"]["60s"]
+        assert window["bad_fraction"] == pytest.approx(0.01)
+        assert window["burn_rate"] == pytest.approx(10.0)
+        assert window["compliant"] is False
+
+    def test_latency_objective_counts_slow_requests_as_bad(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(90):
+            tracker.record(0.01, ok=True)
+        for _ in range(10):
+            tracker.record(0.5, ok=True)  # slow but successful
+        report = tracker.report()
+        assert (
+            report["availability"]["windows"]["60s"]["burn_rate"] == 0.0
+        )
+        latency = report["latency"]["windows"]["60s"]
+        assert latency["bad_fraction"] == pytest.approx(0.1)
+        assert latency["burn_rate"] == pytest.approx(10.0)
+
+    def test_short_window_recovers_before_long_window(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.01, ok=False)
+        # 2 minutes later the failures have left the 60 s window but
+        # still sit inside the 600 s window — the multi-window shape.
+        clock.advance(120.0)
+        tracker.record(0.01, ok=True)
+        report = tracker.report()["availability"]["windows"]
+        assert report["60s"]["events"] == 1
+        assert report["60s"]["burn_rate"] == 0.0
+        assert report["600s"]["events"] == 11
+        assert report["600s"]["burn_rate"] > 1.0
+
+    def test_events_expire_past_the_longest_window(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.01, ok=False)
+        clock.advance(700.0)
+        report = tracker.report()["availability"]["windows"]
+        assert report["600s"]["events"] == 0
+        assert report["600s"]["compliant"] is True
+
+    def test_ring_reuses_buckets_without_double_counting(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, windows_s=(20.0,), bucket_s=5.0)
+        # Walk several full ring revolutions, one event per bucket.
+        for _ in range(40):
+            tracker.record(0.01, ok=True)
+            clock.advance(5.0)
+        window = tracker.report()["availability"]["windows"]["20s"]
+        assert window["events"] <= 4
+
+    def test_report_structure_is_jsonable(self):
+        import json
+
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.record(0.01)
+        decoded = json.loads(json.dumps(tracker.report()))
+        assert decoded["latency"]["latency_threshold_s"] == 0.1
+        assert decoded["availability"]["target"] == 0.999

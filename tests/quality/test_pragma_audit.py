@@ -68,6 +68,28 @@ class TestAuditSource:
             assert entry.kind == "stale-disable"
             assert rule in entry.detail
 
+    def test_serve_clock_pragma_shape_stays_live(self):
+        # The serve layer's telemetry timestamps (flight recorder,
+        # access log, uptime) read wall clocks under justified RPL002
+        # pragmas; this fixture pins that shape as a live suppression.
+        source = (
+            "import time\n"
+            "ts = time.time()  # repro-lint: disable=RPL002 - telemetry timestamp, not model output\n"
+        )
+        assert audit_source(source, rel_path="serve/server.py") == []
+
+    def test_obs_clock_pragma_is_stale(self):
+        # obs/ (the profiler's sampling clocks live here) is exempt
+        # from RPL002 by directory, so a pragma there is dead weight
+        # and the audit must flag it.
+        source = (
+            "import time\n"
+            "ts = time.time()  # repro-lint: disable=RPL002\n"
+        )
+        (entry,) = audit_source(source, rel_path="obs/profiler.py")
+        assert entry.kind == "stale-disable"
+        assert "RPL002" in entry.detail
+
     def test_orphan_cache_pure_flagged(self):
         source = "x = 1  # repro-lint: cache-pure\n"
         (entry,) = audit_source(source, rel_path="core/x.py")

@@ -127,13 +127,18 @@ class TestCompareReports:
     def test_every_schema_has_specs(self):
         assert set(METRIC_SPECS) == {
             "bench-iss/1", "bench-iss/2", "bench-sweep/1", "bench-obs/1",
-            "bench-serve/1", "bench-lint/1",
+            "bench-obs/2", "bench-serve/1", "bench-lint/1",
         }
 
     def test_iss_v2_extends_v1(self):
         """Every v1 gate survives in v2: the bench grew, never shrank."""
         assert set(METRIC_SPECS["bench-iss/1"]) <= set(
             METRIC_SPECS["bench-iss/2"]
+        )
+
+    def test_obs_v2_extends_v1(self):
+        assert set(METRIC_SPECS["bench-obs/1"]) <= set(
+            METRIC_SPECS["bench-obs/2"]
         )
 
     def test_render_lists_every_metric(self):
@@ -150,6 +155,26 @@ def obs_report(under_budget=True, bit_identical=True, off_frac=0.01):
         "tracing_off_overhead_fraction": off_frac,
         "tracing_on_overhead_fraction": 0.05,
         "tracing_off_overhead_under_2pct": under_budget,
+        "bit_identical": bit_identical,
+    }
+
+
+def obs_v2_report(
+    under_budget=True,
+    bit_identical=True,
+    profiler_under_budget=True,
+    profiler_sampled=True,
+):
+    return {
+        "schema": "bench-obs/2",
+        "workload": "matmul-int",
+        "tracing_off_overhead_fraction": 0.01,
+        "tracing_on_overhead_fraction": 0.05,
+        "profiler_on_overhead_fraction": 0.02,
+        "profiler_samples": 9 if profiler_sampled else 0,
+        "tracing_off_overhead_under_2pct": under_budget,
+        "profiler_overhead_under_5pct": profiler_under_budget,
+        "profiler_sampled": profiler_sampled,
         "bit_identical": bit_identical,
     }
 
@@ -189,6 +214,38 @@ class TestBenchObsSpecs:
             tolerance=0.0,
         )
         assert not any(c.regressed for c in comparisons)
+
+
+class TestBenchObsV2Specs:
+    """The profiler arm's gates ride the same boolean machinery."""
+
+    def test_identical_reports_pass(self):
+        report = obs_v2_report()
+        assert not any(
+            c.regressed
+            for c in compare_reports(report, report, tolerance=0.0)
+        )
+
+    def test_profiler_budget_break_is_caught(self):
+        comparisons = compare_reports(
+            obs_v2_report(), obs_v2_report(profiler_under_budget=False),
+            tolerance=10.0,
+        )
+        regressed = {c.metric for c in comparisons if c.regressed}
+        assert "profiler_overhead_under_5pct" in regressed
+
+    def test_silent_sampler_is_caught(self):
+        comparisons = compare_reports(
+            obs_v2_report(), obs_v2_report(profiler_sampled=False),
+        )
+        assert any(
+            c.regressed and c.metric == "profiler_sampled"
+            for c in comparisons
+        )
+
+    def test_v1_vs_v2_schema_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compare_reports(obs_report(), obs_v2_report())
 
 
 def serve_report(speedup=5.0, gate=True, bit_equal=True, p99=8.0):

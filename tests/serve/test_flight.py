@@ -1,0 +1,151 @@
+"""Tail-sampled flight recorder: retention policy and dump determinism."""
+
+import json
+
+import pytest
+
+from repro.serve.flight import DUMP_SCHEMA, FlightRecorder
+
+
+def record_n(recorder, n, status=200, latency_s=0.01, start_ts=1000.0):
+    for i in range(n):
+        recorder.record(
+            request_id=f"{i:08x}",
+            method="POST",
+            target="/v1/tcdp",
+            status=status,
+            latency_s=latency_s,
+            ts=start_ts + i,
+        )
+
+
+class TestRetention:
+    def test_recent_ring_keeps_only_the_last_capacity(self):
+        recorder = FlightRecorder(capacity=4, slowest_k=2)
+        record_n(recorder, 10)
+        dump = recorder.dump()
+        assert dump["recorded"] == 10
+        assert [r["request_id"] for r in dump["recent"]] == [
+            "00000006",
+            "00000007",
+            "00000008",
+            "00000009",
+        ]
+
+    def test_errors_survive_a_burst_of_successes(self):
+        recorder = FlightRecorder(capacity=4, slowest_k=2)
+        recorder.record("dead", "POST", "/v1/tcdp", 500, 0.01, ts=1.0)
+        record_n(recorder, 100)  # enough to flush the recent ring 25x
+        dump = recorder.dump()
+        assert all(r["request_id"] != "dead" for r in dump["recent"])
+        assert [r["request_id"] for r in dump["errors"]] == ["dead"]
+        assert dump["errors_total"] == 1
+
+    def test_slowest_survive_fast_traffic(self):
+        recorder = FlightRecorder(capacity=4, slowest_k=2)
+        recorder.record("slow-1", "POST", "/x", 200, 2.0, ts=1.0)
+        recorder.record("slow-2", "POST", "/x", 200, 1.0, ts=2.0)
+        record_n(recorder, 50, latency_s=0.001)
+        slowest = recorder.dump()["slowest"]
+        assert [r["request_id"] for r in slowest] == ["slow-1", "slow-2"]
+
+    def test_slowest_is_displaced_by_a_slower_request(self):
+        recorder = FlightRecorder(capacity=8, slowest_k=2)
+        recorder.record("a", "POST", "/x", 200, 0.010, ts=1.0)
+        recorder.record("b", "POST", "/x", 200, 0.020, ts=2.0)
+        recorder.record("c", "POST", "/x", 200, 0.030, ts=3.0)
+        slowest = recorder.dump()["slowest"]
+        assert [r["request_id"] for r in slowest] == ["c", "b"]
+
+    def test_faster_request_never_displaces(self):
+        recorder = FlightRecorder(capacity=8, slowest_k=1)
+        recorder.record("slow", "POST", "/x", 200, 1.0, ts=1.0)
+        recorder.record("fast", "POST", "/x", 200, 0.001, ts=2.0)
+        slowest = recorder.dump()["slowest"]
+        assert [r["request_id"] for r in slowest] == ["slow"]
+
+    def test_status_400_counts_as_error(self):
+        recorder = FlightRecorder()
+        recorder.record("bad", "POST", "/x", 400, 0.01, ts=1.0)
+        recorder.record("ok", "POST", "/x", 200, 0.01, ts=2.0)
+        dump = recorder.dump()
+        assert dump["errors_total"] == 1
+        assert dump["errors"][0]["request_id"] == "bad"
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            FlightRecorder(slowest_k=0)
+
+    def test_reset_forgets_everything(self):
+        recorder = FlightRecorder()
+        record_n(recorder, 5, status=500)
+        recorder.reset()
+        dump = recorder.dump()
+        assert dump["recorded"] == 0
+        assert dump["errors_total"] == 0
+        assert dump["recent"] == dump["errors"] == dump["slowest"] == []
+
+
+class TestDumpDeterminism:
+    def build(self):
+        recorder = FlightRecorder(capacity=8, slowest_k=3)
+        recorder.record(
+            "aa", "POST", "/v1/tcdp", 200, 0.0123456, ts=10.0,
+            queue_depth=3, bytes_in=42,
+            trace=[{"phase": "batch", "ms": 1.2}],
+        )
+        recorder.record("bb", "GET", "/healthz", 200, 0.001, ts=11.0)
+        recorder.record("cc", "POST", "/v1/tcdp", 500, 0.5, ts=12.0)
+        # Two requests with identical latency: seq breaks the tie.
+        recorder.record("dd", "POST", "/v1/tcdp", 200, 0.25, ts=13.0)
+        recorder.record("ee", "POST", "/v1/tcdp", 200, 0.25, ts=14.0)
+        return recorder
+
+    def test_equal_inputs_dump_byte_identically(self):
+        first = json.dumps(self.build().dump(), sort_keys=False)
+        second = json.dumps(self.build().dump(), sort_keys=False)
+        assert first == second
+
+    def test_record_key_order_is_fixed(self):
+        dump = self.build().dump()
+        expected = [
+            "request_id",
+            "ts",
+            "method",
+            "target",
+            "status",
+            "latency_ms",
+            "queue_depth",
+            "bytes_in",
+            "trace",
+        ]
+        for section in ("recent", "errors", "slowest"):
+            for record in dump[section]:
+                assert list(record) == expected
+
+    def test_json_roundtrip_preserves_everything(self):
+        dump = self.build().dump()
+        decoded = json.loads(json.dumps(dump))
+        assert decoded == dump
+        assert decoded["schema"] == DUMP_SCHEMA
+        assert decoded["capacity"] == 8
+        assert decoded["slowest_k"] == 3
+
+    def test_slowest_ordering_highest_first_seq_breaks_ties(self):
+        slowest = self.build().dump()["slowest"]
+        assert [r["request_id"] for r in slowest] == ["cc", "ee", "dd"]
+
+    def test_latency_rounded_to_4dp_milliseconds(self):
+        dump = self.build().dump()
+        aa = next(r for r in dump["recent"] if r["request_id"] == "aa")
+        assert aa["latency_ms"] == 12.3456
+        assert aa["queue_depth"] == 3
+        assert aa["bytes_in"] == 42
+        assert aa["trace"] == [{"phase": "batch", "ms": 1.2}]
+
+    def test_trace_defaults_to_empty_list(self):
+        dump = self.build().dump()
+        bb = next(r for r in dump["recent"] if r["request_id"] == "bb")
+        assert bb["trace"] == []

@@ -304,3 +304,252 @@ def test_access_log_written(tmp_path):
     assert records[0]["status"] == 200
     assert records[1]["status"] == 400
     assert records[0]["elapsed_ms"] >= 0
+
+
+# -- observability endpoints ----------------------------------------------
+
+
+async def get_with_accept(port, target, accept=None):
+    """One GET with an optional Accept header; returns (status, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = f"GET {target} HTTP/1.1\r\nhost: test\r\n"
+        if accept:
+            head += f"accept: {accept}\r\n"
+        head += "connection: close\r\n\r\n"
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def test_metricz_content_negotiation():
+    """JSON default; Prometheus text and OpenMetrics on request."""
+
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            await post_json(server.port, {})
+            as_json = await fetch_json("127.0.0.1", server.port, "/metricz")
+            _, text = await get_with_accept(
+                server.port, "/metricz", accept="text/plain"
+            )
+            _, om = await get_with_accept(
+                server.port,
+                "/metricz",
+                accept="application/openmetrics-text; version=1.0.0",
+            )
+        finally:
+            await server.stop()
+        return as_json, text.decode(), om.decode()
+
+    as_json, text, om = asyncio.run(run())
+    # The JSON default is the pre-existing snapshot shape, untouched.
+    assert as_json["counters"]["serve.requests.total"] >= 1
+    # Prometheus text 0.0.4: typed series with sanitized names.
+    assert "# TYPE serve_requests_total counter" in text
+    assert "# TYPE serve_request_seconds histogram" in text
+    assert 'serve_request_seconds_bucket{le="+Inf"}' in text
+    assert "# EOF" not in text
+    # OpenMetrics adds the EOF trailer and request-id exemplars.
+    assert om.rstrip().endswith("# EOF")
+    assert 'span_id="' in om
+
+
+def test_debugz_serves_the_flight_dump():
+    async def run():
+        server = PpatcServer(
+            ServerConfig(flight_capacity=8, flight_slowest=2, **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            await post_json(server.port, {})
+            await post_json(server.port, {"grid": "mars"})  # a 400
+            dump = await fetch_json("127.0.0.1", server.port, "/debugz")
+        finally:
+            await server.stop()
+        return dump
+
+    dump = asyncio.run(run())
+    assert dump["schema"] == "flight-recorder/1"
+    assert dump["capacity"] == 8
+    assert dump["recorded"] == 2
+    assert dump["errors_total"] == 1
+    assert dump["errors"][0]["status"] == 400
+    targets = [r["target"] for r in dump["recent"]]
+    assert targets == ["/v1/tcdp", "/v1/tcdp"]
+    ids = [r["request_id"] for r in dump["recent"]]
+    assert len(set(ids)) == 2
+    assert all(r["latency_ms"] > 0 for r in dump["recent"])
+    # The slowest view retained both (k=2) and orders worst-first.
+    latencies = [r["latency_ms"] for r in dump["slowest"]]
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_healthz_reports_slo_and_carbon():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            await post_json(server.port, {})
+            health = await fetch_json("127.0.0.1", server.port, "/healthz")
+        finally:
+            await server.stop()
+        return health
+
+    health = asyncio.run(run())
+    slo = health["slo"]
+    assert set(slo) == {"availability", "latency"}
+    for objective in slo.values():
+        for window in objective["windows"].values():
+            assert window["compliant"] is True
+            assert window["burn_rate"] == 0.0
+    # One good request has been scored already.
+    window = slo["availability"]["windows"]["300s"]
+    assert window["events"] >= 1
+    carbon = health["carbon"]
+    assert carbon["operational_gco2e"] >= 0.0
+    assert carbon["energy_kwh"] > 0.0
+    assert carbon["ci_gco2e_per_kwh"] == 380.0
+    assert health["profiler_hz"] == 0.0
+    assert health["flight_recorded"] >= 1
+
+
+def test_profilez_disabled_by_default_enabled_by_config():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            off_status, _ = await get_with_accept(server.port, "/profilez")
+        finally:
+            await server.stop()
+
+        server = PpatcServer(
+            ServerConfig(profile_hz=250.0, **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            # Give the sampler a few periods of a busy event loop.
+            for _ in range(5):
+                await post_json(server.port, {})
+            report = await fetch_json(
+                "127.0.0.1", server.port, "/profilez"
+            )
+            _, collapsed = await get_with_accept(
+                server.port, "/profilez", accept="text/plain"
+            )
+            health = await fetch_json(
+                "127.0.0.1", server.port, "/healthz"
+            )
+        finally:
+            await server.stop()
+        return off_status, report, collapsed.decode(), health
+
+    off_status, report, collapsed, health = asyncio.run(run())
+    assert off_status == 404
+    assert report["schema"] == "repro-profile/1"
+    assert report["hz"] == 250.0
+    assert report["ticks"] > 0
+    assert health["profiler_hz"] == 250.0
+    for line in collapsed.strip().split("\n"):
+        if line:
+            assert int(line.rsplit(" ", 1)[1]) > 0
+
+
+def test_dump_flight_writes_json(tmp_path):
+    dump_path = tmp_path / "flight.json"
+
+    async def run():
+        server = PpatcServer(
+            ServerConfig(flight_dump_path=str(dump_path), **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            await post_json(server.port, {})
+            written = server.dump_flight()
+            metrics = await fetch_json(
+                "127.0.0.1", server.port, "/metricz"
+            )
+        finally:
+            await server.stop()
+        return written, metrics
+
+    written, metrics = asyncio.run(run())
+    assert written == str(dump_path)
+    on_disk = json.loads(dump_path.read_text(encoding="utf-8"))
+    assert on_disk["schema"] == "flight-recorder/1"
+    assert on_disk["recorded"] == 1
+    assert metrics["counters"]["serve.flight.dumps"] == 1
+
+
+def test_access_log_carries_observability_fields(tmp_path):
+    log_path = tmp_path / "access.jsonl"
+
+    async def run():
+        server = PpatcServer(
+            ServerConfig(access_log=str(log_path), **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            await post_json(server.port, {})
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+    (record,) = [
+        json.loads(line) for line in log_path.read_text().splitlines()
+    ]
+    assert record["request_id"] == "00000001"
+    assert record["queue_depth"] >= 0
+    assert record["batch_occupancy"] >= 1.0
+    assert record["status"] == 200
+
+
+def test_queue_depth_gauge_settles_to_zero():
+    async def run():
+        server = PpatcServer(
+            ServerConfig(batch_window_s=0.02, **TEST_CONFIG)
+        )
+        await server.start()
+        try:
+            await asyncio.gather(
+                *[post_json(server.port, {}) for _ in range(8)]
+            )
+            metrics = await fetch_json(
+                "127.0.0.1", server.port, "/metricz"
+            )
+        finally:
+            await server.stop()
+        return metrics
+
+    metrics = asyncio.run(run())
+    # All submissions flushed: depth is back to zero, and the last
+    # batch's occupancy was published for the access log to pick up.
+    assert metrics["gauges"]["serve.queue.depth"] == 0.0
+    assert metrics["gauges"]["serve.batch.last_occupancy"] >= 1.0
+
+
+def test_latency_histogram_reports_quantiles():
+    async def run():
+        server = PpatcServer(ServerConfig(**TEST_CONFIG))
+        await server.start()
+        try:
+            for _ in range(5):
+                await post_json(server.port, {})
+            metrics = await fetch_json(
+                "127.0.0.1", server.port, "/metricz"
+            )
+        finally:
+            await server.stop()
+        return metrics
+
+    metrics = asyncio.run(run())
+    hist = metrics["histograms"]["serve.request.seconds"]
+    assert hist["count"] == 5
+    assert 0.0 < hist["p50"] <= hist["p90"] <= hist["p99"]
