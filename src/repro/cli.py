@@ -654,11 +654,66 @@ def cmd_bench_lint(args) -> int:
     return 0
 
 
+def cmd_vectorcheck(args) -> int:
+    from pathlib import Path
+
+    from repro.quality.vectorcheck import (
+        DEFAULT_PACKAGES,
+        check_against,
+        run_vectorcheck,
+    )
+
+    packages = (
+        tuple(p.strip() for p in args.packages.split(",") if p.strip())
+        if args.packages
+        else DEFAULT_PACKAGES
+    )
+    report = run_vectorcheck(packages=packages, lanes=args.lanes)
+    print(report.render_text(verbose=args.verbose))
+    if args.output:
+        Path(args.output).write_text(report.to_json())
+        print(f"wrote {args.output}")
+    if args.check:
+        committed_path = Path(args.check)
+        if not committed_path.is_file():
+            print(
+                f"repro vectorcheck: no committed artifact at "
+                f"{committed_path}",
+                file=sys.stderr,
+            )
+            return 2
+        problems = check_against(report, committed_path.read_text())
+        for problem in problems:
+            print(f"  stale: {problem}", file=sys.stderr)
+        if problems:
+            print(
+                f"repro vectorcheck: {committed_path} is stale; regenerate "
+                f"with --output {committed_path}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"committed capability table {committed_path} is current")
+    return report.exit_code
+
+
+def _explain_all_rules() -> int:
+    """List every rule id with its one-line summary (``--explain all``)."""
+    from repro.quality import LintEngine
+
+    for rule in LintEngine().rules:
+        print(
+            f"{rule.rule_id}  [{rule.severity.value:7s}] {rule.summary}"
+        )
+    return 0
+
+
 def _explain_rule(rule_id: str) -> int:
     """Print the long-form rationale for one lint rule (``--explain``)."""
     from repro.quality import RULE_REGISTRY
 
     token = rule_id.strip().upper()
+    if token == "ALL":
+        return _explain_all_rules()
     rule_cls = RULE_REGISTRY.get(token)
     if rule_cls is None:
         print(
@@ -713,7 +768,12 @@ _COMMANDS = {
         cmd_bench_serve,
         "serving throughput/latency benchmark (BENCH_serve.json)",
     ),
-    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL012)"),
+    "lint": (cmd_lint, "repro-lint static analysis (rules RPL001-RPL016)"),
+    "vectorcheck": (
+        cmd_vectorcheck,
+        "scalar-vs-array differential capability gate "
+        "(VECTOR_capability.json)",
+    ),
     "sanitize": (
         cmd_sanitize,
         "run tests under the tsan-lite race sanitizer",
@@ -744,6 +804,7 @@ _COMMANDS = {
 #: Subcommands that do not take the --grid/--lifetime/--clock-mhz knobs.
 _NO_COMMON_ARGS = {
     "lint",
+    "vectorcheck",
     "sanitize",
     "bench-lint",
     "trace",
@@ -1124,7 +1185,41 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="RULE",
                 default=None,
                 help="print the rationale and examples for one rule "
-                "(e.g. --explain RPL006) and exit",
+                "(e.g. --explain RPL006), or 'all' to list every rule "
+                "with its one-line summary, and exit",
+            )
+        if name == "vectorcheck":
+            sub.add_argument(
+                "--packages",
+                metavar="NAMES",
+                default=None,
+                help="comma-separated packages to classify "
+                "(default: repro.core,repro.physical,repro.fab)",
+            )
+            sub.add_argument(
+                "--lanes",
+                type=int,
+                default=4,
+                help="array lanes per differential call (last lane "
+                "perturbed)",
+            )
+            sub.add_argument(
+                "--output",
+                metavar="FILE",
+                default=None,
+                help="write the capability table JSON artifact to FILE",
+            )
+            sub.add_argument(
+                "--check",
+                metavar="FILE",
+                default=None,
+                help="fail if FILE differs from a fresh run "
+                "(CI staleness gate)",
+            )
+            sub.add_argument(
+                "--verbose",
+                action="store_true",
+                help="print every function's classification",
             )
         if name == "sanitize":
             sub.add_argument(

@@ -16,6 +16,8 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
+import numpy as np
+
 from repro import units
 from repro.errors import CarbonModelError
 
@@ -64,13 +66,20 @@ class CarbonIntensity(abc.ABC):
         (hour-of-day pairs) and zero outside — the indicator-function form
         of Equation 6.  Returns grams CO2e.
         """
-        if power_watts < 0:
+        if np.any(power_watts < 0):
             raise CarbonModelError(f"power must be >= 0, got {power_watts}")
-        if t_life_seconds < 0:
+        if np.any(t_life_seconds < 0):
             raise CarbonModelError(f"lifetime must be >= 0, got {t_life_seconds}")
         total_g = 0.0
-        for start_h, end_h in active_windows:
-            if not (0.0 <= start_h <= end_h <= 24.0):
+        # The accumulation runs over the daily-window *table*, not over
+        # batched model lanes; each term broadcasts over an array-valued
+        # ``power_watts``, so the scalar fold is shape-stable.
+        for start_h, end_h in active_windows:  # repro-lint: disable=RPL015 - sums the window table; terms broadcast over power_watts
+            if (
+                np.any(start_h < 0.0)
+                or np.any(end_h < start_h)
+                or np.any(end_h > 24.0)
+            ):
                 raise CarbonModelError(
                     f"bad daily window ({start_h}, {end_h}); need "
                     f"0 <= start <= end <= 24"
@@ -91,7 +100,7 @@ class ConstantCarbonIntensity(CarbonIntensity):
     name: str = ""
 
     def __post_init__(self) -> None:
-        if self.value_g_per_kwh < 0:
+        if np.any(self.value_g_per_kwh < 0):
             raise CarbonModelError(
                 f"carbon intensity must be >= 0, got {self.value_g_per_kwh}"
             )
@@ -144,17 +153,20 @@ class DailyWindowProfile(CarbonIntensity):
         if any(v < 0 for _h, v in breakpoints):
             raise CarbonModelError("carbon intensity values must be >= 0")
         self._breakpoints = list(breakpoints)
+        self._starts = np.array([h for h, _v in self._breakpoints])
+        self._values = np.array([v for _h, v in self._breakpoints])
         self.name = name
 
-    def at(self, t_seconds: float) -> float:
-        hour = (t_seconds / units.HOUR) % 24.0
-        value = self._breakpoints[0][1]
-        for start_h, v in self._breakpoints:
-            if hour >= start_h:
-                value = v
-            else:
-                break
-        return value
+    def at(self, t_seconds: "float | np.ndarray") -> "float | np.ndarray":
+        """CI at time(s) ``t_seconds``; accepts scalars or arrays.
+
+        Pure selection (``searchsorted`` against the breakpoint hours),
+        so array lanes are bit-identical to per-element scalar calls.
+        """
+        hour = (np.asarray(t_seconds, dtype=float) / units.HOUR) % 24.0
+        idx = np.searchsorted(self._starts, hour, side="right") - 1
+        value = self._values[idx]
+        return float(value) if np.isscalar(t_seconds) else value
 
     def mean_over_window(
         self, window_start_hour: float, window_end_hour: float

@@ -136,7 +136,7 @@ class EmbodiedCarbonModel:
         if isinstance(ci_fab, str):
             ci = ConstantCarbonIntensity.from_grid(ci_fab)
         elif isinstance(ci_fab, (int, float)):
-            ci = ConstantCarbonIntensity(float(ci_fab))
+            ci = ConstantCarbonIntensity(float(ci_fab))  # repro-lint: disable=RPL013 - isinstance-guarded normalization of a scalar grid value
         else:
             ci = ci_fab
         wafer_area = units.wafer_area_cm2(self.flow.wafer_diameter_mm)

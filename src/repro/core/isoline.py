@@ -187,7 +187,7 @@ class TcdpTradeoffMap:
                 self.candidate.embodied_g
             )
         x = np.where(x >= 0, x, np.nan)
-        return float(x) if np.isscalar(op_scale) else x
+        return float(x) if np.isscalar(op_scale) else x  # repro-lint: disable=RPL013 - scalar-in-scalar-out normalization; array path returned unchanged
 
     def isoline_op_scale(self, emb_scale: "float | np.ndarray"):
         """The ratio==1 contour solved the other way: y as a function of x."""
@@ -201,7 +201,7 @@ class TcdpTradeoffMap:
             self.candidate.operational_g
         )
         y = np.where(y >= 0, y, np.nan)
-        return float(y) if np.isscalar(emb_scale) else y
+        return float(y) if np.isscalar(emb_scale) else y  # repro-lint: disable=RPL013 - scalar-in-scalar-out normalization; array path returned unchanged
 
     def candidate_wins(self, emb_scale: float, op_scale: float) -> bool:
         """True in the red region (candidate more carbon-efficient)."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro import units
 from repro.core.carbon_intensity import CarbonIntensity, ConstantCarbonIntensity
 from repro.errors import CarbonModelError
@@ -32,12 +34,12 @@ class UsageScenario:
     daily_windows: Tuple[Tuple[float, float], ...] = ((20.0, 22.0),)
 
     def __post_init__(self) -> None:
-        if self.lifetime_months < 0:
+        if np.any(self.lifetime_months < 0):
             raise CarbonModelError(
                 f"lifetime must be >= 0 months, got {self.lifetime_months}"
             )
         for start, end in self.daily_windows:
-            if not (0.0 <= start < end <= 24.0):
+            if np.any(start < 0.0) or np.any(end <= start) or np.any(end > 24.0):
                 raise CarbonModelError(
                     f"bad daily window ({start}, {end})"
                 )
@@ -82,7 +84,7 @@ class OperationalPower:
 
     def __post_init__(self) -> None:
         for name in ("static_w", "core_dynamic_w", "memory_w"):
-            if getattr(self, name) < 0:
+            if np.any(getattr(self, name) < 0):
                 raise CarbonModelError(f"{name} must be >= 0")
 
     @property
@@ -102,7 +104,7 @@ class OperationalPower:
         This is the Table II form: e.g. 1.42 pJ/cycle at 500 MHz is
         0.71 mW of core dynamic power.
         """
-        if clock_hz <= 0:
+        if np.any(clock_hz <= 0):
             raise CarbonModelError(f"clock must be > 0, got {clock_hz}")
         return cls(
             static_w=static_w,

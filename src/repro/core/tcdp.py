@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.total_carbon import TotalCarbonModel
 from repro.errors import CarbonModelError
 
@@ -21,18 +23,18 @@ def execution_time_s(n_cycles: int, clock_hz: float) -> float:
     """Application execution time for a cycle count at a clock frequency."""
     if n_cycles < 0:
         raise CarbonModelError(f"cycle count must be >= 0, got {n_cycles}")
-    if clock_hz <= 0:
+    if np.any(clock_hz <= 0):
         raise CarbonModelError(f"clock must be > 0, got {clock_hz}")
     return n_cycles / clock_hz
 
 
 def tcdp(total_carbon_g: float, execution_time_seconds: float) -> float:
     """tCDP in gCO2e * s (equivalently gCO2e/Hz)."""
-    if total_carbon_g < 0:
+    if np.any(total_carbon_g < 0):
         raise CarbonModelError(
             f"total carbon must be >= 0, got {total_carbon_g}"
         )
-    if execution_time_seconds < 0:
+    if np.any(execution_time_seconds < 0):
         raise CarbonModelError(
             f"execution time must be >= 0, got {execution_time_seconds}"
         )
@@ -87,7 +89,7 @@ def edp(energy_j: float, delay_s: float) -> float:
     C_operational dominates, tC is proportional to energy, so the tCDP
     ratio tends to the EDP ratio.
     """
-    if energy_j < 0 or delay_s < 0:
+    if np.any(energy_j < 0) or np.any(delay_s < 0):
         raise CarbonModelError("energy and delay must be >= 0")
     return energy_j * delay_s
 
@@ -104,7 +106,7 @@ def edp_ratio(
     EDP ratio reduces to (P_c * t_c^2) / (P_b * t_b^2); with equal
     execution times it is simply the power ratio.
     """
-    if baseline_power_w <= 0 or baseline_time_s <= 0:
+    if np.any(baseline_power_w <= 0) or np.any(baseline_time_s <= 0):
         raise CarbonModelError("baseline power and time must be > 0")
     return (candidate_power_w * candidate_time_s**2) / (
         baseline_power_w * baseline_time_s**2

@@ -11,6 +11,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 class ProcessArea(enum.Enum):
     """The six process areas used to classify fabrication steps.
@@ -129,7 +131,7 @@ def per_step_energy(
     """
     if n_steps <= 0:
         raise ValueError(f"{name}: step count must be positive, got {n_steps}")
-    if total_energy_kwh < 0:
+    if np.any(total_energy_kwh < 0):
         raise ValueError(
             f"{name}: total energy must be non-negative, got {total_energy_kwh}"
         )

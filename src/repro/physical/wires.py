@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PhysicalDesignError
 
 #: Wire parasitics for intermediate-level routing (48-64 nm pitch).
@@ -92,6 +94,6 @@ def unrepeated_delay_s(
     cap_per_um: float = GLOBAL_WIRE_CAP_F_PER_UM,
 ) -> float:
     """Distributed-RC delay of a bare wire (0.4 R C, quadratic in L)."""
-    if length_um <= 0:
+    if np.any(length_um <= 0):
         raise PhysicalDesignError(f"length must be > 0, got {length_um}")
     return 0.4 * (res_per_um * length_um) * (cap_per_um * length_um)

@@ -14,7 +14,15 @@ checks those invariants statically:
 - :mod:`repro.quality.concurrency` — the concurrency analysis layer:
   blocking-call classification with transitive witnesses and per-class
   lock-discipline inference, feeding RPL009-RPL012;
-- :mod:`repro.quality.rules` — the rule set (RPL001-RPL012);
+- :mod:`repro.quality.shapes` — shape/broadcast abstract
+  interpretation: an ``(is_array_capable, broadcast_shape)`` lattice
+  over model-data parameters with cross-module capability inference,
+  feeding the vectorization-safety rules RPL013-RPL016;
+- :mod:`repro.quality.vectorcheck` — the dynamic complement
+  (``repro vectorcheck``): scalar-vs-array differential execution of
+  every public model function, committed as
+  ``benchmarks/output/VECTOR_capability.json``;
+- :mod:`repro.quality.rules` — the rule set (RPL001-RPL016);
 - :mod:`repro.quality.engine` — file walking, pragma suppression,
   reporting, and the ``--jobs`` process-parallel fan-out;
 - :mod:`repro.quality.baseline` — committed grandfathered findings

@@ -13,7 +13,11 @@ Importing this package registers every built-in rule:
 - RPL009 — no blocking calls inside ``async def`` (event-loop stalls);
 - RPL010 — orphaned tasks / unawaited coroutines;
 - RPL011 — lock-discipline: guarded fields stay guarded everywhere;
-- RPL012 — no unit-carrying sums over unordered iterables.
+- RPL012 — no unit-carrying sums over unordered iterables;
+- RPL013 — scalar coercion on array-capable model data;
+- RPL014 — data-dependent control flow (use np.where/masking);
+- RPL015 — shape-unstable accumulation (use np.sum / math.fsum);
+- RPL016 — array-contract drift: array-capable caller, scalar-only callee.
 """
 
 from repro.quality.rules.base import (
@@ -33,6 +37,12 @@ from repro.quality.rules.async_blocking import AsyncBlockingRule
 from repro.quality.rules.task_hygiene import TaskHygieneRule
 from repro.quality.rules.lock_discipline import LockDisciplineRule
 from repro.quality.rules.iter_order import IterOrderRule
+from repro.quality.rules.vectorization import (
+    ArrayContractDriftRule,
+    DataBranchRule,
+    ScalarCoercionRule,
+    ScalarFoldRule,
+)
 
 __all__ = [
     "RULE_REGISTRY",
@@ -51,4 +61,8 @@ __all__ = [
     "TaskHygieneRule",
     "LockDisciplineRule",
     "IterOrderRule",
+    "ScalarCoercionRule",
+    "DataBranchRule",
+    "ScalarFoldRule",
+    "ArrayContractDriftRule",
 ]

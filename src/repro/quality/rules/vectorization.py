@@ -1,0 +1,164 @@
+"""RPL013–RPL016 — vectorization-safety rules on :mod:`~repro.quality.shapes`.
+
+The design-space-exploration refactor needs the model stack to accept
+parameter *arrays*: a sweep hands ``np.ndarray`` lanes to the same
+pipelines the scalar CLI uses, and every lane must compute exactly what
+a scalar call would.  These rules flag the constructs that silently
+break that contract, scoped to the model packages
+(``src/repro/{core,physical,fab,devices,edram}``).  Values are tracked
+by the shape/broadcast abstract interpreter in
+:mod:`repro.quality.shapes`: parameters annotated numeric (or carrying
+a unit suffix) seed a ``lanes`` lattice value, NumPy-ufunc knowledge
+propagates it, and every finding carries a witness chain naming the
+offending call site and the parameter the data came from.
+
+- **RPL013 — scalar coercion on model data.**  ``float()``, ``int()``,
+  ``round()``, ``bool()`` and ``math.*`` force an array argument down
+  to one Python scalar (or raise for size > 1).  Use the numpy
+  equivalents (``np.exp``, ``np.round``, ...) or keep the value
+  untouched.  ``math.fsum`` is exempt: it is the *intended-scalar*
+  compensated reduction.
+
+- **RPL014 — data-dependent control flow.**  ``if``/``while``/ternary
+  on a model value takes one branch for the whole batch; lanes needing
+  the other branch are silently computed wrong.  Use ``np.where``/
+  boolean masking.  Raise-only validation guards are exempt (arrays
+  fail loudly there with an ambiguous-truth ``ValueError``), as are
+  loops over constant tables (the iterable is not model data).
+
+- **RPL015 — shape-unstable accumulation.**  Built-in ``sum()``/
+  ``min()``/``max()`` over model data, or a Python-scalar ``+=`` fold
+  inside a loop that iterates the data itself, collapses a
+  broadcastable result to one number.  Use ``np.sum`` (or
+  ``math.fsum`` for an intended-scalar compensated total — exempt).
+
+- **RPL016 — array-contract drift.**  A function whose own body is
+  array-clean calls a helper the interprocedural pass infers
+  scalar-only, handing it model data — the cross-module edge a
+  columnar refactor trips on last.  The finding names the callee's
+  offending site through the call edge.  Only otherwise-clean callers
+  are reported so one scalar-only body never double-reports as both
+  RPL013-15 (in the callee) and RPL016 (at every call site *inside*
+  already-flagged functions).
+
+The committed ``benchmarks/output/VECTOR_capability.json`` table (from
+``repro vectorcheck``) is the dynamic complement: it runs every public
+model function with paired scalar/array inputs and checks lane 0 is
+bit-identical to the scalar result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.rules.base import Rule, register
+from repro.quality.shapes import analyze_shape_scopes
+
+#: Model packages under the array-capability contract.  Anything else
+#: (runtime, serve, obs, quality itself) is free to branch and coerce.
+MODEL_COMPONENTS = frozenset({"core", "physical", "fab", "devices", "edram"})
+
+
+def _in_scope(ctx) -> bool:
+    return bool(MODEL_COMPONENTS.intersection(ctx.parts[:-1]))
+
+
+@register
+class ScalarCoercionRule(Rule):
+    """Flag ``float()``/``int()``/``math.*``/``round()`` on model data."""
+
+    rule_id = "RPL013"
+    severity = Severity.WARNING
+    summary = "scalar coercion on array-capable model data"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for shapes in analyze_shape_scopes(ctx):
+            for event in shapes.coercions:
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"{event.func_text} forces a Python scalar on model "
+                    f"data reaching it via {event.value.describe()}; use "
+                    f"the numpy equivalent to keep '{shapes.name}' "
+                    f"array-capable",
+                    symbol=shapes.name,
+                )
+
+
+@register
+class DataBranchRule(Rule):
+    """Flag ``if``/``while``/ternary branching on model data."""
+
+    rule_id = "RPL014"
+    severity = Severity.WARNING
+    summary = "data-dependent control flow (use np.where/masking)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for shapes in analyze_shape_scopes(ctx):
+            for event in shapes.branches:
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"'{event.construct}' branches on model data reaching "
+                    f"it via {event.value.describe()}; one branch is taken "
+                    f"for the whole batch — use np.where or a boolean "
+                    f"mask to keep '{shapes.name}' array-capable",
+                    symbol=shapes.name,
+                )
+
+
+@register
+class ScalarFoldRule(Rule):
+    """Flag Python-scalar ``sum()``/``+=`` folds over model data."""
+
+    rule_id = "RPL015"
+    severity = Severity.WARNING
+    summary = "shape-unstable accumulation (use np.sum / math.fsum)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for shapes in analyze_shape_scopes(ctx):
+            for event in shapes.folds:
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"{event.op_text} fold collapses broadcastable model "
+                    f"data reaching it via {event.value.describe()}; use "
+                    f"np.sum along an axis (or math.fsum for an "
+                    f"intended-scalar total) to keep '{shapes.name}' "
+                    f"array-capable",
+                    symbol=shapes.name,
+                )
+
+
+@register
+class ArrayContractDriftRule(Rule):
+    """Flag array-capable callers handing data to scalar-only helpers."""
+
+    rule_id = "RPL016"
+    severity = Severity.WARNING
+    summary = "array-contract drift: array-capable caller, scalar-only callee"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for shapes in analyze_shape_scopes(ctx):
+            if shapes.direct_hazards():
+                continue  # the caller's own body already reports
+            for event in shapes.helper_calls:
+                cap = event.capability
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"'{shapes.name}' is array-capable but calls "
+                    f"scalar-only '{event.callee}' ({cap.reason} at "
+                    f"{cap.where}) with model data reaching the call via "
+                    f"{event.value.describe()}",
+                    symbol=shapes.name,
+                )

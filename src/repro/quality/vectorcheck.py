@@ -1,0 +1,408 @@
+"""``repro vectorcheck`` — scalar-vs-array differential capability gate.
+
+The static vectorization rules (RPL013–RPL016 over
+:mod:`repro.quality.shapes`) prove the *absence* of known scalar
+hazards; this module proves the *presence* of array capability by
+running the code.  For every public function in the analyzed model
+packages it auto-derives paired inputs:
+
+- a **scalar call**: deterministic float values (defaults kept when
+  present) for every numeric parameter;
+- an **array call**: the same values tiled into shape-``(N,)`` lanes
+  with the last lane perturbed by an exact binary factor, so a
+  function that secretly collapses shapes cannot hide behind
+  identical lanes.
+
+Lane 0 of the array result must be **bit-identical** to the scalar
+result (compared via ``float.hex``) — the same differential-testing
+contract the ISS vector engines and the serve batcher are held to.
+Each function is classified:
+
+- ``vector-ok`` — array call broadcasts and lane 0 matches the scalar
+  call bit-for-bit;
+- ``scalar-only`` — the array call raises (e.g. an ambiguous-truth
+  validation guard) — honest, loud, and on the DSE refactor worklist;
+- ``divergent`` — the array call *succeeds but lies*: lane 0 differs
+  from the scalar result or the shape collapsed.  This is the silent
+  failure class the gate exists for, and it **fails CI**;
+- ``unsupported`` — the harness cannot derive inputs (non-numeric
+  required params, zero numeric params, or a scalar call that raises
+  on the harness's generic values).
+
+The resulting per-function capability table is committed as
+``benchmarks/output/VECTOR_capability.json`` (deterministic: sorted
+entries, no timestamps) so the columnar-refactor worklist is a
+machine-checked artifact rather than guesswork; ``--check`` compares a
+fresh run against the committed table byte-for-byte in CI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import json
+import pkgutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Packages whose public functions fall under the capability contract.
+DEFAULT_PACKAGES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.physical",
+    "repro.fab",
+)
+
+#: Lanes per array call; one perturbed lane is enough to catch folds.
+DEFAULT_LANES = 4
+
+#: Exact binary perturbation factor (17/16) for the last lane, so the
+#: perturbed value is representable and machine-independent.
+PERTURB = 1.0625
+
+#: Deterministic values for required float params, cycled by position.
+#: All exact binary fractions inside (0, 1] so validation guards
+#: (positivity, unit-interval ratios) mostly accept them.
+_FLOAT_BASES = (0.5, 0.25, 0.75, 0.125, 0.375, 0.625, 0.875, 0.0625)
+
+SCHEMA = "vector-capability/1"
+
+#: Classification statuses, in report order.
+VECTOR_OK = "vector-ok"
+SCALAR_ONLY = "scalar-only"
+DIVERGENT = "divergent"
+UNSUPPORTED = "unsupported"
+_STATUSES = (VECTOR_OK, SCALAR_ONLY, DIVERGENT, UNSUPPORTED)
+
+
+@dataclass(frozen=True)
+class CapabilityEntry:
+    """One public function's classification."""
+
+    module: str
+    function: str
+    status: str
+    detail: str = ""
+
+    def render(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"{self.status:<11s} {self.module}.{self.function}{tail}"
+
+
+@dataclass
+class VectorCheckReport:
+    """The full capability table plus run parameters."""
+
+    entries: List[CapabilityEntry]
+    packages: Tuple[str, ...]
+    lanes: int
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in _STATUSES}
+        for entry in self.entries:
+            out[entry.status] = out.get(entry.status, 0) + 1
+        return out
+
+    def divergent(self) -> List[CapabilityEntry]:
+        return [e for e in self.entries if e.status == DIVERGENT]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.divergent() else 0
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Deterministic artifact: sorted entries, sorted keys, no
+        timestamps — byte-stable across reruns and machines."""
+        payload = {
+            "schema": SCHEMA,
+            "packages": list(self.packages),
+            "lanes": self.lanes,
+            "counts": self.counts(),
+            "functions": [
+                {
+                    "module": e.module,
+                    "function": e.function,
+                    "status": e.status,
+                    "detail": e.detail,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.module, e.function)
+                )
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def render_text(self, verbose: bool = False) -> str:
+        counts = self.counts()
+        lines = [
+            "vectorcheck: scalar-vs-array differential gate "
+            f"({', '.join(self.packages)}; {self.lanes} lanes)"
+        ]
+        if verbose:
+            for entry in sorted(
+                self.entries, key=lambda e: (e.module, e.function)
+            ):
+                lines.append(f"  {entry.render()}")
+        for entry in self.divergent():
+            lines.append(f"  DIVERGENT: {entry.render()}")
+        summary = ", ".join(
+            f"{counts[status]} {status}" for status in _STATUSES
+        )
+        lines.append(
+            f"{len(self.entries)} public functions: {summary}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Input derivation
+# ---------------------------------------------------------------------------
+def _annotation_kind(param: inspect.Parameter) -> Optional[str]:
+    """``"float"`` / ``"int"`` for numerically-annotated params."""
+    ann = param.annotation
+    if ann is inspect.Parameter.empty:
+        return None
+    if ann is float:
+        return "float"
+    if ann is int:
+        return "int"
+    if isinstance(ann, str):
+        text = ann.strip()
+        if text in ("float", "Optional[float]", "float | None"):
+            return "float"
+        if text in ("int", "Optional[int]", "int | None"):
+            return "int"
+    return None
+
+
+def derive_inputs(
+    func: Any,
+) -> Optional[Tuple[Dict[str, Any], List[str]]]:
+    """(kwargs, tiled-param-names) for a scalar call, or ``None``.
+
+    Defaults are kept (they are domain-safe); required ``float`` params
+    get deterministic exact-binary values; required ``int`` params get
+    small positive integers (never tiled — counts/seeds stay scalar).
+    Anything else required makes the function ``unsupported``.
+    """
+    try:
+        sig = inspect.signature(func)
+    except (TypeError, ValueError):
+        return None
+    kwargs: Dict[str, Any] = {}
+    tiled: List[str] = []
+    for index, (name, param) in enumerate(sig.parameters.items()):
+        if param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue  # optional by construction
+        if param.default is not inspect.Parameter.empty:
+            default = param.default
+            if isinstance(default, bool) or not isinstance(
+                default, (int, float)
+            ):
+                continue  # keep the non-numeric default
+            kwargs[name] = default
+            if isinstance(default, float):
+                tiled.append(name)
+            continue
+        kind = _annotation_kind(param)
+        if kind == "float":
+            kwargs[name] = _FLOAT_BASES[index % len(_FLOAT_BASES)]
+            tiled.append(name)
+        elif kind == "int":
+            kwargs[name] = 3 + index
+        else:
+            return None  # required non-numeric parameter
+    if not tiled:
+        return None  # nothing to broadcast over
+    return kwargs, tiled
+
+
+def _tile(kwargs: Dict[str, Any], tiled: Sequence[str], lanes: int) -> Dict[str, Any]:
+    out = dict(kwargs)
+    for name in tiled:
+        value = float(out[name])
+        arr = np.full(lanes, value, dtype=float)
+        arr[-1] = value * PERTURB
+        out[name] = arr
+    return out
+
+
+def _is_scalar_number(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and (
+        not isinstance(value, bool)
+    )
+
+
+def _exc_detail(prefix: str, exc: BaseException) -> str:
+    text = f"{type(exc).__name__}: {exc}"
+    if len(text) > 120:
+        text = text[:117] + "..."
+    return f"{prefix} {text}"
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+def classify_function(
+    module: str, name: str, func: Any, lanes: int = DEFAULT_LANES
+) -> CapabilityEntry:
+    """Run the paired scalar/array calls and classify one function."""
+    derived = derive_inputs(func)
+    if derived is None:
+        return CapabilityEntry(
+            module, name, UNSUPPORTED, "no derivable numeric inputs"
+        )
+    kwargs, tiled = derived
+    try:
+        scalar = func(**kwargs)
+    except Exception as exc:
+        return CapabilityEntry(
+            module, name, UNSUPPORTED,
+            _exc_detail("scalar call raised", exc),
+        )
+    if not _is_scalar_number(scalar):
+        return CapabilityEntry(
+            module, name, UNSUPPORTED,
+            f"non-scalar return ({type(scalar).__name__})",
+        )
+    try:
+        array = func(**_tile(kwargs, tiled, lanes))
+    except Exception as exc:
+        return CapabilityEntry(
+            module, name, SCALAR_ONLY,
+            _exc_detail("array input raises", exc),
+        )
+    if not isinstance(array, np.ndarray) or array.shape != (lanes,):
+        got = (
+            f"shape {array.shape}"
+            if isinstance(array, np.ndarray)
+            else type(array).__name__
+        )
+        return CapabilityEntry(
+            module, name, DIVERGENT,
+            f"shape collapsed: expected ({lanes},), got {got}",
+        )
+    try:
+        lane0 = float(array[0])
+        reference = float(scalar)
+    except (TypeError, ValueError):
+        return CapabilityEntry(
+            module, name, DIVERGENT, "array result not numeric"
+        )
+    same = lane0.hex() == reference.hex() or (
+        np.isnan(lane0) and np.isnan(reference)
+    )
+    if not same:
+        return CapabilityEntry(
+            module, name, DIVERGENT,
+            f"lane 0 {lane0.hex()} != scalar {reference.hex()}",
+        )
+    return CapabilityEntry(module, name, VECTOR_OK)
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+def discover_functions(
+    packages: Sequence[str] = DEFAULT_PACKAGES,
+) -> List[Tuple[str, str, Any]]:
+    """(module, name, func) for every public module-level function.
+
+    A function belongs to the module that *defines* it (``__module__``
+    match), so re-exports in package ``__init__`` files never
+    double-count.  Results are sorted for determinism.
+    """
+    found: Dict[Tuple[str, str], Any] = {}
+    for pkg_name in packages:
+        pkg = importlib.import_module(pkg_name)
+        module_names = [pkg_name]
+        for info in pkgutil.iter_modules(pkg.__path__):
+            if not info.name.startswith("_"):
+                module_names.append(f"{pkg_name}.{info.name}")
+        for mod_name in module_names:
+            mod = importlib.import_module(mod_name)
+            for name, obj in vars(mod).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != mod.__name__:
+                    continue  # re-export; counted where defined
+                found[(mod_name, name)] = obj
+    return [
+        (mod, name, func)
+        for (mod, name), func in sorted(found.items())
+    ]
+
+
+def run_vectorcheck(
+    packages: Sequence[str] = DEFAULT_PACKAGES,
+    lanes: int = DEFAULT_LANES,
+) -> VectorCheckReport:
+    """Classify every discovered public function."""
+    entries = [
+        classify_function(mod, name, func, lanes=lanes)
+        for mod, name, func in discover_functions(packages)
+    ]
+    return VectorCheckReport(
+        entries=entries, packages=tuple(packages), lanes=lanes
+    )
+
+
+def check_against(report: VectorCheckReport, committed: str) -> List[str]:
+    """Byte-compare a fresh report against the committed artifact.
+
+    Returns a list of human-readable problems (empty == consistent).
+    """
+    problems: List[str] = []
+    fresh = report.to_json()
+    if fresh != committed:
+        try:
+            old = json.loads(committed)
+            new = json.loads(fresh)
+            old_map = {
+                (f["module"], f["function"]): f["status"]
+                for f in old.get("functions", [])
+            }
+            new_map = {
+                (f["module"], f["function"]): f["status"]
+                for f in new.get("functions", [])
+            }
+            for key in sorted(set(old_map) | set(new_map)):
+                a, b = old_map.get(key), new_map.get(key)
+                if a != b:
+                    problems.append(
+                        f"{key[0]}.{key[1]}: committed {a!r} != fresh {b!r}"
+                    )
+            if not problems:
+                problems.append(
+                    "artifact differs (formatting/parameters); regenerate "
+                    "with `repro vectorcheck --output "
+                    "benchmarks/output/VECTOR_capability.json`"
+                )
+        except (ValueError, KeyError, TypeError):
+            problems.append("committed artifact is not valid JSON")
+    return problems
+
+
+__all__ = [
+    "DEFAULT_LANES",
+    "DEFAULT_PACKAGES",
+    "DIVERGENT",
+    "PERTURB",
+    "SCALAR_ONLY",
+    "SCHEMA",
+    "UNSUPPORTED",
+    "VECTOR_OK",
+    "CapabilityEntry",
+    "VectorCheckReport",
+    "check_against",
+    "classify_function",
+    "derive_inputs",
+    "discover_functions",
+    "run_vectorcheck",
+]

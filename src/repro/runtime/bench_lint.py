@@ -12,9 +12,11 @@ Both arms must produce the *same* report (``parity``) — parallel lint
 is only a scheduling change, never an analysis change — and the run
 must be clean modulo the baseline (``lint_clean``).  Wall times keep
 the per-arm minimum over ``repeats`` so one scheduler blip does not
-bias the series; the regression gate (schema ``bench-lint/1``) lets
-them drift within the usual relative tolerance but fails CI on a real
-slowdown, e.g. a new rule going accidentally quadratic.
+bias the series; the regression gate (schema ``bench-lint/2``, bumped
+when the vectorization pass RPL013-RPL016 joined the rule set and
+reset the wall-time reference) lets them drift within the usual
+relative tolerance but fails CI on a real slowdown, e.g. a new rule
+going accidentally quadratic.
 
 Run via ``python -m repro bench-lint`` or the benchmarks suite.
 """
@@ -67,7 +69,7 @@ def run_lint_bench(
     assert serial_report is not None and parallel_report is not None
     parity = serial_report.to_json() == parallel_report.to_json()
     report = {
-        "schema": "bench-lint/1",
+        "schema": "bench-lint/2",
         "python": platform.python_version(),
         "generated_unix": time.time(),
         "target": target.as_posix(),

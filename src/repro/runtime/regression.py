@@ -88,6 +88,16 @@ METRIC_SPECS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("parity", "exact_true"),
         ("lint_clean", "exact_true"),
     ),
+    # bench-lint/2: same gate after the RPL013-RPL016 vectorization
+    # pass joined the rule set.  The schema bump resets the wall-time
+    # reference (the shape abstract interpretation legitimately costs
+    # wall time); the correctness booleans stay exact.
+    "bench-lint/2": (
+        ("serial_wall_seconds", "lower_better"),
+        ("parallel_wall_seconds", "lower_better"),
+        ("parity", "exact_true"),
+        ("lint_clean", "exact_true"),
+    ),
     # The serving gate.  The ISSUE-7 acceptance criterion — batched
     # handling at >=3x the QPS of the serial-dispatch control at 32
     # concurrent clients, with bit-equal JSON payloads — is encoded as

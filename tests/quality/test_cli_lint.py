@@ -61,6 +61,20 @@ BAD_SNIPPET = textwrap.dedent(
         costs = {p.cost for p in parts}
         total_j = sum(costs)
         return total_j
+
+    import math
+
+    def scalar_helper(x_j: float) -> float:
+        return math.sqrt(x_j)
+
+    def clamp_ratio(ratio: float) -> float:
+        return 1.0 if ratio > 1.0 else ratio
+
+    def fold_lanes(samples: "np.ndarray") -> float:
+        return sum(samples)
+
+    def drift_pipeline(power_w: float) -> float:
+        return scalar_helper(power_w * 2.0)
     """
 )
 
@@ -77,6 +91,10 @@ ALL_RULES = (
     "RPL010",
     "RPL011",
     "RPL012",
+    "RPL013",
+    "RPL014",
+    "RPL015",
+    "RPL016",
 )
 
 
@@ -235,3 +253,12 @@ class TestExplain:
     def test_explain_unknown_rule_rejected(self, capsys):
         assert main(["lint", "--explain", "RPL999"]) == 2
         assert "unknown rule" in capsys.readouterr().err
+
+    def test_explain_all_lists_every_rule(self, capsys):
+        assert main(["lint", "--explain", "all"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(ALL_RULES)
+        for rule, line in zip(ALL_RULES, lines):
+            assert line.startswith(rule)
+            assert len(line) > len(rule) + 10  # id + one-line summary

@@ -49,6 +49,13 @@ class TestLiveTree:
         for rule_id in ("RPL009", "RPL010", "RPL011", "RPL012"):
             assert rule_id in ids
 
+    def test_default_rules_include_vectorization_pass(self):
+        """RPL013-RPL016 gate the live tree like every other rule."""
+        engine = LintEngine()
+        ids = [rule.rule_id for rule in engine.rules]
+        for rule_id in ("RPL013", "RPL014", "RPL015", "RPL016"):
+            assert rule_id in ids
+
     def test_baseline_has_no_unit_errors(self):
         """RPL001 findings may never be grandfathered — a dimensional
         mixup corrupts every downstream tCDP number silently."""

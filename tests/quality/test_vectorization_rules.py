@@ -1,0 +1,364 @@
+"""Fixture snippets for the vectorization-safety rules RPL013-RPL016."""
+
+import textwrap
+
+import pytest
+
+from repro.quality import Baseline, LintEngine
+
+
+def lint(source, rel_path="core/snippet.py", rules=None):
+    """Findings + suppressed count for one in-memory snippet."""
+    from repro.quality import RULE_REGISTRY
+
+    selected = None
+    if rules is not None:
+        selected = [RULE_REGISTRY[r]() for r in rules]
+    engine = LintEngine(rules=selected, baseline=Baseline())
+    return engine.lint_source(
+        textwrap.dedent(source), rel_path=rel_path
+    )
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+@pytest.mark.smoke
+class TestRPL013ScalarCoercion:
+    def test_float_on_model_data_flagged(self):
+        findings, _ = lint(
+            """
+            def f(power_w: float):
+                return float(power_w) * 2.0
+            """,
+            rules=["RPL013"],
+        )
+        assert rule_ids(findings) == ["RPL013"]
+        assert "float()" in findings[0].message
+        assert "power_w" in findings[0].message
+
+    def test_math_call_on_derived_data_flagged_with_chain(self):
+        findings, _ = lint(
+            """
+            import math
+
+            def f(area_cm2: float):
+                side = area_cm2 * 0.5
+                return math.sqrt(side)
+            """,
+            rules=["RPL013"],
+        )
+        assert rule_ids(findings) == ["RPL013"]
+        assert "math.sqrt" in findings[0].message
+        assert "'side'" in findings[0].message
+        assert "[line" in findings[0].message
+
+    def test_numpy_sqrt_not_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def f(area_cm2: float):
+                return np.sqrt(area_cm2)
+            """,
+            rules=["RPL013"],
+        )
+        assert findings == []
+
+    def test_float_of_collapsed_reduction_not_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def f(samples: np.ndarray):
+                return float(np.sum(samples))
+            """,
+            rules=["RPL013"],
+        )
+        assert findings == []
+
+    def test_outside_model_components_not_flagged(self):
+        findings, _ = lint(
+            """
+            def f(power_w: float):
+                return float(power_w)
+            """,
+            rel_path="serve/snippet.py",
+            rules=["RPL013"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings, suppressed = lint(
+            """
+            def f(power_w: float):
+                return float(power_w)  # repro-lint: disable=RPL013 - fixture
+            """,
+            rules=["RPL013"],
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+@pytest.mark.smoke
+class TestRPL014DataBranch:
+    def test_if_on_data_flagged(self):
+        findings, _ = lint(
+            """
+            def clamp(power_w: float):
+                if power_w > 1.0:
+                    power_w = 1.0
+                return power_w
+            """,
+            rules=["RPL014"],
+        )
+        assert rule_ids(findings) == ["RPL014"]
+        assert "power_w" in findings[0].message
+
+    def test_ternary_on_data_flagged(self):
+        findings, _ = lint(
+            """
+            def f(ratio: float):
+                return 1.0 if ratio > 1.0 else ratio
+            """,
+            rules=["RPL014"],
+        )
+        assert rule_ids(findings) == ["RPL014"]
+
+    def test_while_on_data_flagged(self):
+        findings, _ = lint(
+            """
+            def f(energy_j: float):
+                while energy_j > 1.0:
+                    energy_j = energy_j * 0.5
+                return energy_j
+            """,
+            rules=["RPL014"],
+        )
+        assert rule_ids(findings) == ["RPL014"]
+
+    def test_raise_only_guard_not_flagged(self):
+        findings, _ = lint(
+            """
+            def f(power_w: float):
+                if power_w < 0:
+                    raise ValueError("negative")
+                return power_w * 2.0
+            """,
+            rules=["RPL014"],
+        )
+        assert findings == []
+
+    def test_is_none_check_not_flagged(self):
+        findings, _ = lint(
+            """
+            def f(power_w: float, cap=None):
+                if cap is None:
+                    cap = 10.0
+                return power_w * cap
+            """,
+            rules=["RPL014"],
+        )
+        assert findings == []
+
+    def test_np_where_not_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def clamp(power_w: float):
+                return np.where(power_w > 1.0, 1.0, power_w)
+            """,
+            rules=["RPL014"],
+        )
+        assert findings == []
+
+    def test_loop_over_constant_table_not_flagged(self):
+        findings, _ = lint(
+            """
+            def f(power_w: float, windows):
+                total = 0.0
+                for start, end in windows:
+                    total += power_w * (end - start)
+                return total
+            """,
+            rules=["RPL014"],
+        )
+        assert findings == []
+
+
+@pytest.mark.smoke
+class TestRPL015ScalarFold:
+    def test_builtin_sum_over_lanes_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def f(samples: np.ndarray):
+                return sum(samples)
+            """,
+            rules=["RPL015"],
+        )
+        assert rule_ids(findings) == ["RPL015"]
+        assert "sum" in findings[0].message
+
+    def test_loop_accumulation_over_lanes_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def f(samples: np.ndarray):
+                total = 0.0
+                for s in samples:
+                    total += s
+                return total
+            """,
+            rules=["RPL015"],
+        )
+        assert rule_ids(findings) == ["RPL015"]
+
+    def test_np_sum_not_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def f(samples: np.ndarray):
+                return np.sum(samples)
+            """,
+            rules=["RPL015"],
+        )
+        assert findings == []
+
+    def test_math_fsum_not_flagged(self):
+        findings, _ = lint(
+            """
+            import math
+
+            def f(a_j: float, b_j: float):
+                return math.fsum([a_j, b_j])
+            """,
+            rules=["RPL015"],
+        )
+        assert findings == []
+
+
+@pytest.mark.smoke
+class TestRPL016ArrayContractDrift:
+    def test_cross_module_drift_flagged(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "helpers.py").write_text(
+            textwrap.dedent(
+                """
+                import math
+
+                def settle(x_j: float) -> float:
+                    return math.sqrt(x_j)
+                """
+            )
+        )
+        (pkg / "main.py").write_text(
+            textwrap.dedent(
+                """
+                from core.helpers import settle
+
+                def pipeline(energy_j: float) -> float:
+                    scaled = energy_j * 2.0
+                    return settle(scaled)
+                """
+            )
+        )
+        from repro.quality import RULE_REGISTRY
+
+        engine = LintEngine(
+            rules=[RULE_REGISTRY["RPL016"]()], baseline=Baseline()
+        )
+        report = engine.lint_paths([pkg], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["RPL016"]
+        message = report.findings[0].message
+        assert "settle" in message
+        assert "math.sqrt" in message
+        assert "helpers.py:" in message
+
+    def test_same_module_drift_flagged(self):
+        findings, _ = lint(
+            """
+            import math
+
+            def helper(x_j: float) -> float:
+                return math.exp(x_j)
+
+            def pipeline(energy_j: float) -> float:
+                return helper(energy_j * 2.0)
+            """,
+            rules=["RPL016"],
+        )
+        assert rule_ids(findings) == ["RPL016"]
+        assert "helper" in findings[0].message
+
+    def test_array_capable_helper_not_flagged(self):
+        findings, _ = lint(
+            """
+            import numpy as np
+
+            def helper(x_j: float) -> float:
+                return np.exp(x_j)
+
+            def pipeline(energy_j: float) -> float:
+                return helper(energy_j * 2.0)
+            """,
+            rules=["RPL016"],
+        )
+        assert findings == []
+
+    def test_caller_with_own_hazard_left_to_direct_rules(self):
+        # RPL013 already reports the caller's own coercion; RPL016
+        # stays quiet so one site is not double-flagged.
+        findings, _ = lint(
+            """
+            import math
+
+            def helper(x_j: float) -> float:
+                return math.exp(x_j)
+
+            def pipeline(energy_j: float) -> float:
+                rounded = float(energy_j)
+                return helper(rounded * 2.0)
+            """,
+            rules=["RPL016"],
+        )
+        assert findings == []
+
+
+class TestRegistration:
+    def test_rules_registered_and_sorted(self):
+        from repro.quality import RULE_REGISTRY
+
+        for rule_id in ("RPL013", "RPL014", "RPL015", "RPL016"):
+            assert rule_id in RULE_REGISTRY
+
+    def test_all_four_fire_together_on_one_snippet(self):
+        findings, _ = lint(
+            """
+            import math
+            import numpy as np
+
+            def helper(x_j: float) -> float:
+                return math.sqrt(x_j)
+
+            def f(power_w: float, samples: np.ndarray):
+                if power_w > 1.0:
+                    power_w = 1.0
+                total = sum(samples)
+                return float(power_w) + total
+
+            def g(energy_j: float) -> float:
+                return helper(energy_j * 2.0)
+            """,
+            rules=["RPL013", "RPL014", "RPL015", "RPL016"],
+        )
+        assert rule_ids(findings) == [
+            "RPL013", "RPL014", "RPL015", "RPL016"
+        ]

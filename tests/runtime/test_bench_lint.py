@@ -16,7 +16,7 @@ class TestBenchLint:
         seed_tree(tmp_path)
         monkeypatch.chdir(tmp_path)
         report = run_lint_bench(target=Path("."), repeats=1)
-        assert report["schema"] == "bench-lint/1"
+        assert report["schema"] == "bench-lint/2"
         assert report["files_checked"] == 2
         assert report["parity"] is True
         assert report["lint_clean"] is True

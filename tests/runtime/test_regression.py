@@ -128,6 +128,7 @@ class TestCompareReports:
         assert set(METRIC_SPECS) == {
             "bench-iss/1", "bench-iss/2", "bench-sweep/1", "bench-obs/1",
             "bench-obs/2", "bench-serve/1", "bench-lint/1",
+            "bench-lint/2",
         }
 
     def test_iss_v2_extends_v1(self):
